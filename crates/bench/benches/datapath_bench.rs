@@ -1,0 +1,66 @@
+//! Criterion micro-benchmarks of the core building blocks: datapath
+//! generation, one four-phase inference cycle on the event-driven
+//! simulator, the software golden model, and Tsetlin machine training.
+
+use celllib::Library;
+use criterion::{criterion_group, criterion_main, Criterion};
+use datapath::{reference, DatapathConfig, DualRailDatapath, InferenceWorkload, SingleRailDatapath};
+use dualrail::ProtocolDriver;
+
+fn bench_generation(c: &mut Criterion) {
+    let config = DatapathConfig::new(12, 8).expect("valid config");
+    let mut group = c.benchmark_group("generation");
+    group.sample_size(20);
+    group.bench_function("dual_rail_datapath", |b| {
+        b.iter(|| DualRailDatapath::generate(std::hint::black_box(&config)).unwrap())
+    });
+    group.bench_function("single_rail_datapath", |b| {
+        b.iter(|| SingleRailDatapath::generate(std::hint::black_box(&config)).unwrap())
+    });
+    group.finish();
+}
+
+fn bench_inference_cycle(c: &mut Criterion) {
+    let config = DatapathConfig::new(12, 8).expect("valid config");
+    let dp = DualRailDatapath::generate(&config).expect("generation succeeds");
+    let workload = InferenceWorkload::random(&config, 4, 0.7, 7).expect("valid workload");
+    let operands = workload.dual_rail_operands(&dp).expect("widths match");
+    let library = Library::umc_ll();
+
+    let mut group = c.benchmark_group("inference");
+    group.sample_size(10);
+    group.bench_function("dual_rail_four_phase_cycle", |b| {
+        b.iter(|| {
+            let mut driver = ProtocolDriver::new(dp.circuit(), &library).unwrap();
+            for operand in &operands {
+                std::hint::black_box(driver.apply_operand(operand).unwrap());
+            }
+        })
+    });
+    group.bench_function("software_golden_model", |b| {
+        b.iter(|| {
+            for vector in workload.feature_vectors() {
+                std::hint::black_box(reference::infer(workload.masks(), vector));
+            }
+        })
+    });
+    group.finish();
+}
+
+fn bench_training(c: &mut Criterion) {
+    let data = tsetlin::datasets::keyword_patterns(200, 12, 0.08, 5);
+    let params = tsetlin::TrainingParams::new(8, 12.0, 3.5).expect("valid params");
+    let mut group = c.benchmark_group("tsetlin");
+    group.sample_size(10);
+    group.bench_function("train_5_epochs", |b| {
+        b.iter(|| {
+            let mut tm = tsetlin::TsetlinMachine::new(12, params, 3).unwrap();
+            tm.fit(data.train_inputs(), data.train_labels(), 5);
+            std::hint::black_box(tm.accuracy(data.test_inputs(), data.test_labels()))
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_generation, bench_inference_cycle, bench_training);
+criterion_main!(benches);

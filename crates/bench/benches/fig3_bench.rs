@@ -1,0 +1,19 @@
+//! Criterion wrapper around experiment E2 (Figure 3): times one
+//! high-voltage and one deep-subthreshold point of the sweep.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+
+fn bench_fig3(c: &mut Criterion) {
+    let mut group = c.benchmark_group("fig3");
+    group.sample_size(10);
+    group.bench_function("nominal_1v2_4_operands", |b| {
+        b.iter(|| tm_async_bench::fig3::run(std::hint::black_box(&[1.2]), 4, 2021))
+    });
+    group.bench_function("subthreshold_0v3_4_operands", |b| {
+        b.iter(|| tm_async_bench::fig3::run(std::hint::black_box(&[0.3]), 4, 2021))
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_fig3);
+criterion_main!(benches);

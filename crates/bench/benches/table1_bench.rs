@@ -1,0 +1,17 @@
+//! Criterion wrapper around experiment E1 (Table I): times the full
+//! single-rail vs dual-rail comparison on a small operand budget so the
+//! regeneration cost itself is tracked.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+
+fn bench_table1(c: &mut Criterion) {
+    let mut group = c.benchmark_group("table1");
+    group.sample_size(10);
+    group.bench_function("four_rows_8_operands", |b| {
+        b.iter(|| tm_async_bench::table1::run(std::hint::black_box(8), 2021))
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_table1);
+criterion_main!(benches);

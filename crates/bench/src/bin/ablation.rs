@@ -1,0 +1,14 @@
+//! Runs the design-choice ablations (reduced vs full completion
+//! detection, C-element input latches).
+//!
+//! Usage: `cargo run -p tm-async-bench --release --bin ablation [operands]`
+
+fn main() {
+    let operands: usize = std::env::args()
+        .nth(1)
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(30);
+    println!("Experiment E4 — ablations ({operands} operands per variant)\n");
+    let ablation = tm_async_bench::ablation::run(operands, 2021);
+    print!("{}", ablation.render());
+}

@@ -1,0 +1,14 @@
+//! Regenerates the operand and delay probability distribution analysis
+//! (the paper's second contribution).
+//!
+//! Usage: `cargo run -p tm-async-bench --release --bin distributions [operands]`
+
+fn main() {
+    let operands: usize = std::env::args()
+        .nth(1)
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(60);
+    println!("Experiment E3 — operand and delay distributions ({operands} operands per workload)\n");
+    let result = tm_async_bench::distributions::run(operands, 2021);
+    print!("{}", result.render());
+}

@@ -1,0 +1,18 @@
+//! Regenerates Figure 3 of the paper (dual-rail latency vs supply voltage
+//! on the FULL DIFFUSION library).
+//!
+//! Usage: `cargo run -p tm-async-bench --release --bin fig3 [operands]`
+
+fn main() {
+    let operands: usize = std::env::args()
+        .nth(1)
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(20);
+    println!("Experiment E2 — Figure 3 ({operands} operands per voltage)\n");
+    let fig = tm_async_bench::fig3::run(&tm_async_bench::fig3::default_voltages(), operands, 2021);
+    print!("{}", fig.render());
+    println!(
+        "\nlatency dynamic range across the sweep: {:.0}x",
+        fig.dynamic_range()
+    );
+}

@@ -1,0 +1,24 @@
+//! Experiment harness regenerating every table and figure of the paper's
+//! evaluation section.
+//!
+//! | Experiment | Paper artefact | Module | Binary |
+//! |---|---|---|---|
+//! | E1 | Table I (single-rail vs dual-rail, two libraries) | [`table1`] | `cargo run -p tm-async-bench --release --bin table1` |
+//! | E2 | Figure 3 (latency vs supply voltage) | [`fig3`] | `cargo run -p tm-async-bench --release --bin fig3` |
+//! | E3 | Operand / delay probability distributions (contribution 2) | [`distributions`] | `cargo run -p tm-async-bench --release --bin distributions` |
+//! | E4 | Ablations: reduced vs full completion detection, input latches | [`ablation`] | `cargo run -p tm-async-bench --release --bin ablation` |
+//!
+//! Absolute numbers will not match the paper (the substrate is a
+//! calibrated simulator, not the authors' Synopsys flow on proprietary
+//! libraries); the *shapes* — who wins, by roughly what factor, where the
+//! exponential voltage knee sits — are the reproduction target.
+
+#![warn(missing_docs)]
+
+pub mod ablation;
+pub mod distributions;
+pub mod fig3;
+pub mod table1;
+pub mod workloads;
+
+pub use workloads::{standard_config, standard_workload, StandardWorkload};

@@ -1,0 +1,74 @@
+//! The shared workload used by every experiment: a Tsetlin machine
+//! trained on the synthetic keyword-spotting task, exported to exclude
+//! masks, plus its held-out test set as the operand stream.
+
+use datapath::{DatapathConfig, InferenceWorkload};
+use tsetlin::{datasets, TrainingParams, TsetlinMachine};
+
+/// The datapath dimensions used throughout the evaluation: twelve
+/// Boolean features and the paper's eight clauses per voting polarity.
+#[must_use]
+pub fn standard_config() -> DatapathConfig {
+    DatapathConfig::new(12, 8).expect("static configuration is valid")
+}
+
+/// A trained machine, its workload and its test accuracy.
+#[derive(Clone, Debug)]
+pub struct StandardWorkload {
+    /// The trained Tsetlin machine.
+    pub machine: TsetlinMachine,
+    /// The inference workload (masks + operand feature vectors + golden
+    /// outcomes).
+    pub workload: InferenceWorkload,
+    /// Test-set classification accuracy of the trained machine.
+    pub accuracy: f64,
+}
+
+/// Trains the standard Tsetlin machine on the keyword-spotting task and
+/// packages `operands` held-out samples as the experiment workload.
+///
+/// # Panics
+///
+/// Panics only if the static configuration becomes inconsistent (a bug).
+#[must_use]
+pub fn standard_workload(operands: usize, seed: u64) -> StandardWorkload {
+    let config = standard_config();
+    let data = datasets::keyword_patterns(400, config.features(), 0.08, seed);
+    let params = TrainingParams::new(config.clauses_per_polarity(), 12.0, 3.5)
+        .expect("static parameters are valid");
+    let mut machine =
+        TsetlinMachine::new(config.features(), params, seed ^ 0x5eed).expect("valid machine");
+    machine.fit(data.train_inputs(), data.train_labels(), 25);
+    let accuracy = machine.accuracy(data.test_inputs(), data.test_labels());
+
+    let vectors: Vec<Vec<bool>> = data
+        .test_inputs()
+        .iter()
+        .cycle()
+        .take(operands)
+        .cloned()
+        .collect();
+    let workload = InferenceWorkload::from_machine(&config, &machine, &vectors)
+        .expect("machine matches the configuration");
+    StandardWorkload {
+        machine,
+        workload,
+        accuracy,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn standard_workload_is_well_formed() {
+        let standard = standard_workload(10, 1);
+        assert_eq!(standard.workload.len(), 10);
+        assert!(standard.accuracy > 0.6, "keyword task should be learnable");
+        assert_eq!(
+            standard.workload.masks().clauses_per_polarity(),
+            standard_config().clauses_per_polarity()
+        );
+    }
+}

@@ -1,0 +1,153 @@
+//! Per-cell characterisation data.
+//!
+//! A [`CellSpec`] stores the nominal-voltage characteristics of one cell
+//! kind in one library: area, intrinsic delay, fan-out delay sensitivity,
+//! leakage power and switching energy.  Voltage dependence is applied on
+//! top by [`crate::VoltageModel`] inside [`crate::Library`].
+
+use netlist::CellKind;
+
+/// Nominal-voltage characterisation of a single cell kind.
+///
+/// # Example
+///
+/// ```
+/// use celllib::{Library, CellSpec};
+/// use netlist::CellKind;
+/// let lib = Library::umc_ll();
+/// let spec: &CellSpec = lib.cell_spec(CellKind::Aoi22);
+/// assert!(spec.area_um2 > 0.0);
+/// assert!(spec.intrinsic_delay_ps > 0.0);
+/// ```
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct CellSpec {
+    /// Layout area in square micrometres.
+    pub area_um2: f64,
+    /// Propagation delay at nominal supply with a single fan-out load,
+    /// in picoseconds.
+    pub intrinsic_delay_ps: f64,
+    /// Additional delay per extra fan-out load, in picoseconds.
+    pub load_delay_ps: f64,
+    /// Static leakage power at nominal supply, in nanowatts.
+    pub leakage_nw: f64,
+    /// Energy dissipated per output transition at nominal supply, in
+    /// femtojoules.
+    pub switch_energy_fj: f64,
+    /// Number of transistors (used to derive area and leakage).
+    pub transistor_count: u32,
+}
+
+impl CellSpec {
+    /// Delay in picoseconds at nominal supply for a given fan-out.
+    ///
+    /// A fan-out of zero (an unconnected output) is treated as one load.
+    #[must_use]
+    pub fn delay_ps(&self, fanout: usize) -> f64 {
+        let extra = fanout.saturating_sub(1) as f64;
+        self.intrinsic_delay_ps + self.load_delay_ps * extra
+    }
+}
+
+/// Number of transistors in a static CMOS realisation of each kind.
+///
+/// These counts drive the area and leakage models.  The C-element count
+/// is library-dependent (a single complex gate where an AOI32 exists, a
+/// four-gate realisation otherwise) and is therefore *not* included here;
+/// see [`crate::Library`].
+#[must_use]
+pub fn transistor_count(kind: CellKind) -> u32 {
+    match kind {
+        CellKind::Tie0 | CellKind::Tie1 => 2,
+        CellKind::Inv => 2,
+        CellKind::Buf => 4,
+        CellKind::Nand2 | CellKind::Nor2 => 4,
+        CellKind::Nand3 | CellKind::Nor3 | CellKind::Aoi21 | CellKind::Oai21 => 6,
+        CellKind::And2 | CellKind::Or2 => 6,
+        CellKind::Nand4 | CellKind::Nor4 | CellKind::Aoi22 | CellKind::Oai22 => 8,
+        CellKind::And3 | CellKind::Or3 => 8,
+        CellKind::Aoi32 => 10,
+        CellKind::And4 | CellKind::Or4 => 10,
+        CellKind::Xor2 | CellKind::Xnor2 => 10,
+        CellKind::Maj3 => 12,
+        // A C-element as a single complex gate with a weak keeper.
+        CellKind::CElement2 => 12,
+        CellKind::CElement3 => 16,
+        // Transmission-gate master–slave flip-flop.
+        CellKind::Dff => 24,
+    }
+}
+
+/// Logical effort of each kind: the relative delay penalty of the gate
+/// topology compared with an inverter driving the same load.  Used to
+/// derive intrinsic delays.
+#[must_use]
+pub fn logical_effort(kind: CellKind) -> f64 {
+    match kind {
+        CellKind::Tie0 | CellKind::Tie1 => 0.0,
+        CellKind::Inv => 1.0,
+        CellKind::Buf => 1.8,
+        CellKind::Nand2 => 1.33,
+        CellKind::Nand3 => 1.67,
+        CellKind::Nand4 => 2.0,
+        CellKind::Nor2 => 1.67,
+        CellKind::Nor3 => 2.33,
+        CellKind::Nor4 => 3.0,
+        CellKind::And2 => 2.0,
+        CellKind::And3 => 2.4,
+        CellKind::And4 => 2.8,
+        CellKind::Or2 => 2.3,
+        CellKind::Or3 => 2.8,
+        CellKind::Or4 => 3.3,
+        CellKind::Xor2 | CellKind::Xnor2 => 3.0,
+        CellKind::Aoi21 => 1.8,
+        CellKind::Aoi22 => 2.1,
+        CellKind::Aoi32 => 2.5,
+        CellKind::Oai21 => 1.9,
+        CellKind::Oai22 => 2.2,
+        CellKind::Maj3 => 2.6,
+        CellKind::CElement2 => 2.2,
+        CellKind::CElement3 => 2.7,
+        CellKind::Dff => 4.0,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn every_kind_has_positive_transistor_count() {
+        for kind in CellKind::ALL {
+            assert!(transistor_count(kind) >= 2, "{kind:?}");
+        }
+    }
+
+    #[test]
+    fn effort_orders_gate_complexity() {
+        assert!(logical_effort(CellKind::Inv) < logical_effort(CellKind::Nand2));
+        assert!(logical_effort(CellKind::Nand2) < logical_effort(CellKind::Nand4));
+        assert!(logical_effort(CellKind::Nor2) < logical_effort(CellKind::Nor4));
+        assert!(logical_effort(CellKind::Aoi21) < logical_effort(CellKind::Aoi32));
+    }
+
+    #[test]
+    fn delay_grows_with_fanout() {
+        let spec = CellSpec {
+            area_um2: 2.0,
+            intrinsic_delay_ps: 30.0,
+            load_delay_ps: 5.0,
+            leakage_nw: 0.05,
+            switch_energy_fj: 1.0,
+            transistor_count: 4,
+        };
+        assert_eq!(spec.delay_ps(0), 30.0);
+        assert_eq!(spec.delay_ps(1), 30.0);
+        assert_eq!(spec.delay_ps(3), 40.0);
+    }
+
+    #[test]
+    fn xor_counts_as_complex_gate() {
+        assert!(transistor_count(CellKind::Xor2) > transistor_count(CellKind::Nand2));
+        assert!(transistor_count(CellKind::Dff) > transistor_count(CellKind::CElement2));
+    }
+}

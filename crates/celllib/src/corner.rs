@@ -1,0 +1,101 @@
+//! Process corners.
+//!
+//! The paper synthesises at the typical–typical (TT) corner; the slow and
+//! fast corners are provided so robustness experiments can explore
+//! process variation on top of voltage variation (the premise of
+//! quasi-delay-insensitive design is that functionality is preserved
+//! regardless).
+
+use std::fmt;
+
+/// Process corner of a characterised library.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq, Hash)]
+pub enum ProcessCorner {
+    /// Typical NMOS, typical PMOS (the paper's corner).
+    #[default]
+    Typical,
+    /// Slow NMOS, slow PMOS: higher threshold, slower, lower leakage.
+    Slow,
+    /// Fast NMOS, fast PMOS: lower threshold, faster, higher leakage.
+    Fast,
+}
+
+impl ProcessCorner {
+    /// Multiplier applied to every cell delay.
+    #[must_use]
+    pub fn delay_factor(self) -> f64 {
+        match self {
+            ProcessCorner::Typical => 1.0,
+            ProcessCorner::Slow => 1.35,
+            ProcessCorner::Fast => 0.78,
+        }
+    }
+
+    /// Multiplier applied to leakage power.
+    #[must_use]
+    pub fn leakage_factor(self) -> f64 {
+        match self {
+            ProcessCorner::Typical => 1.0,
+            ProcessCorner::Slow => 0.55,
+            ProcessCorner::Fast => 2.4,
+        }
+    }
+
+    /// Shift applied to the effective threshold voltage, in volts.
+    #[must_use]
+    pub fn threshold_shift_v(self) -> f64 {
+        match self {
+            ProcessCorner::Typical => 0.0,
+            ProcessCorner::Slow => 0.04,
+            ProcessCorner::Fast => -0.04,
+        }
+    }
+
+    /// Short corner name ("TT", "SS", "FF").
+    #[must_use]
+    pub fn short_name(self) -> &'static str {
+        match self {
+            ProcessCorner::Typical => "TT",
+            ProcessCorner::Slow => "SS",
+            ProcessCorner::Fast => "FF",
+        }
+    }
+}
+
+impl fmt::Display for ProcessCorner {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.short_name())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn typical_is_identity() {
+        assert_eq!(ProcessCorner::Typical.delay_factor(), 1.0);
+        assert_eq!(ProcessCorner::Typical.leakage_factor(), 1.0);
+        assert_eq!(ProcessCorner::default(), ProcessCorner::Typical);
+    }
+
+    #[test]
+    fn slow_corner_is_slower_and_leaks_less() {
+        assert!(ProcessCorner::Slow.delay_factor() > 1.0);
+        assert!(ProcessCorner::Slow.leakage_factor() < 1.0);
+        assert!(ProcessCorner::Slow.threshold_shift_v() > 0.0);
+    }
+
+    #[test]
+    fn fast_corner_is_faster_and_leaks_more() {
+        assert!(ProcessCorner::Fast.delay_factor() < 1.0);
+        assert!(ProcessCorner::Fast.leakage_factor() > 1.0);
+    }
+
+    #[test]
+    fn display_names() {
+        assert_eq!(ProcessCorner::Typical.to_string(), "TT");
+        assert_eq!(ProcessCorner::Slow.to_string(), "SS");
+        assert_eq!(ProcessCorner::Fast.to_string(), "FF");
+    }
+}

@@ -1,0 +1,60 @@
+//! Error type for library model construction and configuration.
+
+use std::error::Error;
+use std::fmt;
+
+/// Errors produced when configuring a [`crate::Library`].
+#[derive(Clone, Debug, PartialEq)]
+#[non_exhaustive]
+pub enum LibraryError {
+    /// The requested supply voltage lies outside the characterised range
+    /// of the library model.
+    SupplyOutOfRange {
+        /// The requested supply voltage in volts.
+        requested: f64,
+        /// Minimum characterised supply in volts.
+        min: f64,
+        /// Maximum characterised supply in volts.
+        max: f64,
+    },
+}
+
+impl fmt::Display for LibraryError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            LibraryError::SupplyOutOfRange {
+                requested,
+                min,
+                max,
+            } => write!(
+                f,
+                "supply voltage {requested} V is outside the characterised range {min} V to {max} V"
+            ),
+        }
+    }
+}
+
+impl Error for LibraryError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_mentions_range() {
+        let err = LibraryError::SupplyOutOfRange {
+            requested: 2.0,
+            min: 0.25,
+            max: 1.32,
+        };
+        let msg = err.to_string();
+        assert!(msg.contains("2 V"));
+        assert!(msg.contains("0.25"));
+    }
+
+    #[test]
+    fn is_std_error_send_sync() {
+        fn assert_err<E: Error + Send + Sync + 'static>() {}
+        assert_err::<LibraryError>();
+    }
+}

@@ -1,0 +1,55 @@
+//! Parametric 65 nm standard-cell library models.
+//!
+//! The paper synthesises its datapaths on two silicon libraries:
+//!
+//! * **UMC LL** — a commercially available low-leakage 65 nm library,
+//!   minimally sized for superthreshold operation at a nominal 1.2 V;
+//! * **FULL DIFFUSION** — a custom library aimed at high-performance
+//!   subthreshold operation, using a full-diffusion sizing strategy with
+//!   non-minimum-length transistors (larger cells, better behaved at low
+//!   voltage).
+//!
+//! Since the real libraries are proprietary, this crate provides
+//! *parametric models* of both: per-cell area derived from transistor
+//! counts and a per-library area factor, per-cell intrinsic delay and
+//! fan-out sensitivity, leakage power, and switching energy — all scaled
+//! by an analytic supply-voltage model (EKV-style smooth interpolation
+//! between the subthreshold exponential and the superthreshold
+//! alpha-power regimes).  The models are calibrated so the *relative*
+//! comparisons the paper reports (single-rail vs dual-rail area, the
+//! latency/voltage curve shape of Figure 3) are preserved.
+//!
+//! # Example
+//!
+//! ```
+//! use celllib::{Library, LibraryKind};
+//! use netlist::CellKind;
+//!
+//! let umc = Library::umc_ll();
+//! let fd = Library::full_diffusion();
+//!
+//! // FULL DIFFUSION cells are larger than UMC LL cells.
+//! assert!(fd.cell_area(CellKind::Nand2) > umc.cell_area(CellKind::Nand2));
+//!
+//! // Reducing the supply voltage increases delay.
+//! let slow = fd.with_supply_voltage(0.3).unwrap();
+//! assert!(slow.cell_delay(CellKind::Nand2, 1) > fd.cell_delay(CellKind::Nand2, 1));
+//! assert_eq!(fd.kind(), LibraryKind::FullDiffusion);
+//! ```
+
+#![warn(missing_docs)]
+#![warn(missing_debug_implementations)]
+
+pub mod cell_spec;
+pub mod corner;
+pub mod error;
+pub mod library;
+pub mod power;
+pub mod voltage;
+
+pub use cell_spec::CellSpec;
+pub use corner::ProcessCorner;
+pub use error::LibraryError;
+pub use library::{Library, LibraryKind};
+pub use power::{ActivityProfile, PowerBreakdown};
+pub use voltage::VoltageModel;

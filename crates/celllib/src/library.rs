@@ -1,0 +1,386 @@
+//! The two 65 nm library models used throughout the reproduction.
+
+use std::collections::HashMap;
+use std::fmt;
+
+use netlist::{CellKind, Netlist};
+
+use crate::cell_spec::{logical_effort, transistor_count};
+use crate::{CellSpec, LibraryError, ProcessCorner, VoltageModel};
+
+/// Which of the paper's two silicon libraries a [`Library`] models.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum LibraryKind {
+    /// Commercial low-leakage 65 nm library, minimally sized, nominal 1.2 V.
+    UmcLl,
+    /// Custom subthreshold-oriented library with full-diffusion sizing and
+    /// non-minimum-length transistors.
+    FullDiffusion,
+}
+
+impl fmt::Display for LibraryKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            LibraryKind::UmcLl => f.write_str("UMC LL"),
+            LibraryKind::FullDiffusion => f.write_str("FULL DIFFUSION"),
+        }
+    }
+}
+
+/// Per-library technology parameters from which cell specs are derived.
+#[derive(Clone, Copy, Debug)]
+struct TechnologyParams {
+    /// Area per transistor in µm².
+    area_per_transistor_um2: f64,
+    /// Delay of a fan-out-of-1 inverter at nominal supply, in ps.
+    inverter_delay_ps: f64,
+    /// Extra delay per additional fan-out, as a fraction of the inverter delay.
+    fanout_sensitivity: f64,
+    /// Leakage per transistor at nominal supply, in nW.
+    leakage_per_transistor_nw: f64,
+    /// Switching energy per transistor per transition at nominal supply, in fJ.
+    energy_per_transistor_fj: f64,
+    /// Whether an AOI32 cell exists (needed for single-complex-gate
+    /// C-elements; the FULL DIFFUSION library lacks it, so C-elements are
+    /// built from four simple gates and are correspondingly larger).
+    has_aoi32: bool,
+}
+
+impl TechnologyParams {
+    fn umc_ll() -> Self {
+        Self {
+            area_per_transistor_um2: 0.52,
+            inverter_delay_ps: 22.0,
+            fanout_sensitivity: 0.35,
+            leakage_per_transistor_nw: 0.012,
+            energy_per_transistor_fj: 0.55,
+            has_aoi32: true,
+        }
+    }
+
+    fn full_diffusion() -> Self {
+        Self {
+            // Full-diffusion sizing with non-minimum-length devices roughly
+            // doubles the cell footprint (Table I: 3400 µm² vs 1800 µm²).
+            area_per_transistor_um2: 1.05,
+            inverter_delay_ps: 24.0,
+            fanout_sensitivity: 0.30,
+            // Longer channels reduce leakage per device at nominal supply.
+            leakage_per_transistor_nw: 0.006,
+            energy_per_transistor_fj: 1.0,
+            has_aoi32: false,
+        }
+    }
+}
+
+/// A characterised standard-cell library at a particular supply voltage
+/// and process corner.
+///
+/// The type is immutable; [`Library::with_supply_voltage`] and
+/// [`Library::with_corner`] return adjusted copies, which makes voltage
+/// sweeps (Figure 3) side-effect free.
+///
+/// # Example
+///
+/// ```
+/// use celllib::Library;
+/// use netlist::CellKind;
+///
+/// let lib = Library::full_diffusion();
+/// let nominal = lib.cell_delay(CellKind::Nand2, 2);
+/// let scaled = lib.with_supply_voltage(0.4).unwrap().cell_delay(CellKind::Nand2, 2);
+/// assert!(scaled > 10.0 * nominal);
+/// ```
+#[derive(Clone, Debug)]
+pub struct Library {
+    kind: LibraryKind,
+    voltage_model: VoltageModel,
+    supply_v: f64,
+    corner: ProcessCorner,
+    specs: HashMap<CellKind, CellSpec>,
+}
+
+impl Library {
+    /// The UMC LL low-leakage superthreshold library model.
+    #[must_use]
+    pub fn umc_ll() -> Self {
+        let params = TechnologyParams::umc_ll();
+        // Minimally-sized superthreshold devices: usable down to ~0.5 V
+        // before functionality is lost; characterised 0.5–1.32 V.
+        let voltage_model = VoltageModel::new(1.2, 0.50, 1.5, 0.5, 1.32);
+        Self::from_params(LibraryKind::UmcLl, params, voltage_model)
+    }
+
+    /// The FULL DIFFUSION subthreshold-capable library model.
+    #[must_use]
+    pub fn full_diffusion() -> Self {
+        let params = TechnologyParams::full_diffusion();
+        // Characterised from deep subthreshold 0.25 V up to 1.32 V.
+        let voltage_model = VoltageModel::new(1.2, 0.45, 1.4, 0.25, 1.32);
+        Self::from_params(LibraryKind::FullDiffusion, params, voltage_model)
+    }
+
+    fn from_params(kind: LibraryKind, params: TechnologyParams, vm: VoltageModel) -> Self {
+        let mut specs = HashMap::new();
+        for cell_kind in CellKind::ALL {
+            specs.insert(cell_kind, Self::derive_spec(cell_kind, &params));
+        }
+        Self {
+            kind,
+            voltage_model: vm,
+            supply_v: vm.nominal_voltage(),
+            corner: ProcessCorner::Typical,
+            specs,
+        }
+    }
+
+    fn derive_spec(kind: CellKind, params: &TechnologyParams) -> CellSpec {
+        // C-elements depend on the availability of a suitable complex gate:
+        // with AOI32 a C-element is one complex gate plus keeper, without it
+        // the four-simple-gate realisation is used (paper, Section IV-D).
+        let transistors = match kind {
+            CellKind::CElement2 if !params.has_aoi32 => 18,
+            CellKind::CElement3 if !params.has_aoi32 => 24,
+            _ => transistor_count(kind),
+        };
+        let effort = match kind {
+            CellKind::CElement2 if !params.has_aoi32 => 3.2,
+            CellKind::CElement3 if !params.has_aoi32 => 3.8,
+            _ => logical_effort(kind),
+        };
+        let intrinsic = params.inverter_delay_ps * effort;
+        CellSpec {
+            area_um2: f64::from(transistors) * params.area_per_transistor_um2,
+            intrinsic_delay_ps: intrinsic,
+            load_delay_ps: params.inverter_delay_ps * params.fanout_sensitivity,
+            leakage_nw: f64::from(transistors) * params.leakage_per_transistor_nw,
+            switch_energy_fj: f64::from(transistors) * params.energy_per_transistor_fj,
+            transistor_count: transistors,
+        }
+    }
+
+    // ------------------------------------------------------------------
+    // Configuration
+    // ------------------------------------------------------------------
+
+    /// Which library this models.
+    #[must_use]
+    pub fn kind(&self) -> LibraryKind {
+        self.kind
+    }
+
+    /// Current supply voltage in volts.
+    #[must_use]
+    pub fn supply_voltage(&self) -> f64 {
+        self.supply_v
+    }
+
+    /// Current process corner.
+    #[must_use]
+    pub fn corner(&self) -> ProcessCorner {
+        self.corner
+    }
+
+    /// The voltage model used for scaling.
+    #[must_use]
+    pub fn voltage_model(&self) -> &VoltageModel {
+        &self.voltage_model
+    }
+
+    /// Returns a copy of this library operating at a different supply
+    /// voltage.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`LibraryError::SupplyOutOfRange`] if the voltage lies
+    /// outside the characterised range of this library.
+    pub fn with_supply_voltage(&self, supply_v: f64) -> Result<Self, LibraryError> {
+        if !self.voltage_model.supports(supply_v) {
+            return Err(LibraryError::SupplyOutOfRange {
+                requested: supply_v,
+                min: self.voltage_model.min_voltage(),
+                max: self.voltage_model.max_voltage(),
+            });
+        }
+        let mut lib = self.clone();
+        lib.supply_v = supply_v;
+        Ok(lib)
+    }
+
+    /// Returns a copy of this library characterised at a different
+    /// process corner.
+    #[must_use]
+    pub fn with_corner(&self, corner: ProcessCorner) -> Self {
+        let mut lib = self.clone();
+        lib.corner = corner;
+        lib
+    }
+
+    // ------------------------------------------------------------------
+    // Per-cell queries
+    // ------------------------------------------------------------------
+
+    /// Nominal-voltage characterisation of a cell kind.
+    ///
+    /// # Panics
+    ///
+    /// Never panics: every [`CellKind`] is characterised.
+    #[must_use]
+    pub fn cell_spec(&self, kind: CellKind) -> &CellSpec {
+        self.specs
+            .get(&kind)
+            .expect("every cell kind is characterised")
+    }
+
+    /// Layout area of a cell kind in µm² (voltage independent).
+    #[must_use]
+    pub fn cell_area(&self, kind: CellKind) -> f64 {
+        self.cell_spec(kind).area_um2
+    }
+
+    /// Propagation delay of a cell kind in picoseconds at the current
+    /// supply voltage and corner, for the given fan-out.
+    #[must_use]
+    pub fn cell_delay(&self, kind: CellKind, fanout: usize) -> f64 {
+        let base = self.cell_spec(kind).delay_ps(fanout);
+        base * self.voltage_model.delay_scale(self.supply_v) * self.corner.delay_factor()
+    }
+
+    /// Leakage power of a cell kind in nanowatts at the current supply
+    /// voltage and corner.
+    #[must_use]
+    pub fn cell_leakage_nw(&self, kind: CellKind) -> f64 {
+        self.cell_spec(kind).leakage_nw
+            * self.voltage_model.leakage_scale(self.supply_v)
+            * self.corner.leakage_factor()
+    }
+
+    /// Energy per output transition of a cell kind in femtojoules at the
+    /// current supply voltage.
+    #[must_use]
+    pub fn cell_switch_energy_fj(&self, kind: CellKind) -> f64 {
+        self.cell_spec(kind).switch_energy_fj * self.voltage_model.energy_scale(self.supply_v)
+    }
+
+    // ------------------------------------------------------------------
+    // Whole-netlist aggregates
+    // ------------------------------------------------------------------
+
+    /// Total cell area of a netlist in µm².
+    #[must_use]
+    pub fn total_area_um2(&self, nl: &Netlist) -> f64 {
+        nl.cells().map(|(_, c)| self.cell_area(c.kind())).sum()
+    }
+
+    /// Area of sequential cells only (C-elements and flip-flops), the
+    /// "Sequential Area" column of Table I.
+    #[must_use]
+    pub fn sequential_area_um2(&self, nl: &Netlist) -> f64 {
+        nl.cells()
+            .filter(|(_, c)| c.kind().is_sequential())
+            .map(|(_, c)| self.cell_area(c.kind()))
+            .sum()
+    }
+
+    /// Total leakage power of a netlist in nanowatts at the current
+    /// supply voltage.
+    #[must_use]
+    pub fn total_leakage_nw(&self, nl: &Netlist) -> f64 {
+        nl.cells().map(|(_, c)| self.cell_leakage_nw(c.kind())).sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use netlist::Netlist;
+
+    fn small_netlist() -> Netlist {
+        let mut nl = Netlist::new("t");
+        let a = nl.add_input("a");
+        let b = nl.add_input("b");
+        let clk = nl.add_input("clk");
+        let x = nl.add_cell("and", CellKind::And2, &[a, b]).unwrap();
+        let q = nl.add_cell("ff", CellKind::Dff, &[x, clk]).unwrap();
+        nl.add_output("q", q);
+        nl
+    }
+
+    #[test]
+    fn full_diffusion_cells_are_larger() {
+        let umc = Library::umc_ll();
+        let fd = Library::full_diffusion();
+        for kind in CellKind::ALL {
+            assert!(
+                fd.cell_area(kind) > umc.cell_area(kind),
+                "{kind:?} should be larger in FULL DIFFUSION"
+            );
+        }
+    }
+
+    #[test]
+    fn c_element_is_costlier_without_aoi32() {
+        let umc = Library::umc_ll();
+        let fd = Library::full_diffusion();
+        // Relative to its own inverter, the FULL DIFFUSION C-element is
+        // bigger because it needs four simple gates instead of one complex
+        // gate (the paper notes the lack of AOI32 cells).
+        let umc_ratio = umc.cell_area(CellKind::CElement2) / umc.cell_area(CellKind::Inv);
+        let fd_ratio = fd.cell_area(CellKind::CElement2) / fd.cell_area(CellKind::Inv);
+        assert!(fd_ratio > umc_ratio);
+    }
+
+    #[test]
+    fn supply_voltage_scaling_changes_delay_not_area() {
+        let fd = Library::full_diffusion();
+        let low = fd.with_supply_voltage(0.3).unwrap();
+        assert!(low.cell_delay(CellKind::Nand2, 1) > 50.0 * fd.cell_delay(CellKind::Nand2, 1));
+        assert_eq!(low.cell_area(CellKind::Nand2), fd.cell_area(CellKind::Nand2));
+    }
+
+    #[test]
+    fn out_of_range_supply_is_rejected() {
+        let umc = Library::umc_ll();
+        assert!(matches!(
+            umc.with_supply_voltage(0.25),
+            Err(LibraryError::SupplyOutOfRange { .. })
+        ));
+        let fd = Library::full_diffusion();
+        assert!(fd.with_supply_voltage(0.25).is_ok());
+        assert!(fd.with_supply_voltage(2.0).is_err());
+    }
+
+    #[test]
+    fn corner_scaling() {
+        let lib = Library::umc_ll();
+        let slow = lib.with_corner(ProcessCorner::Slow);
+        let fast = lib.with_corner(ProcessCorner::Fast);
+        assert!(slow.cell_delay(CellKind::Inv, 1) > lib.cell_delay(CellKind::Inv, 1));
+        assert!(fast.cell_delay(CellKind::Inv, 1) < lib.cell_delay(CellKind::Inv, 1));
+        assert!(fast.cell_leakage_nw(CellKind::Inv) > lib.cell_leakage_nw(CellKind::Inv));
+    }
+
+    #[test]
+    fn netlist_aggregates() {
+        let lib = Library::umc_ll();
+        let nl = small_netlist();
+        let total = lib.total_area_um2(&nl);
+        let seq = lib.sequential_area_um2(&nl);
+        assert!(total > seq);
+        assert!(seq > 0.0);
+        assert!((seq - lib.cell_area(CellKind::Dff)).abs() < 1e-9);
+        assert!(lib.total_leakage_nw(&nl) > 0.0);
+    }
+
+    #[test]
+    fn delay_grows_with_fanout() {
+        let lib = Library::umc_ll();
+        assert!(lib.cell_delay(CellKind::Nand2, 4) > lib.cell_delay(CellKind::Nand2, 1));
+    }
+
+    #[test]
+    fn display_names() {
+        assert_eq!(LibraryKind::UmcLl.to_string(), "UMC LL");
+        assert_eq!(LibraryKind::FullDiffusion.to_string(), "FULL DIFFUSION");
+    }
+}

@@ -1,0 +1,190 @@
+//! Power accounting: combining leakage with activity-based dynamic power.
+//!
+//! The event-driven simulator (crate `gatesim`) records how many times
+//! each cell output toggled; this module turns those transition counts
+//! into the average-power figures reported in Table I.
+
+use std::collections::HashMap;
+
+use netlist::{CellId, Netlist};
+
+use crate::Library;
+
+/// Switching-activity profile of one simulation run: per-cell output
+/// transition counts over a known simulated duration.
+#[derive(Clone, Debug, Default, PartialEq)]
+pub struct ActivityProfile {
+    transitions: HashMap<CellId, u64>,
+    duration_ps: f64,
+}
+
+impl ActivityProfile {
+    /// Creates an empty profile covering `duration_ps` picoseconds of
+    /// simulated time.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the duration is not positive.
+    #[must_use]
+    pub fn new(duration_ps: f64) -> Self {
+        assert!(duration_ps > 0.0, "duration must be positive");
+        Self {
+            transitions: HashMap::new(),
+            duration_ps,
+        }
+    }
+
+    /// Records `count` output transitions of `cell`.
+    pub fn record(&mut self, cell: CellId, count: u64) {
+        *self.transitions.entry(cell).or_insert(0) += count;
+    }
+
+    /// Total recorded transitions across all cells.
+    #[must_use]
+    pub fn total_transitions(&self) -> u64 {
+        self.transitions.values().sum()
+    }
+
+    /// Transitions recorded for one cell.
+    #[must_use]
+    pub fn transitions_of(&self, cell: CellId) -> u64 {
+        self.transitions.get(&cell).copied().unwrap_or(0)
+    }
+
+    /// Simulated duration in picoseconds.
+    #[must_use]
+    pub fn duration_ps(&self) -> f64 {
+        self.duration_ps
+    }
+
+    /// Extends the covered duration (used when batching several operands
+    /// into one profile).
+    pub fn extend_duration(&mut self, extra_ps: f64) {
+        assert!(extra_ps >= 0.0, "duration extension must be non-negative");
+        self.duration_ps += extra_ps;
+    }
+}
+
+/// Average-power breakdown of one design under one workload.
+#[derive(Clone, Copy, Debug, Default, PartialEq)]
+pub struct PowerBreakdown {
+    /// Static leakage power in microwatts.
+    pub leakage_uw: f64,
+    /// Dynamic switching power in microwatts.
+    pub dynamic_uw: f64,
+}
+
+impl PowerBreakdown {
+    /// Total average power in microwatts.
+    #[must_use]
+    pub fn total_uw(&self) -> f64 {
+        self.leakage_uw + self.dynamic_uw
+    }
+
+    /// Computes the breakdown for a netlist, a library (at its current
+    /// supply voltage) and a recorded activity profile.
+    ///
+    /// Dynamic power = Σ(transitions × energy-per-transition) / duration;
+    /// leakage power = Σ per-cell leakage.
+    ///
+    /// # Example
+    ///
+    /// ```
+    /// use celllib::{ActivityProfile, Library, PowerBreakdown};
+    /// use netlist::{CellKind, Netlist};
+    ///
+    /// let mut nl = Netlist::new("t");
+    /// let a = nl.add_input("a");
+    /// let y = nl.add_cell("inv", CellKind::Inv, &[a]).unwrap();
+    /// nl.add_output("y", y);
+    ///
+    /// let lib = Library::umc_ll();
+    /// let mut activity = ActivityProfile::new(1000.0);
+    /// activity.record(nl.driver_cell(y).unwrap(), 10);
+    /// let power = PowerBreakdown::compute(&nl, &lib, &activity);
+    /// assert!(power.dynamic_uw > 0.0);
+    /// assert!(power.leakage_uw > 0.0);
+    /// ```
+    #[must_use]
+    pub fn compute(nl: &Netlist, library: &Library, activity: &ActivityProfile) -> Self {
+        let leakage_nw = library.total_leakage_nw(nl);
+        let mut dynamic_energy_fj = 0.0;
+        for (id, cell) in nl.cells() {
+            let transitions = activity.transitions_of(id) as f64;
+            dynamic_energy_fj += transitions * library.cell_switch_energy_fj(cell.kind());
+        }
+        // fJ / ps = mW; convert to µW (×1000).
+        let dynamic_uw = dynamic_energy_fj / activity.duration_ps() * 1000.0;
+        Self {
+            leakage_uw: leakage_nw / 1000.0,
+            dynamic_uw,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use netlist::CellKind;
+
+    fn inv_chain(n: usize) -> Netlist {
+        let mut nl = Netlist::new("chain");
+        let mut net = nl.add_input("a");
+        for i in 0..n {
+            net = nl
+                .add_cell(format!("inv{i}"), CellKind::Inv, &[net])
+                .unwrap();
+        }
+        nl.add_output("y", net);
+        nl
+    }
+
+    #[test]
+    fn more_activity_means_more_dynamic_power() {
+        let nl = inv_chain(4);
+        let lib = Library::umc_ll();
+        let mut low = ActivityProfile::new(10_000.0);
+        let mut high = ActivityProfile::new(10_000.0);
+        for (id, _) in nl.cells() {
+            low.record(id, 2);
+            high.record(id, 200);
+        }
+        let p_low = PowerBreakdown::compute(&nl, &lib, &low);
+        let p_high = PowerBreakdown::compute(&nl, &lib, &high);
+        assert!(p_high.dynamic_uw > p_low.dynamic_uw * 50.0);
+        assert!((p_high.leakage_uw - p_low.leakage_uw).abs() < 1e-12);
+        assert!(p_high.total_uw() > p_high.dynamic_uw);
+    }
+
+    #[test]
+    fn lower_voltage_reduces_dynamic_power_per_transition() {
+        let nl = inv_chain(4);
+        let lib = Library::full_diffusion();
+        let low_v = lib.with_supply_voltage(0.6).unwrap();
+        let mut activity = ActivityProfile::new(10_000.0);
+        for (id, _) in nl.cells() {
+            activity.record(id, 100);
+        }
+        let nominal = PowerBreakdown::compute(&nl, &lib, &activity);
+        let scaled = PowerBreakdown::compute(&nl, &low_v, &activity);
+        assert!(scaled.dynamic_uw < nominal.dynamic_uw);
+    }
+
+    #[test]
+    fn profile_accumulates_and_extends() {
+        let mut profile = ActivityProfile::new(100.0);
+        let cell = CellId::from_index(0);
+        profile.record(cell, 3);
+        profile.record(cell, 4);
+        assert_eq!(profile.transitions_of(cell), 7);
+        assert_eq!(profile.total_transitions(), 7);
+        profile.extend_duration(50.0);
+        assert_eq!(profile.duration_ps(), 150.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "duration must be positive")]
+    fn zero_duration_is_rejected() {
+        let _ = ActivityProfile::new(0.0);
+    }
+}

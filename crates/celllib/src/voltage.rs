@@ -1,0 +1,240 @@
+//! Analytic supply-voltage scaling model.
+//!
+//! The paper's Figure 3 shows the dual-rail datapath latency growing
+//! roughly exponentially as the supply drops from 0.6 V towards 0.25 V,
+//! while remaining nearly flat from 1.2 V down to about 0.8 V.  That
+//! shape is characteristic of CMOS drive current crossing from the
+//! superthreshold (alpha-power) regime into the subthreshold
+//! (exponential) regime.
+//!
+//! We model the on-current with an EKV-style smooth interpolation
+//!
+//! ```text
+//! I_on(V) ∝ (n·φt)² · ln²(1 + exp((V − Vt) / (2·n·φt)))
+//! ```
+//!
+//! and gate delay as `C·V / I_on(V)`, which reproduces both regimes with
+//! a single expression.  Leakage current scales with the drain-induced
+//! barrier-lowering term `exp(V·λ_dibl/φt)` and dynamic switching energy
+//! with `C·V²`.
+
+/// Thermal voltage at room temperature, in volts.
+pub const THERMAL_VOLTAGE: f64 = 0.0259;
+
+/// Smooth drive-current / delay / power scaling model for one library.
+///
+/// All `*_scale` methods return factors relative to the library's nominal
+/// supply voltage, so a scale of 1.0 always corresponds to nominal
+/// conditions.
+///
+/// # Example
+///
+/// ```
+/// use celllib::VoltageModel;
+/// let m = VoltageModel::new(1.2, 0.45, 1.4, 0.25, 1.32);
+/// assert!((m.delay_scale(1.2) - 1.0).abs() < 1e-9);
+/// // Deep subthreshold is orders of magnitude slower.
+/// assert!(m.delay_scale(0.25) > 1e3);
+/// ```
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct VoltageModel {
+    nominal_v: f64,
+    threshold_v: f64,
+    subthreshold_slope_factor: f64,
+    min_v: f64,
+    max_v: f64,
+}
+
+impl VoltageModel {
+    /// Creates a voltage model.
+    ///
+    /// * `nominal_v` — nominal supply voltage (scales are 1.0 here);
+    /// * `threshold_v` — effective transistor threshold voltage;
+    /// * `subthreshold_slope_factor` — the ideality factor *n* (≥ 1);
+    /// * `min_v`/`max_v` — characterised supply range.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the parameters are non-positive or `min_v > max_v`.
+    #[must_use]
+    pub fn new(
+        nominal_v: f64,
+        threshold_v: f64,
+        subthreshold_slope_factor: f64,
+        min_v: f64,
+        max_v: f64,
+    ) -> Self {
+        assert!(nominal_v > 0.0, "nominal voltage must be positive");
+        assert!(threshold_v > 0.0, "threshold voltage must be positive");
+        assert!(
+            subthreshold_slope_factor >= 1.0,
+            "slope factor must be at least 1"
+        );
+        assert!(min_v > 0.0 && min_v <= max_v, "invalid supply range");
+        Self {
+            nominal_v,
+            threshold_v,
+            subthreshold_slope_factor,
+            min_v,
+            max_v,
+        }
+    }
+
+    /// Nominal supply voltage in volts.
+    #[must_use]
+    pub fn nominal_voltage(&self) -> f64 {
+        self.nominal_v
+    }
+
+    /// Effective threshold voltage in volts.
+    #[must_use]
+    pub fn threshold_voltage(&self) -> f64 {
+        self.threshold_v
+    }
+
+    /// Lowest characterised supply voltage in volts.
+    #[must_use]
+    pub fn min_voltage(&self) -> f64 {
+        self.min_v
+    }
+
+    /// Highest characterised supply voltage in volts.
+    #[must_use]
+    pub fn max_voltage(&self) -> f64 {
+        self.max_v
+    }
+
+    /// Whether `supply_v` lies inside the characterised range.
+    #[must_use]
+    pub fn supports(&self, supply_v: f64) -> bool {
+        supply_v >= self.min_v - 1e-12 && supply_v <= self.max_v + 1e-12
+    }
+
+    /// Normalised on-current at the given supply (1.0 at nominal).
+    #[must_use]
+    pub fn drive_scale(&self, supply_v: f64) -> f64 {
+        self.ion(supply_v) / self.ion(self.nominal_v)
+    }
+
+    /// Gate-delay multiplier at the given supply (1.0 at nominal).
+    ///
+    /// Delay follows `C·V / I_on(V)`: nearly flat above threshold and
+    /// exponentially increasing below it.
+    #[must_use]
+    pub fn delay_scale(&self, supply_v: f64) -> f64 {
+        let nominal = self.nominal_v / self.ion(self.nominal_v);
+        (supply_v / self.ion(supply_v)) / nominal
+    }
+
+    /// Leakage-power multiplier at the given supply (1.0 at nominal).
+    ///
+    /// Combines the linear dependence of static power on V with a mild
+    /// drain-induced barrier-lowering term.
+    #[must_use]
+    pub fn leakage_scale(&self, supply_v: f64) -> f64 {
+        const DIBL: f64 = 0.08; // V of Vt shift per V of Vds
+        let leak = |v: f64| v * ((DIBL * v) / (self.subthreshold_slope_factor * THERMAL_VOLTAGE)).exp();
+        leak(supply_v) / leak(self.nominal_v)
+    }
+
+    /// Switching-energy multiplier at the given supply (1.0 at nominal):
+    /// `E ∝ C·V²`.
+    #[must_use]
+    pub fn energy_scale(&self, supply_v: f64) -> f64 {
+        (supply_v / self.nominal_v).powi(2)
+    }
+
+    fn ion(&self, supply_v: f64) -> f64 {
+        let nphi = self.subthreshold_slope_factor * THERMAL_VOLTAGE;
+        let x = (supply_v - self.threshold_v) / (2.0 * nphi);
+        // ln(1+e^x) computed stably for large x.
+        let softplus = if x > 30.0 { x } else { x.exp().ln_1p() };
+        (nphi * softplus).powi(2).max(f64::MIN_POSITIVE)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn fd_model() -> VoltageModel {
+        VoltageModel::new(1.2, 0.45, 1.4, 0.25, 1.32)
+    }
+
+    #[test]
+    fn scales_are_unity_at_nominal() {
+        let m = fd_model();
+        assert!((m.delay_scale(1.2) - 1.0).abs() < 1e-12);
+        assert!((m.drive_scale(1.2) - 1.0).abs() < 1e-12);
+        assert!((m.leakage_scale(1.2) - 1.0).abs() < 1e-12);
+        assert!((m.energy_scale(1.2) - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn delay_increases_monotonically_as_supply_drops() {
+        let m = fd_model();
+        let mut previous = m.delay_scale(1.2);
+        let mut v = 1.15;
+        while v > 0.24 {
+            let scale = m.delay_scale(v);
+            assert!(
+                scale > previous,
+                "delay scale must grow as supply drops (v = {v})"
+            );
+            previous = scale;
+            v -= 0.05;
+        }
+    }
+
+    #[test]
+    fn subthreshold_region_is_orders_of_magnitude_slower() {
+        let m = fd_model();
+        // Figure 3 shape: ~3–4 orders of magnitude between 1.2 V and 0.25 V.
+        let ratio = m.delay_scale(0.25);
+        assert!(ratio > 500.0, "expected large subthreshold slowdown, got {ratio}");
+        assert!(ratio < 1e6, "slowdown unreasonably large: {ratio}");
+        // Above threshold the curve is comparatively flat.
+        assert!(m.delay_scale(0.8) < 4.0);
+        assert!(m.delay_scale(1.0) < 2.0);
+    }
+
+    #[test]
+    fn exponential_regime_below_threshold() {
+        let m = fd_model();
+        // Equal voltage steps below threshold multiply delay by a roughly
+        // constant factor (log-linear behaviour).
+        let r1 = m.delay_scale(0.35) / m.delay_scale(0.40);
+        let r2 = m.delay_scale(0.30) / m.delay_scale(0.35);
+        assert!(r1 > 1.5 && r2 > 1.5);
+        assert!((r1 / r2 - 1.0).abs() < 0.6, "ratios {r1} and {r2} should be similar");
+    }
+
+    #[test]
+    fn energy_scales_quadratically() {
+        let m = fd_model();
+        assert!((m.energy_scale(0.6) - 0.25).abs() < 1e-12);
+        assert!((m.energy_scale(0.3) - 0.0625).abs() < 1e-12);
+    }
+
+    #[test]
+    fn leakage_drops_with_supply() {
+        let m = fd_model();
+        assert!(m.leakage_scale(0.6) < 1.0);
+        assert!(m.leakage_scale(0.25) < m.leakage_scale(0.6));
+    }
+
+    #[test]
+    fn supports_respects_range() {
+        let m = fd_model();
+        assert!(m.supports(0.25));
+        assert!(m.supports(1.32));
+        assert!(!m.supports(0.2));
+        assert!(!m.supports(1.5));
+    }
+
+    #[test]
+    #[should_panic(expected = "slope factor")]
+    fn invalid_slope_factor_panics() {
+        let _ = VoltageModel::new(1.2, 0.45, 0.5, 0.25, 1.32);
+    }
+}

@@ -1,0 +1,247 @@
+//! Completion-detection insertion.
+//!
+//! Two schemes are provided:
+//!
+//! * [`ReducedCompletion`] — the paper's scheme: one OR gate per observed
+//!   *primary output* pair (or 1-of-n group) feeding a C-element tree.
+//!   The resulting `done` indicates spacer→valid completion only; the
+//!   valid→spacer phase on internal nets is covered by the grace period
+//!   computed in [`sta::GracePeriod`] (a timing assumption that can be
+//!   folded into the falling edge of `done`).
+//! * [`FullCompletion`] — the conventional scheme used as the ablation
+//!   baseline: in addition to the primary outputs it observes every
+//!   *internal* dual-rail signal handed to it, so no timing assumption is
+//!   needed — at the cost of more gates, more C-elements and the loss of
+//!   early propagation (the `done` cannot fire before the slowest
+//!   internal net).
+
+use netlist::{CellKind, NetId};
+
+use crate::{DualRailError, DualRailNetlist, DualRailSignal, SpacerPolarity};
+
+/// Summary of a completion-detection insertion.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct CompletionReport {
+    /// The `done` net produced by the detector.
+    pub done: NetId,
+    /// Total gates added (validity detectors plus C-elements).
+    pub gates_added: usize,
+    /// How many of the added gates are C-elements.
+    pub c_elements_added: usize,
+    /// Number of observed signal groups (dual-rail pairs and 1-of-n
+    /// groups).
+    pub observed_groups: usize,
+}
+
+/// Builds a per-group validity signal: high once the group has left the
+/// spacer state.
+fn validity_of_pair(
+    dr: &mut DualRailNetlist,
+    index: usize,
+    signal: DualRailSignal,
+) -> Result<NetId, DualRailError> {
+    let name = format!("cd_valid{index}_c{}", dr.netlist().cell_count());
+    let kind = match signal.polarity {
+        // All-zero spacer: a rail rising to 1 signals validity.
+        SpacerPolarity::AllZero => CellKind::Or2,
+        // All-one spacer: a rail falling to 0 signals validity.
+        SpacerPolarity::AllOne => CellKind::Nand2,
+    };
+    Ok(dr
+        .netlist_mut()
+        .add_cell(name, kind, &[signal.positive, signal.negative])?)
+}
+
+fn validity_of_group(
+    dr: &mut DualRailNetlist,
+    index: usize,
+    wires: &[NetId],
+) -> Result<NetId, DualRailError> {
+    let prefix = format!("cd_valid1ofn{index}_c{}", dr.netlist().cell_count());
+    Ok(dr.netlist_mut().add_or_tree(&prefix, wires)?)
+}
+
+fn build_detector(
+    dr: &mut DualRailNetlist,
+    pairs: &[DualRailSignal],
+    register_done: bool,
+) -> Result<CompletionReport, DualRailError> {
+    let one_of_n: Vec<(String, Vec<NetId>)> = dr.one_of_n_outputs().to_vec();
+    if pairs.is_empty() && one_of_n.is_empty() {
+        return Err(DualRailError::NoOutputs);
+    }
+
+    let cells_before = dr.netlist().cell_count();
+    let mut validity = Vec::new();
+    for (i, &pair) in pairs.iter().enumerate() {
+        validity.push(validity_of_pair(dr, i, pair)?);
+    }
+    for (i, (_, wires)) in one_of_n.iter().enumerate() {
+        validity.push(validity_of_group(dr, i, wires)?);
+    }
+
+    let done = dr
+        .netlist_mut()
+        .add_c_element_tree(&format!("cd_done_c{cells_before}"), &validity)?;
+
+    let gates_added = dr.netlist().cell_count() - cells_before;
+    let c_elements_added = dr
+        .netlist()
+        .cells()
+        .skip(cells_before)
+        .filter(|(_, c)| c.kind().is_sequential())
+        .count();
+    if register_done {
+        dr.set_done(done);
+    }
+    Ok(CompletionReport {
+        done,
+        gates_added,
+        c_elements_added,
+        observed_groups: pairs.len() + one_of_n.len(),
+    })
+}
+
+/// The paper's reduced completion-detection scheme.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct ReducedCompletion;
+
+impl ReducedCompletion {
+    /// Inserts reduced completion detection observing only the dual-rail
+    /// and 1-of-n primary outputs, registers the resulting `done` output
+    /// and returns a report.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`DualRailError::NoOutputs`] if the netlist has no outputs
+    /// to observe, or propagates netlist construction errors.
+    pub fn insert(dr: &mut DualRailNetlist) -> Result<CompletionReport, DualRailError> {
+        let pairs: Vec<DualRailSignal> = dr.dual_outputs().iter().map(|(_, s)| *s).collect();
+        build_detector(dr, &pairs, true)
+    }
+}
+
+/// The conventional full completion-detection scheme (ablation baseline).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct FullCompletion;
+
+impl FullCompletion {
+    /// Inserts completion detection observing the primary outputs *and*
+    /// the supplied internal signals, registers `done` and returns a
+    /// report.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`DualRailError::NoOutputs`] if nothing can be observed,
+    /// or propagates netlist construction errors.
+    pub fn insert(
+        dr: &mut DualRailNetlist,
+        internal_signals: &[DualRailSignal],
+    ) -> Result<CompletionReport, DualRailError> {
+        let mut pairs: Vec<DualRailSignal> = dr.dual_outputs().iter().map(|(_, s)| *s).collect();
+        pairs.extend_from_slice(internal_signals);
+        build_detector(dr, &pairs, true)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::DualRailValue;
+    use netlist::Evaluator;
+    use std::collections::HashMap;
+
+    fn two_output_circuit() -> (DualRailNetlist, Vec<DualRailSignal>) {
+        let mut dr = DualRailNetlist::new("t");
+        let a = dr.add_dual_input("a");
+        let b = dr.add_dual_input("b");
+        let y0 = dr.and2("y0", a, b).unwrap();
+        let y1 = dr.or2("y1", a, b).unwrap();
+        dr.add_dual_output("y0", y0);
+        dr.add_dual_output("y1", y1);
+        (dr, vec![y0, y1])
+    }
+
+    fn eval_done(dr: &DualRailNetlist, bits: Option<(bool, bool)>) -> bool {
+        let eval = Evaluator::new(dr.netlist()).unwrap();
+        let mut map = HashMap::new();
+        for (i, (_, signal)) in dr.dual_inputs().iter().enumerate() {
+            let bit = bits.map(|(a, b)| if i == 0 { a } else { b });
+            let (p, n) = match bit {
+                Some(v) => DualRailValue::encode_valid(v, signal.polarity),
+                None => DualRailValue::encode_spacer(signal.polarity),
+            };
+            map.insert(signal.positive, p);
+            map.insert(signal.negative, n);
+        }
+        let values = eval.eval(&map);
+        values[dr.done().expect("done inserted").index()]
+    }
+
+    #[test]
+    fn reduced_completion_fires_on_valid_and_clears_on_spacer() {
+        let (mut dr, _) = two_output_circuit();
+        let report = ReducedCompletion::insert(&mut dr).unwrap();
+        assert_eq!(report.observed_groups, 2);
+        assert!(report.gates_added >= 3);
+        assert!(report.c_elements_added >= 1);
+        assert_eq!(dr.done(), Some(report.done));
+
+        for bits in [(false, false), (true, false), (true, true)] {
+            assert!(eval_done(&dr, Some(bits)), "done must rise for valid {bits:?}");
+        }
+        assert!(!eval_done(&dr, None), "done must be low at spacer");
+    }
+
+    #[test]
+    fn full_completion_observes_more_groups_and_costs_more() {
+        let (mut dr_reduced, _) = two_output_circuit();
+        let reduced = ReducedCompletion::insert(&mut dr_reduced).unwrap();
+
+        let (mut dr_full, internals) = two_output_circuit();
+        // Pretend the two outputs have two extra internal signals to observe
+        // (in a real datapath these would be clause and popcount nets).
+        let extra = vec![internals[0], internals[1]];
+        let full = FullCompletion::insert(&mut dr_full, &extra).unwrap();
+
+        assert!(full.observed_groups > reduced.observed_groups);
+        assert!(full.gates_added > reduced.gates_added);
+    }
+
+    #[test]
+    fn completion_without_outputs_is_rejected() {
+        let mut dr = DualRailNetlist::new("empty");
+        let _ = dr.add_dual_input("a");
+        assert!(matches!(
+            ReducedCompletion::insert(&mut dr),
+            Err(DualRailError::NoOutputs)
+        ));
+    }
+
+    #[test]
+    fn one_of_n_groups_are_observed() {
+        let mut dr = DualRailNetlist::new("t");
+        let a = dr.add_dual_input("a");
+        let b = dr.add_dual_input("b");
+        let y = dr.and2("y", a, b).unwrap();
+        dr.add_dual_output("y", y);
+        // A fake 1-of-2 group driven by the two rails of an OR result.
+        let g = dr.or2("g", a, b).unwrap();
+        dr.add_one_of_n_output("grp", vec![g.positive, g.negative]);
+        let report = ReducedCompletion::insert(&mut dr).unwrap();
+        assert_eq!(report.observed_groups, 2);
+    }
+
+    #[test]
+    fn inverted_polarity_outputs_use_nand_detectors() {
+        let mut dr = DualRailNetlist::new("t");
+        let a = dr.add_dual_input("a");
+        let b = dr.add_dual_input("b");
+        let y = dr.and2_inverting("y", a, b).unwrap();
+        assert_eq!(y.polarity, SpacerPolarity::AllOne);
+        dr.add_dual_output("y", y);
+        let _report = ReducedCompletion::insert(&mut dr).unwrap();
+        assert!(eval_done(&dr, Some((true, true))));
+        assert!(!eval_done(&dr, None));
+    }
+}

@@ -1,0 +1,303 @@
+//! Dual-rail and 1-of-n codeword encodings.
+//!
+//! A single logical bit `x` is carried on two wires `{x_p, x_n}`.  With
+//! the (default) *all-zero spacer* convention:
+//!
+//! | state        | x_p | x_n |
+//! |--------------|-----|-----|
+//! | spacer       |  0  |  0  |
+//! | valid, x = 1 |  1  |  0  |
+//! | valid, x = 0 |  0  |  1  |
+//! | forbidden    |  1  |  1  |
+//!
+//! Passing through an inverting gate pair flips the spacer polarity: the
+//! rails keep their meaning but the empty state becomes all-one and the
+//! forbidden state all-zero.  [`SpacerPolarity`] tracks which convention
+//! a signal currently uses; a *spacer inverter* (two inverters with a
+//! rail swap) converts between them without changing the logical value.
+//!
+//! The magnitude comparator uses a **1-of-3** code on its output (less /
+//! equal / greater): exactly one wire high is a valid codeword, all-low
+//! is the spacer, anything else is forbidden.  1-of-n codes switch
+//! monotonically provided a spacer separates the valids, so they satisfy
+//! the same Requirement 2 as dual-rail (the paper, Section IV-C).
+
+use gatesim::Logic;
+use std::fmt;
+
+/// Which physical state represents the empty (spacer) codeword of a
+/// dual-rail signal.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq, Hash)]
+pub enum SpacerPolarity {
+    /// The spacer is `{0, 0}` (the usual convention at primary inputs).
+    #[default]
+    AllZero,
+    /// The spacer is `{1, 1}` (after an odd number of inverting stages).
+    AllOne,
+}
+
+impl SpacerPolarity {
+    /// The polarity after passing through one inverting stage.
+    #[must_use]
+    pub fn inverted(self) -> Self {
+        match self {
+            SpacerPolarity::AllZero => SpacerPolarity::AllOne,
+            SpacerPolarity::AllOne => SpacerPolarity::AllZero,
+        }
+    }
+
+    /// The rail level (as a boolean) that both rails take in the spacer
+    /// state.
+    #[must_use]
+    pub fn spacer_level(self) -> bool {
+        matches!(self, SpacerPolarity::AllOne)
+    }
+}
+
+impl fmt::Display for SpacerPolarity {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SpacerPolarity::AllZero => f.write_str("all-zero"),
+            SpacerPolarity::AllOne => f.write_str("all-one"),
+        }
+    }
+}
+
+/// The decoded state of one dual-rail signal.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum DualRailValue {
+    /// Both rails at the spacer level: no data.
+    Spacer,
+    /// A valid codeword carrying the contained bit.
+    Valid(bool),
+    /// The forbidden state (both rails active) — a design error.
+    Forbidden,
+    /// At least one rail is X (uninitialised or mid-transition).
+    Unknown,
+}
+
+impl DualRailValue {
+    /// Decodes a rail pair under the given spacer polarity.
+    ///
+    /// # Example
+    ///
+    /// ```
+    /// use dualrail::{DualRailValue, SpacerPolarity};
+    /// use gatesim::Logic;
+    /// let v = DualRailValue::decode(Logic::One, Logic::Zero, SpacerPolarity::AllZero);
+    /// assert_eq!(v, DualRailValue::Valid(true));
+    /// let s = DualRailValue::decode(Logic::One, Logic::One, SpacerPolarity::AllOne);
+    /// assert_eq!(s, DualRailValue::Spacer);
+    /// ```
+    #[must_use]
+    pub fn decode(positive: Logic, negative: Logic, polarity: SpacerPolarity) -> Self {
+        let (Some(p), Some(n)) = (positive.to_option(), negative.to_option()) else {
+            return DualRailValue::Unknown;
+        };
+        let spacer = polarity.spacer_level();
+        match (p, n) {
+            (p, n) if p == spacer && n == spacer => DualRailValue::Spacer,
+            (p, n) if p == !spacer && n == !spacer => DualRailValue::Forbidden,
+            // The two remaining states are the valid codewords; they use
+            // the same rail levels under either spacer polarity.
+            (true, false) => DualRailValue::Valid(true),
+            _ => DualRailValue::Valid(false),
+        }
+    }
+
+    /// Encodes a bit into rail levels `(positive, negative)`.
+    ///
+    /// The valid codewords use the same rail levels under either spacer
+    /// polarity (`{1,0}` for 1, `{0,1}` for 0); only the spacer state
+    /// differs, so `polarity` is accepted for symmetry with
+    /// [`DualRailValue::encode_spacer`] but does not change the result.
+    #[must_use]
+    pub fn encode_valid(bit: bool, _polarity: SpacerPolarity) -> (bool, bool) {
+        (bit, !bit)
+    }
+
+    /// Rail levels of the spacer codeword under the given polarity.
+    #[must_use]
+    pub fn encode_spacer(polarity: SpacerPolarity) -> (bool, bool) {
+        let spacer = polarity.spacer_level();
+        (spacer, spacer)
+    }
+
+    /// Whether this is a valid codeword.
+    #[must_use]
+    pub fn is_valid(self) -> bool {
+        matches!(self, DualRailValue::Valid(_))
+    }
+
+    /// The carried bit, if this is a valid codeword.
+    #[must_use]
+    pub fn bit(self) -> Option<bool> {
+        match self {
+            DualRailValue::Valid(b) => Some(b),
+            _ => None,
+        }
+    }
+}
+
+/// The decoded state of a 1-of-n signal group (all-zero spacer).
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum OneOfNValue {
+    /// All wires low: no data.
+    Spacer,
+    /// Exactly one wire high: a valid codeword selecting the contained
+    /// index.
+    Valid(usize),
+    /// More than one wire high — a design error.
+    Forbidden,
+    /// At least one wire is X.
+    Unknown,
+}
+
+impl OneOfNValue {
+    /// Decodes a group of wires as a 1-of-n code.
+    ///
+    /// # Example
+    ///
+    /// ```
+    /// use dualrail::OneOfNValue;
+    /// use gatesim::Logic;
+    /// let v = OneOfNValue::decode(&[Logic::Zero, Logic::One, Logic::Zero]);
+    /// assert_eq!(v, OneOfNValue::Valid(1));
+    /// assert_eq!(OneOfNValue::decode(&[Logic::Zero, Logic::Zero]), OneOfNValue::Spacer);
+    /// ```
+    #[must_use]
+    pub fn decode(wires: &[Logic]) -> Self {
+        if wires.iter().any(|w| !w.is_known()) {
+            return OneOfNValue::Unknown;
+        }
+        let high: Vec<usize> = wires
+            .iter()
+            .enumerate()
+            .filter(|(_, w)| w.is_one())
+            .map(|(i, _)| i)
+            .collect();
+        match high.len() {
+            0 => OneOfNValue::Spacer,
+            1 => OneOfNValue::Valid(high[0]),
+            _ => OneOfNValue::Forbidden,
+        }
+    }
+
+    /// Whether this is a valid codeword.
+    #[must_use]
+    pub fn is_valid(self) -> bool {
+        matches!(self, OneOfNValue::Valid(_))
+    }
+
+    /// The selected index, if valid.
+    #[must_use]
+    pub fn index(self) -> Option<usize> {
+        match self {
+            OneOfNValue::Valid(i) => Some(i),
+            _ => None,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn polarity_inversion_round_trips() {
+        assert_eq!(SpacerPolarity::AllZero.inverted(), SpacerPolarity::AllOne);
+        assert_eq!(
+            SpacerPolarity::AllZero.inverted().inverted(),
+            SpacerPolarity::AllZero
+        );
+        assert!(!SpacerPolarity::AllZero.spacer_level());
+        assert!(SpacerPolarity::AllOne.spacer_level());
+        assert_eq!(SpacerPolarity::AllZero.to_string(), "all-zero");
+    }
+
+    #[test]
+    fn decode_all_zero_spacer_convention() {
+        use Logic::{One, Zero};
+        let p = SpacerPolarity::AllZero;
+        assert_eq!(DualRailValue::decode(Zero, Zero, p), DualRailValue::Spacer);
+        assert_eq!(
+            DualRailValue::decode(One, Zero, p),
+            DualRailValue::Valid(true)
+        );
+        assert_eq!(
+            DualRailValue::decode(Zero, One, p),
+            DualRailValue::Valid(false)
+        );
+        assert_eq!(DualRailValue::decode(One, One, p), DualRailValue::Forbidden);
+        assert_eq!(
+            DualRailValue::decode(Logic::Unknown, One, p),
+            DualRailValue::Unknown
+        );
+    }
+
+    #[test]
+    fn decode_all_one_spacer_convention() {
+        use Logic::{One, Zero};
+        let p = SpacerPolarity::AllOne;
+        assert_eq!(DualRailValue::decode(One, One, p), DualRailValue::Spacer);
+        assert_eq!(
+            DualRailValue::decode(One, Zero, p),
+            DualRailValue::Valid(true)
+        );
+        assert_eq!(
+            DualRailValue::decode(Zero, One, p),
+            DualRailValue::Valid(false)
+        );
+        assert_eq!(
+            DualRailValue::decode(Zero, Zero, p),
+            DualRailValue::Forbidden
+        );
+    }
+
+    #[test]
+    fn encode_decode_round_trip_under_both_polarities() {
+        for polarity in [SpacerPolarity::AllZero, SpacerPolarity::AllOne] {
+            for bit in [false, true] {
+                let (p, n) = DualRailValue::encode_valid(bit, polarity);
+                let decoded =
+                    DualRailValue::decode(Logic::from(p), Logic::from(n), polarity);
+                assert_eq!(decoded, DualRailValue::Valid(bit));
+            }
+            let (p, n) = DualRailValue::encode_spacer(polarity);
+            let decoded = DualRailValue::decode(Logic::from(p), Logic::from(n), polarity);
+            assert_eq!(decoded, DualRailValue::Spacer);
+        }
+    }
+
+    #[test]
+    fn valid_accessors() {
+        assert!(DualRailValue::Valid(true).is_valid());
+        assert_eq!(DualRailValue::Valid(false).bit(), Some(false));
+        assert_eq!(DualRailValue::Spacer.bit(), None);
+        assert!(!DualRailValue::Forbidden.is_valid());
+    }
+
+    #[test]
+    fn one_of_n_decoding() {
+        use Logic::{One, Unknown, Zero};
+        assert_eq!(
+            OneOfNValue::decode(&[Zero, Zero, Zero]),
+            OneOfNValue::Spacer
+        );
+        assert_eq!(
+            OneOfNValue::decode(&[Zero, Zero, One]),
+            OneOfNValue::Valid(2)
+        );
+        assert_eq!(
+            OneOfNValue::decode(&[One, One, Zero]),
+            OneOfNValue::Forbidden
+        );
+        assert_eq!(
+            OneOfNValue::decode(&[Unknown, Zero, Zero]),
+            OneOfNValue::Unknown
+        );
+        assert_eq!(OneOfNValue::Valid(2).index(), Some(2));
+        assert!(OneOfNValue::Valid(0).is_valid());
+        assert!(!OneOfNValue::Spacer.is_valid());
+    }
+}

@@ -1,0 +1,130 @@
+//! Error type shared by the dual-rail design and protocol modules.
+
+use std::error::Error;
+use std::fmt;
+
+use netlist::{CellKind, NetlistError};
+
+/// Errors produced while building or exercising dual-rail circuits.
+#[derive(Clone, Debug, PartialEq)]
+#[non_exhaustive]
+pub enum DualRailError {
+    /// An underlying netlist construction step failed.
+    Netlist(NetlistError),
+    /// A gate kind that cannot appear in a dual-rail netlist was
+    /// encountered (non-unate, or unsupported by the expansion).
+    UnsupportedCell {
+        /// The offending kind.
+        kind: CellKind,
+        /// Instance name of the offending cell.
+        cell_name: String,
+    },
+    /// A named dual-rail signal does not exist.
+    UnknownSignal(String),
+    /// The circuit violated the dual-rail protocol during simulation.
+    ProtocolViolation {
+        /// Human-readable description of the violation.
+        description: String,
+    },
+    /// The netlist has no dual-rail outputs, so completion detection has
+    /// nothing to observe.
+    NoOutputs,
+    /// The simulator failed to reach quiescence (oscillation).
+    SimulationDiverged,
+    /// Static timing analysis failed.
+    Timing(sta::StaError),
+    /// A vector of operand bits had the wrong width.
+    OperandWidthMismatch {
+        /// Number of dual-rail inputs of the circuit.
+        expected: usize,
+        /// Number of bits supplied.
+        got: usize,
+    },
+}
+
+impl fmt::Display for DualRailError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            DualRailError::Netlist(e) => write!(f, "netlist construction failed: {e}"),
+            DualRailError::UnsupportedCell { kind, cell_name } => write!(
+                f,
+                "cell {cell_name:?} of kind {kind} cannot be used in a dual-rail netlist"
+            ),
+            DualRailError::UnknownSignal(name) => {
+                write!(f, "no dual-rail signal named {name:?} exists")
+            }
+            DualRailError::ProtocolViolation { description } => {
+                write!(f, "dual-rail protocol violation: {description}")
+            }
+            DualRailError::NoOutputs => {
+                write!(f, "the dual-rail netlist has no outputs to observe")
+            }
+            DualRailError::SimulationDiverged => {
+                write!(f, "simulation failed to settle (possible oscillation)")
+            }
+            DualRailError::Timing(e) => write!(f, "timing analysis failed: {e}"),
+            DualRailError::OperandWidthMismatch { expected, got } => write!(
+                f,
+                "operand has {got} bits but the circuit has {expected} dual-rail inputs"
+            ),
+        }
+    }
+}
+
+impl Error for DualRailError {
+    fn source(&self) -> Option<&(dyn Error + 'static)> {
+        match self {
+            DualRailError::Netlist(e) => Some(e),
+            DualRailError::Timing(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<NetlistError> for DualRailError {
+    fn from(value: NetlistError) -> Self {
+        DualRailError::Netlist(value)
+    }
+}
+
+impl From<sta::StaError> for DualRailError {
+    fn from(value: sta::StaError) -> Self {
+        DualRailError::Timing(value)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn displays_are_informative() {
+        let err = DualRailError::UnsupportedCell {
+            kind: CellKind::Xor2,
+            cell_name: "u1".to_string(),
+        };
+        assert!(err.to_string().contains("XOR2"));
+        let err = DualRailError::OperandWidthMismatch {
+            expected: 4,
+            got: 2,
+        };
+        assert!(err.to_string().contains('4'));
+        assert!(err.to_string().contains('2'));
+    }
+
+    #[test]
+    fn conversions_from_substrate_errors() {
+        let nl_err = NetlistError::DuplicateName("x".into());
+        let err: DualRailError = nl_err.clone().into();
+        assert_eq!(err, DualRailError::Netlist(nl_err));
+        let sta_err = sta::StaError::EmptyNetlist;
+        let err: DualRailError = sta_err.clone().into();
+        assert_eq!(err, DualRailError::Timing(sta_err));
+    }
+
+    #[test]
+    fn is_std_error() {
+        fn assert_err<E: Error + Send + Sync + 'static>() {}
+        assert_err::<DualRailError>();
+    }
+}

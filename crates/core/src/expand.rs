@@ -1,0 +1,330 @@
+//! Automatic expansion of a single-rail netlist into an equivalent
+//! dual-rail netlist (direct mapping).
+//!
+//! The paper derives its dual-rail datapath by *direct mapping* of the
+//! single-rail architecture [Sokolov, 2006]: every single-rail signal
+//! becomes a rail pair, every gate becomes a gate pair computing the
+//! positive and negative rails, and single-rail inverters disappear
+//! entirely (a dual-rail inversion is just a rail swap).
+//!
+//! Two styles are supported:
+//!
+//! * [`ExpansionStyle::NonInverting`] — AND/OR pairs; every internal
+//!   signal keeps the all-zero spacer.  Slightly larger, conceptually
+//!   simple, used by the automatic expansion tests.
+//! * [`ExpansionStyle::InvertingPairs`] — NAND/NOR pairs ("negative gate
+//!   optimisation"); each such stage flips the spacer polarity and spacer
+//!   inverters are inserted automatically where signals of differing
+//!   polarity meet.  This is the style the paper's hand-mapped blocks
+//!   use, and it is cheaper in CMOS.
+//!
+//! Supported single-rail cells: BUF, INV, AND2–4, OR2–4, NAND2–4,
+//! NOR2–4.  XOR/XNOR must be decomposed before expansion (they are
+//! non-unate; Requirement 2); flip-flops, C-elements and complex gates
+//! are rejected because the hand-mapped architecture replaces them with
+//! asynchronous structures.
+
+use std::collections::HashMap;
+
+use netlist::{CellKind, NetId, Netlist};
+
+use crate::{DualRailError, DualRailNetlist, DualRailSignal, SpacerPolarity};
+
+/// Which gate mapping the expansion uses.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub enum ExpansionStyle {
+    /// AND/OR pairs, spacer polarity preserved everywhere.
+    #[default]
+    NonInverting,
+    /// NAND/NOR pairs (negative-gate optimisation) with automatic spacer
+    /// inverter insertion.
+    InvertingPairs,
+}
+
+/// Expands a single-rail netlist into a dual-rail netlist.
+///
+/// Primary inputs `x` become dual-rail inputs named `x`; primary outputs
+/// are re-exported under their original port names.  Outputs are always
+/// converted to the all-zero spacer so the environment sees one uniform
+/// convention.
+///
+/// # Errors
+///
+/// Returns [`DualRailError::UnsupportedCell`] if the netlist contains a
+/// cell the expansion cannot map, or propagates netlist construction
+/// errors.
+pub fn expand_to_dual_rail(
+    single_rail: &Netlist,
+    style: ExpansionStyle,
+) -> Result<DualRailNetlist, DualRailError> {
+    let mut dr = DualRailNetlist::new(format!("{}_dr", single_rail.name()));
+    let mut mapping: HashMap<NetId, DualRailSignal> = HashMap::new();
+
+    // Primary inputs first.
+    for (_, port) in single_rail.ports() {
+        if port.direction() == netlist::PortDirection::Input {
+            let signal = dr.add_dual_input(port.name());
+            mapping.insert(port.net(), signal);
+        }
+    }
+
+    // Cells in topological order so drivers are mapped before loads.
+    let order = netlist::topological_order(single_rail)
+        .map_err(|e| DualRailError::Netlist(netlist::NetlistError::CombinationalCycle(e.net)))?;
+    for cell_id in order {
+        let cell = single_rail.cell(cell_id);
+        let inputs: Vec<DualRailSignal> = cell
+            .inputs()
+            .iter()
+            .map(|n| {
+                mapping
+                    .get(n)
+                    .copied()
+                    .ok_or_else(|| DualRailError::UnknownSignal(single_rail.net(*n).name().to_string()))
+            })
+            .collect::<Result<_, _>>()?;
+        let name = cell.name().to_string();
+        let mapped = expand_cell(&mut dr, &name, cell.kind(), &inputs, style)?;
+        mapping.insert(cell.output(), mapped);
+    }
+
+    // Primary outputs, normalised to the all-zero spacer.
+    for (_, port) in single_rail.ports() {
+        if port.direction() == netlist::PortDirection::Output {
+            let signal = *mapping
+                .get(&port.net())
+                .ok_or_else(|| DualRailError::UnknownSignal(port.name().to_string()))?;
+            let normalised =
+                dr.harmonize(&format!("{}_po", port.name()), signal, SpacerPolarity::AllZero)?;
+            dr.add_dual_output(port.name(), normalised);
+        }
+    }
+
+    Ok(dr)
+}
+
+fn expand_cell(
+    dr: &mut DualRailNetlist,
+    name: &str,
+    kind: CellKind,
+    inputs: &[DualRailSignal],
+    style: ExpansionStyle,
+) -> Result<DualRailSignal, DualRailError> {
+    // Normalise all operands of a multi-input gate to one polarity (the
+    // polarity of the first operand) so the gate-pair mapping applies.
+    let normalise = |dr: &mut DualRailNetlist,
+                     inputs: &[DualRailSignal]|
+     -> Result<Vec<DualRailSignal>, DualRailError> {
+        let target = inputs[0].polarity;
+        inputs
+            .iter()
+            .enumerate()
+            .map(|(i, &s)| dr.harmonize(&format!("{name}_hz{i}"), s, target))
+            .collect()
+    };
+
+    match kind {
+        CellKind::Buf => Ok(inputs[0]),
+        CellKind::Inv => Ok(inputs[0].complement()),
+        CellKind::And2 | CellKind::And3 | CellKind::And4 => {
+            let ops = normalise(dr, inputs)?;
+            match style {
+                ExpansionStyle::NonInverting => dr.and_tree(name, &ops),
+                ExpansionStyle::InvertingPairs => reduce_inverting(dr, name, &ops, true),
+            }
+        }
+        CellKind::Or2 | CellKind::Or3 | CellKind::Or4 => {
+            let ops = normalise(dr, inputs)?;
+            match style {
+                ExpansionStyle::NonInverting => dr.or_tree(name, &ops),
+                ExpansionStyle::InvertingPairs => reduce_inverting(dr, name, &ops, false),
+            }
+        }
+        CellKind::Nand2 | CellKind::Nand3 | CellKind::Nand4 => {
+            let ops = normalise(dr, inputs)?;
+            let and = match style {
+                ExpansionStyle::NonInverting => dr.and_tree(name, &ops)?,
+                ExpansionStyle::InvertingPairs => reduce_inverting(dr, name, &ops, true)?,
+            };
+            Ok(and.complement())
+        }
+        CellKind::Nor2 | CellKind::Nor3 | CellKind::Nor4 => {
+            let ops = normalise(dr, inputs)?;
+            let or = match style {
+                ExpansionStyle::NonInverting => dr.or_tree(name, &ops)?,
+                ExpansionStyle::InvertingPairs => reduce_inverting(dr, name, &ops, false)?,
+            };
+            Ok(or.complement())
+        }
+        other => Err(DualRailError::UnsupportedCell {
+            kind: other,
+            cell_name: name.to_string(),
+        }),
+    }
+}
+
+/// Reduces a slice of equal-polarity operands with two-input inverting
+/// gate pairs, harmonising intermediate polarities as needed.
+fn reduce_inverting(
+    dr: &mut DualRailNetlist,
+    name: &str,
+    operands: &[DualRailSignal],
+    is_and: bool,
+) -> Result<DualRailSignal, DualRailError> {
+    let mut acc = operands[0];
+    for (i, &next) in operands.iter().enumerate().skip(1) {
+        let stage = format!("{name}_st{i}");
+        let rhs = dr.harmonize(&format!("{stage}_hz"), next, acc.polarity)?;
+        acc = if is_and {
+            dr.and2_inverting(&stage, acc, rhs)?
+        } else {
+            dr.or2_inverting(&stage, acc, rhs)?
+        };
+    }
+    Ok(acc)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::DualRailValue;
+    use netlist::Evaluator;
+    use std::collections::HashMap as Map;
+
+    /// Checks that the dual-rail expansion of `single` computes the same
+    /// function, for every input pattern.
+    fn assert_equivalent(single: &Netlist, style: ExpansionStyle) {
+        let dr = expand_to_dual_rail(single, style).expect("expansion succeeds");
+        let single_eval = Evaluator::new(single).unwrap();
+        let dual_eval = Evaluator::new(dr.netlist()).unwrap();
+        let pis = single.primary_inputs();
+        let pos = single.primary_outputs();
+        assert!(pis.len() <= 12, "exhaustive check limited to 12 inputs");
+
+        for pattern in 0..(1u32 << pis.len()) {
+            let bits: Vec<bool> = (0..pis.len()).map(|i| pattern & (1 << i) != 0).collect();
+            let single_map: Map<NetId, bool> =
+                pis.iter().copied().zip(bits.iter().copied()).collect();
+            let expected = single_eval.eval(&single_map);
+
+            let mut dual_map = Map::new();
+            for ((name, signal), &bit) in dr.dual_inputs().iter().zip(&bits) {
+                assert_eq!(signal.polarity, SpacerPolarity::AllZero, "input {name}");
+                let (p, n) = DualRailValue::encode_valid(bit, signal.polarity);
+                dual_map.insert(signal.positive, p);
+                dual_map.insert(signal.negative, n);
+            }
+            let dual_values = dual_eval.eval(&dual_map);
+
+            for (po, (po_name, signal)) in pos.iter().zip(dr.dual_outputs()) {
+                let got = DualRailValue::decode(
+                    dual_values[signal.positive.index()].into(),
+                    dual_values[signal.negative.index()].into(),
+                    signal.polarity,
+                );
+                assert_eq!(
+                    got,
+                    DualRailValue::Valid(expected[po.index()]),
+                    "output {po_name} for pattern {pattern:b} ({style:?})"
+                );
+            }
+
+            // Spacer in -> spacer out.
+            let mut spacer_map = Map::new();
+            for (_, signal) in dr.dual_inputs() {
+                let (p, n) = DualRailValue::encode_spacer(signal.polarity);
+                spacer_map.insert(signal.positive, p);
+                spacer_map.insert(signal.negative, n);
+            }
+            let spacer_values = dual_eval.eval(&spacer_map);
+            for (_, signal) in dr.dual_outputs() {
+                let got = DualRailValue::decode(
+                    spacer_values[signal.positive.index()].into(),
+                    spacer_values[signal.negative.index()].into(),
+                    signal.polarity,
+                );
+                assert_eq!(got, DualRailValue::Spacer);
+            }
+        }
+    }
+
+    fn sample_netlist() -> Netlist {
+        // y = !((a & b) | !(c | d)) ; z = !(a & c)
+        let mut nl = Netlist::new("sample");
+        let a = nl.add_input("a");
+        let b = nl.add_input("b");
+        let c = nl.add_input("c");
+        let d = nl.add_input("d");
+        let ab = nl.add_cell("ab", CellKind::And2, &[a, b]).unwrap();
+        let cd = nl.add_cell("cd", CellKind::Nor2, &[c, d]).unwrap();
+        let y = nl.add_cell("y", CellKind::Nor2, &[ab, cd]).unwrap();
+        let z = nl.add_cell("z", CellKind::Nand2, &[a, c]).unwrap();
+        nl.add_output("y", y);
+        nl.add_output("z", z);
+        nl
+    }
+
+    #[test]
+    fn non_inverting_expansion_is_equivalent() {
+        assert_equivalent(&sample_netlist(), ExpansionStyle::NonInverting);
+    }
+
+    #[test]
+    fn inverting_pairs_expansion_is_equivalent() {
+        assert_equivalent(&sample_netlist(), ExpansionStyle::InvertingPairs);
+    }
+
+    #[test]
+    fn wide_gates_and_buffers_expand() {
+        let mut nl = Netlist::new("wide");
+        let inputs: Vec<NetId> = (0..4).map(|i| nl.add_input(format!("i{i}"))).collect();
+        let and4 = nl.add_cell("and4", CellKind::And4, &inputs).unwrap();
+        let buf = nl.add_cell("buf", CellKind::Buf, &[and4]).unwrap();
+        let inv = nl.add_cell("inv", CellKind::Inv, &[buf]).unwrap();
+        let or3 = nl
+            .add_cell("or3", CellKind::Or3, &[inv, inputs[0], inputs[3]])
+            .unwrap();
+        nl.add_output("y", or3);
+        assert_equivalent(&nl, ExpansionStyle::NonInverting);
+        assert_equivalent(&nl, ExpansionStyle::InvertingPairs);
+    }
+
+    #[test]
+    fn single_rail_inverters_cost_no_gates() {
+        let mut nl = Netlist::new("invchain");
+        let a = nl.add_input("a");
+        let x1 = nl.add_cell("i1", CellKind::Inv, &[a]).unwrap();
+        let x2 = nl.add_cell("i2", CellKind::Inv, &[x1]).unwrap();
+        nl.add_output("y", x2);
+        let dr = expand_to_dual_rail(&nl, ExpansionStyle::NonInverting).unwrap();
+        // Rail swaps are free: no cells at all are required.
+        assert_eq!(dr.netlist().cell_count(), 0);
+    }
+
+    #[test]
+    fn inverting_style_uses_fewer_or_equal_larger_gates() {
+        // The inverting style maps AND to NAND/NOR pairs, which have fewer
+        // transistors than AND/OR pairs (the negative-gate optimisation).
+        let nl = sample_netlist();
+        let plain = expand_to_dual_rail(&nl, ExpansionStyle::NonInverting).unwrap();
+        let optimised = expand_to_dual_rail(&nl, ExpansionStyle::InvertingPairs).unwrap();
+        let lib = celllib::Library::umc_ll();
+        let area_plain = lib.total_area_um2(plain.netlist());
+        let area_opt = lib.total_area_um2(optimised.netlist());
+        // Spacer inverters may be added, so allow a modest overhead bound.
+        assert!(area_opt <= area_plain * 1.25, "optimised {area_opt} vs plain {area_plain}");
+    }
+
+    #[test]
+    fn unsupported_cells_are_rejected() {
+        let mut nl = Netlist::new("bad");
+        let a = nl.add_input("a");
+        let b = nl.add_input("b");
+        let y = nl.add_cell("xor", CellKind::Xor2, &[a, b]).unwrap();
+        nl.add_output("y", y);
+        assert!(matches!(
+            expand_to_dual_rail(&nl, ExpansionStyle::NonInverting),
+            Err(DualRailError::UnsupportedCell { .. })
+        ));
+    }
+}

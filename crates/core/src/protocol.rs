@@ -1,0 +1,453 @@
+//! The four-phase dual-rail handshake environment.
+//!
+//! [`ProtocolDriver`] wraps the event-driven simulator and exercises a
+//! [`DualRailNetlist`] exactly the way the paper's testbench does:
+//!
+//! 1. with all inputs at spacer, apply a valid codeword to every input
+//!    (Requirement 1: monotonic switching at the primary inputs);
+//! 2. wait for every observed output (and `done`, if present) to become
+//!    valid, recording the **spacer→valid latency** — the paper's
+//!    headline latency metric;
+//! 3. return all inputs to spacer (Requirement 6 is honoured because the
+//!    outputs were seen valid first);
+//! 4. wait for every output to return to spacer, recording the
+//!    **valid→spacer reset time**; internal nets are given their grace
+//!    period simply by waiting for simulation quiescence (Requirement 4).
+//!
+//! The driver additionally checks protocol invariants along the way:
+//! outputs must never enter the forbidden state, and during each phase
+//! every observed rail may switch at most once (monotonic switching,
+//! Requirement 2/3).
+
+use celllib::Library;
+use gatesim::{LatencyStats, Logic, Simulator};
+use netlist::NetId;
+use sta::GracePeriod;
+
+use crate::{DualRailError, DualRailNetlist, DualRailValue, OneOfNValue};
+
+/// Measurements and decoded results for one operand (one full
+/// valid/spacer cycle).
+#[derive(Clone, Debug, PartialEq)]
+pub struct OperandResult {
+    /// Decoded dual-rail outputs, in declaration order.
+    pub outputs: Vec<bool>,
+    /// Decoded 1-of-n outputs (name, selected index), in declaration
+    /// order.
+    pub one_of_n: Vec<(String, usize)>,
+    /// Time from applying the valid codeword until the last observed
+    /// output became valid, in picoseconds.
+    pub s_to_v_latency_ps: f64,
+    /// Time from the valid codeword until `done` rose (if completion
+    /// detection is present).
+    pub done_latency_ps: Option<f64>,
+    /// Time from applying the spacer until the last observed output
+    /// returned to spacer, in picoseconds.
+    pub v_to_s_latency_ps: f64,
+    /// Total wall-clock time of the full valid + spacer cycle.
+    pub cycle_time_ps: f64,
+}
+
+/// Drives a dual-rail netlist through four-phase cycles on the
+/// event-driven simulator.  See the [crate-level example](crate).
+#[derive(Debug)]
+pub struct ProtocolDriver<'a> {
+    circuit: &'a DualRailNetlist,
+    sim: Simulator<'a>,
+    grace: Option<GracePeriod>,
+    check_monotonic: bool,
+}
+
+impl<'a> ProtocolDriver<'a> {
+    /// Creates a driver, computes the static grace period for the
+    /// circuit and initialises all inputs to the spacer state.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`DualRailError::SimulationDiverged`] if the circuit fails
+    /// to settle during initialisation; timing analysis failures are
+    /// tolerated (the grace period is then unavailable).
+    pub fn new(circuit: &'a DualRailNetlist, library: &Library) -> Result<Self, DualRailError> {
+        let observed = circuit.observed_output_nets();
+        let grace = GracePeriod::compute(circuit.netlist(), library, &observed).ok();
+        let sim = Simulator::new(circuit.netlist(), library);
+        let mut driver = Self {
+            circuit,
+            sim,
+            grace,
+            check_monotonic: true,
+        };
+        driver.drive_spacer();
+        if !driver.sim.run_until_quiescent().is_quiescent() {
+            return Err(DualRailError::SimulationDiverged);
+        }
+        Ok(driver)
+    }
+
+    /// Disables the per-phase monotonicity check (useful for ablation
+    /// experiments that intentionally violate the methodology).
+    pub fn set_monotonicity_check(&mut self, enabled: bool) {
+        self.check_monotonic = enabled;
+    }
+
+    /// The statically computed grace period, if timing analysis
+    /// succeeded.
+    #[must_use]
+    pub fn grace_period(&self) -> Option<&GracePeriod> {
+        self.grace.as_ref()
+    }
+
+    /// Total cell output transitions recorded so far (for power
+    /// accounting).
+    #[must_use]
+    pub fn total_transitions(&self) -> u64 {
+        self.sim.total_cell_transitions()
+    }
+
+    /// Current simulation time in picoseconds.
+    #[must_use]
+    pub fn now_ps(&self) -> f64 {
+        self.sim.now_ps()
+    }
+
+    /// Builds an activity profile over the elapsed simulated time.
+    ///
+    /// # Panics
+    ///
+    /// Panics if no simulated time has elapsed yet.
+    #[must_use]
+    pub fn activity_profile(&self) -> celllib::ActivityProfile {
+        self.sim.activity_profile(self.sim.now_ps())
+    }
+
+    /// The optional request input: circuits with C-element input latches
+    /// expose a primary input named `req` which the environment asserts
+    /// together with valid data and deasserts together with the spacer.
+    fn request_input(&self) -> Option<NetId> {
+        self.circuit
+            .netlist()
+            .find_net("req")
+            .filter(|&n| self.circuit.netlist().is_primary_input(n))
+    }
+
+    fn drive_spacer(&mut self) {
+        if let Some(req) = self.request_input() {
+            self.sim.set_input(req, Logic::Zero);
+        }
+        for (_, signal) in self.circuit.dual_inputs() {
+            let (p, n) = DualRailValue::encode_spacer(signal.polarity);
+            self.sim.set_input(signal.positive, Logic::from(p));
+            self.sim.set_input(signal.negative, Logic::from(n));
+        }
+    }
+
+    fn drive_valid(&mut self, bits: &[bool]) {
+        if let Some(req) = self.request_input() {
+            self.sim.set_input(req, Logic::One);
+        }
+        for ((_, signal), &bit) in self.circuit.dual_inputs().iter().zip(bits) {
+            let (p, n) = DualRailValue::encode_valid(bit, signal.polarity);
+            self.sim.set_input(signal.positive, Logic::from(p));
+            self.sim.set_input(signal.negative, Logic::from(n));
+        }
+    }
+
+    fn decode_outputs(&self) -> Result<(Vec<bool>, Vec<(String, usize)>), DualRailError> {
+        let mut outputs = Vec::new();
+        for (name, signal) in self.circuit.dual_outputs() {
+            let value = DualRailValue::decode(
+                self.sim.value(signal.positive),
+                self.sim.value(signal.negative),
+                signal.polarity,
+            );
+            match value {
+                DualRailValue::Valid(bit) => outputs.push(bit),
+                other => {
+                    return Err(DualRailError::ProtocolViolation {
+                        description: format!(
+                            "output {name:?} is {other:?} when a valid codeword was expected"
+                        ),
+                    })
+                }
+            }
+        }
+        let mut groups = Vec::new();
+        for (name, wires) in self.circuit.one_of_n_outputs() {
+            let values: Vec<Logic> = wires.iter().map(|&w| self.sim.value(w)).collect();
+            match OneOfNValue::decode(&values) {
+                OneOfNValue::Valid(index) => groups.push((name.clone(), index)),
+                other => {
+                    return Err(DualRailError::ProtocolViolation {
+                        description: format!(
+                            "1-of-n output {name:?} is {other:?} when a valid codeword was expected"
+                        ),
+                    })
+                }
+            }
+        }
+        Ok((outputs, groups))
+    }
+
+    fn check_outputs_at_spacer(&self) -> Result<(), DualRailError> {
+        for (name, signal) in self.circuit.dual_outputs() {
+            let value = DualRailValue::decode(
+                self.sim.value(signal.positive),
+                self.sim.value(signal.negative),
+                signal.polarity,
+            );
+            if value != DualRailValue::Spacer {
+                return Err(DualRailError::ProtocolViolation {
+                    description: format!("output {name:?} is {value:?} after the spacer phase"),
+                });
+            }
+        }
+        for (name, wires) in self.circuit.one_of_n_outputs() {
+            let values: Vec<Logic> = wires.iter().map(|&w| self.sim.value(w)).collect();
+            if OneOfNValue::decode(&values) != OneOfNValue::Spacer {
+                return Err(DualRailError::ProtocolViolation {
+                    description: format!("1-of-n output {name:?} did not return to spacer"),
+                });
+            }
+        }
+        Ok(())
+    }
+
+    fn latest_change_since(&self, nets: &[NetId], since_ps: f64) -> f64 {
+        nets.iter()
+            .filter_map(|&n| self.sim.last_change_ps(n))
+            .filter(|&t| t >= since_ps)
+            .fold(since_ps, f64::max)
+            - since_ps
+    }
+
+    fn check_monotonic_phase(
+        &self,
+        nets: &[NetId],
+        transitions_before: &[u64],
+    ) -> Result<(), DualRailError> {
+        if !self.check_monotonic {
+            return Ok(());
+        }
+        for (i, &net) in nets.iter().enumerate() {
+            let delta = self.sim.net_transitions(net) - transitions_before[i];
+            if delta > 1 {
+                return Err(DualRailError::ProtocolViolation {
+                    description: format!(
+                        "net {net} switched {delta} times in one phase (non-monotonic)"
+                    ),
+                });
+            }
+        }
+        Ok(())
+    }
+
+    /// Runs one full four-phase cycle with the given operand bits (one
+    /// bit per dual-rail input, in declaration order) and returns the
+    /// decoded outputs and latency measurements.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`DualRailError::OperandWidthMismatch`] for a wrong-sized
+    /// operand, [`DualRailError::SimulationDiverged`] if the circuit
+    /// oscillates, and [`DualRailError::ProtocolViolation`] if an output
+    /// misbehaves (forbidden codeword, missing valid/spacer phase,
+    /// non-monotonic switching).
+    pub fn apply_operand(&mut self, bits: &[bool]) -> Result<OperandResult, DualRailError> {
+        let expected = self.circuit.input_count();
+        if bits.len() != expected {
+            return Err(DualRailError::OperandWidthMismatch {
+                expected,
+                got: bits.len(),
+            });
+        }
+
+        let observed = self.circuit.observed_output_nets();
+        let transitions_before: Vec<u64> =
+            observed.iter().map(|&n| self.sim.net_transitions(n)).collect();
+
+        // Phase 1: spacer -> valid.
+        let t0 = self.sim.now_ps();
+        self.drive_valid(bits);
+        if !self.sim.run_until_quiescent().is_quiescent() {
+            return Err(DualRailError::SimulationDiverged);
+        }
+        let (outputs, one_of_n) = self.decode_outputs()?;
+        let s_to_v_latency_ps = self.latest_change_since(&observed, t0);
+        let done_latency_ps = self.circuit.done().and_then(|done| {
+            if self.sim.value(done).is_one() {
+                Some(self.sim.last_change_ps(done).unwrap_or(t0) - t0)
+            } else {
+                None
+            }
+        });
+        if let Some(done) = self.circuit.done() {
+            if !self.sim.value(done).is_one() {
+                return Err(DualRailError::ProtocolViolation {
+                    description: "done failed to rise after a valid codeword".to_string(),
+                });
+            }
+        }
+        self.check_monotonic_phase(&observed, &transitions_before)?;
+
+        // Phase 2: valid -> spacer (return-to-zero).
+        let transitions_mid: Vec<u64> =
+            observed.iter().map(|&n| self.sim.net_transitions(n)).collect();
+        let t1 = self.sim.now_ps();
+        self.drive_spacer();
+        if !self.sim.run_until_quiescent().is_quiescent() {
+            return Err(DualRailError::SimulationDiverged);
+        }
+        self.check_outputs_at_spacer()?;
+        if let Some(done) = self.circuit.done() {
+            if !self.sim.value(done).is_zero() {
+                return Err(DualRailError::ProtocolViolation {
+                    description: "done failed to fall after the spacer phase".to_string(),
+                });
+            }
+        }
+        let v_to_s_latency_ps = self.latest_change_since(&observed, t1);
+        self.check_monotonic_phase(&observed, &transitions_mid)?;
+
+        Ok(OperandResult {
+            outputs,
+            one_of_n,
+            s_to_v_latency_ps,
+            done_latency_ps,
+            v_to_s_latency_ps,
+            cycle_time_ps: self.sim.now_ps() - t0,
+        })
+    }
+
+    /// Convenience helper: applies every operand in `workload` and
+    /// returns the spacer→valid latency statistics together with all
+    /// per-operand results.
+    ///
+    /// # Errors
+    ///
+    /// Propagates the first error from [`ProtocolDriver::apply_operand`].
+    pub fn run_workload(
+        &mut self,
+        workload: &[Vec<bool>],
+    ) -> Result<(LatencyStats, Vec<OperandResult>), DualRailError> {
+        let mut stats = LatencyStats::new();
+        let mut results = Vec::with_capacity(workload.len());
+        for operand in workload {
+            let result = self.apply_operand(operand)?;
+            stats.record(result.s_to_v_latency_ps);
+            results.push(result);
+        }
+        Ok((stats, results))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ReducedCompletion;
+
+    fn and_or_circuit() -> DualRailNetlist {
+        let mut dr = DualRailNetlist::new("t");
+        let a = dr.add_dual_input("a");
+        let b = dr.add_dual_input("b");
+        let c = dr.add_dual_input("c");
+        let ab = dr.and2("ab", a, b).unwrap();
+        let y = dr.or2("y", ab, c).unwrap();
+        dr.add_dual_output("y", y);
+        dr
+    }
+
+    #[test]
+    fn operand_cycle_produces_correct_output_and_latencies() {
+        let dr = and_or_circuit();
+        let lib = Library::umc_ll();
+        let mut driver = ProtocolDriver::new(&dr, &lib).unwrap();
+        for (bits, expected) in [
+            (vec![true, true, false], true),
+            (vec![true, false, false], false),
+            (vec![false, false, true], true),
+            (vec![false, false, false], false),
+        ] {
+            let result = driver.apply_operand(&bits).unwrap();
+            assert_eq!(result.outputs, vec![expected], "bits {bits:?}");
+            assert!(result.s_to_v_latency_ps > 0.0);
+            assert!(result.v_to_s_latency_ps > 0.0);
+            assert!(result.cycle_time_ps >= result.s_to_v_latency_ps + result.v_to_s_latency_ps);
+        }
+    }
+
+    #[test]
+    fn early_propagation_gives_operand_dependent_latency() {
+        let dr = and_or_circuit();
+        let lib = Library::umc_ll();
+        let mut driver = ProtocolDriver::new(&dr, &lib).unwrap();
+        // c=1 resolves the OR directly: one gate of latency.
+        let fast = driver.apply_operand(&[false, false, true]).unwrap();
+        // a=b=1, c=0 must wait for the AND then the OR: two gates.
+        let slow = driver.apply_operand(&[true, true, false]).unwrap();
+        assert!(
+            slow.s_to_v_latency_ps > fast.s_to_v_latency_ps,
+            "expected operand-dependent latency (early propagation)"
+        );
+    }
+
+    #[test]
+    fn done_signal_rises_and_falls_with_completion_detection() {
+        let mut dr = and_or_circuit();
+        ReducedCompletion::insert(&mut dr).unwrap();
+        let lib = Library::umc_ll();
+        let mut driver = ProtocolDriver::new(&dr, &lib).unwrap();
+        let result = driver.apply_operand(&[true, true, true]).unwrap();
+        let done_latency = result.done_latency_ps.expect("done present");
+        assert!(done_latency >= result.s_to_v_latency_ps);
+    }
+
+    #[test]
+    fn wrong_operand_width_is_rejected() {
+        let dr = and_or_circuit();
+        let lib = Library::umc_ll();
+        let mut driver = ProtocolDriver::new(&dr, &lib).unwrap();
+        assert!(matches!(
+            driver.apply_operand(&[true]),
+            Err(DualRailError::OperandWidthMismatch { expected: 3, got: 1 })
+        ));
+    }
+
+    #[test]
+    fn workload_statistics_accumulate() {
+        let dr = and_or_circuit();
+        let lib = Library::umc_ll();
+        let mut driver = ProtocolDriver::new(&dr, &lib).unwrap();
+        let workload: Vec<Vec<bool>> = (0..8u32)
+            .map(|p| (0..3).map(|i| p & (1 << i) != 0).collect())
+            .collect();
+        let (stats, results) = driver.run_workload(&workload).unwrap();
+        assert_eq!(stats.count(), 8);
+        assert_eq!(results.len(), 8);
+        assert!(stats.maximum() >= stats.average());
+        assert!(driver.total_transitions() > 0);
+        assert!(driver.now_ps() > 0.0);
+    }
+
+    #[test]
+    fn grace_period_is_available() {
+        let dr = and_or_circuit();
+        let lib = Library::umc_ll();
+        let driver = ProtocolDriver::new(&dr, &lib).unwrap();
+        let grace = driver.grace_period().expect("grace period computed");
+        assert!(grace.t_io_ps() > 0.0);
+    }
+
+    #[test]
+    fn voltage_scaling_slows_the_same_circuit_down() {
+        let dr = and_or_circuit();
+        let lib = celllib::Library::full_diffusion();
+        let mut nominal = ProtocolDriver::new(&dr, &lib).unwrap();
+        let low_lib = lib.with_supply_voltage(0.3).unwrap();
+        let mut low = ProtocolDriver::new(&dr, &low_lib).unwrap();
+        let operand = vec![true, true, false];
+        let fast = nominal.apply_operand(&operand).unwrap();
+        let slow = low.apply_operand(&operand).unwrap();
+        assert_eq!(fast.outputs, slow.outputs, "functional correctness preserved");
+        assert!(slow.s_to_v_latency_ps > 20.0 * fast.s_to_v_latency_ps);
+    }
+}

@@ -1,0 +1,95 @@
+//! Requirement 2 checking: dual-rail netlists must contain only unate
+//! (monotonic) gates.
+//!
+//! The paper's self-timing methodology relies on monotonic switching
+//! within the circuit so that during a spacer→valid wavefront no net ever
+//! glitches.  Non-unate gates (XOR, XNOR) must therefore be excluded from
+//! the library when generating dual-rail netlists; this module provides
+//! the structural check.
+
+use netlist::{CellId, Netlist};
+
+/// A single violation of the unate-gates-only rule.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct UnateViolation {
+    /// The offending cell.
+    pub cell: CellId,
+    /// Its instance name.
+    pub cell_name: String,
+    /// Its (non-unate) kind.
+    pub kind: netlist::CellKind,
+}
+
+/// Checks that every cell in the netlist is unate (monotonic in every
+/// input).
+///
+/// # Errors
+///
+/// Returns the full list of violations if any non-unate cell is present.
+///
+/// # Example
+///
+/// ```
+/// use netlist::{Netlist, CellKind};
+/// use dualrail::check_unate;
+///
+/// let mut nl = Netlist::new("t");
+/// let a = nl.add_input("a");
+/// let b = nl.add_input("b");
+/// let y = nl.add_cell("and", CellKind::And2, &[a, b]).unwrap();
+/// nl.add_output("y", y);
+/// assert!(check_unate(&nl).is_ok());
+/// ```
+pub fn check_unate(netlist: &Netlist) -> Result<(), Vec<UnateViolation>> {
+    let violations: Vec<UnateViolation> = netlist
+        .cells()
+        .filter(|(_, cell)| !cell.kind().is_unate())
+        .map(|(id, cell)| UnateViolation {
+            cell: id,
+            cell_name: cell.name().to_string(),
+            kind: cell.kind(),
+        })
+        .collect();
+    if violations.is_empty() {
+        Ok(())
+    } else {
+        Err(violations)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use netlist::CellKind;
+
+    #[test]
+    fn unate_netlist_passes() {
+        let mut nl = Netlist::new("t");
+        let a = nl.add_input("a");
+        let b = nl.add_input("b");
+        let x = nl.add_cell("and", CellKind::And2, &[a, b]).unwrap();
+        let y = nl.add_cell("aoi", CellKind::Aoi21, &[a, b, x]).unwrap();
+        nl.add_output("y", y);
+        assert!(check_unate(&nl).is_ok());
+    }
+
+    #[test]
+    fn xor_is_reported() {
+        let mut nl = Netlist::new("t");
+        let a = nl.add_input("a");
+        let b = nl.add_input("b");
+        let x = nl.add_cell("xor", CellKind::Xor2, &[a, b]).unwrap();
+        let y = nl.add_cell("xnor", CellKind::Xnor2, &[a, x]).unwrap();
+        nl.add_output("y", y);
+        let violations = check_unate(&nl).unwrap_err();
+        assert_eq!(violations.len(), 2);
+        assert_eq!(violations[0].cell_name, "xor");
+        assert_eq!(violations[0].kind, CellKind::Xor2);
+        assert_eq!(violations[1].kind, CellKind::Xnor2);
+    }
+
+    #[test]
+    fn empty_netlist_passes() {
+        assert!(check_unate(&Netlist::new("empty")).is_ok());
+    }
+}

@@ -1,0 +1,254 @@
+//! Clause calculation: the include/exclude masking and AND-tree
+//! aggregation of Section IV-A.
+//!
+//! For every feature `f_m` a clause receives two exclude signals from its
+//! automaton team: `e_{2m}` masks the literal `f_m` and `e_{2m+1}` masks
+//! the negated literal `¬f_m`.  A partial clause term is
+//! `(f_m ∨ e_{2m}) ∧ (¬f_m ∨ e_{2m+1})`; the clause output is the AND of
+//! all partial terms.  A clause whose literals are all excluded would
+//! evaluate to constant 1, which must not count as a vote, so the
+//! hardware also ANDs in a "some literal included" term derived from the
+//! exclude signals (`¬(e_0 ∧ e_1 ∧ … )`), matching the software
+//! convention that an empty clause outputs 0 during inference.
+//!
+//! The dual-rail version follows the paper's optimised mapping: the mask
+//! stage uses inverting gate pairs (one inversion per path, so the block
+//! has an inverting spacer overall) and the negated literal `¬f_m` is
+//! obtained for free by swapping the feature's rails.
+
+use dualrail::{DualRailNetlist, DualRailSignal, SpacerPolarity};
+use netlist::{CellKind, NetId, Netlist};
+
+use crate::DatapathError;
+
+/// Builds one dual-rail clause.
+///
+/// * `features[m]` — the dual-rail feature inputs (all-zero spacer);
+/// * `excludes[2m]`/`excludes[2m+1]` — the dual-rail exclude signals for
+///   the literal and its negation.
+///
+/// Returns the clause output as an all-zero-spacer signal (a spacer
+/// inverter is appended after the inverting mask stage, mirroring the
+/// `spinv` instances of the paper's Figure 2 before the counter).
+///
+/// # Errors
+///
+/// Propagates construction errors; returns a width-mismatch error if
+/// `excludes.len() != 2 * features.len()`.
+pub fn dual_rail_clause(
+    dr: &mut DualRailNetlist,
+    prefix: &str,
+    features: &[DualRailSignal],
+    excludes: &[DualRailSignal],
+) -> Result<DualRailSignal, DatapathError> {
+    if excludes.len() != 2 * features.len() {
+        return Err(DatapathError::WidthMismatch {
+            what: "exclude signal bundle",
+            expected: 2 * features.len(),
+            got: excludes.len(),
+        });
+    }
+
+    // Mask stage: inverting OR pairs flip the spacer polarity to all-one.
+    let mut partial_terms = Vec::with_capacity(2 * features.len());
+    for (m, &feature) in features.iter().enumerate() {
+        let positive_literal =
+            dr.or2_inverting(&format!("{prefix}_mskp{m}"), feature, excludes[2 * m])?;
+        let negative_literal = dr.or2_inverting(
+            &format!("{prefix}_mskn{m}"),
+            feature.complement(),
+            excludes[2 * m + 1],
+        )?;
+        partial_terms.push(positive_literal);
+        partial_terms.push(negative_literal);
+    }
+
+    // "Some literal included" guard, also in the inverted-spacer domain so
+    // it can join the same AND tree: NOT(AND of all excludes).
+    let all_excluded = dr.and_tree(&format!("{prefix}_allex"), excludes)?;
+    let guard = dr.spacer_inverter(&format!("{prefix}_guard"), all_excluded.complement())?;
+    partial_terms.push(guard);
+
+    // AND tree over the inverted-spacer partial terms.
+    let clause_inverted = dr.and_tree(&format!("{prefix}_and"), &partial_terms)?;
+    debug_assert_eq!(clause_inverted.polarity, SpacerPolarity::AllOne);
+
+    // Return to the all-zero spacer for the population counter.
+    let clause = dr.spacer_inverter(&format!("{prefix}_out"), clause_inverted)?;
+    Ok(clause)
+}
+
+/// Builds one single-rail clause (for the synchronous baseline) and
+/// returns its output net.
+///
+/// # Errors
+///
+/// Propagates construction errors; returns a width-mismatch error if
+/// `excludes.len() != 2 * features.len()`.
+pub fn single_rail_clause(
+    nl: &mut Netlist,
+    prefix: &str,
+    features: &[NetId],
+    excludes: &[NetId],
+) -> Result<NetId, DatapathError> {
+    if excludes.len() != 2 * features.len() {
+        return Err(DatapathError::WidthMismatch {
+            what: "exclude signal bundle",
+            expected: 2 * features.len(),
+            got: excludes.len(),
+        });
+    }
+    let mut terms = Vec::with_capacity(2 * features.len() + 1);
+    for (m, &feature) in features.iter().enumerate() {
+        let inverted = nl.add_cell(format!("{prefix}_finv{m}"), CellKind::Inv, &[feature])?;
+        let masked_pos = nl.add_cell(
+            format!("{prefix}_mskp{m}"),
+            CellKind::Or2,
+            &[feature, excludes[2 * m]],
+        )?;
+        let masked_neg = nl.add_cell(
+            format!("{prefix}_mskn{m}"),
+            CellKind::Or2,
+            &[inverted, excludes[2 * m + 1]],
+        )?;
+        terms.push(masked_pos);
+        terms.push(masked_neg);
+    }
+    let all_excluded = nl.add_and_tree(&format!("{prefix}_allex"), excludes)?;
+    let guard = nl.add_cell(format!("{prefix}_guard"), CellKind::Inv, &[all_excluded])?;
+    terms.push(guard);
+    Ok(nl.add_and_tree(&format!("{prefix}_and"), &terms)?)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dualrail::DualRailValue;
+    use netlist::Evaluator;
+    use std::collections::HashMap;
+    use tsetlin::ExcludeMasks;
+
+    /// Golden clause function shared with the software model.
+    fn golden(mask: &[bool], features: &[bool]) -> bool {
+        let masks = ExcludeMasks::from_raw(vec![mask.to_vec()], vec![], features.len());
+        masks.clause_output(mask, features)
+    }
+
+    #[test]
+    fn dual_rail_clause_matches_golden_model_exhaustively() {
+        let feature_count = 3;
+        let mut dr = DualRailNetlist::new("clause");
+        let features: Vec<DualRailSignal> = (0..feature_count)
+            .map(|m| dr.add_dual_input(format!("f{m}")))
+            .collect();
+        let excludes: Vec<DualRailSignal> = (0..2 * feature_count)
+            .map(|l| dr.add_dual_input(format!("e{l}")))
+            .collect();
+        let clause = dual_rail_clause(&mut dr, "c0", &features, &excludes).unwrap();
+        assert_eq!(clause.polarity, SpacerPolarity::AllZero);
+        dr.add_dual_output("clause", clause);
+        let eval = Evaluator::new(dr.netlist()).unwrap();
+
+        // Sweep a selection of masks and all feature patterns.
+        for mask_bits in [0b000000usize, 0b111111, 0b101010, 0b010101, 0b100110, 0b001111] {
+            let mask: Vec<bool> = (0..2 * feature_count).map(|l| mask_bits & (1 << l) != 0).collect();
+            for pattern in 0..(1usize << feature_count) {
+                let fv: Vec<bool> = (0..feature_count).map(|m| pattern & (1 << m) != 0).collect();
+                let mut inputs = HashMap::new();
+                for (m, sig) in features.iter().enumerate() {
+                    let (p, n) = DualRailValue::encode_valid(fv[m], sig.polarity);
+                    inputs.insert(sig.positive, p);
+                    inputs.insert(sig.negative, n);
+                }
+                for (l, sig) in excludes.iter().enumerate() {
+                    let (p, n) = DualRailValue::encode_valid(mask[l], sig.polarity);
+                    inputs.insert(sig.positive, p);
+                    inputs.insert(sig.negative, n);
+                }
+                let values = eval.eval(&inputs);
+                let got = DualRailValue::decode(
+                    values[clause.positive.index()].into(),
+                    values[clause.negative.index()].into(),
+                    clause.polarity,
+                );
+                assert_eq!(
+                    got,
+                    DualRailValue::Valid(golden(&mask, &fv)),
+                    "mask {mask:?} features {fv:?}"
+                );
+            }
+        }
+
+        // Spacer in, spacer out.
+        let mut spacer = HashMap::new();
+        for sig in features.iter().chain(&excludes) {
+            let (p, n) = DualRailValue::encode_spacer(sig.polarity);
+            spacer.insert(sig.positive, p);
+            spacer.insert(sig.negative, n);
+        }
+        let values = eval.eval(&spacer);
+        let got = DualRailValue::decode(
+            values[clause.positive.index()].into(),
+            values[clause.negative.index()].into(),
+            clause.polarity,
+        );
+        assert_eq!(got, DualRailValue::Spacer);
+    }
+
+    #[test]
+    fn single_rail_clause_matches_golden_model() {
+        let feature_count = 3;
+        let mut nl = Netlist::new("clause_sr");
+        let features: Vec<NetId> = (0..feature_count)
+            .map(|m| nl.add_input(format!("f{m}")))
+            .collect();
+        let excludes: Vec<NetId> = (0..2 * feature_count)
+            .map(|l| nl.add_input(format!("e{l}")))
+            .collect();
+        let out = single_rail_clause(&mut nl, "c0", &features, &excludes).unwrap();
+        nl.add_output("clause", out);
+        let eval = Evaluator::new(&nl).unwrap();
+
+        for mask_bits in 0..(1usize << (2 * feature_count)) {
+            let mask: Vec<bool> = (0..2 * feature_count).map(|l| mask_bits & (1 << l) != 0).collect();
+            for pattern in 0..(1usize << feature_count) {
+                let fv: Vec<bool> = (0..feature_count).map(|m| pattern & (1 << m) != 0).collect();
+                let mut inputs = HashMap::new();
+                for (m, &net) in features.iter().enumerate() {
+                    inputs.insert(net, fv[m]);
+                }
+                for (l, &net) in excludes.iter().enumerate() {
+                    inputs.insert(net, mask[l]);
+                }
+                let values = eval.eval(&inputs);
+                assert_eq!(
+                    values[out.index()],
+                    golden(&mask, &fv),
+                    "mask {mask:?} features {fv:?}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn mismatched_widths_are_rejected() {
+        let mut dr = DualRailNetlist::new("bad");
+        let f = dr.add_dual_input("f");
+        let e = dr.add_dual_input("e");
+        assert!(matches!(
+            dual_rail_clause(&mut dr, "c", &[f], &[e]),
+            Err(DatapathError::WidthMismatch { .. })
+        ));
+    }
+
+    #[test]
+    fn clause_uses_only_unate_gates() {
+        let mut dr = DualRailNetlist::new("clause");
+        let features: Vec<DualRailSignal> =
+            (0..4).map(|m| dr.add_dual_input(format!("f{m}"))).collect();
+        let excludes: Vec<DualRailSignal> =
+            (0..8).map(|l| dr.add_dual_input(format!("e{l}"))).collect();
+        let _ = dual_rail_clause(&mut dr, "c0", &features, &excludes).unwrap();
+        assert!(dualrail::check_unate(dr.netlist()).is_ok());
+    }
+}

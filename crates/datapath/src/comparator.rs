@@ -1,0 +1,313 @@
+//! Magnitude comparison of the two vote counts (Section IV-C).
+//!
+//! The asynchronous comparator works on the dual-rail count bits from the
+//! most significant bit downwards.  For each bit position three mutually
+//! exclusive, monotone signals are derived directly from the rails
+//! (`greater-at-this-bit`, `less-at-this-bit`, `equal-at-this-bit`); the
+//! overall decision is the classic priority expression
+//!
+//! ```text
+//! greater = gt3 ∨ (eq3 ∧ (gt2 ∨ (eq2 ∧ (gt1 ∨ (eq1 ∧ gt0)))))
+//! ```
+//!
+//! Because every signal idles at 0 and rises monotonically, the OR chain
+//! resolves as soon as the most significant differing bit-pair becomes
+//! valid — the comparator does not wait for the lower bits, which is
+//! exactly the early-propagation mechanism behind the paper's
+//! average-latency advantage (and saves the switching energy of the
+//! lower bits when operands differ by a large margin).
+//!
+//! The three outputs use a **1-of-3 code** rather than three dual-rail
+//! pairs: the all-low state is the spacer and exactly one wire rises per
+//! valid comparison, so completion detection needs only an OR of the
+//! three wires.
+//!
+//! A conventional single-rail comparator is provided for the baseline.
+
+use dualrail::{DualRailNetlist, DualRailSignal};
+use netlist::{CellKind, NetId, Netlist};
+
+use crate::DatapathError;
+
+/// The three 1-of-3 output wires of the asynchronous comparator.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct OneOfThreeComparator {
+    /// High when the first operand is smaller.
+    pub less: NetId,
+    /// High when the operands are equal.
+    pub equal: NetId,
+    /// High when the first operand is larger.
+    pub greater: NetId,
+}
+
+impl OneOfThreeComparator {
+    /// The wires in the index order used by the datapath's 1-of-3 output
+    /// group (`0 = less`, `1 = equal`, `2 = greater`).
+    #[must_use]
+    pub fn wires(&self) -> Vec<NetId> {
+        vec![self.less, self.equal, self.greater]
+    }
+}
+
+/// Builds the dual-rail, early-terminating magnitude comparator.
+///
+/// `a` and `b` are equal-width dual-rail operands, least significant bit
+/// first.
+///
+/// # Errors
+///
+/// Returns a width-mismatch error if the operands differ in width or are
+/// empty; propagates construction errors.
+pub fn dual_rail_comparator(
+    dr: &mut DualRailNetlist,
+    prefix: &str,
+    a: &[DualRailSignal],
+    b: &[DualRailSignal],
+) -> Result<OneOfThreeComparator, DatapathError> {
+    if a.len() != b.len() || a.is_empty() {
+        return Err(DatapathError::WidthMismatch {
+            what: "comparator operands",
+            expected: a.len().max(1),
+            got: b.len(),
+        });
+    }
+
+    // Per-bit greater / less / equal, each a single monotone wire.
+    let width = a.len();
+    let mut gt = Vec::with_capacity(width);
+    let mut lt = Vec::with_capacity(width);
+    let mut eq = Vec::with_capacity(width);
+    for i in 0..width {
+        let gt_i = dr.netlist_mut().add_cell(
+            format!("{prefix}_gt{i}"),
+            CellKind::And2,
+            &[a[i].positive, b[i].negative],
+        )?;
+        let lt_i = dr.netlist_mut().add_cell(
+            format!("{prefix}_lt{i}"),
+            CellKind::And2,
+            &[a[i].negative, b[i].positive],
+        )?;
+        let eq_i = dr.netlist_mut().add_cell(
+            format!("{prefix}_eq{i}"),
+            CellKind::Aoi22,
+            &[a[i].positive, b[i].positive, a[i].negative, b[i].negative],
+        )?;
+        // AOI22 yields the complement with an inverted idle level; invert
+        // it back so eq_i idles low like its gt/lt siblings.
+        let eq_i = dr
+            .netlist_mut()
+            .add_cell(format!("{prefix}_eqb{i}"), CellKind::Inv, &[eq_i])?;
+        gt.push(gt_i);
+        lt.push(lt_i);
+        eq.push(eq_i);
+    }
+
+    // Priority chains from the most significant bit downwards.
+    let mut greater = gt[0];
+    let mut less = lt[0];
+    for i in 1..width {
+        let masked_greater = dr.netlist_mut().add_cell(
+            format!("{prefix}_gmask{i}"),
+            CellKind::And2,
+            &[eq[i], greater],
+        )?;
+        greater = dr.netlist_mut().add_cell(
+            format!("{prefix}_gacc{i}"),
+            CellKind::Or2,
+            &[gt[i], masked_greater],
+        )?;
+        let masked_less = dr.netlist_mut().add_cell(
+            format!("{prefix}_lmask{i}"),
+            CellKind::And2,
+            &[eq[i], less],
+        )?;
+        less = dr.netlist_mut().add_cell(
+            format!("{prefix}_lacc{i}"),
+            CellKind::Or2,
+            &[lt[i], masked_less],
+        )?;
+    }
+    let equal = dr.netlist_mut().add_and_tree(&format!("{prefix}_eqall"), &eq)?;
+
+    Ok(OneOfThreeComparator {
+        less,
+        equal,
+        greater,
+    })
+}
+
+/// Builds a conventional single-rail magnitude comparator producing the
+/// same three (now plain Boolean) outputs for the synchronous baseline.
+///
+/// # Errors
+///
+/// Returns a width-mismatch error if the operands differ in width or are
+/// empty; propagates construction errors.
+pub fn single_rail_comparator(
+    nl: &mut Netlist,
+    prefix: &str,
+    a: &[NetId],
+    b: &[NetId],
+) -> Result<OneOfThreeComparator, DatapathError> {
+    if a.len() != b.len() || a.is_empty() {
+        return Err(DatapathError::WidthMismatch {
+            what: "comparator operands",
+            expected: a.len().max(1),
+            got: b.len(),
+        });
+    }
+    let width = a.len();
+    let mut gt = Vec::with_capacity(width);
+    let mut lt = Vec::with_capacity(width);
+    let mut eq = Vec::with_capacity(width);
+    for i in 0..width {
+        let not_b = nl.add_cell(format!("{prefix}_nb{i}"), CellKind::Inv, &[b[i]])?;
+        let not_a = nl.add_cell(format!("{prefix}_na{i}"), CellKind::Inv, &[a[i]])?;
+        gt.push(nl.add_cell(format!("{prefix}_gt{i}"), CellKind::And2, &[a[i], not_b])?);
+        lt.push(nl.add_cell(format!("{prefix}_lt{i}"), CellKind::And2, &[not_a, b[i]])?);
+        eq.push(nl.add_cell(format!("{prefix}_eq{i}"), CellKind::Xnor2, &[a[i], b[i]])?);
+    }
+    let mut greater = gt[0];
+    let mut less = lt[0];
+    for i in 1..width {
+        let masked_greater =
+            nl.add_cell(format!("{prefix}_gmask{i}"), CellKind::And2, &[eq[i], greater])?;
+        greater = nl.add_cell(
+            format!("{prefix}_gacc{i}"),
+            CellKind::Or2,
+            &[gt[i], masked_greater],
+        )?;
+        let masked_less =
+            nl.add_cell(format!("{prefix}_lmask{i}"), CellKind::And2, &[eq[i], less])?;
+        less = nl.add_cell(format!("{prefix}_lacc{i}"), CellKind::Or2, &[lt[i], masked_less])?;
+    }
+    let equal = nl.add_and_tree(&format!("{prefix}_eqall"), &eq)?;
+    Ok(OneOfThreeComparator {
+        less,
+        equal,
+        greater,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dualrail::DualRailValue;
+    use netlist::Evaluator;
+    use std::collections::HashMap;
+
+    fn expected_index(a: u32, b: u32) -> usize {
+        match a.cmp(&b) {
+            std::cmp::Ordering::Less => 0,
+            std::cmp::Ordering::Equal => 1,
+            std::cmp::Ordering::Greater => 2,
+        }
+    }
+
+    #[test]
+    fn dual_rail_comparator_matches_integer_comparison() {
+        let mut dr = DualRailNetlist::new("cmp");
+        let a: Vec<DualRailSignal> = (0..4).map(|i| dr.add_dual_input(format!("a{i}"))).collect();
+        let b: Vec<DualRailSignal> = (0..4).map(|i| dr.add_dual_input(format!("b{i}"))).collect();
+        let cmp = dual_rail_comparator(&mut dr, "cmp", &a, &b).unwrap();
+        let eval = Evaluator::new(dr.netlist()).unwrap();
+
+        for va in 0..16u32 {
+            for vb in 0..16u32 {
+                let mut map = HashMap::new();
+                for (i, sig) in a.iter().enumerate() {
+                    let (p, n) = DualRailValue::encode_valid(va & (1 << i) != 0, sig.polarity);
+                    map.insert(sig.positive, p);
+                    map.insert(sig.negative, n);
+                }
+                for (i, sig) in b.iter().enumerate() {
+                    let (p, n) = DualRailValue::encode_valid(vb & (1 << i) != 0, sig.polarity);
+                    map.insert(sig.positive, p);
+                    map.insert(sig.negative, n);
+                }
+                let values = eval.eval(&map);
+                let wires = [
+                    values[cmp.less.index()],
+                    values[cmp.equal.index()],
+                    values[cmp.greater.index()],
+                ];
+                let high: Vec<usize> = wires
+                    .iter()
+                    .enumerate()
+                    .filter(|(_, &v)| v)
+                    .map(|(i, _)| i)
+                    .collect();
+                assert_eq!(high.len(), 1, "exactly one output for a={va} b={vb}");
+                assert_eq!(high[0], expected_index(va, vb), "a={va} b={vb}");
+            }
+        }
+    }
+
+    #[test]
+    fn dual_rail_comparator_spacer_gives_all_low() {
+        let mut dr = DualRailNetlist::new("cmp");
+        let a: Vec<DualRailSignal> = (0..4).map(|i| dr.add_dual_input(format!("a{i}"))).collect();
+        let b: Vec<DualRailSignal> = (0..4).map(|i| dr.add_dual_input(format!("b{i}"))).collect();
+        let cmp = dual_rail_comparator(&mut dr, "cmp", &a, &b).unwrap();
+        let eval = Evaluator::new(dr.netlist()).unwrap();
+        let mut map = HashMap::new();
+        for sig in a.iter().chain(&b) {
+            let (p, n) = DualRailValue::encode_spacer(sig.polarity);
+            map.insert(sig.positive, p);
+            map.insert(sig.negative, n);
+        }
+        let values = eval.eval(&map);
+        assert!(!values[cmp.less.index()]);
+        assert!(!values[cmp.equal.index()]);
+        assert!(!values[cmp.greater.index()]);
+    }
+
+    #[test]
+    fn dual_rail_comparator_is_unate() {
+        let mut dr = DualRailNetlist::new("cmp");
+        let a: Vec<DualRailSignal> = (0..4).map(|i| dr.add_dual_input(format!("a{i}"))).collect();
+        let b: Vec<DualRailSignal> = (0..4).map(|i| dr.add_dual_input(format!("b{i}"))).collect();
+        let _ = dual_rail_comparator(&mut dr, "cmp", &a, &b).unwrap();
+        assert!(dualrail::check_unate(dr.netlist()).is_ok());
+    }
+
+    #[test]
+    fn single_rail_comparator_matches_integer_comparison() {
+        let mut nl = Netlist::new("cmp_sr");
+        let a: Vec<NetId> = (0..4).map(|i| nl.add_input(format!("a{i}"))).collect();
+        let b: Vec<NetId> = (0..4).map(|i| nl.add_input(format!("b{i}"))).collect();
+        let cmp = single_rail_comparator(&mut nl, "cmp", &a, &b).unwrap();
+        nl.add_output("less", cmp.less);
+        nl.add_output("equal", cmp.equal);
+        nl.add_output("greater", cmp.greater);
+        let eval = Evaluator::new(&nl).unwrap();
+        for va in 0..16u32 {
+            for vb in 0..16u32 {
+                let bits: Vec<bool> = (0..4)
+                    .map(|i| va & (1 << i) != 0)
+                    .chain((0..4).map(|i| vb & (1 << i) != 0))
+                    .collect();
+                let out = eval.eval_vector(&bits);
+                let high: Vec<usize> = out
+                    .iter()
+                    .enumerate()
+                    .filter(|(_, &v)| v)
+                    .map(|(i, _)| i)
+                    .collect();
+                assert_eq!(high, vec![expected_index(va, vb)], "a={va} b={vb}");
+            }
+        }
+    }
+
+    #[test]
+    fn mismatched_widths_are_rejected() {
+        let mut dr = DualRailNetlist::new("cmp");
+        let a = vec![dr.add_dual_input("a0")];
+        let b = vec![dr.add_dual_input("b0"), dr.add_dual_input("b1")];
+        assert!(matches!(
+            dual_rail_comparator(&mut dr, "cmp", &a, &b),
+            Err(DatapathError::WidthMismatch { .. })
+        ));
+    }
+}

@@ -1,0 +1,124 @@
+//! Datapath dimensioning.
+
+use crate::DatapathError;
+
+/// Dimensions of a Tsetlin-machine inference datapath.
+///
+/// The paper's design uses an 8-input population counter (eight clauses
+/// per voting polarity); this reproduction supports one to eight clauses
+/// per polarity — narrower configurations pad the counter inputs with
+/// constant zeros, exactly as unused clause slots would be tied off in
+/// silicon.
+///
+/// # Example
+///
+/// ```
+/// use datapath::DatapathConfig;
+/// let config = DatapathConfig::new(16, 8)?;
+/// assert_eq!(config.features(), 16);
+/// assert_eq!(config.clauses_per_polarity(), 8);
+/// assert_eq!(config.count_bits(), 4);
+/// # Ok::<(), datapath::DatapathError>(())
+/// ```
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub struct DatapathConfig {
+    features: usize,
+    clauses_per_polarity: usize,
+}
+
+impl DatapathConfig {
+    /// Maximum clauses per polarity supported by the population counter.
+    pub const MAX_CLAUSES_PER_POLARITY: usize = 8;
+
+    /// Creates a configuration.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`DatapathError::InvalidConfig`] when `features` is zero
+    /// or `clauses_per_polarity` is zero or exceeds
+    /// [`Self::MAX_CLAUSES_PER_POLARITY`].
+    pub fn new(features: usize, clauses_per_polarity: usize) -> Result<Self, DatapathError> {
+        if features == 0 {
+            return Err(DatapathError::InvalidConfig {
+                name: "features",
+                reason: "must be at least 1".to_string(),
+            });
+        }
+        if clauses_per_polarity == 0 || clauses_per_polarity > Self::MAX_CLAUSES_PER_POLARITY {
+            return Err(DatapathError::InvalidConfig {
+                name: "clauses_per_polarity",
+                reason: format!(
+                    "must be between 1 and {}, got {clauses_per_polarity}",
+                    Self::MAX_CLAUSES_PER_POLARITY
+                ),
+            });
+        }
+        Ok(Self {
+            features,
+            clauses_per_polarity,
+        })
+    }
+
+    /// Number of Boolean input features.
+    #[must_use]
+    pub fn features(&self) -> usize {
+        self.features
+    }
+
+    /// Number of clauses in each voting polarity.
+    #[must_use]
+    pub fn clauses_per_polarity(&self) -> usize {
+        self.clauses_per_polarity
+    }
+
+    /// Number of literals per clause (`2 × features`).
+    #[must_use]
+    pub fn literals_per_clause(&self) -> usize {
+        2 * self.features
+    }
+
+    /// Number of exclude inputs per clause bank.
+    #[must_use]
+    pub fn excludes_per_bank(&self) -> usize {
+        self.clauses_per_polarity * self.literals_per_clause()
+    }
+
+    /// Width of each population-count output in bits.
+    #[must_use]
+    pub fn count_bits(&self) -> usize {
+        // The 8-input counter always produces 4 bits (0..=8).
+        4
+    }
+
+    /// Total number of logical (dual-rail) data inputs of the datapath:
+    /// features plus both banks of exclude signals.
+    #[must_use]
+    pub fn data_input_count(&self) -> usize {
+        self.features + 2 * self.excludes_per_bank()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn accessors_and_derived_sizes() {
+        let config = DatapathConfig::new(8, 8).unwrap();
+        assert_eq!(config.features(), 8);
+        assert_eq!(config.clauses_per_polarity(), 8);
+        assert_eq!(config.literals_per_clause(), 16);
+        assert_eq!(config.excludes_per_bank(), 128);
+        assert_eq!(config.data_input_count(), 8 + 256);
+        assert_eq!(config.count_bits(), 4);
+    }
+
+    #[test]
+    fn invalid_configurations_are_rejected() {
+        assert!(DatapathConfig::new(0, 4).is_err());
+        assert!(DatapathConfig::new(4, 0).is_err());
+        assert!(DatapathConfig::new(4, 9).is_err());
+        assert!(DatapathConfig::new(1, 1).is_ok());
+        assert!(DatapathConfig::new(4, 8).is_ok());
+    }
+}

@@ -1,0 +1,102 @@
+//! Error type for datapath generation and decoding.
+
+use std::error::Error;
+use std::fmt;
+
+use dualrail::DualRailError;
+use netlist::NetlistError;
+
+/// Errors produced while generating or exercising inference datapaths.
+#[derive(Clone, Debug, PartialEq)]
+#[non_exhaustive]
+pub enum DatapathError {
+    /// A configuration parameter was outside the supported range.
+    InvalidConfig {
+        /// The parameter name.
+        name: &'static str,
+        /// Why the value was rejected.
+        reason: String,
+    },
+    /// Dual-rail circuit construction failed.
+    DualRail(DualRailError),
+    /// Single-rail netlist construction failed.
+    Netlist(NetlistError),
+    /// A feature vector or mask had the wrong width for this datapath.
+    WidthMismatch {
+        /// What was being supplied.
+        what: &'static str,
+        /// The width the datapath expects.
+        expected: usize,
+        /// The width supplied.
+        got: usize,
+    },
+    /// The circuit produced an output that could not be decoded (e.g. a
+    /// missing 1-of-3 comparator group).
+    DecodeFailure(String),
+}
+
+impl fmt::Display for DatapathError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            DatapathError::InvalidConfig { name, reason } => {
+                write!(f, "invalid datapath configuration for {name}: {reason}")
+            }
+            DatapathError::DualRail(e) => write!(f, "dual-rail construction failed: {e}"),
+            DatapathError::Netlist(e) => write!(f, "netlist construction failed: {e}"),
+            DatapathError::WidthMismatch {
+                what,
+                expected,
+                got,
+            } => write!(f, "{what} has width {got} but the datapath expects {expected}"),
+            DatapathError::DecodeFailure(reason) => {
+                write!(f, "failed to decode datapath output: {reason}")
+            }
+        }
+    }
+}
+
+impl Error for DatapathError {
+    fn source(&self) -> Option<&(dyn Error + 'static)> {
+        match self {
+            DatapathError::DualRail(e) => Some(e),
+            DatapathError::Netlist(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<DualRailError> for DatapathError {
+    fn from(value: DualRailError) -> Self {
+        DatapathError::DualRail(value)
+    }
+}
+
+impl From<NetlistError> for DatapathError {
+    fn from(value: NetlistError) -> Self {
+        DatapathError::Netlist(value)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_and_conversion() {
+        let err: DatapathError = NetlistError::DuplicateName("x".into()).into();
+        assert!(err.to_string().contains("netlist"));
+        let err = DatapathError::WidthMismatch {
+            what: "feature vector",
+            expected: 8,
+            got: 4,
+        };
+        assert!(err.to_string().contains("feature vector"));
+        assert!(err.to_string().contains('8'));
+    }
+
+    #[test]
+    fn is_std_error() {
+        fn assert_err<E: Error + Send + Sync + 'static>() {}
+        assert_err::<DatapathError>();
+    }
+}

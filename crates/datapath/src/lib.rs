@@ -1,0 +1,69 @@
+//! Tsetlin-machine inference datapath generators.
+//!
+//! This crate builds the circuit the paper evaluates, in both design
+//! styles:
+//!
+//! * [`DualRailDatapath`] — the proposed early-propagative dual-rail
+//!   asynchronous datapath with C-element input latches, inverting-style
+//!   clause logic, a Dalalah-style dual-rail population counter with
+//!   explicit spacer inverters, an MSB-first magnitude comparator with a
+//!   1-of-3 output and the reduced completion-detection scheme;
+//! * [`SingleRailDatapath`] — the synchronous single-rail baseline with
+//!   input/output flip-flops, XOR-based adders and a conventional
+//!   comparator, whose clock period (and therefore latency) comes from
+//!   static timing analysis.
+//!
+//! Both are generated from the same [`DatapathConfig`] and verified
+//! against the same software golden model ([`reference`]).
+//!
+//! # Example
+//!
+//! ```
+//! use datapath::{DatapathConfig, DualRailDatapath, reference};
+//! use tsetlin::ExcludeMasks;
+//! use dualrail::ProtocolDriver;
+//! use celllib::Library;
+//!
+//! # fn main() -> Result<(), Box<dyn std::error::Error>> {
+//! let config = DatapathConfig::new(4, 4)?;
+//! let dp = DualRailDatapath::generate(&config)?;
+//!
+//! // All-excluded clauses: every clause outputs 0, so the vote is a tie.
+//! let masks = ExcludeMasks::from_raw(
+//!     vec![vec![true; 8]; 4],
+//!     vec![vec![true; 8]; 4],
+//!     4,
+//! );
+//! let features = vec![true, false, true, false];
+//! let operand = dp.operand_bits(&features, &masks)?;
+//!
+//! let lib = Library::umc_ll();
+//! let mut driver = ProtocolDriver::new(dp.circuit(), &lib)?;
+//! let result = driver.apply_operand(&operand)?;
+//! let decision = dp.decode_decision(&result)?;
+//! let golden = reference::infer(&masks, &features);
+//! assert_eq!(decision, golden.decision);
+//! assert!(dp.decode_in_class(&result)?, "a tie counts as in-class");
+//! # Ok(())
+//! # }
+//! ```
+
+#![warn(missing_docs)]
+#![warn(missing_debug_implementations)]
+
+pub mod builder;
+pub mod clause_logic;
+pub mod comparator;
+pub mod config;
+pub mod error;
+pub mod popcount;
+pub mod reference;
+pub mod single_rail;
+pub mod workload;
+
+pub use builder::{CompletionScheme, DatapathOptions, DualRailDatapath};
+pub use config::DatapathConfig;
+pub use error::DatapathError;
+pub use reference::{ComparatorDecision, InferenceOutcome};
+pub use single_rail::SingleRailDatapath;
+pub use workload::InferenceWorkload;

@@ -1,0 +1,304 @@
+//! Population count: counting clause votes.
+//!
+//! The paper bases its counter on Dalalah's optimised eight-input
+//! bit-counting architecture, built from dual-rail half adders, full
+//! adders and OR gates (the paper also needs two spacer inverters around
+//! its inverted-spacer full-adder carry chain; this reproduction's full
+//! adder keeps its carries in the uniform all-zero-spacer domain, so no
+//! conversion is needed — see `DualRailNetlist::full_adder`).
+//!
+//! The structure used here:
+//!
+//! ```text
+//! level 1: four half adders pair up the eight inputs  -> four 2-bit sums
+//! level 2: two 2-bit + 2-bit adders; because the two carries of each
+//!          column are mutually exclusive a full adder is replaced by two
+//!          half adders and an OR gate (Dalalah's optimisation)
+//! level 3: one 3-bit + 3-bit adder (half adder, then two full adders)
+//! ```
+//!
+//! A single-rail version with XOR-based adders is provided for the
+//! synchronous baseline.
+
+use dualrail::{DualRailNetlist, DualRailSignal, SpacerPolarity};
+use netlist::{CellKind, NetId, Netlist};
+
+use crate::DatapathError;
+
+/// Builds the dual-rail eight-input population counter and returns the
+/// four output bits, least significant first (all all-zero spacer).
+///
+/// Fewer than eight inputs are padded with constant-zero signals; more
+/// than eight are rejected.
+///
+/// # Errors
+///
+/// Returns a width-mismatch error for more than eight inputs and
+/// propagates construction errors.
+pub fn dual_rail_popcount8(
+    dr: &mut DualRailNetlist,
+    prefix: &str,
+    inputs: &[DualRailSignal],
+) -> Result<[DualRailSignal; 4], DatapathError> {
+    if inputs.len() > 8 {
+        return Err(DatapathError::WidthMismatch {
+            what: "population counter inputs",
+            expected: 8,
+            got: inputs.len(),
+        });
+    }
+    let mut bits = inputs.to_vec();
+    for pad in bits.len()..8 {
+        bits.push(dr.constant(&format!("{prefix}_pad{pad}"), false, SpacerPolarity::AllZero)?);
+    }
+
+    // Level 1: pair the inputs with half adders.
+    let mut sums = Vec::with_capacity(4);
+    let mut carries = Vec::with_capacity(4);
+    for i in 0..4 {
+        let (s, c) = dr.half_adder(&format!("{prefix}_l1ha{i}"), bits[2 * i], bits[2 * i + 1])?;
+        sums.push(s);
+        carries.push(c);
+    }
+
+    // Level 2: add two 2-bit numbers (sum, carry) pairs.  The two carries
+    // produced in the middle column are mutually exclusive, so an OR gate
+    // combines them instead of a third adder (Dalalah's optimisation).
+    let mut level2 = Vec::with_capacity(2);
+    for g in 0..2 {
+        let (bit0, c0) = dr.half_adder(
+            &format!("{prefix}_l2g{g}ha0"),
+            sums[2 * g],
+            sums[2 * g + 1],
+        )?;
+        let (t, c1) = dr.half_adder(
+            &format!("{prefix}_l2g{g}ha1"),
+            carries[2 * g],
+            carries[2 * g + 1],
+        )?;
+        let (bit1, c2) = dr.half_adder(&format!("{prefix}_l2g{g}ha2"), t, c0)?;
+        let bit2 = dr.or2(&format!("{prefix}_l2g{g}or"), c1, c2)?;
+        level2.push([bit0, bit1, bit2]);
+    }
+
+    // Level 3: add the two 3-bit numbers with a half adder and two full
+    // adders.  The paper's counter keeps its full-adder carry chain in an
+    // inverted-spacer domain bracketed by two explicit spacer inverters;
+    // this reproduction's full adder uses the uniform all-zero spacer on
+    // its carries (see `DualRailNetlist::full_adder`), so the counter
+    // needs no polarity conversion here.
+    let [a0, a1, a2] = level2[0];
+    let [b0, b1, b2] = level2[1];
+    let (y0, k0) = dr.half_adder(&format!("{prefix}_l3ha"), a0, b0)?;
+    let (y1, k1) = dr.full_adder(&format!("{prefix}_l3fa0"), a1, b1, k0)?;
+    let (y2, y3) = dr.full_adder(&format!("{prefix}_l3fa1"), a2, b2, k1)?;
+
+    Ok([y0, y1, y2, y3])
+}
+
+/// Builds a single-rail eight-input population counter (XOR-based half
+/// and full adders) for the synchronous baseline; returns the four output
+/// bits, least significant first.
+///
+/// # Errors
+///
+/// Returns a width-mismatch error for more than eight inputs and
+/// propagates construction errors.
+pub fn single_rail_popcount8(
+    nl: &mut Netlist,
+    prefix: &str,
+    inputs: &[NetId],
+) -> Result<[NetId; 4], DatapathError> {
+    if inputs.len() > 8 {
+        return Err(DatapathError::WidthMismatch {
+            what: "population counter inputs",
+            expected: 8,
+            got: inputs.len(),
+        });
+    }
+    let mut bits = inputs.to_vec();
+    for pad in bits.len()..8 {
+        bits.push(nl.add_cell(format!("{prefix}_pad{pad}"), CellKind::Tie0, &[])?);
+    }
+
+    let half_adder = |nl: &mut Netlist, name: String, a: NetId, b: NetId| -> Result<(NetId, NetId), DatapathError> {
+        let sum = nl.add_cell(format!("{name}_xor"), CellKind::Xor2, &[a, b])?;
+        let carry = nl.add_cell(format!("{name}_and"), CellKind::And2, &[a, b])?;
+        Ok((sum, carry))
+    };
+    let full_adder = |nl: &mut Netlist,
+                          name: String,
+                          a: NetId,
+                          b: NetId,
+                          c: NetId|
+     -> Result<(NetId, NetId), DatapathError> {
+        let t = nl.add_cell(format!("{name}_xor0"), CellKind::Xor2, &[a, b])?;
+        let sum = nl.add_cell(format!("{name}_xor1"), CellKind::Xor2, &[t, c])?;
+        let carry = nl.add_cell(format!("{name}_maj"), CellKind::Maj3, &[a, b, c])?;
+        Ok((sum, carry))
+    };
+
+    let mut sums = Vec::new();
+    let mut carries = Vec::new();
+    for i in 0..4 {
+        let (s, c) = half_adder(nl, format!("{prefix}_l1ha{i}"), bits[2 * i], bits[2 * i + 1])?;
+        sums.push(s);
+        carries.push(c);
+    }
+    let mut level2 = Vec::new();
+    for g in 0..2 {
+        let (bit0, c0) = half_adder(nl, format!("{prefix}_l2g{g}ha0"), sums[2 * g], sums[2 * g + 1])?;
+        let (t, c1) = half_adder(
+            nl,
+            format!("{prefix}_l2g{g}ha1"),
+            carries[2 * g],
+            carries[2 * g + 1],
+        )?;
+        let (bit1, c2) = half_adder(nl, format!("{prefix}_l2g{g}ha2"), t, c0)?;
+        let bit2 = nl.add_cell(format!("{prefix}_l2g{g}or"), CellKind::Or2, &[c1, c2])?;
+        level2.push([bit0, bit1, bit2]);
+    }
+    let [a0, a1, a2] = level2[0];
+    let [b0, b1, b2] = level2[1];
+    let (y0, k0) = half_adder(nl, format!("{prefix}_l3ha"), a0, b0)?;
+    let (y1, k1) = full_adder(nl, format!("{prefix}_l3fa0"), a1, b1, k0)?;
+    let (y2, y3) = full_adder(nl, format!("{prefix}_l3fa1"), a2, b2, k1)?;
+    Ok([y0, y1, y2, y3])
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dualrail::DualRailValue;
+    use netlist::Evaluator;
+    use std::collections::HashMap;
+
+    fn decode_count(values: &[bool], outputs: &[DualRailSignal; 4]) -> usize {
+        outputs
+            .iter()
+            .enumerate()
+            .map(|(i, sig)| {
+                let v = DualRailValue::decode(
+                    values[sig.positive.index()].into(),
+                    values[sig.negative.index()].into(),
+                    sig.polarity,
+                );
+                match v {
+                    DualRailValue::Valid(true) => 1 << i,
+                    DualRailValue::Valid(false) => 0,
+                    other => panic!("output bit {i} is {other:?}"),
+                }
+            })
+            .sum()
+    }
+
+    #[test]
+    fn dual_rail_popcount_counts_every_pattern() {
+        let mut dr = DualRailNetlist::new("pc");
+        let inputs: Vec<DualRailSignal> =
+            (0..8).map(|i| dr.add_dual_input(format!("b{i}"))).collect();
+        let outputs = dual_rail_popcount8(&mut dr, "pc", &inputs).unwrap();
+        let eval = Evaluator::new(dr.netlist()).unwrap();
+
+        for pattern in 0..256u32 {
+            let mut map = HashMap::new();
+            for (i, sig) in inputs.iter().enumerate() {
+                let bit = pattern & (1 << i) != 0;
+                let (p, n) = DualRailValue::encode_valid(bit, sig.polarity);
+                map.insert(sig.positive, p);
+                map.insert(sig.negative, n);
+            }
+            let values = eval.eval(&map);
+            assert_eq!(
+                decode_count(&values, &outputs),
+                pattern.count_ones() as usize,
+                "pattern {pattern:08b}"
+            );
+        }
+    }
+
+    #[test]
+    fn dual_rail_popcount_propagates_spacer() {
+        let mut dr = DualRailNetlist::new("pc");
+        let inputs: Vec<DualRailSignal> =
+            (0..8).map(|i| dr.add_dual_input(format!("b{i}"))).collect();
+        let outputs = dual_rail_popcount8(&mut dr, "pc", &inputs).unwrap();
+        let eval = Evaluator::new(dr.netlist()).unwrap();
+        let mut map = HashMap::new();
+        for sig in &inputs {
+            let (p, n) = DualRailValue::encode_spacer(sig.polarity);
+            map.insert(sig.positive, p);
+            map.insert(sig.negative, n);
+        }
+        let values = eval.eval(&map);
+        for (i, sig) in outputs.iter().enumerate() {
+            let v = DualRailValue::decode(
+                values[sig.positive.index()].into(),
+                values[sig.negative.index()].into(),
+                sig.polarity,
+            );
+            assert_eq!(v, DualRailValue::Spacer, "output bit {i}");
+        }
+    }
+
+    #[test]
+    fn narrow_inputs_are_padded() {
+        let mut dr = DualRailNetlist::new("pc");
+        let inputs: Vec<DualRailSignal> =
+            (0..3).map(|i| dr.add_dual_input(format!("b{i}"))).collect();
+        let outputs = dual_rail_popcount8(&mut dr, "pc3", &inputs).unwrap();
+        let eval = Evaluator::new(dr.netlist()).unwrap();
+        for pattern in 0..8u32 {
+            let mut map = HashMap::new();
+            for (i, sig) in inputs.iter().enumerate() {
+                let (p, n) = DualRailValue::encode_valid(pattern & (1 << i) != 0, sig.polarity);
+                map.insert(sig.positive, p);
+                map.insert(sig.negative, n);
+            }
+            let values = eval.eval(&map);
+            assert_eq!(decode_count(&values, &outputs), pattern.count_ones() as usize);
+        }
+    }
+
+    #[test]
+    fn too_many_inputs_are_rejected() {
+        let mut dr = DualRailNetlist::new("pc");
+        let inputs: Vec<DualRailSignal> =
+            (0..9).map(|i| dr.add_dual_input(format!("b{i}"))).collect();
+        assert!(matches!(
+            dual_rail_popcount8(&mut dr, "pc", &inputs),
+            Err(DatapathError::WidthMismatch { .. })
+        ));
+    }
+
+    #[test]
+    fn dual_rail_popcount_is_unate_and_spacer_uniform() {
+        let mut dr = DualRailNetlist::new("pc");
+        let inputs: Vec<DualRailSignal> =
+            (0..8).map(|i| dr.add_dual_input(format!("b{i}"))).collect();
+        let outputs = dual_rail_popcount8(&mut dr, "pc", &inputs).unwrap();
+        assert!(dualrail::check_unate(dr.netlist()).is_ok());
+        // Every output stays in the all-zero spacer domain, so the counter
+        // composes directly with the comparator.
+        for bit in outputs {
+            assert_eq!(bit.polarity, dualrail::SpacerPolarity::AllZero);
+        }
+    }
+
+    #[test]
+    fn single_rail_popcount_counts_every_pattern() {
+        let mut nl = Netlist::new("pc_sr");
+        let inputs: Vec<NetId> = (0..8).map(|i| nl.add_input(format!("b{i}"))).collect();
+        let outputs = single_rail_popcount8(&mut nl, "pc", &inputs).unwrap();
+        for (i, &o) in outputs.iter().enumerate() {
+            nl.add_output(format!("y{i}"), o);
+        }
+        let eval = Evaluator::new(&nl).unwrap();
+        for pattern in 0..256u32 {
+            let bits: Vec<bool> = (0..8).map(|i| pattern & (1 << i) != 0).collect();
+            let out = eval.eval_vector(&bits);
+            let count: usize = out.iter().enumerate().map(|(i, &b)| usize::from(b) << i).sum();
+            assert_eq!(count, pattern.count_ones() as usize, "pattern {pattern:08b}");
+        }
+    }
+}

@@ -1,0 +1,139 @@
+//! The software golden model of the inference datapath.
+//!
+//! Every hardware result (single-rail or dual-rail) is checked against
+//! [`infer`], which evaluates the clauses, counts the votes and compares
+//! the counts exactly as the paper's Figure 1/2 describe.
+
+use tsetlin::ExcludeMasks;
+
+/// The outcome of the magnitude comparison between the two vote counts.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum ComparatorDecision {
+    /// Fewer positive than negative votes.
+    Less,
+    /// Equal vote counts.
+    Equal,
+    /// More positive than negative votes.
+    Greater,
+}
+
+impl ComparatorDecision {
+    /// Index of this decision in the hardware's 1-of-3 output group
+    /// (`0 = less`, `1 = equal`, `2 = greater`).
+    #[must_use]
+    pub fn one_of_three_index(self) -> usize {
+        match self {
+            ComparatorDecision::Less => 0,
+            ComparatorDecision::Equal => 1,
+            ComparatorDecision::Greater => 2,
+        }
+    }
+
+    /// Builds a decision from its 1-of-3 index.
+    #[must_use]
+    pub fn from_index(index: usize) -> Option<Self> {
+        match index {
+            0 => Some(ComparatorDecision::Less),
+            1 => Some(ComparatorDecision::Equal),
+            2 => Some(ComparatorDecision::Greater),
+            _ => None,
+        }
+    }
+}
+
+/// The complete result of one inference.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub struct InferenceOutcome {
+    /// Votes from the positive clause bank.
+    pub positive_votes: usize,
+    /// Votes from the negative clause bank.
+    pub negative_votes: usize,
+    /// The magnitude-comparator decision.
+    pub decision: ComparatorDecision,
+    /// The classification: the paper treats a non-negative vote sum
+    /// (greater *or equal*) as "belongs to the class".
+    pub in_class: bool,
+}
+
+/// Computes the golden inference outcome for a trained machine (given by
+/// its exclude masks) and a feature vector.
+///
+/// # Panics
+///
+/// Panics if `features.len()` differs from the mask feature count.
+#[must_use]
+pub fn infer(masks: &ExcludeMasks, features: &[bool]) -> InferenceOutcome {
+    assert_eq!(
+        features.len(),
+        masks.feature_count(),
+        "feature vector width must match the masks"
+    );
+    let (positive_votes, negative_votes) = masks.votes(features);
+    let decision = match positive_votes.cmp(&negative_votes) {
+        std::cmp::Ordering::Less => ComparatorDecision::Less,
+        std::cmp::Ordering::Equal => ComparatorDecision::Equal,
+        std::cmp::Ordering::Greater => ComparatorDecision::Greater,
+    };
+    InferenceOutcome {
+        positive_votes,
+        negative_votes,
+        decision,
+        in_class: decision != ComparatorDecision::Less,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn masks_with(pos_includes: &[Vec<usize>], neg_includes: &[Vec<usize>], features: usize) -> ExcludeMasks {
+        let to_mask = |includes: &Vec<usize>| {
+            let mut mask = vec![true; 2 * features];
+            for &literal in includes {
+                mask[literal] = false;
+            }
+            mask
+        };
+        ExcludeMasks::from_raw(
+            pos_includes.iter().map(to_mask).collect(),
+            neg_includes.iter().map(to_mask).collect(),
+            features,
+        )
+    }
+
+    #[test]
+    fn votes_and_decision() {
+        // Positive clauses: [x0], [x0 & !x1]; negative clause: [x1].
+        let masks = masks_with(&[vec![0], vec![0, 3]], &[vec![2]], 2);
+        let outcome = infer(&masks, &[true, false]);
+        assert_eq!(outcome.positive_votes, 2);
+        assert_eq!(outcome.negative_votes, 0);
+        assert_eq!(outcome.decision, ComparatorDecision::Greater);
+        assert!(outcome.in_class);
+
+        let outcome = infer(&masks, &[false, true]);
+        assert_eq!(outcome.positive_votes, 0);
+        assert_eq!(outcome.negative_votes, 1);
+        assert_eq!(outcome.decision, ComparatorDecision::Less);
+        assert!(!outcome.in_class);
+
+        let outcome = infer(&masks, &[false, false]);
+        assert_eq!(outcome.decision, ComparatorDecision::Equal);
+        assert!(outcome.in_class, "ties count as in-class");
+    }
+
+    #[test]
+    fn decision_index_round_trip() {
+        for decision in [
+            ComparatorDecision::Less,
+            ComparatorDecision::Equal,
+            ComparatorDecision::Greater,
+        ] {
+            assert_eq!(
+                ComparatorDecision::from_index(decision.one_of_three_index()),
+                Some(decision)
+            );
+        }
+        assert_eq!(ComparatorDecision::from_index(3), None);
+    }
+}

@@ -1,0 +1,276 @@
+//! The synchronous single-rail baseline datapath.
+//!
+//! This is the design the paper compares against: the same clause
+//! calculation, population count and magnitude comparison implemented
+//! with conventional Boolean gates (including the non-unate XOR adders a
+//! synthesis tool would infer), with D flip-flops registering every
+//! primary input and the three comparator outputs.  Its latency is the
+//! clock period, which static timing analysis derives from the worst
+//! combinational path.
+
+use netlist::{CellKind, NetId, Netlist};
+use tsetlin::ExcludeMasks;
+
+use crate::clause_logic::single_rail_clause;
+use crate::comparator::single_rail_comparator;
+use crate::popcount::single_rail_popcount8;
+use crate::{DatapathConfig, DatapathError};
+
+/// The generated synchronous single-rail datapath.
+#[derive(Clone, Debug)]
+pub struct SingleRailDatapath {
+    netlist: Netlist,
+    config: DatapathConfig,
+}
+
+impl SingleRailDatapath {
+    /// Generates the registered synchronous datapath.
+    ///
+    /// Primary inputs: `clk`, the features `f*`, then the positive-bank
+    /// exclude signals `ep*`, then the negative-bank excludes `en*`.
+    /// Primary outputs: the registered comparator wires `less`, `equal`,
+    /// `greater`.
+    ///
+    /// # Errors
+    ///
+    /// Propagates construction errors.
+    pub fn generate(config: &DatapathConfig) -> Result<Self, DatapathError> {
+        let mut nl = Netlist::new("tm_inference_single_rail");
+        let clk = nl.add_input("clk");
+        let clauses = config.clauses_per_polarity();
+        let literals = config.literals_per_clause();
+
+        let register =
+            |nl: &mut Netlist, name: String, data: NetId| -> Result<NetId, DatapathError> {
+                Ok(nl.add_cell(name, CellKind::Dff, &[data, clk])?)
+            };
+
+        // Registered inputs.
+        let raw_features: Vec<NetId> = (0..config.features())
+            .map(|m| nl.add_input(format!("f{m}")))
+            .collect();
+        let features: Vec<NetId> = raw_features
+            .iter()
+            .enumerate()
+            .map(|(m, &net)| register(&mut nl, format!("reg_f{m}"), net))
+            .collect::<Result<_, _>>()?;
+
+        let bank = |nl: &mut Netlist, tag: &str| -> Result<Vec<Vec<NetId>>, DatapathError> {
+            (0..clauses)
+                .map(|j| {
+                    (0..literals)
+                        .map(|l| {
+                            let raw = nl.add_input(format!("{tag}{j}_{l}"));
+                            register(nl, format!("reg_{tag}{j}_{l}"), raw)
+                        })
+                        .collect()
+                })
+                .collect()
+        };
+        let positive_excludes = bank(&mut nl, "ep")?;
+        let negative_excludes = bank(&mut nl, "en")?;
+
+        // Clause banks.
+        let positive_clauses: Vec<NetId> = positive_excludes
+            .iter()
+            .enumerate()
+            .map(|(j, bundle)| single_rail_clause(&mut nl, &format!("cp{j}"), &features, bundle))
+            .collect::<Result<_, _>>()?;
+        let negative_clauses: Vec<NetId> = negative_excludes
+            .iter()
+            .enumerate()
+            .map(|(j, bundle)| single_rail_clause(&mut nl, &format!("cn{j}"), &features, bundle))
+            .collect::<Result<_, _>>()?;
+
+        // Population counts and comparison.
+        let positive_count = single_rail_popcount8(&mut nl, "pcp", &positive_clauses)?;
+        let negative_count = single_rail_popcount8(&mut nl, "pcn", &negative_clauses)?;
+        let comparator =
+            single_rail_comparator(&mut nl, "cmp", &positive_count, &negative_count)?;
+
+        // Registered outputs.
+        let less = register(&mut nl, "reg_less".to_string(), comparator.less)?;
+        let equal = register(&mut nl, "reg_equal".to_string(), comparator.equal)?;
+        let greater = register(&mut nl, "reg_greater".to_string(), comparator.greater)?;
+        nl.add_output("less", less);
+        nl.add_output("equal", equal);
+        nl.add_output("greater", greater);
+
+        Ok(Self {
+            netlist: nl,
+            config: *config,
+        })
+    }
+
+    /// The underlying netlist.
+    #[must_use]
+    pub fn netlist(&self) -> &Netlist {
+        &self.netlist
+    }
+
+    /// The configuration this datapath was generated from.
+    #[must_use]
+    pub fn config(&self) -> &DatapathConfig {
+        &self.config
+    }
+
+    /// Flattens a feature vector and exclude masks into the data-input
+    /// vector expected by [`gatesim::run_synchronous_vectors`] (every
+    /// primary input except `clk`, in declaration order).
+    ///
+    /// # Errors
+    ///
+    /// Returns width-mismatch errors if the inputs do not match this
+    /// datapath's configuration.
+    pub fn operand_bits(
+        &self,
+        features: &[bool],
+        masks: &ExcludeMasks,
+    ) -> Result<Vec<bool>, DatapathError> {
+        if features.len() != self.config.features() {
+            return Err(DatapathError::WidthMismatch {
+                what: "feature vector",
+                expected: self.config.features(),
+                got: features.len(),
+            });
+        }
+        if masks.feature_count() != self.config.features()
+            || masks.clauses_per_polarity() != self.config.clauses_per_polarity()
+        {
+            return Err(DatapathError::WidthMismatch {
+                what: "exclude masks",
+                expected: self.config.features(),
+                got: masks.feature_count(),
+            });
+        }
+        let mut bits = Vec::with_capacity(self.config.data_input_count());
+        bits.extend_from_slice(features);
+        for mask in masks.positive() {
+            bits.extend_from_slice(mask);
+        }
+        for mask in masks.negative() {
+            bits.extend_from_slice(mask);
+        }
+        Ok(bits)
+    }
+
+    /// Decodes the registered comparator outputs (in port order `less`,
+    /// `equal`, `greater`) into a decision index compatible with
+    /// [`crate::ComparatorDecision::from_index`].
+    ///
+    /// # Errors
+    ///
+    /// Returns [`DatapathError::DecodeFailure`] unless exactly one output
+    /// is high.
+    pub fn decode_decision_bits(&self, outputs: &[bool]) -> Result<usize, DatapathError> {
+        if outputs.len() != 3 {
+            return Err(DatapathError::DecodeFailure(format!(
+                "expected 3 comparator outputs, got {}",
+                outputs.len()
+            )));
+        }
+        let high: Vec<usize> = outputs
+            .iter()
+            .enumerate()
+            .filter(|(_, &v)| v)
+            .map(|(i, _)| i)
+            .collect();
+        if high.len() == 1 {
+            Ok(high[0])
+        } else {
+            Err(DatapathError::DecodeFailure(format!(
+                "expected exactly one active comparator output, got {high:?}"
+            )))
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::reference;
+    use celllib::Library;
+    use gatesim::run_synchronous_vectors;
+    use netlist::NetlistStats;
+    use rand::rngs::StdRng;
+    use rand::{Rng, SeedableRng};
+    use sta::ClockPeriod;
+
+    fn random_masks(rng: &mut StdRng, config: &DatapathConfig) -> ExcludeMasks {
+        let bank = |rng: &mut StdRng| {
+            (0..config.clauses_per_polarity())
+                .map(|_| {
+                    (0..config.literals_per_clause())
+                        .map(|_| rng.gen_bool(0.7))
+                        .collect()
+                })
+                .collect()
+        };
+        ExcludeMasks::from_raw(bank(rng), bank(rng), config.features())
+    }
+
+    #[test]
+    fn single_rail_datapath_matches_reference_through_the_pipeline() {
+        let config = DatapathConfig::new(4, 4).unwrap();
+        let dp = SingleRailDatapath::generate(&config).unwrap();
+        let lib = Library::umc_ll();
+        let clock = ClockPeriod::compute(dp.netlist(), &lib).unwrap();
+
+        let mut rng = StdRng::seed_from_u64(5);
+        let masks = random_masks(&mut rng, &config);
+        let cases: Vec<Vec<bool>> = (0..6)
+            .map(|_| (0..config.features()).map(|_| rng.gen_bool(0.5)).collect())
+            .collect();
+
+        // Two pipeline registers: feed each operand twice and read the
+        // result two cycles after it was applied.
+        let mut vectors = Vec::new();
+        for case in &cases {
+            let bits = dp.operand_bits(case, &masks).unwrap();
+            vectors.push(bits.clone());
+            vectors.push(bits.clone());
+            vectors.push(bits);
+        }
+        let run = run_synchronous_vectors(dp.netlist(), &lib, clock.period_ps(), &vectors);
+
+        for (i, case) in cases.iter().enumerate() {
+            let outputs: Vec<bool> = run.outputs_per_cycle[3 * i + 2]
+                .iter()
+                .map(|v| v.is_one())
+                .collect();
+            let decision = dp.decode_decision_bits(&outputs).unwrap();
+            let golden = reference::infer(&masks, case);
+            assert_eq!(
+                decision,
+                golden.decision.one_of_three_index(),
+                "case {case:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn single_rail_datapath_has_flip_flops_and_uses_xor() {
+        let config = DatapathConfig::new(4, 4).unwrap();
+        let dp = SingleRailDatapath::generate(&config).unwrap();
+        let stats = NetlistStats::of(dp.netlist());
+        // Input registers: features + both exclude banks; output registers: 3.
+        let expected_ffs = config.data_input_count() + 3;
+        assert_eq!(stats.sequential_count, expected_ffs);
+        assert!(stats.histogram.count(netlist::CellKind::Xor2) > 0);
+        assert!(dualrail::check_unate(dp.netlist()).is_err());
+    }
+
+    #[test]
+    fn wrong_widths_are_rejected() {
+        let config = DatapathConfig::new(4, 4).unwrap();
+        let dp = SingleRailDatapath::generate(&config).unwrap();
+        let masks = ExcludeMasks::from_raw(
+            vec![vec![true; 8]; 4],
+            vec![vec![true; 8]; 4],
+            4,
+        );
+        assert!(dp.operand_bits(&[true; 3], &masks).is_err());
+        assert!(dp.decode_decision_bits(&[true, true, false]).is_err());
+        assert!(dp.decode_decision_bits(&[false, false]).is_err());
+    }
+}

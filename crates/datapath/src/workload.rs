@@ -1,0 +1,217 @@
+//! Workload generation: realistic operand streams for the datapath.
+//!
+//! The average latency of the early-propagative datapath depends on the
+//! *distribution* of its operands (how often the comparator can decide
+//! from the top bits, how many clauses fire, …), so the benchmarks drive
+//! it with operands derived from trained Tsetlin machines as well as
+//! uniform-random controls.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use tsetlin::{ExcludeMasks, TsetlinMachine};
+
+use crate::reference::{infer, InferenceOutcome};
+use crate::{DatapathConfig, DatapathError};
+
+/// A batch of inference operands with their golden outcomes.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct InferenceWorkload {
+    masks: ExcludeMasks,
+    feature_vectors: Vec<Vec<bool>>,
+    expected: Vec<InferenceOutcome>,
+}
+
+impl InferenceWorkload {
+    /// Builds a workload from explicit masks and feature vectors.
+    ///
+    /// # Errors
+    ///
+    /// Returns a width-mismatch error if the masks or any feature vector
+    /// disagree with `config`.
+    pub fn new(
+        config: &DatapathConfig,
+        masks: ExcludeMasks,
+        feature_vectors: Vec<Vec<bool>>,
+    ) -> Result<Self, DatapathError> {
+        if masks.feature_count() != config.features()
+            || masks.clauses_per_polarity() != config.clauses_per_polarity()
+        {
+            return Err(DatapathError::WidthMismatch {
+                what: "exclude masks",
+                expected: config.features(),
+                got: masks.feature_count(),
+            });
+        }
+        for vector in &feature_vectors {
+            if vector.len() != config.features() {
+                return Err(DatapathError::WidthMismatch {
+                    what: "feature vector",
+                    expected: config.features(),
+                    got: vector.len(),
+                });
+            }
+        }
+        let expected = feature_vectors.iter().map(|v| infer(&masks, v)).collect();
+        Ok(Self {
+            masks,
+            feature_vectors,
+            expected,
+        })
+    }
+
+    /// Builds a workload from a trained Tsetlin machine and a set of
+    /// feature vectors (e.g. a held-out test set).
+    ///
+    /// # Errors
+    ///
+    /// Returns a width-mismatch error if the machine does not match the
+    /// datapath configuration.
+    pub fn from_machine(
+        config: &DatapathConfig,
+        machine: &TsetlinMachine,
+        feature_vectors: &[Vec<bool>],
+    ) -> Result<Self, DatapathError> {
+        Self::new(
+            config,
+            ExcludeMasks::from_machine(machine),
+            feature_vectors.to_vec(),
+        )
+    }
+
+    /// Builds a uniform-random workload (random masks with the given
+    /// exclude probability and random features) — the control case for
+    /// the operand-distribution analysis.
+    ///
+    /// # Errors
+    ///
+    /// Never fails for a valid configuration; the `Result` mirrors the
+    /// other constructors.
+    pub fn random(
+        config: &DatapathConfig,
+        operands: usize,
+        exclude_probability: f64,
+        seed: u64,
+    ) -> Result<Self, DatapathError> {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let bank = |rng: &mut StdRng| -> Vec<Vec<bool>> {
+            (0..config.clauses_per_polarity())
+                .map(|_| {
+                    (0..config.literals_per_clause())
+                        .map(|_| rng.gen_bool(exclude_probability))
+                        .collect()
+                })
+                .collect()
+        };
+        let masks = ExcludeMasks::from_raw(bank(&mut rng), bank(&mut rng), config.features());
+        let feature_vectors = (0..operands)
+            .map(|_| (0..config.features()).map(|_| rng.gen_bool(0.5)).collect())
+            .collect();
+        Self::new(config, masks, feature_vectors)
+    }
+
+    /// The exclude masks shared by every operand.
+    #[must_use]
+    pub fn masks(&self) -> &ExcludeMasks {
+        &self.masks
+    }
+
+    /// The feature vectors, one per operand.
+    #[must_use]
+    pub fn feature_vectors(&self) -> &[Vec<bool>] {
+        &self.feature_vectors
+    }
+
+    /// The golden outcome of each operand.
+    #[must_use]
+    pub fn expected(&self) -> &[InferenceOutcome] {
+        &self.expected
+    }
+
+    /// Number of operands.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.feature_vectors.len()
+    }
+
+    /// Whether the workload is empty.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.feature_vectors.is_empty()
+    }
+
+    /// Flattened operand bit vectors for the dual-rail datapath.
+    ///
+    /// # Errors
+    ///
+    /// Propagates width mismatches from
+    /// [`crate::DualRailDatapath::operand_bits`].
+    pub fn dual_rail_operands(
+        &self,
+        datapath: &crate::DualRailDatapath,
+    ) -> Result<Vec<Vec<bool>>, DatapathError> {
+        self.feature_vectors
+            .iter()
+            .map(|v| datapath.operand_bits(v, &self.masks))
+            .collect()
+    }
+
+    /// Flattened operand bit vectors for the single-rail datapath.
+    ///
+    /// # Errors
+    ///
+    /// Propagates width mismatches from
+    /// [`crate::SingleRailDatapath::operand_bits`].
+    pub fn single_rail_operands(
+        &self,
+        datapath: &crate::SingleRailDatapath,
+    ) -> Result<Vec<Vec<bool>>, DatapathError> {
+        self.feature_vectors
+            .iter()
+            .map(|v| datapath.operand_bits(v, &self.masks))
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn random_workload_is_reproducible_and_well_formed() {
+        let config = DatapathConfig::new(6, 8).unwrap();
+        let a = InferenceWorkload::random(&config, 20, 0.7, 13).unwrap();
+        let b = InferenceWorkload::random(&config, 20, 0.7, 13).unwrap();
+        assert_eq!(a, b);
+        assert_eq!(a.len(), 20);
+        assert!(!a.is_empty());
+        assert_eq!(a.expected().len(), 20);
+        assert_eq!(a.masks().clauses_per_polarity(), 8);
+        for vector in a.feature_vectors() {
+            assert_eq!(vector.len(), 6);
+        }
+    }
+
+    #[test]
+    fn workload_rejects_mismatched_masks() {
+        let config = DatapathConfig::new(6, 8).unwrap();
+        let masks = ExcludeMasks::from_raw(vec![vec![true; 4]; 8], vec![vec![true; 4]; 8], 2);
+        assert!(InferenceWorkload::new(&config, masks, vec![]).is_err());
+    }
+
+    #[test]
+    fn workload_from_trained_machine() {
+        let data = tsetlin::datasets::noisy_xor(120, 0.05, 3);
+        let params = tsetlin::TrainingParams::new(8, 10.0, 3.5).unwrap();
+        let mut tm = tsetlin::TsetlinMachine::new(data.feature_count(), params, 9).unwrap();
+        tm.fit(data.train_inputs(), data.train_labels(), 10);
+        let config = DatapathConfig::new(data.feature_count(), 8).unwrap();
+        let workload =
+            InferenceWorkload::from_machine(&config, &tm, data.test_inputs()).unwrap();
+        assert_eq!(workload.len(), data.test_inputs().len());
+        // The golden outcomes must agree with the machine's own votes.
+        for (vector, outcome) in workload.feature_vectors().iter().zip(workload.expected()) {
+            assert_eq!(outcome.positive_votes, tm.positive_votes(vector));
+            assert_eq!(outcome.negative_votes, tm.negative_votes(vector));
+        }
+    }
+}

@@ -1,0 +1,660 @@
+//! Standard-cell primitives: gate kinds, pin counts, unateness and
+//! boolean evaluation.
+//!
+//! The kinds listed here mirror the cells used by the paper's designs:
+//! simple unate gates (INV/BUF/AND/OR/NAND/NOR), the non-unate XOR/XNOR
+//! pair (allowed only in single-rail synchronous designs, excluded from
+//! dual-rail netlists — Requirement 2 of the paper), complex
+//! AND-OR-INVERT / OR-AND-INVERT gates used by the dual-rail half and
+//! full adders, the Muller C-element used as the asynchronous latch, and
+//! a D flip-flop for the synchronous baseline.
+
+use std::fmt;
+
+/// Unateness of a cell input: how the output responds to a rising input.
+///
+/// Monotonic (unate) switching is Requirement 2 of the paper's
+/// self-timing methodology: dual-rail netlists must be built exclusively
+/// from unate gates so that a spacer→valid wavefront never causes a
+/// 1→0→1 glitch.
+///
+/// # Example
+///
+/// ```
+/// use netlist::{CellKind, Unateness};
+/// assert_eq!(CellKind::And2.unateness(0), Unateness::Positive);
+/// assert_eq!(CellKind::Nor2.unateness(1), Unateness::Negative);
+/// assert_eq!(CellKind::Xor2.unateness(0), Unateness::NonUnate);
+/// ```
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum Unateness {
+    /// A rising input can only cause the output to rise (or stay).
+    Positive,
+    /// A rising input can only cause the output to fall (or stay).
+    Negative,
+    /// The output may rise or fall for a rising input (e.g. XOR).
+    NonUnate,
+}
+
+impl Unateness {
+    /// Returns `true` unless the input is [`Unateness::NonUnate`].
+    #[must_use]
+    pub fn is_unate(self) -> bool {
+        !matches!(self, Unateness::NonUnate)
+    }
+}
+
+/// The kind (library function) of a primitive cell.
+///
+/// Every kind has exactly one output pin and a fixed number of input
+/// pins given by [`CellKind::input_count`].
+///
+/// # Example
+///
+/// ```
+/// use netlist::CellKind;
+/// assert_eq!(CellKind::Aoi22.input_count(), 4);
+/// assert!(CellKind::CElement2.is_sequential());
+/// assert!(!CellKind::Nand3.is_sequential());
+/// ```
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum CellKind {
+    /// Non-inverting buffer.
+    Buf,
+    /// Inverter.
+    Inv,
+    /// 2-input AND.
+    And2,
+    /// 3-input AND.
+    And3,
+    /// 4-input AND.
+    And4,
+    /// 2-input OR.
+    Or2,
+    /// 3-input OR.
+    Or3,
+    /// 4-input OR.
+    Or4,
+    /// 2-input NAND.
+    Nand2,
+    /// 3-input NAND.
+    Nand3,
+    /// 4-input NAND.
+    Nand4,
+    /// 2-input NOR.
+    Nor2,
+    /// 3-input NOR.
+    Nor3,
+    /// 4-input NOR.
+    Nor4,
+    /// 2-input XOR (non-unate; forbidden in dual-rail netlists).
+    Xor2,
+    /// 2-input XNOR (non-unate; forbidden in dual-rail netlists).
+    Xnor2,
+    /// AND-OR-INVERT 21: `!((a & b) | c)`.
+    Aoi21,
+    /// AND-OR-INVERT 22: `!((a & b) | (c & d))`.
+    Aoi22,
+    /// AND-OR-INVERT 32: `!((a & b & c) | (d & e))`.
+    Aoi32,
+    /// OR-AND-INVERT 21: `!((a | b) & c)`.
+    Oai21,
+    /// OR-AND-INVERT 22: `!((a | b) & (c | d))`.
+    Oai22,
+    /// 3-input majority gate: `ab | bc | ca`.
+    Maj3,
+    /// 2-input Muller C-element (state-holding): output rises when both
+    /// inputs are 1, falls when both are 0, otherwise holds.
+    CElement2,
+    /// 3-input Muller C-element.
+    CElement3,
+    /// Rising-edge D flip-flop. Pin 0 = `d`, pin 1 = `clk`.
+    Dff,
+    /// Constant logic 0 source (no inputs).
+    Tie0,
+    /// Constant logic 1 source (no inputs).
+    Tie1,
+}
+
+impl CellKind {
+    /// All cell kinds, in a stable order (useful for histograms and
+    /// exhaustive tests).
+    pub const ALL: [CellKind; 27] = [
+        CellKind::Buf,
+        CellKind::Inv,
+        CellKind::And2,
+        CellKind::And3,
+        CellKind::And4,
+        CellKind::Or2,
+        CellKind::Or3,
+        CellKind::Or4,
+        CellKind::Nand2,
+        CellKind::Nand3,
+        CellKind::Nand4,
+        CellKind::Nor2,
+        CellKind::Nor3,
+        CellKind::Nor4,
+        CellKind::Xor2,
+        CellKind::Xnor2,
+        CellKind::Aoi21,
+        CellKind::Aoi22,
+        CellKind::Aoi32,
+        CellKind::Oai21,
+        CellKind::Oai22,
+        CellKind::Maj3,
+        CellKind::CElement2,
+        CellKind::CElement3,
+        CellKind::Dff,
+        CellKind::Tie0,
+        CellKind::Tie1,
+    ];
+
+    /// Number of input pins of this kind.
+    #[must_use]
+    pub fn input_count(self) -> usize {
+        match self {
+            CellKind::Tie0 | CellKind::Tie1 => 0,
+            CellKind::Buf | CellKind::Inv => 1,
+            CellKind::And2
+            | CellKind::Or2
+            | CellKind::Nand2
+            | CellKind::Nor2
+            | CellKind::Xor2
+            | CellKind::Xnor2
+            | CellKind::CElement2
+            | CellKind::Dff => 2,
+            CellKind::And3
+            | CellKind::Or3
+            | CellKind::Nand3
+            | CellKind::Nor3
+            | CellKind::Aoi21
+            | CellKind::Oai21
+            | CellKind::Maj3
+            | CellKind::CElement3 => 3,
+            CellKind::And4
+            | CellKind::Or4
+            | CellKind::Nand4
+            | CellKind::Nor4
+            | CellKind::Aoi22
+            | CellKind::Oai22 => 4,
+            CellKind::Aoi32 => 5,
+        }
+    }
+
+    /// Whether this cell holds state between evaluations.
+    ///
+    /// The paper counts C-element area as "sequential area" for the
+    /// dual-rail designs, mirroring the flip-flop area of the single-rail
+    /// designs.
+    #[must_use]
+    pub fn is_sequential(self) -> bool {
+        matches!(
+            self,
+            CellKind::CElement2 | CellKind::CElement3 | CellKind::Dff
+        )
+    }
+
+    /// Whether the output logic level is an inversion of the "natural"
+    /// polarity of its inputs (single inversion from every input).
+    ///
+    /// Used by the dual-rail expansion to track spacer polarity: a path
+    /// through an inverting gate flips an all-zero spacer into an
+    /// all-one spacer and vice versa.
+    #[must_use]
+    pub fn is_inverting(self) -> bool {
+        matches!(
+            self,
+            CellKind::Inv
+                | CellKind::Nand2
+                | CellKind::Nand3
+                | CellKind::Nand4
+                | CellKind::Nor2
+                | CellKind::Nor3
+                | CellKind::Nor4
+                | CellKind::Aoi21
+                | CellKind::Aoi22
+                | CellKind::Aoi32
+                | CellKind::Oai21
+                | CellKind::Oai22
+                | CellKind::Xnor2
+        )
+    }
+
+    /// Unateness of input pin `pin`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `pin >= self.input_count()`.
+    #[must_use]
+    pub fn unateness(self, pin: usize) -> Unateness {
+        assert!(
+            pin < self.input_count(),
+            "pin {pin} out of range for {self:?} with {} inputs",
+            self.input_count()
+        );
+        match self {
+            CellKind::Buf
+            | CellKind::And2
+            | CellKind::And3
+            | CellKind::And4
+            | CellKind::Or2
+            | CellKind::Or3
+            | CellKind::Or4
+            | CellKind::Maj3
+            | CellKind::CElement2
+            | CellKind::CElement3
+            | CellKind::Dff => Unateness::Positive,
+            CellKind::Inv
+            | CellKind::Nand2
+            | CellKind::Nand3
+            | CellKind::Nand4
+            | CellKind::Nor2
+            | CellKind::Nor3
+            | CellKind::Nor4
+            | CellKind::Aoi21
+            | CellKind::Aoi22
+            | CellKind::Aoi32
+            | CellKind::Oai21
+            | CellKind::Oai22 => Unateness::Negative,
+            CellKind::Xor2 | CellKind::Xnor2 => Unateness::NonUnate,
+            CellKind::Tie0 | CellKind::Tie1 => {
+                unreachable!("tie cells have no input pins")
+            }
+        }
+    }
+
+    /// Whether every input pin of this kind is unate (monotonic).
+    ///
+    /// Dual-rail netlists must satisfy this for every cell
+    /// (Requirement 2 of the paper).
+    #[must_use]
+    pub fn is_unate(self) -> bool {
+        (0..self.input_count()).all(|p| self.unateness(p).is_unate())
+    }
+
+    /// Evaluates the cell function over two-valued inputs.
+    ///
+    /// `prev` supplies the previous output value for state-holding kinds
+    /// ([`CellKind::CElement2`], [`CellKind::CElement3`],
+    /// [`CellKind::Dff`]); it is ignored by combinational kinds.  For a
+    /// flip-flop this returns the *held* value — clock-edge capture is
+    /// the responsibility of the simulator.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `inputs.len() != self.input_count()`.
+    ///
+    /// # Example
+    ///
+    /// ```
+    /// use netlist::CellKind;
+    /// assert!(CellKind::Aoi21.eval(&[true, false, false], None));
+    /// assert!(!CellKind::Aoi21.eval(&[true, true, false], None));
+    /// // A C-element holds its value while inputs disagree.
+    /// assert!(CellKind::CElement2.eval(&[true, false], Some(true)));
+    /// assert!(!CellKind::CElement2.eval(&[true, false], Some(false)));
+    /// ```
+    #[must_use]
+    pub fn eval(self, inputs: &[bool], prev: Option<bool>) -> bool {
+        assert_eq!(
+            inputs.len(),
+            self.input_count(),
+            "{self:?} expects {} inputs, got {}",
+            self.input_count(),
+            inputs.len()
+        );
+        match self {
+            CellKind::Buf => inputs[0],
+            CellKind::Inv => !inputs[0],
+            CellKind::And2 | CellKind::And3 | CellKind::And4 => inputs.iter().all(|&b| b),
+            CellKind::Or2 | CellKind::Or3 | CellKind::Or4 => inputs.iter().any(|&b| b),
+            CellKind::Nand2 | CellKind::Nand3 | CellKind::Nand4 => !inputs.iter().all(|&b| b),
+            CellKind::Nor2 | CellKind::Nor3 | CellKind::Nor4 => !inputs.iter().any(|&b| b),
+            CellKind::Xor2 => inputs[0] ^ inputs[1],
+            CellKind::Xnor2 => !(inputs[0] ^ inputs[1]),
+            CellKind::Aoi21 => !((inputs[0] && inputs[1]) || inputs[2]),
+            CellKind::Aoi22 => !((inputs[0] && inputs[1]) || (inputs[2] && inputs[3])),
+            CellKind::Aoi32 => {
+                !((inputs[0] && inputs[1] && inputs[2]) || (inputs[3] && inputs[4]))
+            }
+            CellKind::Oai21 => !((inputs[0] || inputs[1]) && inputs[2]),
+            CellKind::Oai22 => !((inputs[0] || inputs[1]) && (inputs[2] || inputs[3])),
+            CellKind::Maj3 => {
+                (inputs[0] && inputs[1]) || (inputs[1] && inputs[2]) || (inputs[0] && inputs[2])
+            }
+            CellKind::CElement2 | CellKind::CElement3 => {
+                if inputs.iter().all(|&b| b) {
+                    true
+                } else if inputs.iter().all(|&b| !b) {
+                    false
+                } else {
+                    prev.unwrap_or(false)
+                }
+            }
+            CellKind::Dff => prev.unwrap_or(false),
+            CellKind::Tie0 => false,
+            CellKind::Tie1 => true,
+        }
+    }
+
+    /// Evaluates the cell over three-valued inputs (`None` = unknown X).
+    ///
+    /// Implements controlling-value semantics: an AND with any 0 input is
+    /// 0 even if other inputs are unknown, an OR with any 1 input is 1,
+    /// and so on.  Used by the event-driven simulator for X-initialised
+    /// nets.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `inputs.len() != self.input_count()`.
+    #[must_use]
+    pub fn eval_tristate(self, inputs: &[Option<bool>], prev: Option<bool>) -> Option<bool> {
+        assert_eq!(
+            inputs.len(),
+            self.input_count(),
+            "{self:?} expects {} inputs, got {}",
+            self.input_count(),
+            inputs.len()
+        );
+
+        fn and_all(vals: &[Option<bool>]) -> Option<bool> {
+            if vals.iter().any(|v| *v == Some(false)) {
+                Some(false)
+            } else if vals.iter().all(|v| *v == Some(true)) {
+                Some(true)
+            } else {
+                None
+            }
+        }
+        fn or_all(vals: &[Option<bool>]) -> Option<bool> {
+            if vals.iter().any(|v| *v == Some(true)) {
+                Some(true)
+            } else if vals.iter().all(|v| *v == Some(false)) {
+                Some(false)
+            } else {
+                None
+            }
+        }
+        fn not(v: Option<bool>) -> Option<bool> {
+            v.map(|b| !b)
+        }
+
+        match self {
+            CellKind::Buf => inputs[0],
+            CellKind::Inv => not(inputs[0]),
+            CellKind::And2 | CellKind::And3 | CellKind::And4 => and_all(inputs),
+            CellKind::Or2 | CellKind::Or3 | CellKind::Or4 => or_all(inputs),
+            CellKind::Nand2 | CellKind::Nand3 | CellKind::Nand4 => not(and_all(inputs)),
+            CellKind::Nor2 | CellKind::Nor3 | CellKind::Nor4 => not(or_all(inputs)),
+            CellKind::Xor2 => match (inputs[0], inputs[1]) {
+                (Some(a), Some(b)) => Some(a ^ b),
+                _ => None,
+            },
+            CellKind::Xnor2 => match (inputs[0], inputs[1]) {
+                (Some(a), Some(b)) => Some(!(a ^ b)),
+                _ => None,
+            },
+            CellKind::Aoi21 => not(or_all(&[and_all(&inputs[0..2]), inputs[2]])),
+            CellKind::Aoi22 => not(or_all(&[and_all(&inputs[0..2]), and_all(&inputs[2..4])])),
+            CellKind::Aoi32 => not(or_all(&[and_all(&inputs[0..3]), and_all(&inputs[3..5])])),
+            CellKind::Oai21 => not(and_all(&[or_all(&inputs[0..2]), inputs[2]])),
+            CellKind::Oai22 => not(and_all(&[or_all(&inputs[0..2]), or_all(&inputs[2..4])])),
+            CellKind::Maj3 => {
+                let ab = and_all(&inputs[0..2]);
+                let bc = and_all(&inputs[1..3]);
+                let ac = and_all(&[inputs[0], inputs[2]]);
+                or_all(&[ab, bc, ac])
+            }
+            CellKind::CElement2 | CellKind::CElement3 => {
+                if inputs.iter().all(|v| *v == Some(true)) {
+                    Some(true)
+                } else if inputs.iter().all(|v| *v == Some(false)) {
+                    Some(false)
+                } else {
+                    prev
+                }
+            }
+            CellKind::Dff => prev,
+            CellKind::Tie0 => Some(false),
+            CellKind::Tie1 => Some(true),
+        }
+    }
+
+    /// A short library-style name for this kind (e.g. `"AOI22"`).
+    #[must_use]
+    pub fn library_name(self) -> &'static str {
+        match self {
+            CellKind::Buf => "BUF",
+            CellKind::Inv => "INV",
+            CellKind::And2 => "AND2",
+            CellKind::And3 => "AND3",
+            CellKind::And4 => "AND4",
+            CellKind::Or2 => "OR2",
+            CellKind::Or3 => "OR3",
+            CellKind::Or4 => "OR4",
+            CellKind::Nand2 => "NAND2",
+            CellKind::Nand3 => "NAND3",
+            CellKind::Nand4 => "NAND4",
+            CellKind::Nor2 => "NOR2",
+            CellKind::Nor3 => "NOR3",
+            CellKind::Nor4 => "NOR4",
+            CellKind::Xor2 => "XOR2",
+            CellKind::Xnor2 => "XNOR2",
+            CellKind::Aoi21 => "AOI21",
+            CellKind::Aoi22 => "AOI22",
+            CellKind::Aoi32 => "AOI32",
+            CellKind::Oai21 => "OAI21",
+            CellKind::Oai22 => "OAI22",
+            CellKind::Maj3 => "MAJ3",
+            CellKind::CElement2 => "C2",
+            CellKind::CElement3 => "C3",
+            CellKind::Dff => "DFF",
+            CellKind::Tie0 => "TIE0",
+            CellKind::Tie1 => "TIE1",
+        }
+    }
+}
+
+impl fmt::Display for CellKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.library_name())
+    }
+}
+
+/// An instantiated cell inside a [`crate::Netlist`]: a kind, a name, its
+/// input nets and its single output net.
+///
+/// Cells are created through [`crate::Netlist::add_cell`]; the struct is
+/// read-only once created.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Cell {
+    pub(crate) name: String,
+    pub(crate) kind: CellKind,
+    pub(crate) inputs: Vec<crate::NetId>,
+    pub(crate) output: crate::NetId,
+}
+
+impl Cell {
+    /// Instance name of the cell.
+    #[must_use]
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// Library kind of the cell.
+    #[must_use]
+    pub fn kind(&self) -> CellKind {
+        self.kind
+    }
+
+    /// Input nets, ordered by pin index.
+    #[must_use]
+    pub fn inputs(&self) -> &[crate::NetId] {
+        &self.inputs
+    }
+
+    /// The single output net.
+    #[must_use]
+    pub fn output(&self) -> crate::NetId {
+        self.output
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn input_counts_match_truth_tables() {
+        for kind in CellKind::ALL {
+            let n = kind.input_count();
+            // Exhaustively evaluate every input combination; must not panic.
+            for pattern in 0..(1u32 << n) {
+                let inputs: Vec<bool> = (0..n).map(|i| pattern & (1 << i) != 0).collect();
+                let _ = kind.eval(&inputs, Some(false));
+            }
+        }
+    }
+
+    #[test]
+    fn simple_gate_truth_tables() {
+        assert!(CellKind::And2.eval(&[true, true], None));
+        assert!(!CellKind::And2.eval(&[true, false], None));
+        assert!(CellKind::Or3.eval(&[false, false, true], None));
+        assert!(!CellKind::Nor2.eval(&[false, true], None));
+        assert!(CellKind::Nand4.eval(&[true, true, true, false], None));
+        assert!(!CellKind::Nand4.eval(&[true, true, true, true], None));
+        assert!(CellKind::Xor2.eval(&[true, false], None));
+        assert!(!CellKind::Xor2.eval(&[true, true], None));
+        assert!(CellKind::Xnor2.eval(&[true, true], None));
+    }
+
+    #[test]
+    fn complex_gate_truth_tables() {
+        // AOI21 = !((a&b)|c)
+        assert!(CellKind::Aoi21.eval(&[false, true, false], None));
+        assert!(!CellKind::Aoi21.eval(&[true, true, false], None));
+        assert!(!CellKind::Aoi21.eval(&[false, false, true], None));
+        // AOI22 = !((a&b)|(c&d))
+        assert!(CellKind::Aoi22.eval(&[false, true, true, false], None));
+        assert!(!CellKind::Aoi22.eval(&[true, true, false, false], None));
+        // AOI32 = !((a&b&c)|(d&e))
+        assert!(!CellKind::Aoi32.eval(&[true, true, true, false, false], None));
+        assert!(!CellKind::Aoi32.eval(&[false, false, false, true, true], None));
+        assert!(CellKind::Aoi32.eval(&[true, true, false, true, false], None));
+        // OAI21 = !((a|b)&c)
+        assert!(CellKind::Oai21.eval(&[true, false, false], None));
+        assert!(!CellKind::Oai21.eval(&[true, false, true], None));
+        // OAI22 = !((a|b)&(c|d))
+        assert!(!CellKind::Oai22.eval(&[true, false, false, true], None));
+        assert!(CellKind::Oai22.eval(&[false, false, true, true], None));
+        // MAJ3
+        assert!(CellKind::Maj3.eval(&[true, true, false], None));
+        assert!(!CellKind::Maj3.eval(&[true, false, false], None));
+    }
+
+    #[test]
+    fn c_element_holds_state() {
+        let c = CellKind::CElement2;
+        assert!(c.eval(&[true, true], Some(false)));
+        assert!(!c.eval(&[false, false], Some(true)));
+        assert!(c.eval(&[true, false], Some(true)));
+        assert!(!c.eval(&[false, true], Some(false)));
+        // Without previous state, disagreeing inputs resolve to 0.
+        assert!(!c.eval(&[true, false], None));
+    }
+
+    #[test]
+    fn c_element3_requires_all_inputs() {
+        let c = CellKind::CElement3;
+        assert!(c.eval(&[true, true, true], Some(false)));
+        assert!(c.eval(&[true, true, false], Some(true)));
+        assert!(!c.eval(&[false, false, false], Some(true)));
+    }
+
+    #[test]
+    fn unateness_classification() {
+        assert!(CellKind::And4.is_unate());
+        assert!(CellKind::Nor3.is_unate());
+        assert!(CellKind::Aoi32.is_unate());
+        assert!(CellKind::CElement2.is_unate());
+        assert!(!CellKind::Xor2.is_unate());
+        assert!(!CellKind::Xnor2.is_unate());
+        assert_eq!(CellKind::Oai22.unateness(3), Unateness::Negative);
+        assert_eq!(CellKind::Maj3.unateness(2), Unateness::Positive);
+    }
+
+    #[test]
+    fn inverting_classification_matches_function_at_all_ones() {
+        // For an inverting gate, driving all inputs to 1 yields 0 and
+        // vice versa for non-inverting unate gates (spacer propagation).
+        for kind in CellKind::ALL {
+            if kind.input_count() == 0 || kind.is_sequential() || !kind.is_unate() {
+                continue;
+            }
+            let all_ones = vec![true; kind.input_count()];
+            let all_zeros = vec![false; kind.input_count()];
+            if kind.is_inverting() {
+                assert!(!kind.eval(&all_ones, None), "{kind:?} all-ones");
+                assert!(kind.eval(&all_zeros, None), "{kind:?} all-zeros");
+            } else {
+                assert!(kind.eval(&all_ones, None), "{kind:?} all-ones");
+                assert!(!kind.eval(&all_zeros, None), "{kind:?} all-zeros");
+            }
+        }
+    }
+
+    #[test]
+    fn tristate_matches_binary_when_fully_defined() {
+        for kind in CellKind::ALL {
+            let n = kind.input_count();
+            for pattern in 0..(1u32 << n) {
+                let bits: Vec<bool> = (0..n).map(|i| pattern & (1 << i) != 0).collect();
+                let opts: Vec<Option<bool>> = bits.iter().map(|&b| Some(b)).collect();
+                for prev in [Some(false), Some(true)] {
+                    assert_eq!(
+                        kind.eval_tristate(&opts, prev),
+                        Some(kind.eval(&bits, prev)),
+                        "{kind:?} pattern {pattern:b} prev {prev:?}"
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn tristate_controlling_values() {
+        assert_eq!(
+            CellKind::And2.eval_tristate(&[Some(false), None], None),
+            Some(false)
+        );
+        assert_eq!(
+            CellKind::Or2.eval_tristate(&[None, Some(true)], None),
+            Some(true)
+        );
+        assert_eq!(CellKind::And2.eval_tristate(&[Some(true), None], None), None);
+        assert_eq!(
+            CellKind::Nand2.eval_tristate(&[Some(false), None], None),
+            Some(true)
+        );
+        assert_eq!(CellKind::Xor2.eval_tristate(&[Some(true), None], None), None);
+        assert_eq!(
+            CellKind::Aoi21.eval_tristate(&[None, None, Some(true)], None),
+            Some(false)
+        );
+    }
+
+    #[test]
+    fn sequential_kinds() {
+        assert!(CellKind::Dff.is_sequential());
+        assert!(CellKind::CElement2.is_sequential());
+        assert!(CellKind::CElement3.is_sequential());
+        assert!(!CellKind::Aoi22.is_sequential());
+    }
+
+    #[test]
+    fn display_uses_library_name() {
+        assert_eq!(CellKind::Aoi32.to_string(), "AOI32");
+        assert_eq!(CellKind::CElement2.to_string(), "C2");
+    }
+}

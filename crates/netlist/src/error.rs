@@ -1,0 +1,98 @@
+//! Error types for netlist construction and validation.
+
+use std::error::Error;
+use std::fmt;
+
+use crate::{CellId, CellKind, NetId};
+
+/// Errors produced while building or validating a [`crate::Netlist`].
+#[derive(Clone, Debug, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum NetlistError {
+    /// A cell was created with the wrong number of input nets.
+    ArityMismatch {
+        /// The cell kind being instantiated.
+        kind: CellKind,
+        /// Number of inputs the kind requires.
+        expected: usize,
+        /// Number of inputs supplied.
+        got: usize,
+    },
+    /// A net id referenced a net that does not exist in this netlist.
+    UnknownNet(NetId),
+    /// A name lookup (port or net) failed.
+    UnknownName(String),
+    /// A cell id referenced a cell that does not exist in this netlist.
+    UnknownCell(CellId),
+    /// Two drivers were connected to the same net.
+    MultipleDrivers {
+        /// The net with more than one driver.
+        net: NetId,
+    },
+    /// A port or net name was used twice.
+    DuplicateName(String),
+    /// The netlist contains a combinational cycle through the listed net.
+    CombinationalCycle(NetId),
+    /// A primary output references a net with no driver and which is not
+    /// a primary input.
+    UndrivenOutput(NetId),
+}
+
+impl fmt::Display for NetlistError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            NetlistError::ArityMismatch {
+                kind,
+                expected,
+                got,
+            } => write!(
+                f,
+                "cell kind {kind} expects {expected} inputs but {got} were supplied"
+            ),
+            NetlistError::UnknownNet(n) => write!(f, "net {n} does not exist in this netlist"),
+            NetlistError::UnknownName(name) => {
+                write!(f, "no net or port named {name:?} exists in this netlist")
+            }
+            NetlistError::UnknownCell(c) => write!(f, "cell {c} does not exist in this netlist"),
+            NetlistError::MultipleDrivers { net } => {
+                write!(f, "net {net} already has a driver")
+            }
+            NetlistError::DuplicateName(name) => write!(f, "name {name:?} is already in use"),
+            NetlistError::CombinationalCycle(n) => {
+                write!(f, "combinational cycle detected through net {n}")
+            }
+            NetlistError::UndrivenOutput(n) => {
+                write!(f, "primary output net {n} has no driver")
+            }
+        }
+    }
+}
+
+impl Error for NetlistError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_messages_are_lowercase_and_informative() {
+        let err = NetlistError::ArityMismatch {
+            kind: CellKind::And2,
+            expected: 2,
+            got: 3,
+        };
+        let msg = err.to_string();
+        assert!(msg.contains("AND2"));
+        assert!(msg.contains('2'));
+        assert!(msg.contains('3'));
+
+        let err = NetlistError::UnknownNet(NetId::from_index(9));
+        assert!(err.to_string().contains("n9"));
+    }
+
+    #[test]
+    fn error_is_std_error() {
+        fn assert_err<E: Error + Send + Sync + 'static>() {}
+        assert_err::<NetlistError>();
+    }
+}

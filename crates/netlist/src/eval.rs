@@ -1,0 +1,335 @@
+//! Zero-delay functional evaluation of netlists.
+//!
+//! The [`Evaluator`] computes steady-state net values for a given primary
+//! input assignment, respecting the previous state of sequential cells.
+//! It serves as the *golden functional model* against which the
+//! event-driven simulator and the dual-rail expansion are checked.
+
+use std::collections::HashMap;
+
+use crate::graph::topological_order;
+use crate::{CellId, NetId, Netlist, NetlistError};
+
+/// Persistent state of sequential cells (C-elements, flip-flops) between
+/// evaluations.
+///
+/// Keys are cell ids; missing entries default to logic 0.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct EvalState {
+    values: HashMap<CellId, bool>,
+}
+
+impl EvalState {
+    /// Creates an empty state (all sequential cells at logic 0).
+    #[must_use]
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Returns the stored output value of a sequential cell.
+    #[must_use]
+    pub fn get(&self, cell: CellId) -> bool {
+        self.values.get(&cell).copied().unwrap_or(false)
+    }
+
+    /// Stores the output value of a sequential cell.
+    pub fn set(&mut self, cell: CellId, value: bool) {
+        self.values.insert(cell, value);
+    }
+}
+
+/// Functional evaluator over a [`Netlist`].
+///
+/// # Example
+///
+/// ```
+/// use netlist::{Netlist, CellKind, Evaluator};
+///
+/// let mut nl = Netlist::new("mux_ish");
+/// let a = nl.add_input("a");
+/// let b = nl.add_input("b");
+/// let y = nl.add_cell("or", CellKind::Or2, &[a, b]).unwrap();
+/// nl.add_output("y", y);
+///
+/// let eval = Evaluator::new(&nl).unwrap();
+/// let outs = eval.eval_named(&[("a", false), ("b", true)]).unwrap();
+/// assert_eq!(outs["y"], true);
+/// ```
+#[derive(Debug)]
+pub struct Evaluator<'a> {
+    netlist: &'a Netlist,
+    order: Vec<CellId>,
+}
+
+impl<'a> Evaluator<'a> {
+    /// Prepares an evaluator (computes a topological order once).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`NetlistError::CombinationalCycle`] if the netlist has a
+    /// combinational cycle.
+    pub fn new(netlist: &'a Netlist) -> Result<Self, NetlistError> {
+        let order = topological_order(netlist)
+            .map_err(|e| NetlistError::CombinationalCycle(e.net))?;
+        Ok(Self { netlist, order })
+    }
+
+    /// The netlist this evaluator works on.
+    #[must_use]
+    pub fn netlist(&self) -> &Netlist {
+        self.netlist
+    }
+
+    /// Evaluates the netlist for one input assignment, updating `state`
+    /// for sequential cells, and returns the value of every net.
+    ///
+    /// `inputs` maps primary-input nets to values; any primary input
+    /// missing from the map defaults to logic 0.
+    ///
+    /// C-elements are evaluated transparently (they see their new inputs
+    /// and their previous output); flip-flops present their *previous*
+    /// state and capture their data input at the end of the call,
+    /// emulating one clock edge per evaluation.
+    #[must_use]
+    pub fn eval_with_state(
+        &self,
+        inputs: &HashMap<NetId, bool>,
+        state: &mut EvalState,
+    ) -> Vec<bool> {
+        let mut values = vec![false; self.netlist.net_count()];
+        for pi in self.netlist.primary_inputs() {
+            values[pi.index()] = inputs.get(&pi).copied().unwrap_or(false);
+        }
+
+        let mut dff_captures: Vec<(CellId, bool)> = Vec::new();
+        for &cell_id in &self.order {
+            let cell = self.netlist.cell(cell_id);
+            let ins: Vec<bool> = cell.inputs().iter().map(|n| values[n.index()]).collect();
+            let prev = if cell.kind().is_sequential() {
+                Some(state.get(cell_id))
+            } else {
+                None
+            };
+            let out = cell.kind().eval(&ins, prev);
+            values[cell.output().index()] = out;
+            if cell.kind().is_sequential() {
+                if cell.kind() == crate::CellKind::Dff {
+                    // Capture D (pin 0) at the end of this "cycle".
+                    dff_captures.push((cell_id, ins[0]));
+                } else {
+                    state.set(cell_id, out);
+                }
+            }
+        }
+        for (cell, d) in dff_captures {
+            state.set(cell, d);
+        }
+        values
+    }
+
+    /// Stateless evaluation: all sequential cells start at logic 0.
+    #[must_use]
+    pub fn eval(&self, inputs: &HashMap<NetId, bool>) -> Vec<bool> {
+        let mut state = EvalState::new();
+        self.eval_with_state(inputs, &mut state)
+    }
+
+    /// Convenience wrapper taking `(port name, value)` pairs and returning
+    /// a map from primary-output port names to values.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`NetlistError::UnknownName`] if a named input port does
+    /// not exist.
+    pub fn eval_named(
+        &self,
+        inputs: &[(&str, bool)],
+    ) -> Result<HashMap<String, bool>, NetlistError> {
+        let mut map = HashMap::new();
+        for (name, value) in inputs {
+            let net = self
+                .netlist
+                .find_net(name)
+                .ok_or_else(|| NetlistError::UnknownName((*name).to_string()))?;
+            map.insert(net, *value);
+        }
+        let values = self.eval(&map);
+        let mut out = HashMap::new();
+        for (_, port) in self.netlist.ports() {
+            if port.direction() == crate::PortDirection::Output {
+                out.insert(port.name().to_string(), values[port.net().index()]);
+            }
+        }
+        Ok(out)
+    }
+
+    /// Evaluates only the primary outputs for a vector of primary-input
+    /// values given in port declaration order.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `input_values.len()` differs from the number of primary
+    /// inputs.
+    #[must_use]
+    pub fn eval_vector(&self, input_values: &[bool]) -> Vec<bool> {
+        let pis = self.netlist.primary_inputs();
+        assert_eq!(
+            input_values.len(),
+            pis.len(),
+            "expected {} input values, got {}",
+            pis.len(),
+            input_values.len()
+        );
+        let map: HashMap<NetId, bool> = pis.iter().copied().zip(input_values.iter().copied()).collect();
+        let values = self.eval(&map);
+        self.netlist
+            .primary_outputs()
+            .iter()
+            .map(|n| values[n.index()])
+            .collect()
+    }
+}
+
+/// Checks whether a net currently carries the value implied by driving
+/// all primary inputs with `spacer_value` — used to verify spacer
+/// propagation through unate dual-rail circuits.
+#[must_use]
+pub fn all_nets_at_spacer(nl: &Netlist, values: &[bool], expected: &HashMap<NetId, bool>) -> bool {
+    expected.iter().all(|(net, v)| {
+        debug_assert!(net.index() < nl.net_count());
+        values[net.index()] == *v
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::CellKind;
+
+    #[test]
+    fn evaluates_combinational_logic() {
+        let mut nl = Netlist::new("t");
+        let a = nl.add_input("a");
+        let b = nl.add_input("b");
+        let c = nl.add_input("c");
+        let ab = nl.add_cell("and", CellKind::And2, &[a, b]).unwrap();
+        let y = nl.add_cell("or", CellKind::Or2, &[ab, c]).unwrap();
+        nl.add_output("y", y);
+
+        let eval = Evaluator::new(&nl).unwrap();
+        for (va, vb, vc) in [
+            (false, false, false),
+            (true, false, false),
+            (true, true, false),
+            (false, false, true),
+        ] {
+            let outs = eval
+                .eval_named(&[("a", va), ("b", vb), ("c", vc)])
+                .unwrap();
+            assert_eq!(outs["y"], (va && vb) || vc);
+        }
+    }
+
+    #[test]
+    fn eval_vector_matches_truth_table_of_xor() {
+        let mut nl = Netlist::new("x");
+        let a = nl.add_input("a");
+        let b = nl.add_input("b");
+        let y = nl.add_cell("xor", CellKind::Xor2, &[a, b]).unwrap();
+        nl.add_output("y", y);
+        let eval = Evaluator::new(&nl).unwrap();
+        assert_eq!(eval.eval_vector(&[false, false]), vec![false]);
+        assert_eq!(eval.eval_vector(&[true, false]), vec![true]);
+        assert_eq!(eval.eval_vector(&[false, true]), vec![true]);
+        assert_eq!(eval.eval_vector(&[true, true]), vec![false]);
+    }
+
+    #[test]
+    fn c_element_state_persists_across_evaluations() {
+        let mut nl = Netlist::new("c");
+        let a = nl.add_input("a");
+        let b = nl.add_input("b");
+        let y = nl.add_cell("c", CellKind::CElement2, &[a, b]).unwrap();
+        nl.add_output("y", y);
+
+        let eval = Evaluator::new(&nl).unwrap();
+        let mut state = EvalState::new();
+        let pis = nl.primary_inputs();
+
+        let v = eval.eval_with_state(
+            &HashMap::from([(pis[0], true), (pis[1], true)]),
+            &mut state,
+        );
+        assert!(v[y.index()]);
+        // Inputs disagree: output holds 1.
+        let v = eval.eval_with_state(
+            &HashMap::from([(pis[0], true), (pis[1], false)]),
+            &mut state,
+        );
+        assert!(v[y.index()]);
+        // Both low: output falls.
+        let v = eval.eval_with_state(
+            &HashMap::from([(pis[0], false), (pis[1], false)]),
+            &mut state,
+        );
+        assert!(!v[y.index()]);
+    }
+
+    #[test]
+    fn dff_captures_on_next_evaluation() {
+        let mut nl = Netlist::new("reg");
+        let d = nl.add_input("d");
+        let clk = nl.add_input("clk");
+        let q = nl.add_cell("ff", CellKind::Dff, &[d, clk]).unwrap();
+        nl.add_output("q", q);
+
+        let eval = Evaluator::new(&nl).unwrap();
+        let mut state = EvalState::new();
+        let pis = nl.primary_inputs();
+        // First cycle: q shows reset value 0, captures d=1.
+        let v = eval.eval_with_state(&HashMap::from([(pis[0], true)]), &mut state);
+        assert!(!v[q.index()]);
+        // Second cycle: q shows the captured 1.
+        let v = eval.eval_with_state(&HashMap::from([(pis[0], false)]), &mut state);
+        assert!(v[q.index()]);
+    }
+
+    #[test]
+    fn missing_inputs_default_to_zero() {
+        let mut nl = Netlist::new("t");
+        let a = nl.add_input("a");
+        let b = nl.add_input("b");
+        let y = nl.add_cell("or", CellKind::Or2, &[a, b]).unwrap();
+        nl.add_output("y", y);
+        let eval = Evaluator::new(&nl).unwrap();
+        let outs = eval.eval_named(&[("a", true)]).unwrap();
+        assert!(outs["y"]);
+        let outs = eval.eval_named(&[]).unwrap();
+        assert!(!outs["y"]);
+    }
+
+    #[test]
+    fn unknown_input_name_is_an_error() {
+        let mut nl = Netlist::new("t");
+        let a = nl.add_input("a");
+        let y = nl.add_cell("inv", CellKind::Inv, &[a]).unwrap();
+        nl.add_output("y", y);
+        let eval = Evaluator::new(&nl).unwrap();
+        assert!(eval.eval_named(&[("nope", true)]).is_err());
+    }
+
+    #[test]
+    fn cyclic_netlist_is_rejected() {
+        let mut nl = Netlist::new("cyclic");
+        let a = nl.add_input("a");
+        let fb = nl.add_net_named("fb").unwrap();
+        let x = nl.add_cell("and", CellKind::And2, &[a, fb]).unwrap();
+        nl.add_cell_with_output("inv", CellKind::Inv, &[x], fb)
+            .unwrap();
+        nl.add_output("y", x);
+        assert!(matches!(
+            Evaluator::new(&nl),
+            Err(NetlistError::CombinationalCycle(_))
+        ));
+    }
+}

@@ -1,0 +1,271 @@
+//! Graph algorithms over netlists: topological ordering, levelization and
+//! cone extraction.
+//!
+//! Sequential cells (C-elements, flip-flops) are treated as *cut points*
+//! in the combinational graph when requested, which lets the same
+//! algorithms serve both static timing analysis (which stops at
+//! registers) and whole-netlist evaluation order (where C-elements are
+//! evaluated in place, relying on their previous state).
+
+use std::collections::VecDeque;
+
+use crate::netlist::NetDriver;
+use crate::{CellId, NetId, Netlist};
+
+/// Error returned when the netlist contains a combinational cycle.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct TopoError {
+    /// A net participating in the cycle.
+    pub net: NetId,
+}
+
+impl std::fmt::Display for TopoError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "combinational cycle detected through net {}", self.net)
+    }
+}
+
+impl std::error::Error for TopoError {}
+
+/// Returns all cells in a topological order (every cell appears after the
+/// drivers of its inputs).
+///
+/// C-elements participate in the ordering like combinational cells; in
+/// the circuits generated in this workspace they never appear in feedback
+/// loops at the netlist level (their memory is internal).
+///
+/// # Errors
+///
+/// Returns [`TopoError`] if a combinational cycle exists.
+///
+/// # Example
+///
+/// ```
+/// use netlist::{Netlist, CellKind, topological_order};
+/// let mut nl = Netlist::new("t");
+/// let a = nl.add_input("a");
+/// let x = nl.add_cell("inv1", CellKind::Inv, &[a]).unwrap();
+/// let y = nl.add_cell("inv2", CellKind::Inv, &[x]).unwrap();
+/// nl.add_output("y", y);
+/// let order = topological_order(&nl).unwrap();
+/// assert_eq!(order.len(), 2);
+/// assert_eq!(nl.cell(order[0]).name(), "inv1");
+/// ```
+pub fn topological_order(nl: &Netlist) -> Result<Vec<CellId>, TopoError> {
+    // Kahn's algorithm over the cell graph.
+    // Indegree of a cell = number of its inputs driven by other cells.
+    let n = nl.cell_count();
+    let mut indegree = vec![0usize; n];
+    for (id, cell) in nl.cells() {
+        let deg = cell
+            .inputs()
+            .iter()
+            .filter(|&&i| matches!(nl.net(i).driver(), NetDriver::Cell(_)))
+            .count();
+        indegree[id.index()] = deg;
+    }
+
+    let mut queue: VecDeque<CellId> = nl
+        .cells()
+        .filter(|(id, _)| indegree[id.index()] == 0)
+        .map(|(id, _)| id)
+        .collect();
+    let mut order = Vec::with_capacity(n);
+
+    while let Some(cell) = queue.pop_front() {
+        order.push(cell);
+        let out = nl.cell(cell).output();
+        for &(load, _pin) in nl.net(out).loads() {
+            indegree[load.index()] -= 1;
+            if indegree[load.index()] == 0 {
+                queue.push_back(load);
+            }
+        }
+    }
+
+    if order.len() != n {
+        // Find a cell still having nonzero indegree to report.
+        let offender = nl
+            .cells()
+            .find(|(id, _)| indegree[id.index()] > 0)
+            .map(|(_, c)| c.output())
+            .unwrap_or_else(|| NetId::from_index(0));
+        return Err(TopoError { net: offender });
+    }
+    Ok(order)
+}
+
+/// Assigns a logic level to every cell: primary-input-driven cells are
+/// level 1, and every other cell is one more than the maximum level of
+/// its driving cells.  Returns `None` on a combinational cycle.
+///
+/// The maximum level is a proxy for logic depth used by quick-look
+/// reports; precise delays come from the `sta` crate.
+#[must_use]
+pub fn levelize(nl: &Netlist) -> Option<Vec<usize>> {
+    let order = topological_order(nl).ok()?;
+    let mut levels = vec![0usize; nl.cell_count()];
+    for cell in order {
+        let mut level = 1;
+        for &input in nl.cell(cell).inputs() {
+            if let NetDriver::Cell(driver) = nl.net(input).driver() {
+                level = level.max(levels[driver.index()] + 1);
+            }
+        }
+        levels[cell.index()] = level;
+    }
+    Some(levels)
+}
+
+/// Returns every cell in the transitive fan-in cone of `net` (the cells
+/// whose output can influence it), including its own driver.
+#[must_use]
+pub fn fanin_cone(nl: &Netlist, net: NetId) -> Vec<CellId> {
+    let mut visited = vec![false; nl.cell_count()];
+    let mut stack = vec![net];
+    let mut cone = Vec::new();
+    while let Some(current) = stack.pop() {
+        if let NetDriver::Cell(cell) = nl.net(current).driver() {
+            if !visited[cell.index()] {
+                visited[cell.index()] = true;
+                cone.push(cell);
+                for &input in nl.cell(cell).inputs() {
+                    stack.push(input);
+                }
+            }
+        }
+    }
+    cone
+}
+
+/// Returns every cell in the transitive fan-out cone of `net` (the cells
+/// whose inputs can be influenced by it).
+#[must_use]
+pub fn fanout_cone(nl: &Netlist, net: NetId) -> Vec<CellId> {
+    let mut visited = vec![false; nl.cell_count()];
+    let mut stack = vec![net];
+    let mut cone = Vec::new();
+    while let Some(current) = stack.pop() {
+        for &(cell, _pin) in nl.net(current).loads() {
+            if !visited[cell.index()] {
+                visited[cell.index()] = true;
+                cone.push(cell);
+                stack.push(nl.cell(cell).output());
+            }
+        }
+    }
+    cone
+}
+
+/// Maximum logic depth (in cells) from any primary input to any primary
+/// output.  Returns 0 for an empty netlist.
+#[must_use]
+pub fn logic_depth(nl: &Netlist) -> usize {
+    levelize(nl).map_or(0, |levels| levels.into_iter().max().unwrap_or(0))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::CellKind;
+
+    fn chain(n: usize) -> Netlist {
+        let mut nl = Netlist::new("chain");
+        let mut net = nl.add_input("a");
+        for i in 0..n {
+            net = nl.add_cell(format!("inv{i}"), CellKind::Inv, &[net]).unwrap();
+        }
+        nl.add_output("y", net);
+        nl
+    }
+
+    #[test]
+    fn topological_order_of_chain_is_in_sequence() {
+        let nl = chain(5);
+        let order = topological_order(&nl).unwrap();
+        assert_eq!(order.len(), 5);
+        for (i, cell) in order.iter().enumerate() {
+            assert_eq!(nl.cell(*cell).name(), format!("inv{i}"));
+        }
+    }
+
+    #[test]
+    fn levelize_chain() {
+        let nl = chain(4);
+        let levels = levelize(&nl).unwrap();
+        assert_eq!(levels, vec![1, 2, 3, 4]);
+        assert_eq!(logic_depth(&nl), 4);
+    }
+
+    #[test]
+    fn diamond_topology_orders_correctly() {
+        let mut nl = Netlist::new("diamond");
+        let a = nl.add_input("a");
+        let l = nl.add_cell("l", CellKind::Inv, &[a]).unwrap();
+        let r = nl.add_cell("r", CellKind::Buf, &[a]).unwrap();
+        let y = nl.add_cell("top", CellKind::And2, &[l, r]).unwrap();
+        nl.add_output("y", y);
+        let order = topological_order(&nl).unwrap();
+        let pos = |name: &str| {
+            order
+                .iter()
+                .position(|&c| nl.cell(c).name() == name)
+                .unwrap()
+        };
+        assert!(pos("l") < pos("top"));
+        assert!(pos("r") < pos("top"));
+        assert_eq!(logic_depth(&nl), 2);
+    }
+
+    #[test]
+    fn cycle_is_detected() {
+        let mut nl = Netlist::new("cyclic");
+        let a = nl.add_input("a");
+        let fb = nl.add_net_named("fb").unwrap();
+        let x = nl.add_cell("and", CellKind::And2, &[a, fb]).unwrap();
+        nl.add_cell_with_output("inv", CellKind::Inv, &[x], fb)
+            .unwrap();
+        nl.add_output("y", x);
+        assert!(topological_order(&nl).is_err());
+        assert!(levelize(&nl).is_none());
+    }
+
+    #[test]
+    fn fanin_cone_covers_transitive_drivers() {
+        let mut nl = Netlist::new("t");
+        let a = nl.add_input("a");
+        let b = nl.add_input("b");
+        let x = nl.add_cell("x", CellKind::And2, &[a, b]).unwrap();
+        let y = nl.add_cell("y", CellKind::Inv, &[x]).unwrap();
+        let _unrelated = nl.add_cell("z", CellKind::Inv, &[a]).unwrap();
+        nl.add_output("out", y);
+        let cone = fanin_cone(&nl, y);
+        let names: Vec<&str> = cone.iter().map(|&c| nl.cell(c).name()).collect();
+        assert!(names.contains(&"x"));
+        assert!(names.contains(&"y"));
+        assert!(!names.contains(&"z"));
+    }
+
+    #[test]
+    fn fanout_cone_covers_transitive_loads() {
+        let mut nl = Netlist::new("t");
+        let a = nl.add_input("a");
+        let x = nl.add_cell("x", CellKind::Inv, &[a]).unwrap();
+        let y = nl.add_cell("y", CellKind::Inv, &[x]).unwrap();
+        let b = nl.add_input("b");
+        let _other = nl.add_cell("w", CellKind::Inv, &[b]).unwrap();
+        nl.add_output("out", y);
+        let cone = fanout_cone(&nl, a);
+        let names: Vec<&str> = cone.iter().map(|&c| nl.cell(c).name()).collect();
+        assert_eq!(names.len(), 2);
+        assert!(names.contains(&"x"));
+        assert!(names.contains(&"y"));
+    }
+
+    #[test]
+    fn empty_netlist_has_zero_depth() {
+        let nl = Netlist::new("empty");
+        assert_eq!(logic_depth(&nl), 0);
+        assert!(topological_order(&nl).unwrap().is_empty());
+    }
+}

@@ -1,0 +1,118 @@
+//! Index newtypes used throughout the netlist representation.
+//!
+//! All collections inside a [`crate::Netlist`] are flat vectors; these
+//! newtypes make the indices type-safe so a [`CellId`] can never be used
+//! to index the net table and vice versa ([C-NEWTYPE]).
+//!
+//! [C-NEWTYPE]: https://rust-lang.github.io/api-guidelines/type-safety.html
+
+use std::fmt;
+
+/// Identifier of a net (wire) inside a [`crate::Netlist`].
+///
+/// # Example
+///
+/// ```
+/// use netlist::{Netlist, NetId};
+/// let mut nl = Netlist::new("t");
+/// let a: NetId = nl.add_input("a");
+/// assert_eq!(a.index(), 0);
+/// ```
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct NetId(pub(crate) u32);
+
+/// Identifier of a cell (gate instance) inside a [`crate::Netlist`].
+///
+/// # Example
+///
+/// ```
+/// use netlist::{Netlist, CellKind};
+/// let mut nl = Netlist::new("t");
+/// let a = nl.add_input("a");
+/// let y = nl.add_cell("inv", CellKind::Inv, &[a]).unwrap();
+/// let cell = nl.driver_cell(y).unwrap();
+/// assert_eq!(nl.cell(cell).name(), "inv");
+/// ```
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct CellId(pub(crate) u32);
+
+/// Identifier of a primary port (input or output) of a [`crate::Netlist`].
+///
+/// # Example
+///
+/// ```
+/// use netlist::Netlist;
+/// let mut nl = Netlist::new("t");
+/// let a = nl.add_input("a");
+/// let port = nl.port_of_net(a).expect("input net has a port");
+/// assert_eq!(nl.port(port).name(), "a");
+/// ```
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct PortId(pub(crate) u32);
+
+macro_rules! impl_id {
+    ($ty:ident, $tag:literal) => {
+        impl $ty {
+            /// Creates an identifier from a raw index.
+            ///
+            /// Intended for serialization round-trips and test construction;
+            /// an identifier fabricated for a different netlist will cause a
+            /// panic (out of range) or silently refer to the wrong element
+            /// when used, so prefer the ids returned by builder methods.
+            #[must_use]
+            pub fn from_index(index: usize) -> Self {
+                Self(index as u32)
+            }
+
+            /// Returns the raw index of this identifier.
+            #[must_use]
+            pub fn index(self) -> usize {
+                self.0 as usize
+            }
+        }
+
+        impl fmt::Debug for $ty {
+            fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+                write!(f, concat!($tag, "{}"), self.0)
+            }
+        }
+
+        impl fmt::Display for $ty {
+            fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+                write!(f, concat!($tag, "{}"), self.0)
+            }
+        }
+    };
+}
+
+impl_id!(NetId, "n");
+impl_id!(CellId, "c");
+impl_id!(PortId, "p");
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ids_round_trip_through_index() {
+        let n = NetId::from_index(42);
+        assert_eq!(n.index(), 42);
+        let c = CellId::from_index(7);
+        assert_eq!(c.index(), 7);
+        let p = PortId::from_index(0);
+        assert_eq!(p.index(), 0);
+    }
+
+    #[test]
+    fn ids_format_with_prefix() {
+        assert_eq!(format!("{}", NetId::from_index(3)), "n3");
+        assert_eq!(format!("{:?}", CellId::from_index(4)), "c4");
+        assert_eq!(format!("{}", PortId::from_index(5)), "p5");
+    }
+
+    #[test]
+    fn ids_are_ordered_by_index() {
+        assert!(NetId::from_index(1) < NetId::from_index(2));
+        assert!(CellId::from_index(0) < CellId::from_index(10));
+    }
+}

@@ -1,0 +1,652 @@
+//! The [`Netlist`] container: nets, cells, primary ports and the
+//! builder API used by all circuit generators in this workspace.
+
+use std::collections::HashMap;
+
+use crate::{Cell, CellId, CellKind, NetId, NetlistError, PortId};
+
+/// Direction of a primary port.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum PortDirection {
+    /// Driven by the environment.
+    Input,
+    /// Observed by the environment.
+    Output,
+}
+
+/// A named primary port bound to a net.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Port {
+    name: String,
+    direction: PortDirection,
+    net: NetId,
+}
+
+impl Port {
+    /// Port name as seen by the environment.
+    #[must_use]
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// Whether this is an input or output port.
+    #[must_use]
+    pub fn direction(&self) -> PortDirection {
+        self.direction
+    }
+
+    /// The net this port is bound to.
+    #[must_use]
+    pub fn net(&self) -> NetId {
+        self.net
+    }
+}
+
+/// What drives a net.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum NetDriver {
+    /// The net is a primary input, driven by the environment.
+    PrimaryInput,
+    /// The net is the output of a cell.
+    Cell(CellId),
+    /// Nothing drives the net yet.
+    None,
+}
+
+/// A wire connecting one driver to any number of cell input pins.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Net {
+    name: String,
+    driver: NetDriver,
+    /// Cells that read this net, with the pin index they read it on.
+    loads: Vec<(CellId, usize)>,
+}
+
+impl Net {
+    /// Net name (unique within the netlist).
+    #[must_use]
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// What drives this net.
+    #[must_use]
+    pub fn driver(&self) -> NetDriver {
+        self.driver
+    }
+
+    /// The `(cell, pin)` pairs reading this net.
+    #[must_use]
+    pub fn loads(&self) -> &[(CellId, usize)] {
+        &self.loads
+    }
+
+    /// Number of cell input pins connected to this net.
+    #[must_use]
+    pub fn fanout(&self) -> usize {
+        self.loads.len()
+    }
+}
+
+/// A flat, single-output-per-cell structural netlist.
+///
+/// See the [crate-level documentation](crate) for an end-to-end example.
+#[derive(Clone, Debug, Default)]
+pub struct Netlist {
+    name: String,
+    nets: Vec<Net>,
+    cells: Vec<Cell>,
+    ports: Vec<Port>,
+    net_names: HashMap<String, NetId>,
+    cell_names: HashMap<String, CellId>,
+}
+
+impl Netlist {
+    /// Creates an empty netlist with the given module name.
+    #[must_use]
+    pub fn new(name: impl Into<String>) -> Self {
+        Self {
+            name: name.into(),
+            ..Self::default()
+        }
+    }
+
+    /// Module name of the netlist.
+    #[must_use]
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// Number of cells instantiated.
+    #[must_use]
+    pub fn cell_count(&self) -> usize {
+        self.cells.len()
+    }
+
+    /// Number of nets (including primary inputs).
+    #[must_use]
+    pub fn net_count(&self) -> usize {
+        self.nets.len()
+    }
+
+    // ------------------------------------------------------------------
+    // Construction
+    // ------------------------------------------------------------------
+
+    /// Adds an internal net with an automatically generated unique name.
+    pub fn add_net_auto(&mut self) -> NetId {
+        let name = format!("_n{}", self.nets.len());
+        self.add_net_named(name)
+            .expect("auto-generated net names never collide")
+    }
+
+    /// Adds an internal (yet undriven) net with an explicit name.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`NetlistError::DuplicateName`] if the name is taken.
+    pub fn add_net_named(&mut self, name: impl Into<String>) -> Result<NetId, NetlistError> {
+        let name = name.into();
+        if self.net_names.contains_key(&name) {
+            return Err(NetlistError::DuplicateName(name));
+        }
+        let id = NetId(self.nets.len() as u32);
+        self.net_names.insert(name.clone(), id);
+        self.nets.push(Net {
+            name,
+            driver: NetDriver::None,
+            loads: Vec::new(),
+        });
+        Ok(id)
+    }
+
+    /// Adds a primary input port and returns the net it drives.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the name is already in use (primary ports are created by
+    /// generators from trusted, unique names).
+    pub fn add_input(&mut self, name: impl Into<String>) -> NetId {
+        let name = name.into();
+        let net = self
+            .add_net_named(name.clone())
+            .expect("primary input name already in use");
+        self.nets[net.index()].driver = NetDriver::PrimaryInput;
+        self.ports.push(Port {
+            name,
+            direction: PortDirection::Input,
+            net,
+        });
+        net
+    }
+
+    /// Marks an existing net as a primary output with the given port name.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `net` is out of range.
+    pub fn add_output(&mut self, name: impl Into<String>, net: NetId) -> PortId {
+        assert!(net.index() < self.nets.len(), "unknown net {net}");
+        let id = PortId(self.ports.len() as u32);
+        self.ports.push(Port {
+            name: name.into(),
+            direction: PortDirection::Output,
+            net,
+        });
+        id
+    }
+
+    /// Instantiates a cell driving a fresh automatically named net and
+    /// returns that output net.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`NetlistError::ArityMismatch`] if the number of inputs does
+    /// not match the kind, or [`NetlistError::UnknownNet`] if an input id is
+    /// out of range.
+    pub fn add_cell(
+        &mut self,
+        name: impl Into<String>,
+        kind: CellKind,
+        inputs: &[NetId],
+    ) -> Result<NetId, NetlistError> {
+        let out = self.add_net_auto();
+        self.add_cell_with_output(name, kind, inputs, out)?;
+        Ok(out)
+    }
+
+    /// Instantiates a cell driving an existing (undriven) net.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`NetlistError::ArityMismatch`] for a wrong input count,
+    /// [`NetlistError::UnknownNet`] for out-of-range nets,
+    /// [`NetlistError::MultipleDrivers`] if the output net is already
+    /// driven and [`NetlistError::DuplicateName`] if the instance name is
+    /// taken.
+    pub fn add_cell_with_output(
+        &mut self,
+        name: impl Into<String>,
+        kind: CellKind,
+        inputs: &[NetId],
+        output: NetId,
+    ) -> Result<CellId, NetlistError> {
+        let name = name.into();
+        if inputs.len() != kind.input_count() {
+            return Err(NetlistError::ArityMismatch {
+                kind,
+                expected: kind.input_count(),
+                got: inputs.len(),
+            });
+        }
+        for &input in inputs {
+            if input.index() >= self.nets.len() {
+                return Err(NetlistError::UnknownNet(input));
+            }
+        }
+        if output.index() >= self.nets.len() {
+            return Err(NetlistError::UnknownNet(output));
+        }
+        if self.nets[output.index()].driver != NetDriver::None {
+            return Err(NetlistError::MultipleDrivers { net: output });
+        }
+        if self.cell_names.contains_key(&name) {
+            return Err(NetlistError::DuplicateName(name));
+        }
+
+        let id = CellId(self.cells.len() as u32);
+        for (pin, &input) in inputs.iter().enumerate() {
+            self.nets[input.index()].loads.push((id, pin));
+        }
+        self.nets[output.index()].driver = NetDriver::Cell(id);
+        self.cell_names.insert(name.clone(), id);
+        self.cells.push(Cell {
+            name,
+            kind,
+            inputs: inputs.to_vec(),
+            output,
+        });
+        Ok(id)
+    }
+
+    /// Builds a balanced tree of 2/3/4-input gates computing the AND of
+    /// `inputs` (or OR, etc. depending on `kind2`..`kind4`) and returns the
+    /// root net.  Used by datapath generators for wide clause AND trees.
+    ///
+    /// # Errors
+    ///
+    /// Propagates construction errors; returns the single input unchanged
+    /// when `inputs.len() == 1`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `inputs` is empty.
+    pub fn add_gate_tree(
+        &mut self,
+        prefix: &str,
+        kinds: (CellKind, CellKind, CellKind),
+        inputs: &[NetId],
+    ) -> Result<NetId, NetlistError> {
+        assert!(!inputs.is_empty(), "gate tree needs at least one input");
+        let (kind2, kind3, kind4) = kinds;
+        let mut level: Vec<NetId> = inputs.to_vec();
+        let mut stage = 0usize;
+        while level.len() > 1 {
+            let mut next = Vec::with_capacity(level.len().div_ceil(4));
+            let mut iter = level.chunks(4).enumerate();
+            for (i, chunk) in &mut iter {
+                let name = format!("{prefix}_s{stage}_{i}");
+                let net = match chunk.len() {
+                    1 => chunk[0],
+                    2 => self.add_cell(name, kind2, chunk)?,
+                    3 => self.add_cell(name, kind3, chunk)?,
+                    4 => self.add_cell(name, kind4, chunk)?,
+                    _ => unreachable!("chunks(4) yields at most 4 elements"),
+                };
+                next.push(net);
+            }
+            level = next;
+            stage += 1;
+        }
+        Ok(level[0])
+    }
+
+    /// Convenience wrapper building an AND tree.
+    ///
+    /// # Errors
+    ///
+    /// Propagates errors from [`Netlist::add_gate_tree`].
+    pub fn add_and_tree(&mut self, prefix: &str, inputs: &[NetId]) -> Result<NetId, NetlistError> {
+        self.add_gate_tree(
+            prefix,
+            (CellKind::And2, CellKind::And3, CellKind::And4),
+            inputs,
+        )
+    }
+
+    /// Convenience wrapper building an OR tree.
+    ///
+    /// # Errors
+    ///
+    /// Propagates errors from [`Netlist::add_gate_tree`].
+    pub fn add_or_tree(&mut self, prefix: &str, inputs: &[NetId]) -> Result<NetId, NetlistError> {
+        self.add_gate_tree(
+            prefix,
+            (CellKind::Or2, CellKind::Or3, CellKind::Or4),
+            inputs,
+        )
+    }
+
+    /// Builds a tree of C-elements combining all `inputs` into a single
+    /// completion signal.  Used by completion-detection insertion.
+    ///
+    /// # Errors
+    ///
+    /// Propagates construction errors.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `inputs` is empty.
+    pub fn add_c_element_tree(
+        &mut self,
+        prefix: &str,
+        inputs: &[NetId],
+    ) -> Result<NetId, NetlistError> {
+        assert!(!inputs.is_empty(), "c-element tree needs at least one input");
+        let mut level: Vec<NetId> = inputs.to_vec();
+        let mut stage = 0usize;
+        while level.len() > 1 {
+            let mut next = Vec::with_capacity(level.len().div_ceil(3));
+            for (i, chunk) in level.chunks(3).enumerate() {
+                let name = format!("{prefix}_c{stage}_{i}");
+                let net = match chunk.len() {
+                    1 => chunk[0],
+                    2 => self.add_cell(name, CellKind::CElement2, chunk)?,
+                    3 => self.add_cell(name, CellKind::CElement3, chunk)?,
+                    _ => unreachable!("chunks(3) yields at most 3 elements"),
+                };
+                next.push(net);
+            }
+            level = next;
+            stage += 1;
+        }
+        Ok(level[0])
+    }
+
+    // ------------------------------------------------------------------
+    // Queries
+    // ------------------------------------------------------------------
+
+    /// Returns the net with the given id.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the id is out of range.
+    #[must_use]
+    pub fn net(&self, id: NetId) -> &Net {
+        &self.nets[id.index()]
+    }
+
+    /// Returns the cell with the given id.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the id is out of range.
+    #[must_use]
+    pub fn cell(&self, id: CellId) -> &Cell {
+        &self.cells[id.index()]
+    }
+
+    /// Returns the port with the given id.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the id is out of range.
+    #[must_use]
+    pub fn port(&self, id: PortId) -> &Port {
+        &self.ports[id.index()]
+    }
+
+    /// Iterates over all cells with their ids.
+    pub fn cells(&self) -> impl Iterator<Item = (CellId, &Cell)> {
+        self.cells
+            .iter()
+            .enumerate()
+            .map(|(i, c)| (CellId(i as u32), c))
+    }
+
+    /// Iterates over all nets with their ids.
+    pub fn nets(&self) -> impl Iterator<Item = (NetId, &Net)> {
+        self.nets
+            .iter()
+            .enumerate()
+            .map(|(i, n)| (NetId(i as u32), n))
+    }
+
+    /// Iterates over all ports with their ids.
+    pub fn ports(&self) -> impl Iterator<Item = (PortId, &Port)> {
+        self.ports
+            .iter()
+            .enumerate()
+            .map(|(i, p)| (PortId(i as u32), p))
+    }
+
+    /// All primary input nets, in declaration order.
+    #[must_use]
+    pub fn primary_inputs(&self) -> Vec<NetId> {
+        self.ports
+            .iter()
+            .filter(|p| p.direction == PortDirection::Input)
+            .map(|p| p.net)
+            .collect()
+    }
+
+    /// All primary output nets, in declaration order.
+    #[must_use]
+    pub fn primary_outputs(&self) -> Vec<NetId> {
+        self.ports
+            .iter()
+            .filter(|p| p.direction == PortDirection::Output)
+            .map(|p| p.net)
+            .collect()
+    }
+
+    /// Looks up a net by name.
+    #[must_use]
+    pub fn find_net(&self, name: &str) -> Option<NetId> {
+        self.net_names.get(name).copied()
+    }
+
+    /// Looks up a cell by instance name.
+    #[must_use]
+    pub fn find_cell(&self, name: &str) -> Option<CellId> {
+        self.cell_names.get(name).copied()
+    }
+
+    /// Returns the cell driving `net`, if any.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the id is out of range.
+    #[must_use]
+    pub fn driver_cell(&self, net: NetId) -> Option<CellId> {
+        match self.nets[net.index()].driver {
+            NetDriver::Cell(c) => Some(c),
+            _ => None,
+        }
+    }
+
+    /// Returns the first port bound to `net`, if any.
+    #[must_use]
+    pub fn port_of_net(&self, net: NetId) -> Option<PortId> {
+        self.ports
+            .iter()
+            .position(|p| p.net == net)
+            .map(|i| PortId(i as u32))
+    }
+
+    /// Whether `net` is a primary input.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the id is out of range.
+    #[must_use]
+    pub fn is_primary_input(&self, net: NetId) -> bool {
+        self.nets[net.index()].driver == NetDriver::PrimaryInput
+    }
+
+    /// Validates structural invariants: every primary output and every
+    /// cell input must be driven (by a cell or a primary input).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`NetlistError::UndrivenOutput`] naming the first offending
+    /// net.
+    pub fn validate(&self) -> Result<(), NetlistError> {
+        for po in self.primary_outputs() {
+            if self.nets[po.index()].driver == NetDriver::None {
+                return Err(NetlistError::UndrivenOutput(po));
+            }
+        }
+        for cell in &self.cells {
+            for &input in &cell.inputs {
+                if self.nets[input.index()].driver == NetDriver::None {
+                    return Err(NetlistError::UndrivenOutput(input));
+                }
+            }
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn build_and_or() -> (Netlist, NetId, NetId, NetId, NetId) {
+        let mut nl = Netlist::new("and_or");
+        let a = nl.add_input("a");
+        let b = nl.add_input("b");
+        let c = nl.add_input("c");
+        let ab = nl.add_cell("u_and", CellKind::And2, &[a, b]).unwrap();
+        let y = nl.add_cell("u_or", CellKind::Or2, &[ab, c]).unwrap();
+        nl.add_output("y", y);
+        (nl, a, b, c, y)
+    }
+
+    #[test]
+    fn build_and_query() {
+        let (nl, a, _b, _c, y) = build_and_or();
+        assert_eq!(nl.cell_count(), 2);
+        assert_eq!(nl.primary_inputs().len(), 3);
+        assert_eq!(nl.primary_outputs(), vec![y]);
+        assert!(nl.is_primary_input(a));
+        assert!(!nl.is_primary_input(y));
+        assert_eq!(nl.net(a).fanout(), 1);
+        let and_cell = nl.find_cell("u_and").unwrap();
+        assert_eq!(nl.cell(and_cell).kind(), CellKind::And2);
+        assert_eq!(nl.driver_cell(y), Some(nl.find_cell("u_or").unwrap()));
+        nl.validate().unwrap();
+    }
+
+    #[test]
+    fn arity_mismatch_is_rejected() {
+        let mut nl = Netlist::new("t");
+        let a = nl.add_input("a");
+        let err = nl.add_cell("bad", CellKind::And2, &[a]).unwrap_err();
+        assert!(matches!(err, NetlistError::ArityMismatch { .. }));
+    }
+
+    #[test]
+    fn duplicate_cell_name_is_rejected() {
+        let mut nl = Netlist::new("t");
+        let a = nl.add_input("a");
+        nl.add_cell("inv", CellKind::Inv, &[a]).unwrap();
+        let err = nl.add_cell("inv", CellKind::Inv, &[a]).unwrap_err();
+        assert_eq!(err, NetlistError::DuplicateName("inv".to_string()));
+    }
+
+    #[test]
+    fn duplicate_net_name_is_rejected() {
+        let mut nl = Netlist::new("t");
+        nl.add_net_named("x").unwrap();
+        assert!(matches!(
+            nl.add_net_named("x"),
+            Err(NetlistError::DuplicateName(_))
+        ));
+    }
+
+    #[test]
+    fn multiple_drivers_are_rejected() {
+        let mut nl = Netlist::new("t");
+        let a = nl.add_input("a");
+        let out = nl.add_net_named("out").unwrap();
+        nl.add_cell_with_output("inv1", CellKind::Inv, &[a], out)
+            .unwrap();
+        let err = nl
+            .add_cell_with_output("inv2", CellKind::Inv, &[a], out)
+            .unwrap_err();
+        assert!(matches!(err, NetlistError::MultipleDrivers { .. }));
+    }
+
+    #[test]
+    fn undriven_output_fails_validation() {
+        let mut nl = Netlist::new("t");
+        let dangling = nl.add_net_named("dangling").unwrap();
+        nl.add_output("y", dangling);
+        assert!(matches!(
+            nl.validate(),
+            Err(NetlistError::UndrivenOutput(_))
+        ));
+    }
+
+    #[test]
+    fn and_tree_collapses_single_input() {
+        let mut nl = Netlist::new("t");
+        let a = nl.add_input("a");
+        let root = nl.add_and_tree("tree", &[a]).unwrap();
+        assert_eq!(root, a);
+        assert_eq!(nl.cell_count(), 0);
+    }
+
+    #[test]
+    fn and_tree_width_nine_uses_expected_levels() {
+        let mut nl = Netlist::new("t");
+        let inputs: Vec<NetId> = (0..9).map(|i| nl.add_input(format!("i{i}"))).collect();
+        let root = nl.add_and_tree("tree", &inputs).unwrap();
+        nl.add_output("y", root);
+        // 9 inputs -> 2x AND4 + 1 pass-through, then AND3 at the top.
+        assert_eq!(nl.cell_count(), 3);
+        nl.validate().unwrap();
+    }
+
+    #[test]
+    fn c_element_tree_reduces_to_one_net() {
+        let mut nl = Netlist::new("t");
+        let inputs: Vec<NetId> = (0..7).map(|i| nl.add_input(format!("i{i}"))).collect();
+        let done = nl.add_c_element_tree("cd", &inputs).unwrap();
+        nl.add_output("done", done);
+        nl.validate().unwrap();
+        // All cells must be C-elements.
+        assert!(nl
+            .cells()
+            .all(|(_, c)| matches!(c.kind(), CellKind::CElement2 | CellKind::CElement3)));
+    }
+
+    #[test]
+    fn fanout_tracks_loads() {
+        let (nl, a, _, _, _) = build_and_or();
+        let loads = nl.net(a).loads();
+        assert_eq!(loads.len(), 1);
+        let (cell, pin) = loads[0];
+        assert_eq!(nl.cell(cell).name(), "u_and");
+        assert_eq!(pin, 0);
+    }
+
+    #[test]
+    fn find_net_by_name() {
+        let (nl, a, _, _, _) = build_and_or();
+        assert_eq!(nl.find_net("a"), Some(a));
+        assert_eq!(nl.find_net("zzz"), None);
+    }
+}

@@ -1,0 +1,185 @@
+//! Library-independent netlist statistics: cell histograms, pin counts
+//! and sequential/combinational breakdown.
+//!
+//! Area and power figures require a cell library and live in the
+//! `celllib` crate; the statistics here are purely structural and are
+//! used in reports and tests (e.g. "the dual-rail design has roughly
+//! twice the cell count but similar area").
+
+use std::collections::BTreeMap;
+use std::fmt;
+
+use crate::{CellKind, Netlist};
+
+/// Histogram of cell kinds used by a netlist.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct CellHistogram {
+    counts: BTreeMap<&'static str, usize>,
+}
+
+impl CellHistogram {
+    /// Number of cells of the given kind.
+    #[must_use]
+    pub fn count(&self, kind: CellKind) -> usize {
+        self.counts.get(kind.library_name()).copied().unwrap_or(0)
+    }
+
+    /// Iterates over `(library name, count)` pairs in name order.
+    pub fn iter(&self) -> impl Iterator<Item = (&'static str, usize)> + '_ {
+        self.counts.iter().map(|(k, v)| (*k, *v))
+    }
+
+    /// Total number of cells.
+    #[must_use]
+    pub fn total(&self) -> usize {
+        self.counts.values().sum()
+    }
+}
+
+impl fmt::Display for CellHistogram {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        for (name, count) in &self.counts {
+            writeln!(f, "{name:>8}: {count}")?;
+        }
+        Ok(())
+    }
+}
+
+/// Structural summary of a netlist.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct NetlistStats {
+    /// Total number of cell instances.
+    pub cell_count: usize,
+    /// Number of state-holding cells (C-elements and flip-flops).
+    pub sequential_count: usize,
+    /// Number of combinational cells.
+    pub combinational_count: usize,
+    /// Number of nets.
+    pub net_count: usize,
+    /// Number of primary inputs.
+    pub input_count: usize,
+    /// Number of primary outputs.
+    pub output_count: usize,
+    /// Total number of cell input pins (a proxy for wiring complexity).
+    pub pin_count: usize,
+    /// Maximum logic depth in cells.
+    pub logic_depth: usize,
+    /// Per-kind histogram.
+    pub histogram: CellHistogram,
+}
+
+impl NetlistStats {
+    /// Computes the statistics of a netlist.
+    ///
+    /// # Example
+    ///
+    /// ```
+    /// use netlist::{Netlist, CellKind, NetlistStats};
+    /// let mut nl = Netlist::new("t");
+    /// let a = nl.add_input("a");
+    /// let b = nl.add_input("b");
+    /// let y = nl.add_cell("and", CellKind::And2, &[a, b]).unwrap();
+    /// nl.add_output("y", y);
+    /// let stats = NetlistStats::of(&nl);
+    /// assert_eq!(stats.cell_count, 1);
+    /// assert_eq!(stats.pin_count, 2);
+    /// ```
+    #[must_use]
+    pub fn of(nl: &Netlist) -> Self {
+        let mut histogram = CellHistogram::default();
+        let mut sequential = 0;
+        let mut pins = 0;
+        for (_, cell) in nl.cells() {
+            *histogram
+                .counts
+                .entry(cell.kind().library_name())
+                .or_insert(0) += 1;
+            if cell.kind().is_sequential() {
+                sequential += 1;
+            }
+            pins += cell.inputs().len();
+        }
+        let cell_count = nl.cell_count();
+        Self {
+            cell_count,
+            sequential_count: sequential,
+            combinational_count: cell_count - sequential,
+            net_count: nl.net_count(),
+            input_count: nl.primary_inputs().len(),
+            output_count: nl.primary_outputs().len(),
+            pin_count: pins,
+            logic_depth: crate::graph::logic_depth(nl),
+            histogram,
+        }
+    }
+}
+
+impl fmt::Display for NetlistStats {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(f, "cells: {} ({} sequential, {} combinational)",
+            self.cell_count, self.sequential_count, self.combinational_count)?;
+        writeln!(f, "nets: {}  pins: {}", self.net_count, self.pin_count)?;
+        writeln!(
+            f,
+            "ports: {} in / {} out  depth: {}",
+            self.input_count, self.output_count, self.logic_depth
+        )?;
+        write!(f, "{}", self.histogram)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::CellKind;
+
+    fn sample() -> Netlist {
+        let mut nl = Netlist::new("sample");
+        let a = nl.add_input("a");
+        let b = nl.add_input("b");
+        let clk = nl.add_input("clk");
+        let x = nl.add_cell("and", CellKind::And2, &[a, b]).unwrap();
+        let y = nl.add_cell("inv", CellKind::Inv, &[x]).unwrap();
+        let q = nl.add_cell("ff", CellKind::Dff, &[y, clk]).unwrap();
+        nl.add_output("q", q);
+        nl
+    }
+
+    #[test]
+    fn stats_counts() {
+        let stats = NetlistStats::of(&sample());
+        assert_eq!(stats.cell_count, 3);
+        assert_eq!(stats.sequential_count, 1);
+        assert_eq!(stats.combinational_count, 2);
+        assert_eq!(stats.input_count, 3);
+        assert_eq!(stats.output_count, 1);
+        assert_eq!(stats.pin_count, 2 + 1 + 2);
+        assert_eq!(stats.logic_depth, 3);
+    }
+
+    #[test]
+    fn histogram_reports_each_kind() {
+        let stats = NetlistStats::of(&sample());
+        assert_eq!(stats.histogram.count(CellKind::And2), 1);
+        assert_eq!(stats.histogram.count(CellKind::Inv), 1);
+        assert_eq!(stats.histogram.count(CellKind::Dff), 1);
+        assert_eq!(stats.histogram.count(CellKind::Nor4), 0);
+        assert_eq!(stats.histogram.total(), 3);
+    }
+
+    #[test]
+    fn display_is_nonempty() {
+        let stats = NetlistStats::of(&sample());
+        let text = stats.to_string();
+        assert!(text.contains("cells: 3"));
+        assert!(text.contains("DFF"));
+    }
+
+    #[test]
+    fn empty_netlist_stats() {
+        let stats = NetlistStats::of(&Netlist::new("empty"));
+        assert_eq!(stats.cell_count, 0);
+        assert_eq!(stats.histogram.total(), 0);
+        assert_eq!(stats.logic_depth, 0);
+    }
+}

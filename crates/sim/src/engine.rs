@@ -1,0 +1,564 @@
+//! The event-driven simulation engine.
+
+use celllib::{ActivityProfile, Library};
+use netlist::{CellId, CellKind, NetId, Netlist};
+
+use crate::event::{Event, EventQueue};
+use crate::Logic;
+
+/// Outcome of [`Simulator::run_until_quiescent`].
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum RunOutcome {
+    /// All scheduled activity has been processed.
+    Quiescent {
+        /// Number of events processed during this run.
+        events: u64,
+    },
+    /// The event limit was reached before the circuit settled (usually a
+    /// sign of oscillation).
+    LimitReached,
+}
+
+impl RunOutcome {
+    /// Whether the circuit settled.
+    #[must_use]
+    pub fn is_quiescent(self) -> bool {
+        matches!(self, RunOutcome::Quiescent { .. })
+    }
+}
+
+/// Event-driven gate-level simulator over a netlist and a library.
+///
+/// The simulator uses transport-delay semantics with per-cell delays
+/// derived from the library at its configured supply voltage and process
+/// corner.  See the [crate-level documentation](crate) for an example.
+#[derive(Debug)]
+pub struct Simulator<'a> {
+    netlist: &'a Netlist,
+    values: Vec<Logic>,
+    cell_delay_ps: Vec<f64>,
+    queue: EventQueue,
+    now_ps: f64,
+    cell_transitions: Vec<u64>,
+    net_transitions: Vec<u64>,
+    last_change_ps: Vec<f64>,
+    dff_last_clk: Vec<Logic>,
+    event_limit: u64,
+    total_events: u64,
+}
+
+impl<'a> Simulator<'a> {
+    /// Default maximum number of events per [`Simulator::run_until_quiescent`] call.
+    pub const DEFAULT_EVENT_LIMIT: u64 = 50_000_000;
+
+    /// Creates a simulator for `netlist` with delays taken from `library`
+    /// (at the library's current supply voltage and corner).
+    ///
+    /// All nets start at X; constant cells (`TIE0`/`TIE1`) are scheduled
+    /// at time zero.
+    #[must_use]
+    pub fn new(netlist: &'a Netlist, library: &Library) -> Self {
+        let cell_delay_ps = netlist
+            .cells()
+            .map(|(_, cell)| {
+                let fanout = netlist.net(cell.output()).fanout();
+                library.cell_delay(cell.kind(), fanout.max(1))
+            })
+            .collect();
+        let mut sim = Self {
+            netlist,
+            values: vec![Logic::Unknown; netlist.net_count()],
+            cell_delay_ps,
+            queue: EventQueue::new(),
+            now_ps: 0.0,
+            cell_transitions: vec![0; netlist.cell_count()],
+            net_transitions: vec![0; netlist.net_count()],
+            last_change_ps: vec![f64::NAN; netlist.net_count()],
+            dff_last_clk: vec![Logic::Unknown; netlist.cell_count()],
+            event_limit: Self::DEFAULT_EVENT_LIMIT,
+            total_events: 0,
+        };
+        sim.schedule_constants();
+        sim
+    }
+
+    fn schedule_constants(&mut self) {
+        for (id, cell) in self.netlist.cells() {
+            let value = match cell.kind() {
+                CellKind::Tie0 => Logic::Zero,
+                CellKind::Tie1 => Logic::One,
+                _ => continue,
+            };
+            self.queue.push(Event {
+                time_ps: self.now_ps + self.cell_delay_ps[id.index()],
+                net: cell.output(),
+                value,
+            });
+        }
+    }
+
+    /// The netlist being simulated.
+    #[must_use]
+    pub fn netlist(&self) -> &Netlist {
+        self.netlist
+    }
+
+    /// Current simulation time in picoseconds.
+    #[must_use]
+    pub fn now_ps(&self) -> f64 {
+        self.now_ps
+    }
+
+    /// Changes the event limit used to detect runaway oscillation.
+    pub fn set_event_limit(&mut self, limit: u64) {
+        self.event_limit = limit;
+    }
+
+    /// Current value of a net.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the net id is out of range.
+    #[must_use]
+    pub fn value(&self, net: NetId) -> Logic {
+        self.values[net.index()]
+    }
+
+    /// Values of all primary outputs, in port declaration order.
+    #[must_use]
+    pub fn output_values(&self) -> Vec<Logic> {
+        self.netlist
+            .primary_outputs()
+            .iter()
+            .map(|&n| self.value(n))
+            .collect()
+    }
+
+    /// Time of the most recent value change of `net`, or `None` if it has
+    /// never changed.
+    #[must_use]
+    pub fn last_change_ps(&self, net: NetId) -> Option<f64> {
+        let t = self.last_change_ps[net.index()];
+        if t.is_nan() {
+            None
+        } else {
+            Some(t)
+        }
+    }
+
+    /// Number of value changes observed on `net`.
+    #[must_use]
+    pub fn net_transitions(&self, net: NetId) -> u64 {
+        self.net_transitions[net.index()]
+    }
+
+    /// Number of output transitions of `cell`.
+    #[must_use]
+    pub fn cell_transitions(&self, cell: CellId) -> u64 {
+        self.cell_transitions[cell.index()]
+    }
+
+    /// Total transitions across all cells since construction (or the last
+    /// [`Simulator::clear_activity`]).
+    #[must_use]
+    pub fn total_cell_transitions(&self) -> u64 {
+        self.cell_transitions.iter().sum()
+    }
+
+    /// Resets the transition counters without touching net values or time
+    /// (used to exclude a warm-up phase from power accounting).
+    pub fn clear_activity(&mut self) {
+        self.cell_transitions.iter_mut().for_each(|c| *c = 0);
+        self.net_transitions.iter_mut().for_each(|c| *c = 0);
+    }
+
+    /// Builds a [`celllib::ActivityProfile`] from the recorded activity
+    /// over `duration_ps` picoseconds.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `duration_ps` is not positive.
+    #[must_use]
+    pub fn activity_profile(&self, duration_ps: f64) -> ActivityProfile {
+        let mut profile = ActivityProfile::new(duration_ps);
+        for (id, _) in self.netlist.cells() {
+            let count = self.cell_transitions[id.index()];
+            if count > 0 {
+                profile.record(id, count);
+            }
+        }
+        profile
+    }
+
+    // ------------------------------------------------------------------
+    // Stimulus
+    // ------------------------------------------------------------------
+
+    /// Drives a primary input to a value at the current simulation time.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `net` is not a primary input.
+    pub fn set_input(&mut self, net: NetId, value: Logic) {
+        assert!(
+            self.netlist.is_primary_input(net),
+            "net {net} is not a primary input"
+        );
+        self.queue.push(Event {
+            time_ps: self.now_ps,
+            net,
+            value,
+        });
+    }
+
+    /// Drives a primary input with a boolean value.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `net` is not a primary input.
+    pub fn set_input_bool(&mut self, net: NetId, value: bool) {
+        self.set_input(net, Logic::from(value));
+    }
+
+    /// Forces an arbitrary net to a value (bypassing its driver) at the
+    /// current time.  Useful to initialise flip-flop outputs.
+    pub fn force_net(&mut self, net: NetId, value: Logic) {
+        self.queue.push(Event {
+            time_ps: self.now_ps,
+            net,
+            value,
+        });
+    }
+
+    /// Advances the simulation clock to `time_ps` without processing
+    /// events (the time must not be in the past).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `time_ps` is earlier than the current time.
+    pub fn advance_to(&mut self, time_ps: f64) {
+        assert!(
+            time_ps >= self.now_ps,
+            "cannot move time backwards ({} < {})",
+            time_ps,
+            self.now_ps
+        );
+        self.now_ps = time_ps;
+    }
+
+    // ------------------------------------------------------------------
+    // Execution
+    // ------------------------------------------------------------------
+
+    /// Processes events until no activity remains or the event limit is
+    /// reached.
+    pub fn run_until_quiescent(&mut self) -> RunOutcome {
+        let mut processed = 0u64;
+        while let Some(event) = self.queue.pop() {
+            processed += 1;
+            self.total_events += 1;
+            if processed > self.event_limit {
+                return RunOutcome::LimitReached;
+            }
+            self.apply_event(event);
+        }
+        RunOutcome::Quiescent { events: processed }
+    }
+
+    /// Processes events with timestamps up to and including `time_ps`,
+    /// leaving later events pending.  Returns the number of events
+    /// processed.  Used by the synchronous testbench to advance one clock
+    /// phase at a time.
+    pub fn run_until(&mut self, time_ps: f64) -> u64 {
+        let mut processed = 0u64;
+        while let Some(next) = self.queue.next_time_ps() {
+            if next > time_ps {
+                break;
+            }
+            let event = self.queue.pop().expect("peeked event exists");
+            processed += 1;
+            self.total_events += 1;
+            self.apply_event(event);
+        }
+        self.now_ps = self.now_ps.max(time_ps);
+        processed
+    }
+
+    fn apply_event(&mut self, event: Event) {
+        self.now_ps = self.now_ps.max(event.time_ps);
+        let old = self.values[event.net.index()];
+        if old == event.value {
+            return;
+        }
+        self.values[event.net.index()] = event.value;
+        self.last_change_ps[event.net.index()] = event.time_ps;
+        self.net_transitions[event.net.index()] += 1;
+        if let Some(cell) = self.netlist.driver_cell(event.net) {
+            self.cell_transitions[cell.index()] += 1;
+        }
+
+        // Propagate to every cell reading this net.
+        let loads: Vec<(CellId, usize)> = self.netlist.net(event.net).loads().to_vec();
+        for (cell_id, pin) in loads {
+            self.evaluate_cell(cell_id, pin, event.time_ps);
+        }
+    }
+
+    fn evaluate_cell(&mut self, cell_id: CellId, changed_pin: usize, time_ps: f64) {
+        let cell = self.netlist.cell(cell_id);
+        let delay = self.cell_delay_ps[cell_id.index()];
+
+        if cell.kind() == CellKind::Dff {
+            // Pin 1 is the clock; capture D on a 0 -> 1 edge.
+            if changed_pin == 1 {
+                let clk = self.values[cell.inputs()[1].index()];
+                let previous_clk = self.dff_last_clk[cell_id.index()];
+                if previous_clk == Logic::Zero && clk == Logic::One {
+                    let d = self.values[cell.inputs()[0].index()];
+                    self.queue.push(Event {
+                        time_ps: time_ps + delay,
+                        net: cell.output(),
+                        value: d,
+                    });
+                }
+                self.dff_last_clk[cell_id.index()] = clk;
+            }
+            return;
+        }
+
+        let inputs: Vec<Option<bool>> = cell
+            .inputs()
+            .iter()
+            .map(|n| self.values[n.index()].to_option())
+            .collect();
+        let prev = self.values[cell.output().index()].to_option();
+        let new_value = Logic::from(cell.kind().eval_tristate(&inputs, prev));
+        self.queue.push(Event {
+            time_ps: time_ps + delay,
+            net: cell.output(),
+            value: new_value,
+        });
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use netlist::CellKind;
+
+    fn lib() -> Library {
+        Library::umc_ll()
+    }
+
+    #[test]
+    fn propagates_through_combinational_logic() {
+        let mut nl = Netlist::new("t");
+        let a = nl.add_input("a");
+        let b = nl.add_input("b");
+        let c = nl.add_input("c");
+        let ab = nl.add_cell("and", CellKind::And2, &[a, b]).unwrap();
+        let y = nl.add_cell("or", CellKind::Or2, &[ab, c]).unwrap();
+        nl.add_output("y", y);
+
+        let library = lib();
+        let mut sim = Simulator::new(&nl, &library);
+        sim.set_input_bool(a, true);
+        sim.set_input_bool(b, true);
+        sim.set_input_bool(c, false);
+        let outcome = sim.run_until_quiescent();
+        assert!(outcome.is_quiescent());
+        assert_eq!(sim.value(y), Logic::One);
+        // Two gate delays must have elapsed.
+        assert!(sim.now_ps() >= 2.0 * library.cell_delay(CellKind::And2, 1));
+    }
+
+    #[test]
+    fn latency_matches_sum_of_gate_delays_along_path() {
+        let mut nl = Netlist::new("chain");
+        let mut net = nl.add_input("a");
+        for i in 0..5 {
+            net = nl
+                .add_cell(format!("buf{i}"), CellKind::Buf, &[net])
+                .unwrap();
+        }
+        nl.add_output("y", net);
+        let library = lib();
+        let mut sim = Simulator::new(&nl, &library);
+        sim.set_input_bool(nl.find_net("a").unwrap(), true);
+        sim.run_until_quiescent();
+        let expected = 5.0 * library.cell_delay(CellKind::Buf, 1);
+        let got = sim.last_change_ps(net).unwrap();
+        assert!((got - expected).abs() < 1e-6, "expected {expected}, got {got}");
+    }
+
+    #[test]
+    fn x_propagates_until_inputs_are_driven() {
+        let mut nl = Netlist::new("t");
+        let a = nl.add_input("a");
+        let b = nl.add_input("b");
+        let y = nl.add_cell("and", CellKind::And2, &[a, b]).unwrap();
+        nl.add_output("y", y);
+        let library = lib();
+        let mut sim = Simulator::new(&nl, &library);
+        assert_eq!(sim.value(y), Logic::Unknown);
+        // Driving only one input with a non-controlling value keeps X.
+        sim.set_input_bool(a, true);
+        sim.run_until_quiescent();
+        assert_eq!(sim.value(y), Logic::Unknown);
+        // A controlling 0 resolves the output even with the other input X.
+        sim.set_input_bool(a, false);
+        sim.run_until_quiescent();
+        assert_eq!(sim.value(y), Logic::Zero);
+    }
+
+    #[test]
+    fn c_element_behaviour_in_simulation() {
+        let mut nl = Netlist::new("c");
+        let a = nl.add_input("a");
+        let b = nl.add_input("b");
+        let y = nl.add_cell("c", CellKind::CElement2, &[a, b]).unwrap();
+        nl.add_output("y", y);
+        let library = lib();
+        let mut sim = Simulator::new(&nl, &library);
+
+        sim.set_input_bool(a, false);
+        sim.set_input_bool(b, false);
+        sim.run_until_quiescent();
+        assert_eq!(sim.value(y), Logic::Zero);
+
+        sim.set_input_bool(a, true);
+        sim.run_until_quiescent();
+        assert_eq!(sim.value(y), Logic::Zero, "holds until both inputs high");
+
+        sim.set_input_bool(b, true);
+        sim.run_until_quiescent();
+        assert_eq!(sim.value(y), Logic::One);
+
+        sim.set_input_bool(a, false);
+        sim.run_until_quiescent();
+        assert_eq!(sim.value(y), Logic::One, "holds until both inputs low");
+
+        sim.set_input_bool(b, false);
+        sim.run_until_quiescent();
+        assert_eq!(sim.value(y), Logic::Zero);
+    }
+
+    #[test]
+    fn dff_captures_on_rising_edge_only() {
+        let mut nl = Netlist::new("reg");
+        let d = nl.add_input("d");
+        let clk = nl.add_input("clk");
+        let q = nl.add_cell("ff", CellKind::Dff, &[d, clk]).unwrap();
+        nl.add_output("q", q);
+        let library = lib();
+        let mut sim = Simulator::new(&nl, &library);
+
+        sim.set_input_bool(clk, false);
+        sim.set_input_bool(d, true);
+        sim.run_until_quiescent();
+        assert_eq!(sim.value(q), Logic::Unknown, "no edge yet");
+
+        sim.set_input_bool(clk, true);
+        sim.run_until_quiescent();
+        assert_eq!(sim.value(q), Logic::One, "captured on rising edge");
+
+        sim.set_input_bool(d, false);
+        sim.run_until_quiescent();
+        assert_eq!(sim.value(q), Logic::One, "data change alone does not propagate");
+
+        sim.set_input_bool(clk, false);
+        sim.run_until_quiescent();
+        assert_eq!(sim.value(q), Logic::One, "falling edge does not capture");
+
+        sim.set_input_bool(clk, true);
+        sim.run_until_quiescent();
+        assert_eq!(sim.value(q), Logic::Zero, "next rising edge captures new data");
+    }
+
+    #[test]
+    fn tie_cells_drive_constants_at_time_zero() {
+        let mut nl = Netlist::new("t");
+        let one = nl.add_cell("tie1", CellKind::Tie1, &[]).unwrap();
+        let zero = nl.add_cell("tie0", CellKind::Tie0, &[]).unwrap();
+        let y = nl.add_cell("and", CellKind::And2, &[one, zero]).unwrap();
+        nl.add_output("y", y);
+        let library = lib();
+        let mut sim = Simulator::new(&nl, &library);
+        sim.run_until_quiescent();
+        assert_eq!(sim.value(one), Logic::One);
+        assert_eq!(sim.value(zero), Logic::Zero);
+        assert_eq!(sim.value(y), Logic::Zero);
+    }
+
+    #[test]
+    fn transition_counting_and_activity_profile() {
+        let mut nl = Netlist::new("t");
+        let a = nl.add_input("a");
+        let y = nl.add_cell("inv", CellKind::Inv, &[a]).unwrap();
+        nl.add_output("y", y);
+        let library = lib();
+        let mut sim = Simulator::new(&nl, &library);
+        for i in 0..10 {
+            sim.set_input_bool(a, i % 2 == 0);
+            sim.run_until_quiescent();
+        }
+        let cell = nl.driver_cell(y).unwrap();
+        assert_eq!(sim.cell_transitions(cell), 10);
+        assert_eq!(sim.net_transitions(y), 10);
+        let profile = sim.activity_profile(1000.0);
+        assert_eq!(profile.total_transitions(), 10);
+        sim.clear_activity();
+        assert_eq!(sim.total_cell_transitions(), 0);
+    }
+
+    #[test]
+    fn oscillator_hits_event_limit() {
+        // A ring oscillator: three inverters in a loop (built via explicit nets).
+        let mut nl = Netlist::new("ring");
+        let fb = nl.add_net_named("fb").unwrap();
+        let x = nl.add_cell("inv1", CellKind::Inv, &[fb]).unwrap();
+        let y = nl.add_cell("inv2", CellKind::Inv, &[x]).unwrap();
+        nl.add_cell_with_output("inv3", CellKind::Inv, &[y], fb)
+            .unwrap();
+        nl.add_output("y", y);
+        let library = lib();
+        let mut sim = Simulator::new(&nl, &library);
+        sim.set_event_limit(1000);
+        sim.force_net(fb, Logic::Zero);
+        let outcome = sim.run_until_quiescent();
+        assert_eq!(outcome, RunOutcome::LimitReached);
+    }
+
+    #[test]
+    fn run_until_stops_at_requested_time() {
+        let mut nl = Netlist::new("chain");
+        let mut net = nl.add_input("a");
+        for i in 0..10 {
+            net = nl
+                .add_cell(format!("buf{i}"), CellKind::Buf, &[net])
+                .unwrap();
+        }
+        nl.add_output("y", net);
+        let library = lib();
+        let buf_delay = library.cell_delay(CellKind::Buf, 1);
+        let mut sim = Simulator::new(&nl, &library);
+        sim.set_input_bool(nl.find_net("a").unwrap(), true);
+        // Run for only three gate delays: the output must still be X.
+        sim.run_until(3.5 * buf_delay);
+        assert_eq!(sim.value(net), Logic::Unknown);
+        sim.run_until_quiescent();
+        assert_eq!(sim.value(net), Logic::One);
+    }
+
+    #[test]
+    #[should_panic(expected = "not a primary input")]
+    fn driving_internal_net_panics() {
+        let mut nl = Netlist::new("t");
+        let a = nl.add_input("a");
+        let y = nl.add_cell("inv", CellKind::Inv, &[a]).unwrap();
+        nl.add_output("y", y);
+        let library = lib();
+        let mut sim = Simulator::new(&nl, &library);
+        sim.set_input_bool(y, true);
+    }
+}

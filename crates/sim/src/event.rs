@@ -1,0 +1,165 @@
+//! The simulation event queue.
+//!
+//! Events are ordered by timestamp; ties are broken by insertion order so
+//! simulation results are deterministic regardless of hash-map iteration
+//! order elsewhere.
+
+use std::cmp::Ordering;
+use std::collections::BinaryHeap;
+
+use netlist::NetId;
+
+use crate::Logic;
+
+/// A scheduled net-value change.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct Event {
+    /// Simulation time at which the change takes effect, in picoseconds.
+    pub time_ps: f64,
+    /// The net that changes.
+    pub net: NetId,
+    /// The new value.
+    pub value: Logic,
+}
+
+#[derive(Clone, Copy, Debug)]
+struct QueuedEvent {
+    event: Event,
+    sequence: u64,
+}
+
+impl PartialEq for QueuedEvent {
+    fn eq(&self, other: &Self) -> bool {
+        self.event.time_ps == other.event.time_ps && self.sequence == other.sequence
+    }
+}
+impl Eq for QueuedEvent {}
+
+impl Ord for QueuedEvent {
+    fn cmp(&self, other: &Self) -> Ordering {
+        // BinaryHeap is a max-heap: invert so the earliest time pops first,
+        // and for equal times the earliest-scheduled event pops first.
+        other
+            .event
+            .time_ps
+            .total_cmp(&self.event.time_ps)
+            .then_with(|| other.sequence.cmp(&self.sequence))
+    }
+}
+
+impl PartialOrd for QueuedEvent {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+/// A deterministic time-ordered event queue.
+///
+/// # Example
+///
+/// ```
+/// use gatesim::{Event, EventQueue, Logic};
+/// use netlist::NetId;
+///
+/// let mut q = EventQueue::new();
+/// q.push(Event { time_ps: 20.0, net: NetId::from_index(0), value: Logic::One });
+/// q.push(Event { time_ps: 10.0, net: NetId::from_index(1), value: Logic::Zero });
+/// assert_eq!(q.pop().unwrap().time_ps, 10.0);
+/// assert_eq!(q.pop().unwrap().time_ps, 20.0);
+/// assert!(q.pop().is_none());
+/// ```
+#[derive(Debug, Default)]
+pub struct EventQueue {
+    heap: BinaryHeap<QueuedEvent>,
+    next_sequence: u64,
+}
+
+impl EventQueue {
+    /// Creates an empty queue.
+    #[must_use]
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Schedules an event.
+    pub fn push(&mut self, event: Event) {
+        let sequence = self.next_sequence;
+        self.next_sequence += 1;
+        self.heap.push(QueuedEvent { event, sequence });
+    }
+
+    /// Removes and returns the earliest event.
+    pub fn pop(&mut self) -> Option<Event> {
+        self.heap.pop().map(|q| q.event)
+    }
+
+    /// Returns the timestamp of the earliest pending event.
+    #[must_use]
+    pub fn next_time_ps(&self) -> Option<f64> {
+        self.heap.peek().map(|q| q.event.time_ps)
+    }
+
+    /// Number of pending events.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.heap.len()
+    }
+
+    /// Whether no events are pending.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.heap.is_empty()
+    }
+
+    /// Discards all pending events.
+    pub fn clear(&mut self) {
+        self.heap.clear();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn ev(t: f64, idx: usize) -> Event {
+        Event {
+            time_ps: t,
+            net: NetId::from_index(idx),
+            value: Logic::One,
+        }
+    }
+
+    #[test]
+    fn pops_in_time_order() {
+        let mut q = EventQueue::new();
+        q.push(ev(30.0, 0));
+        q.push(ev(10.0, 1));
+        q.push(ev(20.0, 2));
+        let order: Vec<f64> = std::iter::from_fn(|| q.pop()).map(|e| e.time_ps).collect();
+        assert_eq!(order, vec![10.0, 20.0, 30.0]);
+    }
+
+    #[test]
+    fn ties_break_by_insertion_order() {
+        let mut q = EventQueue::new();
+        q.push(ev(5.0, 7));
+        q.push(ev(5.0, 8));
+        q.push(ev(5.0, 9));
+        let order: Vec<usize> = std::iter::from_fn(|| q.pop())
+            .map(|e| e.net.index())
+            .collect();
+        assert_eq!(order, vec![7, 8, 9]);
+    }
+
+    #[test]
+    fn peek_and_len() {
+        let mut q = EventQueue::new();
+        assert!(q.is_empty());
+        assert_eq!(q.next_time_ps(), None);
+        q.push(ev(42.0, 0));
+        assert_eq!(q.len(), 1);
+        assert_eq!(q.next_time_ps(), Some(42.0));
+        q.clear();
+        assert!(q.is_empty());
+    }
+}

@@ -1,0 +1,306 @@
+//! Measurement helpers: latency statistics and transition logs.
+//!
+//! The paper reports *average* and *maximum* latency over a workload of
+//! operands (Table I) and studies the *distribution* of delays
+//! (contribution 2).  [`LatencyStats`] accumulates per-operand latency
+//! samples and produces those figures.
+
+use std::fmt;
+
+use netlist::NetId;
+
+/// Accumulates per-operand latency samples (in picoseconds) and reports
+/// summary statistics.
+///
+/// # Example
+///
+/// ```
+/// use gatesim::LatencyStats;
+/// let mut stats = LatencyStats::new();
+/// stats.record(100.0);
+/// stats.record(300.0);
+/// assert_eq!(stats.count(), 2);
+/// assert_eq!(stats.average(), 200.0);
+/// assert_eq!(stats.maximum(), 300.0);
+/// ```
+#[derive(Clone, Debug, Default, PartialEq)]
+pub struct LatencyStats {
+    samples: Vec<f64>,
+}
+
+impl LatencyStats {
+    /// Creates an empty collection.
+    #[must_use]
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Records one latency sample in picoseconds.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the sample is negative or not finite.
+    pub fn record(&mut self, latency_ps: f64) {
+        assert!(
+            latency_ps.is_finite() && latency_ps >= 0.0,
+            "latency sample must be finite and non-negative, got {latency_ps}"
+        );
+        self.samples.push(latency_ps);
+    }
+
+    /// Number of samples recorded.
+    #[must_use]
+    pub fn count(&self) -> usize {
+        self.samples.len()
+    }
+
+    /// Whether no samples have been recorded.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.samples.is_empty()
+    }
+
+    /// All recorded samples, in recording order.
+    #[must_use]
+    pub fn samples(&self) -> &[f64] {
+        &self.samples
+    }
+
+    /// Arithmetic mean, or 0.0 if empty.
+    #[must_use]
+    pub fn average(&self) -> f64 {
+        if self.samples.is_empty() {
+            0.0
+        } else {
+            self.samples.iter().sum::<f64>() / self.samples.len() as f64
+        }
+    }
+
+    /// Largest sample, or 0.0 if empty.
+    #[must_use]
+    pub fn maximum(&self) -> f64 {
+        self.samples.iter().copied().fold(0.0, f64::max)
+    }
+
+    /// Smallest sample, or 0.0 if empty.
+    #[must_use]
+    pub fn minimum(&self) -> f64 {
+        if self.samples.is_empty() {
+            0.0
+        } else {
+            self.samples.iter().copied().fold(f64::INFINITY, f64::min)
+        }
+    }
+
+    /// The `q`-quantile (0.0 ≤ q ≤ 1.0) using nearest-rank interpolation,
+    /// or 0.0 if empty.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `q` is outside `[0, 1]`.
+    #[must_use]
+    pub fn quantile(&self, q: f64) -> f64 {
+        assert!((0.0..=1.0).contains(&q), "quantile must be in [0, 1]");
+        if self.samples.is_empty() {
+            return 0.0;
+        }
+        let mut sorted = self.samples.clone();
+        sorted.sort_by(f64::total_cmp);
+        let rank = (q * (sorted.len() - 1) as f64).round() as usize;
+        sorted[rank]
+    }
+
+    /// Builds a histogram with `bins` equal-width bins between the
+    /// minimum and maximum sample; returns `(bin upper edge, count)`
+    /// pairs.  Returns an empty vector if fewer than two samples exist.
+    #[must_use]
+    pub fn histogram(&self, bins: usize) -> Vec<(f64, usize)> {
+        if self.samples.len() < 2 || bins == 0 {
+            return Vec::new();
+        }
+        let min = self.minimum();
+        let max = self.maximum();
+        let width = ((max - min) / bins as f64).max(f64::MIN_POSITIVE);
+        let mut counts = vec![0usize; bins];
+        for &s in &self.samples {
+            let mut idx = ((s - min) / width) as usize;
+            if idx >= bins {
+                idx = bins - 1;
+            }
+            counts[idx] += 1;
+        }
+        counts
+            .into_iter()
+            .enumerate()
+            .map(|(i, c)| (min + width * (i + 1) as f64, c))
+            .collect()
+    }
+
+    /// Merges another statistics collection into this one.
+    pub fn merge(&mut self, other: &LatencyStats) {
+        self.samples.extend_from_slice(&other.samples);
+    }
+}
+
+impl fmt::Display for LatencyStats {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "n={} avg={:.1} ps min={:.1} ps max={:.1} ps",
+            self.count(),
+            self.average(),
+            self.minimum(),
+            self.maximum()
+        )
+    }
+}
+
+/// A chronological log of `(time, net, value-as-bool)` transitions,
+/// filtered to a set of watched nets.  Used by protocol checkers in the
+/// `dualrail` crate to verify monotonic switching.
+#[derive(Clone, Debug, Default, PartialEq)]
+pub struct TransitionLog {
+    entries: Vec<(f64, NetId, bool)>,
+}
+
+impl TransitionLog {
+    /// Creates an empty log.
+    #[must_use]
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Appends a transition.
+    pub fn push(&mut self, time_ps: f64, net: NetId, value: bool) {
+        self.entries.push((time_ps, net, value));
+    }
+
+    /// All entries in chronological (insertion) order.
+    #[must_use]
+    pub fn entries(&self) -> &[(f64, NetId, bool)] {
+        &self.entries
+    }
+
+    /// Entries affecting one net.
+    #[must_use]
+    pub fn of_net(&self, net: NetId) -> Vec<(f64, bool)> {
+        self.entries
+            .iter()
+            .filter(|(_, n, _)| *n == net)
+            .map(|&(t, _, v)| (t, v))
+            .collect()
+    }
+
+    /// Whether every watched net changed value at most once (monotonic
+    /// switching during one spacer→valid or valid→spacer phase).
+    #[must_use]
+    pub fn is_monotonic(&self) -> bool {
+        use std::collections::HashMap;
+        let mut counts: HashMap<NetId, usize> = HashMap::new();
+        for (_, net, _) in &self.entries {
+            *counts.entry(*net).or_insert(0) += 1;
+        }
+        counts.values().all(|&c| c <= 1)
+    }
+
+    /// Number of logged transitions.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// Whether the log is empty.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// Clears the log.
+    pub fn clear(&mut self) {
+        self.entries.clear();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn stats_summary() {
+        let mut s = LatencyStats::new();
+        for v in [10.0, 20.0, 30.0, 40.0] {
+            s.record(v);
+        }
+        assert_eq!(s.count(), 4);
+        assert_eq!(s.average(), 25.0);
+        assert_eq!(s.minimum(), 10.0);
+        assert_eq!(s.maximum(), 40.0);
+        assert_eq!(s.quantile(0.0), 10.0);
+        assert_eq!(s.quantile(1.0), 40.0);
+        assert_eq!(s.quantile(0.5), 30.0);
+    }
+
+    #[test]
+    fn empty_stats_are_zero() {
+        let s = LatencyStats::new();
+        assert!(s.is_empty());
+        assert_eq!(s.average(), 0.0);
+        assert_eq!(s.maximum(), 0.0);
+        assert_eq!(s.minimum(), 0.0);
+        assert!(s.histogram(10).is_empty());
+    }
+
+    #[test]
+    fn histogram_covers_all_samples() {
+        let mut s = LatencyStats::new();
+        for i in 0..100 {
+            s.record(f64::from(i));
+        }
+        let hist = s.histogram(10);
+        assert_eq!(hist.len(), 10);
+        let total: usize = hist.iter().map(|(_, c)| *c).sum();
+        assert_eq!(total, 100);
+    }
+
+    #[test]
+    fn merge_combines_samples() {
+        let mut a = LatencyStats::new();
+        a.record(1.0);
+        let mut b = LatencyStats::new();
+        b.record(3.0);
+        a.merge(&b);
+        assert_eq!(a.count(), 2);
+        assert_eq!(a.average(), 2.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "finite and non-negative")]
+    fn negative_sample_panics() {
+        LatencyStats::new().record(-1.0);
+    }
+
+    #[test]
+    fn transition_log_monotonicity() {
+        let n0 = NetId::from_index(0);
+        let n1 = NetId::from_index(1);
+        let mut log = TransitionLog::new();
+        log.push(1.0, n0, true);
+        log.push(2.0, n1, true);
+        assert!(log.is_monotonic());
+        log.push(3.0, n0, false);
+        assert!(!log.is_monotonic());
+        assert_eq!(log.of_net(n0), vec![(1.0, true), (3.0, false)]);
+        assert_eq!(log.len(), 3);
+        log.clear();
+        assert!(log.is_empty());
+    }
+
+    #[test]
+    fn display_formats_summary() {
+        let mut s = LatencyStats::new();
+        s.record(100.0);
+        let text = s.to_string();
+        assert!(text.contains("n=1"));
+        assert!(text.contains("avg=100.0"));
+    }
+}

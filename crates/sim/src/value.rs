@@ -1,0 +1,116 @@
+//! Three-valued logic values.
+
+use std::fmt;
+
+/// A simulated logic value: 0, 1 or unknown (X).
+///
+/// Unknowns appear before nets have been driven (e.g. at time zero) and
+/// propagate according to controlling-value semantics; a fully driven
+/// dual-rail circuit must never present X at a primary output once its
+/// completion detection has fired — tests rely on this.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq, Hash)]
+pub enum Logic {
+    /// Logic low.
+    Zero,
+    /// Logic high.
+    One,
+    /// Unknown / uninitialised.
+    #[default]
+    Unknown,
+}
+
+impl Logic {
+    /// Converts to `Option<bool>` (X becomes `None`).
+    #[must_use]
+    pub fn to_option(self) -> Option<bool> {
+        match self {
+            Logic::Zero => Some(false),
+            Logic::One => Some(true),
+            Logic::Unknown => None,
+        }
+    }
+
+    /// Whether the value is 0 or 1 (not X).
+    #[must_use]
+    pub fn is_known(self) -> bool {
+        self != Logic::Unknown
+    }
+
+    /// Whether the value is logic one.
+    #[must_use]
+    pub fn is_one(self) -> bool {
+        self == Logic::One
+    }
+
+    /// Whether the value is logic zero.
+    #[must_use]
+    pub fn is_zero(self) -> bool {
+        self == Logic::Zero
+    }
+}
+
+impl From<bool> for Logic {
+    fn from(value: bool) -> Self {
+        if value {
+            Logic::One
+        } else {
+            Logic::Zero
+        }
+    }
+}
+
+impl From<Option<bool>> for Logic {
+    fn from(value: Option<bool>) -> Self {
+        match value {
+            Some(true) => Logic::One,
+            Some(false) => Logic::Zero,
+            None => Logic::Unknown,
+        }
+    }
+}
+
+impl fmt::Display for Logic {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Logic::Zero => f.write_str("0"),
+            Logic::One => f.write_str("1"),
+            Logic::Unknown => f.write_str("X"),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn conversions_round_trip() {
+        assert_eq!(Logic::from(true), Logic::One);
+        assert_eq!(Logic::from(false), Logic::Zero);
+        assert_eq!(Logic::from(Some(true)), Logic::One);
+        assert_eq!(Logic::from(None), Logic::Unknown);
+        assert_eq!(Logic::One.to_option(), Some(true));
+        assert_eq!(Logic::Unknown.to_option(), None);
+    }
+
+    #[test]
+    fn predicates() {
+        assert!(Logic::One.is_known());
+        assert!(!Logic::Unknown.is_known());
+        assert!(Logic::One.is_one());
+        assert!(Logic::Zero.is_zero());
+        assert!(!Logic::Unknown.is_one());
+    }
+
+    #[test]
+    fn default_is_unknown() {
+        assert_eq!(Logic::default(), Logic::Unknown);
+    }
+
+    #[test]
+    fn display() {
+        assert_eq!(Logic::Zero.to_string(), "0");
+        assert_eq!(Logic::One.to_string(), "1");
+        assert_eq!(Logic::Unknown.to_string(), "X");
+    }
+}

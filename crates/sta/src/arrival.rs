@@ -1,0 +1,200 @@
+//! Worst-case arrival-time computation.
+
+use celllib::Library;
+use netlist::{topological_order, CellKind, NetId, Netlist};
+
+use crate::StaError;
+
+/// Worst-case (maximum) arrival time of every net, measured from the
+/// moment primary inputs switch.
+///
+/// Flip-flop outputs are treated as timing startpoints: their arrival is
+/// just the clock-to-Q delay of the flip-flop, independent of the data
+/// path feeding the D pin.  C-elements are part of the combinational
+/// fabric in the asynchronous designs and contribute their full delay.
+#[derive(Clone, Debug, PartialEq)]
+pub struct ArrivalAnalysis {
+    arrivals_ps: Vec<f64>,
+}
+
+impl ArrivalAnalysis {
+    /// Computes arrival times for every net of `netlist` using delays
+    /// from `library` at its current supply voltage.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`StaError::CombinationalCycle`] if the netlist is cyclic.
+    pub fn compute(netlist: &Netlist, library: &Library) -> Result<Self, StaError> {
+        let order =
+            topological_order(netlist).map_err(|e| StaError::CombinationalCycle(e.net))?;
+        let mut arrivals = vec![0.0f64; netlist.net_count()];
+
+        for cell_id in order {
+            let cell = netlist.cell(cell_id);
+            let fanout = netlist.net(cell.output()).fanout().max(1);
+            let delay = library.cell_delay(cell.kind(), fanout);
+            let arrival = if cell.kind() == CellKind::Dff {
+                // Startpoint: clock-to-Q only.
+                delay
+            } else {
+                let worst_input = cell
+                    .inputs()
+                    .iter()
+                    .map(|n| arrivals[n.index()])
+                    .fold(0.0, f64::max);
+                worst_input + delay
+            };
+            arrivals[cell.output().index()] = arrival;
+        }
+        Ok(Self {
+            arrivals_ps: arrivals,
+        })
+    }
+
+    /// Worst-case arrival time of a net in picoseconds (0.0 for primary
+    /// inputs).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the net id is out of range.
+    #[must_use]
+    pub fn arrival_ps(&self, net: NetId) -> f64 {
+        self.arrivals_ps[net.index()]
+    }
+
+    /// The maximum arrival time over *all* nets — the paper's `t_int`,
+    /// which includes internal nets and false paths that no primary
+    /// output depends on.
+    #[must_use]
+    pub fn max_internal_ps(&self) -> f64 {
+        self.arrivals_ps.iter().copied().fold(0.0, f64::max)
+    }
+
+    /// The maximum arrival time over the given nets (typically the
+    /// primary outputs) — the paper's `t_io`.
+    #[must_use]
+    pub fn max_over(&self, nets: &[NetId]) -> f64 {
+        nets.iter()
+            .map(|n| self.arrivals_ps[n.index()])
+            .fold(0.0, f64::max)
+    }
+
+    /// All arrival times indexed by net.
+    #[must_use]
+    pub fn as_slice(&self) -> &[f64] {
+        &self.arrivals_ps
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use netlist::CellKind;
+
+    #[test]
+    fn chain_arrivals_accumulate() {
+        let mut nl = Netlist::new("chain");
+        let mut net = nl.add_input("a");
+        let mut nets = vec![net];
+        for i in 0..4 {
+            net = nl
+                .add_cell(format!("inv{i}"), CellKind::Inv, &[net])
+                .unwrap();
+            nets.push(net);
+        }
+        nl.add_output("y", net);
+        let lib = Library::umc_ll();
+        let analysis = ArrivalAnalysis::compute(&nl, &lib).unwrap();
+        let d = lib.cell_delay(CellKind::Inv, 1);
+        for (i, n) in nets.iter().enumerate() {
+            assert!((analysis.arrival_ps(*n) - i as f64 * d).abs() < 1e-9);
+        }
+        assert!((analysis.max_internal_ps() - 4.0 * d).abs() < 1e-9);
+    }
+
+    #[test]
+    fn worst_input_dominates() {
+        let mut nl = Netlist::new("t");
+        let a = nl.add_input("a");
+        let b = nl.add_input("b");
+        // Long path through two inverters, short path direct.
+        let x1 = nl.add_cell("i1", CellKind::Inv, &[a]).unwrap();
+        let x2 = nl.add_cell("i2", CellKind::Inv, &[x1]).unwrap();
+        let y = nl.add_cell("and", CellKind::And2, &[x2, b]).unwrap();
+        nl.add_output("y", y);
+        let lib = Library::umc_ll();
+        let analysis = ArrivalAnalysis::compute(&nl, &lib).unwrap();
+        let expected =
+            2.0 * lib.cell_delay(CellKind::Inv, 1) + lib.cell_delay(CellKind::And2, 1);
+        assert!((analysis.arrival_ps(y) - expected).abs() < 1e-9);
+    }
+
+    #[test]
+    fn dff_output_is_a_startpoint() {
+        let mut nl = Netlist::new("t");
+        let d = nl.add_input("d");
+        let clk = nl.add_input("clk");
+        // Deep logic before the flip-flop must not affect the Q arrival.
+        let mut net = d;
+        for i in 0..6 {
+            net = nl
+                .add_cell(format!("buf{i}"), CellKind::Buf, &[net])
+                .unwrap();
+        }
+        let q = nl.add_cell("ff", CellKind::Dff, &[net, clk]).unwrap();
+        let y = nl.add_cell("inv", CellKind::Inv, &[q]).unwrap();
+        nl.add_output("y", y);
+        let lib = Library::umc_ll();
+        let analysis = ArrivalAnalysis::compute(&nl, &lib).unwrap();
+        let expected = lib.cell_delay(CellKind::Dff, 1) + lib.cell_delay(CellKind::Inv, 1);
+        assert!((analysis.arrival_ps(y) - expected).abs() < 1e-9);
+    }
+
+    #[test]
+    fn internal_max_can_exceed_output_max() {
+        let mut nl = Netlist::new("t");
+        let a = nl.add_input("a");
+        // Output through one gate.
+        let y = nl.add_cell("fast", CellKind::Inv, &[a]).unwrap();
+        nl.add_output("y", y);
+        // A deeper cone that does not reach any primary output (false path).
+        let mut net = a;
+        for i in 0..5 {
+            net = nl
+                .add_cell(format!("slow{i}"), CellKind::Buf, &[net])
+                .unwrap();
+        }
+        let lib = Library::umc_ll();
+        let analysis = ArrivalAnalysis::compute(&nl, &lib).unwrap();
+        let t_io = analysis.max_over(&nl.primary_outputs());
+        assert!(analysis.max_internal_ps() > t_io);
+    }
+
+    #[test]
+    fn cyclic_netlist_is_an_error() {
+        let mut nl = Netlist::new("cyclic");
+        let a = nl.add_input("a");
+        let fb = nl.add_net_named("fb").unwrap();
+        let x = nl.add_cell("and", CellKind::And2, &[a, fb]).unwrap();
+        nl.add_cell_with_output("inv", CellKind::Inv, &[x], fb)
+            .unwrap();
+        nl.add_output("y", x);
+        let lib = Library::umc_ll();
+        assert!(matches!(
+            ArrivalAnalysis::compute(&nl, &lib),
+            Err(StaError::CombinationalCycle(_))
+        ));
+    }
+
+    #[test]
+    fn voltage_scaling_scales_arrivals() {
+        let mut nl = Netlist::new("t");
+        let a = nl.add_input("a");
+        let y = nl.add_cell("inv", CellKind::Inv, &[a]).unwrap();
+        nl.add_output("y", y);
+        let lib = Library::full_diffusion();
+        let nominal = ArrivalAnalysis::compute(&nl, &lib).unwrap();
+        let low = ArrivalAnalysis::compute(&nl, &lib.with_supply_voltage(0.3).unwrap()).unwrap();
+        assert!(low.arrival_ps(y) > 50.0 * nominal.arrival_ps(y));
+    }
+}

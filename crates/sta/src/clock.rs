@@ -1,0 +1,164 @@
+//! Synchronous clock-period computation for the single-rail baseline.
+//!
+//! The paper defines the single-rail latency as the clock period, which
+//! in turn is set by the worst combinational path.  We add a sequencing
+//! overhead (setup time plus clock uncertainty) expressed as a fraction
+//! of the path delay, mirroring how a synthesis constraint would be
+//! margined in practice.
+
+use celllib::Library;
+use netlist::Netlist;
+
+use crate::{ArrivalAnalysis, StaError};
+
+/// The clock period of a synchronous netlist.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct ClockPeriod {
+    critical_delay_ps: f64,
+    overhead_fraction: f64,
+}
+
+impl ClockPeriod {
+    /// Default sequencing overhead (setup + uncertainty) as a fraction of
+    /// the critical path delay.
+    pub const DEFAULT_OVERHEAD: f64 = 0.05;
+
+    /// Computes the clock period from the worst arrival time at any
+    /// primary output or flip-flop data input.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`StaError::CombinationalCycle`] for cyclic netlists and
+    /// [`StaError::EmptyNetlist`] when there is nothing to time.
+    pub fn compute(netlist: &Netlist, library: &Library) -> Result<Self, StaError> {
+        if netlist.cell_count() == 0 {
+            return Err(StaError::EmptyNetlist);
+        }
+        let arrivals = ArrivalAnalysis::compute(netlist, library)?;
+
+        // Endpoints: primary outputs and D pins of flip-flops.
+        let mut worst: f64 = arrivals.max_over(&netlist.primary_outputs());
+        for (_, cell) in netlist.cells() {
+            if cell.kind() == netlist::CellKind::Dff {
+                let d_net = cell.inputs()[0];
+                worst = worst.max(arrivals.arrival_ps(d_net));
+            }
+        }
+        Ok(Self {
+            critical_delay_ps: worst,
+            overhead_fraction: Self::DEFAULT_OVERHEAD,
+        })
+    }
+
+    /// Returns a copy with a different sequencing-overhead fraction.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the fraction is negative.
+    #[must_use]
+    pub fn with_overhead(mut self, fraction: f64) -> Self {
+        assert!(fraction >= 0.0, "overhead must be non-negative");
+        self.overhead_fraction = fraction;
+        self
+    }
+
+    /// The worst combinational delay in picoseconds (no overhead).
+    #[must_use]
+    pub fn critical_delay_ps(&self) -> f64 {
+        self.critical_delay_ps
+    }
+
+    /// The clock period in picoseconds, including sequencing overhead.
+    #[must_use]
+    pub fn period_ps(&self) -> f64 {
+        self.critical_delay_ps * (1.0 + self.overhead_fraction)
+    }
+
+    /// The clock frequency in megahertz.
+    #[must_use]
+    pub fn frequency_mhz(&self) -> f64 {
+        1.0e6 / self.period_ps()
+    }
+
+    /// Throughput in million operations per second assuming one operand
+    /// per clock cycle (how Table I reports "Avg. Inferences").
+    #[must_use]
+    pub fn inferences_per_second_millions(&self) -> f64 {
+        self.frequency_mhz()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use netlist::CellKind;
+
+    #[test]
+    fn clock_period_covers_critical_path_plus_overhead() {
+        let mut nl = Netlist::new("chain");
+        let mut net = nl.add_input("a");
+        for i in 0..8 {
+            net = nl
+                .add_cell(format!("inv{i}"), CellKind::Inv, &[net])
+                .unwrap();
+        }
+        nl.add_output("y", net);
+        let lib = Library::umc_ll();
+        let clock = ClockPeriod::compute(&nl, &lib).unwrap();
+        let path = 8.0 * lib.cell_delay(CellKind::Inv, 1);
+        assert!((clock.critical_delay_ps() - path).abs() < 1e-9);
+        assert!(clock.period_ps() > path);
+        assert!(clock.frequency_mhz() > 0.0);
+    }
+
+    #[test]
+    fn dff_data_pins_are_endpoints() {
+        let mut nl = Netlist::new("t");
+        let a = nl.add_input("a");
+        let clk = nl.add_input("clk");
+        let mut net = a;
+        for i in 0..5 {
+            net = nl
+                .add_cell(format!("buf{i}"), CellKind::Buf, &[net])
+                .unwrap();
+        }
+        let q = nl.add_cell("ff", CellKind::Dff, &[net, clk]).unwrap();
+        nl.add_output("q", q);
+        let lib = Library::umc_ll();
+        let clock = ClockPeriod::compute(&nl, &lib).unwrap();
+        // The path into the flip-flop (5 buffers) dominates the Q-to-output path.
+        let expected = 5.0 * lib.cell_delay(CellKind::Buf, 1);
+        assert!(clock.critical_delay_ps() >= expected - 1e-9);
+    }
+
+    #[test]
+    fn overhead_adjustment() {
+        let mut nl = Netlist::new("t");
+        let a = nl.add_input("a");
+        let y = nl.add_cell("inv", CellKind::Inv, &[a]).unwrap();
+        nl.add_output("y", y);
+        let lib = Library::umc_ll();
+        let clock = ClockPeriod::compute(&nl, &lib).unwrap();
+        let tight = clock.with_overhead(0.0);
+        assert!((tight.period_ps() - tight.critical_delay_ps()).abs() < 1e-12);
+        assert!(clock.period_ps() > tight.period_ps());
+    }
+
+    #[test]
+    fn inferences_per_second_matches_frequency() {
+        let mut nl = Netlist::new("t");
+        let a = nl.add_input("a");
+        let y = nl.add_cell("inv", CellKind::Inv, &[a]).unwrap();
+        nl.add_output("y", y);
+        let lib = Library::umc_ll();
+        let clock = ClockPeriod::compute(&nl, &lib).unwrap();
+        assert!((clock.inferences_per_second_millions() - clock.frequency_mhz()).abs() < 1e-12);
+    }
+
+    #[test]
+    fn empty_netlist_is_rejected() {
+        let nl = Netlist::new("empty");
+        let lib = Library::umc_ll();
+        assert_eq!(ClockPeriod::compute(&nl, &lib), Err(StaError::EmptyNetlist));
+    }
+}

@@ -1,0 +1,48 @@
+//! Error type for static timing analysis.
+
+use std::error::Error;
+use std::fmt;
+
+use netlist::NetId;
+
+/// Errors produced by timing analysis.
+#[derive(Clone, Debug, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum StaError {
+    /// The netlist contains a combinational cycle, so arrival times are
+    /// undefined.
+    CombinationalCycle(NetId),
+    /// The netlist has no timing endpoints (no cells at all).
+    EmptyNetlist,
+}
+
+impl fmt::Display for StaError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            StaError::CombinationalCycle(net) => {
+                write!(f, "combinational cycle through net {net} prevents timing analysis")
+            }
+            StaError::EmptyNetlist => write!(f, "netlist contains no cells to analyse"),
+        }
+    }
+}
+
+impl Error for StaError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_mentions_net() {
+        let err = StaError::CombinationalCycle(NetId::from_index(3));
+        assert!(err.to_string().contains("n3"));
+        assert!(StaError::EmptyNetlist.to_string().contains("no cells"));
+    }
+
+    #[test]
+    fn is_std_error() {
+        fn assert_err<E: Error + Send + Sync + 'static>() {}
+        assert_err::<StaError>();
+    }
+}

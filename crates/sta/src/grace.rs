@@ -1,0 +1,188 @@
+//! Grace-period computation for the reduced completion-detection scheme.
+//!
+//! The paper's reduced CD only acknowledges spacer→valid transitions at
+//! the primary outputs.  Valid→spacer completion on *internal* nets is
+//! instead guaranteed by a timing assumption: after the primary inputs
+//! return to spacer, the environment (or a delay folded into the `done`
+//! signal) must wait long enough for every internal net — including
+//! false paths that no output observes — to reset.
+//!
+//! With `t_int` the maximum internal settling time and `t_io` the
+//! maximum input-to-output delay, the extra delay required is
+//!
+//! ```text
+//! t_d = max(0, t_int − t_io)
+//! ```
+//!
+//! and the `done` falling edge occurs no earlier than
+//! `t_done(1→0) = t_io + t_d`.
+
+use celllib::Library;
+use netlist::{NetId, Netlist};
+
+use crate::{ArrivalAnalysis, StaError};
+
+/// The timing quantities of the reduced completion-detection scheme.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct GracePeriod {
+    t_int_ps: f64,
+    t_io_ps: f64,
+    margin_fraction: f64,
+}
+
+impl GracePeriod {
+    /// Default relative margin added on top of the analytical `t_d`.
+    pub const DEFAULT_MARGIN: f64 = 0.10;
+
+    /// Computes the grace period of a netlist, treating the given nets as
+    /// the observed primary outputs (for dual-rail circuits these are the
+    /// data rails, not the `done` signal itself).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`StaError::CombinationalCycle`] for cyclic netlists.
+    pub fn compute(
+        netlist: &Netlist,
+        library: &Library,
+        observed_outputs: &[NetId],
+    ) -> Result<Self, StaError> {
+        let arrivals = ArrivalAnalysis::compute(netlist, library)?;
+        Ok(Self {
+            t_int_ps: arrivals.max_internal_ps(),
+            t_io_ps: arrivals.max_over(observed_outputs),
+            margin_fraction: Self::DEFAULT_MARGIN,
+        })
+    }
+
+    /// Computes the grace period using all primary outputs of the netlist
+    /// as the observed outputs.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`StaError::CombinationalCycle`] for cyclic netlists.
+    pub fn compute_for_outputs(netlist: &Netlist, library: &Library) -> Result<Self, StaError> {
+        let outputs = netlist.primary_outputs();
+        Self::compute(netlist, library, &outputs)
+    }
+
+    /// Returns a copy with a different safety margin (fraction of `t_d`).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the margin is negative.
+    #[must_use]
+    pub fn with_margin(mut self, margin_fraction: f64) -> Self {
+        assert!(margin_fraction >= 0.0, "margin must be non-negative");
+        self.margin_fraction = margin_fraction;
+        self
+    }
+
+    /// Maximum internal settling time `t_int` in picoseconds (includes
+    /// false paths).
+    #[must_use]
+    pub fn t_int_ps(&self) -> f64 {
+        self.t_int_ps
+    }
+
+    /// Maximum primary-input-to-primary-output delay `t_io` in
+    /// picoseconds.
+    #[must_use]
+    pub fn t_io_ps(&self) -> f64 {
+        self.t_io_ps
+    }
+
+    /// The analytic extra delay `t_d = max(0, t_int − t_io)` in
+    /// picoseconds, without margin.
+    #[must_use]
+    pub fn t_d_ps(&self) -> f64 {
+        (self.t_int_ps - self.t_io_ps).max(0.0)
+    }
+
+    /// The extra delay including the safety margin.
+    #[must_use]
+    pub fn t_d_with_margin_ps(&self) -> f64 {
+        self.t_d_ps() * (1.0 + self.margin_fraction)
+    }
+
+    /// The earliest safe falling edge of `done` after the outputs
+    /// acknowledge: `t_done(1→0) = t_io + t_d` (with margin).
+    #[must_use]
+    pub fn done_fall_ps(&self) -> f64 {
+        self.t_io_ps + self.t_d_with_margin_ps()
+    }
+
+    /// The minimum separation between applying a spacer at the inputs and
+    /// applying the next valid codeword, as guaranteed by this scheme.
+    #[must_use]
+    pub fn min_spacer_to_valid_ps(&self) -> f64 {
+        self.t_int_ps.max(self.done_fall_ps())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use netlist::CellKind;
+
+    /// Netlist with a short observable path and a longer unobserved one.
+    fn with_false_path() -> (Netlist, NetId) {
+        let mut nl = Netlist::new("t");
+        let a = nl.add_input("a");
+        let y = nl.add_cell("fast", CellKind::Inv, &[a]).unwrap();
+        nl.add_output("y", y);
+        let mut net = a;
+        for i in 0..4 {
+            net = nl
+                .add_cell(format!("slow{i}"), CellKind::Buf, &[net])
+                .unwrap();
+        }
+        (nl, y)
+    }
+
+    #[test]
+    fn grace_period_positive_when_internal_paths_are_longer() {
+        let (nl, _) = with_false_path();
+        let lib = Library::umc_ll();
+        let grace = GracePeriod::compute_for_outputs(&nl, &lib).unwrap();
+        assert!(grace.t_int_ps() > grace.t_io_ps());
+        assert!(grace.t_d_ps() > 0.0);
+        assert!(grace.done_fall_ps() > grace.t_io_ps());
+        assert!(grace.min_spacer_to_valid_ps() >= grace.t_int_ps());
+    }
+
+    #[test]
+    fn grace_period_zero_when_outputs_cover_all_paths() {
+        let mut nl = Netlist::new("chain");
+        let mut net = nl.add_input("a");
+        for i in 0..3 {
+            net = nl
+                .add_cell(format!("inv{i}"), CellKind::Inv, &[net])
+                .unwrap();
+        }
+        nl.add_output("y", net);
+        let lib = Library::umc_ll();
+        let grace = GracePeriod::compute_for_outputs(&nl, &lib).unwrap();
+        assert!((grace.t_d_ps()).abs() < 1e-9);
+        assert!((grace.done_fall_ps() - grace.t_io_ps()).abs() < 1e-9);
+    }
+
+    #[test]
+    fn margin_increases_done_delay() {
+        let (nl, _) = with_false_path();
+        let lib = Library::umc_ll();
+        let grace = GracePeriod::compute_for_outputs(&nl, &lib).unwrap();
+        let generous = grace.with_margin(0.5);
+        assert!(generous.t_d_with_margin_ps() > grace.t_d_with_margin_ps());
+        assert!(generous.done_fall_ps() > grace.done_fall_ps());
+    }
+
+    #[test]
+    #[should_panic(expected = "margin must be non-negative")]
+    fn negative_margin_panics() {
+        let (nl, _) = with_false_path();
+        let lib = Library::umc_ll();
+        let _ = GracePeriod::compute_for_outputs(&nl, &lib)
+            .unwrap()
+            .with_margin(-0.1);
+    }
+}

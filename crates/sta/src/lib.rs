@@ -1,0 +1,52 @@
+//! Static timing analysis over gate-level netlists.
+//!
+//! Three questions from the paper are answered here:
+//!
+//! 1. **What is the synchronous clock period?**  For the single-rail
+//!    baseline the clock period — which *is* its latency — equals the
+//!    worst combinational path delay plus sequencing overhead
+//!    ([`ClockPeriod`]).
+//! 2. **What grace period does the reduced completion-detection scheme
+//!    need?**  The paper computes `t_d = t_int − t_io`, where `t_int` is
+//!    the maximum internal valid→spacer settling time (including false
+//!    paths) and `t_io` the maximum input-to-output delay
+//!    ([`GracePeriod`]).
+//! 3. **What is the worst-case (maximum) latency of the dual-rail
+//!    design?**  The static critical path bounds the early-propagative
+//!    circuit's worst case ([`critical_path`]).
+//!
+//! # Example
+//!
+//! ```
+//! use netlist::{Netlist, CellKind};
+//! use celllib::Library;
+//! use sta::{ArrivalAnalysis, ClockPeriod};
+//!
+//! let mut nl = Netlist::new("t");
+//! let a = nl.add_input("a");
+//! let b = nl.add_input("b");
+//! let x = nl.add_cell("and", CellKind::And2, &[a, b]).unwrap();
+//! let y = nl.add_cell("inv", CellKind::Inv, &[x]).unwrap();
+//! nl.add_output("y", y);
+//!
+//! let lib = Library::umc_ll();
+//! let arrivals = ArrivalAnalysis::compute(&nl, &lib).unwrap();
+//! assert!(arrivals.arrival_ps(y) > arrivals.arrival_ps(x));
+//! let clock = ClockPeriod::compute(&nl, &lib).unwrap();
+//! assert!(clock.period_ps() > arrivals.arrival_ps(y));
+//! ```
+
+#![warn(missing_docs)]
+#![warn(missing_debug_implementations)]
+
+pub mod arrival;
+pub mod clock;
+pub mod error;
+pub mod grace;
+pub mod paths;
+
+pub use arrival::ArrivalAnalysis;
+pub use clock::ClockPeriod;
+pub use error::StaError;
+pub use grace::GracePeriod;
+pub use paths::{critical_path, TimingPath};

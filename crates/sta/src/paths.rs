@@ -1,0 +1,130 @@
+//! Critical-path extraction.
+
+use celllib::Library;
+use netlist::{topological_order, CellId, CellKind, NetId, Netlist};
+
+use crate::{ArrivalAnalysis, StaError};
+
+/// A worst-case timing path: the ordered list of cells from a timing
+/// startpoint to an endpoint, with the accumulated delay.
+#[derive(Clone, Debug, PartialEq)]
+pub struct TimingPath {
+    /// Cells along the path, startpoint first.
+    pub cells: Vec<CellId>,
+    /// The endpoint net (a primary output or flip-flop data input).
+    pub endpoint: NetId,
+    /// Total path delay in picoseconds.
+    pub delay_ps: f64,
+}
+
+impl TimingPath {
+    /// Number of logic levels on the path.
+    #[must_use]
+    pub fn depth(&self) -> usize {
+        self.cells.len()
+    }
+}
+
+/// Extracts the worst-case path ending at any primary output.
+///
+/// # Errors
+///
+/// Returns [`StaError::CombinationalCycle`] for cyclic netlists and
+/// [`StaError::EmptyNetlist`] if the netlist has no primary outputs
+/// driven by cells.
+pub fn critical_path(netlist: &Netlist, library: &Library) -> Result<TimingPath, StaError> {
+    let arrivals = ArrivalAnalysis::compute(netlist, library)?;
+    // Keep the topological order check for error parity even though the
+    // arrival analysis already performed it.
+    let _ = topological_order(netlist).map_err(|e| StaError::CombinationalCycle(e.net))?;
+
+    let endpoint = netlist
+        .primary_outputs()
+        .into_iter()
+        .max_by(|a, b| arrivals.arrival_ps(*a).total_cmp(&arrivals.arrival_ps(*b)))
+        .ok_or(StaError::EmptyNetlist)?;
+
+    // Walk backwards from the endpoint, always following the input with
+    // the latest arrival, until reaching a primary input or a flip-flop.
+    let mut cells_reversed = Vec::new();
+    let mut current = endpoint;
+    while let Some(cell_id) = netlist.driver_cell(current) {
+        cells_reversed.push(cell_id);
+        let cell = netlist.cell(cell_id);
+        if cell.kind() == CellKind::Dff || cell.inputs().is_empty() {
+            break;
+        }
+        current = *cell
+            .inputs()
+            .iter()
+            .max_by(|a, b| arrivals.arrival_ps(**a).total_cmp(&arrivals.arrival_ps(**b)))
+            .expect("non-empty inputs");
+    }
+    cells_reversed.reverse();
+
+    Ok(TimingPath {
+        cells: cells_reversed,
+        endpoint,
+        delay_ps: arrivals.arrival_ps(endpoint),
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use netlist::CellKind;
+
+    #[test]
+    fn critical_path_of_chain_has_full_depth() {
+        let mut nl = Netlist::new("chain");
+        let mut net = nl.add_input("a");
+        for i in 0..6 {
+            net = nl
+                .add_cell(format!("inv{i}"), CellKind::Inv, &[net])
+                .unwrap();
+        }
+        nl.add_output("y", net);
+        let lib = Library::umc_ll();
+        let path = critical_path(&nl, &lib).unwrap();
+        assert_eq!(path.depth(), 6);
+        assert!((path.delay_ps - 6.0 * lib.cell_delay(CellKind::Inv, 1)).abs() < 1e-9);
+        assert_eq!(path.endpoint, net);
+    }
+
+    #[test]
+    fn critical_path_selects_slower_branch() {
+        let mut nl = Netlist::new("t");
+        let a = nl.add_input("a");
+        let b = nl.add_input("b");
+        let slow1 = nl.add_cell("s1", CellKind::Buf, &[a]).unwrap();
+        let slow2 = nl.add_cell("s2", CellKind::Buf, &[slow1]).unwrap();
+        let y = nl.add_cell("and", CellKind::And2, &[slow2, b]).unwrap();
+        nl.add_output("y", y);
+        let lib = Library::umc_ll();
+        let path = critical_path(&nl, &lib).unwrap();
+        let names: Vec<&str> = path.cells.iter().map(|&c| nl.cell(c).name()).collect();
+        assert_eq!(names, vec!["s1", "s2", "and"]);
+    }
+
+    #[test]
+    fn path_stops_at_flip_flop() {
+        let mut nl = Netlist::new("t");
+        let d = nl.add_input("d");
+        let clk = nl.add_input("clk");
+        let deep = nl.add_cell("pre", CellKind::Buf, &[d]).unwrap();
+        let q = nl.add_cell("ff", CellKind::Dff, &[deep, clk]).unwrap();
+        let y = nl.add_cell("post", CellKind::Inv, &[q]).unwrap();
+        nl.add_output("y", y);
+        let lib = Library::umc_ll();
+        let path = critical_path(&nl, &lib).unwrap();
+        let names: Vec<&str> = path.cells.iter().map(|&c| nl.cell(c).name()).collect();
+        assert_eq!(names, vec!["ff", "post"]);
+    }
+
+    #[test]
+    fn empty_netlist_is_an_error() {
+        let nl = Netlist::new("empty");
+        let lib = Library::umc_ll();
+        assert_eq!(critical_path(&nl, &lib), Err(StaError::EmptyNetlist));
+    }
+}

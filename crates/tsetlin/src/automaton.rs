@@ -1,0 +1,170 @@
+//! The two-action Tsetlin automaton.
+//!
+//! A Tsetlin automaton is a finite-state machine with `2·n` states: the
+//! lower half selects the *exclude* action, the upper half the *include*
+//! action.  Rewards push the automaton deeper into its current action
+//! (more confident); penalties push it towards the opposite action.
+
+/// The decision of one automaton: whether its literal participates in the
+/// clause.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum Action {
+    /// The literal is left out of the clause.
+    Exclude,
+    /// The literal is ANDed into the clause.
+    Include,
+}
+
+/// A two-action Tsetlin automaton with `2 · states_per_action` states.
+///
+/// # Example
+///
+/// ```
+/// use tsetlin::{Action, TsetlinAutomaton};
+/// let mut automaton = TsetlinAutomaton::new(100);
+/// assert_eq!(automaton.action(), Action::Exclude);
+/// // A penalty at the boundary flips the decision; rewards entrench it.
+/// automaton.penalize();
+/// assert_eq!(automaton.action(), Action::Include);
+/// automaton.reward();
+/// assert_eq!(automaton.state(), 102);
+/// ```
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct TsetlinAutomaton {
+    /// Current state in `1..=2 * states_per_action`.
+    state: u32,
+    states_per_action: u32,
+}
+
+impl TsetlinAutomaton {
+    /// Creates an automaton on the exclude/include boundary (weakly
+    /// excluding), which is the conventional initialisation.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `states_per_action` is zero.
+    #[must_use]
+    pub fn new(states_per_action: u32) -> Self {
+        assert!(states_per_action > 0, "automaton needs at least one state per action");
+        Self {
+            state: states_per_action,
+            states_per_action,
+        }
+    }
+
+    /// The action currently selected.
+    #[must_use]
+    pub fn action(&self) -> Action {
+        if self.state > self.states_per_action {
+            Action::Include
+        } else {
+            Action::Exclude
+        }
+    }
+
+    /// Whether the current action is [`Action::Include`].
+    #[must_use]
+    pub fn includes(&self) -> bool {
+        self.action() == Action::Include
+    }
+
+    /// Current raw state (1-based), useful for inspecting confidence.
+    #[must_use]
+    pub fn state(&self) -> u32 {
+        self.state
+    }
+
+    /// Number of states per action.
+    #[must_use]
+    pub fn states_per_action(&self) -> u32 {
+        self.states_per_action
+    }
+
+    /// Reward: reinforces the current action (moves away from the
+    /// decision boundary).
+    pub fn reward(&mut self) {
+        match self.action() {
+            Action::Include => {
+                if self.state < 2 * self.states_per_action {
+                    self.state += 1;
+                }
+            }
+            Action::Exclude => {
+                if self.state > 1 {
+                    self.state -= 1;
+                }
+            }
+        }
+    }
+
+    /// Penalty: weakens the current action (moves towards, and possibly
+    /// across, the decision boundary).
+    pub fn penalize(&mut self) {
+        match self.action() {
+            Action::Include => self.state -= 1,
+            Action::Exclude => self.state += 1,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn starts_weakly_excluding() {
+        let a = TsetlinAutomaton::new(10);
+        assert_eq!(a.action(), Action::Exclude);
+        assert_eq!(a.state(), 10);
+        assert!(!a.includes());
+    }
+
+    #[test]
+    fn single_penalty_flips_weak_exclude_to_include() {
+        let mut a = TsetlinAutomaton::new(10);
+        a.penalize();
+        assert_eq!(a.action(), Action::Include);
+    }
+
+    #[test]
+    fn rewards_saturate_at_the_extremes() {
+        let mut a = TsetlinAutomaton::new(3);
+        for _ in 0..10 {
+            a.reward();
+        }
+        assert_eq!(a.state(), 1, "exclude side saturates at state 1");
+        // Penalties walk back towards the boundary and flip the action.
+        for _ in 0..3 {
+            a.penalize();
+        }
+        assert_eq!(a.action(), Action::Include);
+        for _ in 0..10 {
+            a.reward();
+        }
+        assert_eq!(a.state(), 6, "include side saturates at 2n");
+    }
+
+    #[test]
+    fn repeated_penalties_oscillate_around_the_boundary() {
+        // Penalties always weaken the *current* action, so an automaton
+        // sitting at the boundary flips back and forth rather than
+        // marching to the opposite extreme — rewards are what entrench a
+        // decision.
+        let mut a = TsetlinAutomaton::new(5);
+        a.penalize();
+        assert_eq!(a.action(), Action::Include);
+        a.penalize();
+        assert_eq!(a.action(), Action::Exclude);
+        // Reward then entrenches the regained exclude decision.
+        a.reward();
+        a.reward();
+        assert_eq!(a.state(), 3);
+        assert_eq!(a.action(), Action::Exclude);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one state")]
+    fn zero_states_rejected() {
+        let _ = TsetlinAutomaton::new(0);
+    }
+}

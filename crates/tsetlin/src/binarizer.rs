@@ -1,0 +1,161 @@
+//! Quantile binarisation of continuous features.
+//!
+//! Tsetlin machines consume Boolean literals, so continuous sensor data
+//! must be thresholded first.  The [`QuantileBinarizer`] fits one or more
+//! quantile thresholds per feature on a training set and encodes each
+//! continuous value as the Boolean vector `value > threshold_k`, the
+//! standard "thermometer" encoding used by TM applications.
+
+use crate::TsetlinError;
+
+/// Per-feature quantile thresholds learned from data.
+#[derive(Clone, Debug, PartialEq)]
+pub struct QuantileBinarizer {
+    /// `thresholds[f]` holds the ascending thresholds of feature `f`.
+    thresholds: Vec<Vec<f64>>,
+}
+
+impl QuantileBinarizer {
+    /// Fits `levels` evenly spaced quantile thresholds per feature.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TsetlinError::InvalidParameter`] if `samples` is empty,
+    /// `levels` is zero or the samples have inconsistent widths.
+    pub fn fit(samples: &[Vec<f64>], levels: usize) -> Result<Self, TsetlinError> {
+        if samples.is_empty() {
+            return Err(TsetlinError::InvalidParameter {
+                name: "samples",
+                reason: "cannot fit a binarizer on an empty set".to_string(),
+            });
+        }
+        if levels == 0 {
+            return Err(TsetlinError::InvalidParameter {
+                name: "levels",
+                reason: "must be at least 1".to_string(),
+            });
+        }
+        let width = samples[0].len();
+        if samples.iter().any(|s| s.len() != width) {
+            return Err(TsetlinError::InvalidParameter {
+                name: "samples",
+                reason: "all samples must have the same number of features".to_string(),
+            });
+        }
+
+        let mut thresholds = Vec::with_capacity(width);
+        for feature in 0..width {
+            let mut column: Vec<f64> = samples.iter().map(|s| s[feature]).collect();
+            column.sort_by(f64::total_cmp);
+            let feature_thresholds: Vec<f64> = (1..=levels)
+                .map(|level| {
+                    let q = level as f64 / (levels + 1) as f64;
+                    let rank = (q * (column.len() - 1) as f64).round() as usize;
+                    column[rank]
+                })
+                .collect();
+            thresholds.push(feature_thresholds);
+        }
+        Ok(Self { thresholds })
+    }
+
+    /// Number of continuous input features.
+    #[must_use]
+    pub fn feature_count(&self) -> usize {
+        self.thresholds.len()
+    }
+
+    /// Number of Boolean outputs produced per sample.
+    #[must_use]
+    pub fn output_width(&self) -> usize {
+        self.thresholds.iter().map(Vec::len).sum()
+    }
+
+    /// Encodes one continuous sample as Booleans.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TsetlinError::FeatureWidthMismatch`] if the sample width
+    /// differs from the fitted width.
+    pub fn transform(&self, sample: &[f64]) -> Result<Vec<bool>, TsetlinError> {
+        if sample.len() != self.thresholds.len() {
+            return Err(TsetlinError::FeatureWidthMismatch {
+                expected: self.thresholds.len(),
+                got: sample.len(),
+            });
+        }
+        let mut bits = Vec::with_capacity(self.output_width());
+        for (value, thresholds) in sample.iter().zip(&self.thresholds) {
+            for threshold in thresholds {
+                bits.push(value > threshold);
+            }
+        }
+        Ok(bits)
+    }
+
+    /// Encodes a batch of samples.
+    ///
+    /// # Errors
+    ///
+    /// Propagates the first width mismatch.
+    pub fn transform_batch(&self, samples: &[Vec<f64>]) -> Result<Vec<Vec<bool>>, TsetlinError> {
+        samples.iter().map(|s| self.transform(s)).collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn single_level_splits_at_the_median() {
+        let samples: Vec<Vec<f64>> = (0..11).map(|i| vec![f64::from(i)]).collect();
+        let binarizer = QuantileBinarizer::fit(&samples, 1).unwrap();
+        assert_eq!(binarizer.feature_count(), 1);
+        assert_eq!(binarizer.output_width(), 1);
+        assert_eq!(binarizer.transform(&[0.0]).unwrap(), vec![false]);
+        assert_eq!(binarizer.transform(&[10.0]).unwrap(), vec![true]);
+    }
+
+    #[test]
+    fn thermometer_encoding_is_monotone() {
+        let samples: Vec<Vec<f64>> = (0..100).map(|i| vec![f64::from(i)]).collect();
+        let binarizer = QuantileBinarizer::fit(&samples, 3).unwrap();
+        assert_eq!(binarizer.output_width(), 3);
+        let low = binarizer.transform(&[5.0]).unwrap();
+        let mid = binarizer.transform(&[60.0]).unwrap();
+        let high = binarizer.transform(&[95.0]).unwrap();
+        assert_eq!(low.iter().filter(|&&b| b).count(), 0);
+        assert_eq!(mid.iter().filter(|&&b| b).count(), 2);
+        assert_eq!(high.iter().filter(|&&b| b).count(), 3);
+        // Thermometer property: once false, stays false for higher thresholds.
+        for bits in [low, mid, high] {
+            let mut seen_false = false;
+            for b in bits {
+                if !b {
+                    seen_false = true;
+                }
+                assert!(!(seen_false && b), "thermometer code must be monotone");
+            }
+        }
+    }
+
+    #[test]
+    fn multi_feature_widths() {
+        let samples = vec![vec![0.0, 10.0], vec![1.0, 20.0], vec![2.0, 30.0]];
+        let binarizer = QuantileBinarizer::fit(&samples, 2).unwrap();
+        assert_eq!(binarizer.feature_count(), 2);
+        assert_eq!(binarizer.output_width(), 4);
+        let bits = binarizer.transform(&[2.0, 15.0]).unwrap();
+        assert_eq!(bits.len(), 4);
+    }
+
+    #[test]
+    fn errors_on_bad_input() {
+        assert!(QuantileBinarizer::fit(&[], 1).is_err());
+        assert!(QuantileBinarizer::fit(&[vec![1.0]], 0).is_err());
+        assert!(QuantileBinarizer::fit(&[vec![1.0], vec![1.0, 2.0]], 1).is_err());
+        let binarizer = QuantileBinarizer::fit(&[vec![1.0], vec![2.0]], 1).unwrap();
+        assert!(binarizer.transform(&[1.0, 2.0]).is_err());
+    }
+}

@@ -1,0 +1,183 @@
+//! Conjunctive clauses: the inference unit of the Tsetlin machine.
+//!
+//! A clause over `n` Boolean features owns `2n` Tsetlin automata — one
+//! per literal (`x_k`) and one per negated literal (`¬x_k`).  The clause
+//! output is the AND of every literal whose automaton currently selects
+//! the include action.
+
+use crate::{Action, TsetlinAutomaton};
+
+/// One conjunctive clause with its team of Tsetlin automata.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Clause {
+    /// Automata indexed `2k` for literal `x_k` and `2k + 1` for `¬x_k`,
+    /// matching the `e_{2m}` / `e_{2m+1}` exclude-signal indexing the
+    /// paper uses for the hardware datapath.
+    automata: Vec<TsetlinAutomaton>,
+    feature_count: usize,
+}
+
+impl Clause {
+    /// Creates a clause over `feature_count` features with all automata
+    /// at their weakly excluding initial state.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `feature_count` is zero or `states_per_action` is zero.
+    #[must_use]
+    pub fn new(feature_count: usize, states_per_action: u32) -> Self {
+        assert!(feature_count > 0, "a clause needs at least one feature");
+        Self {
+            automata: vec![TsetlinAutomaton::new(states_per_action); 2 * feature_count],
+            feature_count,
+        }
+    }
+
+    /// Number of features this clause reads.
+    #[must_use]
+    pub fn feature_count(&self) -> usize {
+        self.feature_count
+    }
+
+    /// The automaton controlling literal `2k` (feature) or `2k+1`
+    /// (negated feature).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the index is out of range.
+    #[must_use]
+    pub fn automaton(&self, literal: usize) -> &TsetlinAutomaton {
+        &self.automata[literal]
+    }
+
+    /// Mutable access to an automaton (used by the feedback rules).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the index is out of range.
+    pub fn automaton_mut(&mut self, literal: usize) -> &mut TsetlinAutomaton {
+        &mut self.automata[literal]
+    }
+
+    /// Number of literals (always `2 × feature_count`).
+    #[must_use]
+    pub fn literal_count(&self) -> usize {
+        self.automata.len()
+    }
+
+    /// The value of literal `index` for the given input: even indices are
+    /// the feature itself, odd indices its negation.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `input.len() != feature_count`.
+    #[must_use]
+    pub fn literal_value(&self, index: usize, input: &[bool]) -> bool {
+        assert_eq!(input.len(), self.feature_count, "feature width mismatch");
+        let feature = input[index / 2];
+        if index % 2 == 0 {
+            feature
+        } else {
+            !feature
+        }
+    }
+
+    /// Evaluates the clause on an input.
+    ///
+    /// `empty_output` is returned when no literal is included: the
+    /// convention is `true` during training (so feedback can still grow
+    /// the clause) and `false` during classification.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `input.len() != feature_count`.
+    #[must_use]
+    pub fn evaluate(&self, input: &[bool], empty_output: bool) -> bool {
+        assert_eq!(input.len(), self.feature_count, "feature width mismatch");
+        let mut any_included = false;
+        for (index, automaton) in self.automata.iter().enumerate() {
+            if automaton.action() == Action::Include {
+                any_included = true;
+                if !self.literal_value(index, input) {
+                    return false;
+                }
+            }
+        }
+        if any_included {
+            true
+        } else {
+            empty_output
+        }
+    }
+
+    /// The exclude mask of this clause: element `i` is `true` when
+    /// literal `i` is *excluded* — exactly the `e` input vector of the
+    /// hardware datapath.
+    #[must_use]
+    pub fn exclude_mask(&self) -> Vec<bool> {
+        self.automata.iter().map(|a| !a.includes()).collect()
+    }
+
+    /// Number of literals currently included.
+    #[must_use]
+    pub fn include_count(&self) -> usize {
+        self.automata.iter().filter(|a| a.includes()).count()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn clause_including(feature_count: usize, literals: &[usize]) -> Clause {
+        let mut clause = Clause::new(feature_count, 10);
+        for &literal in literals {
+            // One penalty flips a weakly excluding automaton to include.
+            clause.automaton_mut(literal).penalize();
+        }
+        clause
+    }
+
+    #[test]
+    fn empty_clause_uses_convention_argument() {
+        let clause = Clause::new(3, 10);
+        assert!(clause.evaluate(&[true, false, true], true));
+        assert!(!clause.evaluate(&[true, false, true], false));
+        assert_eq!(clause.include_count(), 0);
+    }
+
+    #[test]
+    fn clause_is_conjunction_of_included_literals() {
+        // Include x0 and ¬x1: clause = x0 & !x1.
+        let clause = clause_including(2, &[0, 3]);
+        assert!(clause.evaluate(&[true, false], false));
+        assert!(!clause.evaluate(&[true, true], false));
+        assert!(!clause.evaluate(&[false, false], false));
+        assert_eq!(clause.include_count(), 2);
+    }
+
+    #[test]
+    fn literal_values_follow_even_odd_indexing() {
+        let clause = Clause::new(2, 10);
+        let input = [true, false];
+        assert!(clause.literal_value(0, &input));
+        assert!(!clause.literal_value(1, &input));
+        assert!(!clause.literal_value(2, &input));
+        assert!(clause.literal_value(3, &input));
+    }
+
+    #[test]
+    fn exclude_mask_mirrors_automaton_actions() {
+        let clause = clause_including(2, &[1]);
+        assert_eq!(clause.exclude_mask(), vec![true, false, true, true]);
+        assert_eq!(clause.literal_count(), 4);
+        assert_eq!(clause.feature_count(), 2);
+    }
+
+    #[test]
+    #[should_panic(expected = "feature width mismatch")]
+    fn wrong_input_width_panics() {
+        let clause = Clause::new(3, 10);
+        let _ = clause.evaluate(&[true], false);
+    }
+}

@@ -1,0 +1,211 @@
+//! Synthetic edge-inference datasets.
+//!
+//! The paper motivates low-latency inference for always-on edge devices
+//! (e.g. speech/keyword recognition on wearables) but does not publish a
+//! dataset; its evaluation drives the datapath with operands from the
+//! circuit's environment.  These generators produce Boolean workloads of
+//! the right shape so a Tsetlin machine can be trained and its learned
+//! include/exclude masks and realistic input streams can be fed to the
+//! hardware datapath:
+//!
+//! * [`noisy_xor`] — the classic non-linearly-separable sanity check;
+//! * [`keyword_patterns`] — a keyword-spotting-like task: noisy
+//!   occurrences of a small set of prototype bit patterns, positive
+//!   samples containing the "keyword" prototype;
+//! * [`two_clusters`] — a linearly separable task derived from two
+//!   Gaussian clusters, thermometer-binarised.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+use crate::QuantileBinarizer;
+
+/// A labelled Boolean dataset split into training and test halves.
+#[derive(Clone, Debug, PartialEq)]
+pub struct Dataset {
+    train_inputs: Vec<Vec<bool>>,
+    train_labels: Vec<bool>,
+    test_inputs: Vec<Vec<bool>>,
+    test_labels: Vec<bool>,
+}
+
+impl Dataset {
+    fn from_samples(mut samples: Vec<(Vec<bool>, bool)>, train_fraction: f64) -> Self {
+        let split = ((samples.len() as f64) * train_fraction).round() as usize;
+        let test = samples.split_off(split.min(samples.len()));
+        let (train_inputs, train_labels) = samples.into_iter().unzip();
+        let (test_inputs, test_labels) = test.into_iter().unzip();
+        Self {
+            train_inputs,
+            train_labels,
+            test_inputs,
+            test_labels,
+        }
+    }
+
+    /// Training inputs.
+    #[must_use]
+    pub fn train_inputs(&self) -> &[Vec<bool>] {
+        &self.train_inputs
+    }
+
+    /// Training labels.
+    #[must_use]
+    pub fn train_labels(&self) -> &[bool] {
+        &self.train_labels
+    }
+
+    /// Held-out test inputs.
+    #[must_use]
+    pub fn test_inputs(&self) -> &[Vec<bool>] {
+        &self.test_inputs
+    }
+
+    /// Held-out test labels.
+    #[must_use]
+    pub fn test_labels(&self) -> &[bool] {
+        &self.test_labels
+    }
+
+    /// Number of Boolean features per sample.
+    #[must_use]
+    pub fn feature_count(&self) -> usize {
+        self.train_inputs.first().map_or(0, Vec::len)
+    }
+
+    /// Total number of samples (train + test).
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.train_inputs.len() + self.test_inputs.len()
+    }
+
+    /// Whether the dataset is empty.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+}
+
+/// The noisy XOR problem: label = x0 ⊕ x1 with two distractor features
+/// and a fraction of flipped labels.
+#[must_use]
+pub fn noisy_xor(samples: usize, noise: f64, seed: u64) -> Dataset {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let data: Vec<(Vec<bool>, bool)> = (0..samples)
+        .map(|_| {
+            let x: Vec<bool> = (0..4).map(|_| rng.gen_bool(0.5)).collect();
+            let mut label = x[0] ^ x[1];
+            if rng.gen_bool(noise) {
+                label = !label;
+            }
+            (x, label)
+        })
+        .collect();
+    Dataset::from_samples(data, 0.7)
+}
+
+/// A keyword-spotting-like task over `feature_count` Boolean features
+/// (think: one bit per spectral band being active).
+///
+/// A "keyword" prototype and several "background" prototypes are drawn at
+/// random; each sample is a prototype with per-bit flip noise, labelled
+/// positive when it came from the keyword prototype.
+#[must_use]
+pub fn keyword_patterns(samples: usize, feature_count: usize, noise: f64, seed: u64) -> Dataset {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let keyword: Vec<bool> = (0..feature_count).map(|_| rng.gen_bool(0.5)).collect();
+    let backgrounds: Vec<Vec<bool>> = (0..3)
+        .map(|_| (0..feature_count).map(|_| rng.gen_bool(0.5)).collect())
+        .collect();
+
+    let data: Vec<(Vec<bool>, bool)> = (0..samples)
+        .map(|_| {
+            let is_keyword = rng.gen_bool(0.5);
+            let prototype = if is_keyword {
+                &keyword
+            } else {
+                &backgrounds[rng.gen_range(0..backgrounds.len())]
+            };
+            let sample: Vec<bool> = prototype
+                .iter()
+                .map(|&bit| if rng.gen_bool(noise) { !bit } else { bit })
+                .collect();
+            (sample, is_keyword)
+        })
+        .collect();
+    Dataset::from_samples(data, 0.7)
+}
+
+/// A linearly separable two-cluster task: continuous points from two
+/// Gaussian blobs, thermometer-binarised with the given number of levels
+/// per dimension.
+#[must_use]
+pub fn two_clusters(samples: usize, levels: usize, seed: u64) -> Dataset {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let gaussian = |rng: &mut StdRng, mean: f64| -> f64 {
+        // Box–Muller transform.
+        let u1: f64 = rng.gen_range(f64::EPSILON..1.0);
+        let u2: f64 = rng.gen_range(0.0..1.0);
+        mean + (-2.0 * u1.ln()).sqrt() * (2.0 * std::f64::consts::PI * u2).cos()
+    };
+    let continuous: Vec<(Vec<f64>, bool)> = (0..samples)
+        .map(|_| {
+            let label = rng.gen_bool(0.5);
+            let mean = if label { 2.0 } else { -2.0 };
+            (vec![gaussian(&mut rng, mean), gaussian(&mut rng, -mean)], label)
+        })
+        .collect();
+    let features: Vec<Vec<f64>> = continuous.iter().map(|(x, _)| x.clone()).collect();
+    let binarizer = QuantileBinarizer::fit(&features, levels).expect("non-empty samples");
+    let data: Vec<(Vec<bool>, bool)> = continuous
+        .iter()
+        .map(|(x, label)| (binarizer.transform(x).expect("fitted width"), *label))
+        .collect();
+    Dataset::from_samples(data, 0.7)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn xor_dataset_shape_and_split() {
+        let data = noisy_xor(100, 0.0, 1);
+        assert_eq!(data.len(), 100);
+        assert_eq!(data.feature_count(), 4);
+        assert_eq!(data.train_inputs().len(), 70);
+        assert_eq!(data.test_inputs().len(), 30);
+        assert!(!data.is_empty());
+        // Noise-free labels follow XOR exactly.
+        for (x, &y) in data.train_inputs().iter().zip(data.train_labels()) {
+            assert_eq!(y, x[0] ^ x[1]);
+        }
+    }
+
+    #[test]
+    fn keyword_dataset_is_balanced_and_reproducible() {
+        let a = keyword_patterns(200, 12, 0.05, 9);
+        let b = keyword_patterns(200, 12, 0.05, 9);
+        assert_eq!(a, b, "same seed gives the same dataset");
+        assert_eq!(a.feature_count(), 12);
+        let positives = a
+            .train_labels()
+            .iter()
+            .chain(a.test_labels())
+            .filter(|&&l| l)
+            .count();
+        assert!(positives > 50 && positives < 150, "roughly balanced, got {positives}");
+    }
+
+    #[test]
+    fn two_clusters_binarised_width() {
+        let data = two_clusters(80, 3, 4);
+        assert_eq!(data.feature_count(), 6);
+        assert_eq!(data.len(), 80);
+    }
+
+    #[test]
+    fn different_seeds_differ() {
+        assert_ne!(noisy_xor(50, 0.1, 1), noisy_xor(50, 0.1, 2));
+    }
+}

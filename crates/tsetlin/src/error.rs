@@ -1,0 +1,64 @@
+//! Error type for Tsetlin machine configuration.
+
+use std::error::Error;
+use std::fmt;
+
+/// Errors produced when configuring or using a Tsetlin machine.
+#[derive(Clone, Debug, PartialEq)]
+#[non_exhaustive]
+pub enum TsetlinError {
+    /// A configuration parameter was outside its valid range.
+    InvalidParameter {
+        /// The parameter name.
+        name: &'static str,
+        /// Why the value was rejected.
+        reason: String,
+    },
+    /// An input vector had the wrong number of features.
+    FeatureWidthMismatch {
+        /// Number of features the machine was built for.
+        expected: usize,
+        /// Number of features supplied.
+        got: usize,
+    },
+}
+
+impl fmt::Display for TsetlinError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            TsetlinError::InvalidParameter { name, reason } => {
+                write!(f, "invalid value for parameter {name}: {reason}")
+            }
+            TsetlinError::FeatureWidthMismatch { expected, got } => {
+                write!(f, "input has {got} features but the machine expects {expected}")
+            }
+        }
+    }
+}
+
+impl Error for TsetlinError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_is_informative() {
+        let e = TsetlinError::InvalidParameter {
+            name: "clauses",
+            reason: "must be even".to_string(),
+        };
+        assert!(e.to_string().contains("clauses"));
+        let e = TsetlinError::FeatureWidthMismatch {
+            expected: 4,
+            got: 3,
+        };
+        assert!(e.to_string().contains('4'));
+    }
+
+    #[test]
+    fn is_std_error() {
+        fn assert_err<E: Error + Send + Sync + 'static>() {}
+        assert_err::<TsetlinError>();
+    }
+}

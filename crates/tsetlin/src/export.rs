@@ -1,0 +1,159 @@
+//! Export of trained Tsetlin machines to the hardware datapath.
+//!
+//! For inference the Tsetlin automata themselves are not required — only
+//! their exclude decisions (the paper abstracts them to the primary input
+//! `e`).  [`ExcludeMasks`] captures those decisions for both clause banks
+//! in exactly the literal ordering the datapath generators expect:
+//! `e_{2m}` masks feature `f_m`, `e_{2m+1}` masks its complement.
+
+use crate::TsetlinMachine;
+
+/// The frozen include/exclude configuration of a trained machine.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct ExcludeMasks {
+    positive: Vec<Vec<bool>>,
+    negative: Vec<Vec<bool>>,
+    feature_count: usize,
+}
+
+impl ExcludeMasks {
+    /// Extracts the masks from a trained machine.
+    #[must_use]
+    pub fn from_machine(machine: &TsetlinMachine) -> Self {
+        Self {
+            positive: machine
+                .positive_clauses()
+                .iter()
+                .map(|c| c.exclude_mask())
+                .collect(),
+            negative: machine
+                .negative_clauses()
+                .iter()
+                .map(|c| c.exclude_mask())
+                .collect(),
+            feature_count: machine.feature_count(),
+        }
+    }
+
+    /// Builds masks directly (used for hand-crafted tests and uniform
+    /// random workloads).
+    ///
+    /// # Panics
+    ///
+    /// Panics if any mask length differs from `2 × feature_count`.
+    #[must_use]
+    pub fn from_raw(
+        positive: Vec<Vec<bool>>,
+        negative: Vec<Vec<bool>>,
+        feature_count: usize,
+    ) -> Self {
+        for mask in positive.iter().chain(&negative) {
+            assert_eq!(
+                mask.len(),
+                2 * feature_count,
+                "each mask must cover both literals of every feature"
+            );
+        }
+        Self {
+            positive,
+            negative,
+            feature_count,
+        }
+    }
+
+    /// Exclude masks of the positively voting clauses.
+    #[must_use]
+    pub fn positive(&self) -> &[Vec<bool>] {
+        &self.positive
+    }
+
+    /// Exclude masks of the negatively voting clauses.
+    #[must_use]
+    pub fn negative(&self) -> &[Vec<bool>] {
+        &self.negative
+    }
+
+    /// Number of Boolean features.
+    #[must_use]
+    pub fn feature_count(&self) -> usize {
+        self.feature_count
+    }
+
+    /// Number of clauses per polarity.
+    #[must_use]
+    pub fn clauses_per_polarity(&self) -> usize {
+        self.positive.len()
+    }
+
+    /// Evaluates one clause of the given bank in software (the golden
+    /// model the hardware is checked against): AND over included
+    /// literals, with an empty clause producing `false` as in hardware.
+    #[must_use]
+    pub fn clause_output(&self, mask: &[bool], features: &[bool]) -> bool {
+        let mut any_included = false;
+        for (literal, &excluded) in mask.iter().enumerate() {
+            if excluded {
+                continue;
+            }
+            any_included = true;
+            let feature = features[literal / 2];
+            let value = if literal % 2 == 0 { feature } else { !feature };
+            if !value {
+                return false;
+            }
+        }
+        any_included
+    }
+
+    /// Positive and negative vote counts for an input.
+    #[must_use]
+    pub fn votes(&self, features: &[bool]) -> (usize, usize) {
+        let count = |bank: &[Vec<bool>]| {
+            bank.iter()
+                .filter(|mask| self.clause_output(mask, features))
+                .count()
+        };
+        (count(&self.positive), count(&self.negative))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{datasets, TrainingParams};
+
+    #[test]
+    fn masks_match_machine_votes() {
+        let data = datasets::noisy_xor(200, 0.05, 3);
+        let params = TrainingParams::new(8, 12.0, 3.5).unwrap();
+        let mut tm = TsetlinMachine::new(data.feature_count(), params, 17).unwrap();
+        tm.fit(data.train_inputs(), data.train_labels(), 20);
+        let masks = ExcludeMasks::from_machine(&tm);
+        assert_eq!(masks.clauses_per_polarity(), 8);
+        assert_eq!(masks.feature_count(), 4);
+        for input in data.test_inputs().iter().take(20) {
+            let (pos, neg) = masks.votes(input);
+            assert_eq!(pos, tm.positive_votes(input), "positive votes for {input:?}");
+            assert_eq!(neg, tm.negative_votes(input), "negative votes for {input:?}");
+        }
+    }
+
+    #[test]
+    fn raw_masks_clause_semantics() {
+        // Clause = f0 & !f1 (exclude everything else).
+        let mask = vec![false, true, true, false];
+        let masks = ExcludeMasks::from_raw(vec![mask.clone()], vec![], 2);
+        assert!(masks.clause_output(&mask, &[true, false]));
+        assert!(!masks.clause_output(&mask, &[true, true]));
+        assert!(!masks.clause_output(&mask, &[false, false]));
+        // Fully excluded clause outputs false.
+        let empty = vec![true, true, true, true];
+        assert!(!masks.clause_output(&empty, &[true, true]));
+    }
+
+    #[test]
+    #[should_panic(expected = "both literals")]
+    fn wrong_mask_width_panics() {
+        let _ = ExcludeMasks::from_raw(vec![vec![true, false]], vec![], 2);
+    }
+}

@@ -1,0 +1,137 @@
+//! Type I and Type II feedback: the reinforcement rules that train the
+//! Tsetlin automata.
+//!
+//! * **Type I** feedback combats false negatives: it is given to clauses
+//!   that should fire for the current sample.  When the clause already
+//!   fires, literals that are true are reinforced towards include (with
+//!   probability `(s−1)/s`) and literals that are false are pushed
+//!   towards exclude (with probability `1/s`).  When the clause does not
+//!   fire, every automaton drifts towards exclude with probability
+//!   `1/s` (forgetting).
+//! * **Type II** feedback combats false positives: it is given to
+//!   clauses that fire but should not.  Every *excluded* literal that is
+//!   currently false is pushed towards include, which will eventually
+//!   add a blocking literal to the clause.
+
+use rand::Rng;
+
+use crate::Clause;
+
+/// Which feedback rule to apply to a clause for one training sample.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum FeedbackType {
+    /// Reinforce the clause towards recognising the sample.
+    TypeI,
+    /// Add a blocking literal so the clause stops firing on the sample.
+    TypeII,
+}
+
+/// Applies Type I feedback to `clause` for `input`.
+///
+/// `specificity` is the paper's `s` parameter (> 1); larger values make
+/// clauses more specific (more literals included).
+pub fn apply_type_i<R: Rng + ?Sized>(
+    clause: &mut Clause,
+    input: &[bool],
+    specificity: f64,
+    rng: &mut R,
+) {
+    let clause_fires = clause.evaluate(input, true);
+    let p_high = (specificity - 1.0) / specificity;
+    let p_low = 1.0 / specificity;
+    for literal in 0..clause.literal_count() {
+        let literal_true = clause.literal_value(literal, input);
+        let automaton = clause.automaton_mut(literal);
+        if clause_fires && literal_true {
+            // Strengthen inclusion of literals that support the clause.
+            if rng.gen_bool(p_high) {
+                if automaton.includes() {
+                    automaton.reward();
+                } else {
+                    automaton.penalize();
+                }
+            }
+        } else if rng.gen_bool(p_low) {
+            // Forget: drift towards exclude.
+            if automaton.includes() {
+                automaton.penalize();
+            } else {
+                automaton.reward();
+            }
+        }
+    }
+}
+
+/// Applies Type II feedback to `clause` for `input`.
+pub fn apply_type_ii(clause: &mut Clause, input: &[bool]) {
+    if !clause.evaluate(input, true) {
+        return;
+    }
+    for literal in 0..clause.literal_count() {
+        let literal_true = clause.literal_value(literal, input);
+        let automaton = clause.automaton_mut(literal);
+        if !literal_true && !automaton.includes() {
+            // Push the blocking literal towards inclusion.
+            automaton.penalize();
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn type_ii_adds_a_blocking_literal() {
+        let mut clause = Clause::new(2, 10);
+        let input = [true, false];
+        // The empty clause fires (training convention), so Type II pushes
+        // the false literals (¬x0 and x1) towards include.
+        apply_type_ii(&mut clause, &input);
+        assert!(clause.automaton(1).includes(), "¬x0 should move towards include");
+        assert!(clause.automaton(2).includes(), "x1 should move towards include");
+        assert!(!clause.automaton(0).includes());
+        assert!(!clause.automaton(3).includes());
+        // After that the clause no longer fires on the same input, so
+        // further Type II feedback changes nothing.
+        let snapshot = clause.clone();
+        apply_type_ii(&mut clause, &input);
+        assert_eq!(clause, snapshot);
+    }
+
+    #[test]
+    fn type_i_reinforces_true_literals_of_firing_clauses() {
+        let mut rng = StdRng::seed_from_u64(1);
+        let mut clause = Clause::new(2, 50);
+        let input = [true, false];
+        for _ in 0..200 {
+            apply_type_i(&mut clause, &input, 4.0, &mut rng);
+        }
+        // The literals consistent with the sample (x0 and ¬x1) should now
+        // be included far more confidently than the contradicting ones.
+        assert!(clause.automaton(0).includes());
+        assert!(clause.automaton(3).includes());
+        assert!(!clause.automaton(1).includes());
+        assert!(!clause.automaton(2).includes());
+        assert!(clause.evaluate(&input, false));
+    }
+
+    #[test]
+    fn type_i_forgetting_erodes_inclusions_that_stop_matching() {
+        let mut rng = StdRng::seed_from_u64(7);
+        let mut clause = Clause::new(1, 20);
+        // Force-include ¬x0.
+        for _ in 0..5 {
+            clause.automaton_mut(1).penalize();
+        }
+        assert!(clause.automaton(1).includes());
+        // Repeated Type I feedback with x0 = 1 (clause never fires) should
+        // eventually push ¬x0 back towards exclusion.
+        for _ in 0..500 {
+            apply_type_i(&mut clause, &[true], 4.0, &mut rng);
+        }
+        assert!(!clause.automaton(1).includes());
+    }
+}

@@ -1,0 +1,57 @@
+//! The Tsetlin machine learning algorithm.
+//!
+//! The paper's inference datapath computes the forward pass of a Tsetlin
+//! machine (TM): conjunctive clauses over Boolean literals vote for or
+//! against a class and a majority decides.  To exercise that datapath
+//! with *realistic* operands — realistic clause outputs, realistic vote
+//! distributions, and therefore realistic average latency — this crate
+//! implements the full TM algorithm:
+//!
+//! * [`automaton`] — the two-action Tsetlin automaton;
+//! * [`clause`] — conjunctive clauses with one automaton per literal;
+//! * [`machine`] — the binary classifier: clause banks, voting,
+//!   thresholded feedback, training and inference;
+//! * [`feedback`] — Type I / Type II feedback rules;
+//! * [`binarizer`] — quantile thresholding of continuous features into
+//!   Boolean literals;
+//! * [`datasets`] — synthetic edge-inference workloads (noisy XOR, a
+//!   keyword-spotting-like pattern task, a two-cluster task);
+//! * [`export`] — extraction of the include/exclude masks the hardware
+//!   datapath consumes as its `e` inputs.
+//!
+//! # Example
+//!
+//! ```
+//! use tsetlin::{TsetlinMachine, TrainingParams, datasets};
+//!
+//! # fn main() -> Result<(), Box<dyn std::error::Error>> {
+//! let data = datasets::noisy_xor(300, 0.05, 11);
+//! let params = TrainingParams::new(10, 15.0, 3.9)?;
+//! let mut tm = TsetlinMachine::new(data.feature_count(), params, 42)?;
+//! tm.fit(data.train_inputs(), data.train_labels(), 40);
+//! let accuracy = tm.accuracy(data.test_inputs(), data.test_labels());
+//! assert!(accuracy > 0.75, "XOR should be learnable, got {accuracy}");
+//! # Ok(())
+//! # }
+//! ```
+
+#![warn(missing_docs)]
+#![warn(missing_debug_implementations)]
+
+pub mod automaton;
+pub mod binarizer;
+pub mod clause;
+pub mod datasets;
+pub mod error;
+pub mod export;
+pub mod feedback;
+pub mod machine;
+
+pub use automaton::{Action, TsetlinAutomaton};
+pub use binarizer::QuantileBinarizer;
+pub use clause::Clause;
+pub use datasets::Dataset;
+pub use error::TsetlinError;
+pub use export::ExcludeMasks;
+pub use feedback::FeedbackType;
+pub use machine::{TrainingParams, TsetlinMachine};

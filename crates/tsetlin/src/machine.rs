@@ -1,0 +1,386 @@
+//! The binary Tsetlin machine classifier: clause banks, voting,
+//! thresholded stochastic feedback, training and inference.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+use crate::feedback::{apply_type_i, apply_type_ii};
+use crate::{Clause, TsetlinError};
+
+/// Hyper-parameters of a Tsetlin machine.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct TrainingParams {
+    clauses_per_polarity: usize,
+    threshold: f64,
+    specificity: f64,
+    states_per_action: u32,
+}
+
+impl TrainingParams {
+    /// Creates a parameter set.
+    ///
+    /// * `clauses_per_polarity` — number of positive clauses (an equal
+    ///   number of negative clauses is created);
+    /// * `threshold` — the voting target `T` (> 0) used to modulate
+    ///   feedback probability;
+    /// * `specificity` — the `s` parameter (> 1).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TsetlinError::InvalidParameter`] for out-of-range values.
+    pub fn new(
+        clauses_per_polarity: usize,
+        threshold: f64,
+        specificity: f64,
+    ) -> Result<Self, TsetlinError> {
+        if clauses_per_polarity == 0 {
+            return Err(TsetlinError::InvalidParameter {
+                name: "clauses_per_polarity",
+                reason: "must be at least 1".to_string(),
+            });
+        }
+        if !(threshold > 0.0) {
+            return Err(TsetlinError::InvalidParameter {
+                name: "threshold",
+                reason: format!("must be positive, got {threshold}"),
+            });
+        }
+        if !(specificity > 1.0) {
+            return Err(TsetlinError::InvalidParameter {
+                name: "specificity",
+                reason: format!("must be greater than 1, got {specificity}"),
+            });
+        }
+        Ok(Self {
+            clauses_per_polarity,
+            threshold,
+            specificity,
+            states_per_action: 100,
+        })
+    }
+
+    /// Overrides the number of automaton states per action (default 100).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TsetlinError::InvalidParameter`] if zero.
+    pub fn with_states_per_action(mut self, states: u32) -> Result<Self, TsetlinError> {
+        if states == 0 {
+            return Err(TsetlinError::InvalidParameter {
+                name: "states_per_action",
+                reason: "must be at least 1".to_string(),
+            });
+        }
+        self.states_per_action = states;
+        Ok(self)
+    }
+
+    /// Number of clauses per polarity.
+    #[must_use]
+    pub fn clauses_per_polarity(&self) -> usize {
+        self.clauses_per_polarity
+    }
+
+    /// The voting threshold `T`.
+    #[must_use]
+    pub fn threshold(&self) -> f64 {
+        self.threshold
+    }
+
+    /// The specificity `s`.
+    #[must_use]
+    pub fn specificity(&self) -> f64 {
+        self.specificity
+    }
+}
+
+/// A binary (one-class) Tsetlin machine with positive and negative clause
+/// banks, as in Figure 1 of the paper.
+#[derive(Clone, Debug)]
+pub struct TsetlinMachine {
+    positive_clauses: Vec<Clause>,
+    negative_clauses: Vec<Clause>,
+    feature_count: usize,
+    params: TrainingParams,
+    rng: StdRng,
+}
+
+impl TsetlinMachine {
+    /// Creates an untrained machine for `feature_count` Boolean features.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TsetlinError::InvalidParameter`] if `feature_count` is
+    /// zero.
+    pub fn new(
+        feature_count: usize,
+        params: TrainingParams,
+        seed: u64,
+    ) -> Result<Self, TsetlinError> {
+        if feature_count == 0 {
+            return Err(TsetlinError::InvalidParameter {
+                name: "feature_count",
+                reason: "must be at least 1".to_string(),
+            });
+        }
+        let make_bank = || {
+            (0..params.clauses_per_polarity)
+                .map(|_| Clause::new(feature_count, params.states_per_action))
+                .collect::<Vec<_>>()
+        };
+        Ok(Self {
+            positive_clauses: make_bank(),
+            negative_clauses: make_bank(),
+            feature_count,
+            params,
+            rng: StdRng::seed_from_u64(seed),
+        })
+    }
+
+    /// Number of Boolean input features.
+    #[must_use]
+    pub fn feature_count(&self) -> usize {
+        self.feature_count
+    }
+
+    /// The hyper-parameters in use.
+    #[must_use]
+    pub fn params(&self) -> &TrainingParams {
+        &self.params
+    }
+
+    /// The positively voting clause bank.
+    #[must_use]
+    pub fn positive_clauses(&self) -> &[Clause] {
+        &self.positive_clauses
+    }
+
+    /// The negatively voting clause bank.
+    #[must_use]
+    pub fn negative_clauses(&self) -> &[Clause] {
+        &self.negative_clauses
+    }
+
+    /// Number of positive votes for an input during classification.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the input width does not match [`Self::feature_count`].
+    #[must_use]
+    pub fn positive_votes(&self, input: &[bool]) -> usize {
+        self.positive_clauses
+            .iter()
+            .filter(|c| c.evaluate(input, false))
+            .count()
+    }
+
+    /// Number of negative (inhibiting) votes for an input during
+    /// classification.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the input width does not match [`Self::feature_count`].
+    #[must_use]
+    pub fn negative_votes(&self, input: &[bool]) -> usize {
+        self.negative_clauses
+            .iter()
+            .filter(|c| c.evaluate(input, false))
+            .count()
+    }
+
+    /// The vote sum (positive minus negative votes): the paper's "class
+    /// confidence".
+    #[must_use]
+    pub fn vote_sum(&self, input: &[bool]) -> i64 {
+        self.positive_votes(input) as i64 - self.negative_votes(input) as i64
+    }
+
+    /// Classifies an input: the paper's convention is that a
+    /// non-negative vote sum means the input belongs to the class.
+    #[must_use]
+    pub fn predict(&self, input: &[bool]) -> bool {
+        self.vote_sum(input) >= 0
+    }
+
+    /// Performs one training update with a single labelled sample.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TsetlinError::FeatureWidthMismatch`] for a wrong-sized
+    /// input.
+    pub fn update(&mut self, input: &[bool], label: bool) -> Result<(), TsetlinError> {
+        if input.len() != self.feature_count {
+            return Err(TsetlinError::FeatureWidthMismatch {
+                expected: self.feature_count,
+                got: input.len(),
+            });
+        }
+        let threshold = self.params.threshold;
+        let specificity = self.params.specificity;
+        let sum = self.training_vote_sum(input) as f64;
+        let clamped = sum.clamp(-threshold, threshold);
+        // Probability of giving feedback shrinks as the vote sum already
+        // agrees with the label (the resource-allocation mechanism).
+        let probability = if label {
+            (threshold - clamped) / (2.0 * threshold)
+        } else {
+            (threshold + clamped) / (2.0 * threshold)
+        };
+
+        for index in 0..self.positive_clauses.len() {
+            if self.rng.gen_bool(probability) {
+                let clause = &mut self.positive_clauses[index];
+                if label {
+                    apply_type_i(clause, input, specificity, &mut self.rng);
+                } else {
+                    apply_type_ii(clause, input);
+                }
+            }
+        }
+        for index in 0..self.negative_clauses.len() {
+            if self.rng.gen_bool(probability) {
+                let clause = &mut self.negative_clauses[index];
+                if label {
+                    apply_type_ii(clause, input);
+                } else {
+                    apply_type_i(clause, input, specificity, &mut self.rng);
+                }
+            }
+        }
+        Ok(())
+    }
+
+    fn training_vote_sum(&self, input: &[bool]) -> i64 {
+        let pos = self
+            .positive_clauses
+            .iter()
+            .filter(|c| c.evaluate(input, true))
+            .count() as i64;
+        let neg = self
+            .negative_clauses
+            .iter()
+            .filter(|c| c.evaluate(input, true))
+            .count() as i64;
+        pos - neg
+    }
+
+    /// Trains on a dataset for the given number of epochs.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `inputs` and `labels` differ in length or an input has
+    /// the wrong width.
+    pub fn fit(&mut self, inputs: &[Vec<bool>], labels: &[bool], epochs: usize) {
+        assert_eq!(inputs.len(), labels.len(), "inputs and labels must pair up");
+        let mut order: Vec<usize> = (0..inputs.len()).collect();
+        for _ in 0..epochs {
+            // Fisher–Yates shuffle with the machine's own RNG for
+            // reproducibility.
+            for i in (1..order.len()).rev() {
+                let j = self.rng.gen_range(0..=i);
+                order.swap(i, j);
+            }
+            for &index in &order {
+                self.update(&inputs[index], labels[index])
+                    .expect("dataset width matches the machine");
+            }
+        }
+    }
+
+    /// Classification accuracy over a labelled set (0.0 for an empty
+    /// set).
+    #[must_use]
+    pub fn accuracy(&self, inputs: &[Vec<bool>], labels: &[bool]) -> f64 {
+        if inputs.is_empty() {
+            return 0.0;
+        }
+        let correct = inputs
+            .iter()
+            .zip(labels)
+            .filter(|(x, &y)| self.predict(x) == y)
+            .count();
+        correct as f64 / inputs.len() as f64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::datasets;
+
+    #[test]
+    fn parameter_validation() {
+        assert!(TrainingParams::new(0, 10.0, 3.0).is_err());
+        assert!(TrainingParams::new(4, 0.0, 3.0).is_err());
+        assert!(TrainingParams::new(4, 10.0, 1.0).is_err());
+        let params = TrainingParams::new(4, 10.0, 3.0).unwrap();
+        assert_eq!(params.clauses_per_polarity(), 4);
+        assert!(params.with_states_per_action(0).is_err());
+    }
+
+    #[test]
+    fn zero_features_rejected() {
+        let params = TrainingParams::new(4, 10.0, 3.0).unwrap();
+        assert!(TsetlinMachine::new(0, params, 1).is_err());
+    }
+
+    #[test]
+    fn untrained_machine_votes_zero_and_predicts_positive() {
+        let params = TrainingParams::new(4, 10.0, 3.0).unwrap();
+        let tm = TsetlinMachine::new(3, params, 1).unwrap();
+        let input = vec![true, false, true];
+        assert_eq!(tm.positive_votes(&input), 0);
+        assert_eq!(tm.negative_votes(&input), 0);
+        assert_eq!(tm.vote_sum(&input), 0);
+        assert!(tm.predict(&input), "zero sum counts as in-class by convention");
+    }
+
+    #[test]
+    fn wrong_width_update_is_rejected() {
+        let params = TrainingParams::new(2, 5.0, 3.0).unwrap();
+        let mut tm = TsetlinMachine::new(3, params, 1).unwrap();
+        assert!(matches!(
+            tm.update(&[true], true),
+            Err(TsetlinError::FeatureWidthMismatch { expected: 3, got: 1 })
+        ));
+    }
+
+    #[test]
+    fn learns_noisy_xor() {
+        let data = datasets::noisy_xor(300, 0.05, 11);
+        let params = TrainingParams::new(10, 15.0, 3.9).unwrap();
+        let mut tm = TsetlinMachine::new(data.feature_count(), params, 99).unwrap();
+        tm.fit(data.train_inputs(), data.train_labels(), 40);
+        let accuracy = tm.accuracy(data.test_inputs(), data.test_labels());
+        assert!(
+            accuracy > 0.85,
+            "expected the TM to learn noisy XOR, accuracy = {accuracy}"
+        );
+    }
+
+    #[test]
+    fn learns_linearly_separable_pattern_quickly() {
+        // label = x0 (other features are distractors).
+        let inputs: Vec<Vec<bool>> = (0..64u32)
+            .map(|p| (0..6).map(|i| p & (1 << i) != 0).collect())
+            .collect();
+        let labels: Vec<bool> = inputs.iter().map(|x| x[0]).collect();
+        let params = TrainingParams::new(6, 8.0, 3.0).unwrap();
+        let mut tm = TsetlinMachine::new(6, params, 3).unwrap();
+        tm.fit(&inputs, &labels, 30);
+        assert!(tm.accuracy(&inputs, &labels) > 0.9);
+    }
+
+    #[test]
+    fn training_is_reproducible_for_a_fixed_seed() {
+        let data = datasets::noisy_xor(100, 0.05, 5);
+        let params = TrainingParams::new(6, 10.0, 3.5).unwrap();
+        let mut a = TsetlinMachine::new(data.feature_count(), params, 7).unwrap();
+        let mut b = TsetlinMachine::new(data.feature_count(), params, 7).unwrap();
+        a.fit(data.train_inputs(), data.train_labels(), 5);
+        b.fit(data.train_inputs(), data.train_labels(), 5);
+        for (ca, cb) in a.positive_clauses().iter().zip(b.positive_clauses()) {
+            assert_eq!(ca.exclude_mask(), cb.exclude_mask());
+        }
+    }
+}

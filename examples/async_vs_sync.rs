@@ -1,0 +1,85 @@
+//! Side-by-side comparison of the proposed dual-rail asynchronous
+//! datapath and the synchronous single-rail baseline on the same trained
+//! model and the same operands — a miniature, single-library version of
+//! Table I.
+//!
+//! Run with: `cargo run --release --example async_vs_sync`
+
+use std::error::Error;
+
+use tm_async::celllib::{Library, PowerBreakdown};
+use tm_async::datapath::{DatapathConfig, DualRailDatapath, InferenceWorkload, SingleRailDatapath};
+use tm_async::dualrail::{ProtocolDriver, ThroughputReport};
+use tm_async::gatesim::run_synchronous_vectors;
+use tm_async::sta::ClockPeriod;
+
+fn main() -> Result<(), Box<dyn Error>> {
+    let config = DatapathConfig::new(10, 8)?;
+    let workload = InferenceWorkload::random(&config, 20, 0.72, 11)?;
+    let library = Library::umc_ll();
+
+    // --- synchronous baseline ---------------------------------------
+    let single = SingleRailDatapath::generate(&config)?;
+    let clock = ClockPeriod::compute(single.netlist(), &library)?;
+    let sync_operands = workload.single_rail_operands(&single)?;
+    let mut vectors = Vec::new();
+    for operand in &sync_operands {
+        for _ in 0..3 {
+            vectors.push(operand.clone());
+        }
+    }
+    let sync_run = run_synchronous_vectors(single.netlist(), &library, clock.period_ps(), &vectors);
+    let sync_power = PowerBreakdown::compute(single.netlist(), &library, &sync_run.activity);
+
+    // --- dual-rail asynchronous design -------------------------------
+    let dual = DualRailDatapath::generate(&config)?;
+    let mut driver = ProtocolDriver::new(dual.circuit(), &library)?;
+    let mut results = Vec::new();
+    for operand in workload.dual_rail_operands(&dual)? {
+        results.push(driver.apply_operand(&operand)?);
+    }
+    let report = ThroughputReport::from_results(&results);
+    let dual_power = PowerBreakdown::compute(dual.netlist(), &library, &driver.activity_profile());
+
+    println!("metric                         single-rail      dual-rail");
+    println!(
+        "cell area (um^2)             {:>12.0} {:>14.0}",
+        library.total_area_um2(single.netlist()),
+        library.total_area_um2(dual.netlist())
+    );
+    println!(
+        "sequential area (um^2)       {:>12.0} {:>14.0}",
+        library.sequential_area_um2(single.netlist()),
+        library.sequential_area_um2(dual.netlist())
+    );
+    println!(
+        "latency avg (ps)             {:>12.0} {:>14.0}",
+        clock.period_ps(),
+        report.average_latency_ps()
+    );
+    println!(
+        "latency max (ps)             {:>12.0} {:>14.0}",
+        clock.period_ps(),
+        report.max_latency_ps()
+    );
+    println!(
+        "throughput (M inf/s)         {:>12.0} {:>14.0}",
+        clock.inferences_per_second_millions(),
+        report.inferences_per_second_millions()
+    );
+    println!(
+        "average power (uW)           {:>12.1} {:>14.1}",
+        sync_power.total_uw(),
+        dual_power.total_uw()
+    );
+    println!(
+        "leakage (nW)                 {:>12.1} {:>14.1}",
+        library.total_leakage_nw(single.netlist()),
+        library.total_leakage_nw(dual.netlist())
+    );
+    println!(
+        "\nlatency advantage of the asynchronous design: {:.2}x on average",
+        clock.period_ps() / report.average_latency_ps()
+    );
+    Ok(())
+}

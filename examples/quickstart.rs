@@ -1,0 +1,65 @@
+//! Quickstart: build a small dual-rail inference datapath, push one
+//! operand through the four-phase handshake and print what happened.
+//!
+//! Run with: `cargo run --release --example quickstart`
+
+use std::error::Error;
+
+use tm_async::celllib::Library;
+use tm_async::datapath::{reference, DatapathConfig, DualRailDatapath};
+use tm_async::dualrail::ProtocolDriver;
+use tm_async::netlist::NetlistStats;
+use tm_async::tsetlin::ExcludeMasks;
+
+fn main() -> Result<(), Box<dyn Error>> {
+    // A small datapath: 4 Boolean features, 4 clauses per voting polarity.
+    let config = DatapathConfig::new(4, 4)?;
+    let datapath = DualRailDatapath::generate(&config)?;
+    let stats = NetlistStats::of(datapath.netlist());
+    println!("generated dual-rail datapath: {stats}");
+
+    // Hand-crafted clause configuration:
+    //   positive clauses vote for "f0 AND NOT f1", negative for "f2".
+    let mut positive = vec![vec![true; config.literals_per_clause()]; 4];
+    positive[0][0] = false; // include literal f0
+    positive[0][3] = false; // include literal !f1
+    positive[1][0] = false;
+    let mut negative = vec![vec![true; config.literals_per_clause()]; 4];
+    negative[0][4] = false; // include literal f2
+    let masks = ExcludeMasks::from_raw(positive, negative, config.features());
+
+    let features = vec![true, false, false, true];
+    let golden = reference::infer(&masks, &features);
+    println!(
+        "golden model: {} positive vs {} negative votes -> {:?}",
+        golden.positive_votes, golden.negative_votes, golden.decision
+    );
+
+    // Drive the circuit through one spacer/valid/spacer cycle.
+    let library = Library::umc_ll();
+    let mut driver = ProtocolDriver::new(datapath.circuit(), &library)?;
+    let operand = datapath.operand_bits(&features, &masks)?;
+    let result = driver.apply_operand(&operand)?;
+    let decision = datapath.decode_decision(&result)?;
+
+    println!(
+        "hardware decision: {decision:?} (in class: {})",
+        datapath.decode_in_class(&result)?
+    );
+    println!(
+        "spacer->valid latency: {:.0} ps, valid->spacer reset: {:.0} ps, done after {:.0} ps",
+        result.s_to_v_latency_ps,
+        result.v_to_s_latency_ps,
+        result.done_latency_ps.unwrap_or(f64::NAN)
+    );
+    if let Some(grace) = driver.grace_period() {
+        println!(
+            "reduced-CD grace period: t_int = {:.0} ps, t_io = {:.0} ps, t_d = {:.0} ps",
+            grace.t_int_ps(),
+            grace.t_io_ps(),
+            grace.t_d_ps()
+        );
+    }
+    assert_eq!(decision, golden.decision, "hardware must match the golden model");
+    Ok(())
+}

@@ -1,0 +1,45 @@
+//! Umbrella crate re-exporting every component of the reproduction of
+//! *Low-Latency Asynchronous Logic Design for Inference at the Edge*
+//! (Wheeldon, Yakovlev, Shafik, Morris — DATE 2021).
+//!
+//! The workspace implements, in pure Rust:
+//!
+//! * [`netlist`] — a structural gate-level netlist IR;
+//! * [`celllib`] — parametric 65 nm standard-cell library models
+//!   (UMC LL and FULL DIFFUSION) with voltage-dependent timing and power;
+//! * [`sta`] — static timing analysis (arrival times, grace period,
+//!   synchronous clock period);
+//! * [`gatesim`] — an event-driven gate-level simulator with latency and
+//!   switching-activity monitors;
+//! * [`dualrail`] — the paper's core contribution: early-propagative
+//!   dual-rail expansion with a reduced completion-detection scheme;
+//! * [`tsetlin`] — the Tsetlin machine learning algorithm (training and
+//!   inference) plus synthetic edge datasets;
+//! * [`datapath`] — Tsetlin-machine inference datapath generators
+//!   (clause logic, population count, magnitude comparator) in both
+//!   single-rail synchronous and dual-rail asynchronous styles.
+//!
+//! # Quickstart
+//!
+//! ```
+//! use tm_async::datapath::{DatapathConfig, DualRailDatapath};
+//!
+//! # fn main() -> Result<(), Box<dyn std::error::Error>> {
+//! // A small inference datapath: 4 features, 4 clauses per polarity.
+//! let config = DatapathConfig::new(4, 4)?;
+//! let dp = DualRailDatapath::generate(&config)?;
+//! assert!(dp.netlist().cell_count() > 100);
+//! # Ok(())
+//! # }
+//! ```
+//!
+//! See `examples/` for end-to-end scenarios and `crates/bench` for the
+//! harness that regenerates every table and figure of the paper.
+
+pub use celllib;
+pub use datapath;
+pub use dualrail;
+pub use gatesim;
+pub use netlist;
+pub use sta;
+pub use tsetlin;

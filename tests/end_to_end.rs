@@ -1,0 +1,213 @@
+//! Cross-crate integration tests: train → export → generate hardware →
+//! simulate → compare against the software golden model, for both design
+//! styles, plus the timing-assumption and voltage-robustness claims.
+
+use tm_async::celllib::Library;
+use tm_async::datapath::{
+    reference, CompletionScheme, DatapathConfig, DatapathOptions, DualRailDatapath,
+    InferenceWorkload, SingleRailDatapath,
+};
+use tm_async::dualrail::{ProtocolDriver, ThroughputReport};
+use tm_async::gatesim::run_synchronous_vectors;
+use tm_async::netlist::NetlistStats;
+use tm_async::sta::{ClockPeriod, GracePeriod};
+use tm_async::tsetlin::{datasets, TrainingParams, TsetlinMachine};
+
+fn trained_machine(features: usize, clauses: usize, seed: u64) -> TsetlinMachine {
+    let data = datasets::keyword_patterns(200, features, 0.1, seed);
+    let params = TrainingParams::new(clauses, 10.0, 3.5).expect("valid params");
+    let mut tm = TsetlinMachine::new(features, params, seed).expect("valid machine");
+    tm.fit(data.train_inputs(), data.train_labels(), 15);
+    tm
+}
+
+#[test]
+fn trained_machine_runs_correctly_on_dual_rail_hardware() {
+    let config = DatapathConfig::new(6, 6).expect("valid config");
+    let machine = trained_machine(6, 6, 31);
+    let data = datasets::keyword_patterns(60, 6, 0.1, 77);
+    let workload = InferenceWorkload::from_machine(&config, &machine, data.test_inputs())
+        .expect("machine matches config");
+
+    let datapath = DualRailDatapath::generate(&config).expect("generation succeeds");
+    let library = Library::umc_ll();
+    let mut driver = ProtocolDriver::new(datapath.circuit(), &library).expect("driver");
+    let operands = workload.dual_rail_operands(&datapath).expect("widths match");
+
+    for (operand, expected) in operands.iter().zip(workload.expected()) {
+        let result = driver.apply_operand(operand).expect("protocol cycle");
+        assert_eq!(
+            datapath.decode_decision(&result).expect("decode"),
+            expected.decision
+        );
+    }
+}
+
+#[test]
+fn single_rail_and_dual_rail_agree_with_each_other() {
+    let config = DatapathConfig::new(4, 4).expect("valid config");
+    let workload = InferenceWorkload::random(&config, 10, 0.65, 5).expect("valid workload");
+    let library = Library::umc_ll();
+
+    // Dual-rail.
+    let dual = DualRailDatapath::generate(&config).expect("dual-rail generation");
+    let mut driver = ProtocolDriver::new(dual.circuit(), &library).expect("driver");
+    let dual_decisions: Vec<_> = workload
+        .dual_rail_operands(&dual)
+        .expect("widths")
+        .iter()
+        .map(|operand| {
+            let result = driver.apply_operand(operand).expect("protocol cycle");
+            dual.decode_decision(&result).expect("decode")
+        })
+        .collect();
+
+    // Single-rail (three clock cycles per operand: apply, capture, read).
+    let single = SingleRailDatapath::generate(&config).expect("single-rail generation");
+    let clock = ClockPeriod::compute(single.netlist(), &library).expect("timing");
+    let mut vectors = Vec::new();
+    for operand in workload.single_rail_operands(&single).expect("widths") {
+        for _ in 0..3 {
+            vectors.push(operand.clone());
+        }
+    }
+    let run = run_synchronous_vectors(single.netlist(), &library, clock.period_ps(), &vectors);
+
+    for (i, (expected, dual_decision)) in workload
+        .expected()
+        .iter()
+        .zip(&dual_decisions)
+        .enumerate()
+    {
+        let outputs: Vec<bool> = run.outputs_per_cycle[3 * i + 2]
+            .iter()
+            .map(|v| v.is_one())
+            .collect();
+        let single_index = single.decode_decision_bits(&outputs).expect("one-hot output");
+        assert_eq!(single_index, expected.decision.one_of_three_index());
+        assert_eq!(*dual_decision, expected.decision);
+    }
+}
+
+#[test]
+fn reduced_cd_grace_period_is_respected_by_simulation() {
+    let config = DatapathConfig::new(4, 4).expect("valid config");
+    let datapath = DualRailDatapath::generate(&config).expect("generation");
+    let library = Library::umc_ll();
+    let grace = GracePeriod::compute(
+        datapath.netlist(),
+        &library,
+        &datapath.circuit().observed_output_nets(),
+    )
+    .expect("acyclic");
+
+    let workload = InferenceWorkload::random(&config, 5, 0.6, 9).expect("workload");
+    let mut driver = ProtocolDriver::new(datapath.circuit(), &library).expect("driver");
+    for operand in workload.dual_rail_operands(&datapath).expect("widths") {
+        let result = driver.apply_operand(&operand).expect("protocol cycle");
+        // The measured reset time can never exceed the static bound used to
+        // size the grace period, and the done timing covers the data.
+        assert!(result.v_to_s_latency_ps <= grace.min_spacer_to_valid_ps() + 1e-6);
+        assert!(result.s_to_v_latency_ps <= grace.t_io_ps() + 1e-6);
+        let done = result.done_latency_ps.expect("reduced CD inserted");
+        assert!(done + 1e-9 >= result.s_to_v_latency_ps);
+    }
+}
+
+#[test]
+fn functional_correctness_survives_deep_voltage_scaling() {
+    let config = DatapathConfig::new(3, 3).expect("valid config");
+    let datapath = DualRailDatapath::generate(&config).expect("generation");
+    let workload = InferenceWorkload::random(&config, 4, 0.6, 17).expect("workload");
+    let operands = workload.dual_rail_operands(&datapath).expect("widths");
+    let base = Library::full_diffusion();
+
+    let mut previous_average = 0.0;
+    for supply in [1.2, 0.6, 0.3, 0.25] {
+        let library = base.with_supply_voltage(supply).expect("supported voltage");
+        let mut driver = ProtocolDriver::new(datapath.circuit(), &library).expect("driver");
+        let mut results = Vec::new();
+        for (operand, expected) in operands.iter().zip(workload.expected()) {
+            let result = driver.apply_operand(operand).expect("protocol cycle");
+            assert_eq!(
+                datapath.decode_decision(&result).expect("decode"),
+                expected.decision,
+                "functional correctness must hold at {supply} V"
+            );
+            results.push(result);
+        }
+        let report = ThroughputReport::from_results(&results);
+        assert!(
+            report.average_latency_ps() > previous_average,
+            "latency must increase monotonically as the supply drops"
+        );
+        previous_average = report.average_latency_ps();
+    }
+}
+
+#[test]
+fn completion_scheme_ablation_keeps_function_and_changes_cost() {
+    let config = DatapathConfig::new(3, 4).expect("valid config");
+    let workload = InferenceWorkload::random(&config, 6, 0.6, 23).expect("workload");
+    let library = Library::umc_ll();
+
+    let reduced = DualRailDatapath::generate(&config).expect("reduced CD");
+    let full = DualRailDatapath::generate_with(
+        &config,
+        DatapathOptions {
+            completion: CompletionScheme::Full,
+            input_latches: true,
+        },
+    )
+    .expect("full CD");
+    assert!(full.completion().gates_added > reduced.completion().gates_added);
+
+    for datapath in [&reduced, &full] {
+        let mut driver = ProtocolDriver::new(datapath.circuit(), &library).expect("driver");
+        for (operand, expected) in workload
+            .dual_rail_operands(datapath)
+            .expect("widths")
+            .iter()
+            .zip(workload.expected())
+        {
+            let result = driver.apply_operand(operand).expect("protocol cycle");
+            assert_eq!(
+                datapath.decode_decision(&result).expect("decode"),
+                expected.decision
+            );
+        }
+    }
+}
+
+#[test]
+fn sequential_area_comes_from_latches_and_flip_flops() {
+    let config = DatapathConfig::new(5, 8).expect("valid config");
+    let dual = DualRailDatapath::generate(&config).expect("dual");
+    let single = SingleRailDatapath::generate(&config).expect("single");
+    let library = Library::umc_ll();
+
+    let dual_stats = NetlistStats::of(dual.netlist());
+    let single_stats = NetlistStats::of(single.netlist());
+    // The dual-rail design has roughly twice as many sequential cells
+    // (two rails per input) as the single-rail design's flip-flops.
+    assert!(dual_stats.sequential_count >= 2 * config.data_input_count());
+    assert_eq!(single_stats.sequential_count, config.data_input_count() + 3);
+    // Both designs carry a comparable order of magnitude of cell area.
+    let ratio =
+        library.total_area_um2(dual.netlist()) / library.total_area_um2(single.netlist());
+    assert!(ratio > 0.5 && ratio < 4.0, "area ratio {ratio}");
+}
+
+#[test]
+fn hardware_reference_and_machine_agree_on_votes() {
+    let features = 5;
+    let machine = trained_machine(features, 8, 3);
+    let masks = tm_async::tsetlin::ExcludeMasks::from_machine(&machine);
+    for pattern in 0..(1u32 << features) {
+        let input: Vec<bool> = (0..features).map(|i| pattern & (1 << i) != 0).collect();
+        let outcome = reference::infer(&masks, &input);
+        assert_eq!(outcome.positive_votes, machine.positive_votes(&input));
+        assert_eq!(outcome.negative_votes, machine.negative_votes(&input));
+        assert_eq!(outcome.in_class, machine.predict(&input));
+    }
+}

@@ -1,0 +1,177 @@
+//! Property-based tests on the core invariants of the reproduction:
+//! dual-rail expansion preserves function, the arithmetic blocks match
+//! their integer semantics, codeword encoding round-trips, and the
+//! protocol driver agrees with the golden model for arbitrary operands.
+
+use std::collections::HashMap;
+
+use proptest::prelude::*;
+
+use tm_async::celllib::Library;
+use tm_async::datapath::{reference, DatapathConfig, DualRailDatapath};
+use tm_async::dualrail::{
+    expand_to_dual_rail, DualRailNetlist, DualRailSignal, DualRailValue, ExpansionStyle,
+    ProtocolDriver, SpacerPolarity,
+};
+use tm_async::netlist::{CellKind, Evaluator, NetId, Netlist};
+use tm_async::tsetlin::ExcludeMasks;
+
+/// Evaluates a dual-rail netlist functionally for the supplied logical
+/// bits and decodes one signal.
+fn eval_dual(
+    dr: &DualRailNetlist,
+    inputs: &[(DualRailSignal, bool)],
+    signal: DualRailSignal,
+) -> DualRailValue {
+    let eval = Evaluator::new(dr.netlist()).expect("acyclic");
+    let mut map = HashMap::new();
+    for (sig, bit) in inputs {
+        let (p, n) = DualRailValue::encode_valid(*bit, sig.polarity);
+        map.insert(sig.positive, p);
+        map.insert(sig.negative, n);
+    }
+    let values = eval.eval(&map);
+    DualRailValue::decode(
+        values[signal.positive.index()].into(),
+        values[signal.negative.index()].into(),
+        signal.polarity,
+    )
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Dual-rail codeword encoding round-trips under both polarities.
+    #[test]
+    fn encoding_round_trips(bit: bool, all_one: bool) {
+        let polarity = if all_one { SpacerPolarity::AllOne } else { SpacerPolarity::AllZero };
+        let (p, n) = DualRailValue::encode_valid(bit, polarity);
+        let decoded = DualRailValue::decode(p.into(), n.into(), polarity);
+        prop_assert_eq!(decoded, DualRailValue::Valid(bit));
+        let (sp, sn) = DualRailValue::encode_spacer(polarity);
+        prop_assert_eq!(
+            DualRailValue::decode(sp.into(), sn.into(), polarity),
+            DualRailValue::Spacer
+        );
+    }
+
+    /// The dual-rail half and full adders implement binary addition for
+    /// every operand combination.
+    #[test]
+    fn adders_match_integer_addition(a: bool, b: bool, c: bool) {
+        let mut dr = DualRailNetlist::new("adders");
+        let ia = dr.add_dual_input("a");
+        let ib = dr.add_dual_input("b");
+        let ic = dr.add_dual_input("c");
+        let (hsum, hcarry) = dr.half_adder("ha", ia, ib).expect("half adder");
+        let (fsum, fcarry) = dr.full_adder("fa", ia, ib, ic).expect("full adder");
+
+        let inputs = [(ia, a), (ib, b), (ic, c)];
+        let ha_total = u32::from(a) + u32::from(b);
+        prop_assert_eq!(eval_dual(&dr, &inputs, hsum), DualRailValue::Valid(ha_total % 2 == 1));
+        prop_assert_eq!(eval_dual(&dr, &inputs, hcarry), DualRailValue::Valid(ha_total >= 2));
+        let fa_total = ha_total + u32::from(c);
+        prop_assert_eq!(eval_dual(&dr, &inputs, fsum), DualRailValue::Valid(fa_total % 2 == 1));
+        prop_assert_eq!(eval_dual(&dr, &inputs, fcarry), DualRailValue::Valid(fa_total >= 2));
+    }
+
+    /// Automatic dual-rail expansion preserves the function of arbitrary
+    /// three-level unate netlists, in both expansion styles.
+    #[test]
+    fn expansion_preserves_function(
+        kinds in proptest::collection::vec(0usize..6, 3),
+        pattern in 0u32..16,
+        inverting: bool,
+    ) {
+        let gate = |k: usize| match k {
+            0 => CellKind::And2,
+            1 => CellKind::Or2,
+            2 => CellKind::Nand2,
+            3 => CellKind::Nor2,
+            4 => CellKind::And3,
+            _ => CellKind::Or3,
+        };
+        // Build a small random netlist: four inputs, three gates chained.
+        let mut nl = Netlist::new("random");
+        let inputs: Vec<NetId> = (0..4).map(|i| nl.add_input(format!("i{i}"))).collect();
+        let g0_kind = gate(kinds[0] % 4); // two-input kinds only for the first gate
+        let g0 = nl.add_cell("g0", g0_kind, &[inputs[0], inputs[1]]).expect("g0");
+        let g1_kind = gate(kinds[1]);
+        let g1_inputs: Vec<NetId> = match g1_kind.input_count() {
+            2 => vec![g0, inputs[2]],
+            _ => vec![g0, inputs[2], inputs[3]],
+        };
+        let g1 = nl.add_cell("g1", g1_kind, &g1_inputs).expect("g1");
+        let g2_kind = gate(kinds[2] % 4);
+        let g2 = nl.add_cell("g2", g2_kind, &[g1, inputs[0]]).expect("g2");
+        nl.add_output("y", g2);
+
+        let style = if inverting {
+            ExpansionStyle::InvertingPairs
+        } else {
+            ExpansionStyle::NonInverting
+        };
+        let dr = expand_to_dual_rail(&nl, style).expect("expansion");
+
+        let bits: Vec<bool> = (0..4).map(|i| pattern & (1 << i) != 0).collect();
+        let single_eval = Evaluator::new(&nl).expect("acyclic");
+        let expected = single_eval.eval_vector(&bits)[0];
+
+        let dr_inputs: Vec<(DualRailSignal, bool)> = dr
+            .dual_inputs()
+            .iter()
+            .map(|(_, s)| *s)
+            .zip(bits.iter().copied())
+            .collect();
+        let output = dr.dual_output("y").expect("output exists");
+        prop_assert_eq!(eval_dual(&dr, &dr_inputs, output), DualRailValue::Valid(expected));
+    }
+
+    /// The software reference model obeys the defining equations of the
+    /// Tsetlin machine vote for random masks and inputs.
+    #[test]
+    fn reference_votes_are_bounded_and_consistent(
+        seed in 0u64..1_000,
+        pattern in 0u32..256,
+    ) {
+        let config = DatapathConfig::new(8, 8).expect("valid");
+        let workload = tm_async::datapath::InferenceWorkload::random(&config, 1, 0.7, seed)
+            .expect("workload");
+        let features: Vec<bool> = (0..8).map(|i| pattern & (1 << i) != 0).collect();
+        let outcome = reference::infer(workload.masks(), &features);
+        prop_assert!(outcome.positive_votes <= 8);
+        prop_assert!(outcome.negative_votes <= 8);
+        let expected_in_class = outcome.positive_votes >= outcome.negative_votes;
+        prop_assert_eq!(outcome.in_class, expected_in_class);
+    }
+}
+
+proptest! {
+    // The full hardware round trip is expensive (event-driven simulation
+    // of a few thousand cells), so run fewer cases.
+    #![proptest_config(ProptestConfig::with_cases(6))]
+
+    /// For arbitrary masks and feature vectors, the dual-rail hardware
+    /// decision equals the software golden model, and the latency figures
+    /// are internally consistent.
+    #[test]
+    fn hardware_matches_golden_model(
+        mask_bits in proptest::collection::vec(any::<bool>(), 4 * 2 * 3),
+        feature_bits in proptest::collection::vec(any::<bool>(), 3),
+    ) {
+        let config = DatapathConfig::new(3, 2).expect("valid");
+        let positive: Vec<Vec<bool>> = mask_bits[0..12].chunks(6).map(<[bool]>::to_vec).collect();
+        let negative: Vec<Vec<bool>> = mask_bits[12..24].chunks(6).map(<[bool]>::to_vec).collect();
+        let masks = ExcludeMasks::from_raw(positive, negative, 3);
+        let datapath = DualRailDatapath::generate(&config).expect("generation");
+        let library = Library::umc_ll();
+        let mut driver = ProtocolDriver::new(datapath.circuit(), &library).expect("driver");
+
+        let operand = datapath.operand_bits(&feature_bits, &masks).expect("widths");
+        let result = driver.apply_operand(&operand).expect("protocol cycle");
+        let golden = reference::infer(&masks, &feature_bits);
+        prop_assert_eq!(datapath.decode_decision(&result).expect("decode"), golden.decision);
+        prop_assert!(result.s_to_v_latency_ps > 0.0);
+        prop_assert!(result.cycle_time_ps >= result.s_to_v_latency_ps + result.v_to_s_latency_ps);
+    }
+}
