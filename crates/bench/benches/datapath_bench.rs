@@ -4,7 +4,9 @@
 
 use celllib::Library;
 use criterion::{criterion_group, criterion_main, Criterion};
-use datapath::{reference, DatapathConfig, DualRailDatapath, InferenceWorkload, SingleRailDatapath};
+use datapath::{
+    reference, DatapathConfig, DualRailDatapath, InferenceWorkload, SingleRailDatapath,
+};
 use dualrail::ProtocolDriver;
 
 fn bench_generation(c: &mut Criterion) {
@@ -62,5 +64,10 @@ fn bench_training(c: &mut Criterion) {
     group.finish();
 }
 
-criterion_group!(benches, bench_generation, bench_inference_cycle, bench_training);
+criterion_group!(
+    benches,
+    bench_generation,
+    bench_inference_cycle,
+    bench_training
+);
 criterion_main!(benches);

@@ -1,0 +1,89 @@
+//! Criterion `throughput` group: samples/sec of the scalar golden model,
+//! the 64-wide bit-parallel batch golden model, and the event-driven
+//! gate-level simulation, all on the standard keyword-spotting workload.
+//!
+//! The recorded comparison lives in `BENCH_PR1.json` at the repository
+//! root (regenerate with
+//! `cargo run -p tm-async-bench --release --bin throughput -- 4096 BENCH_PR1.json`).
+
+use std::collections::HashMap;
+
+use celllib::Library;
+use criterion::{criterion_group, criterion_main, Criterion};
+use datapath::{BatchGoldenModel, BatchInference, SingleRailDatapath};
+use gatesim::run_synchronous_vectors;
+use netlist::{EvalState, Evaluator, NetId};
+use sta::ClockPeriod;
+use tm_async_bench::workloads::{standard_config, standard_workload};
+
+fn bench_throughput(c: &mut Criterion) {
+    let config = standard_config();
+    let standard = standard_workload(1024, 2021);
+    let workload = &standard.workload;
+    let masks = workload.masks();
+
+    let model = BatchGoldenModel::generate(&config).expect("model generation");
+    let operand_vectors: Vec<Vec<bool>> = workload
+        .feature_vectors()
+        .iter()
+        .map(|v| {
+            let mut bits = v.clone();
+            for bank in [masks.positive(), masks.negative()] {
+                for mask in bank {
+                    bits.extend_from_slice(mask);
+                }
+            }
+            bits
+        })
+        .collect();
+
+    let mut group = c.benchmark_group("throughput");
+    group.sample_size(10);
+
+    group.bench_function("scalar_golden_model_1024", |b| {
+        let eval = Evaluator::new(model.netlist()).expect("acyclic");
+        let pis = model.netlist().primary_inputs();
+        let greater = model.netlist().primary_outputs()[2];
+        let mut state = EvalState::for_netlist(model.netlist());
+        let mut scratch = Vec::new();
+        let mut map: HashMap<NetId, bool> = HashMap::with_capacity(pis.len());
+        b.iter(|| {
+            let mut decisions = 0usize;
+            for bits in &operand_vectors {
+                map.clear();
+                map.extend(pis.iter().copied().zip(bits.iter().copied()));
+                eval.eval_with_state_into(&map, &mut state, &mut scratch);
+                decisions += usize::from(scratch[greater.index()]);
+            }
+            std::hint::black_box(decisions)
+        })
+    });
+
+    group.bench_function("batch_golden_model_64x_1024", |b| {
+        let mut batch = BatchInference::new(&model).expect("flattening");
+        b.iter(|| std::hint::black_box(batch.run_workload(workload).expect("batched run")))
+    });
+
+    group.bench_function("event_driven_sim_16", |b| {
+        let datapath = SingleRailDatapath::generate(&config).expect("generation");
+        let library = Library::umc_ll();
+        let clock = ClockPeriod::compute(datapath.netlist(), &library).expect("sta");
+        let vectors: Vec<Vec<bool>> = workload.feature_vectors()[..16]
+            .iter()
+            .map(|v| datapath.operand_bits(v, masks).expect("widths"))
+            .collect();
+        b.iter(|| {
+            std::hint::black_box(run_synchronous_vectors(
+                datapath.netlist(),
+                &library,
+                clock.period_ps(),
+                &vectors,
+            ))
+        })
+    });
+
+    group.finish();
+}
+
+criterion_group!(benches, bench_throughput);
+criterion_main!(benches);

@@ -78,7 +78,9 @@ fn measure(variant: &str, options: DatapathOptions, operands: usize, seed: u64) 
     let mut data_latency = LatencyStats::new();
     let mut done_latency = LatencyStats::new();
     for operand in &bits {
-        let result = driver.apply_operand(operand).expect("protocol cycle succeeds");
+        let result = driver
+            .apply_operand(operand)
+            .expect("protocol cycle succeeds");
         data_latency.record(result.s_to_v_latency_ps);
         if let Some(done) = result.done_latency_ps {
             done_latency.record(done);

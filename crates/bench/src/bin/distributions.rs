@@ -8,7 +8,9 @@ fn main() {
         .nth(1)
         .and_then(|s| s.parse().ok())
         .unwrap_or(60);
-    println!("Experiment E3 — operand and delay distributions ({operands} operands per workload)\n");
+    println!(
+        "Experiment E3 — operand and delay distributions ({operands} operands per workload)\n"
+    );
     let result = tm_async_bench::distributions::run(operands, 2021);
     print!("{}", result.render());
 }

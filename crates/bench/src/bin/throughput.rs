@@ -1,0 +1,24 @@
+//! Runs experiment E5 (bulk-inference throughput) and optionally records
+//! the numbers as JSON.
+//!
+//! Usage: `cargo run -p tm-async-bench --release --bin throughput
+//! [operands] [json-path]`
+
+fn main() {
+    let mut args = std::env::args().skip(1);
+    let operands: usize = args
+        .next()
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(4096)
+        .max(1);
+    let json_path = args.next();
+
+    println!("Experiment E5 — bulk-inference throughput ({operands} operands)\n");
+    let report = tm_async_bench::throughput::run(operands, 16, 2021);
+    print!("{}", report.render());
+
+    if let Some(path) = json_path {
+        std::fs::write(&path, report.to_json()).expect("write JSON report");
+        println!("\nwrote {path}");
+    }
+}

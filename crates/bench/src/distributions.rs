@@ -97,9 +97,9 @@ fn analyse(
     for outcome in workload.expected() {
         positive_votes[outcome.positive_votes] += 1;
         negative_votes[outcome.negative_votes] += 1;
-        let diff_bit = (0..bits).rev().find(|&b| {
-            (outcome.positive_votes >> b) & 1 != (outcome.negative_votes >> b) & 1
-        });
+        let diff_bit = (0..bits)
+            .rev()
+            .find(|&b| (outcome.positive_votes >> b) & 1 != (outcome.negative_votes >> b) & 1);
         match diff_bit {
             Some(bit) => decision_bit[bit] += 1,
             None => decision_bit[bits] += 1,
@@ -110,7 +110,9 @@ fn analyse(
     let operands = workload.dual_rail_operands(dp).expect("workload matches");
     let mut latency = LatencyStats::new();
     for operand in &operands {
-        let result = driver.apply_operand(operand).expect("protocol cycle succeeds");
+        let result = driver
+            .apply_operand(operand)
+            .expect("protocol cycle succeeds");
         latency.record(result.s_to_v_latency_ps);
     }
 

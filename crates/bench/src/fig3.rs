@@ -109,7 +109,9 @@ pub fn run(voltages: &[f64], operands: usize, seed: u64) -> Fig3 {
         let mut functional = true;
         let mut stats = gatesim::LatencyStats::new();
         for (operand, expected) in operand_bits.iter().zip(standard.workload.expected()) {
-            let result = driver.apply_operand(operand).expect("protocol cycle succeeds");
+            let result = driver
+                .apply_operand(operand)
+                .expect("protocol cycle succeeds");
             match dp.decode_decision(&result) {
                 Ok(decision) => functional &= decision == expected.decision,
                 Err(_) => functional = false,
@@ -134,8 +136,10 @@ mod tests {
     fn latency_scales_exponentially_and_functionality_is_preserved() {
         let fig = run(&[1.2, 0.6, 0.3], 4, 7);
         assert_eq!(fig.points.len(), 3);
-        assert!(fig.points.iter().all(|p| p.functional),
-            "functional correctness must hold across the voltage range");
+        assert!(
+            fig.points.iter().all(|p| p.functional),
+            "functional correctness must hold across the voltage range"
+        );
         // Monotonically increasing latency as the supply drops.
         assert!(fig.points[1].average_latency_ps > fig.points[0].average_latency_ps);
         assert!(fig.points[2].average_latency_ps > 10.0 * fig.points[1].average_latency_ps);

@@ -7,6 +7,7 @@
 //! | E2 | Figure 3 (latency vs supply voltage) | [`fig3`] | `cargo run -p tm-async-bench --release --bin fig3` |
 //! | E3 | Operand / delay probability distributions (contribution 2) | [`distributions`] | `cargo run -p tm-async-bench --release --bin distributions` |
 //! | E4 | Ablations: reduced vs full completion detection, input latches | [`ablation`] | `cargo run -p tm-async-bench --release --bin ablation` |
+//! | E5 | Bulk-inference throughput: scalar vs 64-wide batch vs event-driven | [`throughput`] | `cargo run -p tm-async-bench --release --bin throughput` |
 //!
 //! Absolute numbers will not match the paper (the substrate is a
 //! calibrated simulator, not the authors' Synopsys flow on proprietary
@@ -19,6 +20,7 @@ pub mod ablation;
 pub mod distributions;
 pub mod fig3;
 pub mod table1;
+pub mod throughput;
 pub mod workloads;
 
 pub use workloads::{standard_config, standard_workload, StandardWorkload};

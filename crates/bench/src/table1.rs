@@ -112,10 +112,7 @@ impl Table1 {
     }
 }
 
-fn single_rail_row(
-    library: &Library,
-    standard: &StandardWorkload,
-) -> (Table1Row, bool) {
+fn single_rail_row(library: &Library, standard: &StandardWorkload) -> (Table1Row, bool) {
     let config = standard_config();
     let dp = SingleRailDatapath::generate(&config).expect("single-rail generation succeeds");
     let clock = ClockPeriod::compute(dp.netlist(), library).expect("acyclic datapath");
@@ -174,7 +171,9 @@ fn dual_rail_row(library: &Library, standard: &StandardWorkload) -> (Table1Row, 
     let mut results = Vec::with_capacity(operands.len());
     let mut correct = true;
     for (operand, expected) in operands.iter().zip(standard.workload.expected()) {
-        let result = driver.apply_operand(operand).expect("protocol cycle succeeds");
+        let result = driver
+            .apply_operand(operand)
+            .expect("protocol cycle succeeds");
         match dp.decode_decision(&result) {
             Ok(decision) => correct &= decision == expected.decision,
             Err(_) => correct = false,

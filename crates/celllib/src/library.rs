@@ -286,7 +286,9 @@ impl Library {
     /// supply voltage.
     #[must_use]
     pub fn total_leakage_nw(&self, nl: &Netlist) -> f64 {
-        nl.cells().map(|(_, c)| self.cell_leakage_nw(c.kind())).sum()
+        nl.cells()
+            .map(|(_, c)| self.cell_leakage_nw(c.kind()))
+            .sum()
     }
 }
 
@@ -335,7 +337,10 @@ mod tests {
         let fd = Library::full_diffusion();
         let low = fd.with_supply_voltage(0.3).unwrap();
         assert!(low.cell_delay(CellKind::Nand2, 1) > 50.0 * fd.cell_delay(CellKind::Nand2, 1));
-        assert_eq!(low.cell_area(CellKind::Nand2), fd.cell_area(CellKind::Nand2));
+        assert_eq!(
+            low.cell_area(CellKind::Nand2),
+            fd.cell_area(CellKind::Nand2)
+        );
     }
 
     #[test]

@@ -133,7 +133,8 @@ impl VoltageModel {
     #[must_use]
     pub fn leakage_scale(&self, supply_v: f64) -> f64 {
         const DIBL: f64 = 0.08; // V of Vt shift per V of Vds
-        let leak = |v: f64| v * ((DIBL * v) / (self.subthreshold_slope_factor * THERMAL_VOLTAGE)).exp();
+        let leak =
+            |v: f64| v * ((DIBL * v) / (self.subthreshold_slope_factor * THERMAL_VOLTAGE)).exp();
         leak(supply_v) / leak(self.nominal_v)
     }
 
@@ -191,7 +192,10 @@ mod tests {
         let m = fd_model();
         // Figure 3 shape: ~3–4 orders of magnitude between 1.2 V and 0.25 V.
         let ratio = m.delay_scale(0.25);
-        assert!(ratio > 500.0, "expected large subthreshold slowdown, got {ratio}");
+        assert!(
+            ratio > 500.0,
+            "expected large subthreshold slowdown, got {ratio}"
+        );
         assert!(ratio < 1e6, "slowdown unreasonably large: {ratio}");
         // Above threshold the curve is comparatively flat.
         assert!(m.delay_scale(0.8) < 4.0);
@@ -206,7 +210,10 @@ mod tests {
         let r1 = m.delay_scale(0.35) / m.delay_scale(0.40);
         let r2 = m.delay_scale(0.30) / m.delay_scale(0.35);
         assert!(r1 > 1.5 && r2 > 1.5);
-        assert!((r1 / r2 - 1.0).abs() < 0.6, "ratios {r1} and {r2} should be similar");
+        assert!(
+            (r1 / r2 - 1.0).abs() < 0.6,
+            "ratios {r1} and {r2} should be similar"
+        );
     }
 
     #[test]

@@ -1,0 +1,188 @@
+//! Offline drop-in replacement for the slice of the `criterion` crate API
+//! used by this workspace (the build environment has no network access).
+//!
+//! Supported surface: [`Criterion::benchmark_group`],
+//! [`BenchmarkGroup::sample_size`], [`BenchmarkGroup::bench_function`],
+//! [`Bencher::iter`], [`black_box`], and the [`criterion_group!`] /
+//! [`criterion_main!`] macros.
+//!
+//! Measurement model: each benchmark is warmed up once, then timed for
+//! `sample_size` samples; every sample runs the closure enough times to
+//! amortise timer overhead.  The harness prints the median, minimum and
+//! maximum per-iteration time in a criterion-like one-line format.  There
+//! are no HTML reports, statistics beyond the three-point summary, or
+//! saved baselines.
+
+#![warn(missing_docs)]
+
+use std::time::{Duration, Instant};
+
+/// Re-export matching `criterion::black_box`.
+pub fn black_box<T>(value: T) -> T {
+    std::hint::black_box(value)
+}
+
+/// Per-iteration timing summary of one benchmark.
+#[derive(Clone, Copy, Debug)]
+pub struct Summary {
+    /// Median time per iteration.
+    pub median: Duration,
+    /// Fastest sample.
+    pub min: Duration,
+    /// Slowest sample.
+    pub max: Duration,
+}
+
+/// The benchmark harness entry point.
+#[derive(Debug, Default)]
+pub struct Criterion {
+    _private: (),
+}
+
+impl Criterion {
+    /// Starts a named group of related benchmarks.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        let name = name.into();
+        println!("\nbenchmark group: {name}");
+        BenchmarkGroup {
+            _criterion: self,
+            name,
+            sample_size: 10,
+        }
+    }
+
+    /// Runs a standalone benchmark outside any group.
+    pub fn bench_function(&mut self, id: impl Into<String>, f: impl FnMut(&mut Bencher)) {
+        let id = id.into();
+        let summary = run_benchmark(10, f);
+        report(&id, summary);
+    }
+}
+
+/// A named group sharing configuration, mirroring
+/// `criterion::BenchmarkGroup`.
+#[derive(Debug)]
+pub struct BenchmarkGroup<'a> {
+    _criterion: &'a mut Criterion,
+    name: String,
+    sample_size: usize,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Sets the number of timed samples collected per benchmark.
+    pub fn sample_size(&mut self, samples: usize) -> &mut Self {
+        self.sample_size = samples.max(2);
+        self
+    }
+
+    /// Runs one benchmark in this group.
+    pub fn bench_function(&mut self, id: impl Into<String>, f: impl FnMut(&mut Bencher)) {
+        let id = format!("{}/{}", self.name, id.into());
+        let summary = run_benchmark(self.sample_size, f);
+        report(&id, summary);
+    }
+
+    /// Ends the group (kept for API compatibility; reporting is per
+    /// benchmark).
+    pub fn finish(self) {}
+}
+
+/// Passed to each benchmark closure to time the workload.
+#[derive(Debug)]
+pub struct Bencher {
+    iters: u64,
+    elapsed: Duration,
+}
+
+impl Bencher {
+    /// Times `iters` calls of `routine`.
+    pub fn iter<O, F: FnMut() -> O>(&mut self, mut routine: F) {
+        let start = Instant::now();
+        for _ in 0..self.iters {
+            black_box(routine());
+        }
+        self.elapsed = start.elapsed();
+    }
+}
+
+fn run_benchmark(samples: usize, mut f: impl FnMut(&mut Bencher)) -> Summary {
+    // Warm-up and calibration: find an iteration count so one sample takes
+    // at least ~5 ms, bounded to keep total runtime reasonable.
+    let mut iters = 1u64;
+    loop {
+        let mut b = Bencher {
+            iters,
+            elapsed: Duration::ZERO,
+        };
+        f(&mut b);
+        if b.elapsed >= Duration::from_millis(5) || iters >= 1 << 20 {
+            break;
+        }
+        iters *= 4;
+    }
+
+    let mut per_iter: Vec<Duration> = (0..samples)
+        .map(|_| {
+            let mut b = Bencher {
+                iters,
+                elapsed: Duration::ZERO,
+            };
+            f(&mut b);
+            b.elapsed / u32::try_from(iters).unwrap_or(u32::MAX)
+        })
+        .collect();
+    per_iter.sort();
+    Summary {
+        median: per_iter[per_iter.len() / 2],
+        min: per_iter[0],
+        max: per_iter[per_iter.len() - 1],
+    }
+}
+
+fn report(id: &str, s: Summary) {
+    println!("{id:<50} time: [{:?} {:?} {:?}]", s.min, s.median, s.max);
+}
+
+/// Declares a benchmark group function, mirroring
+/// `criterion::criterion_group!`.
+#[macro_export]
+macro_rules! criterion_group {
+    ($group:ident, $($target:path),+ $(,)?) => {
+        pub fn $group() {
+            let mut criterion = $crate::Criterion::default();
+            $( $target(&mut criterion); )+
+        }
+    };
+}
+
+/// Declares the benchmark binary entry point, mirroring
+/// `criterion::criterion_main!`.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $( $group(); )+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn harness_runs_and_reports() {
+        let mut c = Criterion::default();
+        let mut group = c.benchmark_group("smoke");
+        group.sample_size(3);
+        let mut hits = 0u64;
+        group.bench_function("count", |b| {
+            b.iter(|| {
+                hits += 1;
+                black_box(hits)
+            })
+        });
+        group.finish();
+        assert!(hits > 0);
+    }
+}

@@ -188,7 +188,10 @@ mod tests {
         assert_eq!(dr.done(), Some(report.done));
 
         for bits in [(false, false), (true, false), (true, true)] {
-            assert!(eval_done(&dr, Some(bits)), "done must rise for valid {bits:?}");
+            assert!(
+                eval_done(&dr, Some(bits)),
+                "done must rise for valid {bits:?}"
+            );
         }
         assert!(!eval_done(&dr, None), "done must be low at spacer");
     }

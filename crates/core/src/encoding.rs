@@ -97,7 +97,7 @@ impl DualRailValue {
         let spacer = polarity.spacer_level();
         match (p, n) {
             (p, n) if p == spacer && n == spacer => DualRailValue::Spacer,
-            (p, n) if p == !spacer && n == !spacer => DualRailValue::Forbidden,
+            (p, n) if p != spacer && n != spacer => DualRailValue::Forbidden,
             // The two remaining states are the valid codewords; they use
             // the same rail levels under either spacer polarity.
             (true, false) => DualRailValue::Valid(true),
@@ -259,8 +259,7 @@ mod tests {
         for polarity in [SpacerPolarity::AllZero, SpacerPolarity::AllOne] {
             for bit in [false, true] {
                 let (p, n) = DualRailValue::encode_valid(bit, polarity);
-                let decoded =
-                    DualRailValue::decode(Logic::from(p), Logic::from(n), polarity);
+                let decoded = DualRailValue::decode(Logic::from(p), Logic::from(n), polarity);
                 assert_eq!(decoded, DualRailValue::Valid(bit));
             }
             let (p, n) = DualRailValue::encode_spacer(polarity);

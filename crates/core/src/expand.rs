@@ -77,10 +77,9 @@ pub fn expand_to_dual_rail(
             .inputs()
             .iter()
             .map(|n| {
-                mapping
-                    .get(n)
-                    .copied()
-                    .ok_or_else(|| DualRailError::UnknownSignal(single_rail.net(*n).name().to_string()))
+                mapping.get(n).copied().ok_or_else(|| {
+                    DualRailError::UnknownSignal(single_rail.net(*n).name().to_string())
+                })
             })
             .collect::<Result<_, _>>()?;
         let name = cell.name().to_string();
@@ -94,8 +93,11 @@ pub fn expand_to_dual_rail(
             let signal = *mapping
                 .get(&port.net())
                 .ok_or_else(|| DualRailError::UnknownSignal(port.name().to_string()))?;
-            let normalised =
-                dr.harmonize(&format!("{}_po", port.name()), signal, SpacerPolarity::AllZero)?;
+            let normalised = dr.harmonize(
+                &format!("{}_po", port.name()),
+                signal,
+                SpacerPolarity::AllZero,
+            )?;
             dr.add_dual_output(port.name(), normalised);
         }
     }
@@ -312,7 +314,10 @@ mod tests {
         let area_plain = lib.total_area_um2(plain.netlist());
         let area_opt = lib.total_area_um2(optimised.netlist());
         // Spacer inverters may be added, so allow a modest overhead bound.
-        assert!(area_opt <= area_plain * 1.25, "optimised {area_opt} vs plain {area_plain}");
+        assert!(
+            area_opt <= area_plain * 1.25,
+            "optimised {area_opt} vs plain {area_plain}"
+        );
     }
 
     #[test]

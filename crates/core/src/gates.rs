@@ -357,13 +357,13 @@ impl DualRailNetlist {
         Self::require_polarity(b, SpacerPolarity::AllZero, "half_adder input b")?;
         let sum = self.xor2(&format!("{prefix}_sum"), a, b)?;
         let cname = self.unique_name(&format!("{prefix}_carry_p"));
-        let carry_p = self
-            .netlist_mut()
-            .add_cell(cname, CellKind::And2, &[a.positive, b.positive])?;
+        let carry_p =
+            self.netlist_mut()
+                .add_cell(cname, CellKind::And2, &[a.positive, b.positive])?;
         let cname = self.unique_name(&format!("{prefix}_carry_n"));
-        let carry_n = self
-            .netlist_mut()
-            .add_cell(cname, CellKind::Or2, &[a.negative, b.negative])?;
+        let carry_n =
+            self.netlist_mut()
+                .add_cell(cname, CellKind::Or2, &[a.negative, b.negative])?;
         Ok((
             sum,
             DualRailSignal::new(carry_p, carry_n, SpacerPolarity::AllZero),
@@ -440,13 +440,21 @@ impl DualRailNetlist {
         let name = self.unique_name(&format!("{prefix}_const_p"));
         let p = self.netlist_mut().add_cell(
             name,
-            if p_level { CellKind::Tie1 } else { CellKind::Tie0 },
+            if p_level {
+                CellKind::Tie1
+            } else {
+                CellKind::Tie0
+            },
             &[],
         )?;
         let name = self.unique_name(&format!("{prefix}_const_n"));
         let n = self.netlist_mut().add_cell(
             name,
-            if n_level { CellKind::Tie1 } else { CellKind::Tie0 },
+            if n_level {
+                CellKind::Tie1
+            } else {
+                CellKind::Tie0
+            },
             &[],
         )?;
         Ok(DualRailSignal::new(p, n, polarity))
@@ -528,7 +536,10 @@ mod tests {
             assert_eq!(got, DualRailValue::Valid(va && vb));
         }
         // Spacer in -> (inverted) spacer out.
-        assert_eq!(eval_signal(&dr, &[(a, None), (b, None)], y), DualRailValue::Spacer);
+        assert_eq!(
+            eval_signal(&dr, &[(a, None), (b, None)], y),
+            DualRailValue::Spacer
+        );
     }
 
     #[test]
@@ -596,7 +607,10 @@ mod tests {
                 DualRailValue::Valid(va ^ vb)
             );
         }
-        assert_eq!(eval_signal(&dr, &[(a, None), (b, None)], y), DualRailValue::Spacer);
+        assert_eq!(
+            eval_signal(&dr, &[(a, None), (b, None)], y),
+            DualRailValue::Spacer
+        );
     }
 
     #[test]
@@ -622,7 +636,10 @@ mod tests {
         }
         let spacer_inputs = [(a, None), (b, None)];
         assert_eq!(eval_signal(&dr, &spacer_inputs, sum), DualRailValue::Spacer);
-        assert_eq!(eval_signal(&dr, &spacer_inputs, carry), DualRailValue::Spacer);
+        assert_eq!(
+            eval_signal(&dr, &spacer_inputs, carry),
+            DualRailValue::Spacer
+        );
     }
 
     #[test]
@@ -654,7 +671,10 @@ mod tests {
         }
         let spacer_inputs = [(a, None), (b, None), (cin, None)];
         assert_eq!(eval_signal(&dr, &spacer_inputs, sum), DualRailValue::Spacer);
-        assert_eq!(eval_signal(&dr, &spacer_inputs, cout), DualRailValue::Spacer);
+        assert_eq!(
+            eval_signal(&dr, &spacer_inputs, cout),
+            DualRailValue::Spacer
+        );
     }
 
     #[test]
@@ -695,7 +715,10 @@ mod tests {
         let mut dr = DualRailNetlist::new("t");
         let a = dr.add_dual_input("a");
         let y = dr.buffer("buf", a).unwrap();
-        assert_eq!(eval_signal(&dr, &[(a, Some(true))], y), DualRailValue::Valid(true));
+        assert_eq!(
+            eval_signal(&dr, &[(a, Some(true))], y),
+            DualRailValue::Valid(true)
+        );
         assert_eq!(eval_signal(&dr, &[(a, None)], y), DualRailValue::Spacer);
     }
 }

@@ -26,6 +26,11 @@ use sta::GracePeriod;
 
 use crate::{DualRailError, DualRailNetlist, DualRailValue, OneOfNValue};
 
+/// Decoded primary outputs of one protocol cycle: the dual-rail output
+/// bits in declaration order, plus each 1-of-n group's name and active
+/// index.
+type DecodedOutputs = (Vec<bool>, Vec<(String, usize)>);
+
 /// Measurements and decoded results for one operand (one full
 /// valid/spacer cycle).
 #[derive(Clone, Debug, PartialEq)]
@@ -152,7 +157,7 @@ impl<'a> ProtocolDriver<'a> {
         }
     }
 
-    fn decode_outputs(&self) -> Result<(Vec<bool>, Vec<(String, usize)>), DualRailError> {
+    fn decode_outputs(&self) -> Result<DecodedOutputs, DualRailError> {
         let mut outputs = Vec::new();
         for (name, signal) in self.circuit.dual_outputs() {
             let value = DualRailValue::decode(
@@ -262,8 +267,10 @@ impl<'a> ProtocolDriver<'a> {
         }
 
         let observed = self.circuit.observed_output_nets();
-        let transitions_before: Vec<u64> =
-            observed.iter().map(|&n| self.sim.net_transitions(n)).collect();
+        let transitions_before: Vec<u64> = observed
+            .iter()
+            .map(|&n| self.sim.net_transitions(n))
+            .collect();
 
         // Phase 1: spacer -> valid.
         let t0 = self.sim.now_ps();
@@ -290,8 +297,10 @@ impl<'a> ProtocolDriver<'a> {
         self.check_monotonic_phase(&observed, &transitions_before)?;
 
         // Phase 2: valid -> spacer (return-to-zero).
-        let transitions_mid: Vec<u64> =
-            observed.iter().map(|&n| self.sim.net_transitions(n)).collect();
+        let transitions_mid: Vec<u64> = observed
+            .iter()
+            .map(|&n| self.sim.net_transitions(n))
+            .collect();
         let t1 = self.sim.now_ps();
         self.drive_spacer();
         if !self.sim.run_until_quiescent().is_quiescent() {
@@ -408,7 +417,10 @@ mod tests {
         let mut driver = ProtocolDriver::new(&dr, &lib).unwrap();
         assert!(matches!(
             driver.apply_operand(&[true]),
-            Err(DualRailError::OperandWidthMismatch { expected: 3, got: 1 })
+            Err(DualRailError::OperandWidthMismatch {
+                expected: 3,
+                got: 1
+            })
         ));
     }
 
@@ -447,7 +459,10 @@ mod tests {
         let operand = vec![true, true, false];
         let fast = nominal.apply_operand(&operand).unwrap();
         let slow = low.apply_operand(&operand).unwrap();
-        assert_eq!(fast.outputs, slow.outputs, "functional correctness preserved");
+        assert_eq!(
+            fast.outputs, slow.outputs,
+            "functional correctness preserved"
+        );
         assert!(slow.s_to_v_latency_ps > 20.0 * fast.s_to_v_latency_ps);
     }
 }

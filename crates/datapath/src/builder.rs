@@ -169,8 +169,7 @@ impl DualRailDatapath {
             .collect();
 
         // Magnitude comparator with the 1-of-3 output.
-        let comparator =
-            dual_rail_comparator(&mut dr, "cmp", &positive_count, &negative_count)?;
+        let comparator = dual_rail_comparator(&mut dr, "cmp", &positive_count, &negative_count)?;
         dr.add_one_of_n_output("cmp", comparator.wires());
 
         // Completion detection.  The full scheme additionally observes the
@@ -414,17 +413,11 @@ mod tests {
     fn mismatched_operand_inputs_are_rejected() {
         let config = small_config();
         let dp = DualRailDatapath::generate(&config).unwrap();
-        let wrong_masks = tsetlin::ExcludeMasks::from_raw(
-            vec![vec![true; 4]; 4],
-            vec![vec![true; 4]; 4],
-            2,
-        );
+        let wrong_masks =
+            tsetlin::ExcludeMasks::from_raw(vec![vec![true; 4]; 4], vec![vec![true; 4]; 4], 2);
         assert!(dp.operand_bits(&[true, false, true], &wrong_masks).is_err());
-        let masks = tsetlin::ExcludeMasks::from_raw(
-            vec![vec![true; 6]; 4],
-            vec![vec![true; 6]; 4],
-            3,
-        );
+        let masks =
+            tsetlin::ExcludeMasks::from_raw(vec![vec![true; 6]; 4], vec![vec![true; 6]; 4], 3);
         assert!(dp.operand_bits(&[true, false], &masks).is_err());
     }
 }

@@ -150,10 +150,21 @@ mod tests {
         let eval = Evaluator::new(dr.netlist()).unwrap();
 
         // Sweep a selection of masks and all feature patterns.
-        for mask_bits in [0b000000usize, 0b111111, 0b101010, 0b010101, 0b100110, 0b001111] {
-            let mask: Vec<bool> = (0..2 * feature_count).map(|l| mask_bits & (1 << l) != 0).collect();
+        for mask_bits in [
+            0b000000usize,
+            0b111111,
+            0b101010,
+            0b010101,
+            0b100110,
+            0b001111,
+        ] {
+            let mask: Vec<bool> = (0..2 * feature_count)
+                .map(|l| mask_bits & (1 << l) != 0)
+                .collect();
             for pattern in 0..(1usize << feature_count) {
-                let fv: Vec<bool> = (0..feature_count).map(|m| pattern & (1 << m) != 0).collect();
+                let fv: Vec<bool> = (0..feature_count)
+                    .map(|m| pattern & (1 << m) != 0)
+                    .collect();
                 let mut inputs = HashMap::new();
                 for (m, sig) in features.iter().enumerate() {
                     let (p, n) = DualRailValue::encode_valid(fv[m], sig.polarity);
@@ -210,9 +221,13 @@ mod tests {
         let eval = Evaluator::new(&nl).unwrap();
 
         for mask_bits in 0..(1usize << (2 * feature_count)) {
-            let mask: Vec<bool> = (0..2 * feature_count).map(|l| mask_bits & (1 << l) != 0).collect();
+            let mask: Vec<bool> = (0..2 * feature_count)
+                .map(|l| mask_bits & (1 << l) != 0)
+                .collect();
             for pattern in 0..(1usize << feature_count) {
-                let fv: Vec<bool> = (0..feature_count).map(|m| pattern & (1 << m) != 0).collect();
+                let fv: Vec<bool> = (0..feature_count)
+                    .map(|m| pattern & (1 << m) != 0)
+                    .collect();
                 let mut inputs = HashMap::new();
                 for (m, &net) in features.iter().enumerate() {
                     inputs.insert(net, fv[m]);

@@ -128,7 +128,9 @@ pub fn dual_rail_comparator(
             &[lt[i], masked_less],
         )?;
     }
-    let equal = dr.netlist_mut().add_and_tree(&format!("{prefix}_eqall"), &eq)?;
+    let equal = dr
+        .netlist_mut()
+        .add_and_tree(&format!("{prefix}_eqall"), &eq)?;
 
     Ok(OneOfThreeComparator {
         less,
@@ -171,8 +173,11 @@ pub fn single_rail_comparator(
     let mut greater = gt[0];
     let mut less = lt[0];
     for i in 1..width {
-        let masked_greater =
-            nl.add_cell(format!("{prefix}_gmask{i}"), CellKind::And2, &[eq[i], greater])?;
+        let masked_greater = nl.add_cell(
+            format!("{prefix}_gmask{i}"),
+            CellKind::And2,
+            &[eq[i], greater],
+        )?;
         greater = nl.add_cell(
             format!("{prefix}_gacc{i}"),
             CellKind::Or2,
@@ -180,7 +185,11 @@ pub fn single_rail_comparator(
         )?;
         let masked_less =
             nl.add_cell(format!("{prefix}_lmask{i}"), CellKind::And2, &[eq[i], less])?;
-        less = nl.add_cell(format!("{prefix}_lacc{i}"), CellKind::Or2, &[lt[i], masked_less])?;
+        less = nl.add_cell(
+            format!("{prefix}_lacc{i}"),
+            CellKind::Or2,
+            &[lt[i], masked_less],
+        )?;
     }
     let equal = nl.add_and_tree(&format!("{prefix}_eqall"), &eq)?;
     Ok(OneOfThreeComparator {

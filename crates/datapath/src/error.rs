@@ -47,7 +47,10 @@ impl fmt::Display for DatapathError {
                 what,
                 expected,
                 got,
-            } => write!(f, "{what} has width {got} but the datapath expects {expected}"),
+            } => write!(
+                f,
+                "{what} has width {got} but the datapath expects {expected}"
+            ),
             DatapathError::DecodeFailure(reason) => {
                 write!(f, "failed to decode datapath output: {reason}")
             }

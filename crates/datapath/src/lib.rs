@@ -51,6 +51,7 @@
 #![warn(missing_docs)]
 #![warn(missing_debug_implementations)]
 
+pub mod batch;
 pub mod builder;
 pub mod clause_logic;
 pub mod comparator;
@@ -61,6 +62,7 @@ pub mod reference;
 pub mod single_rail;
 pub mod workload;
 
+pub use batch::{BatchGoldenModel, BatchInference};
 pub use builder::{CompletionScheme, DatapathOptions, DualRailDatapath};
 pub use config::DatapathConfig;
 pub use error::DatapathError;

@@ -49,7 +49,11 @@ pub fn dual_rail_popcount8(
     }
     let mut bits = inputs.to_vec();
     for pad in bits.len()..8 {
-        bits.push(dr.constant(&format!("{prefix}_pad{pad}"), false, SpacerPolarity::AllZero)?);
+        bits.push(dr.constant(
+            &format!("{prefix}_pad{pad}"),
+            false,
+            SpacerPolarity::AllZero,
+        )?);
     }
 
     // Level 1: pair the inputs with half adders.
@@ -66,11 +70,8 @@ pub fn dual_rail_popcount8(
     // combines them instead of a third adder (Dalalah's optimisation).
     let mut level2 = Vec::with_capacity(2);
     for g in 0..2 {
-        let (bit0, c0) = dr.half_adder(
-            &format!("{prefix}_l2g{g}ha0"),
-            sums[2 * g],
-            sums[2 * g + 1],
-        )?;
+        let (bit0, c0) =
+            dr.half_adder(&format!("{prefix}_l2g{g}ha0"), sums[2 * g], sums[2 * g + 1])?;
         let (t, c1) = dr.half_adder(
             &format!("{prefix}_l2g{g}ha1"),
             carries[2 * g],
@@ -121,16 +122,20 @@ pub fn single_rail_popcount8(
         bits.push(nl.add_cell(format!("{prefix}_pad{pad}"), CellKind::Tie0, &[])?);
     }
 
-    let half_adder = |nl: &mut Netlist, name: String, a: NetId, b: NetId| -> Result<(NetId, NetId), DatapathError> {
+    let half_adder = |nl: &mut Netlist,
+                      name: String,
+                      a: NetId,
+                      b: NetId|
+     -> Result<(NetId, NetId), DatapathError> {
         let sum = nl.add_cell(format!("{name}_xor"), CellKind::Xor2, &[a, b])?;
         let carry = nl.add_cell(format!("{name}_and"), CellKind::And2, &[a, b])?;
         Ok((sum, carry))
     };
     let full_adder = |nl: &mut Netlist,
-                          name: String,
-                          a: NetId,
-                          b: NetId,
-                          c: NetId|
+                      name: String,
+                      a: NetId,
+                      b: NetId,
+                      c: NetId|
      -> Result<(NetId, NetId), DatapathError> {
         let t = nl.add_cell(format!("{name}_xor0"), CellKind::Xor2, &[a, b])?;
         let sum = nl.add_cell(format!("{name}_xor1"), CellKind::Xor2, &[t, c])?;
@@ -141,13 +146,23 @@ pub fn single_rail_popcount8(
     let mut sums = Vec::new();
     let mut carries = Vec::new();
     for i in 0..4 {
-        let (s, c) = half_adder(nl, format!("{prefix}_l1ha{i}"), bits[2 * i], bits[2 * i + 1])?;
+        let (s, c) = half_adder(
+            nl,
+            format!("{prefix}_l1ha{i}"),
+            bits[2 * i],
+            bits[2 * i + 1],
+        )?;
         sums.push(s);
         carries.push(c);
     }
     let mut level2 = Vec::new();
     for g in 0..2 {
-        let (bit0, c0) = half_adder(nl, format!("{prefix}_l2g{g}ha0"), sums[2 * g], sums[2 * g + 1])?;
+        let (bit0, c0) = half_adder(
+            nl,
+            format!("{prefix}_l2g{g}ha0"),
+            sums[2 * g],
+            sums[2 * g + 1],
+        )?;
         let (t, c1) = half_adder(
             nl,
             format!("{prefix}_l2g{g}ha1"),
@@ -256,7 +271,10 @@ mod tests {
                 map.insert(sig.negative, n);
             }
             let values = eval.eval(&map);
-            assert_eq!(decode_count(&values, &outputs), pattern.count_ones() as usize);
+            assert_eq!(
+                decode_count(&values, &outputs),
+                pattern.count_ones() as usize
+            );
         }
     }
 
@@ -297,8 +315,16 @@ mod tests {
         for pattern in 0..256u32 {
             let bits: Vec<bool> = (0..8).map(|i| pattern & (1 << i) != 0).collect();
             let out = eval.eval_vector(&bits);
-            let count: usize = out.iter().enumerate().map(|(i, &b)| usize::from(b) << i).sum();
-            assert_eq!(count, pattern.count_ones() as usize, "pattern {pattern:08b}");
+            let count: usize = out
+                .iter()
+                .enumerate()
+                .map(|(i, &b)| usize::from(b) << i)
+                .sum();
+            assert_eq!(
+                count,
+                pattern.count_ones() as usize,
+                "pattern {pattern:08b}"
+            );
         }
     }
 }

@@ -86,7 +86,11 @@ pub fn infer(masks: &ExcludeMasks, features: &[bool]) -> InferenceOutcome {
 mod tests {
     use super::*;
 
-    fn masks_with(pos_includes: &[Vec<usize>], neg_includes: &[Vec<usize>], features: usize) -> ExcludeMasks {
+    fn masks_with(
+        pos_includes: &[Vec<usize>],
+        neg_includes: &[Vec<usize>],
+        features: usize,
+    ) -> ExcludeMasks {
         let to_mask = |includes: &Vec<usize>| {
             let mut mask = vec![true; 2 * features];
             for &literal in includes {

@@ -85,8 +85,7 @@ impl SingleRailDatapath {
         // Population counts and comparison.
         let positive_count = single_rail_popcount8(&mut nl, "pcp", &positive_clauses)?;
         let negative_count = single_rail_popcount8(&mut nl, "pcn", &negative_clauses)?;
-        let comparator =
-            single_rail_comparator(&mut nl, "cmp", &positive_count, &negative_count)?;
+        let comparator = single_rail_comparator(&mut nl, "cmp", &positive_count, &negative_count)?;
 
         // Registered outputs.
         let less = register(&mut nl, "reg_less".to_string(), comparator.less)?;
@@ -264,11 +263,7 @@ mod tests {
     fn wrong_widths_are_rejected() {
         let config = DatapathConfig::new(4, 4).unwrap();
         let dp = SingleRailDatapath::generate(&config).unwrap();
-        let masks = ExcludeMasks::from_raw(
-            vec![vec![true; 8]; 4],
-            vec![vec![true; 8]; 4],
-            4,
-        );
+        let masks = ExcludeMasks::from_raw(vec![vec![true; 8]; 4], vec![vec![true; 8]; 4], 4);
         assert!(dp.operand_bits(&[true; 3], &masks).is_err());
         assert!(dp.decode_decision_bits(&[true, true, false]).is_err());
         assert!(dp.decode_decision_bits(&[false, false]).is_err());

@@ -205,8 +205,7 @@ mod tests {
         let mut tm = tsetlin::TsetlinMachine::new(data.feature_count(), params, 9).unwrap();
         tm.fit(data.train_inputs(), data.train_labels(), 10);
         let config = DatapathConfig::new(data.feature_count(), 8).unwrap();
-        let workload =
-            InferenceWorkload::from_machine(&config, &tm, data.test_inputs()).unwrap();
+        let workload = InferenceWorkload::from_machine(&config, &tm, data.test_inputs()).unwrap();
         assert_eq!(workload.len(), data.test_inputs().len());
         // The golden outcomes must agree with the machine's own votes.
         for (vector, outcome) in workload.feature_vectors().iter().zip(workload.expected()) {

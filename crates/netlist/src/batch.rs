@@ -1,0 +1,445 @@
+//! Word-level bit-parallel netlist evaluation: 64 independent samples per
+//! pass.
+//!
+//! The scalar [`crate::Evaluator`] walks the topologically ordered cell
+//! list once per sample.  For bulk inference that wastes almost the whole
+//! machine word: every gate evaluation computes one boolean using an
+//! instruction that could have computed 64.  The [`BatchEvaluator`] packs
+//! 64 independent samples into the bit lanes of a `u64` per net (lane `i`
+//! of every word belongs to sample `i`) and evaluates the whole netlist
+//! with word-wide boolean instructions via [`crate::CellKind::eval_word`].
+//!
+//! Two further optimisations over the scalar evaluator:
+//!
+//! * the netlist is *flattened at construction* into an index program
+//!   (cell kind, output slot, input slots in one contiguous array), so
+//!   the evaluation loop touches no `Vec<NetId>` indirections and no
+//!   hash maps;
+//! * all buffers are caller-owned and reused, so steady-state evaluation
+//!   performs zero heap allocation.
+//!
+//! Sequential semantics mirror the scalar evaluator exactly, lane by
+//! lane: C-elements are transparent (they see their new inputs and their
+//! previous output word), and flip-flops present their *previous* state
+//! word and capture their data-input word at the end of the pass — one
+//! call is one clock edge for all 64 samples.
+//!
+//! # Example
+//!
+//! ```
+//! use netlist::{BatchEvaluator, CellKind, Netlist};
+//!
+//! let mut nl = Netlist::new("and_or");
+//! let a = nl.add_input("a");
+//! let b = nl.add_input("b");
+//! let c = nl.add_input("c");
+//! let ab = nl.add_cell("and", CellKind::And2, &[a, b]).unwrap();
+//! let y = nl.add_cell("or", CellKind::Or2, &[ab, c]).unwrap();
+//! nl.add_output("y", y);
+//!
+//! let batch = BatchEvaluator::new(&nl).unwrap();
+//! let mut state = batch.new_state();
+//! let mut values = Vec::new();
+//! // Lanes: bit k of each input word is sample k's value of that input.
+//! let outs = batch.eval_words(&[0b1100, 0b1010, 0b0001], &mut state, &mut values);
+//! assert_eq!(outs, vec![0b1001]); // (a & b) | c per lane
+//! ```
+
+use crate::graph::topological_order;
+use crate::{CellKind, Netlist, NetlistError};
+
+/// Number of samples evaluated per pass (the lane count of a `u64`).
+pub const LANES: usize = 64;
+
+/// One flattened evaluation step: a cell reduced to indices.
+#[derive(Clone, Copy, Debug)]
+struct BatchOp {
+    kind: CellKind,
+    /// Index of the output net's word in the value buffer.
+    output: u32,
+    /// Start of this op's input-net indices in the flat input array.
+    input_start: u32,
+    /// Number of inputs.
+    input_len: u8,
+    /// Slot in the sequential-state vector, or `u32::MAX` for
+    /// combinational cells.
+    state_slot: u32,
+}
+
+const NO_STATE: u32 = u32::MAX;
+
+/// Per-lane persistent state of sequential cells between batch passes.
+///
+/// Create one with [`BatchEvaluator::new_state`]; all lanes start at
+/// logic 0, matching a fresh [`crate::EvalState`].
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct BatchState {
+    words: Vec<u64>,
+}
+
+impl BatchState {
+    /// Resets every sequential cell to logic 0 in every lane.
+    pub fn reset(&mut self) {
+        self.words.iter_mut().for_each(|w| *w = 0);
+    }
+}
+
+/// Bit-parallel evaluator over a [`Netlist`]: 64 samples per call.
+///
+/// Construction flattens the netlist once; evaluation then runs the
+/// index program with no allocation and no pointer chasing.  Outputs are
+/// bit-identical, lane for lane, to 64 scalar [`crate::Evaluator`] calls
+/// (property-tested in `tests/property_tests.rs`).
+#[derive(Debug)]
+pub struct BatchEvaluator<'a> {
+    netlist: &'a Netlist,
+    ops: Vec<BatchOp>,
+    /// Flat input-net index array referenced by [`BatchOp::input_start`].
+    inputs_flat: Vec<u32>,
+    /// Word indices of primary inputs, in port declaration order.
+    pi_slots: Vec<u32>,
+    /// Word indices of primary outputs, in port declaration order.
+    po_slots: Vec<u32>,
+    /// Ops that are flip-flops: (state slot, D-input net index), in
+    /// topological order; captured after the combinational pass.
+    dff_captures: Vec<(u32, u32)>,
+    /// Number of sequential state slots.
+    state_len: usize,
+}
+
+impl<'a> BatchEvaluator<'a> {
+    /// Flattens `netlist` into an index program (topological order is
+    /// computed once here).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`NetlistError::CombinationalCycle`] if the netlist has a
+    /// combinational cycle.
+    pub fn new(netlist: &'a Netlist) -> Result<Self, NetlistError> {
+        let order =
+            topological_order(netlist).map_err(|e| NetlistError::CombinationalCycle(e.net))?;
+
+        let mut ops = Vec::with_capacity(order.len());
+        let mut inputs_flat = Vec::new();
+        let mut dff_captures = Vec::new();
+        let mut state_len = 0usize;
+
+        for cell_id in order {
+            let cell = netlist.cell(cell_id);
+            let input_start =
+                u32::try_from(inputs_flat.len()).expect("netlists stay below 2^32 connections");
+            for net in cell.inputs() {
+                inputs_flat.push(net.0);
+            }
+            let state_slot = if cell.kind().is_sequential() {
+                let slot = u32::try_from(state_len).expect("cell counts fit in u32");
+                state_len += 1;
+                slot
+            } else {
+                NO_STATE
+            };
+            if cell.kind() == CellKind::Dff {
+                dff_captures.push((state_slot, cell.inputs()[0].0));
+            }
+            ops.push(BatchOp {
+                kind: cell.kind(),
+                output: cell.output().0,
+                input_start,
+                input_len: u8::try_from(cell.inputs().len()).expect("cell arity fits in u8"),
+                state_slot,
+            });
+        }
+
+        Ok(Self {
+            netlist,
+            ops,
+            inputs_flat,
+            pi_slots: netlist.primary_inputs().iter().map(|n| n.0).collect(),
+            po_slots: netlist.primary_outputs().iter().map(|n| n.0).collect(),
+            dff_captures,
+            state_len,
+        })
+    }
+
+    /// The netlist this evaluator works on.
+    #[must_use]
+    pub fn netlist(&self) -> &Netlist {
+        self.netlist
+    }
+
+    /// Creates a zeroed sequential state sized for this netlist.
+    #[must_use]
+    pub fn new_state(&self) -> BatchState {
+        BatchState {
+            words: vec![0; self.state_len],
+        }
+    }
+
+    /// Evaluates 64 samples through the netlist, writing every net's word
+    /// into `values` (resized to the net count) and returning the primary
+    /// output words in port declaration order.
+    ///
+    /// `pi_words` holds one `u64` per primary input, in port declaration
+    /// order: bit `k` of `pi_words[i]` is sample `k`'s value of input
+    /// `i`.  To evaluate fewer than 64 samples, leave the surplus lanes
+    /// at any value and ignore them in the outputs.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `pi_words.len()` differs from the number of primary
+    /// inputs, or if `state` was not created by [`Self::new_state`] for
+    /// this netlist (wrong state length).
+    pub fn eval_words(
+        &self,
+        pi_words: &[u64],
+        state: &mut BatchState,
+        values: &mut Vec<u64>,
+    ) -> Vec<u64> {
+        self.eval_words_into(pi_words, state, values);
+        self.po_slots
+            .iter()
+            .map(|&slot| values[slot as usize])
+            .collect()
+    }
+
+    /// Allocation-free core of [`Self::eval_words`]: fills `values` (one
+    /// word per net) and updates `state`, without collecting outputs.
+    ///
+    /// # Panics
+    ///
+    /// Same conditions as [`Self::eval_words`].
+    pub fn eval_words_into(&self, pi_words: &[u64], state: &mut BatchState, values: &mut Vec<u64>) {
+        assert_eq!(
+            pi_words.len(),
+            self.pi_slots.len(),
+            "expected {} primary-input words, got {}",
+            self.pi_slots.len(),
+            pi_words.len()
+        );
+        assert_eq!(
+            state.words.len(),
+            self.state_len,
+            "batch state belongs to a different netlist"
+        );
+
+        values.clear();
+        values.resize(self.netlist.net_count(), 0);
+        for (&slot, &word) in self.pi_slots.iter().zip(pi_words) {
+            values[slot as usize] = word;
+        }
+
+        let mut ins = [0u64; CellKind::MAX_INPUTS];
+        for op in &self.ops {
+            let start = op.input_start as usize;
+            let len = op.input_len as usize;
+            for (slot, &net) in ins.iter_mut().zip(&self.inputs_flat[start..start + len]) {
+                *slot = values[net as usize];
+            }
+            let prev = if op.state_slot == NO_STATE {
+                0
+            } else {
+                state.words[op.state_slot as usize]
+            };
+            let out = op.kind.eval_word(&ins[..len], prev);
+            values[op.output as usize] = out;
+            if op.state_slot != NO_STATE && op.kind != CellKind::Dff {
+                state.words[op.state_slot as usize] = out;
+            }
+        }
+        // Flip-flop capture: one clock edge per pass, for all lanes.
+        for &(slot, d_net) in &self.dff_captures {
+            state.words[slot as usize] = values[d_net as usize];
+        }
+    }
+
+    /// Number of primary inputs (the expected `pi_words` length).
+    #[must_use]
+    pub fn input_count(&self) -> usize {
+        self.pi_slots.len()
+    }
+
+    /// Number of primary outputs (the length of returned output vectors).
+    #[must_use]
+    pub fn output_count(&self) -> usize {
+        self.po_slots.len()
+    }
+}
+
+/// Packs up to [`LANES`] boolean samples into per-input lane words.
+///
+/// `samples[k]` is sample `k`'s primary-input vector; bit `k` of output
+/// word `i` is `samples[k][i]`.  Surplus lanes stay 0.
+///
+/// # Panics
+///
+/// Panics if more than [`LANES`] samples are supplied, if `samples` is
+/// empty, or if sample widths disagree.
+#[must_use]
+pub fn pack_lanes(samples: &[Vec<bool>]) -> Vec<u64> {
+    assert!(!samples.is_empty(), "cannot pack zero samples");
+    assert!(
+        samples.len() <= LANES,
+        "at most {LANES} samples per word, got {}",
+        samples.len()
+    );
+    let width = samples[0].len();
+    let mut words = vec![0u64; width];
+    for (lane, sample) in samples.iter().enumerate() {
+        assert_eq!(
+            sample.len(),
+            width,
+            "sample {lane} has width {}, expected {width}",
+            sample.len()
+        );
+        for (word, &bit) in words.iter_mut().zip(sample) {
+            *word |= u64::from(bit) << lane;
+        }
+    }
+    words
+}
+
+/// Extracts one sample's boolean vector from packed lane words (the
+/// inverse of [`pack_lanes`] for a single lane).
+///
+/// # Panics
+///
+/// Panics if `lane >= LANES`.
+#[must_use]
+pub fn unpack_lane(words: &[u64], lane: usize) -> Vec<bool> {
+    assert!(lane < LANES, "lane {lane} out of range");
+    words.iter().map(|&w| (w >> lane) & 1 == 1).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use std::collections::HashMap;
+
+    use super::*;
+    use crate::{EvalState, Evaluator, NetId};
+
+    fn lane_inputs(netlist: &Netlist, words: &[u64], lane: usize) -> HashMap<NetId, bool> {
+        netlist
+            .primary_inputs()
+            .iter()
+            .zip(words)
+            .map(|(&net, &word)| (net, (word >> lane) & 1 == 1))
+            .collect()
+    }
+
+    #[test]
+    fn combinational_lanes_match_scalar() {
+        let mut nl = Netlist::new("aoi");
+        let a = nl.add_input("a");
+        let b = nl.add_input("b");
+        let c = nl.add_input("c");
+        let y = nl.add_cell("aoi", CellKind::Aoi21, &[a, b, c]).unwrap();
+        let z = nl.add_cell("inv", CellKind::Inv, &[y]).unwrap();
+        nl.add_output("z", z);
+
+        let batch = BatchEvaluator::new(&nl).unwrap();
+        let scalar = Evaluator::new(&nl).unwrap();
+        // Lanes 0..8 enumerate the full truth table.
+        let words = [0x00AA, 0x00CC, 0x00F0];
+        let mut state = batch.new_state();
+        let mut values = Vec::new();
+        let outs = batch.eval_words(&words, &mut state, &mut values);
+        for lane in 0..8 {
+            let expected = scalar.eval(&lane_inputs(&nl, &words, lane));
+            assert_eq!(
+                (outs[0] >> lane) & 1 == 1,
+                expected[z.index()],
+                "lane {lane}"
+            );
+        }
+    }
+
+    #[test]
+    fn c_element_state_tracks_scalar_per_lane() {
+        let mut nl = Netlist::new("c");
+        let a = nl.add_input("a");
+        let b = nl.add_input("b");
+        let y = nl.add_cell("c", CellKind::CElement2, &[a, b]).unwrap();
+        nl.add_output("y", y);
+
+        let batch = BatchEvaluator::new(&nl).unwrap();
+        let scalar = Evaluator::new(&nl).unwrap();
+        let mut batch_state = batch.new_state();
+        let mut scalar_states: Vec<EvalState> = (0..4).map(|_| EvalState::new()).collect();
+        let mut values = Vec::new();
+
+        // Three passes with different per-lane stimuli.
+        let stimuli = [[0b0011u64, 0b0101], [0b1111, 0b0000], [0b0000, 0b0000]];
+        for words in stimuli {
+            let outs = batch.eval_words(&words, &mut batch_state, &mut values);
+            for (lane, state) in scalar_states.iter_mut().enumerate() {
+                let expected = scalar.eval_with_state(&lane_inputs(&nl, &words, lane), state);
+                assert_eq!(
+                    (outs[0] >> lane) & 1 == 1,
+                    expected[y.index()],
+                    "lane {lane} diverged"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn dff_captures_once_per_pass_in_every_lane() {
+        let mut nl = Netlist::new("reg");
+        let d = nl.add_input("d");
+        let clk = nl.add_input("clk");
+        let q = nl.add_cell("ff", CellKind::Dff, &[d, clk]).unwrap();
+        nl.add_output("q", q);
+
+        let batch = BatchEvaluator::new(&nl).unwrap();
+        let mut state = batch.new_state();
+        let mut values = Vec::new();
+        // Pass 1: q shows reset 0 in all lanes, captures d.
+        let outs = batch.eval_words(&[0b10, 0], &mut state, &mut values);
+        assert_eq!(outs[0] & 0b11, 0b00);
+        // Pass 2: q shows the captured word.
+        let outs = batch.eval_words(&[0b00, 0], &mut state, &mut values);
+        assert_eq!(outs[0] & 0b11, 0b10);
+    }
+
+    #[test]
+    fn pack_and_unpack_round_trip() {
+        let samples: Vec<Vec<bool>> = (0..5)
+            .map(|k| (0..3).map(|i| (k + i) % 2 == 0).collect())
+            .collect();
+        let words = pack_lanes(&samples);
+        assert_eq!(words.len(), 3);
+        for (lane, sample) in samples.iter().enumerate() {
+            assert_eq!(&unpack_lane(&words, lane), sample);
+        }
+    }
+
+    #[test]
+    fn wrong_input_width_panics() {
+        let mut nl = Netlist::new("t");
+        let a = nl.add_input("a");
+        let y = nl.add_cell("inv", CellKind::Inv, &[a]).unwrap();
+        nl.add_output("y", y);
+        let batch = BatchEvaluator::new(&nl).unwrap();
+        let mut state = batch.new_state();
+        let mut values = Vec::new();
+        let result = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            batch.eval_words(&[0, 0], &mut state, &mut values)
+        }));
+        assert!(result.is_err());
+    }
+
+    #[test]
+    fn cyclic_netlist_is_rejected() {
+        let mut nl = Netlist::new("cyclic");
+        let a = nl.add_input("a");
+        let fb = nl.add_net_named("fb").unwrap();
+        let x = nl.add_cell("and", CellKind::And2, &[a, fb]).unwrap();
+        nl.add_cell_with_output("inv", CellKind::Inv, &[x], fb)
+            .unwrap();
+        nl.add_output("y", x);
+        assert!(matches!(
+            BatchEvaluator::new(&nl),
+            Err(NetlistError::CombinationalCycle(_))
+        ));
+    }
+}

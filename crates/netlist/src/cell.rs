@@ -117,6 +117,12 @@ pub enum CellKind {
 }
 
 impl CellKind {
+    /// Upper bound on [`CellKind::input_count`] across all kinds (AOI32
+    /// has 5), with headroom so evaluators can gather gate inputs into
+    /// fixed-capacity stack buffers.  Pinned by a unit test; any new
+    /// kind with more inputs must raise it.
+    pub const MAX_INPUTS: usize = 8;
+
     /// All cell kinds, in a stable order (useful for histograms and
     /// exhaustive tests).
     pub const ALL: [CellKind; 27] = [
@@ -314,14 +320,10 @@ impl CellKind {
             CellKind::Xnor2 => !(inputs[0] ^ inputs[1]),
             CellKind::Aoi21 => !((inputs[0] && inputs[1]) || inputs[2]),
             CellKind::Aoi22 => !((inputs[0] && inputs[1]) || (inputs[2] && inputs[3])),
-            CellKind::Aoi32 => {
-                !((inputs[0] && inputs[1] && inputs[2]) || (inputs[3] && inputs[4]))
-            }
+            CellKind::Aoi32 => !((inputs[0] && inputs[1] && inputs[2]) || (inputs[3] && inputs[4])),
             CellKind::Oai21 => !((inputs[0] || inputs[1]) && inputs[2]),
             CellKind::Oai22 => !((inputs[0] || inputs[1]) && (inputs[2] || inputs[3])),
-            CellKind::Maj3 => {
-                (inputs[0] && inputs[1]) || (inputs[1] && inputs[2]) || (inputs[0] && inputs[2])
-            }
+            CellKind::Maj3 => inputs.iter().filter(|&&b| b).count() >= 2,
             CellKind::CElement2 | CellKind::CElement3 => {
                 if inputs.iter().all(|&b| b) {
                     true
@@ -334,6 +336,74 @@ impl CellKind {
             CellKind::Dff => prev.unwrap_or(false),
             CellKind::Tie0 => false,
             CellKind::Tie1 => true,
+        }
+    }
+
+    /// Evaluates the cell function bitwise over 64 independent samples
+    /// packed into `u64` words (lane `i` of every word belongs to
+    /// sample `i`).
+    ///
+    /// This is the kernel of the batched golden model
+    /// ([`crate::BatchEvaluator`]): one call computes what 64 calls of
+    /// [`CellKind::eval`] would, using plain word-wide boolean
+    /// instructions.  `prev` supplies the previous output word for the
+    /// state-holding kinds and is ignored by combinational kinds.  As in
+    /// the scalar evaluator, a flip-flop returns its *held* word;
+    /// capture sequencing is the caller's responsibility.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `inputs.len() != self.input_count()`.
+    ///
+    /// # Example
+    ///
+    /// ```
+    /// use netlist::CellKind;
+    /// // Lane 0: 1 & 1 = 1; lane 1: 1 & 0 = 0.
+    /// assert_eq!(CellKind::And2.eval_word(&[0b11, 0b01], 0), 0b01);
+    /// // A C-element holds `prev` in lanes where its inputs disagree.
+    /// assert_eq!(CellKind::CElement2.eval_word(&[0b110, 0b100], 0b010), 0b110);
+    /// ```
+    #[must_use]
+    pub fn eval_word(self, inputs: &[u64], prev: u64) -> u64 {
+        assert_eq!(
+            inputs.len(),
+            self.input_count(),
+            "{self:?} expects {} inputs, got {}",
+            self.input_count(),
+            inputs.len()
+        );
+        fn and_all(inputs: &[u64]) -> u64 {
+            inputs.iter().fold(u64::MAX, |acc, &w| acc & w)
+        }
+        fn or_all(inputs: &[u64]) -> u64 {
+            inputs.iter().fold(0, |acc, &w| acc | w)
+        }
+        match self {
+            CellKind::Buf => inputs[0],
+            CellKind::Inv => !inputs[0],
+            CellKind::And2 | CellKind::And3 | CellKind::And4 => and_all(inputs),
+            CellKind::Or2 | CellKind::Or3 | CellKind::Or4 => or_all(inputs),
+            CellKind::Nand2 | CellKind::Nand3 | CellKind::Nand4 => !and_all(inputs),
+            CellKind::Nor2 | CellKind::Nor3 | CellKind::Nor4 => !or_all(inputs),
+            CellKind::Xor2 => inputs[0] ^ inputs[1],
+            CellKind::Xnor2 => !(inputs[0] ^ inputs[1]),
+            CellKind::Aoi21 => !((inputs[0] & inputs[1]) | inputs[2]),
+            CellKind::Aoi22 => !((inputs[0] & inputs[1]) | (inputs[2] & inputs[3])),
+            CellKind::Aoi32 => !((inputs[0] & inputs[1] & inputs[2]) | (inputs[3] & inputs[4])),
+            CellKind::Oai21 => !((inputs[0] | inputs[1]) & inputs[2]),
+            CellKind::Oai22 => !((inputs[0] | inputs[1]) & (inputs[2] | inputs[3])),
+            CellKind::Maj3 => {
+                (inputs[0] & inputs[1]) | (inputs[1] & inputs[2]) | (inputs[0] & inputs[2])
+            }
+            CellKind::CElement2 | CellKind::CElement3 => {
+                // Set where all inputs are 1, clear where all are 0, hold
+                // `prev` in every mixed lane.
+                and_all(inputs) | (prev & or_all(inputs))
+            }
+            CellKind::Dff => prev,
+            CellKind::Tie0 => 0,
+            CellKind::Tie1 => u64::MAX,
         }
     }
 
@@ -358,7 +428,7 @@ impl CellKind {
         );
 
         fn and_all(vals: &[Option<bool>]) -> Option<bool> {
-            if vals.iter().any(|v| *v == Some(false)) {
+            if vals.contains(&Some(false)) {
                 Some(false)
             } else if vals.iter().all(|v| *v == Some(true)) {
                 Some(true)
@@ -367,7 +437,7 @@ impl CellKind {
             }
         }
         fn or_all(vals: &[Option<bool>]) -> Option<bool> {
-            if vals.iter().any(|v| *v == Some(true)) {
+            if vals.contains(&Some(true)) {
                 Some(true)
             } else if vals.iter().all(|v| *v == Some(false)) {
                 Some(false)
@@ -505,6 +575,16 @@ mod tests {
     use super::*;
 
     #[test]
+    fn max_inputs_bounds_every_kind() {
+        let max = CellKind::ALL.iter().map(|k| k.input_count()).max().unwrap();
+        assert!(
+            max <= CellKind::MAX_INPUTS,
+            "a kind has {max} inputs but MAX_INPUTS is {}",
+            CellKind::MAX_INPUTS
+        );
+    }
+
+    #[test]
     fn input_counts_match_truth_tables() {
         for kind in CellKind::ALL {
             let n = kind.input_count();
@@ -632,16 +712,60 @@ mod tests {
             CellKind::Or2.eval_tristate(&[None, Some(true)], None),
             Some(true)
         );
-        assert_eq!(CellKind::And2.eval_tristate(&[Some(true), None], None), None);
+        assert_eq!(
+            CellKind::And2.eval_tristate(&[Some(true), None], None),
+            None
+        );
         assert_eq!(
             CellKind::Nand2.eval_tristate(&[Some(false), None], None),
             Some(true)
         );
-        assert_eq!(CellKind::Xor2.eval_tristate(&[Some(true), None], None), None);
+        assert_eq!(
+            CellKind::Xor2.eval_tristate(&[Some(true), None], None),
+            None
+        );
         assert_eq!(
             CellKind::Aoi21.eval_tristate(&[None, None, Some(true)], None),
             Some(false)
         );
+    }
+
+    #[test]
+    fn eval_word_matches_scalar_eval_in_every_lane() {
+        // For each kind, exercise every input pattern twice (prev = 0 and
+        // prev = 1), one lane per (pattern, prev) combination.
+        for kind in CellKind::ALL {
+            let n = kind.input_count();
+            let patterns = 1u32 << n;
+            let lanes = (2 * patterns) as usize;
+            assert!(lanes <= 64, "{kind:?} does not fit one word");
+
+            let mut input_words = vec![0u64; n];
+            let mut prev_word = 0u64;
+            let mut expected = 0u64;
+            for lane in 0..lanes {
+                let pattern = (lane as u32) % patterns;
+                let prev = lane as u32 >= patterns;
+                let bits: Vec<bool> = (0..n).map(|i| pattern & (1 << i) != 0).collect();
+                for (i, &bit) in bits.iter().enumerate() {
+                    input_words[i] |= u64::from(bit) << lane;
+                }
+                prev_word |= u64::from(prev) << lane;
+                expected |= u64::from(kind.eval(&bits, Some(prev))) << lane;
+            }
+
+            let got = kind.eval_word(&input_words, prev_word);
+            let mask = if lanes == 64 {
+                u64::MAX
+            } else {
+                (1u64 << lanes) - 1
+            };
+            assert_eq!(
+                got & mask,
+                expected,
+                "{kind:?} word evaluation diverges from scalar"
+            );
+        }
     }
 
     #[test]

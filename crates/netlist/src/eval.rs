@@ -4,19 +4,27 @@
 //! input assignment, respecting the previous state of sequential cells.
 //! It serves as the *golden functional model* against which the
 //! event-driven simulator and the dual-rail expansion are checked.
+//!
+//! The hot path is allocation-free in steady state: callers that evaluate
+//! many samples should use [`Evaluator::eval_with_state_into`] with a
+//! reused scratch buffer; the convenience wrappers allocate per call.
+//! For bulk throughput, the 64-samples-per-word
+//! [`crate::BatchEvaluator`] is an order of magnitude faster still.
 
 use std::collections::HashMap;
 
 use crate::graph::topological_order;
-use crate::{CellId, NetId, Netlist, NetlistError};
+use crate::{CellId, CellKind, NetId, Netlist, NetlistError};
 
 /// Persistent state of sequential cells (C-elements, flip-flops) between
 /// evaluations.
 ///
-/// Keys are cell ids; missing entries default to logic 0.
-#[derive(Clone, Debug, Default, PartialEq, Eq)]
+/// Stored densely, indexed by cell id; cells beyond the stored length
+/// default to logic 0, so a fresh (empty) state means "all sequential
+/// cells at logic 0".
+#[derive(Clone, Debug, Default, Eq)]
 pub struct EvalState {
-    values: HashMap<CellId, bool>,
+    values: Vec<bool>,
 }
 
 impl EvalState {
@@ -26,15 +34,44 @@ impl EvalState {
         Self::default()
     }
 
+    /// Creates a state pre-sized for `netlist`, avoiding growth during
+    /// evaluation.
+    #[must_use]
+    pub fn for_netlist(netlist: &Netlist) -> Self {
+        Self {
+            values: vec![false; netlist.cell_count()],
+        }
+    }
+
     /// Returns the stored output value of a sequential cell.
     #[must_use]
     pub fn get(&self, cell: CellId) -> bool {
-        self.values.get(&cell).copied().unwrap_or(false)
+        self.values.get(cell.index()).copied().unwrap_or(false)
     }
 
     /// Stores the output value of a sequential cell.
     pub fn set(&mut self, cell: CellId, value: bool) {
-        self.values.insert(cell, value);
+        let index = cell.index();
+        if index >= self.values.len() {
+            if !value {
+                return;
+            }
+            self.values.resize(index + 1, false);
+        }
+        self.values[index] = value;
+    }
+}
+
+impl PartialEq for EvalState {
+    fn eq(&self, other: &Self) -> bool {
+        // Missing trailing entries are implicit zeros, so states of
+        // different stored lengths can still be equal.
+        let (short, long) = if self.values.len() <= other.values.len() {
+            (&self.values, &other.values)
+        } else {
+            (&other.values, &self.values)
+        };
+        short == &long[..short.len()] && long[short.len()..].iter().all(|&v| !v)
     }
 }
 
@@ -59,6 +96,9 @@ impl EvalState {
 pub struct Evaluator<'a> {
     netlist: &'a Netlist,
     order: Vec<CellId>,
+    /// Cells of kind [`CellKind::Dff`], in topological order; their
+    /// capture step runs after the combinational pass.
+    dff_cells: Vec<CellId>,
 }
 
 impl<'a> Evaluator<'a> {
@@ -69,9 +109,18 @@ impl<'a> Evaluator<'a> {
     /// Returns [`NetlistError::CombinationalCycle`] if the netlist has a
     /// combinational cycle.
     pub fn new(netlist: &'a Netlist) -> Result<Self, NetlistError> {
-        let order = topological_order(netlist)
-            .map_err(|e| NetlistError::CombinationalCycle(e.net))?;
-        Ok(Self { netlist, order })
+        let order =
+            topological_order(netlist).map_err(|e| NetlistError::CombinationalCycle(e.net))?;
+        let dff_cells = order
+            .iter()
+            .copied()
+            .filter(|&id| netlist.cell(id).kind() == CellKind::Dff)
+            .collect();
+        Ok(Self {
+            netlist,
+            order,
+            dff_cells,
+        })
     }
 
     /// The netlist this evaluator works on.
@@ -80,50 +129,74 @@ impl<'a> Evaluator<'a> {
         self.netlist
     }
 
-    /// Evaluates the netlist for one input assignment, updating `state`
-    /// for sequential cells, and returns the value of every net.
+    /// Evaluates the netlist for one input assignment into a
+    /// caller-provided net-value buffer, updating `state` for sequential
+    /// cells.  `values` is resized to the net count; its previous
+    /// contents are irrelevant.
     ///
-    /// `inputs` maps primary-input nets to values; any primary input
-    /// missing from the map defaults to logic 0.
+    /// This is the allocation-free core: with a pre-grown `values`
+    /// buffer and a pre-sized [`EvalState`], repeated calls perform no
+    /// heap allocation.  Gate inputs are gathered into a fixed-capacity
+    /// stack buffer rather than a per-cell `Vec`.
     ///
     /// C-elements are evaluated transparently (they see their new inputs
     /// and their previous output); flip-flops present their *previous*
     /// state and capture their data input at the end of the call,
     /// emulating one clock edge per evaluation.
+    pub fn eval_with_state_into(
+        &self,
+        inputs: &HashMap<NetId, bool>,
+        state: &mut EvalState,
+        values: &mut Vec<bool>,
+    ) {
+        values.clear();
+        values.resize(self.netlist.net_count(), false);
+        for pi in self.netlist.primary_inputs() {
+            values[pi.index()] = inputs.get(&pi).copied().unwrap_or(false);
+        }
+
+        let mut ins = [false; CellKind::MAX_INPUTS];
+        for &cell_id in &self.order {
+            let cell = self.netlist.cell(cell_id);
+            let input_nets = cell.inputs();
+            for (slot, net) in ins.iter_mut().zip(input_nets) {
+                *slot = values[net.index()];
+            }
+            let prev = if cell.kind().is_sequential() {
+                Some(state.get(cell_id))
+            } else {
+                None
+            };
+            let out = cell.kind().eval(&ins[..input_nets.len()], prev);
+            values[cell.output().index()] = out;
+            if cell.kind().is_sequential() && cell.kind() != CellKind::Dff {
+                state.set(cell_id, out);
+            }
+        }
+        // Capture D (pin 0) at the end of this "cycle".  Topological
+        // order guarantees every D driver was evaluated above, so the
+        // settled `values` equal what an in-order capture would see.
+        for &cell_id in &self.dff_cells {
+            let d = values[self.netlist.cell(cell_id).inputs()[0].index()];
+            state.set(cell_id, d);
+        }
+    }
+
+    /// Evaluates the netlist for one input assignment, updating `state`
+    /// for sequential cells, and returns the value of every net.
+    ///
+    /// `inputs` maps primary-input nets to values; any primary input
+    /// missing from the map defaults to logic 0.  Allocates the result
+    /// vector; see [`Evaluator::eval_with_state_into`] for the reusable
+    /// variant.
     #[must_use]
     pub fn eval_with_state(
         &self,
         inputs: &HashMap<NetId, bool>,
         state: &mut EvalState,
     ) -> Vec<bool> {
-        let mut values = vec![false; self.netlist.net_count()];
-        for pi in self.netlist.primary_inputs() {
-            values[pi.index()] = inputs.get(&pi).copied().unwrap_or(false);
-        }
-
-        let mut dff_captures: Vec<(CellId, bool)> = Vec::new();
-        for &cell_id in &self.order {
-            let cell = self.netlist.cell(cell_id);
-            let ins: Vec<bool> = cell.inputs().iter().map(|n| values[n.index()]).collect();
-            let prev = if cell.kind().is_sequential() {
-                Some(state.get(cell_id))
-            } else {
-                None
-            };
-            let out = cell.kind().eval(&ins, prev);
-            values[cell.output().index()] = out;
-            if cell.kind().is_sequential() {
-                if cell.kind() == crate::CellKind::Dff {
-                    // Capture D (pin 0) at the end of this "cycle".
-                    dff_captures.push((cell_id, ins[0]));
-                } else {
-                    state.set(cell_id, out);
-                }
-            }
-        }
-        for (cell, d) in dff_captures {
-            state.set(cell, d);
-        }
+        let mut values = Vec::new();
+        self.eval_with_state_into(inputs, state, &mut values);
         values
     }
 
@@ -180,7 +253,11 @@ impl<'a> Evaluator<'a> {
             pis.len(),
             input_values.len()
         );
-        let map: HashMap<NetId, bool> = pis.iter().copied().zip(input_values.iter().copied()).collect();
+        let map: HashMap<NetId, bool> = pis
+            .iter()
+            .copied()
+            .zip(input_values.iter().copied())
+            .collect();
         let values = self.eval(&map);
         self.netlist
             .primary_outputs()
@@ -223,9 +300,7 @@ mod tests {
             (true, true, false),
             (false, false, true),
         ] {
-            let outs = eval
-                .eval_named(&[("a", va), ("b", vb), ("c", vc)])
-                .unwrap();
+            let outs = eval.eval_named(&[("a", va), ("b", vb), ("c", vc)]).unwrap();
             assert_eq!(outs["y"], (va && vb) || vc);
         }
     }
@@ -256,10 +331,7 @@ mod tests {
         let mut state = EvalState::new();
         let pis = nl.primary_inputs();
 
-        let v = eval.eval_with_state(
-            &HashMap::from([(pis[0], true), (pis[1], true)]),
-            &mut state,
-        );
+        let v = eval.eval_with_state(&HashMap::from([(pis[0], true), (pis[1], true)]), &mut state);
         assert!(v[y.index()]);
         // Inputs disagree: output holds 1.
         let v = eval.eval_with_state(
@@ -331,5 +403,49 @@ mod tests {
             Evaluator::new(&nl),
             Err(NetlistError::CombinationalCycle(_))
         ));
+    }
+
+    #[test]
+    fn scratch_buffer_reuse_matches_fresh_allocation() {
+        // A DFF-and-C-element pipeline exercised twice: once through the
+        // allocating wrapper, once through a reused scratch buffer.
+        let mut nl = Netlist::new("pipe");
+        let d = nl.add_input("d");
+        let clk = nl.add_input("clk");
+        let q = nl.add_cell("ff", CellKind::Dff, &[d, clk]).unwrap();
+        let c = nl.add_cell("c", CellKind::CElement2, &[q, d]).unwrap();
+        nl.add_output("c", c);
+
+        let eval = Evaluator::new(&nl).unwrap();
+        let stimuli: Vec<HashMap<NetId, bool>> = (0..8)
+            .map(|i| HashMap::from([(d, i % 3 == 0), (clk, i % 2 == 0)]))
+            .collect();
+
+        let mut fresh_state = EvalState::new();
+        let fresh: Vec<Vec<bool>> = stimuli
+            .iter()
+            .map(|map| eval.eval_with_state(map, &mut fresh_state))
+            .collect();
+
+        let mut reused_state = EvalState::for_netlist(&nl);
+        let mut scratch = Vec::new();
+        for (map, expected) in stimuli.iter().zip(&fresh) {
+            eval.eval_with_state_into(map, &mut reused_state, &mut scratch);
+            assert_eq!(&scratch, expected);
+        }
+        assert_eq!(fresh_state, reused_state);
+    }
+
+    #[test]
+    fn eval_state_equality_ignores_trailing_zeros() {
+        let mut sparse = EvalState::new();
+        let mut dense = EvalState::new();
+        dense.set(CellId::from_index(5), true);
+        dense.set(CellId::from_index(5), false);
+        assert_eq!(sparse, dense);
+        sparse.set(CellId::from_index(2), true);
+        assert_ne!(sparse, dense);
+        dense.set(CellId::from_index(2), true);
+        assert_eq!(sparse, dense);
     }
 }

@@ -173,7 +173,9 @@ mod tests {
         let mut nl = Netlist::new("chain");
         let mut net = nl.add_input("a");
         for i in 0..n {
-            net = nl.add_cell(format!("inv{i}"), CellKind::Inv, &[net]).unwrap();
+            net = nl
+                .add_cell(format!("inv{i}"), CellKind::Inv, &[net])
+                .unwrap();
         }
         nl.add_output("y", net);
         nl

@@ -33,6 +33,7 @@
 #![warn(missing_docs)]
 #![warn(missing_debug_implementations)]
 
+pub mod batch;
 pub mod cell;
 pub mod error;
 pub mod eval;
@@ -41,6 +42,7 @@ pub mod ids;
 pub mod netlist;
 pub mod stats;
 
+pub use batch::{pack_lanes, unpack_lane, BatchEvaluator, BatchState, LANES};
 pub use cell::{Cell, CellKind, Unateness};
 pub use error::NetlistError;
 pub use eval::{EvalState, Evaluator};

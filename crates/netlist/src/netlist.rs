@@ -352,7 +352,10 @@ impl Netlist {
         prefix: &str,
         inputs: &[NetId],
     ) -> Result<NetId, NetlistError> {
-        assert!(!inputs.is_empty(), "c-element tree needs at least one input");
+        assert!(
+            !inputs.is_empty(),
+            "c-element tree needs at least one input"
+        );
         let mut level: Vec<NetId> = inputs.to_vec();
         let mut stage = 0usize;
         while level.len() > 1 {

@@ -116,8 +116,11 @@ impl NetlistStats {
 
 impl fmt::Display for NetlistStats {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        writeln!(f, "cells: {} ({} sequential, {} combinational)",
-            self.cell_count, self.sequential_count, self.combinational_count)?;
+        writeln!(
+            f,
+            "cells: {} ({} sequential, {} combinational)",
+            self.cell_count, self.sequential_count, self.combinational_count
+        )?;
         writeln!(f, "nets: {}  pins: {}", self.net_count, self.pin_count)?;
         writeln!(
             f,

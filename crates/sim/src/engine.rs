@@ -32,6 +32,14 @@ impl RunOutcome {
 /// The simulator uses transport-delay semantics with per-cell delays
 /// derived from the library at its configured supply voltage and process
 /// corner.  See the [crate-level documentation](crate) for an example.
+///
+/// The event kernel is allocation-free in steady state: the netlist's
+/// net→load relation is flattened into a CSR-style array at
+/// construction, gate inputs are gathered into a fixed-capacity stack
+/// buffer, and re-evaluations that provably cannot change their output
+/// net — no event in flight for the net and the computed value equal to
+/// the value it already holds — are suppressed before they reach the
+/// queue.
 #[derive(Debug)]
 pub struct Simulator<'a> {
     netlist: &'a Netlist,
@@ -45,6 +53,18 @@ pub struct Simulator<'a> {
     dff_last_clk: Vec<Logic>,
     event_limit: u64,
     total_events: u64,
+    /// CSR-style fanout: loads of net `n` are
+    /// `fanout_loads[fanout_offsets[n] .. fanout_offsets[n + 1]]`.
+    /// Flattened once at construction so [`Simulator::apply_event`] never
+    /// clones a load list.
+    fanout_offsets: Vec<u32>,
+    fanout_loads: Vec<(CellId, u8)>,
+    /// Number of scheduled-but-unapplied events per net.  A
+    /// re-evaluation is dropped only when its net has no event in flight
+    /// and already holds the computed value (the schedule would be a
+    /// no-op chain), cutting queue traffic on wide fan-in cones.
+    pending_events: Vec<u32>,
+    suppressed_events: u64,
 }
 
 impl<'a> Simulator<'a> {
@@ -65,6 +85,18 @@ impl<'a> Simulator<'a> {
                 library.cell_delay(cell.kind(), fanout.max(1))
             })
             .collect();
+
+        // Flatten the per-net load lists into one contiguous CSR array.
+        let mut fanout_offsets = Vec::with_capacity(netlist.net_count() + 1);
+        let mut fanout_loads = Vec::with_capacity(netlist.nets().map(|(_, n)| n.fanout()).sum());
+        fanout_offsets.push(0);
+        for (_, net) in netlist.nets() {
+            for &(cell, pin) in net.loads() {
+                fanout_loads.push((cell, u8::try_from(pin).expect("pin index fits in u8")));
+            }
+            fanout_offsets.push(u32::try_from(fanout_loads.len()).expect("loads fit in u32"));
+        }
+
         let mut sim = Self {
             netlist,
             values: vec![Logic::Unknown; netlist.net_count()],
@@ -77,9 +109,31 @@ impl<'a> Simulator<'a> {
             dff_last_clk: vec![Logic::Unknown; netlist.cell_count()],
             event_limit: Self::DEFAULT_EVENT_LIMIT,
             total_events: 0,
+            fanout_offsets,
+            fanout_loads,
+            pending_events: vec![0; netlist.net_count()],
+            suppressed_events: 0,
         };
         sim.schedule_constants();
         sim
+    }
+
+    /// Schedules `value` on `net` at `time_ps`, tracking the in-flight
+    /// event count used by the no-op suppression check.
+    fn schedule(&mut self, net: NetId, value: Logic, time_ps: f64) {
+        self.pending_events[net.index()] += 1;
+        self.queue.push(Event {
+            time_ps,
+            net,
+            value,
+        });
+    }
+
+    /// Pops the earliest event, keeping the in-flight counters in sync.
+    fn pop_event(&mut self) -> Option<Event> {
+        let event = self.queue.pop()?;
+        self.pending_events[event.net.index()] -= 1;
+        Some(event)
     }
 
     fn schedule_constants(&mut self) {
@@ -89,11 +143,8 @@ impl<'a> Simulator<'a> {
                 CellKind::Tie1 => Logic::One,
                 _ => continue,
             };
-            self.queue.push(Event {
-                time_ps: self.now_ps + self.cell_delay_ps[id.index()],
-                net: cell.output(),
-                value,
-            });
+            let time_ps = self.now_ps + self.cell_delay_ps[id.index()];
+            self.schedule(cell.output(), value, time_ps);
         }
     }
 
@@ -204,11 +255,7 @@ impl<'a> Simulator<'a> {
             self.netlist.is_primary_input(net),
             "net {net} is not a primary input"
         );
-        self.queue.push(Event {
-            time_ps: self.now_ps,
-            net,
-            value,
-        });
+        self.schedule(net, value, self.now_ps);
     }
 
     /// Drives a primary input with a boolean value.
@@ -223,11 +270,7 @@ impl<'a> Simulator<'a> {
     /// Forces an arbitrary net to a value (bypassing its driver) at the
     /// current time.  Useful to initialise flip-flop outputs.
     pub fn force_net(&mut self, net: NetId, value: Logic) {
-        self.queue.push(Event {
-            time_ps: self.now_ps,
-            net,
-            value,
-        });
+        self.schedule(net, value, self.now_ps);
     }
 
     /// Advances the simulation clock to `time_ps` without processing
@@ -254,7 +297,7 @@ impl<'a> Simulator<'a> {
     /// reached.
     pub fn run_until_quiescent(&mut self) -> RunOutcome {
         let mut processed = 0u64;
-        while let Some(event) = self.queue.pop() {
+        while let Some(event) = self.pop_event() {
             processed += 1;
             self.total_events += 1;
             if processed > self.event_limit {
@@ -275,13 +318,23 @@ impl<'a> Simulator<'a> {
             if next > time_ps {
                 break;
             }
-            let event = self.queue.pop().expect("peeked event exists");
+            let event = self.pop_event().expect("peeked event exists");
             processed += 1;
             self.total_events += 1;
             self.apply_event(event);
         }
         self.now_ps = self.now_ps.max(time_ps);
         processed
+    }
+
+    /// Number of cell re-evaluations dropped as provable no-ops: the
+    /// output net had no event in flight and already held the computed
+    /// value.  Re-evaluations are never deduplicated against in-flight
+    /// events (even identical ones) — state-holding loads are sensitive
+    /// to the exact sequence of applied changes.
+    #[must_use]
+    pub fn suppressed_events(&self) -> u64 {
+        self.suppressed_events
     }
 
     fn apply_event(&mut self, event: Event) {
@@ -297,10 +350,14 @@ impl<'a> Simulator<'a> {
             self.cell_transitions[cell.index()] += 1;
         }
 
-        // Propagate to every cell reading this net.
-        let loads: Vec<(CellId, usize)> = self.netlist.net(event.net).loads().to_vec();
-        for (cell_id, pin) in loads {
-            self.evaluate_cell(cell_id, pin, event.time_ps);
+        // Propagate to every cell reading this net, iterating the
+        // flattened CSR fanout range in place (no clone of the load
+        // list).
+        let start = self.fanout_offsets[event.net.index()] as usize;
+        let end = self.fanout_offsets[event.net.index() + 1] as usize;
+        for i in start..end {
+            let (cell_id, pin) = self.fanout_loads[i];
+            self.evaluate_cell(cell_id, usize::from(pin), event.time_ps);
         }
     }
 
@@ -315,29 +372,33 @@ impl<'a> Simulator<'a> {
                 let previous_clk = self.dff_last_clk[cell_id.index()];
                 if previous_clk == Logic::Zero && clk == Logic::One {
                     let d = self.values[cell.inputs()[0].index()];
-                    self.queue.push(Event {
-                        time_ps: time_ps + delay,
-                        net: cell.output(),
-                        value: d,
-                    });
+                    self.schedule(cell.output(), d, time_ps + delay);
                 }
                 self.dff_last_clk[cell_id.index()] = clk;
             }
             return;
         }
 
-        let inputs: Vec<Option<bool>> = cell
-            .inputs()
-            .iter()
-            .map(|n| self.values[n.index()].to_option())
-            .collect();
+        // Gather inputs into a fixed stack buffer (no per-eval Vec).
+        let input_nets = cell.inputs();
+        let mut inputs = [None; CellKind::MAX_INPUTS];
+        for (slot, net) in inputs.iter_mut().zip(input_nets) {
+            *slot = self.values[net.index()].to_option();
+        }
         let prev = self.values[cell.output().index()].to_option();
-        let new_value = Logic::from(cell.kind().eval_tristate(&inputs, prev));
-        self.queue.push(Event {
-            time_ps: time_ps + delay,
-            net: cell.output(),
-            value: new_value,
-        });
+        let new_value = Logic::from(cell.kind().eval_tristate(&inputs[..input_nets.len()], prev));
+
+        // No-op suppression: with no event in flight for the output net
+        // and the net already at the computed value, scheduling would
+        // apply as a pure no-op — drop it.  Any in-flight event (even an
+        // identical one) forces a schedule, because state-holding loads
+        // are sensitive to the exact sequence of applied changes.
+        let out = cell.output().index();
+        if self.pending_events[out] == 0 && self.values[out] == new_value {
+            self.suppressed_events += 1;
+            return;
+        }
+        self.schedule(cell.output(), new_value, time_ps + delay);
     }
 }
 
@@ -388,7 +449,10 @@ mod tests {
         sim.run_until_quiescent();
         let expected = 5.0 * library.cell_delay(CellKind::Buf, 1);
         let got = sim.last_change_ps(net).unwrap();
-        assert!((got - expected).abs() < 1e-6, "expected {expected}, got {got}");
+        assert!(
+            (got - expected).abs() < 1e-6,
+            "expected {expected}, got {got}"
+        );
     }
 
     #[test]
@@ -464,7 +528,11 @@ mod tests {
 
         sim.set_input_bool(d, false);
         sim.run_until_quiescent();
-        assert_eq!(sim.value(q), Logic::One, "data change alone does not propagate");
+        assert_eq!(
+            sim.value(q),
+            Logic::One,
+            "data change alone does not propagate"
+        );
 
         sim.set_input_bool(clk, false);
         sim.run_until_quiescent();
@@ -472,7 +540,11 @@ mod tests {
 
         sim.set_input_bool(clk, true);
         sim.run_until_quiescent();
-        assert_eq!(sim.value(q), Logic::Zero, "next rising edge captures new data");
+        assert_eq!(
+            sim.value(q),
+            Logic::Zero,
+            "next rising edge captures new data"
+        );
     }
 
     #[test]
@@ -548,6 +620,122 @@ mod tests {
         assert_eq!(sim.value(net), Logic::Unknown);
         sim.run_until_quiescent();
         assert_eq!(sim.value(net), Logic::One);
+    }
+
+    #[test]
+    fn zero_allocation_kernel_matches_functional_evaluator() {
+        // The CSR fanout walk, stack input gather and no-op suppression
+        // must leave simulation results unchanged: settle a mixed
+        // combinational/sequential netlist on every input pattern and
+        // compare each settled output with the golden Evaluator.
+        use netlist::Evaluator;
+        use std::collections::HashMap;
+
+        let mut nl = Netlist::new("mixed");
+        let a = nl.add_input("a");
+        let b = nl.add_input("b");
+        let c = nl.add_input("c");
+        let ab = nl.add_cell("and", CellKind::And2, &[a, b]).unwrap();
+        let bc = nl.add_cell("nor", CellKind::Nor2, &[b, c]).unwrap();
+        let aoi = nl.add_cell("aoi", CellKind::Aoi21, &[ab, bc, c]).unwrap();
+        let maj = nl.add_cell("maj", CellKind::Maj3, &[ab, bc, aoi]).unwrap();
+        let cel = nl
+            .add_cell("cel", CellKind::CElement2, &[aoi, maj])
+            .unwrap();
+        nl.add_output("aoi", aoi);
+        nl.add_output("cel", cel);
+
+        let library = lib();
+        let mut sim = Simulator::new(&nl, &library);
+        let eval = Evaluator::new(&nl).unwrap();
+        let mut state = netlist::EvalState::new();
+
+        for pattern in 0..16u32 {
+            // Revisit patterns 0..8 twice so C-element state is exercised.
+            let bits = [pattern & 1 != 0, pattern & 2 != 0, pattern & 4 != 0];
+            sim.set_input_bool(a, bits[0]);
+            sim.set_input_bool(b, bits[1]);
+            sim.set_input_bool(c, bits[2]);
+            assert!(sim.run_until_quiescent().is_quiescent());
+
+            let map = HashMap::from([(a, bits[0]), (b, bits[1]), (c, bits[2])]);
+            let golden = eval.eval_with_state(&map, &mut state);
+            for net in [aoi, cel] {
+                assert_eq!(
+                    sim.value(net),
+                    Logic::from(golden[net.index()]),
+                    "net {net} diverged at pattern {pattern:#b}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn force_net_with_pending_driver_event_does_not_wedge() {
+        // Forcing a net while a driver event for it is still pending must
+        // not leave the suppression tracker pointing at a value the net
+        // does not hold (the forced event applies first, the pending
+        // driver event overwrites it).
+        let mut nl = Netlist::new("force");
+        let a = nl.add_input("a");
+        let y = nl.add_cell("buf", CellKind::Buf, &[a]).unwrap();
+        nl.add_output("y", y);
+        let library = lib();
+        let mut sim = Simulator::new(&nl, &library);
+
+        sim.set_input_bool(a, true);
+        // Process only the input event: the buffer's y:=1 stays pending.
+        sim.run_until(0.0);
+        sim.force_net(y, Logic::Zero);
+        sim.run_until_quiescent();
+        assert_eq!(sim.value(y), Logic::One, "pending driver event wins");
+
+        // The driver now computes 0; the re-evaluation must not be
+        // suppressed against the stale forced value.
+        sim.set_input_bool(a, false);
+        sim.run_until_quiescent();
+        assert_eq!(sim.value(y), Logic::Zero, "net wedged at stale value");
+    }
+
+    #[test]
+    fn no_op_reevaluations_are_suppressed() {
+        // A wide fan-in AND cone held at 0 by one controlling input:
+        // toggling the other inputs re-evaluates the gates but must not
+        // flood the queue with identical-value events.
+        let mut nl = Netlist::new("cone");
+        let hold = nl.add_input("hold");
+        let toggles: Vec<_> = (0..3).map(|i| nl.add_input(format!("t{i}"))).collect();
+        let y = nl
+            .add_cell(
+                "and",
+                CellKind::And4,
+                &[hold, toggles[0], toggles[1], toggles[2]],
+            )
+            .unwrap();
+        nl.add_output("y", y);
+
+        let library = lib();
+        let mut sim = Simulator::new(&nl, &library);
+        sim.set_input_bool(hold, false);
+        for &t in &toggles {
+            sim.set_input_bool(t, false);
+        }
+        sim.run_until_quiescent();
+        assert_eq!(sim.value(y), Logic::Zero);
+
+        let before = sim.suppressed_events();
+        for round in 0..4 {
+            for &t in &toggles {
+                sim.set_input_bool(t, round % 2 == 0);
+                sim.run_until_quiescent();
+            }
+        }
+        assert_eq!(sim.value(y), Logic::Zero, "output must stay at 0");
+        assert_eq!(sim.net_transitions(y), 1, "only the initial X->0 change");
+        assert!(
+            sim.suppressed_events() > before,
+            "re-evaluations of the held gate should be suppressed"
+        );
     }
 
     #[test]

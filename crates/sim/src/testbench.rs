@@ -174,13 +174,8 @@ mod tests {
 
         let lib = Library::umc_ll();
         let period = 2_000.0;
-        let vectors: Vec<Vec<bool>> = vec![
-            vec![true],
-            vec![false],
-            vec![false],
-            vec![true],
-            vec![true],
-        ];
+        let vectors: Vec<Vec<bool>> =
+            vec![vec![true], vec![false], vec![false], vec![true], vec![true]];
         let result = run_synchronous_vectors(&nl, &lib, period, &vectors);
         assert_eq!(result.outputs_per_cycle.len(), 5);
         // dout at cycle k reflects !din(k-1): the first stage captures

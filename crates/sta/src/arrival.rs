@@ -25,8 +25,7 @@ impl ArrivalAnalysis {
     ///
     /// Returns [`StaError::CombinationalCycle`] if the netlist is cyclic.
     pub fn compute(netlist: &Netlist, library: &Library) -> Result<Self, StaError> {
-        let order =
-            topological_order(netlist).map_err(|e| StaError::CombinationalCycle(e.net))?;
+        let order = topological_order(netlist).map_err(|e| StaError::CombinationalCycle(e.net))?;
         let mut arrivals = vec![0.0f64; netlist.net_count()];
 
         for cell_id in order {
@@ -124,8 +123,7 @@ mod tests {
         nl.add_output("y", y);
         let lib = Library::umc_ll();
         let analysis = ArrivalAnalysis::compute(&nl, &lib).unwrap();
-        let expected =
-            2.0 * lib.cell_delay(CellKind::Inv, 1) + lib.cell_delay(CellKind::And2, 1);
+        let expected = 2.0 * lib.cell_delay(CellKind::Inv, 1) + lib.cell_delay(CellKind::And2, 1);
         assert!((analysis.arrival_ps(y) - expected).abs() < 1e-9);
     }
 

@@ -20,7 +20,10 @@ impl fmt::Display for StaError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
             StaError::CombinationalCycle(net) => {
-                write!(f, "combinational cycle through net {net} prevents timing analysis")
+                write!(
+                    f,
+                    "combinational cycle through net {net} prevents timing analysis"
+                )
             }
             StaError::EmptyNetlist => write!(f, "netlist contains no cells to analyse"),
         }

@@ -57,7 +57,11 @@ pub fn critical_path(netlist: &Netlist, library: &Library) -> Result<TimingPath,
         current = *cell
             .inputs()
             .iter()
-            .max_by(|a, b| arrivals.arrival_ps(**a).total_cmp(&arrivals.arrival_ps(**b)))
+            .max_by(|a, b| {
+                arrivals
+                    .arrival_ps(**a)
+                    .total_cmp(&arrivals.arrival_ps(**b))
+            })
             .expect("non-empty inputs");
     }
     cells_reversed.reverse();

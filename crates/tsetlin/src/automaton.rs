@@ -45,7 +45,10 @@ impl TsetlinAutomaton {
     /// Panics if `states_per_action` is zero.
     #[must_use]
     pub fn new(states_per_action: u32) -> Self {
-        assert!(states_per_action > 0, "automaton needs at least one state per action");
+        assert!(
+            states_per_action > 0,
+            "automaton needs at least one state per action"
+        );
         Self {
             state: states_per_action,
             states_per_action,

@@ -75,7 +75,7 @@ impl Clause {
     pub fn literal_value(&self, index: usize, input: &[bool]) -> bool {
         assert_eq!(input.len(), self.feature_count, "feature width mismatch");
         let feature = input[index / 2];
-        if index % 2 == 0 {
+        if index.is_multiple_of(2) {
             feature
         } else {
             !feature

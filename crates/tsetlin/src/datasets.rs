@@ -152,7 +152,10 @@ pub fn two_clusters(samples: usize, levels: usize, seed: u64) -> Dataset {
         .map(|_| {
             let label = rng.gen_bool(0.5);
             let mean = if label { 2.0 } else { -2.0 };
-            (vec![gaussian(&mut rng, mean), gaussian(&mut rng, -mean)], label)
+            (
+                vec![gaussian(&mut rng, mean), gaussian(&mut rng, -mean)],
+                label,
+            )
         })
         .collect();
     let features: Vec<Vec<f64>> = continuous.iter().map(|(x, _)| x.clone()).collect();
@@ -194,7 +197,10 @@ mod tests {
             .chain(a.test_labels())
             .filter(|&&l| l)
             .count();
-        assert!(positives > 50 && positives < 150, "roughly balanced, got {positives}");
+        assert!(
+            positives > 50 && positives < 150,
+            "roughly balanced, got {positives}"
+        );
     }
 
     #[test]

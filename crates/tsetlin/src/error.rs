@@ -30,7 +30,10 @@ impl fmt::Display for TsetlinError {
                 write!(f, "invalid value for parameter {name}: {reason}")
             }
             TsetlinError::FeatureWidthMismatch { expected, got } => {
-                write!(f, "input has {got} features but the machine expects {expected}")
+                write!(
+                    f,
+                    "input has {got} features but the machine expects {expected}"
+                )
             }
         }
     }

@@ -133,8 +133,16 @@ mod tests {
         assert_eq!(masks.feature_count(), 4);
         for input in data.test_inputs().iter().take(20) {
             let (pos, neg) = masks.votes(input);
-            assert_eq!(pos, tm.positive_votes(input), "positive votes for {input:?}");
-            assert_eq!(neg, tm.negative_votes(input), "negative votes for {input:?}");
+            assert_eq!(
+                pos,
+                tm.positive_votes(input),
+                "positive votes for {input:?}"
+            );
+            assert_eq!(
+                neg,
+                tm.negative_votes(input),
+                "negative votes for {input:?}"
+            );
         }
     }
 

@@ -90,8 +90,14 @@ mod tests {
         // The empty clause fires (training convention), so Type II pushes
         // the false literals (¬x0 and x1) towards include.
         apply_type_ii(&mut clause, &input);
-        assert!(clause.automaton(1).includes(), "¬x0 should move towards include");
-        assert!(clause.automaton(2).includes(), "x1 should move towards include");
+        assert!(
+            clause.automaton(1).includes(),
+            "¬x0 should move towards include"
+        );
+        assert!(
+            clause.automaton(2).includes(),
+            "x1 should move towards include"
+        );
         assert!(!clause.automaton(0).includes());
         assert!(!clause.automaton(3).includes());
         // After that the clause no longer fires on the same input, so

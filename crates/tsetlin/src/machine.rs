@@ -39,13 +39,13 @@ impl TrainingParams {
                 reason: "must be at least 1".to_string(),
             });
         }
-        if !(threshold > 0.0) {
+        if threshold.partial_cmp(&0.0) != Some(std::cmp::Ordering::Greater) {
             return Err(TsetlinError::InvalidParameter {
                 name: "threshold",
                 reason: format!("must be positive, got {threshold}"),
             });
         }
-        if !(specificity > 1.0) {
+        if specificity.partial_cmp(&1.0) != Some(std::cmp::Ordering::Greater) {
             return Err(TsetlinError::InvalidParameter {
                 name: "specificity",
                 reason: format!("must be greater than 1, got {specificity}"),
@@ -332,7 +332,10 @@ mod tests {
         assert_eq!(tm.positive_votes(&input), 0);
         assert_eq!(tm.negative_votes(&input), 0);
         assert_eq!(tm.vote_sum(&input), 0);
-        assert!(tm.predict(&input), "zero sum counts as in-class by convention");
+        assert!(
+            tm.predict(&input),
+            "zero sum counts as in-class by convention"
+        );
     }
 
     #[test]
@@ -341,7 +344,10 @@ mod tests {
         let mut tm = TsetlinMachine::new(3, params, 1).unwrap();
         assert!(matches!(
             tm.update(&[true], true),
-            Err(TsetlinError::FeatureWidthMismatch { expected: 3, got: 1 })
+            Err(TsetlinError::FeatureWidthMismatch {
+                expected: 3,
+                got: 1
+            })
         ));
     }
 

@@ -60,6 +60,9 @@ fn main() -> Result<(), Box<dyn Error>> {
             grace.t_d_ps()
         );
     }
-    assert_eq!(decision, golden.decision, "hardware must match the golden model");
+    assert_eq!(
+        decision, golden.decision,
+        "hardware must match the golden model"
+    );
     Ok(())
 }

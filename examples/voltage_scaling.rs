@@ -18,7 +18,10 @@ fn main() -> Result<(), Box<dyn Error>> {
     let operands = workload.dual_rail_operands(&datapath)?;
     let base = Library::full_diffusion();
 
-    println!("{:>8} {:>14} {:>14} {:>12} {:>12}", "Vdd (V)", "avg lat (ps)", "max lat (ps)", "energy/op", "correct");
+    println!(
+        "{:>8} {:>14} {:>14} {:>12} {:>12}",
+        "Vdd (V)", "avg lat (ps)", "max lat (ps)", "energy/op", "correct"
+    );
     for supply in [1.2, 1.0, 0.8, 0.6, 0.5, 0.4, 0.3, 0.25] {
         let library = base.with_supply_voltage(supply)?;
         let mut driver = ProtocolDriver::new(datapath.circuit(), &library)?;

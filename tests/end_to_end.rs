@@ -32,7 +32,9 @@ fn trained_machine_runs_correctly_on_dual_rail_hardware() {
     let datapath = DualRailDatapath::generate(&config).expect("generation succeeds");
     let library = Library::umc_ll();
     let mut driver = ProtocolDriver::new(datapath.circuit(), &library).expect("driver");
-    let operands = workload.dual_rail_operands(&datapath).expect("widths match");
+    let operands = workload
+        .dual_rail_operands(&datapath)
+        .expect("widths match");
 
     for (operand, expected) in operands.iter().zip(workload.expected()) {
         let result = driver.apply_operand(operand).expect("protocol cycle");
@@ -73,17 +75,16 @@ fn single_rail_and_dual_rail_agree_with_each_other() {
     }
     let run = run_synchronous_vectors(single.netlist(), &library, clock.period_ps(), &vectors);
 
-    for (i, (expected, dual_decision)) in workload
-        .expected()
-        .iter()
-        .zip(&dual_decisions)
-        .enumerate()
+    for (i, (expected, dual_decision)) in
+        workload.expected().iter().zip(&dual_decisions).enumerate()
     {
         let outputs: Vec<bool> = run.outputs_per_cycle[3 * i + 2]
             .iter()
             .map(|v| v.is_one())
             .collect();
-        let single_index = single.decode_decision_bits(&outputs).expect("one-hot output");
+        let single_index = single
+            .decode_decision_bits(&outputs)
+            .expect("one-hot output");
         assert_eq!(single_index, expected.decision.one_of_three_index());
         assert_eq!(*dual_decision, expected.decision);
     }
@@ -193,8 +194,7 @@ fn sequential_area_comes_from_latches_and_flip_flops() {
     assert!(dual_stats.sequential_count >= 2 * config.data_input_count());
     assert_eq!(single_stats.sequential_count, config.data_input_count() + 3);
     // Both designs carry a comparable order of magnitude of cell area.
-    let ratio =
-        library.total_area_um2(dual.netlist()) / library.total_area_um2(single.netlist());
+    let ratio = library.total_area_um2(dual.netlist()) / library.total_area_um2(single.netlist());
     assert!(ratio > 0.5 && ratio < 4.0, "area ratio {ratio}");
 }
 

@@ -175,3 +175,122 @@ proptest! {
         prop_assert!(result.cycle_time_ps >= result.s_to_v_latency_ps + result.v_to_s_latency_ps);
     }
 }
+
+// ---------------------------------------------------------------------
+// Bit-parallel batch evaluation: BatchEvaluator ≡ scalar Evaluator
+// ---------------------------------------------------------------------
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// The 64-wide batch evaluator is bit-identical, lane for lane, to
+    /// the scalar evaluator on randomized layered netlists, including
+    /// sequential (C-element and DFF) state carried across passes.
+    #[test]
+    fn batch_evaluator_matches_scalar_on_random_netlists(
+        kinds in proptest::collection::vec(0usize..8, 12),
+        stimulus_words in proptest::collection::vec(any::<u64>(), 3 * 4),
+    ) {
+        use tm_async::netlist::{BatchEvaluator, EvalState};
+        use std::collections::HashMap;
+
+        let gate = |k: usize| match k {
+            0 => CellKind::And2,
+            1 => CellKind::Or2,
+            2 => CellKind::Nand2,
+            3 => CellKind::Nor2,
+            4 => CellKind::Xor2,
+            5 => CellKind::Aoi21,
+            6 => CellKind::CElement2,
+            _ => CellKind::Dff,
+        };
+
+        // Four primary inputs, then twelve cells; each cell draws its
+        // inputs from the most recent nets so depth grows with index.
+        let mut nl = Netlist::new("random_batch");
+        let mut pool: Vec<NetId> = (0..4).map(|i| nl.add_input(format!("i{i}"))).collect();
+        for (idx, &k) in kinds.iter().enumerate() {
+            let kind = gate(k);
+            let n = pool.len();
+            let ins: Vec<NetId> = (0..kind.input_count())
+                .map(|p| pool[(idx + p * 3) % n])
+                .collect();
+            let out = nl.add_cell(format!("g{idx}"), kind, &ins).expect("cell");
+            pool.push(out);
+        }
+        let last = *pool.last().expect("nonempty");
+        nl.add_output("y", last);
+
+        let scalar = Evaluator::new(&nl).expect("acyclic by construction");
+        let batch = BatchEvaluator::new(&nl).expect("acyclic by construction");
+        let pis = nl.primary_inputs();
+
+        let mut batch_state = batch.new_state();
+        let mut values = Vec::new();
+        let mut scalar_states: Vec<EvalState> = (0..8).map(|_| EvalState::new()).collect();
+
+        // Four passes of fresh stimulus; sequential state must stay in
+        // sync between the scalar and batch models on every pass.
+        for pass in 0..4 {
+            let words: Vec<u64> = (0..4)
+                .map(|i| stimulus_words[(pass * 3 + i) % stimulus_words.len()])
+                .collect();
+            let outs = batch.eval_words(&words, &mut batch_state, &mut values);
+
+            // Spot-check 8 of the 64 lanes (scalar evaluation is the
+            // slow part; the lanes are independent by construction).
+            for (lane, scalar_state) in scalar_states.iter_mut().enumerate() {
+                let map: HashMap<NetId, bool> = pis
+                    .iter()
+                    .zip(&words)
+                    .map(|(&net, &w)| (net, (w >> lane) & 1 == 1))
+                    .collect();
+                let expected = scalar.eval_with_state(&map, scalar_state);
+                prop_assert_eq!(
+                    (outs[0] >> lane) & 1 == 1,
+                    expected[last.index()],
+                    "pass {} lane {} diverged",
+                    pass,
+                    lane
+                );
+            }
+        }
+    }
+
+    /// Packing samples into lanes and back is lossless.
+    #[test]
+    fn lane_packing_round_trips(
+        samples in proptest::collection::vec(proptest::collection::vec(any::<bool>(), 9), 17),
+    ) {
+        use tm_async::netlist::{pack_lanes, unpack_lane};
+        let words = pack_lanes(&samples);
+        prop_assert_eq!(words.len(), 9);
+        for (lane, sample) in samples.iter().enumerate() {
+            prop_assert_eq!(&unpack_lane(&words, lane), sample);
+        }
+    }
+}
+
+proptest! {
+    // Full-workload equivalence is heavier (netlist generation + training
+    // -free random masks), so run fewer cases.
+    #![proptest_config(ProptestConfig::with_cases(8))]
+
+    /// The batched golden model agrees with the software reference (and
+    /// therefore with the scalar netlist evaluator, which the datapath
+    /// unit tests pin to the same reference) on arbitrary workloads.
+    #[test]
+    fn batch_inference_matches_reference_on_random_workloads(
+        seed in 0u64..10_000,
+        operands in 1usize..130,
+    ) {
+        use tm_async::datapath::{BatchGoldenModel, BatchInference, InferenceWorkload};
+
+        let config = DatapathConfig::new(6, 4).expect("valid");
+        let workload = InferenceWorkload::random(&config, operands, 0.7, seed).expect("workload");
+        let model = BatchGoldenModel::generate(&config).expect("generation");
+        let mut batch = BatchInference::new(&model).expect("flattening");
+        let outcomes = batch.run_workload(&workload).expect("batched run");
+        prop_assert_eq!(outcomes.as_slice(), workload.expected());
+    }
+}
