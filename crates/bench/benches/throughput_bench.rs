@@ -1,18 +1,22 @@
 //! Criterion `throughput` group: samples/sec of the scalar golden model,
-//! the 64-wide bit-parallel batch golden model, and the event-driven
-//! gate-level simulation, all on the standard keyword-spotting workload.
+//! the 64-wide bit-parallel batch golden model, the multi-threaded
+//! parallel batch runtime, the event-driven gate-level simulation, and
+//! the reworked two-level event queue, all on the standard
+//! keyword-spotting workload.
 //!
-//! The recorded comparison lives in `BENCH_PR1.json` at the repository
+//! The recorded comparison lives in `BENCH_PR2.json` at the repository
 //! root (regenerate with
-//! `cargo run -p tm-async-bench --release --bin throughput -- 4096 BENCH_PR1.json`).
+//! `cargo run -p tm-async-bench --release --bin throughput -- 4096 BENCH_PR2.json`).
 
 use std::collections::HashMap;
 
 use celllib::Library;
 use criterion::{criterion_group, criterion_main, Criterion};
-use datapath::{BatchGoldenModel, BatchInference, SingleRailDatapath};
-use gatesim::run_synchronous_vectors;
+use datapath::{BatchGoldenModel, BatchInference, ParallelBatchInference, SingleRailDatapath};
+use gatesim::{run_synchronous_vectors, Event, EventQueue, Logic};
 use netlist::{EvalState, Evaluator, NetId};
+use rand::rngs::StdRng;
+use rand::{RngCore, SeedableRng};
 use sta::ClockPeriod;
 use tm_async_bench::workloads::{standard_config, standard_workload};
 
@@ -62,6 +66,42 @@ fn bench_throughput(c: &mut Criterion) {
     group.bench_function("batch_golden_model_64x_1024", |b| {
         let mut batch = BatchInference::new(&model).expect("flattening");
         b.iter(|| std::hint::black_box(batch.run_workload(workload).expect("batched run")))
+    });
+
+    group.bench_function("parallel_batch_2x_1024", |b| {
+        let parallel = ParallelBatchInference::new(&model, 2).expect("flattening");
+        b.iter(|| std::hint::black_box(parallel.run_workload(workload).expect("parallel run")))
+    });
+
+    group.bench_function("event_queue_interleaved_4096", |b| {
+        // The queue discipline in isolation: a deterministic storm of
+        // pushes (70 % at the drain timestamp, mirroring gate traffic)
+        // interleaved with pops.
+        b.iter(|| {
+            let mut queue = EventQueue::new();
+            let mut rng = StdRng::seed_from_u64(0x9E37_79B9_7F4A_7C15);
+            let mut time = 0.0f64;
+            for i in 0..4096usize {
+                let draw = rng.next_u64();
+                let offset = match draw % 10 {
+                    0..=6 => 0.0,
+                    7 | 8 => 22.0,
+                    _ => 350.0,
+                };
+                queue.push(Event {
+                    time_ps: time + offset,
+                    net: NetId::from_index(i % 64),
+                    value: Logic::One,
+                });
+                if !draw.is_multiple_of(3) {
+                    if let Some(event) = queue.pop() {
+                        time = event.time_ps;
+                    }
+                }
+            }
+            while queue.pop().is_some() {}
+            std::hint::black_box(time)
+        })
     });
 
     group.bench_function("event_driven_sim_16", |b| {

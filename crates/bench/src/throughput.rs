@@ -1,5 +1,6 @@
 //! Experiment E5 — bulk-inference throughput: samples per second of the
-//! scalar golden model, the 64-wide bit-parallel batch golden model, and
+//! scalar golden model, the 64-wide bit-parallel batch golden model, the
+//! multi-threaded parallel batch runtime (at several thread counts), and
 //! the event-driven gate-level simulation, all on the standard
 //! keyword-spotting workload.
 //!
@@ -19,7 +20,9 @@ use std::collections::HashMap;
 use std::time::Instant;
 
 use celllib::Library;
-use datapath::{reference, BatchGoldenModel, BatchInference, SingleRailDatapath};
+use datapath::{
+    reference, BatchGoldenModel, BatchInference, ParallelBatchInference, SingleRailDatapath,
+};
 use gatesim::{run_synchronous_vectors, Logic};
 use netlist::{EvalState, Evaluator, NetId};
 use sta::ClockPeriod;
@@ -65,6 +68,18 @@ impl ThroughputReport {
         Some(batch.samples_per_sec / scalar.samples_per_sec)
     }
 
+    /// Speedup of the fastest `parallel_batch_<N>` row over the
+    /// single-threaded batch golden model.
+    #[must_use]
+    pub fn parallel_speedup(&self) -> Option<f64> {
+        let batch = self.row("batch_golden_model_64")?;
+        self.rows
+            .iter()
+            .filter(|r| r.strategy.starts_with("parallel_batch_"))
+            .map(|r| r.samples_per_sec / batch.samples_per_sec)
+            .max_by(f64::total_cmp)
+    }
+
     /// Renders a human-readable table.
     #[must_use]
     pub fn render(&self) -> String {
@@ -82,6 +97,11 @@ impl ThroughputReport {
         if let Some(speedup) = self.batch_speedup() {
             out.push_str(&format!(
                 "\n64-wide batch is {speedup:.1}x the scalar golden model\n"
+            ));
+        }
+        if let Some(speedup) = self.parallel_speedup() {
+            out.push_str(&format!(
+                "best parallel batch is {speedup:.2}x the single-threaded batch\n"
             ));
         }
         out
@@ -106,6 +126,11 @@ impl ThroughputReport {
         out.push_str("  ],\n");
         if let Some(speedup) = self.batch_speedup() {
             out.push_str(&format!("  \"batch_speedup_over_scalar\": {speedup:.2},\n"));
+        }
+        if let Some(speedup) = self.parallel_speedup() {
+            out.push_str(&format!(
+                "  \"parallel_speedup_over_single_thread\": {speedup:.2},\n"
+            ));
         }
         out.push_str(&format!(
             "  \"workload_accuracy\": {:.4}\n}}\n",
@@ -261,6 +286,37 @@ pub fn run(operands: usize, sim_operands: usize, seed: u64) -> ThroughputReport 
     }
 
     // ------------------------------------------------------------------
+    // Multi-threaded batch golden model: the same 64-lane passes sharded
+    // across worker threads (threads = 1, 2, available parallelism).
+    // ------------------------------------------------------------------
+    {
+        let mut thread_counts = vec![1, 2, exec::available_parallelism()];
+        thread_counts.sort_unstable();
+        thread_counts.dedup();
+        for threads in thread_counts {
+            let parallel = ParallelBatchInference::new(&model, threads).expect("flattening");
+            let outcomes = parallel.run_workload(workload).expect("parallel run");
+            assert_eq!(
+                outcomes.as_slice(),
+                expected,
+                "parallel batch ({threads} threads) diverged"
+            );
+
+            let reps = 200;
+            let seconds = time_reps(reps, || {
+                std::hint::black_box(parallel.run_workload(workload).expect("parallel run"));
+            });
+            rows.push(ThroughputRow {
+                strategy: format!("parallel_batch_{threads}"),
+                operands,
+                repetitions: reps,
+                seconds,
+                samples_per_sec: (operands * reps) as f64 / seconds,
+            });
+        }
+    }
+
+    // ------------------------------------------------------------------
     // Event-driven gate-level simulation of the registered single-rail
     // baseline (orders of magnitude slower; fewer operands).
     // ------------------------------------------------------------------
@@ -338,7 +394,16 @@ mod tests {
         let mut speedup = 0.0f64;
         for _ in 0..2 {
             let report = run(128, 4, 7);
-            assert_eq!(report.rows.len(), 4);
+            // Fixed strategies plus one parallel row per distinct thread
+            // count in {1, 2, available_parallelism}.
+            let parallel_rows = report
+                .rows
+                .iter()
+                .filter(|r| r.strategy.starts_with("parallel_batch_"))
+                .count();
+            assert_eq!(report.rows.len(), 4 + parallel_rows);
+            assert!((2..=3).contains(&parallel_rows));
+            assert!(report.parallel_speedup().is_some());
             speedup = speedup.max(report.batch_speedup().expect("both rows present"));
             if speedup >= 10.0 {
                 break;

@@ -161,21 +161,7 @@ impl<'a> BatchInference<'a> {
 
     /// Verifies that `masks` match this model's configuration.
     fn check_masks(&self, masks: &ExcludeMasks) -> Result<(), DatapathError> {
-        if masks.feature_count() != self.config.features() {
-            return Err(DatapathError::WidthMismatch {
-                what: "exclude masks",
-                expected: self.config.features(),
-                got: masks.feature_count(),
-            });
-        }
-        if masks.clauses_per_polarity() != self.config.clauses_per_polarity() {
-            return Err(DatapathError::WidthMismatch {
-                what: "exclude mask clause count",
-                expected: self.config.clauses_per_polarity(),
-                got: masks.clauses_per_polarity(),
-            });
-        }
-        Ok(())
+        check_masks(&self.config, masks)
     }
 
     /// Runs up to [`LANES`] samples in one pass and returns their
@@ -192,79 +178,13 @@ impl<'a> BatchInference<'a> {
         feature_vectors: &[Vec<bool>],
     ) -> Result<Vec<InferenceOutcome>, DatapathError> {
         self.check_masks(masks)?;
-        if feature_vectors.len() > LANES {
-            return Err(DatapathError::WidthMismatch {
-                what: "batch sample count",
-                expected: LANES,
-                got: feature_vectors.len(),
-            });
-        }
-
-        // Feature words: one sample per lane.
-        self.pi_words.iter_mut().for_each(|w| *w = 0);
-        for (lane, vector) in feature_vectors.iter().enumerate() {
-            if vector.len() != self.config.features() {
-                return Err(DatapathError::WidthMismatch {
-                    what: "feature vector",
-                    expected: self.config.features(),
-                    got: vector.len(),
-                });
-            }
-            for (word, &bit) in self.pi_words.iter_mut().zip(vector) {
-                *word |= u64::from(bit) << lane;
-            }
-        }
         // Exclude words: broadcast (the model is shared by all lanes).
-        let mut slot = self.config.features();
-        for bank in [masks.positive(), masks.negative()] {
-            for mask in bank {
-                for &bit in mask {
-                    self.pi_words[slot] = if bit { u64::MAX } else { 0 };
-                    slot += 1;
-                }
-            }
-        }
-        debug_assert_eq!(slot, self.pi_words.len());
-
+        broadcast_mask_words(masks, self.config.features(), &mut self.pi_words);
+        pack_feature_words(feature_vectors, self.config.features(), &mut self.pi_words)?;
         let outputs = self
             .evaluator
             .eval_words(&self.pi_words, &mut self.state, &mut self.values);
-        let &[less, equal, greater] = &outputs[0..3] else {
-            unreachable!("model declares three comparator outputs first");
-        };
-
-        (0..feature_vectors.len())
-            .map(|lane| {
-                let decode_count = |words: &[u64]| -> usize {
-                    words
-                        .iter()
-                        .enumerate()
-                        .map(|(i, &w)| (((w >> lane) & 1) as usize) << i)
-                        .sum()
-                };
-                let positive_votes = decode_count(&outputs[3..7]);
-                let negative_votes = decode_count(&outputs[7..11]);
-                let active: Vec<usize> = [less, equal, greater]
-                    .iter()
-                    .enumerate()
-                    .filter(|(_, &w)| (w >> lane) & 1 == 1)
-                    .map(|(i, _)| i)
-                    .collect();
-                let &[index] = active.as_slice() else {
-                    return Err(DatapathError::DecodeFailure(format!(
-                        "lane {lane}: expected exactly one active comparator output, got {active:?}"
-                    )));
-                };
-                let decision = ComparatorDecision::from_index(index)
-                    .expect("index comes from a three-element enumeration");
-                Ok(InferenceOutcome {
-                    positive_votes,
-                    negative_votes,
-                    decision,
-                    in_class: decision != ComparatorDecision::Less,
-                })
-            })
-            .collect()
+        decode_lane_outcomes(&outputs, feature_vectors.len())
     }
 
     /// Runs a whole workload through the batched model, 64 samples per
@@ -290,6 +210,126 @@ impl<'a> BatchInference<'a> {
     pub fn lanes(&self) -> usize {
         LANES
     }
+}
+
+/// Verifies that `masks` match `config`.
+pub(crate) fn check_masks(
+    config: &DatapathConfig,
+    masks: &ExcludeMasks,
+) -> Result<(), DatapathError> {
+    if masks.feature_count() != config.features() {
+        return Err(DatapathError::WidthMismatch {
+            what: "exclude masks",
+            expected: config.features(),
+            got: masks.feature_count(),
+        });
+    }
+    if masks.clauses_per_polarity() != config.clauses_per_polarity() {
+        return Err(DatapathError::WidthMismatch {
+            what: "exclude mask clause count",
+            expected: config.clauses_per_polarity(),
+            got: masks.clauses_per_polarity(),
+        });
+    }
+    Ok(())
+}
+
+/// Writes the exclude-mask broadcast words (all-zeros or all-ones — the
+/// trained model is shared by every lane) into `pi_words[features..]`.
+pub(crate) fn broadcast_mask_words(masks: &ExcludeMasks, features: usize, pi_words: &mut [u64]) {
+    let mut slot = features;
+    for bank in [masks.positive(), masks.negative()] {
+        for mask in bank {
+            for &bit in mask {
+                pi_words[slot] = if bit { u64::MAX } else { 0 };
+                slot += 1;
+            }
+        }
+    }
+    debug_assert_eq!(slot, pi_words.len());
+}
+
+/// Packs up to [`LANES`] feature vectors into `pi_words[..features]`,
+/// one sample per bit lane (surplus lanes are zeroed).
+///
+/// # Errors
+///
+/// Returns width mismatches for oversized batches or wrong-width vectors.
+pub(crate) fn pack_feature_words(
+    feature_vectors: &[Vec<bool>],
+    features: usize,
+    pi_words: &mut [u64],
+) -> Result<(), DatapathError> {
+    if feature_vectors.len() > LANES {
+        return Err(DatapathError::WidthMismatch {
+            what: "batch sample count",
+            expected: LANES,
+            got: feature_vectors.len(),
+        });
+    }
+    pi_words[..features].iter_mut().for_each(|w| *w = 0);
+    for (lane, vector) in feature_vectors.iter().enumerate() {
+        if vector.len() != features {
+            return Err(DatapathError::WidthMismatch {
+                what: "feature vector",
+                expected: features,
+                got: vector.len(),
+            });
+        }
+        for (word, &bit) in pi_words.iter_mut().zip(vector) {
+            *word |= u64::from(bit) << lane;
+        }
+    }
+    Ok(())
+}
+
+/// Decodes the first `lanes` lanes of a batch pass's primary-output words
+/// (`less`/`equal`/`greater` then the two 4-bit vote counts) into
+/// [`InferenceOutcome`]s.
+///
+/// # Errors
+///
+/// Returns a decode failure if a lane's comparator outputs are not
+/// one-hot.
+pub(crate) fn decode_lane_outcomes(
+    outputs: &[u64],
+    lanes: usize,
+) -> Result<Vec<InferenceOutcome>, DatapathError> {
+    let &[less, equal, greater] = &outputs[0..3] else {
+        unreachable!("model declares three comparator outputs first");
+    };
+    (0..lanes)
+        .map(|lane| {
+            let decode_count = |words: &[u64]| -> usize {
+                words
+                    .iter()
+                    .enumerate()
+                    .map(|(i, &w)| (((w >> lane) & 1) as usize) << i)
+                    .sum()
+            };
+            let positive_votes = decode_count(&outputs[3..7]);
+            let negative_votes = decode_count(&outputs[7..11]);
+            let active: Vec<usize> = [less, equal, greater]
+                .iter()
+                .enumerate()
+                .filter(|(_, &w)| (w >> lane) & 1 == 1)
+                .map(|(i, _)| i)
+                .collect();
+            let &[index] = active.as_slice() else {
+                return Err(DatapathError::DecodeFailure(format!(
+                    "lane {lane}: expected exactly one active comparator output, got {active:?}"
+                )));
+            };
+            let decision = ComparatorDecision::from_index(index)
+                .expect("index comes from a three-element enumeration");
+            Ok(InferenceOutcome {
+                positive_votes,
+                negative_votes,
+                decision,
+                in_class: decision != ComparatorDecision::Less,
+            })
+        })
+        .collect()
 }
 
 #[cfg(test)]

@@ -57,6 +57,7 @@ pub mod clause_logic;
 pub mod comparator;
 pub mod config;
 pub mod error;
+pub mod parallel;
 pub mod popcount;
 pub mod reference;
 pub mod single_rail;
@@ -66,6 +67,7 @@ pub use batch::{BatchGoldenModel, BatchInference};
 pub use builder::{CompletionScheme, DatapathOptions, DualRailDatapath};
 pub use config::DatapathConfig;
 pub use error::DatapathError;
+pub use parallel::ParallelBatchInference;
 pub use reference::{ComparatorDecision, InferenceOutcome};
 pub use single_rail::SingleRailDatapath;
 pub use workload::InferenceWorkload;

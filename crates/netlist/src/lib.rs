@@ -40,6 +40,7 @@ pub mod eval;
 pub mod graph;
 pub mod ids;
 pub mod netlist;
+pub mod parallel;
 pub mod stats;
 
 pub use batch::{pack_lanes, unpack_lane, BatchEvaluator, BatchState, LANES};
@@ -49,4 +50,5 @@ pub use eval::{EvalState, Evaluator};
 pub use graph::{levelize, topological_order, TopoError};
 pub use ids::{CellId, NetId, PortId};
 pub use netlist::{Net, Netlist, Port, PortDirection};
+pub use parallel::ParallelBatchEvaluator;
 pub use stats::{CellHistogram, NetlistStats};

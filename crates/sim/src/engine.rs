@@ -34,12 +34,15 @@ impl RunOutcome {
 /// corner.  See the [crate-level documentation](crate) for an example.
 ///
 /// The event kernel is allocation-free in steady state: the netlist's
-/// net→load relation is flattened into a CSR-style array at
-/// construction, gate inputs are gathered into a fixed-capacity stack
-/// buffer, and re-evaluations that provably cannot change their output
-/// net — no event in flight for the net and the computed value equal to
-/// the value it already holds — are suppressed before they reach the
-/// queue.
+/// net→load and cell→input relations are flattened into CSR-style arrays
+/// at construction, every kind's three-valued function is precomputed
+/// into a truth table, and schedules that provably cannot change their
+/// net — no event in flight for the net and the value equal to the one
+/// it already holds — are suppressed before they reach the queue,
+/// whether they come from gate re-evaluation, flip-flop capture or
+/// fresh stimulus.  Pending events sit in a two-level queue
+/// ([`EventQueue`]) whose drain tier serves same-timestamp cascades
+/// without heap traffic.
 #[derive(Debug)]
 pub struct Simulator<'a> {
     netlist: &'a Netlist,
@@ -59,13 +62,39 @@ pub struct Simulator<'a> {
     /// clones a load list.
     fanout_offsets: Vec<u32>,
     fanout_loads: Vec<(CellId, u8)>,
-    /// Number of scheduled-but-unapplied events per net.  A
-    /// re-evaluation is dropped only when its net has no event in flight
-    /// and already holds the computed value (the schedule would be a
-    /// no-op chain), cutting queue traffic on wide fan-in cones.
+    /// Number of scheduled-but-unapplied events per net.  A schedule
+    /// (gate re-evaluation, flip-flop capture or stimulus drive) is
+    /// dropped only when its net has no event in flight and already
+    /// holds the scheduled value (the apply would be a pure no-op),
+    /// cutting queue traffic on wide fan-in cones and stable registers.
     pending_events: Vec<u32>,
     suppressed_events: u64,
+    /// Flattened per-cell data (kind, output-net index, CSR input-net
+    /// list), so [`Simulator::evaluate_cell`] never chases a `Cell`'s
+    /// `Vec<NetId>` pointer: one contiguous read per field.
+    cell_kind: Vec<CellKind>,
+    cell_output: Vec<u32>,
+    cell_input_offsets: Vec<u32>,
+    cell_input_nets: Vec<u32>,
+    /// Driving cell of each net (`u32::MAX` for inputs/undriven nets),
+    /// so transition accounting skips the `Net` lookup.
+    driver_of: Vec<u32>,
+    /// Per-cell offset into `lut_data` (`u32::MAX` for flip-flops, which
+    /// have edge semantics instead of a truth table).
+    cell_lut: Vec<u32>,
+    /// Concatenated three-valued truth tables, one per distinct cell
+    /// kind: entry `Σ value_i · 3^i` (plus a `3^arity` digit for the
+    /// previous output of state-holding C-elements) is the cell's output
+    /// for that input combination, precomputed from
+    /// [`CellKind::eval_tristate`] at construction.
+    lut_data: Vec<Logic>,
 }
+
+/// Marker for nets without a driving cell in [`Simulator::driver_of`].
+const NO_DRIVER: u32 = u32::MAX;
+/// Marker in [`Simulator::cell_lut`] for cells without a truth table
+/// (flip-flops, which have edge semantics instead).
+const NO_LUT: u32 = u32::MAX;
 
 impl<'a> Simulator<'a> {
     /// Default maximum number of events per [`Simulator::run_until_quiescent`] call.
@@ -78,11 +107,42 @@ impl<'a> Simulator<'a> {
     /// at time zero.
     #[must_use]
     pub fn new(netlist: &'a Netlist, library: &Library) -> Self {
-        let cell_delay_ps = netlist
+        Self::build(netlist, library, None)
+    }
+
+    /// Like [`Simulator::new`] with an explicit event-queue granularity
+    /// (see [`EventQueue::with_granularity`]) instead of the automatic
+    /// sizing from the largest cell delay.  Pop order — and therefore
+    /// every simulation result — is identical at any granularity
+    /// (property-tested); this is a performance and testing knob.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `bucket_width_ps` is not finite and positive or if
+    /// `bucket_count` is zero.
+    #[must_use]
+    pub fn new_with_queue_granularity(
+        netlist: &'a Netlist,
+        library: &Library,
+        bucket_width_ps: f64,
+        bucket_count: usize,
+    ) -> Self {
+        Self::build(netlist, library, Some((bucket_width_ps, bucket_count)))
+    }
+
+    fn build(netlist: &'a Netlist, library: &Library, granularity: Option<(f64, usize)>) -> Self {
+        // The voltage-scaled delay model evaluates transcendentals per
+        // query; memoise per (kind, fanout) so construction stays cheap
+        // for large netlists (distinct pairs number a few dozen).
+        let mut delay_cache: std::collections::HashMap<(CellKind, usize), f64> =
+            std::collections::HashMap::new();
+        let cell_delay_ps: Vec<f64> = netlist
             .cells()
             .map(|(_, cell)| {
-                let fanout = netlist.net(cell.output()).fanout();
-                library.cell_delay(cell.kind(), fanout.max(1))
+                let fanout = netlist.net(cell.output()).fanout().max(1);
+                *delay_cache
+                    .entry((cell.kind(), fanout))
+                    .or_insert_with(|| library.cell_delay(cell.kind(), fanout))
             })
             .collect();
 
@@ -97,11 +157,92 @@ impl<'a> Simulator<'a> {
             fanout_offsets.push(u32::try_from(fanout_loads.len()).expect("loads fit in u32"));
         }
 
+        // Flatten per-cell kind/output/inputs the same way.
+        let mut cell_kind = Vec::with_capacity(netlist.cell_count());
+        let mut cell_output = Vec::with_capacity(netlist.cell_count());
+        let mut cell_input_offsets = Vec::with_capacity(netlist.cell_count() + 1);
+        let mut cell_input_nets = Vec::new();
+        cell_input_offsets.push(0);
+        for (_, cell) in netlist.cells() {
+            cell_kind.push(cell.kind());
+            cell_output.push(u32::try_from(cell.output().index()).expect("nets fit in u32"));
+            cell_input_nets.extend(
+                cell.inputs()
+                    .iter()
+                    .map(|n| u32::try_from(n.index()).expect("nets fit in u32")),
+            );
+            cell_input_offsets
+                .push(u32::try_from(cell_input_nets.len()).expect("connections fit in u32"));
+        }
+
+        // Precompute each kind's three-valued truth table so the hot loop
+        // replaces `eval_tristate` (slice scans over `Option<bool>`) with
+        // one table load.  Digit `i` of the index is input `i`'s value
+        // (0, 1, X); state-holding C-elements get one extra digit for
+        // their previous output.
+        let decode = |digit: usize| match digit {
+            0 => Some(false),
+            1 => Some(true),
+            _ => None,
+        };
+        let mut lut_data: Vec<Logic> = Vec::new();
+        let mut kind_offsets: std::collections::HashMap<CellKind, u32> =
+            std::collections::HashMap::new();
+        let mut cell_lut = Vec::with_capacity(netlist.cell_count());
+        for (_, cell) in netlist.cells() {
+            let kind = cell.kind();
+            if kind == CellKind::Dff {
+                cell_lut.push(NO_LUT);
+                continue;
+            }
+            let offset = *kind_offsets.entry(kind).or_insert_with(|| {
+                let offset = u32::try_from(lut_data.len()).expect("tables stay small");
+                let arity = kind.input_count();
+                let digits = arity + usize::from(kind.is_sequential());
+                for code in 0..3usize.pow(u32::try_from(digits).expect("small arity")) {
+                    let mut rest = code;
+                    let mut inputs = [None; CellKind::MAX_INPUTS];
+                    for slot in inputs.iter_mut().take(arity) {
+                        *slot = decode(rest % 3);
+                        rest /= 3;
+                    }
+                    let prev = if kind.is_sequential() {
+                        decode(rest % 3)
+                    } else {
+                        None
+                    };
+                    lut_data.push(Logic::from(kind.eval_tristate(&inputs[..arity], prev)));
+                }
+                offset
+            });
+            cell_lut.push(offset);
+        }
+
+        let driver_of = (0..netlist.net_count())
+            .map(|n| {
+                netlist
+                    .driver_cell(NetId::from_index(n))
+                    .map_or(NO_DRIVER, |c| {
+                        u32::try_from(c.index()).expect("cells fit in u32")
+                    })
+            })
+            .collect();
+
+        // Size the two-level event queue from the largest cell delay: no
+        // event is ever scheduled further ahead than one cell delay, so a
+        // horizon of a few delays keeps the overflow heap empty.
+        let max_delay_ps = cell_delay_ps
+            .iter()
+            .copied()
+            .fold(f64::MIN_POSITIVE, f64::max);
+        let (bucket_width_ps, bucket_count) = granularity.unwrap_or((max_delay_ps / 16.0, 64));
+        let queue = EventQueue::with_granularity(bucket_width_ps, bucket_count);
+
         let mut sim = Self {
             netlist,
             values: vec![Logic::Unknown; netlist.net_count()],
             cell_delay_ps,
-            queue: EventQueue::new(),
+            queue,
             now_ps: 0.0,
             cell_transitions: vec![0; netlist.cell_count()],
             net_transitions: vec![0; netlist.net_count()],
@@ -113,6 +254,13 @@ impl<'a> Simulator<'a> {
             fanout_loads,
             pending_events: vec![0; netlist.net_count()],
             suppressed_events: 0,
+            cell_kind,
+            cell_output,
+            cell_input_offsets,
+            cell_input_nets,
+            driver_of,
+            cell_lut,
+            lut_data,
         };
         sim.schedule_constants();
         sim
@@ -127,6 +275,20 @@ impl<'a> Simulator<'a> {
             net,
             value,
         });
+    }
+
+    /// Schedules `value` on `net` unless doing so is a provable no-op:
+    /// with no event in flight for the net and the net already at
+    /// `value`, the eventual apply would return before touching any load
+    /// (state-holding or not), so the event can be dropped outright.
+    /// Any in-flight event forces a schedule, because the net's value
+    /// will change before this event applies.
+    fn schedule_if_effective(&mut self, net: NetId, value: Logic, time_ps: f64) {
+        if self.pending_events[net.index()] == 0 && self.values[net.index()] == value {
+            self.suppressed_events += 1;
+            return;
+        }
+        self.schedule(net, value, time_ps);
     }
 
     /// Pops the earliest event, keeping the in-flight counters in sync.
@@ -255,7 +417,7 @@ impl<'a> Simulator<'a> {
             self.netlist.is_primary_input(net),
             "net {net} is not a primary input"
         );
-        self.schedule(net, value, self.now_ps);
+        self.schedule_if_effective(net, value, self.now_ps);
     }
 
     /// Drives a primary input with a boolean value.
@@ -270,7 +432,7 @@ impl<'a> Simulator<'a> {
     /// Forces an arbitrary net to a value (bypassing its driver) at the
     /// current time.  Useful to initialise flip-flop outputs.
     pub fn force_net(&mut self, net: NetId, value: Logic) {
-        self.schedule(net, value, self.now_ps);
+        self.schedule_if_effective(net, value, self.now_ps);
     }
 
     /// Advances the simulation clock to `time_ps` without processing
@@ -327,11 +489,14 @@ impl<'a> Simulator<'a> {
         processed
     }
 
-    /// Number of cell re-evaluations dropped as provable no-ops: the
-    /// output net had no event in flight and already held the computed
-    /// value.  Re-evaluations are never deduplicated against in-flight
-    /// events (even identical ones) — state-holding loads are sensitive
-    /// to the exact sequence of applied changes.
+    /// Number of schedules dropped as provable no-ops: the target net
+    /// had no event in flight and already held the scheduled value, so
+    /// the apply would have returned before touching any load.  The rule
+    /// covers gate re-evaluations, flip-flop captures and stimulus
+    /// drives alike; schedules are never deduplicated against in-flight
+    /// events (even identical ones) — the net's value will change before
+    /// the new event applies, and state-holding loads are sensitive to
+    /// the exact sequence of applied changes.
     #[must_use]
     pub fn suppressed_events(&self) -> u64 {
         self.suppressed_events
@@ -346,8 +511,9 @@ impl<'a> Simulator<'a> {
         self.values[event.net.index()] = event.value;
         self.last_change_ps[event.net.index()] = event.time_ps;
         self.net_transitions[event.net.index()] += 1;
-        if let Some(cell) = self.netlist.driver_cell(event.net) {
-            self.cell_transitions[cell.index()] += 1;
+        let driver = self.driver_of[event.net.index()];
+        if driver != NO_DRIVER {
+            self.cell_transitions[driver as usize] += 1;
         }
 
         // Propagate to every cell reading this net, iterating the
@@ -362,43 +528,44 @@ impl<'a> Simulator<'a> {
     }
 
     fn evaluate_cell(&mut self, cell_id: CellId, changed_pin: usize, time_ps: f64) {
-        let cell = self.netlist.cell(cell_id);
-        let delay = self.cell_delay_ps[cell_id.index()];
+        // All per-cell data comes from the flattened arrays built at
+        // construction; the `Netlist` itself is never touched here.
+        let index = cell_id.index();
+        let kind = self.cell_kind[index];
+        let delay = self.cell_delay_ps[index];
+        let start = self.cell_input_offsets[index] as usize;
+        let end = self.cell_input_offsets[index + 1] as usize;
+        let input_nets = &self.cell_input_nets[start..end];
+        let out = self.cell_output[index] as usize;
 
-        if cell.kind() == CellKind::Dff {
+        if kind == CellKind::Dff {
             // Pin 1 is the clock; capture D on a 0 -> 1 edge.
             if changed_pin == 1 {
-                let clk = self.values[cell.inputs()[1].index()];
-                let previous_clk = self.dff_last_clk[cell_id.index()];
+                let clk = self.values[input_nets[1] as usize];
+                let previous_clk = self.dff_last_clk[index];
                 if previous_clk == Logic::Zero && clk == Logic::One {
-                    let d = self.values[cell.inputs()[0].index()];
-                    self.schedule(cell.output(), d, time_ps + delay);
+                    let d = self.values[input_nets[0] as usize];
+                    self.schedule_if_effective(NetId::from_index(out), d, time_ps + delay);
                 }
-                self.dff_last_clk[cell_id.index()] = clk;
+                self.dff_last_clk[index] = clk;
             }
             return;
         }
 
-        // Gather inputs into a fixed stack buffer (no per-eval Vec).
-        let input_nets = cell.inputs();
-        let mut inputs = [None; CellKind::MAX_INPUTS];
-        for (slot, net) in inputs.iter_mut().zip(input_nets) {
-            *slot = self.values[net.index()].to_option();
+        // One three-valued table load replaces the functional evaluation
+        // (`Logic`'s discriminants are the table digits 0, 1, 2).
+        let mut index3 = 0usize;
+        let mut power = 1usize;
+        for &net in input_nets {
+            index3 += self.values[net as usize] as usize * power;
+            power *= 3;
         }
-        let prev = self.values[cell.output().index()].to_option();
-        let new_value = Logic::from(cell.kind().eval_tristate(&inputs[..input_nets.len()], prev));
+        if kind.is_sequential() {
+            index3 += self.values[out] as usize * power;
+        }
+        let new_value = self.lut_data[self.cell_lut[index] as usize + index3];
 
-        // No-op suppression: with no event in flight for the output net
-        // and the net already at the computed value, scheduling would
-        // apply as a pure no-op — drop it.  Any in-flight event (even an
-        // identical one) forces a schedule, because state-holding loads
-        // are sensitive to the exact sequence of applied changes.
-        let out = cell.output().index();
-        if self.pending_events[out] == 0 && self.values[out] == new_value {
-            self.suppressed_events += 1;
-            return;
-        }
-        self.schedule(cell.output(), new_value, time_ps + delay);
+        self.schedule_if_effective(NetId::from_index(out), new_value, time_ps + delay);
     }
 }
 

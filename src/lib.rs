@@ -4,6 +4,9 @@
 //!
 //! The workspace implements, in pure Rust:
 //!
+//! * [`exec`] — a std-only data-parallel runtime (scoped worker threads
+//!   over a chunked atomic work queue) behind the multi-threaded batch
+//!   inference paths;
 //! * [`netlist`] — a structural gate-level netlist IR;
 //! * [`celllib`] — parametric 65 nm standard-cell library models
 //!   (UMC LL and FULL DIFFUSION) with voltage-dependent timing and power;
@@ -39,6 +42,7 @@
 pub use celllib;
 pub use datapath;
 pub use dualrail;
+pub use exec;
 pub use gatesim;
 pub use netlist;
 pub use sta;

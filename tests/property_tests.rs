@@ -294,3 +294,235 @@ proptest! {
         prop_assert_eq!(outcomes.as_slice(), workload.expected());
     }
 }
+
+// ---------------------------------------------------------------------
+// Multi-threaded batch evaluation: ParallelBatchEvaluator ≡
+// BatchEvaluator ≡ scalar Evaluator at every thread count
+// ---------------------------------------------------------------------
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// Sharding whole 64-lane word groups across worker threads changes
+    /// nothing: the parallel evaluator is bit-identical to the
+    /// single-threaded batch evaluator (and therefore to the scalar
+    /// evaluator) on random sequential netlists, at thread counts
+    /// {1, 2, 7}, with per-group state carried across passes.
+    #[test]
+    fn parallel_batch_matches_single_thread_on_random_netlists(
+        kinds in proptest::collection::vec(0usize..8, 10),
+        stimulus_words in proptest::collection::vec(any::<u64>(), 4 * 3),
+    ) {
+        use tm_async::netlist::{BatchEvaluator, ParallelBatchEvaluator};
+
+        let gate = |k: usize| match k {
+            0 => CellKind::And2,
+            1 => CellKind::Or2,
+            2 => CellKind::Nand2,
+            3 => CellKind::Nor2,
+            4 => CellKind::Xor2,
+            5 => CellKind::Aoi21,
+            6 => CellKind::CElement2,
+            _ => CellKind::Dff,
+        };
+        let mut nl = Netlist::new("random_parallel");
+        let mut pool: Vec<NetId> = (0..4).map(|i| nl.add_input(format!("i{i}"))).collect();
+        for (idx, &k) in kinds.iter().enumerate() {
+            let kind = gate(k);
+            let n = pool.len();
+            let ins: Vec<NetId> = (0..kind.input_count())
+                .map(|p| pool[(idx + p * 3) % n])
+                .collect();
+            let out = nl.add_cell(format!("g{idx}"), kind, &ins).expect("cell");
+            pool.push(out);
+        }
+        nl.add_output("y", *pool.last().expect("nonempty"));
+
+        // Three groups of four input words each; reference run is the
+        // single-threaded batch evaluator, group by group, two passes so
+        // per-group sequential state must be carried correctly.
+        let reference = BatchEvaluator::new(&nl).expect("acyclic");
+        let mut ref_states: Vec<_> = (0..3).map(|_| reference.new_state()).collect();
+        let mut values = Vec::new();
+        for pass in 0..2 {
+            let groups: Vec<Vec<u64>> = (0..3)
+                .map(|g| (0..4).map(|i| stimulus_words[(pass * 3 + g + i) % stimulus_words.len()]).collect())
+                .collect();
+            let expected: Vec<Vec<u64>> = groups
+                .iter()
+                .zip(ref_states.iter_mut())
+                .map(|(words, state)| reference.eval_words(words, state, &mut values))
+                .collect();
+
+            for threads in [1usize, 2, 7] {
+                let parallel = ParallelBatchEvaluator::new(&nl, threads).expect("acyclic");
+                // Re-derive this pass's starting states by replaying the
+                // previous passes sequentially.
+                let mut states: Vec<_> = (0..3).map(|_| parallel.inner().new_state()).collect();
+                let mut scratch = Vec::new();
+                for prev in 0..pass {
+                    let prev_groups: Vec<Vec<u64>> = (0..3)
+                        .map(|g| (0..4).map(|i| stimulus_words[(prev * 3 + g + i) % stimulus_words.len()]).collect())
+                        .collect();
+                    for (words, state) in prev_groups.iter().zip(states.iter_mut()) {
+                        parallel.inner().eval_words(words, state, &mut scratch);
+                    }
+                }
+                let outs = parallel.eval_word_groups(&groups, &mut states);
+                prop_assert_eq!(&outs, &expected, "pass {} threads {}", pass, threads);
+                prop_assert_eq!(&states, &ref_states, "pass {} threads {} state", pass, threads);
+            }
+        }
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(6))]
+
+    /// The multi-threaded workload runtime agrees with the
+    /// single-threaded batch path and the software reference on
+    /// arbitrary workloads, at thread counts {1, 2, 7}.
+    #[test]
+    fn parallel_workload_matches_single_thread_and_reference(
+        seed in 0u64..10_000,
+        operands in 1usize..200,
+    ) {
+        use tm_async::datapath::{
+            BatchGoldenModel, BatchInference, InferenceWorkload, ParallelBatchInference,
+        };
+
+        let config = DatapathConfig::new(6, 4).expect("valid");
+        let workload = InferenceWorkload::random(&config, operands, 0.7, seed).expect("workload");
+        let model = BatchGoldenModel::generate(&config).expect("generation");
+        let mut single = BatchInference::new(&model).expect("flattening");
+        let expected = single.run_workload(&workload).expect("single-thread run");
+        prop_assert_eq!(expected.as_slice(), workload.expected());
+
+        for threads in [1usize, 2, 7] {
+            let parallel = ParallelBatchInference::new(&model, threads).expect("flattening");
+            let outcomes = parallel.run_workload(&workload).expect("parallel run");
+            prop_assert_eq!(&outcomes, &expected, "threads {}", threads);
+        }
+    }
+}
+
+// ---------------------------------------------------------------------
+// Two-level event queue: same-timestamp FIFO order is exactly the
+// insertion order, under arbitrary interleaved push/pop traffic
+// ---------------------------------------------------------------------
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Interleaved pushes and pops at equal `time_ps` pop in sequence
+    /// order — the invariant the two-level drain tier relies on.  Times
+    /// are drawn from a tiny set so most events collide; `ops` drives
+    /// the push/pop interleaving.
+    #[test]
+    fn event_queue_equal_times_pop_in_sequence_order(
+        ops in proptest::collection::vec(0u8..12, 150),
+    ) {
+        use tm_async::gatesim::{Event, EventQueue, Logic};
+        use tm_async::netlist::NetId;
+
+        let mut queue = EventQueue::new();
+        // (time, insertion id) pairs still pending, in push order.
+        let mut pending: Vec<(f64, usize)> = Vec::new();
+        let mut next_id = 0usize;
+        for op in ops {
+            let (kind, time_code) = (op % 4, op / 4);
+            if kind < 3 {
+                let time_ps = f64::from(time_code) * 10.0;
+                queue.push(Event {
+                    time_ps,
+                    net: NetId::from_index(next_id),
+                    value: Logic::One,
+                });
+                pending.push((time_ps, next_id));
+                next_id += 1;
+            } else if let Some(event) = queue.pop() {
+                // The expected pop: earliest time, then earliest insertion.
+                let best = pending
+                    .iter()
+                    .enumerate()
+                    .min_by(|(_, a), (_, b)| a.0.total_cmp(&b.0).then(a.1.cmp(&b.1)))
+                    .map(|(i, _)| i)
+                    .expect("queue and model agree on emptiness");
+                let (time_ps, id) = pending.remove(best);
+                prop_assert_eq!(event.time_ps, time_ps);
+                prop_assert_eq!(event.net.index(), id);
+            } else {
+                prop_assert!(pending.is_empty());
+            }
+        }
+        // Drain the rest: must come out in exact (time, sequence) order.
+        while let Some(event) = queue.pop() {
+            let best = pending
+                .iter()
+                .enumerate()
+                .min_by(|(_, a), (_, b)| a.0.total_cmp(&b.0).then(a.1.cmp(&b.1)))
+                .map(|(i, _)| i)
+                .expect("model non-empty");
+            let (time_ps, id) = pending.remove(best);
+            prop_assert_eq!(event.time_ps, time_ps);
+            prop_assert_eq!(event.net.index(), id);
+        }
+        prop_assert!(pending.is_empty());
+    }
+
+    /// C-element transient regression: the two-level queue's tier
+    /// layout is a pure performance choice.  Two simulators with
+    /// radically different bucket granularities (one forcing almost all
+    /// traffic through the overflow heap) must process random stimulus
+    /// into identical settled values, transition counts and timestamps —
+    /// including state-holding C-elements, which are sensitive to the
+    /// exact order of applied transients.
+    #[test]
+    fn c_element_transients_are_invariant_to_queue_granularity(
+        patterns in proptest::collection::vec(0u32..8, 10),
+    ) {
+        use tm_async::celllib::Library;
+        use tm_async::gatesim::Simulator;
+
+        // Mixed combinational/C-element netlist: the C-elements see
+        // glitchy internal nets, so transient ordering matters.
+        let mut nl = Netlist::new("celem_transients");
+        let a = nl.add_input("a");
+        let b = nl.add_input("b");
+        let c = nl.add_input("c");
+        let ab = nl.add_cell("and", CellKind::And2, &[a, b]).expect("cell");
+        let bc = nl.add_cell("nor", CellKind::Nor2, &[b, c]).expect("cell");
+        let cel1 = nl.add_cell("cel1", CellKind::CElement2, &[ab, bc]).expect("cell");
+        let cel2 = nl.add_cell("cel2", CellKind::CElement2, &[cel1, c]).expect("cell");
+        nl.add_output("cel1", cel1);
+        nl.add_output("cel2", cel2);
+
+        let library = Library::umc_ll();
+        // Default granularity vs. a pathological one (nearly everything
+        // spills to the overflow heap).
+        let mut reference = Simulator::new(&nl, &library);
+        let mut stressed = Simulator::new_with_queue_granularity(&nl, &library, 0.125, 1);
+
+        for pattern in patterns {
+            let bits = [pattern & 1 != 0, pattern & 2 != 0, pattern & 4 != 0];
+            for sim in [&mut reference, &mut stressed] {
+                sim.set_input_bool(a, bits[0]);
+                sim.set_input_bool(b, bits[1]);
+                sim.set_input_bool(c, bits[2]);
+                prop_assert!(sim.run_until_quiescent().is_quiescent());
+            }
+            prop_assert_eq!(reference.now_ps(), stressed.now_ps());
+            for (net, _) in nl.nets() {
+                prop_assert_eq!(
+                    reference.value(net),
+                    stressed.value(net),
+                    "net {} diverged at pattern {:#b}",
+                    net,
+                    pattern
+                );
+                prop_assert_eq!(reference.net_transitions(net), stressed.net_transitions(net));
+                prop_assert_eq!(reference.last_change_ps(net), stressed.last_change_ps(net));
+            }
+        }
+    }
+}
