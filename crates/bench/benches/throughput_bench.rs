@@ -1,12 +1,13 @@
 //! Criterion `throughput` group: samples/sec of the scalar golden model,
 //! the 64-wide bit-parallel batch golden model, the multi-threaded
-//! parallel batch runtime, the event-driven gate-level simulation, and
-//! the reworked two-level event queue, all on the standard
+//! parallel batch runtime, the event-driven gate-level simulation (both
+//! the streamed synchronous baseline and the sharded per-operand golden
+//! model), and the two-level event queue, all on the standard
 //! keyword-spotting workload.
 //!
-//! The recorded comparison lives in `BENCH_PR2.json` at the repository
+//! The recorded comparison lives in `BENCH_PR3.json` at the repository
 //! root (regenerate with
-//! `cargo run -p tm-async-bench --release --bin throughput -- 4096 BENCH_PR2.json`).
+//! `cargo run -p tm-async-bench --release --bin throughput -- 4096 BENCH_PR3.json`).
 
 use std::collections::HashMap;
 
@@ -101,6 +102,26 @@ fn bench_throughput(c: &mut Criterion) {
             }
             while queue.pop().is_some() {}
             std::hint::black_box(time)
+        })
+    });
+
+    group.bench_function("event_parallel_2x_16", |b| {
+        // Per-operand event-driven inference (return-to-zero cycles on
+        // the combinational golden model), sharded across two workers.
+        let library = Library::umc_ll();
+        let event_workload = datapath::InferenceWorkload::new(
+            &config,
+            masks.clone(),
+            workload.feature_vectors()[..16].to_vec(),
+        )
+        .expect("sliced workload stays well-formed");
+        let parallel = datapath::EventDrivenInference::new(&model, &library, 2);
+        b.iter(|| {
+            std::hint::black_box(
+                parallel
+                    .run_workload(&event_workload)
+                    .expect("event-driven run"),
+            )
         })
     });
 

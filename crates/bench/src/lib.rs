@@ -13,6 +13,30 @@
 //! calibrated simulator, not the authors' Synopsys flow on proprietary
 //! libraries); the *shapes* — who wins, by roughly what factor, where the
 //! exponential voltage knee sits — are the reproduction target.
+//!
+//! Every experiment runs on the same workload ([`standard_workload`]): a
+//! Tsetlin machine trained on the synthetic keyword-spotting task, its
+//! exclude masks exported as the hardware's `e` inputs and its held-out
+//! test set streamed as operands.  Each strategy's outputs are verified
+//! against the workload's golden outcomes before any time is recorded —
+//! a fast wrong answer never makes it into a table.
+//!
+//! # Example
+//!
+//! ```
+//! use tm_async_bench::{standard_config, standard_workload};
+//!
+//! // The paper's datapath dimensions: 12 features, 8 clauses/polarity.
+//! let config = standard_config();
+//! assert_eq!(config.features(), 12);
+//! assert_eq!(config.clauses_per_polarity(), 8);
+//!
+//! // A tiny training run; every operand carries its golden outcome.
+//! let standard = standard_workload(8, 2021);
+//! assert_eq!(standard.workload.len(), 8);
+//! assert_eq!(standard.workload.expected().len(), 8);
+//! assert!(standard.accuracy > 0.5, "got {}", standard.accuracy);
+//! ```
 
 #![warn(missing_docs)]
 

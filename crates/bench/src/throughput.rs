@@ -10,7 +10,11 @@
 //! per net.  The software reference row ([`datapath::reference::infer`])
 //! and the event-driven row (the registered single-rail baseline under
 //! [`gatesim::run_synchronous_vectors`]) bracket the design space from
-//! above and below.
+//! above and below.  The `event_parallel_<N>` rows shard the
+//! event-driven golden model across worker threads
+//! ([`datapath::EventDrivenInference`]) and, uniquely, observe the
+//! paper's real figure of merit — data-dependent per-operand latency —
+//! summarised in the report's [`EventLatencySummary`].
 //!
 //! Every path's outputs are checked against the workload's golden
 //! outcomes before its time is accepted — a fast wrong answer does not
@@ -21,7 +25,8 @@ use std::time::Instant;
 
 use celllib::Library;
 use datapath::{
-    reference, BatchGoldenModel, BatchInference, ParallelBatchInference, SingleRailDatapath,
+    reference, BatchGoldenModel, BatchInference, EventDrivenInference, InferenceWorkload,
+    ParallelBatchInference, SingleRailDatapath,
 };
 use gatesim::{run_synchronous_vectors, Logic};
 use netlist::{EvalState, Evaluator, NetId};
@@ -44,6 +49,24 @@ pub struct ThroughputRow {
     pub samples_per_sec: f64,
 }
 
+/// Per-operand latency summary of the event-driven golden model — the
+/// paper's figure of merit (each inference completes as fast as its
+/// data allows), measured over the workload the `event_parallel_<N>`
+/// rows timed.
+#[derive(Clone, Debug, PartialEq)]
+pub struct EventLatencySummary {
+    /// Operands the latency figures cover.
+    pub operands: usize,
+    /// Fastest operand, injection→settle, in picoseconds.
+    pub min_ps: f64,
+    /// Median operand latency in picoseconds.
+    pub median_ps: f64,
+    /// Slowest operand in picoseconds.
+    pub max_ps: f64,
+    /// Mean operand latency in picoseconds.
+    pub average_ps: f64,
+}
+
 /// The full throughput comparison.
 #[derive(Clone, Debug, PartialEq)]
 pub struct ThroughputReport {
@@ -51,6 +74,9 @@ pub struct ThroughputReport {
     pub rows: Vec<ThroughputRow>,
     /// Test accuracy of the trained machine backing the workload.
     pub workload_accuracy: f64,
+    /// Data-dependent latency of the event-driven golden model (absent
+    /// only if the event-parallel section was skipped).
+    pub event_latency: Option<EventLatencySummary>,
 }
 
 impl ThroughputReport {
@@ -104,6 +130,17 @@ impl ThroughputReport {
                 "best parallel batch is {speedup:.2}x the single-threaded batch\n"
             ));
         }
+        if let Some(latency) = &self.event_latency {
+            out.push_str(&format!(
+                "event-driven per-operand latency over {} operands: min {:.1} ps, \
+                 median {:.1} ps, max {:.1} ps, avg {:.1} ps\n",
+                latency.operands,
+                latency.min_ps,
+                latency.median_ps,
+                latency.max_ps,
+                latency.average_ps
+            ));
+        }
         out
     }
 
@@ -130,6 +167,16 @@ impl ThroughputReport {
         if let Some(speedup) = self.parallel_speedup() {
             out.push_str(&format!(
                 "  \"parallel_speedup_over_single_thread\": {speedup:.2},\n"
+            ));
+        }
+        if let Some(latency) = &self.event_latency {
+            out.push_str(&format!(
+                "  \"event_latency_ps\": {{\"operands\": {}, \"min\": {:.1}, \"median\": {:.1}, \"max\": {:.1}, \"average\": {:.1}}},\n",
+                latency.operands,
+                latency.min_ps,
+                latency.median_ps,
+                latency.max_ps,
+                latency.average_ps
             ));
         }
         out.push_str(&format!(
@@ -372,9 +419,68 @@ pub fn run(operands: usize, sim_operands: usize, seed: u64) -> ThroughputReport 
         });
     }
 
+    // ------------------------------------------------------------------
+    // Sharded event-driven golden model: the same combinational netlist
+    // as the batch rows, but settled operand by operand on the
+    // event-driven simulator (return-to-zero cycles), sharded across
+    // worker threads.  This is the only strategy that observes
+    // per-operand latency — the paper's figure of merit — so the report
+    // also records the latency distribution.
+    // ------------------------------------------------------------------
+    let mut event_latency = None;
+    {
+        let sim_operands = sim_operands.min(operands).max(1);
+        let library = Library::umc_ll();
+        let event_workload = InferenceWorkload::new(
+            &config,
+            workload.masks().clone(),
+            workload.feature_vectors()[..sim_operands].to_vec(),
+        )
+        .expect("sliced workload stays well-formed");
+
+        let mut thread_counts = vec![1, 2, exec::available_parallelism()];
+        thread_counts.sort_unstable();
+        thread_counts.dedup();
+        for threads in thread_counts {
+            let parallel = EventDrivenInference::new(&model, &library, threads);
+            let run = parallel
+                .run_workload(&event_workload)
+                .expect("event-driven run");
+            assert_eq!(
+                run.outcomes.as_slice(),
+                &expected[..sim_operands],
+                "event-driven parallel ({threads} threads) diverged"
+            );
+            event_latency.get_or_insert_with(|| EventLatencySummary {
+                operands: sim_operands,
+                min_ps: run.latency.min_ps(),
+                median_ps: run.latency.median_ps(),
+                max_ps: run.latency.max_ps(),
+                average_ps: run.latency.average_ps(),
+            });
+
+            let reps = 3;
+            let seconds = time_reps(reps, || {
+                std::hint::black_box(
+                    parallel
+                        .run_workload(&event_workload)
+                        .expect("event-driven run"),
+                );
+            });
+            rows.push(ThroughputRow {
+                strategy: format!("event_parallel_{threads}"),
+                operands: sim_operands,
+                repetitions: reps,
+                seconds,
+                samples_per_sec: (sim_operands * reps) as f64 / seconds,
+            });
+        }
+    }
+
     ThroughputReport {
         rows,
         workload_accuracy: standard.accuracy,
+        event_latency,
     }
 }
 
@@ -394,16 +500,27 @@ mod tests {
         let mut speedup = 0.0f64;
         for _ in 0..2 {
             let report = run(128, 4, 7);
-            // Fixed strategies plus one parallel row per distinct thread
-            // count in {1, 2, available_parallelism}.
+            // Fixed strategies plus one parallel-batch row and one
+            // event-parallel row per distinct thread count in
+            // {1, 2, available_parallelism}.
             let parallel_rows = report
                 .rows
                 .iter()
                 .filter(|r| r.strategy.starts_with("parallel_batch_"))
                 .count();
-            assert_eq!(report.rows.len(), 4 + parallel_rows);
+            let event_rows = report
+                .rows
+                .iter()
+                .filter(|r| r.strategy.starts_with("event_parallel_"))
+                .count();
+            assert_eq!(report.rows.len(), 4 + parallel_rows + event_rows);
             assert!((2..=3).contains(&parallel_rows));
+            assert_eq!(event_rows, parallel_rows);
             assert!(report.parallel_speedup().is_some());
+            let latency = report.event_latency.as_ref().expect("event rows ran");
+            assert_eq!(latency.operands, 4);
+            assert!(latency.min_ps > 0.0);
+            assert!(latency.min_ps <= latency.median_ps && latency.median_ps <= latency.max_ps);
             speedup = speedup.max(report.batch_speedup().expect("both rows present"));
             if speedup >= 10.0 {
                 break;
@@ -426,9 +543,19 @@ mod tests {
                 samples_per_sec: 2.0,
             }],
             workload_accuracy: 0.9,
+            event_latency: Some(EventLatencySummary {
+                operands: 1,
+                min_ps: 10.0,
+                median_ps: 20.0,
+                max_ps: 30.0,
+                average_ps: 20.0,
+            }),
         };
         let json = report.to_json();
         assert!(json.contains("\"samples_per_sec\": 2.0"));
+        assert!(json.contains("\"event_latency_ps\""));
+        assert!(json.contains("\"median\": 20.0"));
         assert!(json.trim_start().starts_with('{') && json.trim_end().ends_with('}'));
+        assert!(report.render().contains("median 20.0 ps"));
     }
 }

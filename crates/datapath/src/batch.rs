@@ -131,6 +131,26 @@ impl BatchGoldenModel {
 ///
 /// Owns all scratch buffers, so steady-state batches perform no heap
 /// allocation beyond the returned outcome vector.
+///
+/// # Example
+///
+/// ```
+/// use datapath::{BatchGoldenModel, BatchInference, DatapathConfig, InferenceWorkload};
+///
+/// # fn main() -> Result<(), Box<dyn std::error::Error>> {
+/// let config = DatapathConfig::new(5, 4)?;
+/// let model = BatchGoldenModel::generate(&config)?;
+/// let mut batch = BatchInference::new(&model)?;
+///
+/// // 70 operands: one full 64-lane pass plus a 6-lane remainder.
+/// let workload = InferenceWorkload::random(&config, 70, 0.7, 1)?;
+/// let outcomes = batch.run_workload(&workload)?;
+/// assert_eq!(outcomes.len(), 70);
+/// assert_eq!(&outcomes, workload.expected());
+/// assert_eq!(batch.lanes(), 64);
+/// # Ok(())
+/// # }
+/// ```
 #[derive(Debug)]
 pub struct BatchInference<'a> {
     evaluator: BatchEvaluator<'a>,

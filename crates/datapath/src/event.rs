@@ -1,0 +1,286 @@
+//! Event-driven inference with per-operand latency, sharded across
+//! worker threads.
+//!
+//! The batch spine answers "how many samples per second"; this module
+//! answers the paper's actual question — **how long does each inference
+//! take?**  Every operand is driven through the combinational golden
+//! model ([`crate::BatchGoldenModel`]) on the event-driven simulator as
+//! one return-to-zero cycle (all-zero spacer → settle → operand →
+//! settle), so the injection→settle time *is* the data-dependent latency
+//! the asynchronous datapath claims: each inference completes exactly as
+//! fast as its operand allows.
+//!
+//! A single event-driven instance is the workspace's slowest path, so
+//! the operand stream is sharded across an [`exec::Executor`]'s workers
+//! by [`gatesim::ParallelEventSim`]: the engine compilation is shared
+//! read-only (`Arc<EngineProgram>`), each worker owns a private
+//! simulator, and results merge in operand order — outcomes and latency
+//! reports are bit-identical to a streamed single instance at any thread
+//! count (property-tested at threads {1, 2, 7}).
+//!
+//! # Example
+//!
+//! ```
+//! use celllib::Library;
+//! use datapath::{BatchGoldenModel, DatapathConfig, EventDrivenInference, InferenceWorkload};
+//!
+//! # fn main() -> Result<(), Box<dyn std::error::Error>> {
+//! let config = DatapathConfig::new(4, 2)?;
+//! let model = BatchGoldenModel::generate(&config)?;
+//! let library = Library::umc_ll();
+//! let sim = EventDrivenInference::new(&model, &library, 2);
+//!
+//! let workload = InferenceWorkload::random(&config, 12, 0.7, 42)?;
+//! let run = sim.run_workload(&workload)?;
+//! assert_eq!(&run.outcomes, workload.expected());
+//! // Per-operand latency in picoseconds — the paper's figure of merit.
+//! assert_eq!(run.latency.count(), 12);
+//! assert!(run.latency.max_ps() > 0.0);
+//! # Ok(())
+//! # }
+//! ```
+
+use celllib::Library;
+use exec::Executor;
+use gatesim::{LatencyReport, Logic, OperandRun, ParallelEventSim};
+use tsetlin::ExcludeMasks;
+
+use crate::batch::{check_masks, BatchGoldenModel};
+use crate::reference::{ComparatorDecision, InferenceOutcome};
+use crate::workload::InferenceWorkload;
+use crate::{DatapathConfig, DatapathError};
+
+/// Result of an event-driven workload run: one golden-comparable outcome
+/// per operand plus the per-operand latency report.
+#[derive(Clone, Debug, PartialEq)]
+pub struct EventDrivenRun {
+    /// Decoded inference outcomes, in operand order.
+    pub outcomes: Vec<InferenceOutcome>,
+    /// Injection→settle latency of every operand, in operand order, with
+    /// min/median/max/histogram summaries.
+    pub latency: LatencyReport,
+}
+
+/// Event-driven inference over the combinational golden model with the
+/// operand stream sharded across worker threads.
+///
+/// Construction compiles the netlist once; `run_workload` takes `&self`
+/// (all mutable state is per worker), so one instance can serve many
+/// workloads.  See the [module documentation](self) for the determinism
+/// contract and an example.
+#[derive(Debug)]
+pub struct EventDrivenInference<'a> {
+    sim: ParallelEventSim<'a>,
+    config: DatapathConfig,
+}
+
+impl<'a> EventDrivenInference<'a> {
+    /// Compiles the golden-model netlist for event-driven simulation
+    /// (delays from `library` at its current supply voltage and corner)
+    /// and prepares `threads` workers (clamped to at least 1).
+    #[must_use]
+    pub fn new(model: &'a BatchGoldenModel, library: &Library, threads: usize) -> Self {
+        Self::with_executor(model, library, Executor::new(threads))
+    }
+
+    /// Like [`EventDrivenInference::new`] with an explicit executor.
+    #[must_use]
+    pub fn with_executor(
+        model: &'a BatchGoldenModel,
+        library: &Library,
+        executor: Executor,
+    ) -> Self {
+        use std::sync::Arc;
+        let program = Arc::new(gatesim::EngineProgram::new(model.netlist(), library));
+        Self {
+            sim: ParallelEventSim::from_program(program, executor),
+            config: *model.config(),
+        }
+    }
+
+    /// Number of worker threads the operand stream is sharded across.
+    #[must_use]
+    pub fn threads(&self) -> usize {
+        self.sim.threads()
+    }
+
+    /// Runs every operand of `workload` through a return-to-zero
+    /// event-driven cycle and returns the decoded outcomes (comparable
+    /// with [`InferenceWorkload::expected`]) plus the per-operand
+    /// latency report — both in operand order and bit-identical at any
+    /// thread count.
+    ///
+    /// # Errors
+    ///
+    /// Returns width mismatches for masks that do not match the model's
+    /// configuration and decode failures if a settled operand's
+    /// comparator outputs are not one-hot or any output is X.
+    pub fn run_workload(
+        &self,
+        workload: &InferenceWorkload,
+    ) -> Result<EventDrivenRun, DatapathError> {
+        check_masks(&self.config, workload.masks())?;
+        let operands =
+            operand_bit_vectors(&self.config, workload.masks(), workload.feature_vectors());
+        let (runs, latency) = self.sim.run_operands_with_report(&operands);
+        let outcomes = runs
+            .iter()
+            .enumerate()
+            .map(|(k, run)| decode_operand_run(run, k))
+            .collect::<Result<Vec<_>, _>>()?;
+        Ok(EventDrivenRun { outcomes, latency })
+    }
+}
+
+/// Flattens each feature vector with the shared exclude masks into the
+/// golden model's primary-input order (features, then the positive bank,
+/// then the negative bank).
+fn operand_bit_vectors(
+    config: &DatapathConfig,
+    masks: &ExcludeMasks,
+    feature_vectors: &[Vec<bool>],
+) -> Vec<Vec<bool>> {
+    let mut mask_bits = Vec::with_capacity(config.data_input_count() - config.features());
+    for bank in [masks.positive(), masks.negative()] {
+        for mask in bank {
+            mask_bits.extend_from_slice(mask);
+        }
+    }
+    feature_vectors
+        .iter()
+        .map(|features| {
+            let mut bits = Vec::with_capacity(config.data_input_count());
+            bits.extend_from_slice(features);
+            bits.extend_from_slice(&mask_bits);
+            bits
+        })
+        .collect()
+}
+
+/// Decodes one settled operand run (primary outputs `less`, `equal`,
+/// `greater`, then the two 4-bit vote counts, LSB first) into an
+/// [`InferenceOutcome`].
+fn decode_operand_run(run: &OperandRun, operand: usize) -> Result<InferenceOutcome, DatapathError> {
+    let bit = |value: Logic, what: &str| -> Result<bool, DatapathError> {
+        value.to_option().ok_or_else(|| {
+            DatapathError::DecodeFailure(format!("operand {operand}: {what} settled to X"))
+        })
+    };
+    // An X on any comparator rail is a decode failure in its own right —
+    // treating it as "inactive" could fake a one-hot pattern.
+    let mut active = Vec::with_capacity(1);
+    for i in 0..3 {
+        if bit(run.outputs[i], "comparator output")? {
+            active.push(i);
+        }
+    }
+    let &[index] = active.as_slice() else {
+        return Err(DatapathError::DecodeFailure(format!(
+            "operand {operand}: expected exactly one active comparator output, got {active:?}"
+        )));
+    };
+    let decode_count =
+        |range: std::ops::Range<usize>, what: &str| -> Result<usize, DatapathError> {
+            range
+                .clone()
+                .zip(0..)
+                .try_fold(0usize, |acc, (slot, weight)| {
+                    Ok(acc + (usize::from(bit(run.outputs[slot], what)?) << weight))
+                })
+        };
+    let positive_votes = decode_count(3..7, "positive vote count")?;
+    let negative_votes = decode_count(7..11, "negative vote count")?;
+    let decision = ComparatorDecision::from_index(index)
+        .expect("index comes from a three-element enumeration");
+    Ok(InferenceOutcome {
+        positive_votes,
+        negative_votes,
+        decision,
+        in_class: decision != ComparatorDecision::Less,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn event_driven_outcomes_match_golden_at_several_thread_counts() {
+        let config = DatapathConfig::new(5, 4).unwrap();
+        let model = BatchGoldenModel::generate(&config).unwrap();
+        let library = Library::umc_ll();
+        let workload = InferenceWorkload::random(&config, 17, 0.7, 9).unwrap();
+
+        let reference = EventDrivenInference::new(&model, &library, 1)
+            .run_workload(&workload)
+            .unwrap();
+        assert_eq!(reference.outcomes.as_slice(), workload.expected());
+        assert_eq!(reference.latency.count(), workload.len());
+        assert!(reference.latency.max_ps() > 0.0);
+        assert!(reference.latency.min_ps() <= reference.latency.median_ps());
+
+        for threads in [2, 7] {
+            let sim = EventDrivenInference::new(&model, &library, threads);
+            assert_eq!(sim.threads(), threads);
+            let run = sim.run_workload(&workload).unwrap();
+            assert_eq!(run, reference, "threads = {threads}");
+        }
+    }
+
+    #[test]
+    fn latency_depends_on_the_operand() {
+        // The figure-of-merit property: different operands settle at
+        // different times, so the report spreads (this is what the
+        // early-propagative design exploits).
+        let config = DatapathConfig::new(6, 4).unwrap();
+        let model = BatchGoldenModel::generate(&config).unwrap();
+        let library = Library::umc_ll();
+        let workload = InferenceWorkload::random(&config, 32, 0.6, 3).unwrap();
+        let run = EventDrivenInference::new(&model, &library, 2)
+            .run_workload(&workload)
+            .unwrap();
+        assert!(
+            run.latency.min_ps() < run.latency.max_ps(),
+            "expected a data-dependent latency spread, got min == max == {}",
+            run.latency.min_ps()
+        );
+    }
+
+    #[test]
+    fn x_outputs_are_decode_failures_not_fake_one_hots() {
+        // [One, X, Zero, ...]: counting X as "inactive" would decode as a
+        // confident `Less`; the contract says any X fails the decode.
+        let mut outputs = vec![Logic::Zero; 11];
+        outputs[0] = Logic::One;
+        outputs[1] = Logic::Unknown;
+        let run = OperandRun {
+            outputs,
+            latency_ps: 1.0,
+            events: 1,
+        };
+        let err = decode_operand_run(&run, 0).unwrap_err();
+        assert!(matches!(err, DatapathError::DecodeFailure(_)));
+
+        // Same for an X vote-count bit behind a valid one-hot comparator.
+        let mut outputs = vec![Logic::Zero; 11];
+        outputs[2] = Logic::One;
+        outputs[5] = Logic::Unknown;
+        let run = OperandRun {
+            outputs,
+            latency_ps: 1.0,
+            events: 1,
+        };
+        assert!(decode_operand_run(&run, 0).is_err());
+    }
+
+    #[test]
+    fn mismatched_masks_are_rejected() {
+        let config = DatapathConfig::new(3, 2).unwrap();
+        let other = DatapathConfig::new(4, 2).unwrap();
+        let model = BatchGoldenModel::generate(&config).unwrap();
+        let library = Library::umc_ll();
+        let sim = EventDrivenInference::new(&model, &library, 2);
+        let workload = InferenceWorkload::random(&other, 4, 0.5, 1).unwrap();
+        assert!(sim.run_workload(&workload).is_err());
+    }
+}

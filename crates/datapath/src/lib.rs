@@ -14,7 +14,19 @@
 //!   static timing analysis.
 //!
 //! Both are generated from the same [`DatapathConfig`] and verified
-//! against the same software golden model ([`reference`]).
+//! against the same software golden model ([`mod@reference`]).
+//!
+//! For bulk scoring the crate also provides three inference runtimes
+//! over the *unregistered* golden-model netlist ([`BatchGoldenModel`]):
+//!
+//! * [`BatchInference`] — 64 samples per pass in the bit lanes of a
+//!   `u64` per net (the throughput spine);
+//! * [`ParallelBatchInference`] — the same passes sharded across worker
+//!   threads, bit-identical at any thread count;
+//! * [`EventDrivenInference`] — per-operand event-driven simulation
+//!   (return-to-zero cycles, sharded across workers) reporting the
+//!   data-dependent injection→settle latency of every operand — the
+//!   paper's figure of merit.
 //!
 //! # Example
 //!
@@ -57,6 +69,7 @@ pub mod clause_logic;
 pub mod comparator;
 pub mod config;
 pub mod error;
+pub mod event;
 pub mod parallel;
 pub mod popcount;
 pub mod reference;
@@ -67,6 +80,7 @@ pub use batch::{BatchGoldenModel, BatchInference};
 pub use builder::{CompletionScheme, DatapathOptions, DualRailDatapath};
 pub use config::DatapathConfig;
 pub use error::DatapathError;
+pub use event::{EventDrivenInference, EventDrivenRun};
 pub use parallel::ParallelBatchInference;
 pub use reference::{ComparatorDecision, InferenceOutcome};
 pub use single_rail::SingleRailDatapath;

@@ -85,12 +85,33 @@ impl Executor {
     ///
     /// Chunks are claimed dynamically from an atomic counter, so uneven
     /// per-chunk cost still load-balances.  `f` receives the chunk index
-    /// and the chunk slice; the last chunk may be shorter.
+    /// and the chunk slice; the last chunk may be shorter.  Empty input
+    /// yields an empty result, and a `chunk_size` larger than the input
+    /// produces a single chunk that runs inline on the calling thread
+    /// (no workers are spawned when there is at most one chunk).
+    ///
+    /// # Example
+    ///
+    /// ```
+    /// use exec::Executor;
+    ///
+    /// let exec = Executor::new(3);
+    /// let items: Vec<u32> = (0..10).collect();
+    /// // Ragged tail: chunks are [0..4], [4..8], [8..10].
+    /// let sums = exec.map_chunks(&items, 4, |index, chunk| {
+    ///     (index, chunk.iter().sum::<u32>())
+    /// });
+    /// assert_eq!(sums, vec![(0, 6), (1, 22), (2, 17)]);
+    /// ```
     ///
     /// # Panics
     ///
-    /// Panics if `chunk_size` is zero, or if `f` panics on any chunk (the
-    /// panic is propagated).
+    /// Panics if `chunk_size` is zero, or if `f` panics on any chunk.  A
+    /// worker panic aborts the whole call: with one worker (or one
+    /// chunk) the original panic propagates unchanged; with several
+    /// workers it resurfaces as a `"worker thread panicked"` panic when
+    /// the scope joins.  Either way the call never returns partial
+    /// results — this propagation contract is pinned by tests.
     pub fn map_chunks<T, R, F>(&self, items: &[T], chunk_size: usize, f: F) -> Vec<R>
     where
         T: Sync,
@@ -185,7 +206,9 @@ impl Executor {
     /// # Panics
     ///
     /// Panics if `items` and `states` have different lengths, or if `f`
-    /// panics.
+    /// panics (same propagation contract as [`Executor::map_chunks`]:
+    /// inline panics surface unchanged, worker panics as
+    /// `"worker thread panicked"`; never partial results).
     pub fn zip_shards<T, S, R, F>(&self, items: &[T], states: &mut [S], f: F) -> Vec<R>
     where
         T: Sync,
@@ -398,13 +421,76 @@ mod tests {
     }
 
     #[test]
-    fn worker_panics_propagate() {
-        let result = std::panic::catch_unwind(|| {
-            Executor::new(2).map_chunks(&[1u8, 2, 3, 4], 1, |i, _| {
-                assert!(i != 2, "boom");
-                i
-            })
+    fn chunk_size_larger_than_input_runs_inline_as_one_chunk() {
+        // A single chunk must not spawn workers: the closure observes the
+        // calling thread's id, pinning the inline fast path.
+        let items: Vec<u16> = (0..5).collect();
+        let caller = std::thread::current().id();
+        let results = Executor::new(8).map_chunks(&items, 1000, |index, chunk| {
+            (index, chunk.len(), std::thread::current().id())
         });
-        assert!(result.is_err());
+        assert_eq!(results.len(), 1);
+        let (index, len, thread) = results[0];
+        assert_eq!((index, len), (0, 5));
+        assert_eq!(thread, caller, "single chunk must run on the caller");
+    }
+
+    #[test]
+    fn empty_input_yields_empty_results_everywhere() {
+        let empty: Vec<u8> = Vec::new();
+        for threads in [1, 4] {
+            let exec = Executor::new(threads);
+            assert!(exec.map_chunks(&empty, 8, |_, c| c.len()).is_empty());
+            assert!(exec
+                .map_chunks_with(&empty, 8, || 0u32, |_, _, c| c.len())
+                .is_empty());
+            let mut states: Vec<u8> = Vec::new();
+            assert!(exec
+                .zip_shards(&empty, &mut states, |_, _, _| ())
+                .is_empty());
+        }
+    }
+
+    /// The panic-propagation contract of the docs: a panicking closure
+    /// aborts the call with no partial results.  Inline execution (one
+    /// worker) surfaces the original message; scoped workers resurface
+    /// it as "worker thread panicked" when the scope joins.
+    #[test]
+    fn worker_panics_propagate() {
+        let boom = |i: usize| -> usize {
+            assert!(i != 2, "boom");
+            i
+        };
+        // Multi-threaded: the panic crosses the scope join.
+        let result = std::panic::catch_unwind(|| {
+            Executor::new(2).map_chunks(&[1u8, 2, 3, 4], 1, |i, _| boom(i))
+        });
+        let message = *result
+            .expect_err("worker panic must propagate")
+            .downcast::<String>()
+            .expect("join panics with a formatted message");
+        assert!(message.contains("worker thread panicked"), "got {message}");
+
+        // Inline (threads = 1): the original panic message survives.
+        let result = std::panic::catch_unwind(|| {
+            Executor::new(1).map_chunks(&[1u8, 2, 3, 4], 1, |i, _| boom(i))
+        });
+        let message = *result
+            .expect_err("inline panic must propagate")
+            .downcast::<&str>()
+            .expect("assert! with a literal message panics with &str");
+        assert_eq!(message, "boom");
+    }
+
+    #[test]
+    fn zip_shards_panics_propagate() {
+        let items: Vec<u8> = (0..8).collect();
+        let mut states = vec![0u8; 8];
+        let result = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            Executor::new(4).zip_shards(&items, &mut states, |index, _, _| {
+                assert!(index != 5, "shard boom");
+            })
+        }));
+        assert!(result.is_err(), "zip_shards must propagate worker panics");
     }
 }

@@ -1,10 +1,14 @@
 //! The event-driven simulation engine.
 
+use std::sync::Arc;
+
 use celllib::{ActivityProfile, Library};
-use netlist::{CellId, CellKind, NetId, Netlist};
+use netlist::{CellId, NetId, Netlist};
 
 use crate::event::{Event, EventQueue};
+use crate::program::{EngineProgram, NO_DRIVER, NO_LUT};
 use crate::Logic;
+use netlist::CellKind;
 
 /// Outcome of [`Simulator::run_until_quiescent`].
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
@@ -43,11 +47,17 @@ impl RunOutcome {
 /// fresh stimulus.  Pending events sit in a two-level queue
 /// ([`EventQueue`]) whose drain tier serves same-timestamp cascades
 /// without heap traffic.
+///
+/// All of the immutable construction products live in an `Arc`-shared
+/// [`EngineProgram`], so additional instances over the same netlist
+/// ([`Simulator::from_program`]) cost only their mutable state — the
+/// replication primitive behind [`crate::ParallelEventSim`].
 #[derive(Debug)]
 pub struct Simulator<'a> {
-    netlist: &'a Netlist,
+    /// The shared immutable compilation (CSR arrays, truth tables,
+    /// delays); everything below is this instance's private state.
+    program: Arc<EngineProgram<'a>>,
     values: Vec<Logic>,
-    cell_delay_ps: Vec<f64>,
     queue: EventQueue,
     now_ps: f64,
     cell_transitions: Vec<u64>,
@@ -56,12 +66,6 @@ pub struct Simulator<'a> {
     dff_last_clk: Vec<Logic>,
     event_limit: u64,
     total_events: u64,
-    /// CSR-style fanout: loads of net `n` are
-    /// `fanout_loads[fanout_offsets[n] .. fanout_offsets[n + 1]]`.
-    /// Flattened once at construction so [`Simulator::apply_event`] never
-    /// clones a load list.
-    fanout_offsets: Vec<u32>,
-    fanout_loads: Vec<(CellId, u8)>,
     /// Number of scheduled-but-unapplied events per net.  A schedule
     /// (gate re-evaluation, flip-flop capture or stimulus drive) is
     /// dropped only when its net has no event in flight and already
@@ -69,32 +73,7 @@ pub struct Simulator<'a> {
     /// cutting queue traffic on wide fan-in cones and stable registers.
     pending_events: Vec<u32>,
     suppressed_events: u64,
-    /// Flattened per-cell data (kind, output-net index, CSR input-net
-    /// list), so [`Simulator::evaluate_cell`] never chases a `Cell`'s
-    /// `Vec<NetId>` pointer: one contiguous read per field.
-    cell_kind: Vec<CellKind>,
-    cell_output: Vec<u32>,
-    cell_input_offsets: Vec<u32>,
-    cell_input_nets: Vec<u32>,
-    /// Driving cell of each net (`u32::MAX` for inputs/undriven nets),
-    /// so transition accounting skips the `Net` lookup.
-    driver_of: Vec<u32>,
-    /// Per-cell offset into `lut_data` (`u32::MAX` for flip-flops, which
-    /// have edge semantics instead of a truth table).
-    cell_lut: Vec<u32>,
-    /// Concatenated three-valued truth tables, one per distinct cell
-    /// kind: entry `Σ value_i · 3^i` (plus a `3^arity` digit for the
-    /// previous output of state-holding C-elements) is the cell's output
-    /// for that input combination, precomputed from
-    /// [`CellKind::eval_tristate`] at construction.
-    lut_data: Vec<Logic>,
 }
-
-/// Marker for nets without a driving cell in [`Simulator::driver_of`].
-const NO_DRIVER: u32 = u32::MAX;
-/// Marker in [`Simulator::cell_lut`] for cells without a truth table
-/// (flip-flops, which have edge semantics instead).
-const NO_LUT: u32 = u32::MAX;
 
 impl<'a> Simulator<'a> {
     /// Default maximum number of events per [`Simulator::run_until_quiescent`] call.
@@ -107,7 +86,7 @@ impl<'a> Simulator<'a> {
     /// at time zero.
     #[must_use]
     pub fn new(netlist: &'a Netlist, library: &Library) -> Self {
-        Self::build(netlist, library, None)
+        Self::from_program(Arc::new(EngineProgram::new(netlist, library)))
     }
 
     /// Like [`Simulator::new`] with an explicit event-queue granularity
@@ -127,143 +106,45 @@ impl<'a> Simulator<'a> {
         bucket_width_ps: f64,
         bucket_count: usize,
     ) -> Self {
-        Self::build(netlist, library, Some((bucket_width_ps, bucket_count)))
+        Self::from_program(Arc::new(EngineProgram::with_queue_granularity(
+            netlist,
+            library,
+            bucket_width_ps,
+            bucket_count,
+        )))
     }
 
-    fn build(netlist: &'a Netlist, library: &Library, granularity: Option<(f64, usize)>) -> Self {
-        // The voltage-scaled delay model evaluates transcendentals per
-        // query; memoise per (kind, fanout) so construction stays cheap
-        // for large netlists (distinct pairs number a few dozen).
-        let mut delay_cache: std::collections::HashMap<(CellKind, usize), f64> =
-            std::collections::HashMap::new();
-        let cell_delay_ps: Vec<f64> = netlist
-            .cells()
-            .map(|(_, cell)| {
-                let fanout = netlist.net(cell.output()).fanout().max(1);
-                *delay_cache
-                    .entry((cell.kind(), fanout))
-                    .or_insert_with(|| library.cell_delay(cell.kind(), fanout))
-            })
-            .collect();
-
-        // Flatten the per-net load lists into one contiguous CSR array.
-        let mut fanout_offsets = Vec::with_capacity(netlist.net_count() + 1);
-        let mut fanout_loads = Vec::with_capacity(netlist.nets().map(|(_, n)| n.fanout()).sum());
-        fanout_offsets.push(0);
-        for (_, net) in netlist.nets() {
-            for &(cell, pin) in net.loads() {
-                fanout_loads.push((cell, u8::try_from(pin).expect("pin index fits in u8")));
-            }
-            fanout_offsets.push(u32::try_from(fanout_loads.len()).expect("loads fit in u32"));
-        }
-
-        // Flatten per-cell kind/output/inputs the same way.
-        let mut cell_kind = Vec::with_capacity(netlist.cell_count());
-        let mut cell_output = Vec::with_capacity(netlist.cell_count());
-        let mut cell_input_offsets = Vec::with_capacity(netlist.cell_count() + 1);
-        let mut cell_input_nets = Vec::new();
-        cell_input_offsets.push(0);
-        for (_, cell) in netlist.cells() {
-            cell_kind.push(cell.kind());
-            cell_output.push(u32::try_from(cell.output().index()).expect("nets fit in u32"));
-            cell_input_nets.extend(
-                cell.inputs()
-                    .iter()
-                    .map(|n| u32::try_from(n.index()).expect("nets fit in u32")),
-            );
-            cell_input_offsets
-                .push(u32::try_from(cell_input_nets.len()).expect("connections fit in u32"));
-        }
-
-        // Precompute each kind's three-valued truth table so the hot loop
-        // replaces `eval_tristate` (slice scans over `Option<bool>`) with
-        // one table load.  Digit `i` of the index is input `i`'s value
-        // (0, 1, X); state-holding C-elements get one extra digit for
-        // their previous output.
-        let decode = |digit: usize| match digit {
-            0 => Some(false),
-            1 => Some(true),
-            _ => None,
-        };
-        let mut lut_data: Vec<Logic> = Vec::new();
-        let mut kind_offsets: std::collections::HashMap<CellKind, u32> =
-            std::collections::HashMap::new();
-        let mut cell_lut = Vec::with_capacity(netlist.cell_count());
-        for (_, cell) in netlist.cells() {
-            let kind = cell.kind();
-            if kind == CellKind::Dff {
-                cell_lut.push(NO_LUT);
-                continue;
-            }
-            let offset = *kind_offsets.entry(kind).or_insert_with(|| {
-                let offset = u32::try_from(lut_data.len()).expect("tables stay small");
-                let arity = kind.input_count();
-                let digits = arity + usize::from(kind.is_sequential());
-                for code in 0..3usize.pow(u32::try_from(digits).expect("small arity")) {
-                    let mut rest = code;
-                    let mut inputs = [None; CellKind::MAX_INPUTS];
-                    for slot in inputs.iter_mut().take(arity) {
-                        *slot = decode(rest % 3);
-                        rest /= 3;
-                    }
-                    let prev = if kind.is_sequential() {
-                        decode(rest % 3)
-                    } else {
-                        None
-                    };
-                    lut_data.push(Logic::from(kind.eval_tristate(&inputs[..arity], prev)));
-                }
-                offset
-            });
-            cell_lut.push(offset);
-        }
-
-        let driver_of = (0..netlist.net_count())
-            .map(|n| {
-                netlist
-                    .driver_cell(NetId::from_index(n))
-                    .map_or(NO_DRIVER, |c| {
-                        u32::try_from(c.index()).expect("cells fit in u32")
-                    })
-            })
-            .collect();
-
-        // Size the two-level event queue from the largest cell delay: no
-        // event is ever scheduled further ahead than one cell delay, so a
-        // horizon of a few delays keeps the overflow heap empty.
-        let max_delay_ps = cell_delay_ps
-            .iter()
-            .copied()
-            .fold(f64::MIN_POSITIVE, f64::max);
-        let (bucket_width_ps, bucket_count) = granularity.unwrap_or((max_delay_ps / 16.0, 64));
-        let queue = EventQueue::with_granularity(bucket_width_ps, bucket_count);
-
+    /// Creates a fresh simulator instance over an existing (possibly
+    /// shared) [`EngineProgram`], allocating only this instance's mutable
+    /// state.  All nets start at X; constant cells are scheduled at time
+    /// zero, exactly as in [`Simulator::new`].
+    #[must_use]
+    pub fn from_program(program: Arc<EngineProgram<'a>>) -> Self {
+        let net_count = program.netlist.net_count();
+        let cell_count = program.netlist.cell_count();
+        let queue = EventQueue::with_granularity(program.bucket_width_ps, program.bucket_count);
         let mut sim = Self {
-            netlist,
-            values: vec![Logic::Unknown; netlist.net_count()],
-            cell_delay_ps,
+            program,
+            values: vec![Logic::Unknown; net_count],
             queue,
             now_ps: 0.0,
-            cell_transitions: vec![0; netlist.cell_count()],
-            net_transitions: vec![0; netlist.net_count()],
-            last_change_ps: vec![f64::NAN; netlist.net_count()],
-            dff_last_clk: vec![Logic::Unknown; netlist.cell_count()],
+            cell_transitions: vec![0; cell_count],
+            net_transitions: vec![0; net_count],
+            last_change_ps: vec![f64::NAN; net_count],
+            dff_last_clk: vec![Logic::Unknown; cell_count],
             event_limit: Self::DEFAULT_EVENT_LIMIT,
             total_events: 0,
-            fanout_offsets,
-            fanout_loads,
-            pending_events: vec![0; netlist.net_count()],
+            pending_events: vec![0; net_count],
             suppressed_events: 0,
-            cell_kind,
-            cell_output,
-            cell_input_offsets,
-            cell_input_nets,
-            driver_of,
-            cell_lut,
-            lut_data,
         };
         sim.schedule_constants();
         sim
+    }
+
+    /// The shared immutable program this instance evaluates.
+    #[must_use]
+    pub fn program(&self) -> &Arc<EngineProgram<'a>> {
+        &self.program
     }
 
     /// Schedules `value` on `net` at `time_ps`, tracking the in-flight
@@ -299,21 +180,17 @@ impl<'a> Simulator<'a> {
     }
 
     fn schedule_constants(&mut self) {
-        for (id, cell) in self.netlist.cells() {
-            let value = match cell.kind() {
-                CellKind::Tie0 => Logic::Zero,
-                CellKind::Tie1 => Logic::One,
-                _ => continue,
-            };
-            let time_ps = self.now_ps + self.cell_delay_ps[id.index()];
-            self.schedule(cell.output(), value, time_ps);
+        for i in 0..self.program.constants.len() {
+            let (net, value, delay_ps) = self.program.constants[i];
+            let time_ps = self.now_ps + delay_ps;
+            self.schedule(net, value, time_ps);
         }
     }
 
     /// The netlist being simulated.
     #[must_use]
-    pub fn netlist(&self) -> &Netlist {
-        self.netlist
+    pub fn netlist(&self) -> &'a Netlist {
+        self.program.netlist
     }
 
     /// Current simulation time in picoseconds.
@@ -340,7 +217,8 @@ impl<'a> Simulator<'a> {
     /// Values of all primary outputs, in port declaration order.
     #[must_use]
     pub fn output_values(&self) -> Vec<Logic> {
-        self.netlist
+        self.program
+            .netlist
             .primary_outputs()
             .iter()
             .map(|&n| self.value(n))
@@ -394,7 +272,7 @@ impl<'a> Simulator<'a> {
     #[must_use]
     pub fn activity_profile(&self, duration_ps: f64) -> ActivityProfile {
         let mut profile = ActivityProfile::new(duration_ps);
-        for (id, _) in self.netlist.cells() {
+        for (id, _) in self.program.netlist.cells() {
             let count = self.cell_transitions[id.index()];
             if count > 0 {
                 profile.record(id, count);
@@ -414,7 +292,7 @@ impl<'a> Simulator<'a> {
     /// Panics if `net` is not a primary input.
     pub fn set_input(&mut self, net: NetId, value: Logic) {
         assert!(
-            self.netlist.is_primary_input(net),
+            self.program.netlist.is_primary_input(net),
             "net {net} is not a primary input"
         );
         self.schedule_if_effective(net, value, self.now_ps);
@@ -449,6 +327,30 @@ impl<'a> Simulator<'a> {
             self.now_ps
         );
         self.now_ps = time_ps;
+    }
+
+    /// Rebases the simulation clock to zero.  Net values, transition
+    /// counters and suppression state are untouched; only the notion of
+    /// "now" changes.
+    ///
+    /// Used by replayed-operand protocols ([`crate::ParallelEventSim`])
+    /// so every operand's events carry identical absolute timestamps
+    /// regardless of how many operands this instance has already
+    /// processed — which makes per-operand latencies bit-identical
+    /// across instances and thread counts, with no floating-point drift
+    /// from accumulated offsets.
+    ///
+    /// # Panics
+    ///
+    /// Panics if events are still pending (their timestamps would end up
+    /// in this instance's future *and* past at once).
+    pub fn reset_time(&mut self) {
+        assert!(
+            self.queue.is_empty(),
+            "cannot reset time with {} events pending",
+            self.queue.len()
+        );
+        self.now_ps = 0.0;
     }
 
     // ------------------------------------------------------------------
@@ -511,7 +413,7 @@ impl<'a> Simulator<'a> {
         self.values[event.net.index()] = event.value;
         self.last_change_ps[event.net.index()] = event.time_ps;
         self.net_transitions[event.net.index()] += 1;
-        let driver = self.driver_of[event.net.index()];
+        let driver = self.program.driver_of[event.net.index()];
         if driver != NO_DRIVER {
             self.cell_transitions[driver as usize] += 1;
         }
@@ -519,24 +421,25 @@ impl<'a> Simulator<'a> {
         // Propagate to every cell reading this net, iterating the
         // flattened CSR fanout range in place (no clone of the load
         // list).
-        let start = self.fanout_offsets[event.net.index()] as usize;
-        let end = self.fanout_offsets[event.net.index() + 1] as usize;
+        let start = self.program.fanout_offsets[event.net.index()] as usize;
+        let end = self.program.fanout_offsets[event.net.index() + 1] as usize;
         for i in start..end {
-            let (cell_id, pin) = self.fanout_loads[i];
+            let (cell_id, pin) = self.program.fanout_loads[i];
             self.evaluate_cell(cell_id, usize::from(pin), event.time_ps);
         }
     }
 
     fn evaluate_cell(&mut self, cell_id: CellId, changed_pin: usize, time_ps: f64) {
-        // All per-cell data comes from the flattened arrays built at
-        // construction; the `Netlist` itself is never touched here.
+        // All per-cell data comes from the shared program's flattened
+        // arrays; the `Netlist` itself is never touched here.
+        let program = &self.program;
         let index = cell_id.index();
-        let kind = self.cell_kind[index];
-        let delay = self.cell_delay_ps[index];
-        let start = self.cell_input_offsets[index] as usize;
-        let end = self.cell_input_offsets[index + 1] as usize;
-        let input_nets = &self.cell_input_nets[start..end];
-        let out = self.cell_output[index] as usize;
+        let kind = program.cell_kind[index];
+        let delay = program.cell_delay_ps[index];
+        let start = program.cell_input_offsets[index] as usize;
+        let end = program.cell_input_offsets[index + 1] as usize;
+        let input_nets = &program.cell_input_nets[start..end];
+        let out = program.cell_output[index] as usize;
 
         if kind == CellKind::Dff {
             // Pin 1 is the clock; capture D on a 0 -> 1 edge.
@@ -563,7 +466,11 @@ impl<'a> Simulator<'a> {
         if kind.is_sequential() {
             index3 += self.values[out] as usize * power;
         }
-        let new_value = self.lut_data[self.cell_lut[index] as usize + index3];
+        debug_assert!(
+            program.cell_lut[index] != NO_LUT,
+            "non-DFF cell {index} has no truth table"
+        );
+        let new_value = program.lut_data[program.cell_lut[index] as usize + index3];
 
         self.schedule_if_effective(NetId::from_index(out), new_value, time_ps + delay);
     }
@@ -915,5 +822,75 @@ mod tests {
         let library = lib();
         let mut sim = Simulator::new(&nl, &library);
         sim.set_input_bool(y, true);
+    }
+
+    #[test]
+    fn shared_program_instances_are_independent() {
+        // Two instances over one Arc'd program must not observe each
+        // other's state, and a fresh instance must behave exactly like a
+        // fresh `Simulator::new`.
+        let mut nl = Netlist::new("shared");
+        let a = nl.add_input("a");
+        let y = nl.add_cell("inv", CellKind::Inv, &[a]).unwrap();
+        nl.add_output("y", y);
+        let library = lib();
+        let program = Arc::new(EngineProgram::new(&nl, &library));
+
+        let mut first = Simulator::from_program(Arc::clone(&program));
+        first.set_input_bool(a, true);
+        first.run_until_quiescent();
+        assert_eq!(first.value(y), Logic::Zero);
+
+        let mut second = Simulator::from_program(Arc::clone(&program));
+        assert_eq!(
+            second.value(y),
+            Logic::Unknown,
+            "fresh instance starts at X"
+        );
+        second.set_input_bool(a, false);
+        second.run_until_quiescent();
+        assert_eq!(second.value(y), Logic::One);
+        assert_eq!(first.value(y), Logic::Zero, "first instance untouched");
+
+        let mut reference = Simulator::new(&nl, &library);
+        reference.set_input_bool(a, false);
+        reference.run_until_quiescent();
+        assert_eq!(reference.now_ps(), second.now_ps());
+        assert_eq!(reference.value(y), second.value(y));
+    }
+
+    #[test]
+    fn reset_time_rebases_the_clock() {
+        let mut nl = Netlist::new("t");
+        let a = nl.add_input("a");
+        let y = nl.add_cell("buf", CellKind::Buf, &[a]).unwrap();
+        nl.add_output("y", y);
+        let library = lib();
+        let mut sim = Simulator::new(&nl, &library);
+        sim.set_input_bool(a, true);
+        sim.run_until_quiescent();
+        let first_settle = sim.now_ps();
+        assert!(first_settle > 0.0);
+
+        sim.reset_time();
+        assert_eq!(sim.now_ps(), 0.0);
+        sim.set_input_bool(a, false);
+        sim.run_until_quiescent();
+        // The same single-buffer path now yields the same absolute time.
+        assert_eq!(sim.now_ps(), first_settle);
+        assert_eq!(sim.value(y), Logic::Zero);
+    }
+
+    #[test]
+    #[should_panic(expected = "cannot reset time")]
+    fn reset_time_with_pending_events_panics() {
+        let mut nl = Netlist::new("t");
+        let a = nl.add_input("a");
+        let y = nl.add_cell("buf", CellKind::Buf, &[a]).unwrap();
+        nl.add_output("y", y);
+        let library = lib();
+        let mut sim = Simulator::new(&nl, &library);
+        sim.set_input_bool(a, true);
+        sim.reset_time();
     }
 }

@@ -20,6 +20,15 @@
 //! * **event timestamps** with picosecond resolution for latency
 //!   measurement and throughput accounting.
 //!
+//! The engine is split into an immutable, `Arc`-shareable compilation
+//! ([`EngineProgram`]: CSR fanout/input relations, per-kind three-valued
+//! truth tables, memoised delays) and per-instance mutable state
+//! ([`Simulator`]), so instances replicate cheaply.
+//! [`ParallelEventSim`] exploits that to shard independent operands
+//! across worker threads with bit-identical results and per-operand
+//! latency figures ([`LatencyReport`]) — the paper's figure of merit at
+//! bulk-workload scale.
+//!
 //! # Example
 //!
 //! ```
@@ -48,11 +57,15 @@
 pub mod engine;
 pub mod event;
 pub mod monitor;
+pub mod parallel;
+pub mod program;
 pub mod testbench;
 pub mod value;
 
-pub use engine::Simulator;
+pub use engine::{RunOutcome, Simulator};
 pub use event::{Event, EventQueue};
-pub use monitor::{LatencyStats, TransitionLog};
+pub use monitor::{LatencyReport, LatencyStats, TransitionLog};
+pub use parallel::{run_return_to_zero, OperandRun, ParallelEventSim};
+pub use program::EngineProgram;
 pub use testbench::{run_combinational_vectors, run_synchronous_vectors, SyncRunResult};
 pub use value::Logic;

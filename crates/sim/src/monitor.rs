@@ -155,6 +155,120 @@ impl fmt::Display for LatencyStats {
     }
 }
 
+/// Per-operand latency figures for a whole workload: injection→settle
+/// time in picoseconds for every operand, in operand order, plus the
+/// min/median/max/histogram summaries the paper reports.
+///
+/// Unlike [`LatencyStats`] (an incremental accumulator), a report is
+/// built in one shot from an ordered latency vector — typically by
+/// [`LatencyReport::from_runs`] over the output of
+/// [`crate::ParallelEventSim::run_operands`] — and compares with `==`,
+/// which the thread-invariance property tests rely on: two reports are
+/// equal iff every per-operand latency is bit-identical *in the same
+/// order*.
+///
+/// # Example
+///
+/// ```
+/// use gatesim::LatencyReport;
+///
+/// let report = LatencyReport::from_latencies(vec![120.0, 80.0, 100.0]);
+/// assert_eq!(report.count(), 3);
+/// assert_eq!(report.min_ps(), 80.0);
+/// assert_eq!(report.median_ps(), 100.0);
+/// assert_eq!(report.max_ps(), 120.0);
+/// assert_eq!(report.average_ps(), 100.0);
+/// assert_eq!(report.histogram(2).iter().map(|(_, n)| n).sum::<usize>(), 3);
+/// ```
+#[derive(Clone, Debug, Default, PartialEq)]
+pub struct LatencyReport {
+    latencies_ps: Vec<f64>,
+    stats: LatencyStats,
+}
+
+impl LatencyReport {
+    /// Builds a report from per-operand latencies, in operand order.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any latency is negative or not finite.
+    #[must_use]
+    pub fn from_latencies(latencies_ps: Vec<f64>) -> Self {
+        let mut stats = LatencyStats::new();
+        for &latency in &latencies_ps {
+            stats.record(latency);
+        }
+        Self {
+            latencies_ps,
+            stats,
+        }
+    }
+
+    /// Per-operand latencies in picoseconds, in operand order.
+    #[must_use]
+    pub fn latencies_ps(&self) -> &[f64] {
+        &self.latencies_ps
+    }
+
+    /// Number of operands covered.
+    #[must_use]
+    pub fn count(&self) -> usize {
+        self.latencies_ps.len()
+    }
+
+    /// Whether the report covers no operands.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.latencies_ps.is_empty()
+    }
+
+    /// Fastest operand in picoseconds (0.0 if empty).
+    #[must_use]
+    pub fn min_ps(&self) -> f64 {
+        self.stats.minimum()
+    }
+
+    /// Median operand latency in picoseconds (0.0 if empty).
+    #[must_use]
+    pub fn median_ps(&self) -> f64 {
+        self.stats.quantile(0.5)
+    }
+
+    /// Slowest operand in picoseconds (0.0 if empty).
+    #[must_use]
+    pub fn max_ps(&self) -> f64 {
+        self.stats.maximum()
+    }
+
+    /// Mean operand latency in picoseconds (0.0 if empty).
+    #[must_use]
+    pub fn average_ps(&self) -> f64 {
+        self.stats.average()
+    }
+
+    /// Latency distribution: `bins` equal-width bins between the fastest
+    /// and slowest operand, as `(bin upper edge in ps, operand count)`
+    /// pairs (empty with fewer than two samples).
+    #[must_use]
+    pub fn histogram(&self, bins: usize) -> Vec<(f64, usize)> {
+        self.stats.histogram(bins)
+    }
+}
+
+impl fmt::Display for LatencyReport {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "n={} min={:.1} ps median={:.1} ps max={:.1} ps avg={:.1} ps",
+            self.count(),
+            self.min_ps(),
+            self.median_ps(),
+            self.max_ps(),
+            self.average_ps()
+        )
+    }
+}
+
 /// A chronological log of `(time, net, value-as-bool)` transitions,
 /// filtered to a set of watched nets.  Used by protocol checkers in the
 /// `dualrail` crate to verify monotonic switching.
@@ -277,6 +391,32 @@ mod tests {
     #[should_panic(expected = "finite and non-negative")]
     fn negative_sample_panics() {
         LatencyStats::new().record(-1.0);
+    }
+
+    #[test]
+    fn latency_report_summaries_and_equality() {
+        let report = LatencyReport::from_latencies(vec![40.0, 10.0, 20.0, 30.0]);
+        assert_eq!(report.count(), 4);
+        assert!(!report.is_empty());
+        assert_eq!(report.latencies_ps(), &[40.0, 10.0, 20.0, 30.0]);
+        assert_eq!(report.min_ps(), 10.0);
+        assert_eq!(report.max_ps(), 40.0);
+        assert_eq!(report.median_ps(), 30.0);
+        assert_eq!(report.average_ps(), 25.0);
+        let hist = report.histogram(4);
+        assert_eq!(hist.iter().map(|(_, n)| n).sum::<usize>(), 4);
+        // Equality is order-sensitive: same samples, different operand
+        // order, different report.
+        let reordered = LatencyReport::from_latencies(vec![10.0, 20.0, 30.0, 40.0]);
+        assert_ne!(report, reordered);
+        assert_eq!(report, report.clone());
+
+        let empty = LatencyReport::default();
+        assert!(empty.is_empty());
+        assert_eq!(empty.min_ps(), 0.0);
+        assert_eq!(empty.median_ps(), 0.0);
+        let text = report.to_string();
+        assert!(text.contains("median=30.0"));
     }
 
     #[test]

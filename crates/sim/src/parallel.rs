@@ -1,0 +1,368 @@
+//! Sharded event-driven simulation: independent operands replayed on
+//! replicated engine instances across worker threads.
+//!
+//! The event-driven simulator is the only path that observes *per-operand
+//! timing* — the paper's figure of merit — but a single instance is the
+//! workspace's slowest strategy by a factor of ~100.  Operands are
+//! independent, though: each one is a complete return-to-zero cycle
+//! (spacer → settle → operand → settle) whose events depend only on the
+//! operand itself, so the LCP-style low-communication partitioning
+//! already proven for the batch spine applies directly — replicate the
+//! pipeline, shard the operands, never share mutable state mid-pass.
+//!
+//! [`ParallelEventSim`] replicates only what replication must cost: the
+//! immutable compilation ([`crate::EngineProgram`] — CSR relations,
+//! truth tables, delay memos) is built once and shared through an `Arc`,
+//! and each worker owns a private [`Simulator`] instance (net values +
+//! event queue + counters).  Operand ranges are claimed dynamically via
+//! [`exec::Executor::map_chunks_with`] and merged in input order, so the
+//! outputs *and* the per-operand latencies are bit-identical to a single
+//! streamed instance at any thread count (property-tested at threads
+//! {1, 2, 7} in `tests/property_tests.rs`).
+//!
+//! # Determinism contract
+//!
+//! Two ingredients make the shard boundary invisible:
+//!
+//! 1. **Return-to-zero framing.**  Every operand is preceded by an
+//!    all-zero spacer settled to quiescence.  For a *combinational*
+//!    netlist the settled spacer state is a pure function of the inputs,
+//!    so after the first spacer every instance sits in the same state no
+//!    matter which operands it processed before.  (State-holding cells
+//!    would break this — construction rejects them.)
+//! 2. **Per-operand time rebasing.**  [`Simulator::reset_time`] zeroes
+//!    the clock before each injection, so event timestamps — and the
+//!    floating-point roundings they go through — are identical for a
+//!    given operand regardless of its position in the stream.
+//!
+//! # Example
+//!
+//! ```
+//! use netlist::{Netlist, CellKind};
+//! use celllib::Library;
+//! use gatesim::{LatencyReport, ParallelEventSim};
+//!
+//! let mut nl = Netlist::new("majority");
+//! let a = nl.add_input("a");
+//! let b = nl.add_input("b");
+//! let c = nl.add_input("c");
+//! let y = nl.add_cell("maj", CellKind::Maj3, &[a, b, c]).unwrap();
+//! nl.add_output("y", y);
+//!
+//! let lib = Library::umc_ll();
+//! let sim = ParallelEventSim::new(&nl, &lib, 2);
+//! let operands = vec![
+//!     vec![true, true, false],
+//!     vec![false, true, true],
+//! ];
+//! let runs = sim.run_operands(&operands);
+//! assert!(runs[0].outputs[0].is_one());
+//! assert!(runs[1].outputs[0].is_one());
+//! // The majority gate settles one cell delay after injection.
+//! let report = LatencyReport::from_runs(&runs);
+//! assert_eq!(report.count(), 2);
+//! assert!(report.min_ps() > 0.0);
+//! assert_eq!(report.min_ps(), report.max_ps());
+//! ```
+
+use std::sync::Arc;
+
+use celllib::Library;
+use exec::Executor;
+use netlist::Netlist;
+
+use crate::engine::{RunOutcome, Simulator};
+use crate::monitor::LatencyReport;
+use crate::program::EngineProgram;
+use crate::Logic;
+
+/// The settled result of one return-to-zero operand cycle.
+#[derive(Clone, Debug, PartialEq)]
+pub struct OperandRun {
+    /// Settled primary-output values, in port declaration order.
+    pub outputs: Vec<Logic>,
+    /// Injection→settle latency in picoseconds: the timestamp of the
+    /// last event the injection phase applied (0.0 if the operand
+    /// changed nothing relative to the spacer).
+    pub latency_ps: f64,
+    /// Events processed during the injection phase (spacer traffic is
+    /// excluded).
+    pub events: u64,
+}
+
+/// Operands per dynamically-claimed work chunk.  Small enough to load
+/// balance uneven settle times, large enough that the claim `fetch_add`
+/// is noise; the value never affects results (operands are independent).
+const OPERANDS_PER_CHUNK: usize = 4;
+
+/// Drives one return-to-zero operand cycle on `sim` and reports the
+/// settled outputs and injection latency.
+///
+/// The cycle is: drive every primary input to 0, settle, rebase the
+/// clock to zero, drive `operand` (one bool per primary input in port
+/// declaration order), settle.  This is the protocol
+/// [`ParallelEventSim`] replays on every worker; it is exposed so
+/// streamed single-instance references (tests, benches) can share the
+/// exact code path.
+///
+/// # Panics
+///
+/// Panics if `operand` does not have one bit per primary input or if
+/// either phase fails to settle within the simulator's event limit.
+#[must_use]
+pub fn run_return_to_zero(sim: &mut Simulator<'_>, operand: &[bool]) -> OperandRun {
+    // The input list is cached in the shared program, so the per-operand
+    // hot path performs no allocation for it.
+    let input_count = sim.program().primary_inputs().len();
+    assert_eq!(
+        operand.len(),
+        input_count,
+        "operand width {} does not match {} primary inputs",
+        operand.len(),
+        input_count
+    );
+
+    // Spacer phase: return every input to zero and settle.  After this
+    // the instance sits in the canonical all-zero state (combinational
+    // netlists only — enforced at construction).
+    for i in 0..input_count {
+        let net = sim.program().primary_inputs()[i];
+        sim.set_input(net, Logic::Zero);
+    }
+    assert!(
+        sim.run_until_quiescent().is_quiescent(),
+        "spacer phase failed to settle"
+    );
+
+    // Injection phase from time zero: identical absolute timestamps for
+    // a given operand, wherever it sits in the stream.
+    sim.reset_time();
+    for (i, &bit) in operand.iter().enumerate() {
+        let net = sim.program().primary_inputs()[i];
+        sim.set_input_bool(net, bit);
+    }
+    let outcome = sim.run_until_quiescent();
+    let RunOutcome::Quiescent { events } = outcome else {
+        panic!("injection phase failed to settle");
+    };
+    OperandRun {
+        outputs: sim.output_values(),
+        latency_ps: sim.now_ps(),
+        events,
+    }
+}
+
+/// Event-driven simulation sharded across operands: one shared
+/// [`EngineProgram`], one private [`Simulator`] per worker, results
+/// merged in operand order.
+///
+/// See the [module documentation](self) for the determinism contract and
+/// an example.
+#[derive(Debug)]
+pub struct ParallelEventSim<'a> {
+    program: Arc<EngineProgram<'a>>,
+    executor: Executor,
+}
+
+impl<'a> ParallelEventSim<'a> {
+    /// Compiles `netlist` once and prepares an executor with `threads`
+    /// workers (clamped to at least 1).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the netlist contains sequential cells (flip-flops or
+    /// C-elements): their settled state depends on operand history, so
+    /// sharding the stream would change results.  Drive those designs
+    /// through a single [`Simulator`] or the `dualrail` protocol driver
+    /// instead.
+    #[must_use]
+    pub fn new(netlist: &'a Netlist, library: &Library, threads: usize) -> Self {
+        Self::from_program(
+            Arc::new(EngineProgram::new(netlist, library)),
+            Executor::new(threads),
+        )
+    }
+
+    /// Like [`ParallelEventSim::new`] over an existing (possibly already
+    /// shared) program and an explicit executor.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the program's netlist contains sequential cells (see
+    /// [`ParallelEventSim::new`]).
+    #[must_use]
+    pub fn from_program(program: Arc<EngineProgram<'a>>, executor: Executor) -> Self {
+        assert!(
+            program.is_combinational(),
+            "ParallelEventSim requires a combinational netlist: sequential state \
+             would make results depend on how operands are sharded"
+        );
+        Self { program, executor }
+    }
+
+    /// Number of worker threads operands are sharded across.
+    #[must_use]
+    pub fn threads(&self) -> usize {
+        self.executor.threads()
+    }
+
+    /// The shared immutable program all workers evaluate.
+    #[must_use]
+    pub fn program(&self) -> &Arc<EngineProgram<'a>> {
+        &self.program
+    }
+
+    /// Replays every operand through a return-to-zero cycle
+    /// ([`run_return_to_zero`]), sharding disjoint operand ranges across
+    /// worker threads, and returns the per-operand results in operand
+    /// order — outputs and latencies bit-identical to streaming the same
+    /// operands through one instance, at any thread count.
+    ///
+    /// Each operand is one `Vec<bool>` with one bit per primary input in
+    /// port declaration order.
+    ///
+    /// # Panics
+    ///
+    /// Panics if an operand has the wrong width or the circuit fails to
+    /// settle (see [`run_return_to_zero`]).
+    #[must_use]
+    pub fn run_operands(&self, operands: &[Vec<bool>]) -> Vec<OperandRun> {
+        let program = &self.program;
+        let per_chunk = self.executor.map_chunks_with(
+            operands,
+            OPERANDS_PER_CHUNK,
+            || Simulator::from_program(Arc::clone(program)),
+            |sim, _, chunk| {
+                chunk
+                    .iter()
+                    .map(|operand| run_return_to_zero(sim, operand))
+                    .collect::<Vec<_>>()
+            },
+        );
+        per_chunk.into_iter().flatten().collect()
+    }
+
+    /// Like [`ParallelEventSim::run_operands`], additionally aggregating
+    /// the per-operand latencies into a [`LatencyReport`].
+    #[must_use]
+    pub fn run_operands_with_report(
+        &self,
+        operands: &[Vec<bool>],
+    ) -> (Vec<OperandRun>, LatencyReport) {
+        let runs = self.run_operands(operands);
+        let report = LatencyReport::from_runs(&runs);
+        (runs, report)
+    }
+}
+
+impl LatencyReport {
+    /// Builds a report from the latencies of a slice of operand runs, in
+    /// run order.
+    #[must_use]
+    pub fn from_runs(runs: &[OperandRun]) -> Self {
+        Self::from_latencies(runs.iter().map(|r| r.latency_ps).collect())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use netlist::{CellKind, NetId};
+
+    fn lib() -> Library {
+        Library::umc_ll()
+    }
+
+    /// Streamed single-instance reference: the same protocol on one
+    /// simulator, operand after operand.
+    fn stream(netlist: &Netlist, library: &Library, operands: &[Vec<bool>]) -> Vec<OperandRun> {
+        let mut sim = Simulator::new(netlist, library);
+        operands
+            .iter()
+            .map(|operand| run_return_to_zero(&mut sim, operand))
+            .collect()
+    }
+
+    fn xor_chain() -> Netlist {
+        let mut nl = Netlist::new("xor_chain");
+        let inputs: Vec<NetId> = (0..4).map(|i| nl.add_input(format!("i{i}"))).collect();
+        let mut acc = inputs[0];
+        for (k, &input) in inputs.iter().enumerate().skip(1) {
+            acc = nl
+                .add_cell(format!("x{k}"), CellKind::Xor2, &[acc, input])
+                .unwrap();
+        }
+        nl.add_output("parity", acc);
+        nl
+    }
+
+    #[test]
+    fn parallel_matches_streamed_reference_at_several_thread_counts() {
+        let nl = xor_chain();
+        let library = lib();
+        let operands: Vec<Vec<bool>> = (0..23u32)
+            .map(|p| (0..4).map(|b| p & (1 << b) != 0).collect())
+            .collect();
+        let expected = stream(&nl, &library, &operands);
+        for threads in [1, 2, 7] {
+            let sim = ParallelEventSim::new(&nl, &library, threads);
+            assert_eq!(sim.threads(), threads);
+            let (runs, report) = sim.run_operands_with_report(&operands);
+            assert_eq!(runs, expected, "threads = {threads}");
+            assert_eq!(report, LatencyReport::from_runs(&expected));
+        }
+    }
+
+    #[test]
+    fn latency_is_the_sum_of_gate_delays_on_a_chain() {
+        let mut nl = Netlist::new("chain");
+        let mut net = nl.add_input("a");
+        for i in 0..6 {
+            net = nl
+                .add_cell(format!("buf{i}"), CellKind::Buf, &[net])
+                .unwrap();
+        }
+        nl.add_output("y", net);
+        let library = lib();
+        let sim = ParallelEventSim::new(&nl, &library, 2);
+        let runs = sim.run_operands(&[vec![true], vec![false]]);
+        let expected = 6.0 * library.cell_delay(CellKind::Buf, 1);
+        assert!((runs[0].latency_ps - expected).abs() < 1e-6);
+        assert_eq!(runs[0].outputs, vec![Logic::One]);
+        // The all-zero operand equals the spacer: nothing moves.
+        assert_eq!(runs[1].latency_ps, 0.0);
+        assert_eq!(runs[1].events, 0);
+        assert_eq!(runs[1].outputs, vec![Logic::Zero]);
+    }
+
+    #[test]
+    fn empty_operand_list_yields_empty_results() {
+        let nl = xor_chain();
+        let library = lib();
+        let sim = ParallelEventSim::new(&nl, &library, 3);
+        let (runs, report) = sim.run_operands_with_report(&[]);
+        assert!(runs.is_empty());
+        assert_eq!(report.count(), 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "requires a combinational netlist")]
+    fn sequential_netlists_are_rejected() {
+        let mut nl = Netlist::new("seq");
+        let a = nl.add_input("a");
+        let b = nl.add_input("b");
+        let y = nl.add_cell("cel", CellKind::CElement2, &[a, b]).unwrap();
+        nl.add_output("y", y);
+        let library = lib();
+        let _ = ParallelEventSim::new(&nl, &library, 2);
+    }
+
+    #[test]
+    #[should_panic(expected = "operand width")]
+    fn wrong_operand_width_panics() {
+        let nl = xor_chain();
+        let library = lib();
+        let sim = ParallelEventSim::new(&nl, &library, 1);
+        let _ = sim.run_operands(&[vec![true; 3]]);
+    }
+}

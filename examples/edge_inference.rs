@@ -9,7 +9,9 @@
 use std::error::Error;
 
 use tm_async::celllib::{Library, PowerBreakdown};
-use tm_async::datapath::{DatapathConfig, DualRailDatapath, InferenceWorkload};
+use tm_async::datapath::{
+    BatchGoldenModel, DatapathConfig, DualRailDatapath, EventDrivenInference, InferenceWorkload,
+};
 use tm_async::dualrail::{ProtocolDriver, ThroughputReport};
 use tm_async::tsetlin::{datasets, TrainingParams, TsetlinMachine};
 
@@ -82,5 +84,31 @@ fn main() -> Result<(), Box<dyn Error>> {
     for (edge, count) in report.latency_stats().histogram(8) {
         println!("  < {edge:6.0} ps : {}", "*".repeat(count));
     }
+
+    // 4. The same workload at bulk scale: the combinational golden model
+    //    on the event-driven simulator, operands sharded across worker
+    //    threads (bit-identical to a streamed single instance at any
+    //    thread count).  Each operand's injection->settle time is the
+    //    data-dependent latency the asynchronous design exploits.
+    let model = BatchGoldenModel::generate(&config)?;
+    let threads = tm_async::exec::available_parallelism();
+    let event = EventDrivenInference::new(&model, &library, threads);
+    let run = event.run_workload(&workload)?;
+    assert_eq!(
+        &run.outcomes,
+        workload.expected(),
+        "event-driven outcomes must match the golden model"
+    );
+    println!(
+        "\nsharded event-driven golden model ({} threads, {} operands):",
+        threads,
+        run.latency.count()
+    );
+    println!(
+        "per-operand latency: min {:.0} ps, median {:.0} ps, max {:.0} ps",
+        run.latency.min_ps(),
+        run.latency.median_ps(),
+        run.latency.max_ps()
+    );
     Ok(())
 }

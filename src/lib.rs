@@ -6,21 +6,26 @@
 //!
 //! * [`exec`] — a std-only data-parallel runtime (scoped worker threads
 //!   over a chunked atomic work queue) behind the multi-threaded batch
-//!   inference paths;
+//!   and event-driven inference paths;
 //! * [`netlist`] — a structural gate-level netlist IR;
 //! * [`celllib`] — parametric 65 nm standard-cell library models
 //!   (UMC LL and FULL DIFFUSION) with voltage-dependent timing and power;
 //! * [`sta`] — static timing analysis (arrival times, grace period,
 //!   synchronous clock period);
 //! * [`gatesim`] — an event-driven gate-level simulator with latency and
-//!   switching-activity monitors;
+//!   switching-activity monitors, an `Arc`-shared engine compilation
+//!   ([`gatesim::EngineProgram`]) and an operand-sharded parallel mode
+//!   ([`gatesim::ParallelEventSim`]);
 //! * [`dualrail`] — the paper's core contribution: early-propagative
 //!   dual-rail expansion with a reduced completion-detection scheme;
 //! * [`tsetlin`] — the Tsetlin machine learning algorithm (training and
 //!   inference) plus synthetic edge datasets;
 //! * [`datapath`] — Tsetlin-machine inference datapath generators
 //!   (clause logic, population count, magnitude comparator) in both
-//!   single-rail synchronous and dual-rail asynchronous styles.
+//!   single-rail synchronous and dual-rail asynchronous styles, plus
+//!   the bulk-inference runtimes ([`datapath::BatchInference`],
+//!   [`datapath::ParallelBatchInference`] and the per-operand-latency
+//!   [`datapath::EventDrivenInference`]).
 //!
 //! # Quickstart
 //!
@@ -36,7 +41,10 @@
 //! # }
 //! ```
 //!
-//! See `examples/` for end-to-end scenarios and `crates/bench` for the
+//! See `examples/` for end-to-end scenarios (`edge_inference` ends with
+//! the sharded per-operand event path), `ARCHITECTURE.md` for the
+//! design of the batch spine, the sharding contract, the three-tier
+//! event queue and the engine-program split, and `crates/bench` for the
 //! harness that regenerates every table and figure of the paper.
 
 pub use celllib;

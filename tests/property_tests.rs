@@ -407,6 +407,107 @@ proptest! {
 }
 
 // ---------------------------------------------------------------------
+// Sharded event-driven simulation: ParallelEventSim ≡ one streamed
+// Simulator instance at every thread count, outputs and latencies alike
+// ---------------------------------------------------------------------
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(16))]
+
+    /// Replaying independent return-to-zero operand cycles on replicated
+    /// engine instances changes nothing: outputs, injection latencies
+    /// and event counts are bit-identical to streaming the same operands
+    /// through a single simulator, at thread counts {1, 2, 7}, on random
+    /// combinational netlists.
+    #[test]
+    fn parallel_event_sim_matches_streamed_instance(
+        kinds in proptest::collection::vec(0usize..6, 10),
+        patterns in proptest::collection::vec(0u32..16, 12),
+    ) {
+        use tm_async::gatesim::{run_return_to_zero, LatencyReport, ParallelEventSim, Simulator};
+
+        let gate = |k: usize| match k {
+            0 => CellKind::And2,
+            1 => CellKind::Or2,
+            2 => CellKind::Nand2,
+            3 => CellKind::Nor2,
+            4 => CellKind::Xor2,
+            _ => CellKind::Aoi21,
+        };
+        // Four primary inputs, then a layered cone of combinational
+        // cells (no C-elements/flip-flops: sharding requires a
+        // history-independent spacer state).
+        let mut nl = Netlist::new("random_event");
+        let mut pool: Vec<NetId> = (0..4).map(|i| nl.add_input(format!("i{i}"))).collect();
+        for (idx, &k) in kinds.iter().enumerate() {
+            let kind = gate(k);
+            let n = pool.len();
+            let ins: Vec<NetId> = (0..kind.input_count())
+                .map(|p| pool[(idx + p * 3) % n])
+                .collect();
+            let out = nl.add_cell(format!("g{idx}"), kind, &ins).expect("cell");
+            pool.push(out);
+        }
+        nl.add_output("y", *pool.last().expect("nonempty"));
+
+        let operands: Vec<Vec<bool>> = patterns
+            .iter()
+            .map(|&p| (0..4).map(|b| p & (1 << b) != 0).collect())
+            .collect();
+
+        // Streamed single-instance reference: the same protocol, one
+        // simulator, operand after operand.
+        let library = Library::umc_ll();
+        let mut streamed = Simulator::new(&nl, &library);
+        let expected: Vec<_> = operands
+            .iter()
+            .map(|operand| run_return_to_zero(&mut streamed, operand))
+            .collect();
+        let expected_report = LatencyReport::from_runs(&expected);
+
+        for threads in [1usize, 2, 7] {
+            let sim = ParallelEventSim::new(&nl, &library, threads);
+            let (runs, report) = sim.run_operands_with_report(&operands);
+            prop_assert_eq!(&runs, &expected, "threads {}", threads);
+            prop_assert_eq!(&report, &expected_report, "threads {}", threads);
+        }
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(6))]
+
+    /// The sharded event-driven inference path agrees with the software
+    /// golden model on arbitrary workloads and produces bit-identical
+    /// outcomes *and* latency reports at thread counts {1, 2, 7}.
+    #[test]
+    fn event_driven_inference_matches_golden_and_thread_count_is_invisible(
+        seed in 0u64..10_000,
+        operands in 1usize..24,
+    ) {
+        use tm_async::datapath::{BatchGoldenModel, EventDrivenInference, InferenceWorkload};
+
+        let config = DatapathConfig::new(4, 2).expect("valid");
+        let workload = InferenceWorkload::random(&config, operands, 0.7, seed).expect("workload");
+        let model = BatchGoldenModel::generate(&config).expect("generation");
+        let library = Library::umc_ll();
+
+        let reference = EventDrivenInference::new(&model, &library, 1)
+            .run_workload(&workload)
+            .expect("event-driven run");
+        prop_assert_eq!(reference.outcomes.as_slice(), workload.expected());
+        prop_assert_eq!(reference.latency.count(), workload.len());
+
+        for threads in [2usize, 7] {
+            let run = EventDrivenInference::new(&model, &library, threads)
+                .run_workload(&workload)
+                .expect("event-driven run");
+            prop_assert_eq!(&run, &reference, "threads {}", threads);
+        }
+    }
+}
+
+// ---------------------------------------------------------------------
 // Two-level event queue: same-timestamp FIFO order is exactly the
 // insertion order, under arbitrary interleaved push/pop traffic
 // ---------------------------------------------------------------------
