@@ -1,13 +1,13 @@
 //! Criterion `throughput` group: samples/sec of the scalar golden model,
 //! the 64-wide bit-parallel batch golden model, the multi-threaded
-//! parallel batch runtime, the event-driven gate-level simulation (both
-//! the streamed synchronous baseline and the sharded per-operand golden
-//! model), and the two-level event queue, all on the standard
-//! keyword-spotting workload.
+//! parallel batch runtime, the event-driven gate-level simulation (the
+//! streamed synchronous baseline, the sharded per-operand golden model
+//! and the sharded dual-rail four-phase protocol), and the two-level
+//! event queue, all on the standard keyword-spotting workload.
 //!
-//! The recorded comparison lives in `BENCH_PR3.json` at the repository
+//! The recorded comparison lives in `BENCH_PR4.json` at the repository
 //! root (regenerate with
-//! `cargo run -p tm-async-bench --release --bin throughput -- 4096 BENCH_PR3.json`).
+//! `cargo run -p tm-async-bench --release --bin throughput -- 4096 BENCH_PR4.json`).
 
 use std::collections::HashMap;
 
@@ -121,6 +121,29 @@ fn bench_throughput(c: &mut Criterion) {
                 parallel
                     .run_workload(&event_workload)
                     .expect("event-driven run"),
+            )
+        })
+    });
+
+    group.bench_function("dualrail_parallel_2x_8", |b| {
+        // Full four-phase handshake cycles on the dual-rail datapath
+        // (C-element latches + reduced completion detection), sharded
+        // across two workers under the verified reset-phase contract.
+        let datapath = datapath::DualRailDatapath::generate(&config).expect("generation");
+        let library = Library::umc_ll();
+        let dualrail_workload = datapath::InferenceWorkload::new(
+            &config,
+            masks.clone(),
+            workload.feature_vectors()[..8].to_vec(),
+        )
+        .expect("sliced workload stays well-formed");
+        let parallel =
+            datapath::DualRailInference::new(&datapath, &library, 2).expect("driver construction");
+        b.iter(|| {
+            std::hint::black_box(
+                parallel
+                    .run_workload(&dualrail_workload)
+                    .expect("dual-rail run"),
             )
         })
     });

@@ -1,0 +1,74 @@
+//! Verified dual-rail parallel throughput smoke for CI: a small operand
+//! stream through the sharded four-phase protocol driver at several
+//! thread counts, with every check that guards the `dualrail_parallel_<N>`
+//! benchmark rows.
+//!
+//! Usage: `cargo run -p tm-async-bench --release --bin dualrail_smoke
+//! [operands]`
+//!
+//! Panics (non-zero exit) if any decoded outcome disagrees with the
+//! software golden model, if any thread count disagrees with the
+//! streamed single contract-mode driver, or if a cycle violates the
+//! reset-phase sharding contract.
+
+use celllib::Library;
+use datapath::{DualRailDatapath, DualRailInference, InferenceWorkload};
+use dualrail::ProtocolDriver;
+use tm_async_bench::workloads::{standard_config, standard_workload};
+
+fn main() {
+    let operands: usize = std::env::args()
+        .nth(1)
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(8)
+        .max(1);
+
+    println!("Dual-rail parallel smoke ({operands} operands)\n");
+    let config = standard_config();
+    let standard = standard_workload(operands, 2021);
+    let workload = InferenceWorkload::new(
+        &config,
+        standard.workload.masks().clone(),
+        standard.workload.feature_vectors().to_vec(),
+    )
+    .expect("workload is well-formed");
+
+    let datapath = DualRailDatapath::generate(&config).expect("generation");
+    let library = Library::umc_ll();
+
+    // Streamed single contract-mode driver: the sharding reference.
+    let mut streamed = ProtocolDriver::new(datapath.circuit(), &library).expect("driver");
+    let snapshot = streamed.quiescent_snapshot();
+    streamed.enable_reset_contract(snapshot);
+    let expected: Vec<_> = workload
+        .dual_rail_operands(&datapath)
+        .expect("widths")
+        .iter()
+        .map(|operand| streamed.apply_operand(operand).expect("protocol cycle"))
+        .collect();
+
+    for threads in [1, 2] {
+        let sim = DualRailInference::new(&datapath, &library, threads).expect("driver");
+        let run = sim.run_workload(&workload).expect("dual-rail run");
+        assert_eq!(
+            run.outcomes.as_slice(),
+            workload.expected(),
+            "{threads}-thread outcomes diverged from the golden model"
+        );
+        assert_eq!(
+            run.results, expected,
+            "{threads}-thread results diverged from the streamed driver"
+        );
+        let done = run.done_latency.expect("completion detection present");
+        println!(
+            "threads={threads}: {} operands verified; s→v min {:.1} ps, median {:.1} ps, \
+             max {:.1} ps; done max {:.1} ps",
+            run.latency.count(),
+            run.latency.min_ps(),
+            run.latency.median_ps(),
+            run.latency.max_ps(),
+            done.max_ps()
+        );
+    }
+    println!("\nok: outcomes golden-verified, shard-invariant, contract held");
+}

@@ -5,7 +5,7 @@
 //! [operands] [json-path]`
 //!
 //! The recorded comparison at the repository root is regenerated with
-//! `cargo run -p tm-async-bench --release --bin throughput -- 4096 BENCH_PR3.json`.
+//! `cargo run -p tm-async-bench --release --bin throughput -- 4096 BENCH_PR4.json`.
 
 fn main() {
     let mut args = std::env::args().skip(1);

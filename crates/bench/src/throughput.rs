@@ -12,9 +12,14 @@
 //! [`gatesim::run_synchronous_vectors`]) bracket the design space from
 //! above and below.  The `event_parallel_<N>` rows shard the
 //! event-driven golden model across worker threads
-//! ([`datapath::EventDrivenInference`]) and, uniquely, observe the
-//! paper's real figure of merit — data-dependent per-operand latency —
-//! summarised in the report's [`EventLatencySummary`].
+//! ([`datapath::EventDrivenInference`]) and observe the paper's real
+//! figure of merit — data-dependent per-operand latency — summarised in
+//! the report's [`EventLatencySummary`].  The `dualrail_parallel_<N>`
+//! rows go one level deeper: full four-phase handshake cycles on the
+//! dual-rail datapath itself ([`datapath::DualRailInference`], sharded
+//! under the verified reset-phase contract), whose spacer→valid and
+//! `done` latencies — the paper's Table I quantities — land in
+//! [`DualRailLatencySummary`].
 //!
 //! Every path's outputs are checked against the workload's golden
 //! outcomes before its time is accepted — a fast wrong answer does not
@@ -25,8 +30,8 @@ use std::time::Instant;
 
 use celllib::Library;
 use datapath::{
-    reference, BatchGoldenModel, BatchInference, EventDrivenInference, InferenceWorkload,
-    ParallelBatchInference, SingleRailDatapath,
+    reference, BatchGoldenModel, BatchInference, DualRailDatapath, DualRailInference,
+    EventDrivenInference, InferenceWorkload, ParallelBatchInference, SingleRailDatapath,
 };
 use gatesim::{run_synchronous_vectors, Logic};
 use netlist::{EvalState, Evaluator, NetId};
@@ -67,6 +72,29 @@ pub struct EventLatencySummary {
     pub average_ps: f64,
 }
 
+/// Per-operand latency summary of the dual-rail datapath under the
+/// four-phase protocol — the paper's Table I quantities, measured over
+/// the workload the `dualrail_parallel_<N>` rows timed.
+#[derive(Clone, Debug, PartialEq)]
+pub struct DualRailLatencySummary {
+    /// Operands the latency figures cover.
+    pub operands: usize,
+    /// Fastest operand, spacer→valid, in picoseconds.
+    pub min_ps: f64,
+    /// Median spacer→valid latency in picoseconds.
+    pub median_ps: f64,
+    /// Slowest operand, spacer→valid, in picoseconds (Table I "Max
+    /// Latency").
+    pub max_ps: f64,
+    /// Mean spacer→valid latency in picoseconds (Table I "Avg.
+    /// Latency").
+    pub average_ps: f64,
+    /// Mean `done` (completion-detection) latency in picoseconds.
+    pub done_average_ps: f64,
+    /// Slowest `done` latency in picoseconds.
+    pub done_max_ps: f64,
+}
+
 /// The full throughput comparison.
 #[derive(Clone, Debug, PartialEq)]
 pub struct ThroughputReport {
@@ -77,6 +105,10 @@ pub struct ThroughputReport {
     /// Data-dependent latency of the event-driven golden model (absent
     /// only if the event-parallel section was skipped).
     pub event_latency: Option<EventLatencySummary>,
+    /// Per-operand latency of the dual-rail datapath under the
+    /// four-phase protocol (absent only if the dual-rail section was
+    /// skipped).
+    pub dualrail_latency: Option<DualRailLatencySummary>,
 }
 
 impl ThroughputReport {
@@ -141,6 +173,20 @@ impl ThroughputReport {
                 latency.average_ps
             ));
         }
+        if let Some(latency) = &self.dualrail_latency {
+            out.push_str(&format!(
+                "dual-rail four-phase latency over {} operands: min {:.1} ps, \
+                 median {:.1} ps, max {:.1} ps, avg {:.1} ps; done avg {:.1} ps, \
+                 max {:.1} ps\n",
+                latency.operands,
+                latency.min_ps,
+                latency.median_ps,
+                latency.max_ps,
+                latency.average_ps,
+                latency.done_average_ps,
+                latency.done_max_ps
+            ));
+        }
         out
     }
 
@@ -177,6 +223,18 @@ impl ThroughputReport {
                 latency.median_ps,
                 latency.max_ps,
                 latency.average_ps
+            ));
+        }
+        if let Some(latency) = &self.dualrail_latency {
+            out.push_str(&format!(
+                "  \"dualrail_latency_ps\": {{\"operands\": {}, \"min\": {:.1}, \"median\": {:.1}, \"max\": {:.1}, \"average\": {:.1}, \"done_average\": {:.1}, \"done_max\": {:.1}}},\n",
+                latency.operands,
+                latency.min_ps,
+                latency.median_ps,
+                latency.max_ps,
+                latency.average_ps,
+                latency.done_average_ps,
+                latency.done_max_ps
             ));
         }
         out.push_str(&format!(
@@ -477,10 +535,80 @@ pub fn run(operands: usize, sim_operands: usize, seed: u64) -> ThroughputReport 
         }
     }
 
+    // ------------------------------------------------------------------
+    // Sharded dual-rail four-phase protocol: the paper's actual design.
+    // Every operand is a full handshake cycle (spacer → valid → spacer)
+    // on the early-propagative dual-rail datapath with C-element input
+    // latches and reduced completion detection, sharded across worker
+    // threads under the verified reset-phase contract.  These rows
+    // observe the paper's Table I quantities directly: spacer→valid and
+    // `done` latency per operand.
+    // ------------------------------------------------------------------
+    let mut dualrail_latency = None;
+    {
+        let sim_operands = sim_operands.min(operands).max(1);
+        let datapath = DualRailDatapath::generate(&config).expect("generation");
+        let library = Library::umc_ll();
+        let dualrail_workload = InferenceWorkload::new(
+            &config,
+            workload.masks().clone(),
+            workload.feature_vectors()[..sim_operands].to_vec(),
+        )
+        .expect("sliced workload stays well-formed");
+
+        let mut thread_counts = vec![1, 2, exec::available_parallelism()];
+        thread_counts.sort_unstable();
+        thread_counts.dedup();
+        for threads in thread_counts {
+            let parallel =
+                DualRailInference::new(&datapath, &library, threads).expect("driver construction");
+            let run = parallel
+                .run_workload(&dualrail_workload)
+                .expect("dual-rail run");
+            assert_eq!(
+                run.outcomes.as_slice(),
+                &expected[..sim_operands],
+                "dual-rail parallel ({threads} threads) diverged"
+            );
+            dualrail_latency.get_or_insert_with(|| {
+                let done = run
+                    .done_latency
+                    .as_ref()
+                    .expect("reduced completion detection present");
+                DualRailLatencySummary {
+                    operands: sim_operands,
+                    min_ps: run.latency.min_ps(),
+                    median_ps: run.latency.median_ps(),
+                    max_ps: run.latency.max_ps(),
+                    average_ps: run.latency.average_ps(),
+                    done_average_ps: done.average_ps(),
+                    done_max_ps: done.max_ps(),
+                }
+            });
+
+            let reps = 3;
+            let seconds = time_reps(reps, || {
+                std::hint::black_box(
+                    parallel
+                        .run_workload(&dualrail_workload)
+                        .expect("dual-rail run"),
+                );
+            });
+            rows.push(ThroughputRow {
+                strategy: format!("dualrail_parallel_{threads}"),
+                operands: sim_operands,
+                repetitions: reps,
+                seconds,
+                samples_per_sec: (sim_operands * reps) as f64 / seconds,
+            });
+        }
+    }
+
     ThroughputReport {
         rows,
         workload_accuracy: standard.accuracy,
         event_latency,
+        dualrail_latency,
     }
 }
 
@@ -500,9 +628,9 @@ mod tests {
         let mut speedup = 0.0f64;
         for _ in 0..2 {
             let report = run(128, 4, 7);
-            // Fixed strategies plus one parallel-batch row and one
-            // event-parallel row per distinct thread count in
-            // {1, 2, available_parallelism}.
+            // Fixed strategies plus one parallel-batch, one
+            // event-parallel and one dualrail-parallel row per distinct
+            // thread count in {1, 2, available_parallelism}.
             let parallel_rows = report
                 .rows
                 .iter()
@@ -513,14 +641,29 @@ mod tests {
                 .iter()
                 .filter(|r| r.strategy.starts_with("event_parallel_"))
                 .count();
-            assert_eq!(report.rows.len(), 4 + parallel_rows + event_rows);
+            let dualrail_rows = report
+                .rows
+                .iter()
+                .filter(|r| r.strategy.starts_with("dualrail_parallel_"))
+                .count();
+            assert_eq!(
+                report.rows.len(),
+                4 + parallel_rows + event_rows + dualrail_rows
+            );
             assert!((2..=3).contains(&parallel_rows));
             assert_eq!(event_rows, parallel_rows);
+            assert_eq!(dualrail_rows, parallel_rows);
             assert!(report.parallel_speedup().is_some());
             let latency = report.event_latency.as_ref().expect("event rows ran");
             assert_eq!(latency.operands, 4);
             assert!(latency.min_ps > 0.0);
             assert!(latency.min_ps <= latency.median_ps && latency.median_ps <= latency.max_ps);
+            let dualrail = report.dualrail_latency.as_ref().expect("dualrail rows ran");
+            assert_eq!(dualrail.operands, 4);
+            assert!(dualrail.min_ps > 0.0);
+            assert!(dualrail.min_ps <= dualrail.median_ps && dualrail.median_ps <= dualrail.max_ps);
+            // Completion detection fires at or after the last output.
+            assert!(dualrail.done_max_ps >= dualrail.max_ps);
             speedup = speedup.max(report.batch_speedup().expect("both rows present"));
             if speedup >= 10.0 {
                 break;
@@ -550,12 +693,24 @@ mod tests {
                 max_ps: 30.0,
                 average_ps: 20.0,
             }),
+            dualrail_latency: Some(DualRailLatencySummary {
+                operands: 1,
+                min_ps: 100.0,
+                median_ps: 200.0,
+                max_ps: 300.0,
+                average_ps: 200.0,
+                done_average_ps: 250.0,
+                done_max_ps: 350.0,
+            }),
         };
         let json = report.to_json();
         assert!(json.contains("\"samples_per_sec\": 2.0"));
         assert!(json.contains("\"event_latency_ps\""));
         assert!(json.contains("\"median\": 20.0"));
+        assert!(json.contains("\"dualrail_latency_ps\""));
+        assert!(json.contains("\"done_max\": 350.0"));
         assert!(json.trim_start().starts_with('{') && json.trim_end().ends_with('}'));
         assert!(report.render().contains("median 20.0 ps"));
+        assert!(report.render().contains("done avg 250.0 ps"));
     }
 }

@@ -55,6 +55,7 @@ pub struct DualRailNetlist {
     inputs: Vec<(String, DualRailSignal)>,
     outputs: Vec<(String, DualRailSignal)>,
     one_of_n_outputs: Vec<(String, Vec<NetId>)>,
+    probes: Vec<(String, DualRailSignal)>,
     done: Option<NetId>,
 }
 
@@ -67,6 +68,7 @@ impl DualRailNetlist {
             inputs: Vec::new(),
             outputs: Vec::new(),
             one_of_n_outputs: Vec::new(),
+            probes: Vec::new(),
             done: None,
         }
     }
@@ -79,6 +81,7 @@ impl DualRailNetlist {
             inputs: Vec::new(),
             outputs: Vec::new(),
             one_of_n_outputs: Vec::new(),
+            probes: Vec::new(),
             done: None,
         }
     }
@@ -123,6 +126,27 @@ impl DualRailNetlist {
             self.netlist.add_output(format!("{name}_{i}"), wire);
         }
         self.one_of_n_outputs.push((name, wires));
+    }
+
+    /// Declares an internal dual-rail signal as a named **probe**:
+    /// an observation point the protocol environment decodes during the
+    /// valid phase of every cycle without making it a primary output.
+    ///
+    /// Probes never join the handshake — they are not observed by
+    /// completion detection and impose no protocol obligations (a probe
+    /// may legitimately read as a constant or a spacer), which is
+    /// exactly why they exist: exporting an internal bus as real
+    /// outputs would change the completion network, while a probe
+    /// leaves the circuit untouched.  Datapath generators use probes to
+    /// expose internal vote counts to the inference decoders.
+    pub fn declare_probe(&mut self, name: impl Into<String>, signal: DualRailSignal) {
+        self.probes.push((name.into(), signal));
+    }
+
+    /// Declared probe signals in declaration order.
+    #[must_use]
+    pub fn probes(&self) -> &[(String, DualRailSignal)] {
+        &self.probes
     }
 
     /// Registers the completion (`done`) output net.
@@ -271,6 +295,29 @@ mod tests {
         let observed = dr.observed_output_nets();
         assert_eq!(observed.len(), 5);
         assert_eq!(dr.one_of_n_outputs().len(), 1);
+    }
+
+    #[test]
+    fn probes_are_recorded_without_becoming_ports() {
+        let mut dr = DualRailNetlist::new("t");
+        let a = dr.add_dual_input("a");
+        // The probe target is *not* an output, so every check below
+        // really exercises the probe path.
+        let b = dr.add_dual_input("b");
+        dr.add_dual_output("y", a);
+        let ports_before = dr.netlist().primary_outputs().len();
+        dr.declare_probe("watch_b", b);
+        assert_eq!(dr.probes(), &[("watch_b".to_string(), b)]);
+        assert_eq!(
+            dr.netlist().primary_outputs().len(),
+            ports_before,
+            "a probe must not add primary outputs"
+        );
+        let observed = dr.observed_output_nets();
+        assert!(
+            !observed.contains(&b.positive) && !observed.contains(&b.negative),
+            "probes must not join the observed output set"
+        );
     }
 
     #[test]

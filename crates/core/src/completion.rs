@@ -14,6 +14,20 @@
 //!   needed — at the cost of more gates, more C-elements and the loss of
 //!   early propagation (the `done` cannot fire before the slowest
 //!   internal net).
+//!
+//! # Completion detection and the reset-phase sharding contract
+//!
+//! The C-elements both schemes insert are the state-holding cells that
+//! keep the batched event-driven paths from sharding a dual-rail
+//! workload naively.  They are nonetheless compatible with the
+//! reset-phase contract ([`crate::ParallelProtocolDriver`]): every
+//! validity detector is an OR over rails that all return to 0 in the
+//! spacer phase, so each C-element in the tree sees all-zero inputs once
+//! the reset completes and resets to 0 itself.  The settled post-cycle
+//! state is therefore the one fixed quiescent state regardless of which
+//! operands came before — an argument the sharded drivers do not take on
+//! faith but re-verify after every cycle
+//! ([`crate::ProtocolDriver::verify_spacer_state`]).
 
 use netlist::{CellKind, NetId};
 

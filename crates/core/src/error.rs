@@ -40,6 +40,14 @@ pub enum DualRailError {
         /// Number of bits supplied.
         got: usize,
     },
+    /// The settled state after a return-to-zero phase diverged from the
+    /// canonical quiescent snapshot — the reset-phase sharding contract
+    /// does not hold for this circuit, so sharding its operand stream
+    /// would change results.
+    SpacerStateMismatch {
+        /// Human-readable description naming the first diverging net.
+        description: String,
+    },
 }
 
 impl fmt::Display for DualRailError {
@@ -67,6 +75,9 @@ impl fmt::Display for DualRailError {
                 f,
                 "operand has {got} bits but the circuit has {expected} dual-rail inputs"
             ),
+            DualRailError::SpacerStateMismatch { description } => {
+                write!(f, "reset-phase contract violated: {description}")
+            }
         }
     }
 }

@@ -22,6 +22,10 @@
 //!   dual-rail netlist through spacer/valid cycles on the event-driven
 //!   simulator, measuring spacer→valid latency, valid→spacer reset time
 //!   and protocol violations;
+//! * [`parallel`] — [`ParallelProtocolDriver`], the same four-phase
+//!   environment with the operand stream sharded across worker threads
+//!   under the verified reset-phase contract, bit-identical to
+//!   streaming at any thread count;
 //! * [`timing`] — throughput/latency bookkeeping combining protocol
 //!   measurements with the static grace period.
 //!
@@ -74,6 +78,7 @@ pub mod encoding;
 pub mod error;
 pub mod expand;
 pub mod gates;
+pub mod parallel;
 pub mod protocol;
 pub mod timing;
 pub mod unate;
@@ -84,6 +89,7 @@ pub use early::EarlyPropagationReport;
 pub use encoding::{DualRailValue, OneOfNValue, SpacerPolarity};
 pub use error::DualRailError;
 pub use expand::{expand_to_dual_rail, ExpansionStyle};
+pub use parallel::{ParallelProtocolDriver, ParallelProtocolRun};
 pub use protocol::{OperandResult, ProtocolDriver};
 pub use timing::ThroughputReport;
 pub use unate::{check_unate, UnateViolation};

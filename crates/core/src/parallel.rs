@@ -1,0 +1,344 @@
+//! The sharded four-phase protocol driver: dual-rail operand streams
+//! replayed on replicated [`ProtocolDriver`]s across worker threads.
+//!
+//! The paper's headline numbers (Table I) are *dual-rail* figures —
+//! average and maximum spacer→valid latency over a workload — yet the
+//! single [`ProtocolDriver`] is the slowest runtime in the workspace:
+//! every operand costs two full settles of the event-driven simulator
+//! plus protocol checking.  Operands are independent, though, because
+//! the four-phase protocol itself restores history independence: every
+//! cycle ends in the all-spacer quiescent state, where each C-element
+//! (input latches and the completion tree alike) has seen all-zero
+//! inputs and reset.  That is the **reset-phase sharding contract**, and
+//! [`ParallelProtocolDriver`] both relies on it and verifies it on every
+//! cycle ([`ProtocolDriver::verify_spacer_state`]).
+//!
+//! Mechanically this reuses the machinery proven on the combinational
+//! path: the engine compilation is built once and shared
+//! (`Arc<EngineProgram>`), each worker owns a private driver instance
+//! over a replicated simulator, operand ranges are claimed dynamically
+//! and merged in operand order
+//! ([`gatesim::ParallelEventSim::run_with`] under
+//! [`gatesim::ShardingContract::ResetPhase`]).  Because every operand
+//! cycle is rebased to time zero and starts from the verified quiescent
+//! state, the decoded outputs *and* every per-operand measurement
+//! (spacer→valid, valid→spacer and `done` latencies) are bit-identical
+//! to a streamed single contract-mode driver at any thread count —
+//! property-tested at threads {1, 2, 7} in `tests/property_tests.rs`.
+//!
+//! # Example
+//!
+//! ```
+//! use dualrail::{DualRailNetlist, ParallelProtocolDriver, ReducedCompletion};
+//! use celllib::Library;
+//!
+//! # fn main() -> Result<(), Box<dyn std::error::Error>> {
+//! let mut dr = DualRailNetlist::new("and_gate");
+//! let a = dr.add_dual_input("a");
+//! let b = dr.add_dual_input("b");
+//! let y = dr.and2("y", a, b)?;
+//! dr.add_dual_output("y", y);
+//! ReducedCompletion::insert(&mut dr)?;
+//!
+//! let lib = Library::umc_ll();
+//! let driver = ParallelProtocolDriver::new(&dr, &lib, 2)?;
+//! let workload = vec![vec![true, true], vec![true, false]];
+//! let run = driver.run_workload(&workload)?;
+//! assert_eq!(run.results[0].outputs, vec![true]);
+//! assert_eq!(run.results[1].outputs, vec![false]);
+//! assert_eq!(run.latency.count(), 2);
+//! assert!(run.latency.max_ps() > 0.0);
+//! # Ok(())
+//! # }
+//! ```
+
+use std::sync::Arc;
+
+use celllib::Library;
+use exec::Executor;
+use gatesim::{EngineProgram, LatencyReport, Logic, ParallelEventSim, Simulator};
+use sta::GracePeriod;
+
+use crate::{DualRailError, DualRailNetlist, OperandResult, ProtocolDriver};
+
+/// Results of one sharded workload run: every operand's full
+/// [`OperandResult`] in operand order, plus the spacer→valid latency
+/// report the paper's Table I summarises.
+#[derive(Clone, Debug, PartialEq)]
+pub struct ParallelProtocolRun {
+    /// Per-operand measurements and decoded outputs, in operand order.
+    pub results: Vec<OperandResult>,
+    /// Spacer→valid latency of every operand, in operand order, with
+    /// min/median/max/histogram summaries.
+    pub latency: LatencyReport,
+}
+
+impl ParallelProtocolRun {
+    /// Aggregates the per-operand results into a report.
+    #[must_use]
+    pub fn from_results(results: Vec<OperandResult>) -> Self {
+        let latency =
+            LatencyReport::from_latencies(results.iter().map(|r| r.s_to_v_latency_ps).collect());
+        Self { results, latency }
+    }
+
+    /// The `done` (completion-detection) latency of every operand, in
+    /// operand order, or `None` if any operand lacks a `done`
+    /// measurement (no completion detection, or `done` never moved).
+    #[must_use]
+    pub fn done_latency(&self) -> Option<LatencyReport> {
+        self.results
+            .iter()
+            .map(|r| r.done_latency_ps)
+            .collect::<Option<Vec<f64>>>()
+            .map(LatencyReport::from_latencies)
+    }
+}
+
+/// Drives a dual-rail netlist through four-phase cycles with the operand
+/// stream sharded across worker threads — outputs and per-operand
+/// latency/`done` statistics bit-identical to a streamed single
+/// contract-mode [`ProtocolDriver`] at any thread count.
+///
+/// See the [module documentation](self) for the contract and an example.
+#[derive(Debug)]
+pub struct ParallelProtocolDriver<'a> {
+    circuit: &'a DualRailNetlist,
+    sim: ParallelEventSim<'a>,
+    /// Canonical quiescent state, captured once from a settled reference
+    /// driver and verified by every worker after every cycle.
+    snapshot: Arc<[Logic]>,
+    grace: Option<GracePeriod>,
+    check_monotonic: bool,
+}
+
+impl<'a> ParallelProtocolDriver<'a> {
+    /// Compiles the circuit once, validates that it initialises to a
+    /// settled quiescent state (captured as the contract snapshot) and
+    /// prepares `threads` workers (clamped to at least 1).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`DualRailError::SimulationDiverged`] if the circuit
+    /// fails to settle during initialisation; timing analysis failures
+    /// are tolerated (the grace period is then unavailable).
+    pub fn new(
+        circuit: &'a DualRailNetlist,
+        library: &Library,
+        threads: usize,
+    ) -> Result<Self, DualRailError> {
+        Self::with_executor(circuit, library, Executor::new(threads))
+    }
+
+    /// Like [`ParallelProtocolDriver::new`] with an explicit executor.
+    ///
+    /// # Errors
+    ///
+    /// See [`ParallelProtocolDriver::new`].
+    pub fn with_executor(
+        circuit: &'a DualRailNetlist,
+        library: &Library,
+        executor: Executor,
+    ) -> Result<Self, DualRailError> {
+        let observed = circuit.observed_output_nets();
+        let grace = GracePeriod::compute(circuit.netlist(), library, &observed).ok();
+        let program = Arc::new(EngineProgram::new(circuit.netlist(), library));
+        // Pre-flight on the calling thread: a reference driver settles
+        // the initial spacer (catching divergence as an error rather
+        // than a worker panic) and its settled state becomes the
+        // canonical snapshot every worker verifies against.  Replicated
+        // instances are deterministic, so each worker's own
+        // initialisation reaches this exact state — the first cycle's
+        // verification proves it.
+        let reference = ProtocolDriver::from_program(circuit, Arc::clone(&program))?;
+        let snapshot = reference.quiescent_snapshot();
+        drop(reference);
+        // The C-element latches and completion tree make the netlist
+        // sequential; sharding is sound because — and only because — the
+        // verified reset-phase contract restores one quiescent state per
+        // cycle.
+        let sim = ParallelEventSim::assume_reset_phase(program, executor);
+        Ok(Self {
+            circuit,
+            sim,
+            snapshot,
+            grace,
+            check_monotonic: true,
+        })
+    }
+
+    /// Number of worker threads the operand stream is sharded across.
+    #[must_use]
+    pub fn threads(&self) -> usize {
+        self.sim.threads()
+    }
+
+    /// The circuit being driven.
+    #[must_use]
+    pub fn circuit(&self) -> &'a DualRailNetlist {
+        self.circuit
+    }
+
+    /// The statically computed grace period, if timing analysis
+    /// succeeded (computed once; workers never repeat it).
+    #[must_use]
+    pub fn grace_period(&self) -> Option<&GracePeriod> {
+        self.grace.as_ref()
+    }
+
+    /// The canonical quiescent snapshot every cycle is verified against.
+    #[must_use]
+    pub fn quiescent_snapshot(&self) -> &Arc<[Logic]> {
+        &self.snapshot
+    }
+
+    /// Disables the per-phase monotonicity check on every worker (for
+    /// ablation experiments; see
+    /// [`ProtocolDriver::set_monotonicity_check`]).
+    pub fn set_monotonicity_check(&mut self, enabled: bool) {
+        self.check_monotonic = enabled;
+    }
+
+    /// Runs one full four-phase cycle per operand (one `Vec<bool>` with
+    /// one bit per dual-rail input, in declaration order), sharding
+    /// disjoint operand ranges across worker threads, and returns every
+    /// decoded result in operand order together with the spacer→valid
+    /// latency report.
+    ///
+    /// Takes `&self`: all mutable state is per worker, so one driver can
+    /// serve many workloads (and several concurrently).
+    ///
+    /// # Errors
+    ///
+    /// Propagates the first per-operand error in operand order — the
+    /// same protocol violations, width mismatches and divergence errors
+    /// as [`ProtocolDriver::apply_operand`], plus
+    /// [`DualRailError::SpacerStateMismatch`] if a cycle breaks the
+    /// reset-phase contract.
+    pub fn run_workload(
+        &self,
+        operands: &[Vec<bool>],
+    ) -> Result<ParallelProtocolRun, DualRailError> {
+        let circuit = self.circuit;
+        let snapshot = &self.snapshot;
+        let check_monotonic = self.check_monotonic;
+        let results = self.sim.run_with(
+            operands,
+            |sim: Simulator<'a>| -> Result<ProtocolDriver<'a>, DualRailError> {
+                let mut driver = ProtocolDriver::from_simulator(circuit, sim)?;
+                driver.set_monotonicity_check(check_monotonic);
+                driver.enable_reset_contract(Arc::clone(snapshot));
+                Ok(driver)
+            },
+            |driver, operand: &Vec<bool>| match driver {
+                Ok(driver) => driver.apply_operand(operand),
+                Err(error) => Err(error.clone()),
+            },
+        );
+        let results = results.into_iter().collect::<Result<Vec<_>, _>>()?;
+        Ok(ParallelProtocolRun::from_results(results))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ReducedCompletion;
+
+    fn and_or_circuit() -> DualRailNetlist {
+        let mut dr = DualRailNetlist::new("t");
+        let a = dr.add_dual_input("a");
+        let b = dr.add_dual_input("b");
+        let c = dr.add_dual_input("c");
+        let ab = dr.and2("ab", a, b).unwrap();
+        let y = dr.or2("y", ab, c).unwrap();
+        dr.add_dual_output("y", y);
+        ReducedCompletion::insert(&mut dr).unwrap();
+        dr
+    }
+
+    fn workload(width: usize, operands: usize) -> Vec<Vec<bool>> {
+        (0..operands as u32)
+            .map(|p| (0..width).map(|i| p & (1 << i) != 0).collect())
+            .collect()
+    }
+
+    /// Streamed single-driver reference in contract mode: the exact
+    /// per-operand code path the workers run, on one instance.
+    fn streamed_reference(dr: &DualRailNetlist, operands: &[Vec<bool>]) -> Vec<OperandResult> {
+        let lib = Library::umc_ll();
+        let mut driver = ProtocolDriver::new(dr, &lib).unwrap();
+        let snapshot = driver.quiescent_snapshot();
+        driver.enable_reset_contract(snapshot);
+        operands
+            .iter()
+            .map(|operand| driver.apply_operand(operand).unwrap())
+            .collect()
+    }
+
+    #[test]
+    fn sharded_driver_is_bit_identical_to_streamed_contract_driver() {
+        let dr = and_or_circuit();
+        let operands = workload(3, 14);
+        let expected = streamed_reference(&dr, &operands);
+        let lib = Library::umc_ll();
+        for threads in [1, 2, 7] {
+            let driver = ParallelProtocolDriver::new(&dr, &lib, threads).unwrap();
+            assert_eq!(driver.threads(), threads);
+            let run = driver.run_workload(&operands).unwrap();
+            assert_eq!(run.results, expected, "threads = {threads}");
+            assert_eq!(
+                run.latency,
+                LatencyReport::from_latencies(
+                    expected.iter().map(|r| r.s_to_v_latency_ps).collect()
+                )
+            );
+            let done = run.done_latency().expect("completion detection present");
+            assert_eq!(done.count(), operands.len());
+            assert!(done.min_ps() > 0.0);
+        }
+    }
+
+    #[test]
+    fn run_workload_takes_shared_self() {
+        let dr = and_or_circuit();
+        let lib = Library::umc_ll();
+        let driver = ParallelProtocolDriver::new(&dr, &lib, 2).unwrap();
+        let operands = workload(3, 5);
+        let first = driver.run_workload(&operands).unwrap();
+        let second = driver.run_workload(&operands).unwrap();
+        assert_eq!(first, second, "a driver is reusable across workloads");
+        assert!(driver.grace_period().is_some());
+        assert!(std::ptr::eq(driver.circuit(), &dr));
+        assert_eq!(driver.quiescent_snapshot().len(), dr.netlist().net_count());
+    }
+
+    #[test]
+    fn operand_errors_propagate_in_operand_order() {
+        let dr = and_or_circuit();
+        let lib = Library::umc_ll();
+        let driver = ParallelProtocolDriver::new(&dr, &lib, 2).unwrap();
+        // Operand 3 has the wrong width; the run must fail with exactly
+        // that operand's error even though later operands are fine.
+        let mut operands = workload(3, 6);
+        operands[3] = vec![true];
+        assert!(matches!(
+            driver.run_workload(&operands),
+            Err(DualRailError::OperandWidthMismatch {
+                expected: 3,
+                got: 1
+            })
+        ));
+    }
+
+    #[test]
+    fn empty_workload_yields_empty_run() {
+        let dr = and_or_circuit();
+        let lib = Library::umc_ll();
+        let driver = ParallelProtocolDriver::new(&dr, &lib, 3).unwrap();
+        let run = driver.run_workload(&[]).unwrap();
+        assert!(run.results.is_empty());
+        assert_eq!(run.latency.count(), 0);
+        assert_eq!(run.done_latency(), Some(LatencyReport::default()));
+    }
+}

@@ -18,9 +18,28 @@
 //! outputs must never enter the forbidden state, and during each phase
 //! every observed rail may switch at most once (monotonic switching,
 //! Requirement 2/3).
+//!
+//! # The reset-phase sharding contract
+//!
+//! Four-phase circuits are sequential (C-element latches, completion
+//! trees), but the protocol itself restores history independence: every
+//! cycle ends in the all-spacer quiescent state, where each C-element
+//! has seen all-zero inputs and reset.  A driver switched into
+//! **contract mode** ([`ProtocolDriver::enable_reset_contract`]) turns
+//! that argument into a checked invariant — each operand cycle is
+//! rebased to time zero with per-operand activity counters, and after
+//! every return-to-zero phase [`ProtocolDriver::verify_spacer_state`]
+//! compares the settled state of *every* net against the canonical
+//! quiescent snapshot, failing loudly on the first mismatch.  Under the
+//! verified contract, per-operand results are a pure function of the
+//! operand, which is what lets [`crate::ParallelProtocolDriver`] shard
+//! an operand stream across replicated drivers with results
+//! bit-identical to streaming.
+
+use std::sync::Arc;
 
 use celllib::Library;
-use gatesim::{LatencyStats, Logic, Simulator};
+use gatesim::{EngineProgram, LatencyStats, Logic, Simulator};
 use netlist::NetId;
 use sta::GracePeriod;
 
@@ -51,6 +70,11 @@ pub struct OperandResult {
     pub v_to_s_latency_ps: f64,
     /// Total wall-clock time of the full valid + spacer cycle.
     pub cycle_time_ps: f64,
+    /// Probe signals ([`DualRailNetlist::declare_probe`]) decoded at the
+    /// end of the valid phase, in declaration order.  Probes carry no
+    /// protocol obligations, so a probe may read as a spacer or even the
+    /// forbidden state without failing the cycle.
+    pub probes: Vec<(String, DualRailValue)>,
 }
 
 /// Drives a dual-rail netlist through four-phase cycles on the
@@ -61,6 +85,10 @@ pub struct ProtocolDriver<'a> {
     sim: Simulator<'a>,
     grace: Option<GracePeriod>,
     check_monotonic: bool,
+    /// Canonical quiescent snapshot of every net; `Some` switches the
+    /// driver into the reset-phase sharding contract (per-operand time
+    /// rebasing + per-cycle spacer-state verification).
+    reset_contract: Option<Arc<[Logic]>>,
 }
 
 impl<'a> ProtocolDriver<'a> {
@@ -75,12 +103,60 @@ impl<'a> ProtocolDriver<'a> {
     pub fn new(circuit: &'a DualRailNetlist, library: &Library) -> Result<Self, DualRailError> {
         let observed = circuit.observed_output_nets();
         let grace = GracePeriod::compute(circuit.netlist(), library, &observed).ok();
-        let sim = Simulator::new(circuit.netlist(), library);
+        let mut driver = Self::from_simulator(circuit, Simulator::new(circuit.netlist(), library))?;
+        driver.grace = grace;
+        Ok(driver)
+    }
+
+    /// Creates a driver over a shared engine compilation
+    /// ([`gatesim::EngineProgram`]), allocating only this driver's
+    /// mutable simulator state — the replication primitive behind
+    /// [`crate::ParallelProtocolDriver`].  No timing analysis is run
+    /// (the program carries no library), so
+    /// [`ProtocolDriver::grace_period`] is unavailable; use
+    /// [`ProtocolDriver::new`] when the grace period matters.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`DualRailError::SimulationDiverged`] if the circuit
+    /// fails to settle during initialisation.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `program` was not compiled from this circuit's netlist.
+    pub fn from_program(
+        circuit: &'a DualRailNetlist,
+        program: Arc<EngineProgram<'a>>,
+    ) -> Result<Self, DualRailError> {
+        Self::from_simulator(circuit, Simulator::from_program(program))
+    }
+
+    /// Creates a driver around an existing simulator instance (fresh or
+    /// replicated from a shared program) and initialises all inputs to
+    /// the spacer state.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`DualRailError::SimulationDiverged`] if the circuit
+    /// fails to settle during initialisation.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `sim` does not simulate this circuit's netlist.
+    pub fn from_simulator(
+        circuit: &'a DualRailNetlist,
+        sim: Simulator<'a>,
+    ) -> Result<Self, DualRailError> {
+        assert!(
+            std::ptr::eq(sim.netlist(), circuit.netlist()),
+            "the simulator must run this circuit's netlist"
+        );
         let mut driver = Self {
             circuit,
             sim,
-            grace,
+            grace: None,
             check_monotonic: true,
+            reset_contract: None,
         };
         driver.drive_spacer();
         if !driver.sim.run_until_quiescent().is_quiescent() {
@@ -89,10 +165,67 @@ impl<'a> ProtocolDriver<'a> {
         Ok(driver)
     }
 
+    /// Snapshot of every settled net value — the canonical quiescent
+    /// state a reset-phase contract verifies against.  Meaningful right
+    /// after construction or after any fully settled spacer phase.
+    #[must_use]
+    pub fn quiescent_snapshot(&self) -> Arc<[Logic]> {
+        Arc::from(self.sim.net_values())
+    }
+
+    /// Switches the driver into the **reset-phase sharding contract**
+    /// (see the [module documentation](self)): every operand cycle is
+    /// rebased to time zero with per-operand activity counters, and
+    /// after each return-to-zero phase the settled state of every net is
+    /// verified against `snapshot`
+    /// ([`ProtocolDriver::verify_spacer_state`]).
+    ///
+    /// In contract mode [`ProtocolDriver::total_transitions`],
+    /// [`ProtocolDriver::now_ps`] and
+    /// [`ProtocolDriver::activity_profile`] cover the **current operand
+    /// only** — per-operand figures are the point of the contract: they
+    /// make every measurement independent of where an operand sits in
+    /// the stream.
+    pub fn enable_reset_contract(&mut self, snapshot: Arc<[Logic]>) {
+        self.reset_contract = Some(snapshot);
+    }
+
+    /// Verifies the current settled state against the contract's
+    /// quiescent snapshot.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`DualRailError::SpacerStateMismatch`] naming the first
+    /// diverging net.  Does nothing (trivially `Ok`) when no contract is
+    /// enabled.
+    pub fn verify_spacer_state(&self) -> Result<(), DualRailError> {
+        let Some(snapshot) = &self.reset_contract else {
+            return Ok(());
+        };
+        match self.sim.first_state_mismatch(snapshot) {
+            None => Ok(()),
+            Some((net, expected, got)) => Err(DualRailError::SpacerStateMismatch {
+                description: format!(
+                    "net {net} settled to {got:?} after the return-to-zero phase but the \
+                     quiescent snapshot holds {expected:?}; the post-cycle state depends \
+                     on operand history, so this circuit cannot be sharded"
+                ),
+            }),
+        }
+    }
+
     /// Disables the per-phase monotonicity check (useful for ablation
     /// experiments that intentionally violate the methodology).
     pub fn set_monotonicity_check(&mut self, enabled: bool) {
         self.check_monotonic = enabled;
+    }
+
+    /// Caps the events processed per settle phase, bounding how long
+    /// divergence (oscillation) takes to surface as
+    /// [`DualRailError::SimulationDiverged`]; see
+    /// [`gatesim::Simulator::set_event_limit`].
+    pub fn set_event_limit(&mut self, limit: u64) {
+        self.sim.set_event_limit(limit);
     }
 
     /// The statically computed grace period, if timing analysis
@@ -217,12 +350,20 @@ impl<'a> ProtocolDriver<'a> {
         Ok(())
     }
 
-    fn latest_change_since(&self, nets: &[NetId], since_ps: f64) -> f64 {
+    /// Elapsed time from `since_ps` to the latest change any of `nets`
+    /// made at or after `since_ps`, or `None` if none of them moved.
+    /// Changes recorded before `since_ps` — e.g. a net that last
+    /// switched in a *previous* cycle — never count: reporting a stale
+    /// timestamp as this phase's latency was exactly the
+    /// `done_latency_ps` staleness bug.
+    fn latest_change_since(&self, nets: &[NetId], since_ps: f64) -> Option<f64> {
         nets.iter()
             .filter_map(|&n| self.sim.last_change_ps(n))
             .filter(|&t| t >= since_ps)
-            .fold(since_ps, f64::max)
-            - since_ps
+            .fold(None, |acc: Option<f64>, t| {
+                Some(acc.map_or(t, |best| best.max(t)))
+            })
+            .map(|t| t - since_ps)
     }
 
     fn check_monotonic_phase(
@@ -234,7 +375,14 @@ impl<'a> ProtocolDriver<'a> {
             return Ok(());
         }
         for (i, &net) in nets.iter().enumerate() {
-            let delta = self.sim.net_transitions(net) - transitions_before[i];
+            // Saturate rather than subtract: if the transition counters
+            // are ever rebased between the snapshot and this check
+            // (contract mode clears them per operand), a plain
+            // subtraction would underflow and panic in debug builds.
+            let delta = self
+                .sim
+                .net_transitions(net)
+                .saturating_sub(transitions_before[i]);
             if delta > 1 {
                 return Err(DualRailError::ProtocolViolation {
                     description: format!(
@@ -266,6 +414,23 @@ impl<'a> ProtocolDriver<'a> {
             });
         }
 
+        // Contract mode: rebase the cycle to time zero and start the
+        // activity counters fresh *before* any snapshot is taken, so
+        // every measurement below is a pure function of the operand —
+        // identical no matter which driver instance runs it or how many
+        // operands that instance has already processed.
+        if self.reset_contract.is_some() {
+            // A previous cycle that diverged (event limit) leaves its
+            // unprocessed tail in the queue; rebasing the clock under it
+            // would panic.  Report the instance as diverged instead —
+            // it no longer sits in any quiescent state.
+            if self.sim.has_pending_events() {
+                return Err(DualRailError::SimulationDiverged);
+            }
+            self.sim.clear_activity();
+            self.sim.reset_time();
+        }
+
         let observed = self.circuit.observed_output_nets();
         let transitions_before: Vec<u64> = observed
             .iter()
@@ -279,14 +444,17 @@ impl<'a> ProtocolDriver<'a> {
             return Err(DualRailError::SimulationDiverged);
         }
         let (outputs, one_of_n) = self.decode_outputs()?;
-        let s_to_v_latency_ps = self.latest_change_since(&observed, t0);
-        let done_latency_ps = self.circuit.done().and_then(|done| {
-            if self.sim.value(done).is_one() {
-                Some(self.sim.last_change_ps(done).unwrap_or(t0) - t0)
-            } else {
-                None
-            }
-        });
+        let probes = self.decode_probes();
+        let s_to_v_latency_ps = self.latest_change_since(&observed, t0).unwrap_or(0.0);
+        // `done` must have *moved* this cycle to count: a `done` net
+        // that was already high before `t0` (stale from an earlier
+        // cycle) used to report `last_change - t0` — a bogus
+        // non-positive latency.
+        let done_latency_ps = self
+            .circuit
+            .done()
+            .filter(|&done| self.sim.value(done).is_one())
+            .and_then(|done| self.latest_change_since(&[done], t0));
         if let Some(done) = self.circuit.done() {
             if !self.sim.value(done).is_one() {
                 return Err(DualRailError::ProtocolViolation {
@@ -314,8 +482,11 @@ impl<'a> ProtocolDriver<'a> {
                 });
             }
         }
-        let v_to_s_latency_ps = self.latest_change_since(&observed, t1);
+        let v_to_s_latency_ps = self.latest_change_since(&observed, t1).unwrap_or(0.0);
         self.check_monotonic_phase(&observed, &transitions_mid)?;
+        // Contract mode: the cycle must have returned every net to the
+        // canonical quiescent state, or sharding would change results.
+        self.verify_spacer_state()?;
 
         Ok(OperandResult {
             outputs,
@@ -324,7 +495,26 @@ impl<'a> ProtocolDriver<'a> {
             done_latency_ps,
             v_to_s_latency_ps,
             cycle_time_ps: self.sim.now_ps() - t0,
+            probes,
         })
+    }
+
+    /// Decodes every declared probe signal at the current (settled
+    /// valid) state.  Probes carry no protocol obligations, so any
+    /// codeword — including spacer and forbidden — is recorded as-is.
+    fn decode_probes(&self) -> Vec<(String, DualRailValue)> {
+        self.circuit
+            .probes()
+            .iter()
+            .map(|(name, signal)| {
+                let value = DualRailValue::decode(
+                    self.sim.value(signal.positive),
+                    self.sim.value(signal.negative),
+                    signal.polarity,
+                );
+                (name.clone(), value)
+            })
+            .collect()
     }
 
     /// Convenience helper: applies every operand in `workload` and
@@ -438,6 +628,174 @@ mod tests {
         assert!(stats.maximum() >= stats.average());
         assert!(driver.total_transitions() > 0);
         assert!(driver.now_ps() > 0.0);
+    }
+
+    /// Regression (done-latency staleness): a `done` net that was
+    /// already high before this cycle's `t0` — its last change predates
+    /// the cycle — must report `None`, not the bogus non-positive
+    /// latency `last_change - t0` the old fallback produced.
+    #[test]
+    fn stale_done_reports_none_not_a_negative_latency() {
+        let mut dr = and_or_circuit();
+        let tie = dr
+            .netlist_mut()
+            .add_cell("tie", netlist::CellKind::Tie1, &[])
+            .unwrap();
+        dr.set_done(tie);
+        let lib = Library::umc_ll();
+        let mut driver = ProtocolDriver::new(&dr, &lib).unwrap();
+
+        // After initialisation `done` is high, but its only change (the
+        // tie cell firing) happened before any operand was applied.
+        let t0 = driver.sim.now_ps();
+        assert!(driver.sim.value(tie).is_one());
+        let stale = driver.sim.last_change_ps(tie).unwrap();
+        assert!(stale < t0, "the tie fired strictly before the cycle");
+        assert_eq!(
+            driver.latest_change_since(&[tie], t0),
+            None,
+            "a net that did not move since t0 must not report a latency"
+        );
+
+        // The full cycle still fails loudly — a done that never falls is
+        // a protocol violation — rather than fabricating a measurement.
+        assert!(matches!(
+            driver.apply_operand(&[true, true, false]),
+            Err(DualRailError::ProtocolViolation { .. })
+        ));
+    }
+
+    /// Regression (monotonic-check underflow): rebasing the transition
+    /// counters between a phase snapshot and the phase check used to
+    /// underflow `net_transitions - transitions_before` and panic in
+    /// debug builds; the saturating subtraction keeps the check sound.
+    #[test]
+    fn monotonic_check_survives_rebased_transition_counters() {
+        let dr = and_or_circuit();
+        let lib = Library::umc_ll();
+        let mut driver = ProtocolDriver::new(&dr, &lib).unwrap();
+        let observed = dr.observed_output_nets();
+        driver.apply_operand(&[true, true, true]).unwrap();
+
+        // Snapshot with history, then rebase: every counter drops below
+        // its snapshot.  Without `saturating_sub` this panics in debug.
+        let before: Vec<u64> = observed
+            .iter()
+            .map(|&n| driver.sim.net_transitions(n))
+            .collect();
+        assert!(before.iter().any(|&c| c > 0));
+        driver.sim.clear_activity();
+        driver
+            .check_monotonic_phase(&observed, &before)
+            .expect("rebased counters saturate to zero deltas");
+    }
+
+    /// The reset-phase contract pins per-operand rebase semantics: in
+    /// contract mode every cycle starts at time zero with fresh
+    /// activity counters, so repeating one operand yields identical
+    /// measurements (and `total_transitions` covers one operand), while
+    /// the default mode accumulates across the stream.
+    #[test]
+    fn reset_contract_makes_measurements_per_operand() {
+        let dr = and_or_circuit();
+        let lib = Library::umc_ll();
+        let operand = [true, true, false];
+
+        let mut contract = ProtocolDriver::new(&dr, &lib).unwrap();
+        let snapshot = contract.quiescent_snapshot();
+        contract.enable_reset_contract(snapshot);
+        let first = contract.apply_operand(&operand).unwrap();
+        let first_transitions = contract.total_transitions();
+        let first_now = contract.now_ps();
+        for _ in 0..3 {
+            let again = contract.apply_operand(&operand).unwrap();
+            assert_eq!(again, first, "contract cycles are pure in the operand");
+            assert_eq!(contract.total_transitions(), first_transitions);
+            assert_eq!(contract.now_ps(), first_now, "every cycle starts at zero");
+        }
+
+        let mut default_mode = ProtocolDriver::new(&dr, &lib).unwrap();
+        default_mode.apply_operand(&operand).unwrap();
+        let after_one = default_mode.total_transitions();
+        default_mode.apply_operand(&operand).unwrap();
+        assert!(
+            default_mode.total_transitions() > after_one,
+            "the default driver keeps accumulating activity"
+        );
+    }
+
+    /// Regression: a contract-mode cycle that diverges leaves its
+    /// unprocessed event tail in the queue; the *next* `apply_operand`
+    /// must report the instance as diverged, not panic inside
+    /// `reset_time` ("cannot reset time with N events pending").
+    #[test]
+    fn contract_mode_survives_a_diverged_cycle_without_panicking() {
+        let mut dr = DualRailNetlist::new("osc");
+        let a = dr.add_dual_input("a");
+        dr.add_dual_output("y", a);
+        // Two detached oscillators kicked by the positive rail: the
+        // spacer holds each NAND at 1 (controlling zero input), the
+        // valid-1 codeword releases both rings.  Two rings keep at
+        // least one event in the queue when the limit cuts the run
+        // short (the popped-but-unapplied event of the other ring).
+        let nl = dr.netlist_mut();
+        for ring in 0..2 {
+            let fb = nl.add_net_named(format!("fb{ring}")).unwrap();
+            let osc = nl
+                .add_cell(
+                    format!("nand{ring}"),
+                    netlist::CellKind::Nand2,
+                    &[a.positive, fb],
+                )
+                .unwrap();
+            nl.add_cell_with_output(format!("fbuf{ring}"), netlist::CellKind::Buf, &[osc], fb)
+                .unwrap();
+        }
+
+        let lib = Library::umc_ll();
+        let mut driver = ProtocolDriver::new(&dr, &lib).unwrap();
+        let snapshot = driver.quiescent_snapshot();
+        driver.enable_reset_contract(snapshot);
+        driver.set_event_limit(200);
+        assert!(matches!(
+            driver.apply_operand(&[true]),
+            Err(DualRailError::SimulationDiverged)
+        ));
+        // The queue still holds the oscillation tail; the follow-up call
+        // must fail cleanly rather than trip the reset_time assertion.
+        assert!(matches!(
+            driver.apply_operand(&[false]),
+            Err(DualRailError::SimulationDiverged)
+        ));
+    }
+
+    /// A circuit whose state survives the return-to-zero phase breaks
+    /// the sharding contract; `verify_spacer_state` fails loudly instead
+    /// of letting shard-dependent results escape.
+    #[test]
+    fn reset_contract_violations_are_detected() {
+        let mut dr = and_or_circuit();
+        // A sticky internal C-element: gated by a tie-high net, it
+        // latches the first valid codeword and never resets.  No output
+        // or `done` check can see it — only the full-state verification.
+        let a_p = dr.dual_input("a").unwrap().positive;
+        let tie = dr
+            .netlist_mut()
+            .add_cell("tie", netlist::CellKind::Tie1, &[])
+            .unwrap();
+        dr.netlist_mut()
+            .add_cell("sticky", netlist::CellKind::CElement2, &[a_p, tie])
+            .unwrap();
+
+        let lib = Library::umc_ll();
+        let mut driver = ProtocolDriver::new(&dr, &lib).unwrap();
+        let snapshot = driver.quiescent_snapshot();
+        driver.enable_reset_contract(snapshot);
+        let result = driver.apply_operand(&[true, true, false]);
+        assert!(
+            matches!(result, Err(DualRailError::SpacerStateMismatch { .. })),
+            "got {result:?}"
+        );
     }
 
     #[test]

@@ -112,6 +112,7 @@ mod tests {
             done_latency_ps: None,
             v_to_s_latency_ps: v_to_s,
             cycle_time_ps: s_to_v + v_to_s,
+            probes: Vec::new(),
         }
     }
 

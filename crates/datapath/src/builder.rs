@@ -1,8 +1,8 @@
 //! The complete dual-rail asynchronous inference datapath.
 
 use dualrail::{
-    CompletionReport, DualRailNetlist, DualRailSignal, FullCompletion, OperandResult,
-    ReducedCompletion,
+    CompletionReport, DualRailNetlist, DualRailSignal, DualRailValue, FullCompletion,
+    OperandResult, ReducedCompletion,
 };
 use netlist::Netlist;
 use tsetlin::ExcludeMasks;
@@ -10,7 +10,7 @@ use tsetlin::ExcludeMasks;
 use crate::clause_logic::dual_rail_clause;
 use crate::comparator::dual_rail_comparator;
 use crate::popcount::dual_rail_popcount8;
-use crate::reference::ComparatorDecision;
+use crate::reference::{ComparatorDecision, InferenceOutcome};
 use crate::{DatapathConfig, DatapathError};
 
 /// Which completion-detection scheme the generated datapath uses.
@@ -159,7 +159,11 @@ impl DualRailDatapath {
             clause_signals.push(clause);
         }
 
-        // Population counters.
+        // Population counters.  The count bits are internal — exporting
+        // them as primary outputs would change the completion network —
+        // but the inference decoders need them, so they are declared as
+        // protocol *probes*: decoded every valid phase, never observed
+        // by the handshake.
         let positive_count = dual_rail_popcount8(&mut dr, "pcp", &positive_clauses)?;
         let negative_count = dual_rail_popcount8(&mut dr, "pcn", &negative_clauses)?;
         let count_signals: Vec<DualRailSignal> = positive_count
@@ -167,6 +171,12 @@ impl DualRailDatapath {
             .chain(negative_count.iter())
             .copied()
             .collect();
+        for (i, &bit) in positive_count.iter().enumerate() {
+            dr.declare_probe(format!("pcp{i}"), bit);
+        }
+        for (i, &bit) in negative_count.iter().enumerate() {
+            dr.declare_probe(format!("pcn{i}"), bit);
+        }
 
         // Magnitude comparator with the 1-of-3 output.
         let comparator = dual_rail_comparator(&mut dr, "cmp", &positive_count, &negative_count)?;
@@ -317,6 +327,59 @@ impl DualRailDatapath {
     /// Propagates [`DualRailDatapath::decode_decision`] failures.
     pub fn decode_in_class(&self, result: &OperandResult) -> Result<bool, DatapathError> {
         Ok(self.decode_decision(result)? != ComparatorDecision::Less)
+    }
+
+    /// Decodes the two hardware vote counts `(positive, negative)` from
+    /// the count-signal probes the generator declares (`pcp0..pcp3`,
+    /// `pcn0..pcn3`, LSB first).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`DatapathError::DecodeFailure`] if a count probe is
+    /// missing from the result or did not settle to a valid codeword.
+    pub fn decode_votes(&self, result: &OperandResult) -> Result<(usize, usize), DatapathError> {
+        let count = |prefix: &str| -> Result<usize, DatapathError> {
+            (0..4).try_fold(0usize, |acc, i| {
+                let name = format!("{prefix}{i}");
+                let value = result
+                    .probes
+                    .iter()
+                    .find(|(n, _)| *n == name)
+                    .map(|(_, v)| *v)
+                    .ok_or_else(|| {
+                        DatapathError::DecodeFailure(format!("count probe {name:?} missing"))
+                    })?;
+                match value {
+                    DualRailValue::Valid(bit) => Ok(acc + (usize::from(bit) << i)),
+                    other => Err(DatapathError::DecodeFailure(format!(
+                        "count probe {name:?} is {other:?} when a valid codeword was expected"
+                    ))),
+                }
+            })
+        };
+        Ok((count("pcp")?, count("pcn")?))
+    }
+
+    /// Decodes a protocol-driver result into the full
+    /// [`InferenceOutcome`] (comparator decision plus both hardware vote
+    /// counts), directly comparable with the software golden model.
+    ///
+    /// # Errors
+    ///
+    /// Propagates [`DualRailDatapath::decode_decision`] and
+    /// [`DualRailDatapath::decode_votes`] failures.
+    pub fn decode_outcome(
+        &self,
+        result: &OperandResult,
+    ) -> Result<InferenceOutcome, DatapathError> {
+        let decision = self.decode_decision(result)?;
+        let (positive_votes, negative_votes) = self.decode_votes(result)?;
+        Ok(InferenceOutcome {
+            positive_votes,
+            negative_votes,
+            decision,
+            in_class: decision != ComparatorDecision::Less,
+        })
     }
 }
 

@@ -26,7 +26,11 @@
 //! * [`EventDrivenInference`] — per-operand event-driven simulation
 //!   (return-to-zero cycles, sharded across workers) reporting the
 //!   data-dependent injection→settle latency of every operand — the
-//!   paper's figure of merit.
+//!   paper's figure of merit;
+//! * [`DualRailInference`] — the same sharded per-operand measurement on
+//!   the *dual-rail datapath itself*: full four-phase handshake cycles
+//!   under the verified reset-phase contract, reporting spacer→valid
+//!   and `done` latency per operand (the paper's Table I quantities).
 //!
 //! # Example
 //!
@@ -68,6 +72,7 @@ pub mod builder;
 pub mod clause_logic;
 pub mod comparator;
 pub mod config;
+pub mod dual_rail_event;
 pub mod error;
 pub mod event;
 pub mod parallel;
@@ -79,6 +84,7 @@ pub mod workload;
 pub use batch::{BatchGoldenModel, BatchInference};
 pub use builder::{CompletionScheme, DatapathOptions, DualRailDatapath};
 pub use config::DatapathConfig;
+pub use dual_rail_event::{DualRailInference, DualRailRun};
 pub use error::DatapathError;
 pub use event::{EventDrivenInference, EventDrivenRun};
 pub use parallel::ParallelBatchInference;

@@ -199,6 +199,16 @@ impl<'a> Simulator<'a> {
         self.now_ps
     }
 
+    /// Whether scheduled events are still waiting to be applied.  True
+    /// after a [`RunOutcome::LimitReached`] run (the queue still holds
+    /// the unprocessed tail), which is how replayed-operand protocols
+    /// detect an aborted cycle instead of tripping the
+    /// [`Simulator::reset_time`] assertion.
+    #[must_use]
+    pub fn has_pending_events(&self) -> bool {
+        !self.queue.is_empty()
+    }
+
     /// Changes the event limit used to detect runaway oscillation.
     pub fn set_event_limit(&mut self, limit: u64) {
         self.event_limit = limit;
@@ -223,6 +233,40 @@ impl<'a> Simulator<'a> {
             .iter()
             .map(|&n| self.value(n))
             .collect()
+    }
+
+    /// Current value of every net, indexed by [`NetId::index`].
+    ///
+    /// This is the full state of a settled combinational netlist (and,
+    /// together with C-element outputs, of a settled sequential one) —
+    /// the snapshot that reset-phase sharding contracts compare against;
+    /// see [`crate::ParallelEventSim::assume_reset_phase`].
+    #[must_use]
+    pub fn net_values(&self) -> &[Logic] {
+        &self.values
+    }
+
+    /// Compares the current net values against `snapshot` and returns
+    /// the first mismatch as `(net, snapshot value, current value)`, or
+    /// `None` if the states are identical.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `snapshot` does not have one value per net.
+    #[must_use]
+    pub fn first_state_mismatch(&self, snapshot: &[Logic]) -> Option<(NetId, Logic, Logic)> {
+        assert_eq!(
+            snapshot.len(),
+            self.values.len(),
+            "snapshot covers {} nets but the netlist has {}",
+            snapshot.len(),
+            self.values.len()
+        );
+        self.values
+            .iter()
+            .zip(snapshot)
+            .position(|(current, expected)| current != expected)
+            .map(|i| (NetId::from_index(i), snapshot[i], self.values[i]))
     }
 
     /// Time of the most recent value change of `net`, or `None` if it has
@@ -331,14 +375,19 @@ impl<'a> Simulator<'a> {
 
     /// Rebases the simulation clock to zero.  Net values, transition
     /// counters and suppression state are untouched; only the notion of
-    /// "now" changes.
+    /// "now" changes, and recorded change timestamps shift with it:
+    /// every [`Simulator::last_change_ps`] entry moves into the new
+    /// frame (becoming zero or negative — "before this frame started"),
+    /// so "did this net move since `t`?" queries keep working across
+    /// rebased cycles instead of reporting stale previous-frame times as
+    /// future changes.
     ///
-    /// Used by replayed-operand protocols ([`crate::ParallelEventSim`])
-    /// so every operand's events carry identical absolute timestamps
-    /// regardless of how many operands this instance has already
-    /// processed — which makes per-operand latencies bit-identical
-    /// across instances and thread counts, with no floating-point drift
-    /// from accumulated offsets.
+    /// Used by replayed-operand protocols ([`crate::ParallelEventSim`],
+    /// the `dualrail` protocol drivers) so every operand's events carry
+    /// identical absolute timestamps regardless of how many operands
+    /// this instance has already processed — which makes per-operand
+    /// latencies bit-identical across instances and thread counts, with
+    /// no floating-point drift from accumulated offsets.
     ///
     /// # Panics
     ///
@@ -350,6 +399,13 @@ impl<'a> Simulator<'a> {
             "cannot reset time with {} events pending",
             self.queue.len()
         );
+        if self.now_ps != 0.0 {
+            for t in &mut self.last_change_ps {
+                // NaN marks "never changed" and must stay NaN (it does:
+                // NaN - x is NaN), so no branch is needed.
+                *t -= self.now_ps;
+            }
+        }
         self.now_ps = 0.0;
     }
 
@@ -879,6 +935,53 @@ mod tests {
         // The same single-buffer path now yields the same absolute time.
         assert_eq!(sim.now_ps(), first_settle);
         assert_eq!(sim.value(y), Logic::Zero);
+    }
+
+    #[test]
+    fn reset_time_shifts_change_timestamps_into_the_past_frame() {
+        let mut nl = Netlist::new("t");
+        let a = nl.add_input("a");
+        let y = nl.add_cell("buf", CellKind::Buf, &[a]).unwrap();
+        nl.add_output("y", y);
+        let library = lib();
+        let mut sim = Simulator::new(&nl, &library);
+        sim.set_input_bool(a, true);
+        sim.run_until_quiescent();
+        let settle = sim.now_ps();
+        assert_eq!(sim.last_change_ps(y), Some(settle));
+
+        // After the rebase the previous frame's changes are at or before
+        // zero — never in the new frame's future.
+        sim.reset_time();
+        assert_eq!(sim.last_change_ps(y), Some(0.0));
+        assert_eq!(sim.last_change_ps(a), Some(-settle));
+
+        // A net that never changed stays "never changed".
+        let mut fresh = Simulator::new(&nl, &library);
+        fresh.run_until_quiescent();
+        fresh.reset_time();
+        assert_eq!(fresh.last_change_ps(y), None);
+    }
+
+    #[test]
+    fn state_snapshot_comparison_reports_first_mismatch() {
+        let mut nl = Netlist::new("t");
+        let a = nl.add_input("a");
+        let y = nl.add_cell("inv", CellKind::Inv, &[a]).unwrap();
+        nl.add_output("y", y);
+        let library = lib();
+        let mut sim = Simulator::new(&nl, &library);
+        sim.set_input_bool(a, false);
+        sim.run_until_quiescent();
+        let snapshot = sim.net_values().to_vec();
+        assert_eq!(sim.first_state_mismatch(&snapshot), None);
+
+        sim.set_input_bool(a, true);
+        sim.run_until_quiescent();
+        let (net, expected, got) = sim.first_state_mismatch(&snapshot).unwrap();
+        assert_eq!(net, a);
+        assert_eq!(expected, Logic::Zero);
+        assert_eq!(got, Logic::One);
     }
 
     #[test]

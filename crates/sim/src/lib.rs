@@ -65,7 +65,7 @@ pub mod value;
 pub use engine::{RunOutcome, Simulator};
 pub use event::{Event, EventQueue};
 pub use monitor::{LatencyReport, LatencyStats, TransitionLog};
-pub use parallel::{run_return_to_zero, OperandRun, ParallelEventSim};
+pub use parallel::{run_return_to_zero, OperandRun, ParallelEventSim, ShardingContract};
 pub use program::EngineProgram;
 pub use testbench::{run_combinational_vectors, run_synchronous_vectors, SyncRunResult};
 pub use value::Logic;

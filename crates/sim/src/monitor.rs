@@ -113,6 +113,13 @@ impl LatencyStats {
     /// Builds a histogram with `bins` equal-width bins between the
     /// minimum and maximum sample; returns `(bin upper edge, count)`
     /// pairs.  Returns an empty vector if fewer than two samples exist.
+    ///
+    /// When every sample is equal (`min == max`) the equal-width bin
+    /// geometry degenerates — the width is zero, so all edges would
+    /// collapse onto the same value — and the histogram is the single
+    /// bin `[(max, count)]` regardless of `bins`.  This happens in
+    /// practice whenever a workload's operands all settle along the same
+    /// path (e.g. a single-gate circuit).
     #[must_use]
     pub fn histogram(&self, bins: usize) -> Vec<(f64, usize)> {
         if self.samples.len() < 2 || bins == 0 {
@@ -120,7 +127,10 @@ impl LatencyStats {
         }
         let min = self.minimum();
         let max = self.maximum();
-        let width = ((max - min) / bins as f64).max(f64::MIN_POSITIVE);
+        if min == max {
+            return vec![(max, self.samples.len())];
+        }
+        let width = (max - min) / bins as f64;
         let mut counts = vec![0usize; bins];
         for &s in &self.samples {
             let mut idx = ((s - min) / width) as usize;
@@ -374,6 +384,31 @@ mod tests {
         assert_eq!(hist.len(), 10);
         let total: usize = hist.iter().map(|(_, c)| *c).sum();
         assert_eq!(total, 100);
+    }
+
+    #[test]
+    fn all_equal_samples_collapse_to_a_single_bin() {
+        // Regression: a zero-width sample range used to produce bins
+        // with duplicate edges (all collapsed onto the minimum) and all
+        // counts piled into the first of `bins` indistinguishable bins.
+        let mut s = LatencyStats::new();
+        for _ in 0..5 {
+            s.record(42.0);
+        }
+        for bins in [1, 3, 10] {
+            assert_eq!(s.histogram(bins), vec![(42.0, 5)], "bins = {bins}");
+        }
+        // The degenerate report histogram inherits the same rule.
+        let report = LatencyReport::from_latencies(vec![7.0; 4]);
+        assert_eq!(report.histogram(8), vec![(7.0, 4)]);
+        // Two distinct samples still get the regular equal-width bins.
+        let mut spread = LatencyStats::new();
+        spread.record(0.0);
+        spread.record(10.0);
+        let hist = spread.histogram(2);
+        assert_eq!(hist.len(), 2);
+        assert_eq!(hist[0], (5.0, 1));
+        assert_eq!(hist[1], (10.0, 1));
     }
 
     #[test]

@@ -29,11 +29,26 @@
 //!    netlist the settled spacer state is a pure function of the inputs,
 //!    so after the first spacer every instance sits in the same state no
 //!    matter which operands it processed before.  (State-holding cells
-//!    would break this — construction rejects them.)
+//!    break this in general — [`ParallelEventSim::new`] rejects them.)
 //! 2. **Per-operand time rebasing.**  [`Simulator::reset_time`] zeroes
 //!    the clock before each injection, so event timestamps — and the
 //!    floating-point roundings they go through — are identical for a
 //!    given operand regardless of its position in the stream.
+//!
+//! # The reset-phase contract for sequential netlists
+//!
+//! Dual-rail four-phase circuits are sequential (C-element input latches
+//! and completion trees), yet their protocol *restores* history
+//! independence: every cycle ends by returning all inputs to the spacer,
+//! and a C-element whose inputs all reach 0 resets to 0, so the settled
+//! post-reset state is one fixed quiescent state — not a function of
+//! operand history.  [`ParallelEventSim::assume_reset_phase`] admits
+//! sequential netlists on the strength of that argument, and **verifies
+//! it per cycle**: each worker snapshots its first settled spacer state
+//! and compares every later one against it, panicking on the first
+//! mismatch instead of silently returning shard-dependent results.
+//! Protocol-level drivers (the `dualrail` crate) perform the same check
+//! against a canonical snapshot shared by all workers.
 //!
 //! # Example
 //!
@@ -95,6 +110,22 @@ pub struct OperandRun {
 /// is noise; the value never affects results (operands are independent).
 const OPERANDS_PER_CHUNK: usize = 4;
 
+/// The history-independence argument a [`ParallelEventSim`] relies on to
+/// replay operands on replicated instances.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum ShardingContract {
+    /// The netlist is combinational: its settled state is a pure
+    /// function of the inputs, so the all-zero spacer alone restores one
+    /// canonical state.  Enforced at construction.
+    Combinational,
+    /// The caller asserts that every return-to-zero cycle ends in one
+    /// fixed quiescent state even though the netlist holds state (e.g. a
+    /// four-phase dual-rail circuit whose C-elements all reset on the
+    /// spacer).  The runner verifies the assertion on every cycle by
+    /// comparing each settled spacer state against the first one.
+    ResetPhase,
+}
+
 /// Drives one return-to-zero operand cycle on `sim` and reports the
 /// settled outputs and injection latency.
 ///
@@ -111,6 +142,23 @@ const OPERANDS_PER_CHUNK: usize = 4;
 /// either phase fails to settle within the simulator's event limit.
 #[must_use]
 pub fn run_return_to_zero(sim: &mut Simulator<'_>, operand: &[bool]) -> OperandRun {
+    run_return_to_zero_checked(sim, operand, None)
+}
+
+/// [`run_return_to_zero`] with the reset-phase contract check: after the
+/// spacer settles, the full net state is compared against `*snapshot`
+/// (captured from the first spacer if still `None`).
+///
+/// # Panics
+///
+/// Panics like [`run_return_to_zero`], and additionally if a settled
+/// spacer state diverges from the snapshot — the loud failure mode of
+/// the [`ShardingContract::ResetPhase`] contract.
+fn run_return_to_zero_checked(
+    sim: &mut Simulator<'_>,
+    operand: &[bool],
+    spacer_snapshot: Option<&mut Option<Vec<Logic>>>,
+) -> OperandRun {
     // The input list is cached in the shared program, so the per-operand
     // hot path performs no allocation for it.
     let input_count = sim.program().primary_inputs().len();
@@ -123,8 +171,9 @@ pub fn run_return_to_zero(sim: &mut Simulator<'_>, operand: &[bool]) -> OperandR
     );
 
     // Spacer phase: return every input to zero and settle.  After this
-    // the instance sits in the canonical all-zero state (combinational
-    // netlists only — enforced at construction).
+    // the instance sits in the canonical quiescent state — by function
+    // for combinational netlists, by the verified reset-phase contract
+    // for sequential ones.
     for i in 0..input_count {
         let net = sim.program().primary_inputs()[i];
         sim.set_input(net, Logic::Zero);
@@ -133,6 +182,21 @@ pub fn run_return_to_zero(sim: &mut Simulator<'_>, operand: &[bool]) -> OperandR
         sim.run_until_quiescent().is_quiescent(),
         "spacer phase failed to settle"
     );
+    if let Some(snapshot) = spacer_snapshot {
+        match snapshot {
+            None => *snapshot = Some(sim.net_values().to_vec()),
+            Some(expected) => {
+                if let Some((net, expected, got)) = sim.first_state_mismatch(expected) {
+                    panic!(
+                        "reset-phase contract violated: net {net} settled to {got:?} \
+                         after the spacer but the quiescent snapshot holds {expected:?} \
+                         — the circuit's post-cycle state depends on operand history, \
+                         so sharding it would change results"
+                    );
+                }
+            }
+        }
+    }
 
     // Injection phase from time zero: identical absolute timestamps for
     // a given operand, wherever it sits in the stream.
@@ -162,6 +226,7 @@ pub fn run_return_to_zero(sim: &mut Simulator<'_>, operand: &[bool]) -> OperandR
 pub struct ParallelEventSim<'a> {
     program: Arc<EngineProgram<'a>>,
     executor: Executor,
+    contract: ShardingContract,
 }
 
 impl<'a> ParallelEventSim<'a> {
@@ -171,10 +236,11 @@ impl<'a> ParallelEventSim<'a> {
     /// # Panics
     ///
     /// Panics if the netlist contains sequential cells (flip-flops or
-    /// C-elements): their settled state depends on operand history, so
-    /// sharding the stream would change results.  Drive those designs
-    /// through a single [`Simulator`] or the `dualrail` protocol driver
-    /// instead.
+    /// C-elements): their settled state depends on operand history in
+    /// general, so sharding the stream would change results.  Designs
+    /// whose cycles provably reset that state (four-phase dual-rail
+    /// circuits) can instead assert the verified reset-phase contract
+    /// via [`ParallelEventSim::assume_reset_phase`].
     #[must_use]
     pub fn new(netlist: &'a Netlist, library: &Library, threads: usize) -> Self {
         Self::from_program(
@@ -195,9 +261,36 @@ impl<'a> ParallelEventSim<'a> {
         assert!(
             program.is_combinational(),
             "ParallelEventSim requires a combinational netlist: sequential state \
-             would make results depend on how operands are sharded"
+             would make results depend on how operands are sharded \
+             (assert a reset-phase contract with `assume_reset_phase` if every \
+             cycle provably returns the circuit to one quiescent state)"
         );
-        Self { program, executor }
+        Self {
+            program,
+            executor,
+            contract: ShardingContract::Combinational,
+        }
+    }
+
+    /// Like [`ParallelEventSim::from_program`], but admits sequential
+    /// cells (C-elements, flip-flops) on the caller's assertion of the
+    /// **reset-phase history-independence contract**: every replayed
+    /// cycle returns the whole circuit to one fixed quiescent state, so
+    /// replicated instances start each operand identically.
+    ///
+    /// The assertion is not taken on faith: every worker verifies each
+    /// settled spacer state against the first one it observed and
+    /// panics on the first mismatch (see the
+    /// [module documentation](self)).  Higher-level protocol drivers
+    /// layer their own per-cycle check on top via
+    /// [`Simulator::first_state_mismatch`].
+    #[must_use]
+    pub fn assume_reset_phase(program: Arc<EngineProgram<'a>>, executor: Executor) -> Self {
+        Self {
+            program,
+            executor,
+            contract: ShardingContract::ResetPhase,
+        }
     }
 
     /// Number of worker threads operands are sharded across.
@@ -206,10 +299,55 @@ impl<'a> ParallelEventSim<'a> {
         self.executor.threads()
     }
 
+    /// The history-independence contract this runner operates under.
+    #[must_use]
+    pub fn contract(&self) -> ShardingContract {
+        self.contract
+    }
+
     /// The shared immutable program all workers evaluate.
     #[must_use]
     pub fn program(&self) -> &Arc<EngineProgram<'a>> {
         &self.program
+    }
+
+    /// Shards arbitrary per-item work across this runner's workers: each
+    /// worker builds its private state once from a fresh [`Simulator`]
+    /// instance over the shared program (`init`), then `step` processes
+    /// every item that worker claims, and the results are merged **in
+    /// item order** — the replication-and-merge machinery of
+    /// [`ParallelEventSim::run_operands`] with the per-item protocol
+    /// supplied by the caller.
+    ///
+    /// This is the hook protocol-level drivers build on (e.g. the
+    /// `dualrail` crate's sharded four-phase driver, which wraps each
+    /// worker's simulator in a full protocol checker).  The caller is
+    /// responsible for making `step` history-independent — under the
+    /// [`ShardingContract::ResetPhase`] contract that means verifying
+    /// the quiescent state every cycle.
+    pub fn run_with<T, W, R>(
+        &self,
+        items: &[T],
+        init: impl Fn(Simulator<'a>) -> W + Sync,
+        step: impl Fn(&mut W, &T) -> R + Sync,
+    ) -> Vec<R>
+    where
+        T: Sync,
+        R: Send,
+    {
+        let program = &self.program;
+        let per_chunk = self.executor.map_chunks_with(
+            items,
+            OPERANDS_PER_CHUNK,
+            || init(Simulator::from_program(Arc::clone(program))),
+            |worker, _, chunk| {
+                chunk
+                    .iter()
+                    .map(|item| step(worker, item))
+                    .collect::<Vec<_>>()
+            },
+        );
+        per_chunk.into_iter().flatten().collect()
     }
 
     /// Replays every operand through a return-to-zero cycle
@@ -227,19 +365,18 @@ impl<'a> ParallelEventSim<'a> {
     /// settle (see [`run_return_to_zero`]).
     #[must_use]
     pub fn run_operands(&self, operands: &[Vec<bool>]) -> Vec<OperandRun> {
-        let program = &self.program;
-        let per_chunk = self.executor.map_chunks_with(
+        let verify = self.contract == ShardingContract::ResetPhase;
+        self.run_with(
             operands,
-            OPERANDS_PER_CHUNK,
-            || Simulator::from_program(Arc::clone(program)),
-            |sim, _, chunk| {
-                chunk
-                    .iter()
-                    .map(|operand| run_return_to_zero(sim, operand))
-                    .collect::<Vec<_>>()
+            |sim| (sim, None::<Vec<Logic>>),
+            move |(sim, snapshot), operand| {
+                // Under the reset-phase contract the settled spacer state
+                // is verified against the worker's first one; replicated
+                // instances are deterministic, so every worker's snapshot
+                // is the same state.
+                run_return_to_zero_checked(sim, operand, verify.then_some(snapshot))
             },
-        );
-        per_chunk.into_iter().flatten().collect()
+        )
     }
 
     /// Like [`ParallelEventSim::run_operands`], additionally aggregating
@@ -355,6 +492,53 @@ mod tests {
         nl.add_output("y", y);
         let library = lib();
         let _ = ParallelEventSim::new(&nl, &library, 2);
+    }
+
+    /// A C-element whose inputs all return to zero honours the
+    /// reset-phase contract: the spacer resets it, so sharding the
+    /// operand stream stays bit-identical to streaming it.
+    #[test]
+    fn reset_phase_contract_admits_self_resetting_sequential_netlists() {
+        use crate::program::EngineProgram;
+
+        let mut nl = Netlist::new("celem_rtz");
+        let a = nl.add_input("a");
+        let b = nl.add_input("b");
+        let c = nl.add_cell("cel", CellKind::CElement2, &[a, b]).unwrap();
+        let y = nl.add_cell("buf", CellKind::Buf, &[c]).unwrap();
+        nl.add_output("y", y);
+        let library = lib();
+
+        let operands: Vec<Vec<bool>> = (0..13u32).map(|p| vec![p & 1 != 0, p & 2 != 0]).collect();
+        let expected = stream(&nl, &library, &operands);
+        for threads in [1, 2, 7] {
+            let program = Arc::new(EngineProgram::new(&nl, &library));
+            let sim = ParallelEventSim::assume_reset_phase(program, exec::Executor::new(threads));
+            assert_eq!(sim.contract(), ShardingContract::ResetPhase);
+            let runs = sim.run_operands(&operands);
+            assert_eq!(runs, expected, "threads = {threads}");
+        }
+    }
+
+    /// A C-element held by a tie-high input does *not* reset on the
+    /// spacer; the per-cycle verification catches the broken assertion
+    /// instead of silently returning history-dependent results.
+    #[test]
+    #[should_panic(expected = "reset-phase contract violated")]
+    fn reset_phase_contract_violations_fail_loudly() {
+        use crate::program::EngineProgram;
+
+        let mut nl = Netlist::new("celem_sticky");
+        let a = nl.add_input("a");
+        let hi = nl.add_cell("tie", CellKind::Tie1, &[]).unwrap();
+        let y = nl.add_cell("cel", CellKind::CElement2, &[a, hi]).unwrap();
+        nl.add_output("y", y);
+        let library = lib();
+        let program = Arc::new(EngineProgram::new(&nl, &library));
+        let sim = ParallelEventSim::assume_reset_phase(program, exec::Executor::new(1));
+        // Operand 1 sets the C-element; the spacer before operand 2 can
+        // no longer reach the first spacer's state.
+        let _ = sim.run_operands(&[vec![true], vec![false]]);
     }
 
     #[test]

@@ -301,9 +301,22 @@ impl<'a> EngineProgram<'a> {
     /// replicated instances with bit-identical results.
     #[must_use]
     pub fn is_combinational(&self) -> bool {
+        self.sequential_cell_count() == 0
+    }
+
+    /// Number of state-holding cells (flip-flops and C-elements) in the
+    /// compiled netlist.
+    ///
+    /// Sequential programs can still be sharded across replicated
+    /// instances when every replayed cycle provably returns the whole
+    /// circuit to one quiescent state — the reset-phase contract of
+    /// [`crate::ParallelEventSim::assume_reset_phase`].
+    #[must_use]
+    pub fn sequential_cell_count(&self) -> usize {
         self.cell_kind
             .iter()
-            .all(|kind| !kind.is_sequential() && *kind != CellKind::Dff)
+            .filter(|kind| kind.is_sequential() || **kind == CellKind::Dff)
+            .count()
     }
 }
 

@@ -508,6 +508,75 @@ proptest! {
 }
 
 // ---------------------------------------------------------------------
+// Sharded dual-rail protocol driving: ParallelProtocolDriver ≡ one
+// streamed contract-mode ProtocolDriver at every thread count — decoded
+// outputs, s→v / v→s latencies and done latencies alike
+// ---------------------------------------------------------------------
+
+proptest! {
+    // Each case simulates a full dual-rail datapath through four-phase
+    // cycles at four thread counts, so run few cases.
+    #![proptest_config(ProptestConfig::with_cases(4))]
+
+    /// Sharding a dual-rail operand stream under the verified
+    /// reset-phase contract changes nothing: every per-operand
+    /// measurement (decoded outputs, spacer→valid, valid→spacer and
+    /// done latencies, cycle times, probe values) is bit-identical to
+    /// streaming the same operands through a single contract-mode
+    /// driver, at thread counts {1, 2, 7}, for arbitrary masks and
+    /// features — and the decoded outcomes match the software golden
+    /// model.
+    #[test]
+    fn sharded_dual_rail_driver_matches_streamed_contract_driver(
+        seed in 0u64..10_000,
+        operands in 1usize..14,
+    ) {
+        use tm_async::datapath::{DualRailInference, InferenceWorkload};
+        use tm_async::dualrail::ParallelProtocolDriver;
+        use tm_async::gatesim::LatencyReport;
+
+        let config = DatapathConfig::new(3, 2).expect("valid");
+        let workload = InferenceWorkload::random(&config, operands, 0.7, seed).expect("workload");
+        let datapath = DualRailDatapath::generate(&config).expect("generation");
+        let library = Library::umc_ll();
+        let operand_bits = workload.dual_rail_operands(&datapath).expect("widths");
+
+        // Streamed single-driver reference in contract mode: the exact
+        // per-operand code path the workers replay, on one instance.
+        let mut streamed = ProtocolDriver::new(datapath.circuit(), &library).expect("driver");
+        let snapshot = streamed.quiescent_snapshot();
+        streamed.enable_reset_contract(snapshot);
+        let expected: Vec<_> = operand_bits
+            .iter()
+            .map(|operand| streamed.apply_operand(operand).expect("protocol cycle"))
+            .collect();
+        let expected_latency = LatencyReport::from_latencies(
+            expected.iter().map(|r| r.s_to_v_latency_ps).collect(),
+        );
+        let expected_done: Option<Vec<f64>> =
+            expected.iter().map(|r| r.done_latency_ps).collect();
+        let expected_done = expected_done.expect("completion detection present");
+
+        for threads in [1usize, 2, 7] {
+            let driver = ParallelProtocolDriver::new(datapath.circuit(), &library, threads)
+                .expect("driver");
+            let run = driver.run_workload(&operand_bits).expect("sharded run");
+            prop_assert_eq!(&run.results, &expected, "threads {}", threads);
+            prop_assert_eq!(&run.latency, &expected_latency, "threads {}", threads);
+            let done = run.done_latency().expect("done present on every operand");
+            prop_assert_eq!(done.latencies_ps(), expected_done.as_slice(), "threads {}", threads);
+
+            // The inference-level wrapper decodes the same results into
+            // golden-comparable outcomes.
+            let inference = DualRailInference::new(&datapath, &library, threads).expect("driver");
+            let run = inference.run_workload(&workload).expect("inference run");
+            prop_assert_eq!(run.outcomes.as_slice(), workload.expected(), "threads {}", threads);
+            prop_assert_eq!(&run.results, &expected, "threads {}", threads);
+        }
+    }
+}
+
+// ---------------------------------------------------------------------
 // Two-level event queue: same-timestamp FIFO order is exactly the
 // insertion order, under arbitrary interleaved push/pop traffic
 // ---------------------------------------------------------------------
