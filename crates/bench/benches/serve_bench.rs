@@ -1,0 +1,64 @@
+//! Criterion `serve` group: the micro-batching serving runtime end to
+//! end — admission, batching, the mpsc service-worker round-trips and
+//! telemetry — on a Poisson trace against the batch backend, plus the
+//! batcher-free offline path for comparison.
+//!
+//! The recorded saturation sweep lives in `BENCH_PR5.json` at the
+//! repository root (regenerate with
+//! `cargo run -p tm-async-bench --release --bin serve_sweep -- 2048 BENCH_PR5.json`).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use datapath::{BatchGoldenModel, BatchInference};
+use tm_async_bench::workloads::{standard_config, standard_workload};
+use tm_serve::{BatchBackend, ServeConfig, Server, Trace};
+
+fn bench_serving(c: &mut Criterion) {
+    let config = standard_config();
+    let standard = standard_workload(256, 2021);
+    let workload = &standard.workload;
+    let model = BatchGoldenModel::generate(&config).expect("model generation");
+
+    let mut group = c.benchmark_group("serve");
+    group.sample_size(10);
+
+    // 1024 Poisson requests at 2M qps through the full serving pipeline
+    // (measured service model): what a served request costs end to end.
+    group.bench_function("serve_batch_poisson_1024", |b| {
+        // Construction (netlist flattening, server setup) is hoisted out
+        // of the timed loop: each run() starts a fresh session on the
+        // same server, so the row measures per-request serving cost, and
+        // the gap to `offline_batch_1024` is pure serving-layer overhead.
+        let trace = Trace::poisson(1024, 2e6, 7);
+        let backend = BatchBackend::new(&model, workload.masks().clone()).expect("backend");
+        let mut server = Server::new(backend, workload, ServeConfig::default()).expect("server");
+        b.iter(|| criterion::black_box(server.run(&trace).expect("serve run")))
+    });
+
+    // The same 1024 requests straight through the offline batch engine:
+    // the serving layer's overhead is the gap between these two rows.
+    group.bench_function("offline_batch_1024", |b| {
+        let mut batch = BatchInference::new(&model).expect("flattening");
+        let replay: Vec<&[bool]> = workload
+            .samples()
+            .cycle()
+            .take(1024)
+            .map(|s| s.features)
+            .collect();
+        b.iter(|| {
+            let outcomes: Vec<_> = replay
+                .chunks(64)
+                .flat_map(|chunk| {
+                    batch
+                        .infer_batch(workload.masks(), chunk)
+                        .expect("batched run")
+                })
+                .collect();
+            criterion::black_box(outcomes)
+        })
+    });
+
+    group.finish();
+}
+
+criterion_group!(benches, bench_serving);
+criterion_main!(benches);

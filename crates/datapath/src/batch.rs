@@ -187,15 +187,20 @@ impl<'a> BatchInference<'a> {
     /// Runs up to [`LANES`] samples in one pass and returns their
     /// outcomes in sample order.
     ///
+    /// Generic over the feature-vector representation: owned vectors
+    /// (`&[Vec<bool>]`) and borrowed slices (`&[&[bool]]`, e.g. a
+    /// serving micro-batch of [`crate::SampleRef`] features) both work,
+    /// so callers never have to clone features just to batch them.
+    ///
     /// # Errors
     ///
     /// Returns width mismatches for masks or feature vectors that do not
     /// match the configuration, or if more than [`LANES`] samples are
     /// supplied.
-    pub fn infer_batch(
+    pub fn infer_batch<V: AsRef<[bool]>>(
         &mut self,
         masks: &ExcludeMasks,
-        feature_vectors: &[Vec<bool>],
+        feature_vectors: &[V],
     ) -> Result<Vec<InferenceOutcome>, DatapathError> {
         self.check_masks(masks)?;
         // Exclude words: broadcast (the model is shared by all lanes).
@@ -270,13 +275,14 @@ pub(crate) fn broadcast_mask_words(masks: &ExcludeMasks, features: usize, pi_wor
 }
 
 /// Packs up to [`LANES`] feature vectors into `pi_words[..features]`,
-/// one sample per bit lane (surplus lanes are zeroed).
+/// one sample per bit lane (surplus lanes are zeroed).  Generic over
+/// the vector representation (owned or borrowed).
 ///
 /// # Errors
 ///
 /// Returns width mismatches for oversized batches or wrong-width vectors.
-pub(crate) fn pack_feature_words(
-    feature_vectors: &[Vec<bool>],
+pub(crate) fn pack_feature_words<V: AsRef<[bool]>>(
+    feature_vectors: &[V],
     features: usize,
     pi_words: &mut [u64],
 ) -> Result<(), DatapathError> {
@@ -289,6 +295,7 @@ pub(crate) fn pack_feature_words(
     }
     pi_words[..features].iter_mut().for_each(|w| *w = 0);
     for (lane, vector) in feature_vectors.iter().enumerate() {
+        let vector = vector.as_ref();
         if vector.len() != features {
             return Err(DatapathError::WidthMismatch {
                 what: "feature vector",

@@ -141,7 +141,27 @@ impl<'a> DualRailInference<'a> {
     /// [`DatapathError::DualRail`]) if a cycle breaks the reset-phase
     /// sharding contract.
     pub fn run_workload(&self, workload: &InferenceWorkload) -> Result<DualRailRun, DatapathError> {
-        let operands = workload.dual_rail_operands(self.datapath)?;
+        self.run_features(workload.masks(), workload.feature_vectors())
+    }
+
+    /// Runs an explicit batch of feature vectors (owned `&[Vec<bool>]`
+    /// or borrowed `&[&[bool]]`, e.g. a serving micro-batch) against
+    /// `masks` — one full four-phase handshake cycle per vector, sharded
+    /// under the reset-phase contract — and returns the decoded outcomes
+    /// and latency reports in input order.
+    ///
+    /// # Errors
+    ///
+    /// See [`DualRailInference::run_workload`].
+    pub fn run_features<V: AsRef<[bool]>>(
+        &self,
+        masks: &tsetlin::ExcludeMasks,
+        feature_vectors: &[V],
+    ) -> Result<DualRailRun, DatapathError> {
+        let operands = feature_vectors
+            .iter()
+            .map(|v| self.datapath.operand_bits(v.as_ref(), masks))
+            .collect::<Result<Vec<_>, _>>()?;
         let run = self.driver.run_workload(&operands)?;
         let outcomes = run
             .results

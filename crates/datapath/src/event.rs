@@ -119,9 +119,34 @@ impl<'a> EventDrivenInference<'a> {
         &self,
         workload: &InferenceWorkload,
     ) -> Result<EventDrivenRun, DatapathError> {
-        check_masks(&self.config, workload.masks())?;
-        let operands =
-            operand_bit_vectors(&self.config, workload.masks(), workload.feature_vectors());
+        self.run_features(workload.masks(), workload.feature_vectors())
+    }
+
+    /// Runs an explicit batch of feature vectors (owned `&[Vec<bool>]`
+    /// or borrowed `&[&[bool]]`, e.g. a serving micro-batch) against
+    /// `masks` — one return-to-zero event-driven cycle per vector,
+    /// sharded across workers — and returns decoded outcomes plus the
+    /// per-operand latency report, both in input order.
+    ///
+    /// # Errors
+    ///
+    /// See [`EventDrivenInference::run_workload`].
+    pub fn run_features<V: AsRef<[bool]>>(
+        &self,
+        masks: &ExcludeMasks,
+        feature_vectors: &[V],
+    ) -> Result<EventDrivenRun, DatapathError> {
+        check_masks(&self.config, masks)?;
+        for vector in feature_vectors {
+            if vector.as_ref().len() != self.config.features() {
+                return Err(DatapathError::WidthMismatch {
+                    what: "feature vector",
+                    expected: self.config.features(),
+                    got: vector.as_ref().len(),
+                });
+            }
+        }
+        let operands = operand_bit_vectors(&self.config, masks, feature_vectors);
         let (runs, latency) = self.sim.run_operands_with_report(&operands);
         let outcomes = runs
             .iter()
@@ -135,10 +160,10 @@ impl<'a> EventDrivenInference<'a> {
 /// Flattens each feature vector with the shared exclude masks into the
 /// golden model's primary-input order (features, then the positive bank,
 /// then the negative bank).
-fn operand_bit_vectors(
+fn operand_bit_vectors<V: AsRef<[bool]>>(
     config: &DatapathConfig,
     masks: &ExcludeMasks,
-    feature_vectors: &[Vec<bool>],
+    feature_vectors: &[V],
 ) -> Vec<Vec<bool>> {
     let mut mask_bits = Vec::with_capacity(config.data_input_count() - config.features());
     for bank in [masks.positive(), masks.negative()] {
@@ -150,7 +175,7 @@ fn operand_bit_vectors(
         .iter()
         .map(|features| {
             let mut bits = Vec::with_capacity(config.data_input_count());
-            bits.extend_from_slice(features);
+            bits.extend_from_slice(features.as_ref());
             bits.extend_from_slice(&mask_bits);
             bits
         })
@@ -282,5 +307,23 @@ mod tests {
         let sim = EventDrivenInference::new(&model, &library, 2);
         let workload = InferenceWorkload::random(&other, 4, 0.5, 1).unwrap();
         assert!(sim.run_workload(&workload).is_err());
+    }
+
+    #[test]
+    fn wrong_width_feature_vectors_are_errors_not_panics() {
+        let config = DatapathConfig::new(3, 2).unwrap();
+        let model = BatchGoldenModel::generate(&config).unwrap();
+        let library = Library::umc_ll();
+        let sim = EventDrivenInference::new(&model, &library, 1);
+        let workload = InferenceWorkload::random(&config, 1, 0.5, 1).unwrap();
+        let short = vec![vec![true, false]];
+        let err = sim.run_features(workload.masks(), &short).unwrap_err();
+        assert!(matches!(
+            err,
+            DatapathError::WidthMismatch {
+                what: "feature vector",
+                ..
+            }
+        ));
     }
 }

@@ -90,4 +90,4 @@ pub use event::{EventDrivenInference, EventDrivenRun};
 pub use parallel::ParallelBatchInference;
 pub use reference::{ComparatorDecision, InferenceOutcome};
 pub use single_rail::SingleRailDatapath;
-pub use workload::InferenceWorkload;
+pub use workload::{InferenceWorkload, SampleRef};

@@ -110,18 +110,34 @@ impl<'a> ParallelBatchInference<'a> {
         &self,
         workload: &InferenceWorkload,
     ) -> Result<Vec<InferenceOutcome>, DatapathError> {
-        check_masks(&self.config, workload.masks())?;
+        self.run_features(workload.masks(), workload.feature_vectors())
+    }
+
+    /// Runs an explicit batch of feature vectors (owned `&[Vec<bool>]`
+    /// or borrowed `&[&[bool]]`, e.g. a serving micro-batch) against
+    /// `masks`, 64-sample passes sharded across worker threads, and
+    /// returns one outcome per vector in input order.
+    ///
+    /// # Errors
+    ///
+    /// See [`ParallelBatchInference::run_workload`].
+    pub fn run_features<V: AsRef<[bool]> + Sync>(
+        &self,
+        masks: &tsetlin::ExcludeMasks,
+        feature_vectors: &[V],
+    ) -> Result<Vec<InferenceOutcome>, DatapathError> {
+        check_masks(&self.config, masks)?;
 
         // The exclude masks are the trained model, identical for every
         // chunk: broadcast them into a template each worker copies once.
         let mut template = vec![0u64; self.evaluator.input_count()];
-        broadcast_mask_words(workload.masks(), self.config.features(), &mut template);
+        broadcast_mask_words(masks, self.config.features(), &mut template);
 
         let features = self.config.features();
         let evaluator = &self.evaluator;
         let template = &template;
         let per_chunk = self.executor.map_chunks_with(
-            workload.feature_vectors(),
+            feature_vectors,
             LANES,
             || (template.clone(), evaluator.new_state(), Vec::new()),
             move |(pi_words, state, values), _, chunk| {
@@ -131,7 +147,7 @@ impl<'a> ParallelBatchInference<'a> {
             },
         );
 
-        let mut outcomes = Vec::with_capacity(workload.len());
+        let mut outcomes = Vec::with_capacity(feature_vectors.len());
         for chunk in per_chunk {
             outcomes.extend(chunk?);
         }

@@ -21,6 +21,21 @@ pub struct InferenceWorkload {
     expected: Vec<InferenceOutcome>,
 }
 
+/// One workload operand, borrowed: the feature vector and its golden
+/// outcome, plus the operand's index within the workload.  Produced by
+/// [`InferenceWorkload::sample`] / [`InferenceWorkload::samples`]; the
+/// borrow means request streams replaying a workload carry references,
+/// not per-request feature-vector copies.
+#[derive(Clone, Copy, Debug)]
+pub struct SampleRef<'w> {
+    /// The operand's index within the workload.
+    pub index: usize,
+    /// The operand's feature vector, borrowed from the workload.
+    pub features: &'w [bool],
+    /// The operand's golden outcome, borrowed from the workload.
+    pub expected: &'w InferenceOutcome,
+}
+
 impl InferenceWorkload {
     /// Builds a workload from explicit masks and feature vectors.
     ///
@@ -127,6 +142,47 @@ impl InferenceWorkload {
         &self.expected
     }
 
+    /// One operand by index, borrowed: its feature vector and golden
+    /// outcome.  No feature data is cloned.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `index >= self.len()`.
+    #[must_use]
+    pub fn sample(&self, index: usize) -> SampleRef<'_> {
+        SampleRef {
+            index,
+            features: &self.feature_vectors[index],
+            expected: &self.expected[index],
+        }
+    }
+
+    /// A borrowing iterator over the workload's operands, in operand
+    /// order: each item is a [`SampleRef`] pointing into the workload,
+    /// so replaying a workload (e.g. as a serving request stream) never
+    /// clones a feature vector.  The iterator is `Clone`, so an endless
+    /// replay is simply `workload.samples().cycle()`.
+    ///
+    /// # Example
+    ///
+    /// ```
+    /// use datapath::{DatapathConfig, InferenceWorkload};
+    ///
+    /// # fn main() -> Result<(), Box<dyn std::error::Error>> {
+    /// let config = DatapathConfig::new(4, 2)?;
+    /// let workload = InferenceWorkload::random(&config, 3, 0.6, 7)?;
+    /// // Borrow 10 requests from a 3-operand workload without cloning.
+    /// let replay: Vec<_> = workload.samples().cycle().take(10).collect();
+    /// assert_eq!(replay.len(), 10);
+    /// assert!(std::ptr::eq(replay[0].features, replay[3].features));
+    /// assert_eq!(replay[4].expected, &workload.expected()[1]);
+    /// # Ok(())
+    /// # }
+    /// ```
+    pub fn samples(&self) -> impl Iterator<Item = SampleRef<'_>> + Clone + '_ {
+        (0..self.len()).map(|index| self.sample(index))
+    }
+
     /// Number of operands.
     #[must_use]
     pub fn len(&self) -> usize {
@@ -189,6 +245,27 @@ mod tests {
         for vector in a.feature_vectors() {
             assert_eq!(vector.len(), 6);
         }
+    }
+
+    #[test]
+    fn samples_borrow_without_cloning() {
+        let config = DatapathConfig::new(5, 4).unwrap();
+        let workload = InferenceWorkload::random(&config, 6, 0.7, 3).unwrap();
+        let collected: Vec<_> = workload.samples().collect();
+        assert_eq!(collected.len(), 6);
+        for (i, sample) in collected.iter().enumerate() {
+            assert_eq!(sample.index, i);
+            // The references point *into* the workload storage.
+            assert!(std::ptr::eq(
+                sample.features,
+                workload.feature_vectors()[i].as_slice()
+            ));
+            assert!(std::ptr::eq(sample.expected, &workload.expected()[i]));
+        }
+        // Cyclic replay reuses the same storage.
+        let replayed: Vec<_> = workload.samples().cycle().take(14).collect();
+        assert!(std::ptr::eq(replayed[13].features, collected[1].features));
+        assert_eq!(workload.sample(2).index, 2);
     }
 
     #[test]

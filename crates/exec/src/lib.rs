@@ -14,7 +14,12 @@
 //!   that carry per-item mutable state (each worker owns a contiguous
 //!   range of items *and* the matching range of states, so no state is
 //!   shared mid-pass — the low-communication partitioning of
-//!   Hadidi et al., arXiv:2003.06464).
+//!   Hadidi et al., arXiv:2003.06464);
+//! * [`with_service`] — a **long-lived service worker** over
+//!   [`std::sync::mpsc`] channels for open-ended job streams: one scoped
+//!   thread owns mutable (possibly borrowing) worker state for a whole
+//!   session and answers jobs in FIFO order — the primitive behind the
+//!   `tm-serve` micro-batching runtime's backend thread.
 //!
 //! A one-thread executor runs entirely inline (no threads spawned), which
 //! keeps `threads = 1` bit-identical *and* allocation-comparable to a
@@ -37,6 +42,10 @@
 
 #![warn(missing_docs)]
 #![warn(missing_debug_implementations)]
+
+pub mod service;
+
+pub use service::{with_service, ServiceClient};
 
 use std::num::NonZeroUsize;
 use std::sync::atomic::{AtomicUsize, Ordering};

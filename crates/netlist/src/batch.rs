@@ -268,23 +268,27 @@ impl<'a> BatchEvaluator<'a> {
 /// Packs up to [`LANES`] boolean samples into per-input lane words.
 ///
 /// `samples[k]` is sample `k`'s primary-input vector; bit `k` of output
-/// word `i` is `samples[k][i]`.  Surplus lanes stay 0.
+/// word `i` is `samples[k][i]`.  Surplus lanes stay 0.  Generic over the
+/// sample representation: owned vectors (`&[Vec<bool>]`) and borrowed
+/// slices (`&[&[bool]]`, e.g. a micro-batch of requests pointing into a
+/// shared workload) pack identically, without cloning.
 ///
 /// # Panics
 ///
 /// Panics if more than [`LANES`] samples are supplied, if `samples` is
 /// empty, or if sample widths disagree.
 #[must_use]
-pub fn pack_lanes(samples: &[Vec<bool>]) -> Vec<u64> {
+pub fn pack_lanes<V: AsRef<[bool]>>(samples: &[V]) -> Vec<u64> {
     assert!(!samples.is_empty(), "cannot pack zero samples");
     assert!(
         samples.len() <= LANES,
         "at most {LANES} samples per word, got {}",
         samples.len()
     );
-    let width = samples[0].len();
+    let width = samples[0].as_ref().len();
     let mut words = vec![0u64; width];
     for (lane, sample) in samples.iter().enumerate() {
+        let sample = sample.as_ref();
         assert_eq!(
             sample.len(),
             width,

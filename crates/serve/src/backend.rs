@@ -1,0 +1,294 @@
+//! The pluggable inference backend behind the service worker.
+//!
+//! A [`Backend`] turns one micro-batch of borrowed feature slices into
+//! one [`InferenceOutcome`] per request, in request order.  The trait is
+//! deliberately tiny — the serving runtime owns batching, admission and
+//! telemetry; the backend only computes — and it is implemented for all
+//! four inference engines of the workspace:
+//!
+//! | adapter | engine | character |
+//! |---|---|---|
+//! | [`BatchBackend`] | [`datapath::BatchInference`] | 64-lane bit-parallel, single thread |
+//! | [`ParallelBatchBackend`] | [`datapath::ParallelBatchInference`] | 64-lane passes sharded across workers |
+//! | [`EventDrivenBackend`] | [`datapath::EventDrivenInference`] | per-operand event-driven simulation |
+//! | [`DualRailBackend`] | [`datapath::DualRailInference`] | four-phase dual-rail handshakes |
+//!
+//! The exclude masks (the trained model) bind at adapter construction:
+//! a server serves one model, and requests carry only features.
+//!
+//! Every adapter serves **bit-identical outcomes to its offline engine**
+//! — the adapters forward to the same `infer_batch`/`run_features`
+//! entry points the benchmarks call, so "served" vs "offline" can never
+//! diverge except through a serving-layer bug (which the server's
+//! golden verification would catch).
+
+use celllib::Library;
+use datapath::{
+    BatchGoldenModel, BatchInference, DualRailDatapath, DualRailInference, EventDrivenInference,
+    InferenceOutcome, ParallelBatchInference,
+};
+use tsetlin::ExcludeMasks;
+
+use crate::error::ServeError;
+
+/// A pluggable inference engine serving one micro-batch at a time.
+pub trait Backend {
+    /// Short stable name used in telemetry rows (`serve_<name>_qps`).
+    fn name(&self) -> &'static str;
+
+    /// Largest micro-batch this backend can absorb in one call.  The
+    /// server clamps its configured `max_batch` to this.
+    fn max_batch(&self) -> usize {
+        netlist::LANES
+    }
+
+    /// Serves one micro-batch of borrowed feature slices, returning one
+    /// outcome per request in request order.
+    ///
+    /// # Errors
+    ///
+    /// Propagates engine failures (width mismatches, decode failures,
+    /// protocol violations).
+    fn serve(&mut self, features: &[&[bool]]) -> Result<Vec<InferenceOutcome>, ServeError>;
+}
+
+impl<T: Backend + ?Sized> Backend for Box<T> {
+    fn name(&self) -> &'static str {
+        (**self).name()
+    }
+
+    fn max_batch(&self) -> usize {
+        (**self).max_batch()
+    }
+
+    fn serve(&mut self, features: &[&[bool]]) -> Result<Vec<InferenceOutcome>, ServeError> {
+        (**self).serve(features)
+    }
+}
+
+/// Serving adapter over the single-threaded 64-lane batch engine.
+#[derive(Debug)]
+pub struct BatchBackend<'a> {
+    inner: BatchInference<'a>,
+    masks: ExcludeMasks,
+}
+
+impl<'a> BatchBackend<'a> {
+    /// Binds the batch engine to a trained model's exclude masks.
+    ///
+    /// # Errors
+    ///
+    /// Propagates netlist-flattening failures and mask/model mismatches.
+    pub fn new(model: &'a BatchGoldenModel, masks: ExcludeMasks) -> Result<Self, ServeError> {
+        check_masks(model, &masks)?;
+        Ok(Self {
+            inner: BatchInference::new(model)?,
+            masks,
+        })
+    }
+}
+
+impl Backend for BatchBackend<'_> {
+    fn name(&self) -> &'static str {
+        "batch"
+    }
+
+    fn serve(&mut self, features: &[&[bool]]) -> Result<Vec<InferenceOutcome>, ServeError> {
+        Ok(self.inner.infer_batch(&self.masks, features)?)
+    }
+}
+
+/// Serving adapter over the multi-threaded 64-lane batch engine.
+#[derive(Debug)]
+pub struct ParallelBatchBackend<'a> {
+    inner: ParallelBatchInference<'a>,
+    masks: ExcludeMasks,
+}
+
+impl<'a> ParallelBatchBackend<'a> {
+    /// Binds the sharded batch engine (with `threads` workers, clamped
+    /// to at least 1) to a trained model's exclude masks.
+    ///
+    /// # Errors
+    ///
+    /// Propagates netlist-flattening failures and mask/model mismatches.
+    pub fn new(
+        model: &'a BatchGoldenModel,
+        masks: ExcludeMasks,
+        threads: usize,
+    ) -> Result<Self, ServeError> {
+        check_masks(model, &masks)?;
+        Ok(Self {
+            inner: ParallelBatchInference::new(model, threads)?,
+            masks,
+        })
+    }
+}
+
+impl Backend for ParallelBatchBackend<'_> {
+    fn name(&self) -> &'static str {
+        "parallel_batch"
+    }
+
+    fn serve(&mut self, features: &[&[bool]]) -> Result<Vec<InferenceOutcome>, ServeError> {
+        Ok(self.inner.run_features(&self.masks, features)?)
+    }
+}
+
+/// Serving adapter over the sharded event-driven golden-model engine
+/// (each request settles through one return-to-zero cycle; the
+/// simulation's per-operand latency is an engine-internal figure — the
+/// *serving* report measures queueing and wall-clock service time).
+#[derive(Debug)]
+pub struct EventDrivenBackend<'a> {
+    inner: EventDrivenInference<'a>,
+    masks: ExcludeMasks,
+}
+
+impl<'a> EventDrivenBackend<'a> {
+    /// Compiles the golden model for event-driven serving with delays
+    /// from `library`, sharded across `threads` workers.
+    ///
+    /// # Errors
+    ///
+    /// Propagates mask/model mismatches.
+    pub fn new(
+        model: &'a BatchGoldenModel,
+        library: &Library,
+        masks: ExcludeMasks,
+        threads: usize,
+    ) -> Result<Self, ServeError> {
+        check_masks(model, &masks)?;
+        Ok(Self {
+            inner: EventDrivenInference::new(model, library, threads),
+            masks,
+        })
+    }
+}
+
+impl Backend for EventDrivenBackend<'_> {
+    fn name(&self) -> &'static str {
+        "event_driven"
+    }
+
+    fn serve(&mut self, features: &[&[bool]]) -> Result<Vec<InferenceOutcome>, ServeError> {
+        Ok(self.inner.run_features(&self.masks, features)?.outcomes)
+    }
+}
+
+/// Serving adapter over the sharded dual-rail four-phase engine — every
+/// request is a complete handshake cycle on the paper's actual datapath.
+#[derive(Debug)]
+pub struct DualRailBackend<'a> {
+    inner: DualRailInference<'a>,
+    masks: ExcludeMasks,
+}
+
+impl<'a> DualRailBackend<'a> {
+    /// Compiles the dual-rail datapath for four-phase serving with
+    /// delays from `library`, sharded across `threads` workers under the
+    /// reset-phase contract.
+    ///
+    /// # Errors
+    ///
+    /// Propagates driver-construction failures (e.g. a circuit that
+    /// fails to settle during initialisation).
+    pub fn new(
+        datapath: &'a DualRailDatapath,
+        library: &Library,
+        masks: ExcludeMasks,
+        threads: usize,
+    ) -> Result<Self, ServeError> {
+        Ok(Self {
+            inner: DualRailInference::new(datapath, library, threads)?,
+            masks,
+        })
+    }
+}
+
+impl Backend for DualRailBackend<'_> {
+    fn name(&self) -> &'static str {
+        "dual_rail"
+    }
+
+    fn serve(&mut self, features: &[&[bool]]) -> Result<Vec<InferenceOutcome>, ServeError> {
+        Ok(self.inner.run_features(&self.masks, features)?.outcomes)
+    }
+}
+
+/// Rejects masks that do not match the model configuration at adapter
+/// construction, so a misconfigured server fails before accepting load.
+fn check_masks(model: &BatchGoldenModel, masks: &ExcludeMasks) -> Result<(), ServeError> {
+    let config = model.config();
+    if masks.feature_count() != config.features()
+        || masks.clauses_per_polarity() != config.clauses_per_polarity()
+    {
+        return Err(ServeError::InvalidConfig {
+            name: "masks",
+            reason: format!(
+                "exclude masks ({} features, {} clauses/polarity) do not match the model \
+                 ({} features, {} clauses/polarity)",
+                masks.feature_count(),
+                masks.clauses_per_polarity(),
+                config.features(),
+                config.clauses_per_polarity()
+            ),
+        });
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use datapath::{DatapathConfig, InferenceWorkload};
+
+    #[test]
+    fn adapters_serve_golden_outcomes() {
+        let config = DatapathConfig::new(5, 4).unwrap();
+        let model = BatchGoldenModel::generate(&config).unwrap();
+        let workload = InferenceWorkload::random(&config, 10, 0.7, 3).unwrap();
+        let features: Vec<&[bool]> = workload.samples().map(|s| s.features).collect();
+
+        let mut batch = BatchBackend::new(&model, workload.masks().clone()).unwrap();
+        assert_eq!(batch.name(), "batch");
+        assert_eq!(batch.max_batch(), netlist::LANES);
+        assert_eq!(&batch.serve(&features).unwrap(), workload.expected());
+
+        let mut parallel = ParallelBatchBackend::new(&model, workload.masks().clone(), 2).unwrap();
+        assert_eq!(parallel.name(), "parallel_batch");
+        assert_eq!(&parallel.serve(&features).unwrap(), workload.expected());
+    }
+
+    #[test]
+    fn event_and_dual_rail_adapters_serve_golden_outcomes() {
+        let config = DatapathConfig::new(4, 2).unwrap();
+        let model = BatchGoldenModel::generate(&config).unwrap();
+        let library = Library::umc_ll();
+        let workload = InferenceWorkload::random(&config, 5, 0.6, 9).unwrap();
+        let features: Vec<&[bool]> = workload.samples().map(|s| s.features).collect();
+
+        let mut event =
+            EventDrivenBackend::new(&model, &library, workload.masks().clone(), 2).unwrap();
+        assert_eq!(event.name(), "event_driven");
+        assert_eq!(&event.serve(&features).unwrap(), workload.expected());
+
+        let datapath = DualRailDatapath::generate(&config).unwrap();
+        let mut dual =
+            DualRailBackend::new(&datapath, &library, workload.masks().clone(), 2).unwrap();
+        assert_eq!(dual.name(), "dual_rail");
+        assert_eq!(&dual.serve(&features).unwrap(), workload.expected());
+    }
+
+    #[test]
+    fn mismatched_masks_fail_at_construction() {
+        let config = DatapathConfig::new(5, 4).unwrap();
+        let other = DatapathConfig::new(6, 4).unwrap();
+        let model = BatchGoldenModel::generate(&config).unwrap();
+        let wrong = InferenceWorkload::random(&other, 1, 0.5, 1).unwrap();
+        assert!(matches!(
+            BatchBackend::new(&model, wrong.masks().clone()),
+            Err(ServeError::InvalidConfig { name: "masks", .. })
+        ));
+    }
+}

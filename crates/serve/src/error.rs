@@ -1,0 +1,94 @@
+//! Error type for the serving runtime.
+
+use std::error::Error;
+use std::fmt;
+
+use datapath::DatapathError;
+
+/// Errors produced while configuring or running an inference server.
+#[derive(Clone, Debug, PartialEq)]
+#[non_exhaustive]
+pub enum ServeError {
+    /// A serving-configuration parameter was outside the supported
+    /// range.
+    InvalidConfig {
+        /// The parameter name.
+        name: &'static str,
+        /// Why the value was rejected.
+        reason: String,
+    },
+    /// The backend failed to serve a micro-batch.
+    Backend(DatapathError),
+    /// A backend returned the wrong number of outcomes for a batch.
+    BatchShapeMismatch {
+        /// Requests in the dispatched batch.
+        expected: usize,
+        /// Outcomes the backend returned.
+        got: usize,
+    },
+    /// A served outcome diverged from the workload's golden outcome —
+    /// the serving pipeline corrupted a request (timings from such a
+    /// run must not be trusted, so the run fails loudly).
+    OutcomeMismatch {
+        /// The diverging request's serial id.
+        request: usize,
+        /// The workload sample the request replayed.
+        sample: usize,
+    },
+}
+
+impl fmt::Display for ServeError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ServeError::InvalidConfig { name, reason } => {
+                write!(f, "invalid serving configuration `{name}`: {reason}")
+            }
+            ServeError::Backend(e) => write!(f, "backend error: {e}"),
+            ServeError::BatchShapeMismatch { expected, got } => write!(
+                f,
+                "backend returned {got} outcomes for a {expected}-request batch"
+            ),
+            ServeError::OutcomeMismatch { request, sample } => write!(
+                f,
+                "request {request} (workload sample {sample}) diverged from its golden outcome"
+            ),
+        }
+    }
+}
+
+impl Error for ServeError {
+    fn source(&self) -> Option<&(dyn Error + 'static)> {
+        match self {
+            ServeError::Backend(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<DatapathError> for ServeError {
+    fn from(e: DatapathError) -> Self {
+        ServeError::Backend(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_is_informative() {
+        let e = ServeError::InvalidConfig {
+            name: "max_batch",
+            reason: "must be at least 1".into(),
+        };
+        assert!(e.to_string().contains("max_batch"));
+        let e = ServeError::OutcomeMismatch {
+            request: 3,
+            sample: 1,
+        };
+        assert!(e.to_string().contains("request 3"));
+        let e: ServeError = DatapathError::DecodeFailure("x".into()).into();
+        assert!(matches!(e, ServeError::Backend(_)));
+        assert!(Error::source(&e).is_some());
+    }
+}

@@ -1,0 +1,685 @@
+//! The serving runtime: virtual-clock event loop + long-lived service
+//! worker.
+//!
+//! [`Server::run`] replays an arrival [`Trace`] against a [`Backend`]:
+//!
+//! 1. requests are admitted into the bounded pending queue (or shed /
+//!    blocked — [`AdmissionPolicy`]);
+//! 2. the [`MicroBatcher`] flushes a micro-batch whenever 64 lanes fill
+//!    or the oldest request's `max_wait_ns` deadline expires;
+//! 3. each batch is handed over std mpsc channels to **one long-lived
+//!    service worker thread** ([`exec::with_service`]) owning the
+//!    backend for the whole session;
+//! 4. the batch's service time (measured wall-clock, or a fixed
+//!    [`ServiceModel`] for deterministic tests) advances the virtual
+//!    server-free time, and per-request queueing/service components land
+//!    in the [`ServeReport`].
+//!
+//! **Every served outcome is verified against the workload's golden
+//! outcome before the report is returned** — a run whose pipeline
+//! corrupted even one request fails with
+//! [`ServeError::OutcomeMismatch`] instead of reporting timings.
+//!
+//! # The virtual-clock determinism contract
+//!
+//! Arrivals, admission decisions, batch composition and flush times are
+//! pure functions of `(trace, config, service times)`.  Under
+//! [`ServiceModel::Fixed`] the service times are given, so **the entire
+//! report — shed set, batch boundaries, every queueing and service
+//! figure — is deterministic** and independent of backend thread count,
+//! host load or wall-clock jitter.  Under [`ServiceModel::Measured`]
+//! the measured wall-clock durations feed back into the virtual clock
+//! (that feedback is what makes saturation real), so telemetry values
+//! vary run to run while served *outcomes* remain golden-verified and
+//! bit-identical to the offline engines at any thread count.
+//!
+//! Tie-break: a flush due exactly at an arrival's timestamp happens
+//! first — the arriving request misses that batch.
+
+use std::cmp::Reverse;
+use std::collections::BinaryHeap;
+use std::time::Instant;
+
+use datapath::{InferenceOutcome, InferenceWorkload};
+use exec::ServiceClient;
+
+use crate::backend::Backend;
+use crate::batcher::{AdmissionPolicy, MicroBatcher, PendingRequest};
+use crate::error::ServeError;
+use crate::telemetry::{BatchRecord, ServeReport, ServedRecord, ShedRecord};
+use crate::trace::{Trace, VirtualNs};
+
+/// Where a batch's virtual service time comes from.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum ServiceModel {
+    /// The wall-clock duration of the backend call becomes the virtual
+    /// service time (clamped to ≥ 1 ns).  This couples the virtual
+    /// queueing system to the backend's real speed — the mode
+    /// saturation sweeps use.
+    Measured,
+    /// A deterministic cost model: `batch_ns + per_request_ns × size`.
+    /// The backend still runs (outcomes are still verified); only the
+    /// virtual clock ignores its wall-clock duration.  This is the mode
+    /// for reproducible tests of the queueing behaviour itself.
+    Fixed {
+        /// Fixed per-batch cost in virtual ns.
+        batch_ns: u64,
+        /// Additional cost per request in the batch, in virtual ns.
+        per_request_ns: u64,
+    },
+}
+
+/// Serving-runtime configuration.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct ServeConfig {
+    /// Bounded pending-queue capacity (0 allowed: no request may wait —
+    /// see [`MicroBatcher::can_admit`]).
+    pub queue_capacity: usize,
+    /// What happens to a request that finds the queue full.
+    pub policy: AdmissionPolicy,
+    /// Largest micro-batch to dispatch (clamped to the backend's
+    /// [`Backend::max_batch`]; must be ≥ 1).
+    pub max_batch: usize,
+    /// Longest a request may wait for its batch to fill before the
+    /// batcher flushes anyway (the deadline is anchored on arrival).
+    pub max_wait_ns: u64,
+    /// Service-time source for the virtual clock.
+    pub service_model: ServiceModel,
+}
+
+impl Default for ServeConfig {
+    /// 256-deep shed queue, 64-lane batches, a 100 µs batching
+    /// deadline, measured service times.
+    fn default() -> Self {
+        Self {
+            queue_capacity: 256,
+            policy: AdmissionPolicy::Shed,
+            max_batch: netlist::LANES,
+            max_wait_ns: 100_000,
+            service_model: ServiceModel::Measured,
+        }
+    }
+}
+
+/// An in-process micro-batching inference server bound to one workload
+/// (the request population it replays) and one [`Backend`].
+#[derive(Debug)]
+pub struct Server<'w, B: Backend> {
+    backend: B,
+    workload: &'w InferenceWorkload,
+    config: ServeConfig,
+}
+
+impl<'w, B: Backend> Server<'w, B> {
+    /// Builds a server.  Requests replay `workload` samples cyclically
+    /// (request `id` carries sample `id % workload.len()`), so golden
+    /// outcomes are known for every request.
+    ///
+    /// # Errors
+    ///
+    /// Rejects an empty workload and a zero `max_batch`.
+    pub fn new(
+        backend: B,
+        workload: &'w InferenceWorkload,
+        config: ServeConfig,
+    ) -> Result<Self, ServeError> {
+        if workload.is_empty() {
+            return Err(ServeError::InvalidConfig {
+                name: "workload",
+                reason: "must contain at least one sample to replay".into(),
+            });
+        }
+        if config.max_batch == 0 {
+            return Err(ServeError::InvalidConfig {
+                name: "max_batch",
+                reason: "must be at least 1".into(),
+            });
+        }
+        Ok(Self {
+            backend,
+            workload,
+            config,
+        })
+    }
+
+    /// The backend's telemetry name.
+    #[must_use]
+    pub fn backend_name(&self) -> &'static str {
+        self.backend.name()
+    }
+
+    /// The active configuration.
+    #[must_use]
+    pub fn config(&self) -> &ServeConfig {
+        &self.config
+    }
+
+    /// Serves an open-loop trace: requests arrive at the trace's fixed
+    /// virtual times regardless of how the server keeps up.
+    ///
+    /// # Errors
+    ///
+    /// Propagates backend failures and fails on any served outcome that
+    /// diverges from its golden outcome.
+    pub fn run(&mut self, trace: &Trace) -> Result<ServeReport, ServeError>
+    where
+        B: Send,
+    {
+        let offered_qps = trace.offered_qps();
+        let source = OpenSource {
+            arrivals: trace.arrivals(),
+            next: 0,
+        };
+        self.run_session(source, offered_qps)
+    }
+
+    /// Serves a closed loop: `clients` concurrent clients that each
+    /// issue a request, wait for its completion (or shedding), think
+    /// for `think_ns`, and repeat — `requests` requests in total.  The
+    /// offered load self-adjusts to the service rate, so a closed run
+    /// measures capacity under bounded concurrency rather than
+    /// overload.
+    ///
+    /// # Errors
+    ///
+    /// As [`Server::run`]; additionally rejects zero clients.
+    pub fn run_closed(
+        &mut self,
+        clients: usize,
+        requests: usize,
+        think_ns: u64,
+    ) -> Result<ServeReport, ServeError>
+    where
+        B: Send,
+    {
+        if clients == 0 {
+            return Err(ServeError::InvalidConfig {
+                name: "clients",
+                reason: "closed-loop load needs at least one client".into(),
+            });
+        }
+        let mut ready = BinaryHeap::new();
+        for client in 0..clients.min(requests) {
+            ready.push(Reverse((0u64, client as u32)));
+        }
+        let source = ClosedSource {
+            ready,
+            to_issue: requests,
+            think_ns,
+        };
+        self.run_session(source, 0.0)
+    }
+
+    /// The shared event loop: spawns the long-lived service worker and
+    /// drives arrivals + flushes in virtual-time order.
+    fn run_session<S: ArrivalSource>(
+        &mut self,
+        source: S,
+        offered_qps: f64,
+    ) -> Result<ServeReport, ServeError>
+    where
+        B: Send,
+    {
+        let lanes = self.config.max_batch.min(self.backend.max_batch()).max(1);
+        let batcher = MicroBatcher::new(self.config.queue_capacity, lanes, self.config.max_wait_ns);
+        let workload = self.workload;
+        let backend = &mut self.backend;
+        let policy = self.config.policy;
+        let model = self.config.service_model;
+
+        exec::with_service(
+            // The long-lived worker: owns the backend for the session,
+            // answers one micro-batch per job, reports measured wall ns.
+            move |batch: Vec<PendingRequest>| {
+                let features: Vec<&[bool]> = batch
+                    .iter()
+                    .map(|p| workload.sample(p.sample).features)
+                    .collect();
+                let start = Instant::now();
+                let result = backend.serve(&features);
+                let measured_ns = u64::try_from(start.elapsed().as_nanos()).unwrap_or(u64::MAX);
+                (batch, result, measured_ns)
+            },
+            move |client| {
+                let mut session = Session {
+                    batcher,
+                    source,
+                    policy,
+                    model,
+                    workload,
+                    next_id: 0,
+                    t_free: 0,
+                    admit_frontier: 0,
+                    makespan: 0,
+                    served: Vec::new(),
+                    shed: Vec::new(),
+                    batches: Vec::new(),
+                };
+                session.drive(client)?;
+                Ok(ServeReport {
+                    served: session.served,
+                    shed: session.shed,
+                    batches: session.batches,
+                    makespan_ns: session.makespan,
+                    offered_qps,
+                })
+            },
+        )
+    }
+}
+
+/// The worker's response: the batch it carried, the outcomes, and the
+/// measured wall-clock nanoseconds.
+type ServiceResponse = (
+    Vec<PendingRequest>,
+    Result<Vec<InferenceOutcome>, ServeError>,
+    u64,
+);
+
+/// Where arrivals come from: a fixed open-loop trace or closed-loop
+/// clients reacting to completions.
+trait ArrivalSource {
+    /// Virtual time of the next arrival, if any.
+    fn peek(&mut self) -> Option<VirtualNs>;
+    /// Consumes the next arrival: `(time, client)`.
+    fn next_arrival(&mut self) -> (VirtualNs, u32);
+    /// A request of `client` completed at `completion_ns`.
+    fn on_complete(&mut self, client: u32, completion_ns: VirtualNs);
+    /// A request of `client` was shed at `at_ns`.
+    fn on_shed(&mut self, client: u32, at_ns: VirtualNs);
+}
+
+struct OpenSource<'t> {
+    arrivals: &'t [VirtualNs],
+    next: usize,
+}
+
+impl ArrivalSource for OpenSource<'_> {
+    fn peek(&mut self) -> Option<VirtualNs> {
+        self.arrivals.get(self.next).copied()
+    }
+
+    fn next_arrival(&mut self) -> (VirtualNs, u32) {
+        let t = self.arrivals[self.next];
+        self.next += 1;
+        (t, 0)
+    }
+
+    fn on_complete(&mut self, _client: u32, _completion_ns: VirtualNs) {}
+
+    fn on_shed(&mut self, _client: u32, _at_ns: VirtualNs) {}
+}
+
+struct ClosedSource {
+    /// Min-heap of `(next issue time, client)` — ties resolve by client
+    /// id, keeping closed-loop runs deterministic.
+    ready: BinaryHeap<Reverse<(VirtualNs, u32)>>,
+    /// Requests left to issue across all clients.
+    to_issue: usize,
+    think_ns: u64,
+}
+
+impl ArrivalSource for ClosedSource {
+    fn peek(&mut self) -> Option<VirtualNs> {
+        if self.to_issue == 0 {
+            return None;
+        }
+        self.ready.peek().map(|Reverse((t, _))| *t)
+    }
+
+    fn next_arrival(&mut self) -> (VirtualNs, u32) {
+        let Reverse((t, client)) = self.ready.pop().expect("peek() said an arrival is ready");
+        self.to_issue -= 1;
+        (t, client)
+    }
+
+    fn on_complete(&mut self, client: u32, completion_ns: VirtualNs) {
+        self.ready.push(Reverse((
+            completion_ns.saturating_add(self.think_ns),
+            client,
+        )));
+    }
+
+    fn on_shed(&mut self, client: u32, at_ns: VirtualNs) {
+        // A shed response returns to the client immediately; it thinks,
+        // then issues its next request.
+        self.on_complete(client, at_ns);
+    }
+}
+
+/// Mutable state of one serving session.
+struct Session<'w, S> {
+    batcher: MicroBatcher,
+    source: S,
+    policy: AdmissionPolicy,
+    model: ServiceModel,
+    workload: &'w InferenceWorkload,
+    next_id: usize,
+    t_free: VirtualNs,
+    /// No request may be admitted before this time: it advances to each
+    /// executed flush's virtual time, so that when a blocked request
+    /// forces a *future* flush (the queue state then reflects a later
+    /// instant), subsequent same- or earlier-timestamped arrivals admit
+    /// behind it chronologically instead of jumping the FIFO.
+    admit_frontier: VirtualNs,
+    makespan: VirtualNs,
+    served: Vec<ServedRecord>,
+    shed: Vec<ShedRecord>,
+    batches: Vec<BatchRecord>,
+}
+
+impl<S: ArrivalSource> Session<'_, S> {
+    fn drive(
+        &mut self,
+        client: &mut ServiceClient<Vec<PendingRequest>, ServiceResponse>,
+    ) -> Result<(), ServeError> {
+        loop {
+            let next_arrival = self.source.peek();
+            let next_flush = self.batcher.next_flush_ns(self.t_free);
+            let flush_first = match (next_flush, next_arrival) {
+                (None, None) => break,
+                (Some(_), None) => true,
+                (Some(f), Some(a)) => f <= a,
+                (None, Some(_)) => false,
+            };
+            if flush_first {
+                let f = next_flush.expect("flush_first implies a pending flush");
+                self.flush(f, client)?;
+            } else {
+                self.handle_arrival(client)?;
+            }
+        }
+        Ok(())
+    }
+
+    fn handle_arrival(
+        &mut self,
+        client: &mut ServiceClient<Vec<PendingRequest>, ServiceResponse>,
+    ) -> Result<(), ServeError> {
+        let (arrival_ns, client_id) = self.source.next_arrival();
+        let id = self.next_id;
+        self.next_id += 1;
+        let sample = id % self.workload.len();
+        // Admission happens no earlier than the latest executed flush:
+        // blocked requests may have pulled the queue state into the
+        // future, and FIFO order must survive that (see admit_frontier).
+        let admit_ns = arrival_ns.max(self.admit_frontier);
+        if self.batcher.can_admit(admit_ns, self.t_free) {
+            self.batcher.admit(PendingRequest {
+                id,
+                sample,
+                client: client_id,
+                arrival_ns,
+                admit_ns,
+            });
+            return Ok(());
+        }
+        match self.policy {
+            AdmissionPolicy::Shed => {
+                self.shed.push(ShedRecord {
+                    id,
+                    sample,
+                    arrival_ns,
+                });
+                self.source.on_shed(client_id, arrival_ns);
+            }
+            AdmissionPolicy::Block => {
+                // The client waits: execute the natural upcoming flushes
+                // (they are already due after this arrival's timestamp —
+                // earlier ones ran before we got here) until a slot
+                // frees, and admit at that freeing instant.
+                let mut admit_ns = admit_ns;
+                while !self.batcher.can_admit(admit_ns, self.t_free) {
+                    if let Some(f) = self.batcher.next_flush_ns(self.t_free) {
+                        self.flush(f, client)?;
+                        admit_ns = admit_ns.max(f);
+                    } else {
+                        // Zero-capacity queue: the only slot is "server
+                        // idle"; wait for it.
+                        admit_ns = admit_ns.max(self.t_free);
+                    }
+                }
+                self.batcher.admit(PendingRequest {
+                    id,
+                    sample,
+                    client: client_id,
+                    arrival_ns,
+                    admit_ns,
+                });
+            }
+        }
+        Ok(())
+    }
+
+    /// Dispatches the next micro-batch at virtual time `flush_ns`:
+    /// sends it to the service worker, folds the (measured or modelled)
+    /// service time back into the virtual clock, verifies outcomes and
+    /// records telemetry.
+    fn flush(
+        &mut self,
+        flush_ns: VirtualNs,
+        client: &mut ServiceClient<Vec<PendingRequest>, ServiceResponse>,
+    ) -> Result<(), ServeError> {
+        let batch = self.batcher.take_batch();
+        let size = batch.len();
+        let (batch, result, measured_ns) = client.call(batch);
+        let outcomes = result?;
+        if outcomes.len() != size {
+            return Err(ServeError::BatchShapeMismatch {
+                expected: size,
+                got: outcomes.len(),
+            });
+        }
+        let service_ns = match self.model {
+            ServiceModel::Measured => measured_ns.max(1),
+            ServiceModel::Fixed {
+                batch_ns,
+                per_request_ns,
+            } => batch_ns
+                .saturating_add(per_request_ns.saturating_mul(size as u64))
+                .max(1),
+        };
+        let completion_ns = flush_ns.saturating_add(service_ns);
+        self.t_free = completion_ns;
+        self.admit_frontier = self.admit_frontier.max(flush_ns);
+        self.makespan = self.makespan.max(completion_ns);
+        let batch_index = self.batches.len();
+        self.batches.push(BatchRecord {
+            flush_ns,
+            size,
+            service_ns,
+        });
+        for (pending, outcome) in batch.into_iter().zip(outcomes) {
+            // Golden verification before the timing is accepted.
+            if *self.workload.sample(pending.sample).expected != outcome {
+                return Err(ServeError::OutcomeMismatch {
+                    request: pending.id,
+                    sample: pending.sample,
+                });
+            }
+            self.served.push(ServedRecord {
+                id: pending.id,
+                sample: pending.sample,
+                client: pending.client,
+                arrival_ns: pending.arrival_ns,
+                queue_ns: flush_ns - pending.arrival_ns,
+                service_ns,
+                batch: batch_index,
+                outcome,
+            });
+            self.source.on_complete(pending.client, completion_ns);
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::backend::BatchBackend;
+    use datapath::{BatchGoldenModel, DatapathConfig};
+
+    fn fixture() -> (DatapathConfig, BatchGoldenModel, InferenceWorkload) {
+        let config = DatapathConfig::new(6, 4).unwrap();
+        let model = BatchGoldenModel::generate(&config).unwrap();
+        let workload = InferenceWorkload::random(&config, 32, 0.7, 11).unwrap();
+        (config, model, workload)
+    }
+
+    fn fixed_config() -> ServeConfig {
+        ServeConfig {
+            queue_capacity: 256,
+            policy: AdmissionPolicy::Shed,
+            max_batch: 64,
+            max_wait_ns: 1_000,
+            service_model: ServiceModel::Fixed {
+                batch_ns: 100,
+                per_request_ns: 10,
+            },
+        }
+    }
+
+    #[test]
+    fn open_loop_serves_everything_below_saturation() {
+        let (_, model, workload) = fixture();
+        let backend = BatchBackend::new(&model, workload.masks().clone()).unwrap();
+        let mut server = Server::new(backend, &workload, fixed_config()).unwrap();
+        assert_eq!(server.backend_name(), "batch");
+        // 200 requests, 2 µs apart: far below the fixed service rate.
+        let trace = Trace::uniform(200, 500_000.0);
+        let report = server.run(&trace).unwrap();
+        assert_eq!(report.served_count(), 200);
+        assert_eq!(report.shed_count(), 0);
+        assert!(report.makespan_ns > 0);
+        assert!(report.achieved_qps() > 0.0);
+        // Request ids are served in order under an open-loop FIFO.
+        let ids: Vec<usize> = report.served.iter().map(|r| r.id).collect();
+        assert_eq!(ids, (0..200).collect::<Vec<_>>());
+        // Batches respect the lane limit and cover every request.
+        assert!(report.batches.iter().all(|b| b.size >= 1 && b.size <= 64));
+        assert_eq!(
+            report.batches.iter().map(|b| b.size).sum::<usize>(),
+            report.served_count()
+        );
+    }
+
+    #[test]
+    fn fixed_model_runs_are_fully_deterministic() {
+        let (_, model, workload) = fixture();
+        let trace = Trace::poisson(300, 2e6, 9);
+        let run = |threads: usize| {
+            let backend = crate::backend::ParallelBatchBackend::new(
+                &model,
+                workload.masks().clone(),
+                threads,
+            )
+            .unwrap();
+            Server::new(backend, &workload, fixed_config())
+                .unwrap()
+                .run(&trace)
+                .unwrap()
+        };
+        let first = run(1);
+        // Same trace + fixed service model → bit-identical report,
+        // regardless of wall clock or backend thread count.
+        let second = run(1);
+        assert_eq!(first, second);
+        let threaded = run(3);
+        assert_eq!(first, threaded);
+    }
+
+    #[test]
+    fn deadline_flushes_a_partial_batch() {
+        let (_, model, workload) = fixture();
+        let backend = BatchBackend::new(&model, workload.masks().clone()).unwrap();
+        let mut server = Server::new(backend, &workload, fixed_config()).unwrap();
+        // 3 requests arriving 100 ns apart can never fill 64 lanes; the
+        // 1 µs deadline must flush them as one partial batch.
+        let trace = Trace::from_arrivals(vec![0, 100, 200]);
+        let report = server.run(&trace).unwrap();
+        assert_eq!(report.served_count(), 3);
+        assert_eq!(report.batches.len(), 1);
+        assert_eq!(report.batches[0].size, 3);
+        // The flush fired at the oldest arrival's deadline: 0 + 1000.
+        assert_eq!(report.batches[0].flush_ns, 1_000);
+        assert_eq!(report.served[0].queue_ns, 1_000);
+        assert_eq!(report.served[2].queue_ns, 800);
+    }
+
+    #[test]
+    fn closed_loop_issues_exactly_the_requested_load() {
+        let (_, model, workload) = fixture();
+        let backend = BatchBackend::new(&model, workload.masks().clone()).unwrap();
+        let mut server = Server::new(backend, &workload, fixed_config()).unwrap();
+        let report = server.run_closed(4, 40, 500).unwrap();
+        assert_eq!(report.served_count() + report.shed_count(), 40);
+        // Plenty of queue: nothing sheds in a 4-client closed loop.
+        assert_eq!(report.shed_count(), 0);
+        // At most `clients` requests are ever in flight, so no batch
+        // can exceed the concurrency.
+        assert!(report.batches.iter().all(|b| b.size <= 4));
+        // Deterministic replay.
+        let backend = BatchBackend::new(&model, workload.masks().clone()).unwrap();
+        let mut again = Server::new(backend, &workload, fixed_config()).unwrap();
+        assert_eq!(again.run_closed(4, 40, 500).unwrap(), report);
+    }
+
+    #[test]
+    fn invalid_configurations_are_rejected() {
+        let (config, model, workload) = fixture();
+        let empty = InferenceWorkload::new(&config, workload.masks().clone(), vec![]).unwrap();
+        let backend = BatchBackend::new(&model, workload.masks().clone()).unwrap();
+        assert!(matches!(
+            Server::new(backend, &empty, ServeConfig::default()),
+            Err(ServeError::InvalidConfig {
+                name: "workload",
+                ..
+            })
+        ));
+        let backend = BatchBackend::new(&model, workload.masks().clone()).unwrap();
+        let bad = ServeConfig {
+            max_batch: 0,
+            ..ServeConfig::default()
+        };
+        assert!(matches!(
+            Server::new(backend, &workload, bad),
+            Err(ServeError::InvalidConfig {
+                name: "max_batch",
+                ..
+            })
+        ));
+        let backend = BatchBackend::new(&model, workload.masks().clone()).unwrap();
+        let mut server = Server::new(backend, &workload, ServeConfig::default()).unwrap();
+        assert!(matches!(
+            server.run_closed(0, 10, 0),
+            Err(ServeError::InvalidConfig {
+                name: "clients",
+                ..
+            })
+        ));
+        assert_eq!(server.config().queue_capacity, 256);
+    }
+
+    #[test]
+    fn measured_service_still_verifies_and_serves_in_order() {
+        let (_, model, workload) = fixture();
+        let backend = BatchBackend::new(&model, workload.masks().clone()).unwrap();
+        let config = ServeConfig {
+            max_wait_ns: 10_000,
+            ..ServeConfig::default()
+        };
+        let mut server = Server::new(backend, &workload, config).unwrap();
+        let trace = Trace::bursty(128, 16, 1e6, 3);
+        let report = server.run(&trace).unwrap();
+        assert_eq!(report.served_count() + report.shed_count(), 128);
+        assert!(report.served_count() > 0);
+        for record in &report.served {
+            assert!(record.service_ns >= 1);
+            assert_eq!(
+                &record.outcome,
+                workload.sample(record.sample).expected,
+                "served outcome must be golden"
+            );
+        }
+    }
+}

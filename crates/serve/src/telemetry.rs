@@ -1,0 +1,325 @@
+//! Per-request serving telemetry: queueing delay split from service
+//! time, with exact-order-statistic tail percentiles.
+//!
+//! Every served request records **where its end-to-end time went**:
+//!
+//! * `queue_ns` — arrival → service start (admission wait + batching
+//!   wait + head-of-line blocking behind earlier batches);
+//! * `service_ns` — the duration of the backend call that carried the
+//!   request's micro-batch (every request of a batch shares it).
+//!
+//! Summaries reuse [`gatesim::LatencyReport`] — the same
+//! order-statistic machinery that reports the paper's per-operand
+//! hardware latencies — rather than a second histogram implementation.
+//! One unit caveat: `LatencyReport`'s accessors are named for the
+//! simulator's picoseconds, but the type is unit-agnostic; **all
+//! serving reports are nanosecond-denominated** (`percentile`, `min`,
+//! `max` etc. return virtual-clock nanoseconds).
+
+use std::fmt;
+
+use datapath::InferenceOutcome;
+use gatesim::LatencyReport;
+
+use crate::trace::VirtualNs;
+
+/// One served request's accounting.
+#[derive(Clone, Debug, PartialEq)]
+pub struct ServedRecord {
+    /// Serial request id (issue order).
+    pub id: usize,
+    /// Workload sample the request replayed.
+    pub sample: usize,
+    /// Closed-loop client that issued the request (0 for open loop).
+    pub client: u32,
+    /// Arrival time on the virtual clock (ns).
+    pub arrival_ns: VirtualNs,
+    /// Arrival → service start (ns): the tail-latency component the
+    /// micro-batcher and admission control govern.
+    pub queue_ns: u64,
+    /// Duration of the backend call that served this request's batch
+    /// (ns).
+    pub service_ns: u64,
+    /// Index into [`ServeReport::batches`] of the carrying micro-batch.
+    pub batch: usize,
+    /// The decoded outcome (verified against the workload's golden
+    /// outcome before the report is returned).
+    pub outcome: InferenceOutcome,
+}
+
+impl ServedRecord {
+    /// Arrival → completion (ns).
+    #[must_use]
+    pub fn sojourn_ns(&self) -> u64 {
+        self.queue_ns + self.service_ns
+    }
+}
+
+/// One dispatched micro-batch.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct BatchRecord {
+    /// When the batch left the pending queue and started service
+    /// (virtual ns).
+    pub flush_ns: VirtualNs,
+    /// Requests in the batch (1 ..= `max_batch`).
+    pub size: usize,
+    /// Backend call duration (ns).
+    pub service_ns: u64,
+}
+
+/// One request dropped by the shed admission policy.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct ShedRecord {
+    /// Serial request id.
+    pub id: usize,
+    /// Workload sample the request would have replayed.
+    pub sample: usize,
+    /// When the request arrived and was turned away (virtual ns).
+    pub arrival_ns: VirtualNs,
+}
+
+/// Everything a serving session measured.
+#[derive(Clone, Debug, PartialEq)]
+pub struct ServeReport {
+    /// Served requests in service order.
+    pub served: Vec<ServedRecord>,
+    /// Requests dropped by admission control, in arrival order.
+    pub shed: Vec<ShedRecord>,
+    /// Dispatched micro-batches in flush order.
+    pub batches: Vec<BatchRecord>,
+    /// Virtual time of the last completion (0 if nothing was served).
+    pub makespan_ns: VirtualNs,
+    /// Offered load of the driving trace in requests per second of
+    /// virtual time (0.0 when not meaningful, e.g. closed-loop runs).
+    pub offered_qps: f64,
+}
+
+impl ServeReport {
+    /// Number of requests served.
+    #[must_use]
+    pub fn served_count(&self) -> usize {
+        self.served.len()
+    }
+
+    /// Number of requests dropped by admission control.
+    #[must_use]
+    pub fn shed_count(&self) -> usize {
+        self.shed.len()
+    }
+
+    /// Served requests per second of virtual time (served count over
+    /// the makespan; 0.0 for an empty session).
+    #[must_use]
+    pub fn achieved_qps(&self) -> f64 {
+        if self.makespan_ns == 0 {
+            0.0
+        } else {
+            self.served.len() as f64 * 1e9 / self.makespan_ns as f64
+        }
+    }
+
+    /// Mean micro-batch size (0.0 for an empty session) — how well the
+    /// batcher amortised the 64-lane path.
+    #[must_use]
+    pub fn mean_batch_size(&self) -> f64 {
+        if self.batches.is_empty() {
+            0.0
+        } else {
+            self.served.len() as f64 / self.batches.len() as f64
+        }
+    }
+
+    /// Queueing delays (ns) of every served request, in service order,
+    /// as a [`LatencyReport`] (nanosecond-denominated; see the [module
+    /// documentation](self)).
+    #[must_use]
+    pub fn queueing(&self) -> LatencyReport {
+        LatencyReport::from_latencies(self.served.iter().map(|r| r.queue_ns as f64).collect())
+    }
+
+    /// Service times (ns) of every served request, in service order.
+    #[must_use]
+    pub fn service(&self) -> LatencyReport {
+        LatencyReport::from_latencies(self.served.iter().map(|r| r.service_ns as f64).collect())
+    }
+
+    /// End-to-end sojourn times (ns) of every served request, in
+    /// service order.
+    #[must_use]
+    pub fn sojourn(&self) -> LatencyReport {
+        LatencyReport::from_latencies(self.served.iter().map(|r| r.sojourn_ns() as f64).collect())
+    }
+
+    /// The condensed figures a saturation sweep records.
+    #[must_use]
+    pub fn summary(&self) -> ServeSummary {
+        // One sort per component via the batch accessor.
+        let queue = self.queueing().percentiles(&[50.0, 95.0, 99.0]);
+        let service = self.service().percentiles(&[50.0, 95.0, 99.0]);
+        ServeSummary {
+            requests: self.served.len() + self.shed.len(),
+            served: self.served.len(),
+            shed: self.shed.len(),
+            batches: self.batches.len(),
+            mean_batch_size: self.mean_batch_size(),
+            makespan_ns: self.makespan_ns,
+            offered_qps: self.offered_qps,
+            achieved_qps: self.achieved_qps(),
+            queue_p50_ns: queue[0],
+            queue_p95_ns: queue[1],
+            queue_p99_ns: queue[2],
+            service_p50_ns: service[0],
+            service_p95_ns: service[1],
+            service_p99_ns: service[2],
+        }
+    }
+}
+
+/// Condensed session figures: offered vs achieved load, shed count and
+/// the queueing/service tail percentiles (all exact order statistics
+/// via [`LatencyReport::percentile`]).
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct ServeSummary {
+    /// Requests the load generator issued (served + shed).
+    pub requests: usize,
+    /// Requests served to completion.
+    pub served: usize,
+    /// Requests dropped by admission control.
+    pub shed: usize,
+    /// Micro-batches dispatched.
+    pub batches: usize,
+    /// Mean requests per micro-batch.
+    pub mean_batch_size: f64,
+    /// Virtual time of the last completion (ns).
+    pub makespan_ns: u64,
+    /// Offered load (requests/s of virtual time; 0.0 if not meaningful).
+    pub offered_qps: f64,
+    /// Achieved goodput (served requests/s of virtual time).
+    pub achieved_qps: f64,
+    /// Median queueing delay (ns).
+    pub queue_p50_ns: f64,
+    /// 95th-percentile queueing delay (ns).
+    pub queue_p95_ns: f64,
+    /// 99th-percentile queueing delay (ns).
+    pub queue_p99_ns: f64,
+    /// Median service time (ns).
+    pub service_p50_ns: f64,
+    /// 95th-percentile service time (ns).
+    pub service_p95_ns: f64,
+    /// 99th-percentile service time (ns).
+    pub service_p99_ns: f64,
+}
+
+impl fmt::Display for ServeSummary {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "served {}/{} (shed {}) in {} batches (mean {:.1}); offered {:.0} qps, \
+             achieved {:.0} qps; queue p50/p95/p99 {:.0}/{:.0}/{:.0} ns; \
+             service p50/p95/p99 {:.0}/{:.0}/{:.0} ns",
+            self.served,
+            self.requests,
+            self.shed,
+            self.batches,
+            self.mean_batch_size,
+            self.offered_qps,
+            self.achieved_qps,
+            self.queue_p50_ns,
+            self.queue_p95_ns,
+            self.queue_p99_ns,
+            self.service_p50_ns,
+            self.service_p95_ns,
+            self.service_p99_ns,
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use datapath::ComparatorDecision;
+
+    fn outcome() -> InferenceOutcome {
+        InferenceOutcome {
+            positive_votes: 1,
+            negative_votes: 0,
+            decision: ComparatorDecision::Greater,
+            in_class: true,
+        }
+    }
+
+    fn served(id: usize, arrival: u64, queue: u64, service: u64, batch: usize) -> ServedRecord {
+        ServedRecord {
+            id,
+            sample: id,
+            client: 0,
+            arrival_ns: arrival,
+            queue_ns: queue,
+            service_ns: service,
+            batch,
+            outcome: outcome(),
+        }
+    }
+
+    #[test]
+    fn summary_splits_queueing_from_service() {
+        let report = ServeReport {
+            served: vec![
+                served(0, 0, 100, 50, 0),
+                served(1, 10, 90, 50, 0),
+                served(2, 200, 0, 30, 1),
+            ],
+            shed: vec![ShedRecord {
+                id: 3,
+                sample: 0,
+                arrival_ns: 20,
+            }],
+            batches: vec![
+                BatchRecord {
+                    flush_ns: 100,
+                    size: 2,
+                    service_ns: 50,
+                },
+                BatchRecord {
+                    flush_ns: 200,
+                    size: 1,
+                    service_ns: 30,
+                },
+            ],
+            makespan_ns: 230,
+            offered_qps: 1e7,
+        };
+        assert_eq!(report.served_count(), 3);
+        assert_eq!(report.shed_count(), 1);
+        assert_eq!(report.served[0].sojourn_ns(), 150);
+        assert!((report.mean_batch_size() - 1.5).abs() < 1e-12);
+        let summary = report.summary();
+        assert_eq!(summary.requests, 4);
+        assert_eq!(summary.shed, 1);
+        // Exact order statistics over {0, 90, 100} and {30, 50, 50}.
+        assert_eq!(summary.queue_p50_ns, 90.0);
+        assert_eq!(summary.queue_p99_ns, 100.0);
+        assert_eq!(summary.service_p50_ns, 50.0);
+        assert_eq!(summary.service_p99_ns, 50.0);
+        assert_eq!(report.sojourn().max_ps(), 150.0);
+        // 3 served over 230 ns of virtual time.
+        assert!((summary.achieved_qps - 3.0 * 1e9 / 230.0).abs() < 1e-6);
+        let text = summary.to_string();
+        assert!(text.contains("shed 1"));
+        assert!(text.contains("p50/p95/p99"));
+    }
+
+    #[test]
+    fn empty_report_is_all_zeros() {
+        let report = ServeReport {
+            served: vec![],
+            shed: vec![],
+            batches: vec![],
+            makespan_ns: 0,
+            offered_qps: 0.0,
+        };
+        assert_eq!(report.achieved_qps(), 0.0);
+        assert_eq!(report.mean_batch_size(), 0.0);
+        assert_eq!(report.summary().queue_p99_ns, 0.0);
+    }
+}

@@ -1,0 +1,257 @@
+//! Arrival traces: the open-loop load generator.
+//!
+//! A [`Trace`] is a nondecreasing sequence of request arrival times on
+//! the **deterministic virtual clock** (nanoseconds).  Generators cover
+//! the arrival patterns a saturation study needs:
+//!
+//! * [`Trace::uniform`] — evenly spaced arrivals (the deterministic
+//!   control);
+//! * [`Trace::poisson`] — exponential inter-arrival gaps, the classic
+//!   open-loop model of independent clients (seeded, reproducible);
+//! * [`Trace::bursty`] — Poisson-spaced *bursts* of simultaneous
+//!   arrivals, stressing the admission queue and the lanes-full flush
+//!   rule;
+//! * [`Trace::ramp`] — a deterministic linear rate sweep from a warm-up
+//!   rate into overload, walking the server across its saturation knee
+//!   within a single trace.
+//!
+//! Randomised generators draw from the workspace's deterministic
+//! [`rand`] stub, so a `(generator, parameters, seed)` triple always
+//! reproduces the same trace — the virtual-clock determinism contract
+//! starts here.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// One nanosecond-denominated virtual-clock timestamp.
+pub type VirtualNs = u64;
+
+/// A nondecreasing sequence of request arrival times (virtual ns).
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Trace {
+    arrivals: Vec<VirtualNs>,
+}
+
+impl Trace {
+    /// Wraps explicit arrival times.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the times are not nondecreasing.
+    #[must_use]
+    pub fn from_arrivals(arrivals: Vec<VirtualNs>) -> Self {
+        assert!(
+            arrivals.windows(2).all(|w| w[0] <= w[1]),
+            "arrival times must be nondecreasing"
+        );
+        Self { arrivals }
+    }
+
+    /// `n` arrivals evenly spaced for an offered load of `qps` requests
+    /// per second of virtual time, starting at one gap.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `qps` is not finite and positive.
+    #[must_use]
+    pub fn uniform(n: usize, qps: f64) -> Self {
+        let gap = gap_ns(qps);
+        Self {
+            arrivals: (1..=n as u64).map(|k| k * gap).collect(),
+        }
+    }
+
+    /// `n` arrivals with independent exponential inter-arrival gaps at
+    /// mean rate `qps` (a Poisson process), reproducible from `seed`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `qps` is not finite and positive.
+    #[must_use]
+    pub fn poisson(n: usize, qps: f64, seed: u64) -> Self {
+        let mean_gap = gap_ns(qps) as f64;
+        let mut rng = StdRng::seed_from_u64(seed);
+        let mut now = 0u64;
+        let arrivals = (0..n)
+            .map(|_| {
+                now += exponential_ns(&mut rng, mean_gap);
+                now
+            })
+            .collect();
+        Self { arrivals }
+    }
+
+    /// `n` arrivals in bursts of `burst` simultaneous requests; burst
+    /// epochs form a Poisson process whose rate keeps the *overall*
+    /// offered load at `qps`.  The final burst may be partial.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `burst` is zero or `qps` is not finite and positive.
+    #[must_use]
+    pub fn bursty(n: usize, burst: usize, qps: f64, seed: u64) -> Self {
+        assert!(burst > 0, "burst size must be at least 1");
+        let mean_epoch_gap = gap_ns(qps) as f64 * burst as f64;
+        let mut rng = StdRng::seed_from_u64(seed);
+        let mut now = 0u64;
+        let mut arrivals = Vec::with_capacity(n);
+        while arrivals.len() < n {
+            now += exponential_ns(&mut rng, mean_epoch_gap);
+            for _ in 0..burst.min(n - arrivals.len()) {
+                arrivals.push(now);
+            }
+        }
+        Self { arrivals }
+    }
+
+    /// `n` arrivals whose instantaneous rate ramps linearly from
+    /// `start_qps` to `end_qps` — fully deterministic.
+    ///
+    /// # Panics
+    ///
+    /// Panics if either rate is not finite and positive.
+    #[must_use]
+    pub fn ramp(n: usize, start_qps: f64, end_qps: f64) -> Self {
+        let (start_gap, end_gap) = (gap_ns(start_qps) as f64, gap_ns(end_qps) as f64);
+        let mut now = 0f64;
+        let arrivals = (0..n)
+            .map(|k| {
+                let progress = if n > 1 {
+                    k as f64 / (n - 1) as f64
+                } else {
+                    0.0
+                };
+                now += start_gap + (end_gap - start_gap) * progress;
+                now.round() as u64
+            })
+            .collect();
+        Self { arrivals }
+    }
+
+    /// The arrival times, nondecreasing, in virtual nanoseconds.
+    #[must_use]
+    pub fn arrivals(&self) -> &[VirtualNs] {
+        &self.arrivals
+    }
+
+    /// Number of requests in the trace.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.arrivals.len()
+    }
+
+    /// Whether the trace carries no requests.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.arrivals.is_empty()
+    }
+
+    /// The offered load in requests per second of virtual time,
+    /// measured over the trace's own arrival window (0.0 for traces
+    /// shorter than two requests or with a zero-length window).
+    #[must_use]
+    pub fn offered_qps(&self) -> f64 {
+        match (self.arrivals.first(), self.arrivals.last()) {
+            (Some(&first), Some(&last)) if last > first => {
+                (self.len() - 1) as f64 * 1e9 / (last - first) as f64
+            }
+            _ => 0.0,
+        }
+    }
+}
+
+/// Mean inter-arrival gap in whole nanoseconds for an offered rate.
+fn gap_ns(qps: f64) -> u64 {
+    assert!(
+        qps.is_finite() && qps > 0.0,
+        "offered rate must be finite and positive, got {qps}"
+    );
+    (1e9 / qps).round().max(1.0) as u64
+}
+
+/// One exponential inter-arrival gap with the given mean, ≥ 1 ns so the
+/// virtual clock always advances between Poisson events.
+fn exponential_ns(rng: &mut StdRng, mean_ns: f64) -> u64 {
+    let unit: f64 = rng.gen_range(0.0..1.0);
+    (-(1.0 - unit).ln() * mean_ns).round().max(1.0) as u64
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn uniform_spacing_and_offered_rate() {
+        let trace = Trace::uniform(5, 1e6); // 1 request per µs
+        assert_eq!(trace.arrivals(), &[1000, 2000, 3000, 4000, 5000]);
+        assert!((trace.offered_qps() - 1e6).abs() / 1e6 < 1e-9);
+        assert_eq!(trace.len(), 5);
+        assert!(!trace.is_empty());
+    }
+
+    #[test]
+    fn poisson_is_reproducible_and_roughly_calibrated() {
+        let a = Trace::poisson(2000, 1e6, 42);
+        let b = Trace::poisson(2000, 1e6, 42);
+        assert_eq!(a, b);
+        assert_ne!(a, Trace::poisson(2000, 1e6, 43));
+        assert!(a.arrivals().windows(2).all(|w| w[0] <= w[1]));
+        // The measured rate should be within 10 % of the requested rate.
+        let measured = a.offered_qps();
+        assert!(
+            (measured - 1e6).abs() / 1e6 < 0.1,
+            "poisson rate {measured} too far from 1e6"
+        );
+    }
+
+    #[test]
+    fn bursts_share_timestamps_and_keep_overall_rate() {
+        let trace = Trace::bursty(1000, 10, 1e6, 7);
+        assert_eq!(trace.len(), 1000);
+        // Every burst is 10 identical timestamps.
+        for chunk in trace.arrivals().chunks(10) {
+            assert!(chunk.iter().all(|&t| t == chunk[0]));
+        }
+        // Distinct epochs strictly increase.
+        let epochs: Vec<u64> = trace.arrivals().chunks(10).map(|c| c[0]).collect();
+        assert!(epochs.windows(2).all(|w| w[0] < w[1]));
+        let measured = trace.offered_qps();
+        assert!(
+            (measured - 1e6).abs() / 1e6 < 0.2,
+            "bursty rate {measured} too far from 1e6"
+        );
+        // A partial final burst still lands exactly n arrivals.
+        assert_eq!(Trace::bursty(25, 10, 1e6, 7).len(), 25);
+    }
+
+    #[test]
+    fn ramp_is_deterministic_and_accelerates() {
+        let trace = Trace::ramp(100, 1e5, 1e6);
+        assert_eq!(trace, Trace::ramp(100, 1e5, 1e6));
+        let gaps: Vec<u64> = trace.arrivals().windows(2).map(|w| w[1] - w[0]).collect();
+        // Gaps shrink (rate grows) monotonically along a linear ramp.
+        assert!(gaps.windows(2).all(|w| w[1] <= w[0]));
+        assert!(gaps[0] > *gaps.last().unwrap());
+    }
+
+    #[test]
+    fn explicit_arrivals_and_degenerate_rates() {
+        let trace = Trace::from_arrivals(vec![5, 5, 9]);
+        assert_eq!(trace.len(), 3);
+        assert!(Trace::from_arrivals(vec![]).is_empty());
+        assert_eq!(Trace::from_arrivals(vec![7]).offered_qps(), 0.0);
+        assert_eq!(Trace::from_arrivals(vec![3, 3]).offered_qps(), 0.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "nondecreasing")]
+    fn decreasing_arrivals_are_rejected() {
+        let _ = Trace::from_arrivals(vec![3, 2]);
+    }
+
+    #[test]
+    #[should_panic(expected = "finite and positive")]
+    fn zero_rate_is_rejected() {
+        let _ = Trace::uniform(1, 0.0);
+    }
+}

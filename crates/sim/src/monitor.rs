@@ -110,6 +110,56 @@ impl LatencyStats {
         sorted[rank]
     }
 
+    /// The `p`-th percentile (0.0 ≤ p ≤ 100.0) as an **exact order
+    /// statistic** (nearest-rank method: the smallest recorded sample
+    /// such that at least `p` percent of samples are ≤ it), or 0.0 if
+    /// empty.  Unlike [`LatencyStats::quantile`] no interpolation or
+    /// rounding between samples happens — the result is always one of
+    /// the recorded samples, so a degenerate all-equal collection
+    /// returns that value for every `p`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `p` is outside `[0, 100]`.
+    #[must_use]
+    pub fn percentile(&self, p: f64) -> f64 {
+        assert!(
+            (0.0..=100.0).contains(&p),
+            "percentile must be in [0, 100], got {p}"
+        );
+        self.percentiles(&[p])[0]
+    }
+
+    /// Several percentiles at once with a **single** sort of the
+    /// samples — same exact nearest-rank order statistic as
+    /// [`LatencyStats::percentile`], one result per requested `p`, in
+    /// request order.  Prefer this when reporting p50/p95/p99 together.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any `p` is outside `[0, 100]`.
+    #[must_use]
+    pub fn percentiles(&self, ps: &[f64]) -> Vec<f64> {
+        for &p in ps {
+            assert!(
+                (0.0..=100.0).contains(&p),
+                "percentile must be in [0, 100], got {p}"
+            );
+        }
+        if self.samples.is_empty() {
+            return vec![0.0; ps.len()];
+        }
+        let mut sorted = self.samples.clone();
+        sorted.sort_by(f64::total_cmp);
+        ps.iter()
+            .map(|&p| {
+                // Nearest rank: ceil(p/100 * n), clamped to [1, n].
+                let rank = ((p / 100.0) * sorted.len() as f64).ceil() as usize;
+                sorted[rank.clamp(1, sorted.len()) - 1]
+            })
+            .collect()
+    }
+
     /// Builds a histogram with `bins` equal-width bins between the
     /// minimum and maximum sample; returns `(bin upper edge, count)`
     /// pairs.  Returns an empty vector if fewer than two samples exist.
@@ -263,6 +313,49 @@ impl LatencyReport {
     pub fn histogram(&self, bins: usize) -> Vec<(f64, usize)> {
         self.stats.histogram(bins)
     }
+
+    /// The `p`-th percentile (0.0 ≤ p ≤ 100.0) over the recorded
+    /// samples as an exact order statistic (nearest rank — the result
+    /// is always one of the recorded samples; no interpolation), or 0.0
+    /// if empty.  `percentile(50.0)`/`percentile(95.0)`/
+    /// `percentile(99.0)` are the tail figures the serving layer
+    /// reports; an all-equal collection returns that value for every
+    /// `p`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `p` is outside `[0, 100]`.
+    ///
+    /// # Example
+    ///
+    /// ```
+    /// use gatesim::LatencyReport;
+    ///
+    /// let report = LatencyReport::from_latencies((1..=100).map(f64::from).collect());
+    /// assert_eq!(report.percentile(50.0), 50.0);
+    /// assert_eq!(report.percentile(95.0), 95.0);
+    /// assert_eq!(report.percentile(99.0), 99.0);
+    /// assert_eq!(report.percentile(100.0), 100.0);
+    /// // Degenerate all-equal samples: every percentile is that sample.
+    /// let flat = LatencyReport::from_latencies(vec![7.0; 5]);
+    /// assert_eq!(flat.percentile(99.0), 7.0);
+    /// ```
+    #[must_use]
+    pub fn percentile(&self, p: f64) -> f64 {
+        self.stats.percentile(p)
+    }
+
+    /// Several percentiles at once with a single sort — see
+    /// [`LatencyStats::percentiles`].  `percentiles(&[50.0, 95.0,
+    /// 99.0])` is how the serving layer computes its tail summary.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any `p` is outside `[0, 100]`.
+    #[must_use]
+    pub fn percentiles(&self, ps: &[f64]) -> Vec<f64> {
+        self.stats.percentiles(ps)
+    }
 }
 
 impl fmt::Display for LatencyReport {
@@ -409,6 +502,52 @@ mod tests {
         assert_eq!(hist.len(), 2);
         assert_eq!(hist[0], (5.0, 1));
         assert_eq!(hist[1], (10.0, 1));
+    }
+
+    #[test]
+    fn percentile_is_an_exact_order_statistic() {
+        // Unsorted recording order: the percentile must sort first.
+        let report = LatencyReport::from_latencies(vec![40.0, 10.0, 20.0, 30.0]);
+        assert_eq!(report.percentile(0.0), 10.0);
+        assert_eq!(report.percentile(25.0), 10.0);
+        assert_eq!(report.percentile(50.0), 20.0);
+        assert_eq!(report.percentile(75.0), 30.0);
+        assert_eq!(report.percentile(76.0), 40.0);
+        assert_eq!(report.percentile(100.0), 40.0);
+        // Every result is one of the recorded samples (never interpolated):
+        // with two samples the 50th percentile is the lower one, not 15.
+        let two = LatencyReport::from_latencies(vec![20.0, 10.0]);
+        assert_eq!(two.percentile(50.0), 10.0);
+        assert_eq!(two.percentile(51.0), 20.0);
+        // Single sample: every percentile is that sample.
+        let one = LatencyReport::from_latencies(vec![5.0]);
+        for p in [0.0, 50.0, 95.0, 99.0, 100.0] {
+            assert_eq!(one.percentile(p), 5.0);
+        }
+        // Degenerate all-equal case.
+        let flat = LatencyReport::from_latencies(vec![42.0; 9]);
+        for p in [0.0, 50.0, 95.0, 99.0, 100.0] {
+            assert_eq!(flat.percentile(p), 42.0);
+        }
+        // Empty report mirrors the other summaries.
+        assert_eq!(LatencyReport::default().percentile(95.0), 0.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "percentile must be in [0, 100]")]
+    fn out_of_range_percentile_panics() {
+        let _ = LatencyStats::new().percentile(101.0);
+    }
+
+    #[test]
+    fn batch_percentiles_match_individual_calls() {
+        let report = LatencyReport::from_latencies((1..=37).rev().map(f64::from).collect());
+        let ps = [0.0, 12.5, 50.0, 95.0, 99.0, 100.0];
+        let batch = report.percentiles(&ps);
+        for (&p, &value) in ps.iter().zip(&batch) {
+            assert_eq!(value, report.percentile(p), "p = {p}");
+        }
+        assert_eq!(LatencyReport::default().percentiles(&ps), vec![0.0; 6]);
     }
 
     #[test]

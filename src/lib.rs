@@ -25,7 +25,12 @@
 //!   single-rail synchronous and dual-rail asynchronous styles, plus
 //!   the bulk-inference runtimes ([`datapath::BatchInference`],
 //!   [`datapath::ParallelBatchInference`] and the per-operand-latency
-//!   [`datapath::EventDrivenInference`]).
+//!   [`datapath::EventDrivenInference`]);
+//! * [`serve`] — the micro-batching inference **serving runtime**:
+//!   requests on a deterministic virtual clock, dynamic batching (lanes
+//!   full or deadline), bounded-queue admission control (block/shed) and
+//!   queueing-vs-service tail-latency telemetry over any of the four
+//!   inference engines ([`serve::Backend`]).
 //!
 //! # Quickstart
 //!
@@ -54,4 +59,5 @@ pub use exec;
 pub use gatesim;
 pub use netlist;
 pub use sta;
+pub use tm_serve as serve;
 pub use tsetlin;

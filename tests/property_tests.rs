@@ -696,3 +696,151 @@ proptest! {
         }
     }
 }
+
+// ---------------------------------------------------------------------
+// Serving layer: served outcomes ≡ offline golden outcomes for every
+// backend, and the whole report is thread-count-invariant under a fixed
+// service model
+// ---------------------------------------------------------------------
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(8))]
+
+    /// Micro-batched serving of the lane backends (batch and parallel
+    /// batch) delivers exactly the workload's golden outcomes for every
+    /// served request, under arbitrary traffic and either admission
+    /// policy — and with a fixed service model the *entire report*
+    /// (shed set, batch composition, every latency figure) is
+    /// bit-identical at backend thread counts {1, 2, 7}.
+    #[test]
+    fn served_lane_backends_match_golden_and_threads_are_invisible(
+        seed in 0u64..10_000,
+        requests in 1usize..160,
+        qps_exp in 0u32..4,
+        capacity in 0usize..100,
+        block in any::<bool>(),
+    ) {
+        use tm_async::datapath::{BatchGoldenModel, InferenceWorkload};
+        use tm_async::serve::{
+            AdmissionPolicy, BatchBackend, ParallelBatchBackend, ServeConfig, Server,
+            ServiceModel, Trace,
+        };
+
+        let config = DatapathConfig::new(5, 4).expect("valid");
+        let workload = InferenceWorkload::random(&config, 24, 0.7, seed).expect("workload");
+        let model = BatchGoldenModel::generate(&config).expect("generation");
+        // Offered load sweeps 0.1x .. 100x around the fixed service rate.
+        let trace = Trace::poisson(requests, 1e5 * 10f64.powi(qps_exp as i32), seed ^ 77);
+        let serve_config = ServeConfig {
+            queue_capacity: capacity,
+            policy: if block { AdmissionPolicy::Block } else { AdmissionPolicy::Shed },
+            max_batch: 64,
+            max_wait_ns: 2_000,
+            service_model: ServiceModel::Fixed { batch_ns: 400, per_request_ns: 25 },
+        };
+
+        let backend = BatchBackend::new(&model, workload.masks().clone()).expect("backend");
+        let reference = Server::new(backend, &workload, serve_config)
+            .expect("server")
+            .run(&trace)
+            .expect("serve run");
+        prop_assert_eq!(reference.served_count() + reference.shed_count(), requests);
+        if block {
+            prop_assert_eq!(reference.shed_count(), 0, "block policy never sheds");
+        }
+        // Every served outcome is the golden outcome of its sample (the
+        // server also verifies this internally before returning).
+        for record in &reference.served {
+            prop_assert_eq!(&record.outcome, workload.sample(record.sample).expected);
+        }
+
+        // The parallel-batch backend at several thread counts: the full
+        // report — not just outcomes — must be bit-identical.
+        for threads in [1usize, 2, 7] {
+            let backend =
+                ParallelBatchBackend::new(&model, workload.masks().clone(), threads)
+                    .expect("backend");
+            let report = Server::new(backend, &workload, serve_config)
+                .expect("server")
+                .run(&trace)
+                .expect("serve run");
+            prop_assert_eq!(&report, &reference, "threads {}", threads);
+        }
+    }
+}
+
+proptest! {
+    // Event-driven and dual-rail backends simulate every request at
+    // gate level across three thread counts each — keep the case count
+    // and request counts small.
+    #![proptest_config(ProptestConfig::with_cases(3))]
+
+    /// Serving through the event-driven and dual-rail simulation
+    /// backends also reproduces the golden outcomes exactly, with
+    /// thread-count-invariant reports under a fixed service model —
+    /// the serving layer composes with the reset-phase sharding
+    /// contract unchanged.
+    #[test]
+    fn served_simulation_backends_match_golden_and_threads_are_invisible(
+        seed in 0u64..10_000,
+        requests in 1usize..12,
+    ) {
+        use tm_async::datapath::{BatchGoldenModel, InferenceWorkload};
+        use tm_async::serve::{
+            Backend, DualRailBackend, EventDrivenBackend, ServeConfig, Server, ServeReport,
+            ServiceModel, Trace,
+        };
+
+        let config = DatapathConfig::new(3, 2).expect("valid");
+        let workload = InferenceWorkload::random(&config, 8, 0.6, seed).expect("workload");
+        let model = BatchGoldenModel::generate(&config).expect("generation");
+        let datapath = DualRailDatapath::generate(&config).expect("generation");
+        let library = Library::umc_ll();
+        let trace = Trace::bursty(requests, 3, 1e6, seed ^ 3);
+        let serve_config = ServeConfig {
+            max_wait_ns: 1_500,
+            service_model: ServiceModel::Fixed { batch_ns: 900, per_request_ns: 120 },
+            ..ServeConfig::default()
+        };
+
+        let run = |backend: Box<dyn Backend + Send>| -> ServeReport {
+            let mut server = Server::new(backend, &workload, serve_config).expect("server");
+            server.run(&trace).expect("serve run")
+        };
+
+        for backend_kind in ["event_driven", "dual_rail"] {
+            let mut reference: Option<ServeReport> = None;
+            for threads in [1usize, 2, 7] {
+                let backend: Box<dyn Backend + Send> = match backend_kind {
+                    "event_driven" => Box::new(
+                        EventDrivenBackend::new(
+                            &model, &library, workload.masks().clone(), threads,
+                        )
+                        .expect("backend"),
+                    ),
+                    _ => Box::new(
+                        DualRailBackend::new(
+                            &datapath, &library, workload.masks().clone(), threads,
+                        )
+                        .expect("backend"),
+                    ),
+                };
+                let report = run(backend);
+                for record in &report.served {
+                    prop_assert_eq!(
+                        &record.outcome,
+                        workload.sample(record.sample).expected,
+                        "{} backend served a non-golden outcome",
+                        backend_kind
+                    );
+                }
+                match &reference {
+                    None => reference = Some(report),
+                    Some(expected) => prop_assert_eq!(
+                        &report, expected, "{} threads {}", backend_kind, threads
+                    ),
+                }
+            }
+        }
+    }
+}
