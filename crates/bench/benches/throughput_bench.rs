@@ -2,12 +2,14 @@
 //! the 64-wide bit-parallel batch golden model, the multi-threaded
 //! parallel batch runtime, the event-driven gate-level simulation (the
 //! streamed synchronous baseline, the sharded per-operand golden model
-//! and the sharded dual-rail four-phase protocol), and the two-level
-//! event queue, all on the standard keyword-spotting workload.
+//! and the sharded dual-rail four-phase protocol), the 64-wide
+//! bit-sliced variants of both event engines (one full lane word per
+//! iteration), and the two-level event queue, all on the standard
+//! keyword-spotting workload.
 //!
-//! The recorded comparison lives in `BENCH_PR4.json` at the repository
+//! The recorded comparison lives in `BENCH_PR6.json` at the repository
 //! root (regenerate with
-//! `cargo run -p tm-async-bench --release --bin throughput -- 4096 BENCH_PR4.json`).
+//! `cargo run -p tm-async-bench --release --bin throughput -- 4096 BENCH_PR6.json`).
 
 use std::collections::HashMap;
 
@@ -144,6 +146,49 @@ fn bench_throughput(c: &mut Criterion) {
                 parallel
                     .run_workload(&dualrail_workload)
                     .expect("dual-rail run"),
+            )
+        })
+    });
+
+    group.bench_function("event_sliced_64", |b| {
+        // One full 64-lane word through the bit-sliced three-valued
+        // event kernel: every net carries all 64 operands as two `u64`
+        // bitplanes, so each popped event settles up to 64 lanes.
+        let library = Library::umc_ll();
+        let event_workload = datapath::InferenceWorkload::new(
+            &config,
+            masks.clone(),
+            workload.feature_vectors()[..64].to_vec(),
+        )
+        .expect("sliced workload stays well-formed");
+        let parallel = datapath::EventDrivenInference::new(&model, &library, 1);
+        b.iter(|| {
+            std::hint::black_box(
+                parallel
+                    .run_workload_sliced(&event_workload)
+                    .expect("sliced event-driven run"),
+            )
+        })
+    });
+
+    group.bench_function("dualrail_sliced_64", |b| {
+        // One full 64-lane word of four-phase handshake cycles on the
+        // dual-rail datapath through the bit-sliced driver.
+        let datapath = datapath::DualRailDatapath::generate(&config).expect("generation");
+        let library = Library::umc_ll();
+        let dualrail_workload = datapath::InferenceWorkload::new(
+            &config,
+            masks.clone(),
+            workload.feature_vectors()[..64].to_vec(),
+        )
+        .expect("sliced workload stays well-formed");
+        let parallel =
+            datapath::DualRailInference::new(&datapath, &library, 1).expect("driver construction");
+        b.iter(|| {
+            std::hint::black_box(
+                parallel
+                    .run_workload_sliced(&dualrail_workload)
+                    .expect("sliced dual-rail run"),
             )
         })
     });

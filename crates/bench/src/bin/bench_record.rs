@@ -1,0 +1,50 @@
+//! Records the combined benchmark file for the 64-wide bit-sliced
+//! engines: the bulk-inference throughput comparison (experiment E5,
+//! including the `event_sliced_<N>` / `dualrail_sliced_<N>` rows and
+//! their speedups over the scalar event rows) and the serving
+//! saturation sweep (experiment E6, including the `event_sliced` and
+//! `dualrail_sliced` backends) in one JSON document.
+//!
+//! Usage: `cargo run -p tm-async-bench --release --bin bench_record
+//! [operands] [requests] [json-path]`
+//!
+//! The recorded comparison at the repository root is regenerated with
+//! `cargo run -p tm-async-bench --release --bin bench_record -- 4096
+//! 2048 BENCH_PR6.json`.
+
+fn main() {
+    let mut args = std::env::args().skip(1);
+    let operands: usize = args
+        .next()
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(4096)
+        .max(1);
+    let requests: usize = args
+        .next()
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(2048)
+        .max(64);
+    let json_path = args.next();
+
+    println!("Experiment E5 — bulk-inference throughput ({operands} operands)\n");
+    // 64 streamed operands keep the event-driven rows in steady state
+    // (one-off simulator construction amortises below 2 % of the row).
+    let throughput = tm_async_bench::throughput::run(operands, 64, 2021);
+    print!("{}", throughput.render());
+
+    println!(
+        "\nExperiment E6 — serving saturation sweep ({requests} requests per open-loop point)\n"
+    );
+    let serving = tm_async_bench::serving::run(requests, 2021);
+    print!("{}", serving.render());
+
+    if let Some(path) = json_path {
+        let combined = format!(
+            "{{\n\"throughput\": {},\n\"serve_sweep\": {}\n}}\n",
+            throughput.to_json().trim_end(),
+            serving.to_json().trim_end(),
+        );
+        std::fs::write(&path, combined).expect("write JSON report");
+        println!("\nwrote {path}");
+    }
+}

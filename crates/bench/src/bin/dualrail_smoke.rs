@@ -9,7 +9,10 @@
 //! Panics (non-zero exit) if any decoded outcome disagrees with the
 //! software golden model, if any thread count disagrees with the
 //! streamed single contract-mode driver, or if a cycle violates the
-//! reset-phase sharding contract.
+//! reset-phase sharding contract.  The 64-wide bit-sliced driver is
+//! then run through the same gauntlet: golden-verified outcomes,
+//! shard-invariant full runs, and per-lane spacer→valid / `done`
+//! latencies bit-identical to the scalar driver.
 
 use celllib::Library;
 use datapath::{DualRailDatapath, DualRailInference, InferenceWorkload};
@@ -70,5 +73,42 @@ fn main() {
             done.max_ps()
         );
     }
-    println!("\nok: outcomes golden-verified, shard-invariant, contract held");
+    // Bit-sliced driver: same workload, 64 handshake cycles per lane
+    // word.  Runs must be golden-verified, identical across thread
+    // counts, and agree with the scalar driver on every per-lane
+    // latency bit.
+    let mut sliced_runs = Vec::new();
+    for threads in [1, 2] {
+        let sim = DualRailInference::new(&datapath, &library, threads).expect("driver");
+        let scalar = sim.run_workload(&workload).expect("dual-rail run");
+        let run = sim
+            .run_workload_sliced(&workload)
+            .expect("sliced dual-rail run");
+        assert_eq!(
+            run.outcomes.as_slice(),
+            workload.expected(),
+            "{threads}-thread sliced outcomes diverged from the golden model"
+        );
+        assert_eq!(
+            run.latency, scalar.latency,
+            "{threads}-thread sliced spacer→valid latencies drifted from the scalar driver"
+        );
+        assert_eq!(
+            run.done_latency, scalar.done_latency,
+            "{threads}-thread sliced done latencies drifted from the scalar driver"
+        );
+        println!(
+            "sliced threads={threads}: {} operands verified; s→v max {:.1} ps (bit-identical \
+             to scalar)",
+            run.latency.count(),
+            run.latency.max_ps(),
+        );
+        sliced_runs.push(run);
+    }
+    assert_eq!(
+        sliced_runs[0], sliced_runs[1],
+        "sliced runs must be shard-invariant"
+    );
+
+    println!("\nok: outcomes golden-verified, shard-invariant, contract held (scalar + sliced)");
 }

@@ -14,12 +14,23 @@
 //! A measured-service run of the same trace is also printed (not
 //! asserted) so the log shows real queueing figures for this host.
 //!
+//! The 64-wide bit-sliced backends (`event_sliced`, `dualrail_sliced`)
+//! then serve a shorter fixed-model trace: their reports must be
+//! bit-identical across reruns **and** across backend thread counts —
+//! the sliced engines feed the same golden-verified outcomes through
+//! the same deterministic virtual clock no matter how words are
+//! sharded.
+//!
 //! Usage: `cargo run -p tm-async-bench --release --bin serve_smoke
 //! [requests]`
 
-use datapath::BatchGoldenModel;
+use celllib::Library;
+use datapath::{BatchGoldenModel, DualRailDatapath};
 use tm_async_bench::workloads::{standard_config, standard_workload};
-use tm_serve::{AdmissionPolicy, BatchBackend, ServeConfig, Server, ServiceModel, Trace};
+use tm_serve::{
+    AdmissionPolicy, Backend, BatchBackend, DualRailSlicedBackend, EventSlicedBackend, ServeConfig,
+    Server, ServiceModel, Trace,
+};
 
 fn main() {
     let requests: usize = std::env::args()
@@ -86,5 +97,73 @@ fn main() {
     );
     println!("measured model: {}", measured.summary());
 
-    println!("\nok: outcomes golden-verified, zero sheds below saturation, deterministic replay");
+    // Bit-sliced backends: a shorter trace (each request simulates the
+    // whole netlist), fixed service model, replayed at thread counts 1
+    // and 2.  All four reports per backend must be bit-identical.
+    let sliced_requests = (requests / 8).max(32);
+    let sliced_trace = Trace::poisson(sliced_requests, 1e6, 2021);
+    let datapath = DualRailDatapath::generate(&config).expect("datapath generation");
+    let library = Library::umc_ll();
+
+    fn verify_sliced_backend<B: Backend + Send>(
+        name: &str,
+        make_backend: impl Fn(usize) -> B,
+        workload: &datapath::InferenceWorkload,
+        config: ServeConfig,
+        trace: &Trace,
+        requests: usize,
+    ) {
+        let run = |threads: usize| {
+            let mut server = Server::new(make_backend(threads), workload, config).expect("server");
+            server
+                .run(trace)
+                .expect("sliced serve run (every outcome golden-verified internally)")
+        };
+        let reference = run(1);
+        assert_eq!(
+            reference.served_count() + reference.shed_count(),
+            requests,
+            "{name}: every request must be accounted for"
+        );
+        assert_eq!(run(1), reference, "{name}: rerun must be bit-identical");
+        assert_eq!(
+            run(2),
+            reference,
+            "{name}: 2-thread report must be bit-identical to 1 thread"
+        );
+        assert_eq!(
+            run(2),
+            reference,
+            "{name}: 2-thread rerun must be bit-identical"
+        );
+        println!("{name}: {}", reference.summary());
+    }
+
+    verify_sliced_backend(
+        "event_sliced",
+        |threads| {
+            EventSlicedBackend::new(&model, &library, workload.masks().clone(), threads)
+                .expect("backend")
+        },
+        workload,
+        fixed,
+        &sliced_trace,
+        sliced_requests,
+    );
+    verify_sliced_backend(
+        "dualrail_sliced",
+        |threads| {
+            DualRailSlicedBackend::new(&datapath, &library, workload.masks().clone(), threads)
+                .expect("backend")
+        },
+        workload,
+        fixed,
+        &sliced_trace,
+        sliced_requests,
+    );
+
+    println!(
+        "\nok: outcomes golden-verified, zero sheds below saturation, deterministic replay \
+         (batch + sliced backends, rerun- and thread-invariant)"
+    );
 }

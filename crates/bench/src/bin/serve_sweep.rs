@@ -4,8 +4,9 @@
 //! Usage: `cargo run -p tm-async-bench --release --bin serve_sweep
 //! [requests] [json-path]`
 //!
-//! The recorded sweep at the repository root is regenerated with
-//! `cargo run -p tm-async-bench --release --bin serve_sweep -- 2048 BENCH_PR5.json`.
+//! The recorded sweep from PR 5 (`BENCH_PR5.json`) was written by this
+//! bin; since PR 6 the combined record (`BENCH_PR6.json`, throughput
+//! rows + serving sweep) is regenerated with the `bench_record` bin.
 //!
 //! Every served outcome is verified against the workload's golden
 //! outcome inside the serving runtime before its timing is accepted.

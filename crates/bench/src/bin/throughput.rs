@@ -4,8 +4,10 @@
 //! Usage: `cargo run -p tm-async-bench --release --bin throughput
 //! [operands] [json-path]`
 //!
-//! The recorded comparison at the repository root is regenerated with
-//! `cargo run -p tm-async-bench --release --bin throughput -- 4096 BENCH_PR4.json`.
+//! The recorded comparison at the repository root (`BENCH_PR6.json`,
+//! throughput rows + serving sweep in one document) is regenerated
+//! with the `bench_record` bin; this bin records the throughput
+//! report alone.
 
 fn main() {
     let mut args = std::env::args().skip(1);

@@ -23,8 +23,9 @@
 use celllib::Library;
 use datapath::{BatchGoldenModel, DualRailDatapath, InferenceWorkload};
 use tm_serve::{
-    AdmissionPolicy, Backend, BatchBackend, DualRailBackend, EventDrivenBackend,
-    ParallelBatchBackend, ServeConfig, ServeSummary, Server, ServiceModel, Trace,
+    AdmissionPolicy, Backend, BatchBackend, DualRailBackend, DualRailSlicedBackend,
+    EventDrivenBackend, EventSlicedBackend, ParallelBatchBackend, ServeConfig, ServeSummary,
+    Server, ServiceModel, Trace,
 };
 
 use crate::workloads::{standard_config, standard_workload};
@@ -246,9 +247,10 @@ fn sweep_backend<B: Backend + Send>(
 ///
 /// The fast lane backends (`batch`, `parallel_batch`) serve `requests`
 /// requests per point; the gate-level simulation backends
-/// (`event_driven`, `dual_rail`) serve `requests / 8` (min 32) so the
-/// sweep stays tractable — each of their requests simulates the whole
-/// netlist.
+/// (`event_driven`, `dual_rail`, and their bit-sliced variants
+/// `event_sliced`, `dualrail_sliced`) serve `requests / 8` (min 32) so
+/// the sweep stays tractable — each of their requests simulates the
+/// whole netlist.
 ///
 /// # Panics
 ///
@@ -299,6 +301,22 @@ pub fn run(requests: usize, seed: u64) -> ServeSweepReport {
         seed,
         &mut rows,
     );
+    sweep_backend(
+        "event_sliced",
+        || EventSlicedBackend::new(&model, &library, masks.clone(), 1).expect("backend"),
+        workload,
+        sim_requests,
+        seed,
+        &mut rows,
+    );
+    sweep_backend(
+        "dualrail_sliced",
+        || DualRailSlicedBackend::new(&datapath, &library, masks.clone(), 1).expect("backend"),
+        workload,
+        sim_requests,
+        seed,
+        &mut rows,
+    );
 
     ServeSweepReport {
         rows,
@@ -318,10 +336,17 @@ mod tests {
     #[test]
     fn small_sweep_is_well_formed() {
         let report = run(64, 7);
-        // 4 backends x (1 closed + LOAD_FACTORS.len() poisson + bursty + ramp).
+        // 6 backends x (1 closed + LOAD_FACTORS.len() poisson + bursty + ramp).
         let per_backend = 1 + LOAD_FACTORS.len() + 2;
-        assert_eq!(report.rows.len(), 4 * per_backend);
-        for backend in ["batch", "parallel_batch", "event_driven", "dual_rail"] {
+        assert_eq!(report.rows.len(), 6 * per_backend);
+        for backend in [
+            "batch",
+            "parallel_batch",
+            "event_driven",
+            "dual_rail",
+            "event_sliced",
+            "dualrail_sliced",
+        ] {
             let rows = report.backend_rows(backend);
             assert_eq!(rows.len(), per_backend, "{backend}");
             assert!(rows.iter().all(|r| r.summary.served > 0));
@@ -335,6 +360,8 @@ mod tests {
         let json = report.to_json();
         assert!(json.contains("\"serve_batch_qps\""));
         assert!(json.contains("\"serve_event_driven_qps\""));
+        assert!(json.contains("\"serve_event_sliced_qps\""));
+        assert!(json.contains("\"serve_dualrail_sliced_qps\""));
         assert!(json.contains("\"queue_p99_ns\""));
         assert!(json.trim_start().starts_with('{') && json.trim_end().ends_with('}'));
         assert!(report.render().contains("serve_dual_rail_qps"));

@@ -19,7 +19,13 @@
 //! dual-rail datapath itself ([`datapath::DualRailInference`], sharded
 //! under the verified reset-phase contract), whose spacer→valid and
 //! `done` latencies — the paper's Table I quantities — land in
-//! [`DualRailLatencySummary`].
+//! [`DualRailLatencySummary`].  The `event_sliced_<N>` and
+//! `dualrail_sliced_<N>` rows re-run both event engines through the
+//! 64-wide bit-sliced three-valued kernel
+//! ([`gatesim::SlicedSimulator`]): every net carries 64 operands as two
+//! `u64` bitplanes, so one merged event replaces up to 64 scalar
+//! events while per-lane latencies stay bit-identical (asserted before
+//! the rows are accepted).
 //!
 //! Every path's outputs are checked against the workload's golden
 //! outcomes before its time is accepted — a fast wrong answer does not
@@ -109,6 +115,13 @@ pub struct ThroughputReport {
     /// four-phase protocol (absent only if the dual-rail section was
     /// skipped).
     pub dualrail_latency: Option<DualRailLatencySummary>,
+    /// Latency summary of the bit-sliced event kernel rows — per-lane
+    /// figures, bit-identical to [`ThroughputReport::event_latency`].
+    pub event_sliced_latency: Option<EventLatencySummary>,
+    /// Latency summary of the bit-sliced dual-rail rows — per-lane
+    /// spacer→valid and `done` figures, bit-identical to
+    /// [`ThroughputReport::dualrail_latency`].
+    pub dualrail_sliced_latency: Option<DualRailLatencySummary>,
 }
 
 impl ThroughputReport {
@@ -136,6 +149,20 @@ impl ThroughputReport {
             .filter(|r| r.strategy.starts_with("parallel_batch_"))
             .map(|r| r.samples_per_sec / batch.samples_per_sec)
             .max_by(f64::total_cmp)
+    }
+
+    /// Speedup of the fastest `<prefix><N>` row over the fastest
+    /// `<baseline><N>` row — e.g. sliced over scalar event rows.
+    #[must_use]
+    pub fn prefix_speedup(&self, prefix: &str, baseline: &str) -> Option<f64> {
+        let best = |p: &str| {
+            self.rows
+                .iter()
+                .filter(|r| r.strategy.starts_with(p))
+                .map(|r| r.samples_per_sec)
+                .max_by(f64::total_cmp)
+        };
+        Some(best(prefix)? / best(baseline)?)
     }
 
     /// Renders a human-readable table.
@@ -187,6 +214,16 @@ impl ThroughputReport {
                 latency.done_max_ps
             ));
         }
+        if let Some(speedup) = self.prefix_speedup("event_sliced_", "event_parallel_") {
+            out.push_str(&format!(
+                "64-wide bit-sliced event kernel is {speedup:.1}x the scalar event rows\n"
+            ));
+        }
+        if let Some(speedup) = self.prefix_speedup("dualrail_sliced_", "dualrail_parallel_") {
+            out.push_str(&format!(
+                "64-wide bit-sliced dual-rail driver is {speedup:.1}x the scalar dual-rail rows\n"
+            ));
+        }
         out
     }
 
@@ -235,6 +272,38 @@ impl ThroughputReport {
                 latency.average_ps,
                 latency.done_average_ps,
                 latency.done_max_ps
+            ));
+        }
+        if let Some(latency) = &self.event_sliced_latency {
+            out.push_str(&format!(
+                "  \"event_sliced_latency_ps\": {{\"operands\": {}, \"min\": {:.1}, \"median\": {:.1}, \"max\": {:.1}, \"average\": {:.1}}},\n",
+                latency.operands,
+                latency.min_ps,
+                latency.median_ps,
+                latency.max_ps,
+                latency.average_ps
+            ));
+        }
+        if let Some(latency) = &self.dualrail_sliced_latency {
+            out.push_str(&format!(
+                "  \"dualrail_sliced_latency_ps\": {{\"operands\": {}, \"min\": {:.1}, \"median\": {:.1}, \"max\": {:.1}, \"average\": {:.1}, \"done_average\": {:.1}, \"done_max\": {:.1}}},\n",
+                latency.operands,
+                latency.min_ps,
+                latency.median_ps,
+                latency.max_ps,
+                latency.average_ps,
+                latency.done_average_ps,
+                latency.done_max_ps
+            ));
+        }
+        if let Some(speedup) = self.prefix_speedup("event_sliced_", "event_parallel_") {
+            out.push_str(&format!(
+                "  \"event_sliced_speedup_over_event_parallel\": {speedup:.2},\n"
+            ));
+        }
+        if let Some(speedup) = self.prefix_speedup("dualrail_sliced_", "dualrail_parallel_") {
+            out.push_str(&format!(
+                "  \"dualrail_sliced_speedup_over_dualrail_parallel\": {speedup:.2},\n"
             ));
         }
         out.push_str(&format!(
@@ -486,6 +555,7 @@ pub fn run(operands: usize, sim_operands: usize, seed: u64) -> ThroughputReport 
     // also records the latency distribution.
     // ------------------------------------------------------------------
     let mut event_latency = None;
+    let mut event_sliced_latency = None;
     {
         let sim_operands = sim_operands.min(operands).max(1);
         let library = Library::umc_ll();
@@ -533,6 +603,54 @@ pub fn run(operands: usize, sim_operands: usize, seed: u64) -> ThroughputReport 
                 samples_per_sec: (sim_operands * reps) as f64 / seconds,
             });
         }
+
+        // 64-wide bit-sliced kernel over the same workload: two u64
+        // bitplanes per net carry 64 operands per event, so one merged
+        // event replaces up to 64 scalar events.  Outcomes and per-lane
+        // settle times must be bit-identical to the scalar rows above.
+        let mut thread_counts = vec![1, 2, exec::available_parallelism()];
+        thread_counts.sort_unstable();
+        thread_counts.dedup();
+        for threads in thread_counts {
+            let parallel = EventDrivenInference::new(&model, &library, threads);
+            let run = parallel
+                .run_workload_sliced(&event_workload)
+                .expect("sliced event-driven run");
+            assert_eq!(
+                run.outcomes.as_slice(),
+                &expected[..sim_operands],
+                "sliced event-driven ({threads} threads) diverged"
+            );
+            let sliced_summary = EventLatencySummary {
+                operands: sim_operands,
+                min_ps: run.latency.min_ps(),
+                median_ps: run.latency.median_ps(),
+                max_ps: run.latency.max_ps(),
+                average_ps: run.latency.average_ps(),
+            };
+            let scalar = event_latency.as_ref().expect("scalar event rows ran first");
+            assert_eq!(
+                &sliced_summary, scalar,
+                "sliced per-lane latencies drifted from the scalar kernel"
+            );
+            event_sliced_latency.get_or_insert(sliced_summary);
+
+            let reps = 3;
+            let seconds = time_reps(reps, || {
+                std::hint::black_box(
+                    parallel
+                        .run_workload_sliced(&event_workload)
+                        .expect("sliced event-driven run"),
+                );
+            });
+            rows.push(ThroughputRow {
+                strategy: format!("event_sliced_{threads}"),
+                operands: sim_operands,
+                repetitions: reps,
+                seconds,
+                samples_per_sec: (sim_operands * reps) as f64 / seconds,
+            });
+        }
     }
 
     // ------------------------------------------------------------------
@@ -545,6 +663,7 @@ pub fn run(operands: usize, sim_operands: usize, seed: u64) -> ThroughputReport 
     // `done` latency per operand.
     // ------------------------------------------------------------------
     let mut dualrail_latency = None;
+    let mut dualrail_sliced_latency = None;
     {
         let sim_operands = sim_operands.min(operands).max(1);
         let datapath = DualRailDatapath::generate(&config).expect("generation");
@@ -602,6 +721,63 @@ pub fn run(operands: usize, sim_operands: usize, seed: u64) -> ThroughputReport 
                 samples_per_sec: (sim_operands * reps) as f64 / seconds,
             });
         }
+
+        // 64-wide bit-sliced four-phase driver: 64 handshake cycles per
+        // word on a phase-rebased timebase.  Spacer→valid and `done`
+        // latencies are per-lane quantities, bit-identical to the scalar
+        // contract driver above.
+        let mut thread_counts = vec![1, 2, exec::available_parallelism()];
+        thread_counts.sort_unstable();
+        thread_counts.dedup();
+        for threads in thread_counts {
+            let parallel =
+                DualRailInference::new(&datapath, &library, threads).expect("driver construction");
+            let run = parallel
+                .run_workload_sliced(&dualrail_workload)
+                .expect("sliced dual-rail run");
+            assert_eq!(
+                run.outcomes.as_slice(),
+                &expected[..sim_operands],
+                "sliced dual-rail ({threads} threads) diverged"
+            );
+            let done = run
+                .done_latency
+                .as_ref()
+                .expect("reduced completion detection present");
+            let sliced_summary = DualRailLatencySummary {
+                operands: sim_operands,
+                min_ps: run.latency.min_ps(),
+                median_ps: run.latency.median_ps(),
+                max_ps: run.latency.max_ps(),
+                average_ps: run.latency.average_ps(),
+                done_average_ps: done.average_ps(),
+                done_max_ps: done.max_ps(),
+            };
+            let scalar = dualrail_latency
+                .as_ref()
+                .expect("scalar dual-rail rows ran first");
+            assert_eq!(
+                &sliced_summary, scalar,
+                "sliced per-lane dual-rail latencies drifted from the scalar driver"
+            );
+            dualrail_sliced_latency.get_or_insert(sliced_summary);
+
+            let reps = 3;
+            let seconds = time_reps(reps, || {
+                std::hint::black_box(
+                    parallel
+                        .run_workload_sliced(&dualrail_workload)
+                        .expect("sliced dual-rail run"),
+                );
+            });
+            rows.push(ThroughputRow {
+                strategy: format!("dualrail_sliced_{threads}"),
+                operands: sim_operands,
+                repetitions: reps,
+                seconds,
+                samples_per_sec: (sim_operands * reps) as f64 / seconds,
+            });
+        }
     }
 
     ThroughputReport {
@@ -609,6 +785,8 @@ pub fn run(operands: usize, sim_operands: usize, seed: u64) -> ThroughputReport 
         workload_accuracy: standard.accuracy,
         event_latency,
         dualrail_latency,
+        event_sliced_latency,
+        dualrail_sliced_latency,
     }
 }
 
@@ -646,14 +824,40 @@ mod tests {
                 .iter()
                 .filter(|r| r.strategy.starts_with("dualrail_parallel_"))
                 .count();
+            let event_sliced_rows = report
+                .rows
+                .iter()
+                .filter(|r| r.strategy.starts_with("event_sliced_"))
+                .count();
+            let dualrail_sliced_rows = report
+                .rows
+                .iter()
+                .filter(|r| r.strategy.starts_with("dualrail_sliced_"))
+                .count();
             assert_eq!(
                 report.rows.len(),
-                4 + parallel_rows + event_rows + dualrail_rows
+                4 + parallel_rows
+                    + event_rows
+                    + dualrail_rows
+                    + event_sliced_rows
+                    + dualrail_sliced_rows
             );
             assert!((2..=3).contains(&parallel_rows));
             assert_eq!(event_rows, parallel_rows);
             assert_eq!(dualrail_rows, parallel_rows);
+            assert_eq!(event_sliced_rows, parallel_rows);
+            assert_eq!(dualrail_sliced_rows, parallel_rows);
             assert!(report.parallel_speedup().is_some());
+            assert!(report
+                .prefix_speedup("event_sliced_", "event_parallel_")
+                .is_some());
+            assert!(report
+                .prefix_speedup("dualrail_sliced_", "dualrail_parallel_")
+                .is_some());
+            // `run` already asserts the sliced summaries equal the
+            // scalar ones bit-for-bit before recording them.
+            assert_eq!(report.event_sliced_latency, report.event_latency);
+            assert_eq!(report.dualrail_sliced_latency, report.dualrail_latency);
             let latency = report.event_latency.as_ref().expect("event rows ran");
             assert_eq!(latency.operands, 4);
             assert!(latency.min_ps > 0.0);
@@ -702,6 +906,22 @@ mod tests {
                 done_average_ps: 250.0,
                 done_max_ps: 350.0,
             }),
+            event_sliced_latency: Some(EventLatencySummary {
+                operands: 1,
+                min_ps: 10.0,
+                median_ps: 20.0,
+                max_ps: 30.0,
+                average_ps: 20.0,
+            }),
+            dualrail_sliced_latency: Some(DualRailLatencySummary {
+                operands: 1,
+                min_ps: 100.0,
+                median_ps: 200.0,
+                max_ps: 300.0,
+                average_ps: 200.0,
+                done_average_ps: 250.0,
+                done_max_ps: 350.0,
+            }),
         };
         let json = report.to_json();
         assert!(json.contains("\"samples_per_sec\": 2.0"));
@@ -709,6 +929,8 @@ mod tests {
         assert!(json.contains("\"median\": 20.0"));
         assert!(json.contains("\"dualrail_latency_ps\""));
         assert!(json.contains("\"done_max\": 350.0"));
+        assert!(json.contains("\"event_sliced_latency_ps\""));
+        assert!(json.contains("\"dualrail_sliced_latency_ps\""));
         assert!(json.trim_start().starts_with('{') && json.trim_end().ends_with('}'));
         assert!(report.render().contains("median 20.0 ps"));
         assert!(report.render().contains("done avg 250.0 ps"));

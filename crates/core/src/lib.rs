@@ -26,6 +26,10 @@
 //!   environment with the operand stream sharded across worker threads
 //!   under the verified reset-phase contract, bit-identical to
 //!   streaming at any thread count;
+//! * [`sliced`] — [`SlicedProtocolDriver`], the four-phase environment
+//!   on the bit-sliced event kernel: up to 64 operand lanes per word,
+//!   per-lane results bit-identical to a phase-rebased streamed driver
+//!   ([`ProtocolDriver::enable_phase_rebase`]);
 //! * [`timing`] — throughput/latency bookkeeping combining protocol
 //!   measurements with the static grace period.
 //!
@@ -80,6 +84,7 @@ pub mod expand;
 pub mod gates;
 pub mod parallel;
 pub mod protocol;
+pub mod sliced;
 pub mod timing;
 pub mod unate;
 
@@ -91,5 +96,6 @@ pub use error::DualRailError;
 pub use expand::{expand_to_dual_rail, ExpansionStyle};
 pub use parallel::{ParallelProtocolDriver, ParallelProtocolRun};
 pub use protocol::{OperandResult, ProtocolDriver};
+pub use sliced::{rebased_reference_driver, SlicedProtocolDriver};
 pub use timing::ThroughputReport;
 pub use unate::{check_unate, UnateViolation};

@@ -59,7 +59,7 @@ use exec::Executor;
 use gatesim::{EngineProgram, LatencyReport, Logic, ParallelEventSim, Simulator};
 use sta::GracePeriod;
 
-use crate::{DualRailError, DualRailNetlist, OperandResult, ProtocolDriver};
+use crate::{DualRailError, DualRailNetlist, OperandResult, ProtocolDriver, SlicedProtocolDriver};
 
 /// Results of one sharded workload run: every operand's full
 /// [`OperandResult`] in operand order, plus the spacer→valid latency
@@ -233,6 +233,53 @@ impl<'a> ParallelProtocolDriver<'a> {
             |driver, operand: &Vec<bool>| match driver {
                 Ok(driver) => driver.apply_operand(operand),
                 Err(error) => Err(error.clone()),
+            },
+        );
+        let results = results.into_iter().collect::<Result<Vec<_>, _>>()?;
+        Ok(ParallelProtocolRun::from_results(results))
+    }
+
+    /// Like [`ParallelProtocolDriver::run_workload`], but on the
+    /// bit-sliced event kernel: the operand stream is cut into words of
+    /// up to 64 operands, each word runs all its lanes through one
+    /// four-phase cycle on a [`SlicedProtocolDriver`], and words are
+    /// sharded across worker threads.
+    ///
+    /// Word boundaries are fixed by operand position, so results are
+    /// bit-identical at any thread count.  The timebase is the
+    /// **phase-rebased** frame ([`ProtocolDriver::enable_phase_rebase`]):
+    /// decoded outputs, `s_to_v_latency_ps` and `done_latency_ps` match
+    /// [`ParallelProtocolDriver::run_workload`] exactly, while
+    /// `v_to_s_latency_ps` and `cycle_time_ps` agree up to
+    /// floating-point association.
+    ///
+    /// # Errors
+    ///
+    /// Propagates the first per-operand error in operand order, as
+    /// [`ParallelProtocolDriver::run_workload`] does; a diverging word
+    /// reports every one of its lanes as
+    /// [`DualRailError::SimulationDiverged`] (the lanes share one event
+    /// budget).
+    pub fn run_workload_sliced(
+        &self,
+        operands: &[Vec<bool>],
+    ) -> Result<ParallelProtocolRun, DualRailError> {
+        let circuit = self.circuit;
+        let snapshot = &self.snapshot;
+        let check_monotonic = self.check_monotonic;
+        let results = self.sim.run_words_with(
+            operands,
+            |sim| {
+                SlicedProtocolDriver::from_sliced_simulator(
+                    circuit,
+                    sim,
+                    Arc::clone(snapshot),
+                    check_monotonic,
+                )
+            },
+            |driver, word: &[Vec<bool>]| match driver {
+                Ok(driver) => driver.apply_word(word),
+                Err(error) => word.iter().map(|_| Err(error.clone())).collect(),
             },
         );
         let results = results.into_iter().collect::<Result<Vec<_>, _>>()?;

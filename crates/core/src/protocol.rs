@@ -89,6 +89,10 @@ pub struct ProtocolDriver<'a> {
     /// driver into the reset-phase sharding contract (per-operand time
     /// rebasing + per-cycle spacer-state verification).
     reset_contract: Option<Arc<[Logic]>>,
+    /// Rebase the clock again between the valid and the spacer phase,
+    /// so phase-2 event timestamps are computed in a zero-based frame
+    /// (see [`ProtocolDriver::enable_phase_rebase`]).
+    phase_rebase: bool,
 }
 
 impl<'a> ProtocolDriver<'a> {
@@ -157,6 +161,7 @@ impl<'a> ProtocolDriver<'a> {
             grace: None,
             check_monotonic: true,
             reset_contract: None,
+            phase_rebase: false,
         };
         driver.drive_spacer();
         if !driver.sim.run_until_quiescent().is_quiescent() {
@@ -188,6 +193,31 @@ impl<'a> ProtocolDriver<'a> {
     /// the stream.
     pub fn enable_reset_contract(&mut self, snapshot: Arc<[Logic]>) {
         self.reset_contract = Some(snapshot);
+    }
+
+    /// Rebases the simulator clock a second time **between the valid
+    /// and the spacer phase**, so the return-to-zero phase also runs in
+    /// a zero-based time frame.
+    ///
+    /// This is a refinement of the reset-phase sharding contract: with
+    /// both phases rebased, every event timestamp the driver ever reads
+    /// is a small phase-relative number, which is exactly the timebase
+    /// the bit-sliced word driver ([`crate::SlicedProtocolDriver`])
+    /// uses — lanes of one word share a queue and therefore a clock, so
+    /// each phase must start from zero for per-lane settle times to be
+    /// comparable across drivers.  Enable it on a streamed scalar driver
+    /// when its measurements must be **bit-identical** to the sliced
+    /// engine's.
+    ///
+    /// Decoded outputs, probes, `s_to_v_latency_ps` and
+    /// `done_latency_ps` are unaffected (phase 1 already starts at time
+    /// zero in contract mode).  `v_to_s_latency_ps` and `cycle_time_ps`
+    /// are mathematically unchanged — the spacer-phase offset is
+    /// subtracted before instead of after the event-time maximum — but
+    /// floating-point addition is not associative, so they may differ
+    /// from the plain contract driver's figures in the last ULPs.
+    pub fn enable_phase_rebase(&mut self) {
+        self.phase_rebase = true;
     }
 
     /// Verifies the current settled state against the contract's
@@ -470,6 +500,18 @@ impl<'a> ProtocolDriver<'a> {
             .map(|&n| self.sim.net_transitions(n))
             .collect();
         let t1 = self.sim.now_ps();
+        // Phase rebase: restart the clock so the spacer phase runs in a
+        // zero-based frame, matching the sliced word driver's timebase.
+        // Timestamps a net kept from phase 1 shift to <= 0, so the
+        // `since 0.0` filter below admits at most a stale exactly-0.0
+        // entry, which contributes a harmless 0.0 to the maximum — the
+        // same `unwrap_or(0.0)` floor the plain path applies.
+        let spacer_since = if self.phase_rebase {
+            self.sim.reset_time();
+            0.0
+        } else {
+            t1
+        };
         self.drive_spacer();
         if !self.sim.run_until_quiescent().is_quiescent() {
             return Err(DualRailError::SimulationDiverged);
@@ -482,19 +524,26 @@ impl<'a> ProtocolDriver<'a> {
                 });
             }
         }
-        let v_to_s_latency_ps = self.latest_change_since(&observed, t1).unwrap_or(0.0);
+        let v_to_s_latency_ps = self
+            .latest_change_since(&observed, spacer_since)
+            .unwrap_or(0.0);
         self.check_monotonic_phase(&observed, &transitions_mid)?;
         // Contract mode: the cycle must have returned every net to the
         // canonical quiescent state, or sharding would change results.
         self.verify_spacer_state()?;
 
+        let cycle_time_ps = if self.phase_rebase {
+            (t1 - t0) + self.sim.now_ps()
+        } else {
+            self.sim.now_ps() - t0
+        };
         Ok(OperandResult {
             outputs,
             one_of_n,
             s_to_v_latency_ps,
             done_latency_ps,
             v_to_s_latency_ps,
-            cycle_time_ps: self.sim.now_ps() - t0,
+            cycle_time_ps,
             probes,
         })
     }
@@ -796,6 +845,48 @@ mod tests {
             matches!(result, Err(DualRailError::SpacerStateMismatch { .. })),
             "got {result:?}"
         );
+    }
+
+    /// Phase rebase pins the sliced-engine timebase onto the scalar
+    /// driver: decoded results, phase-1 latencies and `done` are
+    /// bit-identical to the plain contract driver, while the phase-2
+    /// figures agree up to floating-point association (the spacer
+    /// offset is subtracted before instead of after the maximum).
+    #[test]
+    fn phase_rebase_preserves_contract_measurements() {
+        let mut dr = and_or_circuit();
+        ReducedCompletion::insert(&mut dr).unwrap();
+        let lib = Library::umc_ll();
+        let workload: Vec<Vec<bool>> = (0..8u32)
+            .map(|p| (0..3).map(|i| p & (1 << i) != 0).collect())
+            .collect();
+
+        let mut plain = ProtocolDriver::new(&dr, &lib).unwrap();
+        plain.enable_reset_contract(plain.quiescent_snapshot());
+        let mut rebased = ProtocolDriver::new(&dr, &lib).unwrap();
+        rebased.enable_reset_contract(rebased.quiescent_snapshot());
+        rebased.enable_phase_rebase();
+
+        for operand in &workload {
+            let p = plain.apply_operand(operand).unwrap();
+            let r = rebased.apply_operand(operand).unwrap();
+            assert_eq!(r.outputs, p.outputs);
+            assert_eq!(r.one_of_n, p.one_of_n);
+            assert_eq!(r.probes, p.probes);
+            assert_eq!(r.s_to_v_latency_ps, p.s_to_v_latency_ps);
+            assert_eq!(r.done_latency_ps, p.done_latency_ps);
+            assert!((r.v_to_s_latency_ps - p.v_to_s_latency_ps).abs() < 1e-6);
+            assert!((r.cycle_time_ps - p.cycle_time_ps).abs() < 1e-6);
+            assert!(r.v_to_s_latency_ps > 0.0);
+            // After the cycle the rebased clock reads the spacer phase's
+            // own settle time, a strict part of the full cycle.
+            assert!(rebased.now_ps() > 0.0 && rebased.now_ps() < r.cycle_time_ps);
+        }
+
+        // Rebased cycles stay pure in the operand.
+        let first = rebased.apply_operand(&workload[3]).unwrap();
+        let again = rebased.apply_operand(&workload[3]).unwrap();
+        assert_eq!(first, again);
     }
 
     #[test]

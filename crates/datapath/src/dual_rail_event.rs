@@ -176,6 +176,56 @@ impl<'a> DualRailInference<'a> {
             results: run.results,
         })
     }
+
+    /// Like [`DualRailInference::run_workload`], but 64 operand lanes
+    /// per word on the bit-sliced protocol driver
+    /// ([`dualrail::SlicedProtocolDriver`]).  Outcomes, spacer→valid
+    /// and `done` latencies are bit-identical to
+    /// [`DualRailInference::run_workload`]; the raw `results` report
+    /// valid→spacer and cycle times in the phase-rebased timebase
+    /// ([`dualrail::ProtocolDriver::enable_phase_rebase`]), identical
+    /// up to floating-point association.
+    ///
+    /// # Errors
+    ///
+    /// See [`DualRailInference::run_workload`].
+    pub fn run_workload_sliced(
+        &self,
+        workload: &InferenceWorkload,
+    ) -> Result<DualRailRun, DatapathError> {
+        self.run_features_sliced(workload.masks(), workload.feature_vectors())
+    }
+
+    /// Like [`DualRailInference::run_features`], but on the bit-sliced
+    /// protocol driver; see
+    /// [`DualRailInference::run_workload_sliced`].
+    ///
+    /// # Errors
+    ///
+    /// See [`DualRailInference::run_workload`].
+    pub fn run_features_sliced<V: AsRef<[bool]>>(
+        &self,
+        masks: &tsetlin::ExcludeMasks,
+        feature_vectors: &[V],
+    ) -> Result<DualRailRun, DatapathError> {
+        let operands = feature_vectors
+            .iter()
+            .map(|v| self.datapath.operand_bits(v.as_ref(), masks))
+            .collect::<Result<Vec<_>, _>>()?;
+        let run = self.driver.run_workload_sliced(&operands)?;
+        let outcomes = run
+            .results
+            .iter()
+            .map(|result| self.datapath.decode_outcome(result))
+            .collect::<Result<Vec<_>, _>>()?;
+        let done_latency = run.done_latency();
+        Ok(DualRailRun {
+            outcomes,
+            latency: run.latency,
+            done_latency,
+            results: run.results,
+        })
+    }
 }
 
 #[cfg(test)]
@@ -259,6 +309,47 @@ mod tests {
             .run_workload(&workload)
             .unwrap();
         assert_eq!(run.results, expected);
+    }
+
+    /// The sliced protocol driver reproduces the plain sharded run on
+    /// everything the paper reports — outcomes, spacer→valid and `done`
+    /// latencies bit for bit — while the raw valid→spacer and cycle
+    /// figures agree up to floating-point association (the sliced
+    /// timebase is phase-rebased).  Also pins thread-invariance.
+    #[test]
+    fn sliced_runs_match_plain_runs_on_all_reported_figures() {
+        let config = DatapathConfig::new(4, 2).unwrap();
+        let datapath = DualRailDatapath::generate(&config).unwrap();
+        let library = Library::umc_ll();
+        let workload = InferenceWorkload::random(&config, 9, 0.6, 5).unwrap();
+
+        let plain = DualRailInference::new(&datapath, &library, 1)
+            .unwrap()
+            .run_workload(&workload)
+            .unwrap();
+        let reference = DualRailInference::new(&datapath, &library, 1)
+            .unwrap()
+            .run_workload_sliced(&workload)
+            .unwrap();
+        assert_eq!(reference.outcomes, plain.outcomes);
+        assert_eq!(reference.latency, plain.latency);
+        assert_eq!(reference.done_latency, plain.done_latency);
+        for (s, p) in reference.results.iter().zip(&plain.results) {
+            assert_eq!(s.outputs, p.outputs);
+            assert_eq!(s.probes, p.probes);
+            assert_eq!(s.s_to_v_latency_ps, p.s_to_v_latency_ps);
+            assert_eq!(s.done_latency_ps, p.done_latency_ps);
+            assert!((s.v_to_s_latency_ps - p.v_to_s_latency_ps).abs() < 1e-6);
+            assert!((s.cycle_time_ps - p.cycle_time_ps).abs() < 1e-6);
+        }
+
+        for threads in [2, 7] {
+            let run = DualRailInference::new(&datapath, &library, threads)
+                .unwrap()
+                .run_workload_sliced(&workload)
+                .unwrap();
+            assert_eq!(run, reference, "threads = {threads}");
+        }
     }
 
     #[test]

@@ -155,6 +155,56 @@ impl<'a> EventDrivenInference<'a> {
             .collect::<Result<Vec<_>, _>>()?;
         Ok(EventDrivenRun { outcomes, latency })
     }
+
+    /// Like [`EventDrivenInference::run_workload`], but on the
+    /// bit-sliced event kernel ([`gatesim::SlicedSimulator`]): operands
+    /// are packed 64 to a word, every merged event advances all lanes
+    /// of its word at once, and words are sharded across workers.
+    /// Outcomes and the latency report are bit-identical to
+    /// [`EventDrivenInference::run_workload`] — the sliced kernel
+    /// reproduces the scalar engine per lane exactly.
+    ///
+    /// # Errors
+    ///
+    /// See [`EventDrivenInference::run_workload`].
+    pub fn run_workload_sliced(
+        &self,
+        workload: &InferenceWorkload,
+    ) -> Result<EventDrivenRun, DatapathError> {
+        self.run_features_sliced(workload.masks(), workload.feature_vectors())
+    }
+
+    /// Like [`EventDrivenInference::run_features`], but on the
+    /// bit-sliced event kernel; see
+    /// [`EventDrivenInference::run_workload_sliced`].
+    ///
+    /// # Errors
+    ///
+    /// See [`EventDrivenInference::run_workload`].
+    pub fn run_features_sliced<V: AsRef<[bool]>>(
+        &self,
+        masks: &ExcludeMasks,
+        feature_vectors: &[V],
+    ) -> Result<EventDrivenRun, DatapathError> {
+        check_masks(&self.config, masks)?;
+        for vector in feature_vectors {
+            if vector.as_ref().len() != self.config.features() {
+                return Err(DatapathError::WidthMismatch {
+                    what: "feature vector",
+                    expected: self.config.features(),
+                    got: vector.as_ref().len(),
+                });
+            }
+        }
+        let operands = operand_bit_vectors(&self.config, masks, feature_vectors);
+        let (runs, latency) = self.sim.run_operands_sliced_with_report(&operands);
+        let outcomes = runs
+            .iter()
+            .enumerate()
+            .map(|(k, run)| decode_operand_run(run, k))
+            .collect::<Result<Vec<_>, _>>()?;
+        Ok(EventDrivenRun { outcomes, latency })
+    }
 }
 
 /// Flattens each feature vector with the shared exclude masks into the
@@ -250,6 +300,47 @@ mod tests {
             let run = sim.run_workload(&workload).unwrap();
             assert_eq!(run, reference, "threads = {threads}");
         }
+    }
+
+    /// The sliced kernel reproduces the scalar event engine per lane
+    /// exactly, so the whole run — outcomes and every per-operand
+    /// latency — is bit-identical, at any thread count and across
+    /// partial final words (77 operands = one full word + 13 lanes).
+    #[test]
+    fn sliced_runs_are_bit_identical_to_scalar_runs() {
+        let config = DatapathConfig::new(5, 4).unwrap();
+        let model = BatchGoldenModel::generate(&config).unwrap();
+        let library = Library::umc_ll();
+        let workload = InferenceWorkload::random(&config, 77, 0.7, 9).unwrap();
+
+        let reference = EventDrivenInference::new(&model, &library, 1)
+            .run_workload(&workload)
+            .unwrap();
+        for threads in [1, 2, 7] {
+            let sim = EventDrivenInference::new(&model, &library, threads);
+            let run = sim.run_workload_sliced(&workload).unwrap();
+            assert_eq!(run, reference, "threads = {threads}");
+        }
+    }
+
+    #[test]
+    fn sliced_wrong_width_feature_vectors_are_errors_not_panics() {
+        let config = DatapathConfig::new(3, 2).unwrap();
+        let model = BatchGoldenModel::generate(&config).unwrap();
+        let library = Library::umc_ll();
+        let sim = EventDrivenInference::new(&model, &library, 1);
+        let workload = InferenceWorkload::random(&config, 1, 0.5, 1).unwrap();
+        let short = vec![vec![true, false]];
+        let err = sim
+            .run_features_sliced(workload.masks(), &short)
+            .unwrap_err();
+        assert!(matches!(
+            err,
+            DatapathError::WidthMismatch {
+                what: "feature vector",
+                ..
+            }
+        ));
     }
 
     #[test]

@@ -3,8 +3,8 @@
 //! A [`Backend`] turns one micro-batch of borrowed feature slices into
 //! one [`InferenceOutcome`] per request, in request order.  The trait is
 //! deliberately tiny — the serving runtime owns batching, admission and
-//! telemetry; the backend only computes — and it is implemented for all
-//! four inference engines of the workspace:
+//! telemetry; the backend only computes — and it is implemented for
+//! every inference engine of the workspace:
 //!
 //! | adapter | engine | character |
 //! |---|---|---|
@@ -12,6 +12,8 @@
 //! | [`ParallelBatchBackend`] | [`datapath::ParallelBatchInference`] | 64-lane passes sharded across workers |
 //! | [`EventDrivenBackend`] | [`datapath::EventDrivenInference`] | per-operand event-driven simulation |
 //! | [`DualRailBackend`] | [`datapath::DualRailInference`] | four-phase dual-rail handshakes |
+//! | [`EventSlicedBackend`] | [`datapath::EventDrivenInference`] (sliced) | 64-lane bit-sliced event simulation |
+//! | [`DualRailSlicedBackend`] | [`datapath::DualRailInference`] (sliced) | 64-lane bit-sliced four-phase handshakes |
 //!
 //! The exclude masks (the trained model) bind at adapter construction:
 //! a server serves one model, and requests carry only features.
@@ -216,6 +218,95 @@ impl Backend for DualRailBackend<'_> {
     }
 }
 
+/// Serving adapter over the bit-sliced event-driven engine: a micro
+/// batch is one 64-lane word, so the whole batch settles through a
+/// single return-to-zero cycle of merged events — outcomes
+/// bit-identical to [`EventDrivenBackend`] at a fraction of the cost.
+#[derive(Debug)]
+pub struct EventSlicedBackend<'a> {
+    inner: EventDrivenInference<'a>,
+    masks: ExcludeMasks,
+}
+
+impl<'a> EventSlicedBackend<'a> {
+    /// Compiles the golden model for bit-sliced event-driven serving
+    /// with delays from `library`, words sharded across `threads`
+    /// workers.
+    ///
+    /// # Errors
+    ///
+    /// Propagates mask/model mismatches.
+    pub fn new(
+        model: &'a BatchGoldenModel,
+        library: &Library,
+        masks: ExcludeMasks,
+        threads: usize,
+    ) -> Result<Self, ServeError> {
+        check_masks(model, &masks)?;
+        Ok(Self {
+            inner: EventDrivenInference::new(model, library, threads),
+            masks,
+        })
+    }
+}
+
+impl Backend for EventSlicedBackend<'_> {
+    fn name(&self) -> &'static str {
+        "event_sliced"
+    }
+
+    fn serve(&mut self, features: &[&[bool]]) -> Result<Vec<InferenceOutcome>, ServeError> {
+        Ok(self
+            .inner
+            .run_features_sliced(&self.masks, features)?
+            .outcomes)
+    }
+}
+
+/// Serving adapter over the bit-sliced dual-rail engine: a micro-batch
+/// is one word of four-phase handshake lanes on the paper's actual
+/// datapath — outcomes bit-identical to [`DualRailBackend`].
+#[derive(Debug)]
+pub struct DualRailSlicedBackend<'a> {
+    inner: DualRailInference<'a>,
+    masks: ExcludeMasks,
+}
+
+impl<'a> DualRailSlicedBackend<'a> {
+    /// Compiles the dual-rail datapath for bit-sliced four-phase
+    /// serving with delays from `library`, words sharded across
+    /// `threads` workers under the reset-phase contract.
+    ///
+    /// # Errors
+    ///
+    /// Propagates driver-construction failures (e.g. a circuit that
+    /// fails to settle during initialisation).
+    pub fn new(
+        datapath: &'a DualRailDatapath,
+        library: &Library,
+        masks: ExcludeMasks,
+        threads: usize,
+    ) -> Result<Self, ServeError> {
+        Ok(Self {
+            inner: DualRailInference::new(datapath, library, threads)?,
+            masks,
+        })
+    }
+}
+
+impl Backend for DualRailSlicedBackend<'_> {
+    fn name(&self) -> &'static str {
+        "dualrail_sliced"
+    }
+
+    fn serve(&mut self, features: &[&[bool]]) -> Result<Vec<InferenceOutcome>, ServeError> {
+        Ok(self
+            .inner
+            .run_features_sliced(&self.masks, features)?
+            .outcomes)
+    }
+}
+
 /// Rejects masks that do not match the model configuration at adapter
 /// construction, so a misconfigured server fails before accepting load.
 fn check_masks(model: &BatchGoldenModel, masks: &ExcludeMasks) -> Result<(), ServeError> {
@@ -277,6 +368,27 @@ mod tests {
         let mut dual =
             DualRailBackend::new(&datapath, &library, workload.masks().clone(), 2).unwrap();
         assert_eq!(dual.name(), "dual_rail");
+        assert_eq!(&dual.serve(&features).unwrap(), workload.expected());
+    }
+
+    #[test]
+    fn sliced_adapters_serve_golden_outcomes() {
+        let config = DatapathConfig::new(4, 2).unwrap();
+        let model = BatchGoldenModel::generate(&config).unwrap();
+        let library = Library::umc_ll();
+        let workload = InferenceWorkload::random(&config, 5, 0.6, 9).unwrap();
+        let features: Vec<&[bool]> = workload.samples().map(|s| s.features).collect();
+
+        let mut event =
+            EventSlicedBackend::new(&model, &library, workload.masks().clone(), 2).unwrap();
+        assert_eq!(event.name(), "event_sliced");
+        assert_eq!(event.max_batch(), netlist::LANES);
+        assert_eq!(&event.serve(&features).unwrap(), workload.expected());
+
+        let datapath = DualRailDatapath::generate(&config).unwrap();
+        let mut dual =
+            DualRailSlicedBackend::new(&datapath, &library, workload.masks().clone(), 2).unwrap();
+        assert_eq!(dual.name(), "dualrail_sliced");
         assert_eq!(&dual.serve(&features).unwrap(), workload.expected());
     }
 

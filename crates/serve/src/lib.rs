@@ -22,9 +22,10 @@
 //!   loop instead.
 //! * [`MicroBatcher`] + [`AdmissionPolicy`] — the deterministic batcher
 //!   state machine (see `batcher` module docs).
-//! * [`Backend`] — one trait, four adapters ([`BatchBackend`],
+//! * [`Backend`] — one trait, six adapters ([`BatchBackend`],
 //!   [`ParallelBatchBackend`], [`EventDrivenBackend`],
-//!   [`DualRailBackend`]).
+//!   [`DualRailBackend`], and the bit-sliced [`EventSlicedBackend`]
+//!   and [`DualRailSlicedBackend`]).
 //! * [`Server`] — the virtual-clock event loop; see `server` module
 //!   docs for the determinism contract.  **Every served outcome is
 //!   verified against the workload's golden outcome** before a report
@@ -77,7 +78,8 @@ pub mod telemetry;
 pub mod trace;
 
 pub use backend::{
-    Backend, BatchBackend, DualRailBackend, EventDrivenBackend, ParallelBatchBackend,
+    Backend, BatchBackend, DualRailBackend, DualRailSlicedBackend, EventDrivenBackend,
+    EventSlicedBackend, ParallelBatchBackend,
 };
 pub use batcher::{AdmissionPolicy, MicroBatcher, PendingRequest};
 pub use error::ServeError;

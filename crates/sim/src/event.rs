@@ -20,9 +20,13 @@
 //!    `O(1)` array moves; a zero-delay cascade at the current time never
 //!    touches a heap.
 //! 2. **near-future buckets** — a power-of-two ring of time buckets
-//!    covering a short horizon after the drain timestamp.  Pushes are
-//!    `O(1)` bucket appends; when the drain empties, the whole batch of
-//!    events sharing the next timestamp moves to the drain in one sweep.
+//!    covering a short horizon after the drain timestamp, each a small
+//!    min-heap in `(time, sequence)` order.  Pushes are `O(log n)` in
+//!    the bucket's (shallow) depth; when the drain empties, the batch
+//!    of events sharing the next timestamp pops straight off the head
+//!    bucket — no rescan of the bucket per timestamp, which matters
+//!    when a 64-wide sliced word packs many distinct timestamps into
+//!    one bucket.
 //! 3. **far-future overflow** — a binary heap for the rare event beyond
 //!    the bucket horizon (events are scheduled at most one cell delay
 //!    ahead, so the horizon is sized to cover them all).
@@ -31,6 +35,13 @@
 //! identical to the previous single-heap discipline; the property test in
 //! `tests/property_tests.rs` pins the same-timestamp FIFO invariant under
 //! arbitrary interleaved push/pop sequences.
+//!
+//! The queue is generic over the payload it schedules ([`SimEvent`]):
+//! the scalar engine queues one net change per [`Event`], while the
+//! 64-wide bit-sliced engine ([`crate::SlicedSimulator`]) queues plane
+//! updates carrying a lane mask.  Both share the exact three-tier
+//! discipline, so the sliced engine inherits the property-tested pop
+//! order for free.
 
 use std::cmp::Ordering;
 use std::collections::BinaryHeap;
@@ -38,6 +49,17 @@ use std::collections::BinaryHeap;
 use netlist::NetId;
 
 use crate::Logic;
+
+/// A queue payload: anything with a finite scheduling timestamp.
+///
+/// Implemented by the scalar [`Event`] and by the bit-sliced engine's
+/// internal plane event.  The timestamp fully determines queue order
+/// (ties break by insertion sequence), so payload contents never affect
+/// scheduling.
+pub trait SimEvent: Copy {
+    /// Simulation time at which this event takes effect, in picoseconds.
+    fn time_ps(&self) -> f64;
+}
 
 /// A scheduled net-value change.
 #[derive(Clone, Copy, Debug, PartialEq)]
@@ -50,32 +72,38 @@ pub struct Event {
     pub value: Logic,
 }
 
+impl SimEvent for Event {
+    fn time_ps(&self) -> f64 {
+        self.time_ps
+    }
+}
+
 #[derive(Clone, Copy, Debug)]
-struct QueuedEvent {
-    event: Event,
+struct QueuedEvent<E> {
+    event: E,
     sequence: u64,
 }
 
-impl PartialEq for QueuedEvent {
+impl<E: SimEvent> PartialEq for QueuedEvent<E> {
     fn eq(&self, other: &Self) -> bool {
-        self.event.time_ps == other.event.time_ps && self.sequence == other.sequence
+        self.event.time_ps() == other.event.time_ps() && self.sequence == other.sequence
     }
 }
-impl Eq for QueuedEvent {}
+impl<E: SimEvent> Eq for QueuedEvent<E> {}
 
-impl Ord for QueuedEvent {
+impl<E: SimEvent> Ord for QueuedEvent<E> {
     fn cmp(&self, other: &Self) -> Ordering {
         // BinaryHeap is a max-heap: invert so the earliest time pops first,
         // and for equal times the earliest-scheduled event pops first.
         other
             .event
-            .time_ps
-            .total_cmp(&self.event.time_ps)
+            .time_ps()
+            .total_cmp(&self.event.time_ps())
             .then_with(|| other.sequence.cmp(&self.sequence))
     }
 }
 
-impl PartialOrd for QueuedEvent {
+impl<E: SimEvent> PartialOrd for QueuedEvent<E> {
     fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
         Some(self.cmp(other))
     }
@@ -86,7 +114,8 @@ impl PartialOrd for QueuedEvent {
 /// overflow heap).
 ///
 /// Events pop strictly in `(time_ps, push order)`: earliest timestamp
-/// first, and FIFO among events sharing a timestamp.
+/// first, and FIFO among events sharing a timestamp.  The payload type
+/// defaults to the scalar [`Event`]; any [`SimEvent`] works.
 ///
 /// # Example
 ///
@@ -102,17 +131,22 @@ impl PartialOrd for QueuedEvent {
 /// assert!(q.pop().is_none());
 /// ```
 #[derive(Debug)]
-pub struct EventQueue {
+pub struct EventQueue<E: SimEvent = Event> {
     /// Tier 1: every pending event at the earliest timestamp, FIFO from
     /// `drain_head` (a flat vec beats a ring deque in the hot loop).
-    drain: Vec<QueuedEvent>,
+    drain: Vec<QueuedEvent<E>>,
     drain_head: usize,
     /// Timestamp shared by all drain events (meaningful when non-empty).
     drain_time: f64,
     /// Tier 2: ring of near-future buckets; absolute bucket id `b` maps
     /// to slot `b & bucket_mask`, and live ids span
-    /// `[cur_bucket, cur_bucket + buckets.len())`.
-    buckets: Vec<Vec<QueuedEvent>>,
+    /// `[cur_bucket, cur_bucket + buckets.len())`.  Each bucket is a
+    /// binary min-heap in `(time, sequence)` order (via the inverted
+    /// [`QueuedEvent`] `Ord`): a 64-wide sliced run packs many distinct
+    /// timestamps into one bucket, and a heap serves each timestamp's
+    /// batch in `O(log n)` per event where a flat vec would rescan the
+    /// whole bucket per timestamp.
+    buckets: Vec<BinaryHeap<QueuedEvent<E>>>,
     bucket_mask: usize,
     /// Reciprocal of the bucket width (multiplication beats division in
     /// the push path).
@@ -122,15 +156,15 @@ pub struct EventQueue {
     /// Total events across all buckets.
     near_count: usize,
     /// Tier 3: events beyond the bucket horizon.
-    overflow: BinaryHeap<QueuedEvent>,
+    overflow: BinaryHeap<QueuedEvent<E>>,
     /// Reused buffer for the (rare) backward-rebase path, keeping the
     /// kernel allocation-free in steady state.
-    demote_scratch: Vec<QueuedEvent>,
+    demote_scratch: Vec<QueuedEvent<E>>,
     next_sequence: u64,
     len: usize,
 }
 
-impl Default for EventQueue {
+impl<E: SimEvent> Default for EventQueue<E> {
     fn default() -> Self {
         Self::new()
     }
@@ -145,7 +179,7 @@ const DEFAULT_BUCKET_WIDTH_PS: f64 = 16.0;
 /// everything.
 const DEFAULT_BUCKET_COUNT: usize = 128;
 
-impl EventQueue {
+impl<E: SimEvent> EventQueue<E> {
     /// Creates an empty queue with the default near-future granularity.
     #[must_use]
     pub fn new() -> Self {
@@ -178,7 +212,7 @@ impl EventQueue {
             drain: Vec::new(),
             drain_head: 0,
             drain_time: 0.0,
-            buckets: (0..bucket_count).map(|_| Vec::new()).collect(),
+            buckets: (0..bucket_count).map(|_| BinaryHeap::new()).collect(),
             bucket_mask: bucket_count - 1,
             inv_bucket_width: bucket_width_ps.recip(),
             cur_bucket: 0,
@@ -198,8 +232,8 @@ impl EventQueue {
 
     /// Schedules an event.
     #[inline]
-    pub fn push(&mut self, event: Event) {
-        debug_assert!(!event.time_ps.is_nan(), "event time must not be NaN");
+    pub fn push(&mut self, event: E) {
+        debug_assert!(!event.time_ps().is_nan(), "event time must not be NaN");
         let queued = QueuedEvent {
             event,
             sequence: self.next_sequence,
@@ -207,7 +241,7 @@ impl EventQueue {
         self.next_sequence += 1;
         self.len += 1;
 
-        if event.time_ps == self.drain_time && self.drain_head < self.drain.len() {
+        if event.time_ps() == self.drain_time && self.drain_head < self.drain.len() {
             // Same-timestamp cascade: FIFO append, no heap traffic.
             self.drain.push(queued);
         } else if self.drain_head >= self.drain.len() {
@@ -215,10 +249,10 @@ impl EventQueue {
             debug_assert_eq!(self.len, 1);
             self.drain.clear();
             self.drain_head = 0;
-            self.drain_time = event.time_ps;
-            self.cur_bucket = self.bucket_id(event.time_ps);
+            self.drain_time = event.time_ps();
+            self.cur_bucket = self.bucket_id(event.time_ps());
             self.drain.push(queued);
-        } else if event.time_ps > self.drain_time {
+        } else if event.time_ps() > self.drain_time {
             self.push_near(queued);
         } else {
             self.demote_drain(queued);
@@ -228,8 +262,8 @@ impl EventQueue {
     /// Files a future event (strictly after `drain_time`) into its bucket
     /// or, past the horizon, into the overflow heap.
     #[inline]
-    fn push_near(&mut self, queued: QueuedEvent) {
-        let id = self.bucket_id(queued.event.time_ps);
+    fn push_near(&mut self, queued: QueuedEvent<E>) {
+        let id = self.bucket_id(queued.event.time_ps());
         if id - self.cur_bucket >= self.buckets.len() as i64 {
             self.overflow.push(queued);
         } else {
@@ -241,14 +275,14 @@ impl EventQueue {
     /// Handles a push *earlier* than the current drain timestamp (fresh
     /// stimulus between runs): the window is rebased backward and the
     /// displaced drain batch is refiled as near-future events.
-    fn demote_drain(&mut self, queued: QueuedEvent) {
-        self.rebase_to(self.bucket_id(queued.event.time_ps));
+    fn demote_drain(&mut self, queued: QueuedEvent<E>) {
+        self.rebase_to(self.bucket_id(queued.event.time_ps()));
         let mut displaced = std::mem::take(&mut self.demote_scratch);
         displaced.clear();
         displaced.extend(self.drain.drain(self.drain_head..));
         self.drain.clear();
         self.drain_head = 0;
-        self.drain_time = queued.event.time_ps;
+        self.drain_time = queued.event.time_ps();
         self.drain.push(queued);
         for old in displaced.drain(..) {
             self.push_near(old);
@@ -284,41 +318,37 @@ impl EventQueue {
         self.drain.clear();
         self.drain_head = 0;
 
-        // The near-minimum lives in the first non-empty bucket: later
-        // buckets hold strictly later times.
+        // The near-minimum lives at the head of the first non-empty
+        // bucket: later buckets hold strictly later times, and each
+        // bucket heap keeps its earliest `(time, sequence)` on top.
         let mut near_min = f64::INFINITY;
         if self.near_count > 0 {
             while self.buckets[self.cur_bucket as usize & self.bucket_mask].is_empty() {
                 self.cur_bucket += 1;
             }
-            for queued in &self.buckets[self.cur_bucket as usize & self.bucket_mask] {
-                near_min = near_min.min(queued.event.time_ps);
-            }
+            near_min = self.buckets[self.cur_bucket as usize & self.bucket_mask]
+                .peek()
+                .expect("bucket is non-empty")
+                .event
+                .time_ps();
         }
         let overflow_min = self
             .overflow
             .peek()
-            .map_or(f64::INFINITY, |q| q.event.time_ps);
+            .map_or(f64::INFINITY, |q| q.event.time_ps());
         let target = near_min.min(overflow_min);
         debug_assert!(target.is_finite(), "refill with no pending events");
         self.drain_time = target;
 
-        // Extract every event at the target time straight into the drain,
-        // keeping each source's FIFO (sequence) order.
+        // Extract every event at the target time straight into the
+        // drain — heap pops with equal times come out in sequence
+        // order, so the batch arrives already FIFO.
         if near_min == target {
             let slot = self.cur_bucket as usize & self.bucket_mask;
             let bucket = &mut self.buckets[slot];
-            let mut kept = 0;
-            for i in 0..bucket.len() {
-                let queued = bucket[i];
-                if queued.event.time_ps == target {
-                    self.drain.push(queued);
-                } else {
-                    bucket[kept] = queued;
-                    kept += 1;
-                }
+            while bucket.peek().is_some_and(|q| q.event.time_ps() == target) {
+                self.drain.push(bucket.pop().expect("peeked event exists"));
             }
-            bucket.truncate(kept);
             self.near_count -= self.drain.len();
         }
         if overflow_min == target {
@@ -329,7 +359,7 @@ impl EventQueue {
             while self
                 .overflow
                 .peek()
-                .is_some_and(|q| q.event.time_ps == target)
+                .is_some_and(|q| q.event.time_ps() == target)
             {
                 self.drain
                     .push(self.overflow.pop().expect("peeked event exists"));
@@ -351,7 +381,7 @@ impl EventQueue {
     /// Removes and returns the earliest event (FIFO among events sharing
     /// a timestamp).
     #[inline]
-    pub fn pop(&mut self) -> Option<Event> {
+    pub fn pop(&mut self) -> Option<E> {
         if self.drain_head >= self.drain.len() {
             return None;
         }
@@ -381,14 +411,14 @@ impl EventQueue {
     /// assert_eq!(q.len(), 2); // peeking does not consume
     /// ```
     #[must_use]
-    pub fn peek(&self) -> Option<&Event> {
+    pub fn peek(&self) -> Option<&E> {
         self.drain.get(self.drain_head).map(|q| &q.event)
     }
 
     /// Returns the timestamp of the earliest pending event.
     #[must_use]
     pub fn next_time_ps(&self) -> Option<f64> {
-        self.peek().map(|e| e.time_ps)
+        self.peek().map(SimEvent::time_ps)
     }
 
     /// Number of pending events.
@@ -528,6 +558,29 @@ mod tests {
         assert_eq!(q.pop().unwrap().net.index(), 1);
         assert_eq!(q.pop().unwrap().net.index(), 2);
         assert!(q.pop().is_none());
+    }
+
+    /// A minimal non-`Event` payload: the generic queue must serve any
+    /// [`SimEvent`] with the same `(time, sequence)` discipline.
+    #[test]
+    fn generic_payloads_share_the_pop_order() {
+        #[derive(Clone, Copy, Debug, PartialEq)]
+        struct Tagged {
+            t: f64,
+            tag: u64,
+        }
+        impl SimEvent for Tagged {
+            fn time_ps(&self) -> f64 {
+                self.t
+            }
+        }
+        let mut q: EventQueue<Tagged> = EventQueue::with_granularity(2.0, 4);
+        q.push(Tagged { t: 9.0, tag: 0 });
+        q.push(Tagged { t: 3.0, tag: 1 });
+        q.push(Tagged { t: 9.0, tag: 2 });
+        q.push(Tagged { t: 300.0, tag: 3 });
+        let order: Vec<u64> = std::iter::from_fn(|| q.pop()).map(|e| e.tag).collect();
+        assert_eq!(order, vec![1, 0, 2, 3]);
     }
 
     #[test]

@@ -29,6 +29,13 @@
 //! latency figures ([`LatencyReport`]) — the paper's figure of merit at
 //! bulk-workload scale.
 //!
+//! [`SlicedSimulator`] evaluates the same programs 64 operand lanes at
+//! a time by encoding each net's three-valued state as two `u64`
+//! bitplanes; [`run_word_return_to_zero`] drives a whole word through
+//! one return-to-zero cycle with per-lane outputs, settle times and
+//! event counts bit-identical to the scalar engine (see the
+//! [`sliced`] module).
+//!
 //! # Example
 //!
 //! ```
@@ -59,13 +66,15 @@ pub mod event;
 pub mod monitor;
 pub mod parallel;
 pub mod program;
+pub mod sliced;
 pub mod testbench;
 pub mod value;
 
 pub use engine::{RunOutcome, Simulator};
-pub use event::{Event, EventQueue};
+pub use event::{Event, EventQueue, SimEvent};
 pub use monitor::{LatencyReport, LatencyStats, TransitionLog};
 pub use parallel::{run_return_to_zero, OperandRun, ParallelEventSim, ShardingContract};
 pub use program::EngineProgram;
+pub use sliced::{lane_mask, run_word_return_to_zero, SlicedSimulator};
 pub use testbench::{run_combinational_vectors, run_synchronous_vectors, SyncRunResult};
 pub use value::Logic;

@@ -89,6 +89,7 @@ use netlist::Netlist;
 use crate::engine::{RunOutcome, Simulator};
 use crate::monitor::LatencyReport;
 use crate::program::EngineProgram;
+use crate::sliced::{run_word_return_to_zero_checked, SlicedSimulator};
 use crate::Logic;
 
 /// The settled result of one return-to-zero operand cycle.
@@ -390,6 +391,72 @@ impl<'a> ParallelEventSim<'a> {
         let report = LatencyReport::from_runs(&runs);
         (runs, report)
     }
+
+    /// Shards per-**word** work across this runner's workers: items are
+    /// chunked into words of up to [`netlist::LANES`] entries, each
+    /// worker builds its private state once from a fresh
+    /// [`SlicedSimulator`] over the shared program (`init`), `step`
+    /// processes one whole word at a time (returning one result per
+    /// item, in item order), and the per-word result vectors are
+    /// flattened back **in item order** — the 64-wide analogue of
+    /// [`ParallelEventSim::run_with`], and the hook the sliced
+    /// protocol drivers build on.
+    pub fn run_words_with<T, W, R>(
+        &self,
+        items: &[T],
+        init: impl Fn(SlicedSimulator<'a>) -> W + Sync,
+        step: impl Fn(&mut W, &[T]) -> Vec<R> + Sync,
+    ) -> Vec<R>
+    where
+        T: Sync,
+        R: Send,
+    {
+        let program = &self.program;
+        let per_word = self.executor.map_chunks_with(
+            items,
+            netlist::LANES,
+            || init(SlicedSimulator::from_program(Arc::clone(program))),
+            |worker, _, word| step(worker, word),
+        );
+        per_word.into_iter().flatten().collect()
+    }
+
+    /// Replays every operand through the 64-wide bit-sliced
+    /// return-to-zero cycle ([`crate::run_word_return_to_zero`]),
+    /// sharding disjoint **words** of up to 64 operands across worker
+    /// threads, and returns the per-operand results in operand order —
+    /// outputs, per-operand latencies and event counts bit-identical
+    /// to [`ParallelEventSim::run_operands`] (and therefore to a
+    /// streamed scalar instance), at any thread count, at roughly the
+    /// word width's multiple of its throughput.
+    ///
+    /// # Panics
+    ///
+    /// Panics if an operand has the wrong width or the circuit fails
+    /// to settle (see [`crate::run_word_return_to_zero`]).
+    #[must_use]
+    pub fn run_operands_sliced(&self, operands: &[Vec<bool>]) -> Vec<OperandRun> {
+        let verify = self.contract == ShardingContract::ResetPhase;
+        self.run_words_with(
+            operands,
+            |sim| (sim, None::<Vec<Logic>>),
+            move |(sim, snapshot), word| {
+                run_word_return_to_zero_checked(sim, word, verify.then_some(&mut *snapshot))
+            },
+        )
+    }
+
+    /// Like [`ParallelEventSim::run_operands_sliced`], additionally
+    /// aggregating the per-operand latencies into a [`LatencyReport`].
+    #[must_use]
+    pub fn run_operands_sliced_with_report(
+        &self,
+        operands: &[Vec<bool>],
+    ) -> (Vec<OperandRun>, LatencyReport) {
+        let runs = self.run_operands_sliced(operands);
+        let report = LatencyReport::from_runs(&runs);
+        (runs, report)
+    }
 }
 
 impl LatencyReport {
@@ -548,5 +615,60 @@ mod tests {
         let library = lib();
         let sim = ParallelEventSim::new(&nl, &library, 1);
         let _ = sim.run_operands(&[vec![true; 3]]);
+    }
+
+    #[test]
+    fn sliced_words_match_streamed_reference_at_several_thread_counts() {
+        // 150 operands = two full words + a 22-lane tail, sharded.
+        let nl = xor_chain();
+        let library = lib();
+        let operands: Vec<Vec<bool>> = (0..150u32)
+            .map(|p| {
+                (0..4)
+                    .map(|b| p.wrapping_mul(0x9E37_79B9) & (1 << b) != 0)
+                    .collect()
+            })
+            .collect();
+        let expected = stream(&nl, &library, &operands);
+        for threads in [1, 2, 7] {
+            let sim = ParallelEventSim::new(&nl, &library, threads);
+            let (runs, report) = sim.run_operands_sliced_with_report(&operands);
+            assert_eq!(runs, expected, "threads = {threads}");
+            assert_eq!(report, LatencyReport::from_runs(&expected));
+        }
+    }
+
+    #[test]
+    fn sliced_reset_phase_contract_matches_streamed_reference() {
+        use crate::program::EngineProgram;
+
+        let mut nl = Netlist::new("celem_rtz");
+        let a = nl.add_input("a");
+        let b = nl.add_input("b");
+        let c = nl.add_cell("cel", CellKind::CElement2, &[a, b]).unwrap();
+        let y = nl.add_cell("buf", CellKind::Buf, &[c]).unwrap();
+        nl.add_output("y", y);
+        let library = lib();
+        let operands: Vec<Vec<bool>> = (0..70u32).map(|p| vec![p & 1 != 0, p & 2 != 0]).collect();
+        let expected = stream(&nl, &library, &operands);
+        for threads in [1, 2] {
+            let program = Arc::new(EngineProgram::new(&nl, &library));
+            let sim = ParallelEventSim::assume_reset_phase(program, exec::Executor::new(threads));
+            assert_eq!(
+                sim.run_operands_sliced(&operands),
+                expected,
+                "threads = {threads}"
+            );
+        }
+    }
+
+    #[test]
+    fn sliced_empty_operand_list_yields_empty_results() {
+        let nl = xor_chain();
+        let library = lib();
+        let sim = ParallelEventSim::new(&nl, &library, 2);
+        let (runs, report) = sim.run_operands_sliced_with_report(&[]);
+        assert!(runs.is_empty());
+        assert_eq!(report.count(), 0);
     }
 }

@@ -844,3 +844,147 @@ proptest! {
         }
     }
 }
+
+// ---------------------------------------------------------------------
+// 64-wide bit-sliced three-valued event simulation: every lane of a
+// sliced word ≡ the streamed scalar engine, end to end
+// ---------------------------------------------------------------------
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// Each lane of the bit-sliced kernel reproduces the streamed
+    /// scalar simulator bit for bit on random combinational netlists:
+    /// settled outputs, injection→settle latencies and per-lane event
+    /// counts.  The lane count is drawn from the full 1..=64 range, so
+    /// partial final words (width 1 and width 63 included) are
+    /// exercised, and every word starts from the all-X reset (a fresh
+    /// sliced instance holds every lane Unknown until the first spacer
+    /// settles it).
+    #[test]
+    fn sliced_lanes_match_the_streamed_scalar_simulator(
+        kinds in proptest::collection::vec(0usize..6, 10),
+        stimulus_words in proptest::collection::vec(any::<u64>(), 4),
+        lanes in 1usize..=64,
+    ) {
+        use tm_async::gatesim::{
+            run_return_to_zero, run_word_return_to_zero, Simulator, SlicedSimulator,
+        };
+
+        let gate = |k: usize| match k {
+            0 => CellKind::And2,
+            1 => CellKind::Or2,
+            2 => CellKind::Nand2,
+            3 => CellKind::Nor2,
+            4 => CellKind::Xor2,
+            _ => CellKind::Aoi21,
+        };
+        let mut nl = Netlist::new("random_sliced");
+        let mut pool: Vec<NetId> = (0..4).map(|i| nl.add_input(format!("i{i}"))).collect();
+        for (idx, &k) in kinds.iter().enumerate() {
+            let kind = gate(k);
+            let n = pool.len();
+            let ins: Vec<NetId> = (0..kind.input_count())
+                .map(|p| pool[(idx + p * 3) % n])
+                .collect();
+            let out = nl.add_cell(format!("g{idx}"), kind, &ins).expect("cell");
+            pool.push(out);
+        }
+        nl.add_output("y", *pool.last().expect("nonempty"));
+
+        // Operand `lane` takes input bit i from stimulus word i.
+        let operands: Vec<Vec<bool>> = (0..lanes)
+            .map(|lane| stimulus_words.iter().map(|w| w >> lane & 1 != 0).collect())
+            .collect();
+
+        let library = Library::umc_ll();
+        let mut scalar = Simulator::new(&nl, &library);
+        let expected: Vec<_> = operands
+            .iter()
+            .map(|operand| run_return_to_zero(&mut scalar, operand))
+            .collect();
+
+        let mut sliced = SlicedSimulator::new(&nl, &library);
+        let runs = run_word_return_to_zero(&mut sliced, &operands);
+        prop_assert_eq!(&runs, &expected, "lanes {}", lanes);
+    }
+}
+
+proptest! {
+    // The engines below simulate at gate level, so keep case and
+    // operand counts small.
+    #![proptest_config(ProptestConfig::with_cases(4))]
+
+    /// The bit-sliced event-driven inference engine is bit-identical to
+    /// the streamed scalar engine on arbitrary workloads — the whole
+    /// run (outcomes, per-operand latency distribution, event totals),
+    /// not just outcomes — at thread counts {1, 2, 7}.  Operand counts
+    /// above 64 exercise multi-word sharding with a partial final word.
+    #[test]
+    fn sliced_event_engine_matches_scalar_on_random_workloads(
+        seed in 0u64..10_000,
+        operands in 1usize..100,
+    ) {
+        use tm_async::datapath::{BatchGoldenModel, EventDrivenInference, InferenceWorkload};
+
+        let config = DatapathConfig::new(4, 2).expect("valid");
+        let workload = InferenceWorkload::random(&config, operands, 0.7, seed).expect("workload");
+        let model = BatchGoldenModel::generate(&config).expect("generation");
+        let library = Library::umc_ll();
+
+        let reference = EventDrivenInference::new(&model, &library, 1)
+            .run_workload(&workload)
+            .expect("scalar event-driven run");
+        prop_assert_eq!(reference.outcomes.as_slice(), workload.expected());
+
+        for threads in [1usize, 2, 7] {
+            let engine = EventDrivenInference::new(&model, &library, threads);
+            let run = engine
+                .run_workload_sliced(&workload)
+                .expect("sliced event-driven run");
+            prop_assert_eq!(&run, &reference, "threads {}", threads);
+        }
+    }
+
+    /// The bit-sliced dual-rail driver reproduces the streamed contract
+    /// driver's golden outcomes and its exact per-operand spacer→valid
+    /// and `done` latencies on arbitrary workloads, and the full run is
+    /// invariant across thread counts {1, 2, 7}.  (The sliced timebase
+    /// is phase-rebased, so `valid→spacer` and cycle-time figures may
+    /// differ from the plain streamed driver in the last ULPs — the
+    /// dedicated unit tests bound that drift; everything asserted here
+    /// is bit-exact.)
+    #[test]
+    fn sliced_dual_rail_matches_the_streamed_contract_driver(
+        seed in 0u64..10_000,
+        operands in 1usize..10,
+    ) {
+        use tm_async::datapath::{DualRailInference, InferenceWorkload};
+
+        let config = DatapathConfig::new(3, 2).expect("valid");
+        let workload = InferenceWorkload::random(&config, operands, 0.6, seed).expect("workload");
+        let datapath = DualRailDatapath::generate(&config).expect("generation");
+        let library = Library::umc_ll();
+
+        let scalar = DualRailInference::new(&datapath, &library, 1)
+            .expect("driver")
+            .run_workload(&workload)
+            .expect("scalar dual-rail run");
+        prop_assert_eq!(scalar.outcomes.as_slice(), workload.expected());
+
+        let mut reference = None;
+        for threads in [1usize, 2, 7] {
+            let engine = DualRailInference::new(&datapath, &library, threads).expect("driver");
+            let run = engine
+                .run_workload_sliced(&workload)
+                .expect("sliced dual-rail run");
+            prop_assert_eq!(run.outcomes.as_slice(), workload.expected());
+            prop_assert_eq!(&run.latency, &scalar.latency, "threads {}", threads);
+            prop_assert_eq!(&run.done_latency, &scalar.done_latency, "threads {}", threads);
+            match &reference {
+                None => reference = Some(run),
+                Some(expected) => prop_assert_eq!(&run, expected, "threads {}", threads),
+            }
+        }
+    }
+}
