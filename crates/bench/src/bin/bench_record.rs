@@ -39,8 +39,18 @@ fn main() {
     print!("{}", serving.render());
 
     if let Some(path) = json_path {
+        // Run metadata so a recorded comparison is reproducible: the
+        // bit-sliced lane width, the host parallelism the sharded rows
+        // scaled across, and the simulator's per-phase event watchdog.
+        let meta = format!(
+            "{{\"lanes\": {}, \"available_threads\": {}, \"event_limit\": {}}}",
+            netlist::LANES,
+            std::thread::available_parallelism().map_or(1, std::num::NonZero::get),
+            gatesim::Simulator::DEFAULT_EVENT_LIMIT,
+        );
         let combined = format!(
-            "{{\n\"throughput\": {},\n\"serve_sweep\": {}\n}}\n",
+            "{{\n\"meta\": {},\n\"throughput\": {},\n\"serve_sweep\": {}\n}}\n",
+            meta,
             throughput.to_json().trim_end(),
             serving.to_json().trim_end(),
         );

@@ -1,0 +1,73 @@
+//! CI gate for the fault-injection machinery: a small deterministic
+//! campaign that must terminate, classify every operand, and show the
+//! dual-rail engines detecting (not silently absorbing) at least one
+//! injected fault.  Asserts, then prints one summary line — a failed
+//! assertion fails the CI step.
+//!
+//! Usage: `cargo run -p tm-async-bench --release --bin fault_smoke`
+
+use tm_async_bench::faults::{self, ENGINES};
+
+fn main() {
+    let operands = 6;
+    let sites = 3;
+    let report = faults::run(operands, sites, 2, 2021);
+
+    // Every (engine, fault) cell terminated and accounted for every
+    // operand — the watchdog guarantee.
+    assert!(!report.rows.is_empty(), "campaign swept no faults");
+    for row in &report.rows {
+        let total =
+            row.counts.masked + row.counts.detected + row.counts.timeout + row.counts.silent;
+        assert_eq!(
+            total, operands,
+            "{} {} net {}: lost operands",
+            row.engine, row.kind, row.net
+        );
+    }
+
+    // Determinism: the campaign is a pure function of its inputs.
+    let again = faults::run(operands, sites, 2, 2021);
+    assert_eq!(again, report, "campaign must be deterministic");
+
+    // Every engine has a coverage row and a sane coverage value.
+    for engine in ENGINES {
+        let cov = report.engine_coverage(engine).expect("coverage row");
+        assert!(
+            (0.0..=1.0).contains(&cov.detection_coverage),
+            "{engine}: coverage out of range"
+        );
+    }
+
+    // The campaign must actually corrupt something somewhere (otherwise
+    // it gates nothing), and the dual-rail engines must catch at least
+    // one fault through a typed detection (illegal codeword, protocol
+    // violation or watchdog).
+    let dual = report
+        .engine_coverage("dualrail_scalar")
+        .expect("coverage row");
+    assert!(
+        dual.totals.detected + dual.totals.timeout > 0,
+        "dual-rail caught no injected fault at all"
+    );
+
+    // Fault-free accuracy is 100% on every engine (the k = 0 rows).
+    for row in report.accuracy.iter().filter(|r| r.stuck_faults == 0) {
+        assert_eq!(
+            row.accuracy, 1.0,
+            "{}: fault-free run must be fully correct",
+            row.engine
+        );
+    }
+
+    println!(
+        "fault_smoke OK: {} cells, dual-rail coverage {:.1}%, single-rail coverage {:.1}%",
+        report.rows.len(),
+        dual.detection_coverage * 100.0,
+        report
+            .engine_coverage("event_scalar")
+            .expect("coverage row")
+            .detection_coverage
+            * 100.0
+    );
+}

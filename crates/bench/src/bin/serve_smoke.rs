@@ -57,6 +57,7 @@ fn main() {
             batch_ns: 500,
             per_request_ns: 100,
         },
+        deadline_ns: None,
     };
     let trace = Trace::poisson(requests, 1e6, 2021);
 

@@ -9,6 +9,7 @@
 //! | E4 | Ablations: reduced vs full completion detection, input latches | [`ablation`] | `cargo run -p tm-async-bench --release --bin ablation` |
 //! | E5 | Bulk-inference throughput: scalar vs 64-wide batch vs event-driven | [`throughput`] | `cargo run -p tm-async-bench --release --bin throughput` |
 //! | E6 | Serving saturation sweep: offered vs achieved QPS, queueing/service tails, shed counts | [`serving`] | `cargo run -p tm-async-bench --release --bin serve_sweep` |
+//! | E7 | Fault-injection campaign: stuck-at/SEU/delay × engine, detection coverage, accuracy under fault | [`faults`] | `cargo run -p tm-async-bench --release --bin fault_campaign` |
 //!
 //! Absolute numbers will not match the paper (the substrate is a
 //! calibrated simulator, not the authors' Synopsys flow on proprietary
@@ -43,6 +44,7 @@
 
 pub mod ablation;
 pub mod distributions;
+pub mod faults;
 pub mod fig3;
 pub mod serving;
 pub mod table1;

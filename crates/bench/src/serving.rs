@@ -159,6 +159,7 @@ pub fn sweep_config() -> ServeConfig {
         max_batch: 64,
         max_wait_ns: 50_000,
         service_model: ServiceModel::Measured,
+        deadline_ns: None,
     }
 }
 

@@ -26,6 +26,17 @@ pub enum DualRailError {
         /// Human-readable description of the violation.
         description: String,
     },
+    /// An output reached the forbidden dual-rail state (both rails
+    /// active) or an over-populated 1-of-n code — the codeword the
+    /// encoding reserves as *impossible* in a healthy circuit, and
+    /// therefore the self-checking design's signature of a gate-level
+    /// fault (stuck-at or SEU) rather than of data.
+    IllegalCodeword {
+        /// Name of the offending output signal or 1-of-n group.
+        output: String,
+        /// Human-readable description of the observed codeword.
+        description: String,
+    },
     /// The netlist has no dual-rail outputs, so completion detection has
     /// nothing to observe.
     NoOutputs,
@@ -63,6 +74,17 @@ impl fmt::Display for DualRailError {
             }
             DualRailError::ProtocolViolation { description } => {
                 write!(f, "dual-rail protocol violation: {description}")
+            }
+            DualRailError::IllegalCodeword {
+                output,
+                description,
+            } => {
+                write!(
+                    f,
+                    "illegal codeword on output {output:?}: {description} \
+                     (both-rails-active states cannot arise in a healthy circuit — \
+                     this is the dual-rail encoding detecting a gate-level fault)"
+                )
             }
             DualRailError::NoOutputs => {
                 write!(f, "the dual-rail netlist has no outputs to observe")

@@ -39,7 +39,7 @@
 use std::sync::Arc;
 
 use celllib::Library;
-use gatesim::{EngineProgram, LatencyStats, Logic, Simulator};
+use gatesim::{EngineProgram, FaultPlan, LatencyStats, Logic, Simulator};
 use netlist::NetId;
 use sta::GracePeriod;
 
@@ -258,6 +258,44 @@ impl<'a> ProtocolDriver<'a> {
         self.sim.set_event_limit(limit);
     }
 
+    /// Bounds each settle phase by **simulated time** as well: events
+    /// past `horizon_ps` (per rebased time frame) are left unprocessed
+    /// and the phase reports divergence — the watchdog that keeps a
+    /// faulted handshake from spinning the event loop until the (much
+    /// larger) event limit.  See
+    /// [`gatesim::Simulator::set_time_horizon_ps`].
+    pub fn set_time_horizon_ps(&mut self, horizon_ps: f64) {
+        self.sim.set_time_horizon_ps(horizon_ps);
+    }
+
+    /// Installs a gate-level [`FaultPlan`] (stuck-at, SEU, delay
+    /// perturbation) on this driver's private simulator instance — the
+    /// shared engine compilation is untouched — and re-settles the
+    /// circuit so the faulted quiescent state is established before the
+    /// next operand.
+    ///
+    /// If the reset-phase contract is enabled, its quiescent snapshot
+    /// is re-captured from the *faulted* settled state: a stuck-at
+    /// fault legitimately changes the quiescent state, and verifying
+    /// against the pre-fault snapshot would misreport every cycle as a
+    /// contract violation instead of letting the protocol checks
+    /// classify the fault.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`DualRailError::SimulationDiverged`] if the faulted
+    /// circuit cannot reach quiescence within the watchdog bounds.
+    pub fn set_fault_plan(&mut self, plan: &FaultPlan) -> Result<(), DualRailError> {
+        self.sim.set_fault_plan(plan);
+        if !self.sim.run_until_quiescent().is_quiescent() {
+            return Err(DualRailError::SimulationDiverged);
+        }
+        if self.reset_contract.is_some() {
+            self.reset_contract = Some(self.quiescent_snapshot());
+        }
+        Ok(())
+    }
+
     /// The statically computed grace period, if timing analysis
     /// succeeded.
     #[must_use]
@@ -330,6 +368,13 @@ impl<'a> ProtocolDriver<'a> {
             );
             match value {
                 DualRailValue::Valid(bit) => outputs.push(bit),
+                DualRailValue::Forbidden => {
+                    return Err(DualRailError::IllegalCodeword {
+                        output: name.clone(),
+                        description: "both rails are active when a valid codeword was expected"
+                            .to_string(),
+                    })
+                }
                 other => {
                     return Err(DualRailError::ProtocolViolation {
                         description: format!(
@@ -344,6 +389,14 @@ impl<'a> ProtocolDriver<'a> {
             let values: Vec<Logic> = wires.iter().map(|&w| self.sim.value(w)).collect();
             match OneOfNValue::decode(&values) {
                 OneOfNValue::Valid(index) => groups.push((name.clone(), index)),
+                OneOfNValue::Forbidden => {
+                    return Err(DualRailError::IllegalCodeword {
+                        output: name.clone(),
+                        description:
+                            "more than one 1-of-n wire is active when a valid codeword was expected"
+                                .to_string(),
+                    })
+                }
                 other => {
                     return Err(DualRailError::ProtocolViolation {
                         description: format!(
@@ -363,6 +416,12 @@ impl<'a> ProtocolDriver<'a> {
                 self.sim.value(signal.negative),
                 signal.polarity,
             );
+            if value == DualRailValue::Forbidden {
+                return Err(DualRailError::IllegalCodeword {
+                    output: name.clone(),
+                    description: "both rails are active after the spacer phase".to_string(),
+                });
+            }
             if value != DualRailValue::Spacer {
                 return Err(DualRailError::ProtocolViolation {
                     description: format!("output {name:?} is {value:?} after the spacer phase"),
@@ -896,6 +955,85 @@ mod tests {
         let driver = ProtocolDriver::new(&dr, &lib).unwrap();
         let grace = driver.grace_period().expect("grace period computed");
         assert!(grace.t_io_ps() > 0.0);
+    }
+
+    /// The robustness story's core claim, scalar driver: a stuck-at on
+    /// the completion tree is *detected by design*.  `done` stuck low
+    /// breaks the rising handshake, `done` stuck high breaks the
+    /// return-to-zero — both surface as typed protocol violations, never
+    /// a hang or a silently wrong answer.
+    #[test]
+    fn stuck_at_on_the_completion_tree_is_detected_not_silent() {
+        let mut dr = and_or_circuit();
+        ReducedCompletion::insert(&mut dr).unwrap();
+        let done = dr.done().expect("completion inserted");
+        let lib = Library::umc_ll();
+
+        let mut driver = ProtocolDriver::new(&dr, &lib).unwrap();
+        driver.set_time_horizon_ps(1.0e6);
+        driver
+            .set_fault_plan(&FaultPlan::new().stuck_at(done, false))
+            .unwrap();
+        match driver.apply_operand(&[true, true, true]) {
+            Err(DualRailError::ProtocolViolation { description }) => {
+                assert!(description.contains("done failed to rise"), "{description}");
+            }
+            other => panic!("stuck-at-0 on done must be detected, got {other:?}"),
+        }
+
+        let mut driver = ProtocolDriver::new(&dr, &lib).unwrap();
+        driver.set_time_horizon_ps(1.0e6);
+        driver
+            .set_fault_plan(&FaultPlan::new().stuck_at(done, true))
+            .unwrap();
+        match driver.apply_operand(&[true, true, true]) {
+            Err(DualRailError::ProtocolViolation { description }) => {
+                assert!(description.contains("done failed to fall"), "{description}");
+            }
+            other => panic!("stuck-at-1 on done must be detected, got {other:?}"),
+        }
+    }
+
+    /// A stuck-at-1 on one completion-tree *input* — an output rail the
+    /// reduced scheme observes — forges the forbidden both-rails-high
+    /// codeword: the typed [`DualRailError::IllegalCodeword`] detection.
+    #[test]
+    fn stuck_at_on_an_observed_rail_raises_illegal_codeword() {
+        let mut dr = and_or_circuit();
+        ReducedCompletion::insert(&mut dr).unwrap();
+        let negative_rail = dr.dual_outputs()[0].1.negative;
+        let lib = Library::umc_ll();
+
+        let mut driver = ProtocolDriver::new(&dr, &lib).unwrap();
+        driver.set_time_horizon_ps(1.0e6);
+        driver
+            .set_fault_plan(&FaultPlan::new().stuck_at(negative_rail, true))
+            .unwrap();
+        // y computes 1, so the positive rail joins the stuck negative
+        // rail: both high, the forbidden codeword.
+        match driver.apply_operand(&[true, true, true]) {
+            Err(DualRailError::IllegalCodeword { output, .. }) => assert_eq!(output, "y"),
+            other => panic!("a forged codeword must be detected, got {other:?}"),
+        }
+    }
+
+    /// The watchdog contract: a horizon too tight for even one phase
+    /// turns a would-be spin into a typed
+    /// [`DualRailError::SimulationDiverged`] — apply_operand always
+    /// returns.
+    #[test]
+    fn watchdog_horizon_bounds_a_faulted_settle() {
+        let mut dr = and_or_circuit();
+        ReducedCompletion::insert(&mut dr).unwrap();
+        let lib = Library::umc_ll();
+        let mut driver = ProtocolDriver::new(&dr, &lib).unwrap();
+        // The construction settle already ran; every post-horizon event
+        // of the next cycle now trips the watchdog.
+        driver.set_time_horizon_ps(driver.now_ps().max(0.5));
+        assert!(matches!(
+            driver.apply_operand(&[true, true, true]),
+            Err(DualRailError::SimulationDiverged)
+        ));
     }
 
     #[test]

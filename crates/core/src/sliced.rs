@@ -134,6 +134,38 @@ impl<'a> SlicedProtocolDriver<'a> {
         self.sim.set_event_limit(limit);
     }
 
+    /// Bounds each settle phase by **simulated time** as well (see
+    /// [`gatesim::SlicedSimulator::set_time_horizon_ps`]) — the
+    /// watchdog that keeps a faulted word from spinning the merged
+    /// event loop until the (much larger) event limit.
+    pub fn set_time_horizon_ps(&mut self, horizon_ps: f64) {
+        self.sim.set_time_horizon_ps(horizon_ps);
+    }
+
+    /// Installs a gate-level [`gatesim::FaultPlan`] on this word
+    /// driver's private sliced instance (every lane sees the same
+    /// faults — the overlay clamps whole bit-planes), re-settles the
+    /// circuit under the faults and re-captures the quiescent snapshot
+    /// from the **faulted** settled state, so the mandatory reset-phase
+    /// verification measures history-dependence rather than the fault
+    /// itself.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`DualRailError::SimulationDiverged`] if the faulted
+    /// circuit cannot reach quiescence within the watchdog bounds.
+    pub fn set_fault_plan(&mut self, plan: &gatesim::FaultPlan) -> Result<(), DualRailError> {
+        self.sim.set_fault_plan(plan);
+        if !self.sim.run_until_quiescent().is_quiescent() {
+            return Err(DualRailError::SimulationDiverged);
+        }
+        let nets = self.circuit.netlist().net_count();
+        self.snapshot = (0..nets)
+            .map(|n| self.sim.value(NetId::from_index(n), 0))
+            .collect();
+        Ok(())
+    }
+
     fn drive_spacer_planes(&mut self) {
         if let Some(req) = self.req {
             self.sim.set_input_planes(req, 0, 0, FULL);
@@ -191,6 +223,13 @@ impl<'a> SlicedProtocolDriver<'a> {
             );
             match value {
                 DualRailValue::Valid(bit) => outputs.push(bit),
+                DualRailValue::Forbidden => {
+                    return Err(DualRailError::IllegalCodeword {
+                        output: name.clone(),
+                        description: "both rails are active when a valid codeword was expected"
+                            .to_string(),
+                    })
+                }
                 other => {
                     return Err(DualRailError::ProtocolViolation {
                         description: format!(
@@ -205,6 +244,14 @@ impl<'a> SlicedProtocolDriver<'a> {
             let values: Vec<Logic> = wires.iter().map(|&w| self.sim.value(w, lane)).collect();
             match OneOfNValue::decode(&values) {
                 OneOfNValue::Valid(index) => groups.push((name.clone(), index)),
+                OneOfNValue::Forbidden => {
+                    return Err(DualRailError::IllegalCodeword {
+                        output: name.clone(),
+                        description:
+                            "more than one 1-of-n wire is active when a valid codeword was expected"
+                                .to_string(),
+                    })
+                }
                 other => {
                     return Err(DualRailError::ProtocolViolation {
                         description: format!(
@@ -224,6 +271,12 @@ impl<'a> SlicedProtocolDriver<'a> {
                 self.sim.value(signal.negative, lane),
                 signal.polarity,
             );
+            if value == DualRailValue::Forbidden {
+                return Err(DualRailError::IllegalCodeword {
+                    output: name.clone(),
+                    description: "both rails are active after the spacer phase".to_string(),
+                });
+            }
             if value != DualRailValue::Spacer {
                 return Err(DualRailError::ProtocolViolation {
                     description: format!("output {name:?} is {value:?} after the spacer phase"),
@@ -769,5 +822,60 @@ mod tests {
         let run = driver.run_workload_sliced(&[]).unwrap();
         assert!(run.results.is_empty());
         assert_eq!(run.latency.count(), 0);
+    }
+
+    /// The robustness story's core claim, 64-wide driver: a stuck-at on
+    /// the completion tree is detected in *every lane* as a typed error
+    /// — `done` stuck low breaks the word's rising handshake, and a
+    /// forged output rail raises an illegal codeword in the lanes whose
+    /// operand makes the forbidden both-rails-high state reachable.
+    /// Never a hang, never a silently wrong answer.
+    #[test]
+    fn stuck_at_on_the_completion_tree_is_detected_in_every_lane() {
+        let dr = and_or_circuit();
+        let done = dr.done().expect("completion inserted");
+        let lib = Library::umc_ll();
+
+        let mut driver = word_driver(&dr, &lib);
+        driver.set_time_horizon_ps(1.0e6);
+        driver
+            .set_fault_plan(&gatesim::FaultPlan::new().stuck_at(done, false))
+            .unwrap();
+        let results = driver.apply_word(&workload(3, 5));
+        assert_eq!(results.len(), 5);
+        for (lane, result) in results.iter().enumerate() {
+            assert!(
+                matches!(
+                    result,
+                    Err(DualRailError::ProtocolViolation { .. }
+                        | DualRailError::IllegalCodeword { .. }
+                        | DualRailError::SimulationDiverged)
+                ),
+                "lane {lane}: stuck-at-0 on done must be detected, got {result:?}"
+            );
+        }
+
+        // A forged observed rail: lanes computing y = 1 see the
+        // forbidden codeword; every other lane still fails the spacer
+        // phase (the stuck rail never returns to zero).
+        let negative_rail = dr.dual_outputs()[0].1.negative;
+        let mut driver = word_driver(&dr, &lib);
+        driver.set_time_horizon_ps(1.0e6);
+        driver
+            .set_fault_plan(&gatesim::FaultPlan::new().stuck_at(negative_rail, true))
+            .unwrap();
+        // Operand 3 = [t, t, f] computes y = 1; operand 0 computes 0.
+        let results = driver.apply_word(&workload(3, 4));
+        assert!(
+            matches!(&results[3], Err(DualRailError::IllegalCodeword { output, .. }) if output == "y"),
+            "forged rail with y = 1 must decode as illegal, got {:?}",
+            results[3]
+        );
+        for (lane, result) in results.iter().enumerate() {
+            assert!(
+                result.is_err(),
+                "lane {lane}: the forged rail must never pass silently, got {result:?}"
+            );
+        }
     }
 }

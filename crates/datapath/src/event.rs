@@ -210,7 +210,12 @@ impl<'a> EventDrivenInference<'a> {
 /// Flattens each feature vector with the shared exclude masks into the
 /// golden model's primary-input order (features, then the positive bank,
 /// then the negative bank).
-fn operand_bit_vectors<V: AsRef<[bool]>>(
+///
+/// Public so that harnesses driving the event engines directly (e.g.
+/// the fault-injection campaign, which installs a
+/// [`gatesim::FaultPlan`] before running) can produce the exact operand
+/// encoding [`EventDrivenInference`] uses.
+pub fn operand_bit_vectors<V: AsRef<[bool]>>(
     config: &DatapathConfig,
     masks: &ExcludeMasks,
     feature_vectors: &[V],
@@ -235,7 +240,16 @@ fn operand_bit_vectors<V: AsRef<[bool]>>(
 /// Decodes one settled operand run (primary outputs `less`, `equal`,
 /// `greater`, then the two 4-bit vote counts, LSB first) into an
 /// [`InferenceOutcome`].
-fn decode_operand_run(run: &OperandRun, operand: usize) -> Result<InferenceOutcome, DatapathError> {
+///
+/// Any X output and any non-one-hot comparator pattern is a
+/// [`DatapathError::DecodeFailure`] — on a healthy circuit neither can
+/// occur, so a decode failure on a faulted run counts as the datapath
+/// *detecting* the fault.  Public for harnesses that run the event
+/// engines directly (e.g. the fault-injection campaign).
+pub fn decode_operand_run(
+    run: &OperandRun,
+    operand: usize,
+) -> Result<InferenceOutcome, DatapathError> {
     let bit = |value: Logic, what: &str| -> Result<bool, DatapathError> {
         value.to_option().ok_or_else(|| {
             DatapathError::DecodeFailure(format!("operand {operand}: {what} settled to X"))

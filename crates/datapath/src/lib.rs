@@ -86,7 +86,7 @@ pub use builder::{CompletionScheme, DatapathOptions, DualRailDatapath};
 pub use config::DatapathConfig;
 pub use dual_rail_event::{DualRailInference, DualRailRun};
 pub use error::DatapathError;
-pub use event::{EventDrivenInference, EventDrivenRun};
+pub use event::{decode_operand_run, operand_bit_vectors, EventDrivenInference, EventDrivenRun};
 pub use parallel::ParallelBatchInference;
 pub use reference::{ComparatorDecision, InferenceOutcome};
 pub use single_rail::SingleRailDatapath;

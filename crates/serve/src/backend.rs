@@ -32,6 +32,7 @@ use datapath::{
 use tsetlin::ExcludeMasks;
 
 use crate::error::ServeError;
+use crate::telemetry::BackendFaultStats;
 
 /// A pluggable inference engine serving one micro-batch at a time.
 pub trait Backend {
@@ -52,6 +53,14 @@ pub trait Backend {
     /// Propagates engine failures (width mismatches, decode failures,
     /// protocol violations).
     fn serve(&mut self, features: &[&[bool]]) -> Result<Vec<InferenceOutcome>, ServeError>;
+
+    /// Fault-handling counters, for self-healing wrappers such as
+    /// [`CircuitBreaker`].  Plain backends return `None`; the server
+    /// copies whatever this returns into
+    /// [`crate::ServeReport::backend_faults`] after the session drains.
+    fn fault_stats(&self) -> Option<BackendFaultStats> {
+        None
+    }
 }
 
 impl<T: Backend + ?Sized> Backend for Box<T> {
@@ -65,6 +74,10 @@ impl<T: Backend + ?Sized> Backend for Box<T> {
 
     fn serve(&mut self, features: &[&[bool]]) -> Result<Vec<InferenceOutcome>, ServeError> {
         (**self).serve(features)
+    }
+
+    fn fault_stats(&self) -> Option<BackendFaultStats> {
+        (**self).fault_stats()
     }
 }
 
@@ -307,6 +320,163 @@ impl Backend for DualRailSlicedBackend<'_> {
     }
 }
 
+/// A self-healing backend wrapper: retries a failing primary, and after
+/// `failure_threshold` consecutive failed batches demotes it
+/// permanently ("opens the breaker") in favour of a golden fallback
+/// backend.
+///
+/// Semantics per micro-batch:
+///
+/// 1. While the breaker is closed, the primary gets the batch, plus up
+///    to `max_retries` immediate retries on failure (the simulators are
+///    deterministic, but a faulted engine can recover between cycles —
+///    e.g. an SEU pulse that expires — so retrying is not futile).
+/// 2. If all attempts fail, the **fallback answers the batch** — no
+///    request is ever lost to a primary fault — and the
+///    consecutive-failure counter increments.
+/// 3. At `failure_threshold` consecutive failed batches the breaker
+///    opens: the primary is demoted for the rest of the session and
+///    every later batch goes straight to the fallback.  A successful
+///    primary batch resets the counter.
+///
+/// The fallback is typically the always-correct [`BatchBackend`] golden
+/// engine, so the server's per-request golden verification still passes
+/// for failed-over traffic.  Counters are reported through
+/// [`Backend::fault_stats`] into [`crate::ServeReport::backend_faults`].
+#[derive(Debug)]
+pub struct CircuitBreaker<P, F> {
+    primary: P,
+    fallback: F,
+    failure_threshold: usize,
+    max_retries: usize,
+    consecutive_failures: usize,
+    open: bool,
+    stats: BackendFaultStats,
+}
+
+impl<P: Backend, F: Backend> CircuitBreaker<P, F> {
+    /// Wraps `primary` with a breaker that opens after
+    /// `failure_threshold` consecutive failed batches (clamped to at
+    /// least 1), allowing `max_retries` immediate retries per batch.
+    pub fn new(primary: P, fallback: F, failure_threshold: usize, max_retries: usize) -> Self {
+        Self {
+            primary,
+            fallback,
+            failure_threshold: failure_threshold.max(1),
+            max_retries,
+            consecutive_failures: 0,
+            open: false,
+            stats: BackendFaultStats::default(),
+        }
+    }
+
+    /// Whether the breaker has opened (primary demoted for the rest of
+    /// the session).
+    #[must_use]
+    pub fn is_open(&self) -> bool {
+        self.open
+    }
+
+    /// The counters accumulated so far.
+    #[must_use]
+    pub fn stats(&self) -> BackendFaultStats {
+        self.stats
+    }
+
+    fn serve_fallback(
+        &mut self,
+        features: &[&[bool]],
+    ) -> Result<Vec<InferenceOutcome>, ServeError> {
+        self.stats.fallback_batches += 1;
+        self.stats.fallback_requests += features.len() as u64;
+        self.fallback.serve(features)
+    }
+}
+
+impl<P: Backend, F: Backend> Backend for CircuitBreaker<P, F> {
+    fn name(&self) -> &'static str {
+        "circuit_breaker"
+    }
+
+    fn max_batch(&self) -> usize {
+        self.primary.max_batch().min(self.fallback.max_batch())
+    }
+
+    fn serve(&mut self, features: &[&[bool]]) -> Result<Vec<InferenceOutcome>, ServeError> {
+        if self.open {
+            return self.serve_fallback(features);
+        }
+        for attempt in 0..=self.max_retries {
+            if attempt > 0 {
+                self.stats.retries += 1;
+            }
+            match self.primary.serve(features) {
+                Ok(outcomes) => {
+                    self.consecutive_failures = 0;
+                    return Ok(outcomes);
+                }
+                Err(_) => self.stats.primary_errors += 1,
+            }
+        }
+        self.consecutive_failures += 1;
+        if self.consecutive_failures >= self.failure_threshold {
+            self.open = true;
+            self.stats.breaker_open = true;
+        }
+        self.serve_fallback(features)
+    }
+
+    fn fault_stats(&self) -> Option<BackendFaultStats> {
+        Some(self.stats)
+    }
+}
+
+/// A deterministic fault-injection wrapper: fails its first
+/// `failing_calls` serve calls with a backend error, then delegates to
+/// the wrapped backend.  Built for exercising [`CircuitBreaker`] and the
+/// fault campaign — the error is typed as a [`datapath::DatapathError`]
+/// decode failure, the same class a genuinely faulted engine raises.
+#[derive(Debug)]
+pub struct FlakyBackend<B> {
+    inner: B,
+    failing_calls: usize,
+    calls: usize,
+}
+
+impl<B: Backend> FlakyBackend<B> {
+    /// Wraps `inner` so its first `failing_calls` serve calls fail.
+    pub fn new(inner: B, failing_calls: usize) -> Self {
+        Self {
+            inner,
+            failing_calls,
+            calls: 0,
+        }
+    }
+}
+
+impl<B: Backend> Backend for FlakyBackend<B> {
+    fn name(&self) -> &'static str {
+        "flaky"
+    }
+
+    fn max_batch(&self) -> usize {
+        self.inner.max_batch()
+    }
+
+    fn serve(&mut self, features: &[&[bool]]) -> Result<Vec<InferenceOutcome>, ServeError> {
+        self.calls += 1;
+        if self.calls <= self.failing_calls {
+            return Err(ServeError::Backend(datapath::DatapathError::DecodeFailure(
+                format!(
+                    "injected fault: serve call {} of {} configured failures",
+                    self.calls, self.failing_calls
+                ),
+            )));
+        }
+        self.inner.serve(features)
+    }
+}
+
 /// Rejects masks that do not match the model configuration at adapter
 /// construction, so a misconfigured server fails before accepting load.
 fn check_masks(model: &BatchGoldenModel, masks: &ExcludeMasks) -> Result<(), ServeError> {
@@ -390,6 +560,75 @@ mod tests {
             DualRailSlicedBackend::new(&datapath, &library, workload.masks().clone(), 2).unwrap();
         assert_eq!(dual.name(), "dualrail_sliced");
         assert_eq!(&dual.serve(&features).unwrap(), workload.expected());
+    }
+
+    #[test]
+    fn circuit_breaker_retries_then_fails_over_then_opens() {
+        let config = DatapathConfig::new(5, 4).unwrap();
+        let model = BatchGoldenModel::generate(&config).unwrap();
+        let workload = InferenceWorkload::random(&config, 6, 0.7, 3).unwrap();
+        let features: Vec<&[bool]> = workload.samples().map(|s| s.features).collect();
+
+        // Primary fails its first 5 calls; one retry per batch means
+        // batch 1 consumes calls 1-2, batch 2 consumes calls 3-4, batch
+        // 3 consumes call 5 and then succeeds on the retry... but the
+        // breaker (threshold 2) opens after batch 2, so batch 3 never
+        // reaches the primary.
+        let primary = FlakyBackend::new(
+            BatchBackend::new(&model, workload.masks().clone()).unwrap(),
+            5,
+        );
+        let fallback = BatchBackend::new(&model, workload.masks().clone()).unwrap();
+        let mut breaker = CircuitBreaker::new(primary, fallback, 2, 1);
+        assert_eq!(breaker.name(), "circuit_breaker");
+        assert_eq!(breaker.max_batch(), netlist::LANES);
+
+        for batch in 0..3 {
+            let outcomes = breaker.serve(&features).unwrap();
+            assert_eq!(&outcomes, workload.expected(), "batch {batch}");
+        }
+        assert!(breaker.is_open());
+        let stats = breaker.fault_stats().unwrap();
+        assert_eq!(
+            stats,
+            BackendFaultStats {
+                primary_errors: 4,
+                retries: 2,
+                fallback_batches: 3,
+                fallback_requests: 18,
+                breaker_open: true,
+            }
+        );
+    }
+
+    #[test]
+    fn circuit_breaker_resets_counter_on_success() {
+        let config = DatapathConfig::new(5, 4).unwrap();
+        let model = BatchGoldenModel::generate(&config).unwrap();
+        let workload = InferenceWorkload::random(&config, 4, 0.7, 3).unwrap();
+        let features: Vec<&[bool]> = workload.samples().map(|s| s.features).collect();
+
+        // One failing call, no retries: batch 1 fails over, batch 2
+        // succeeds on the primary and resets the streak — the breaker
+        // (threshold 2) never opens.
+        let primary = FlakyBackend::new(
+            BatchBackend::new(&model, workload.masks().clone()).unwrap(),
+            1,
+        );
+        let fallback = BatchBackend::new(&model, workload.masks().clone()).unwrap();
+        let mut breaker = CircuitBreaker::new(primary, fallback, 2, 0);
+        for _ in 0..3 {
+            assert_eq!(&breaker.serve(&features).unwrap(), workload.expected());
+        }
+        assert!(!breaker.is_open());
+        let stats = breaker.stats();
+        assert_eq!(stats.primary_errors, 1);
+        assert_eq!(stats.fallback_batches, 1);
+        assert!(!stats.breaker_open);
+
+        // Plain backends report no fault stats.
+        let plain = BatchBackend::new(&model, workload.masks().clone()).unwrap();
+        assert_eq!(plain.fault_stats(), None);
     }
 
     #[test]

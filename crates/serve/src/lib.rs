@@ -32,6 +32,12 @@
 //!   is returned.
 //! * [`ServeReport`] / [`ServeSummary`] — per-request records and the
 //!   condensed saturation-sweep figures.
+//! * [`CircuitBreaker`] + [`ServeConfig::deadline_ns`] — fault
+//!   tolerance: a failing primary backend is retried, then demoted to a
+//!   golden fallback after repeated failures ([`BackendFaultStats`]
+//!   lands in [`ServeReport::backend_faults`]); requests whose
+//!   per-request deadline expires while queued are shed at flush time
+//!   instead of being dispatched stale.
 //!
 //! # Example
 //!
@@ -78,11 +84,13 @@ pub mod telemetry;
 pub mod trace;
 
 pub use backend::{
-    Backend, BatchBackend, DualRailBackend, DualRailSlicedBackend, EventDrivenBackend,
-    EventSlicedBackend, ParallelBatchBackend,
+    Backend, BatchBackend, CircuitBreaker, DualRailBackend, DualRailSlicedBackend,
+    EventDrivenBackend, EventSlicedBackend, FlakyBackend, ParallelBatchBackend,
 };
 pub use batcher::{AdmissionPolicy, MicroBatcher, PendingRequest};
 pub use error::ServeError;
 pub use server::{ServeConfig, Server, ServiceModel};
-pub use telemetry::{BatchRecord, ServeReport, ServeSummary, ServedRecord, ShedRecord};
+pub use telemetry::{
+    BackendFaultStats, BatchRecord, ServeReport, ServeSummary, ServedRecord, ShedRecord,
+};
 pub use trace::{Trace, VirtualNs};

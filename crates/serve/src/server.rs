@@ -85,6 +85,13 @@ pub struct ServeConfig {
     pub max_wait_ns: u64,
     /// Service-time source for the virtual clock.
     pub service_model: ServiceModel,
+    /// Per-request service-start deadline (virtual ns from arrival).
+    /// A request still queued when its deadline passes is dropped at
+    /// the next flush instead of being dispatched — stale answers are
+    /// worthless at the edge, and shedding them keeps a recovering
+    /// (e.g. failed-over) server from burning capacity on requests
+    /// whose callers have given up.  `None` disables expiry.
+    pub deadline_ns: Option<u64>,
 }
 
 impl Default for ServeConfig {
@@ -97,6 +104,7 @@ impl Default for ServeConfig {
             max_batch: netlist::LANES,
             max_wait_ns: 100_000,
             service_model: ServiceModel::Measured,
+            deadline_ns: None,
         }
     }
 }
@@ -226,8 +234,9 @@ impl<'w, B: Backend> Server<'w, B> {
         let backend = &mut self.backend;
         let policy = self.config.policy;
         let model = self.config.service_model;
+        let deadline_ns = self.config.deadline_ns;
 
-        exec::with_service(
+        let mut report = exec::with_service(
             // The long-lived worker: owns the backend for the session,
             // answers one micro-batch per job, reports measured wall ns.
             move |batch: Vec<PendingRequest>| {
@@ -246,6 +255,7 @@ impl<'w, B: Backend> Server<'w, B> {
                     source,
                     policy,
                     model,
+                    deadline_ns,
                     workload,
                     next_id: 0,
                     t_free: 0,
@@ -253,18 +263,25 @@ impl<'w, B: Backend> Server<'w, B> {
                     makespan: 0,
                     served: Vec::new(),
                     shed: Vec::new(),
+                    deadline_expired: Vec::new(),
                     batches: Vec::new(),
                 };
                 session.drive(client)?;
-                Ok(ServeReport {
+                Ok::<_, ServeError>(ServeReport {
                     served: session.served,
                     shed: session.shed,
+                    deadline_expired: session.deadline_expired,
                     batches: session.batches,
                     makespan_ns: session.makespan,
                     offered_qps,
+                    backend_faults: None,
                 })
             },
-        )
+        )?;
+        // The worker's mutable borrow of the backend ends with the
+        // session; read the wrapper's fault counters (if any) now.
+        report.backend_faults = self.backend.fault_stats();
+        Ok(report)
     }
 }
 
@@ -353,6 +370,7 @@ struct Session<'w, S> {
     source: S,
     policy: AdmissionPolicy,
     model: ServiceModel,
+    deadline_ns: Option<u64>,
     workload: &'w InferenceWorkload,
     next_id: usize,
     t_free: VirtualNs,
@@ -365,6 +383,7 @@ struct Session<'w, S> {
     makespan: VirtualNs,
     served: Vec<ServedRecord>,
     shed: Vec<ShedRecord>,
+    deadline_expired: Vec<ShedRecord>,
     batches: Vec<BatchRecord>,
 }
 
@@ -460,7 +479,29 @@ impl<S: ArrivalSource> Session<'_, S> {
         flush_ns: VirtualNs,
         client: &mut ServiceClient<Vec<PendingRequest>, ServiceResponse>,
     ) -> Result<(), ServeError> {
-        let batch = self.batcher.take_batch();
+        let mut batch = self.batcher.take_batch();
+        if let Some(deadline) = self.deadline_ns {
+            // Requests whose deadline passed while they queued are shed
+            // now, before the backend spends service time on them.
+            let (live, expired): (Vec<_>, Vec<_>) = batch
+                .into_iter()
+                .partition(|p| flush_ns <= p.arrival_ns.saturating_add(deadline));
+            batch = live;
+            for pending in expired {
+                self.deadline_expired.push(ShedRecord {
+                    id: pending.id,
+                    sample: pending.sample,
+                    arrival_ns: pending.arrival_ns,
+                });
+                self.source.on_shed(pending.client, flush_ns);
+            }
+            if batch.is_empty() {
+                // The flush still happened (the queue state advanced),
+                // but there is nothing to dispatch.
+                self.admit_frontier = self.admit_frontier.max(flush_ns);
+                return Ok(());
+            }
+        }
         let size = batch.len();
         let (batch, result, measured_ns) = client.call(batch);
         let outcomes = result?;
@@ -536,6 +577,7 @@ mod tests {
                 batch_ns: 100,
                 per_request_ns: 10,
             },
+            deadline_ns: None,
         }
     }
 
@@ -622,6 +664,91 @@ mod tests {
         let backend = BatchBackend::new(&model, workload.masks().clone()).unwrap();
         let mut again = Server::new(backend, &workload, fixed_config()).unwrap();
         assert_eq!(again.run_closed(4, 40, 500).unwrap(), report);
+    }
+
+    #[test]
+    fn expired_deadlines_shed_at_flush_time() {
+        let (_, model, workload) = fixture();
+        let backend = BatchBackend::new(&model, workload.masks().clone()).unwrap();
+        // Per-request deadline (600 ns) shorter than the batching wait
+        // (1 µs): the first arrivals of a trickle expire before the
+        // batcher's deadline flush fires.
+        let config = ServeConfig {
+            deadline_ns: Some(600),
+            ..fixed_config()
+        };
+        let mut server = Server::new(backend, &workload, config).unwrap();
+        let trace = Trace::from_arrivals(vec![0, 100, 700]);
+        let report = server.run(&trace).unwrap();
+        // Flush fires at 0 + max_wait = 1000: requests 0 (deadline 600)
+        // and 1 (deadline 700) have expired; request 2 (deadline 1700)
+        // is served alone.
+        assert_eq!(report.deadline_expired_count(), 2);
+        assert_eq!(report.served_count(), 1);
+        assert_eq!(report.shed_count(), 0);
+        assert_eq!(report.served[0].id, 2);
+        assert_eq!(report.batches.len(), 1);
+        assert_eq!(report.batches[0].size, 1);
+        let expired_ids: Vec<usize> = report.deadline_expired.iter().map(|r| r.id).collect();
+        assert_eq!(expired_ids, vec![0, 1]);
+        // Summary counts the expired requests as offered load.
+        let summary = report.summary();
+        assert_eq!(summary.requests, 3);
+        assert_eq!(summary.deadline_expired, 2);
+        assert!(summary.to_string().contains("expired 2"));
+        // Deterministic replay with the deadline active.
+        let backend = BatchBackend::new(&model, workload.masks().clone()).unwrap();
+        let mut again = Server::new(backend, &workload, config).unwrap();
+        assert_eq!(again.run(&trace).unwrap(), report);
+    }
+
+    #[test]
+    fn an_all_expired_flush_dispatches_nothing() {
+        let (_, model, workload) = fixture();
+        let backend = BatchBackend::new(&model, workload.masks().clone()).unwrap();
+        let config = ServeConfig {
+            deadline_ns: Some(100),
+            ..fixed_config()
+        };
+        let mut server = Server::new(backend, &workload, config).unwrap();
+        // Both requests expire (deadlines 100 and 300) before the flush
+        // at 1000; no batch reaches the backend.
+        let trace = Trace::from_arrivals(vec![0, 200]);
+        let report = server.run(&trace).unwrap();
+        assert_eq!(report.served_count(), 0);
+        assert_eq!(report.deadline_expired_count(), 2);
+        assert!(report.batches.is_empty());
+        assert_eq!(report.makespan_ns, 0);
+    }
+
+    #[test]
+    fn circuit_breaker_failover_keeps_the_session_golden() {
+        let (_, model, workload) = fixture();
+        // The primary fails its first 4 calls; threshold 2 with one
+        // retry per batch opens the breaker after two failed batches,
+        // and the golden fallback carries the rest of the session.
+        let primary = crate::backend::FlakyBackend::new(
+            BatchBackend::new(&model, workload.masks().clone()).unwrap(),
+            4,
+        );
+        let fallback = BatchBackend::new(&model, workload.masks().clone()).unwrap();
+        let breaker = crate::backend::CircuitBreaker::new(primary, fallback, 2, 1);
+        let mut server = Server::new(breaker, &workload, fixed_config()).unwrap();
+        assert_eq!(server.backend_name(), "circuit_breaker");
+        let trace = Trace::uniform(200, 500_000.0);
+        let report = server.run(&trace).unwrap();
+        // Every request is served and golden-verified despite the
+        // primary faulting: run() would have failed otherwise.
+        assert_eq!(report.served_count(), 200);
+        let faults = report.backend_faults.expect("breaker reports fault stats");
+        assert!(faults.breaker_open);
+        assert_eq!(faults.primary_errors, 4);
+        assert_eq!(faults.retries, 2);
+        assert_eq!(faults.fallback_batches as usize, report.batches.len());
+        assert_eq!(faults.fallback_requests, 200);
+        let summary = report.summary();
+        assert_eq!(summary.retries, 2);
+        assert_eq!(summary.fallback_batches, faults.fallback_batches);
     }
 
     #[test]

@@ -78,6 +78,25 @@ pub struct ShedRecord {
     pub arrival_ns: VirtualNs,
 }
 
+/// Fault-handling counters a self-healing backend wrapper (the
+/// circuit breaker, [`crate::CircuitBreaker`]) accumulated over a
+/// serving session.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct BackendFaultStats {
+    /// Failed primary-backend calls (each attempt counts, including
+    /// retries of the same batch).
+    pub primary_errors: u64,
+    /// Retry attempts issued against the primary after a failure.
+    pub retries: u64,
+    /// Micro-batches answered by the golden fallback backend.
+    pub fallback_batches: u64,
+    /// Requests answered by the golden fallback backend.
+    pub fallback_requests: u64,
+    /// Whether the breaker ended the session open (primary demoted,
+    /// all traffic on the fallback).
+    pub breaker_open: bool,
+}
+
 /// Everything a serving session measured.
 #[derive(Clone, Debug, PartialEq)]
 pub struct ServeReport {
@@ -85,6 +104,11 @@ pub struct ServeReport {
     pub served: Vec<ServedRecord>,
     /// Requests dropped by admission control, in arrival order.
     pub shed: Vec<ShedRecord>,
+    /// Requests dropped at flush time because their per-request
+    /// deadline ([`crate::ServeConfig::deadline_ns`]) expired before
+    /// service could start, in flush order.  Distinct from `shed`:
+    /// these were admitted but timed out waiting.
+    pub deadline_expired: Vec<ShedRecord>,
     /// Dispatched micro-batches in flush order.
     pub batches: Vec<BatchRecord>,
     /// Virtual time of the last completion (0 if nothing was served).
@@ -92,6 +116,9 @@ pub struct ServeReport {
     /// Offered load of the driving trace in requests per second of
     /// virtual time (0.0 when not meaningful, e.g. closed-loop runs).
     pub offered_qps: f64,
+    /// Fault-handling counters, when the backend is a self-healing
+    /// wrapper ([`crate::CircuitBreaker`]); `None` for plain backends.
+    pub backend_faults: Option<BackendFaultStats>,
 }
 
 impl ServeReport {
@@ -105,6 +132,13 @@ impl ServeReport {
     #[must_use]
     pub fn shed_count(&self) -> usize {
         self.shed.len()
+    }
+
+    /// Number of admitted requests dropped because their deadline
+    /// expired while queued.
+    #[must_use]
+    pub fn deadline_expired_count(&self) -> usize {
+        self.deadline_expired.len()
     }
 
     /// Served requests per second of virtual time (served count over
@@ -156,10 +190,14 @@ impl ServeReport {
         // One sort per component via the batch accessor.
         let queue = self.queueing().percentiles(&[50.0, 95.0, 99.0]);
         let service = self.service().percentiles(&[50.0, 95.0, 99.0]);
+        let faults = self.backend_faults.unwrap_or_default();
         ServeSummary {
-            requests: self.served.len() + self.shed.len(),
+            requests: self.served.len() + self.shed.len() + self.deadline_expired.len(),
             served: self.served.len(),
             shed: self.shed.len(),
+            deadline_expired: self.deadline_expired.len(),
+            retries: faults.retries,
+            fallback_batches: faults.fallback_batches,
             batches: self.batches.len(),
             mean_batch_size: self.mean_batch_size(),
             makespan_ns: self.makespan_ns,
@@ -186,6 +224,15 @@ pub struct ServeSummary {
     pub served: usize,
     /// Requests dropped by admission control.
     pub shed: usize,
+    /// Admitted requests dropped because their deadline expired while
+    /// queued.
+    pub deadline_expired: usize,
+    /// Retry attempts the circuit breaker issued against the primary
+    /// backend (0 for plain backends).
+    pub retries: u64,
+    /// Micro-batches the circuit breaker answered via the golden
+    /// fallback backend (0 for plain backends).
+    pub fallback_batches: u64,
     /// Micro-batches dispatched.
     pub batches: usize,
     /// Mean requests per micro-batch.
@@ -214,12 +261,13 @@ impl fmt::Display for ServeSummary {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         write!(
             f,
-            "served {}/{} (shed {}) in {} batches (mean {:.1}); offered {:.0} qps, \
+            "served {}/{} (shed {}, expired {}) in {} batches (mean {:.1}); offered {:.0} qps, \
              achieved {:.0} qps; queue p50/p95/p99 {:.0}/{:.0}/{:.0} ns; \
              service p50/p95/p99 {:.0}/{:.0}/{:.0} ns",
             self.served,
             self.requests,
             self.shed,
+            self.deadline_expired,
             self.batches,
             self.mean_batch_size,
             self.offered_qps,
@@ -274,6 +322,7 @@ mod tests {
                 sample: 0,
                 arrival_ns: 20,
             }],
+            deadline_expired: vec![],
             batches: vec![
                 BatchRecord {
                     flush_ns: 100,
@@ -288,6 +337,7 @@ mod tests {
             ],
             makespan_ns: 230,
             offered_qps: 1e7,
+            backend_faults: None,
         };
         assert_eq!(report.served_count(), 3);
         assert_eq!(report.shed_count(), 1);
@@ -314,9 +364,11 @@ mod tests {
         let report = ServeReport {
             served: vec![],
             shed: vec![],
+            deadline_expired: vec![],
             batches: vec![],
             makespan_ns: 0,
             offered_qps: 0.0,
+            backend_faults: None,
         };
         assert_eq!(report.achieved_qps(), 0.0);
         assert_eq!(report.mean_batch_size(), 0.0);

@@ -27,6 +27,7 @@ fn config(capacity: usize, policy: AdmissionPolicy) -> ServeConfig {
             batch_ns: 500,
             per_request_ns: 10,
         },
+        deadline_ns: None,
     }
 }
 

@@ -6,6 +6,7 @@ use celllib::{ActivityProfile, Library};
 use netlist::{CellId, NetId, Netlist};
 
 use crate::event::{Event, EventQueue};
+use crate::fault::{FaultOverlay, FaultPlan, NO_STUCK};
 use crate::program::{EngineProgram, NO_DRIVER, NO_LUT};
 use crate::Logic;
 use netlist::CellKind;
@@ -73,6 +74,13 @@ pub struct Simulator<'a> {
     /// cutting queue traffic on wide fan-in cones and stable registers.
     pending_events: Vec<u32>,
     suppressed_events: u64,
+    /// Installed fault overlay, or `None` for a healthy instance (the
+    /// hot paths pay one branch on the discriminant, nothing more).
+    faults: Option<Box<FaultOverlay>>,
+    /// Watchdog time horizon: events beyond this timestamp abort the
+    /// settle with [`RunOutcome::LimitReached`] instead of being
+    /// applied.  `INFINITY` (the default) disables the bound.
+    horizon_ps: f64,
 }
 
 impl<'a> Simulator<'a> {
@@ -136,6 +144,8 @@ impl<'a> Simulator<'a> {
             total_events: 0,
             pending_events: vec![0; net_count],
             suppressed_events: 0,
+            faults: None,
+            horizon_ps: f64::INFINITY,
         };
         sim.schedule_constants();
         sim
@@ -212,6 +222,47 @@ impl<'a> Simulator<'a> {
     /// Changes the event limit used to detect runaway oscillation.
     pub fn set_event_limit(&mut self, limit: u64) {
         self.event_limit = limit;
+    }
+
+    /// Bounds the watchdog time horizon: a
+    /// [`Simulator::run_until_quiescent`] call that reaches an event
+    /// beyond `horizon_ps` aborts with [`RunOutcome::LimitReached`]
+    /// (leaving the tail pending, so [`Simulator::has_pending_events`]
+    /// reports the aborted settle).  `f64::INFINITY` (the default)
+    /// disables the bound.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `horizon_ps` is NaN or not positive.
+    pub fn set_time_horizon_ps(&mut self, horizon_ps: f64) {
+        assert!(
+            horizon_ps > 0.0,
+            "watchdog horizon must be positive, got {horizon_ps}"
+        );
+        self.horizon_ps = horizon_ps;
+    }
+
+    /// Installs `plan` as this instance's fault overlay, replacing any
+    /// previous plan (an empty plan clears the overlay).  The shared
+    /// [`EngineProgram`] is untouched: stuck values, perturbed delays
+    /// and pulse schedules live entirely in this instance.  Stuck nets
+    /// are forced to their stuck value at the current time; SEU pulses
+    /// fire inside subsequent [`Simulator::run_until_quiescent`] calls
+    /// and re-arm on every [`Simulator::reset_time`].
+    ///
+    /// # Panics
+    ///
+    /// Panics if a fault references a net or cell outside the netlist.
+    pub fn set_fault_plan(&mut self, plan: &FaultPlan) {
+        if plan.is_empty() {
+            self.faults = None;
+            return;
+        }
+        let overlay = FaultOverlay::new(plan, &self.program);
+        for &(net, value) in plan.stuck_faults() {
+            self.schedule(net, Logic::from(value), self.now_ps);
+        }
+        self.faults = Some(Box::new(overlay));
     }
 
     /// Current value of a net.
@@ -407,17 +458,35 @@ impl<'a> Simulator<'a> {
             }
         }
         self.now_ps = 0.0;
+        if let Some(faults) = &mut self.faults {
+            faults.rearm_pulses();
+        }
     }
 
     // ------------------------------------------------------------------
     // Execution
     // ------------------------------------------------------------------
 
-    /// Processes events until no activity remains or the event limit is
-    /// reached.
+    /// Processes events until no activity remains or the watchdog trips
+    /// (the event limit, or the time horizon set by
+    /// [`Simulator::set_time_horizon_ps`]).  SEU pulses of an installed
+    /// [`FaultPlan`] fire here, interleaved with queued events in time
+    /// order.
     pub fn run_until_quiescent(&mut self) -> RunOutcome {
         let mut processed = 0u64;
-        while let Some(event) = self.pop_event() {
+        loop {
+            if self.faults.is_some() {
+                self.fire_due_pulses();
+            }
+            let Some(event) = self.pop_event() else {
+                return RunOutcome::Quiescent { events: processed };
+            };
+            if event.time_ps > self.horizon_ps {
+                // Watchdog horizon: push the event back so the aborted
+                // tail stays visible as pending work.
+                self.schedule(event.net, event.value, event.time_ps);
+                return RunOutcome::LimitReached;
+            }
             processed += 1;
             self.total_events += 1;
             if processed > self.event_limit {
@@ -425,7 +494,39 @@ impl<'a> Simulator<'a> {
             }
             self.apply_event(event);
         }
-        RunOutcome::Quiescent { events: processed }
+    }
+
+    /// Fires every armed SEU pulse that is due before the next queued
+    /// event (or due at all, if the queue is empty): the net flips at
+    /// the pulse start and its pre-pulse value is rescheduled one pulse
+    /// width later.
+    fn fire_due_pulses(&mut self) {
+        loop {
+            let next_queue = self.queue.next_time_ps();
+            let Some(faults) = self.faults.as_deref_mut() else {
+                return;
+            };
+            let Some(i) = faults.due_pulse(next_queue) else {
+                return;
+            };
+            faults.fired[i] = true;
+            let pulse = faults.pulses[i];
+            let at = pulse.at_ps.max(self.now_ps);
+            let old = self.values[pulse.net.index()];
+            let flipped = match old {
+                Logic::Zero => Logic::One,
+                Logic::One => Logic::Zero,
+                Logic::Unknown => Logic::Unknown,
+            };
+            // The restore is scheduled before the flip applies, so it
+            // carries the pre-pulse value even if the driver reacts.
+            self.schedule(pulse.net, old, at + pulse.duration_ps);
+            self.apply_event(Event {
+                time_ps: at,
+                net: pulse.net,
+                value: flipped,
+            });
+        }
     }
 
     /// Processes events with timestamps up to and including `time_ps`,
@@ -438,7 +539,12 @@ impl<'a> Simulator<'a> {
             if next > time_ps {
                 break;
             }
-            let event = self.pop_event().expect("peeked event exists");
+            // The pop mirrors the peek that just matched, so it cannot
+            // come back empty; the `let else` keeps the loop panic-free
+            // regardless.
+            let Some(event) = self.pop_event() else {
+                break;
+            };
             processed += 1;
             self.total_events += 1;
             self.apply_event(event);
@@ -460,7 +566,15 @@ impl<'a> Simulator<'a> {
         self.suppressed_events
     }
 
-    fn apply_event(&mut self, event: Event) {
+    fn apply_event(&mut self, mut event: Event) {
+        if let Some(faults) = &self.faults {
+            // A stuck net clamps every applied value: the driver keeps
+            // scheduling, but the net can never move again.
+            let stuck = faults.stuck[event.net.index()];
+            if stuck != NO_STUCK {
+                event.value = Logic::from(stuck == 1);
+            }
+        }
         self.now_ps = self.now_ps.max(event.time_ps);
         let old = self.values[event.net.index()];
         if old == event.value {
@@ -491,7 +605,10 @@ impl<'a> Simulator<'a> {
         let program = &self.program;
         let index = cell_id.index();
         let kind = program.cell_kind[index];
-        let delay = program.cell_delay_ps[index];
+        let delay = match &self.faults {
+            Some(faults) => faults.cell_delay_ps[index],
+            None => program.cell_delay_ps[index],
+        };
         let start = program.cell_input_offsets[index] as usize;
         let end = program.cell_input_offsets[index + 1] as usize;
         let input_nets = &program.cell_input_nets[start..end];

@@ -323,14 +323,19 @@ impl<E: SimEvent> EventQueue<E> {
         // bucket heap keeps its earliest `(time, sequence)` on top.
         let mut near_min = f64::INFINITY;
         if self.near_count > 0 {
-            while self.buckets[self.cur_bucket as usize & self.bucket_mask].is_empty() {
+            // `near_count > 0` guarantees a non-empty bucket inside the
+            // window; bound the scan by the window size anyway so a
+            // broken counter surfaces as an empty refill (the caller
+            // then reports no pending events) instead of spinning here.
+            for _ in 0..self.buckets.len() {
+                if !self.buckets[self.cur_bucket as usize & self.bucket_mask].is_empty() {
+                    break;
+                }
                 self.cur_bucket += 1;
             }
-            near_min = self.buckets[self.cur_bucket as usize & self.bucket_mask]
-                .peek()
-                .expect("bucket is non-empty")
-                .event
-                .time_ps();
+            if let Some(head) = self.buckets[self.cur_bucket as usize & self.bucket_mask].peek() {
+                near_min = head.event.time_ps();
+            }
         }
         let overflow_min = self
             .overflow
@@ -346,8 +351,17 @@ impl<E: SimEvent> EventQueue<E> {
         if near_min == target {
             let slot = self.cur_bucket as usize & self.bucket_mask;
             let bucket = &mut self.buckets[slot];
-            while bucket.peek().is_some_and(|q| q.event.time_ps() == target) {
-                self.drain.push(bucket.pop().expect("peeked event exists"));
+            loop {
+                match bucket.peek() {
+                    Some(q) if q.event.time_ps() == target => {}
+                    _ => break,
+                }
+                // The pop mirrors the peek that just matched, so it
+                // cannot come back empty; the `if let` keeps the loop
+                // panic-free regardless.
+                if let Some(queued) = bucket.pop() {
+                    self.drain.push(queued);
+                }
             }
             self.near_count -= self.drain.len();
         }
@@ -356,13 +370,14 @@ impl<E: SimEvent> EventQueue<E> {
             // bucket batch (it was filed under an older window); restore
             // global sequence order over the combined batch.
             let had_bucket_part = !self.drain.is_empty();
-            while self
-                .overflow
-                .peek()
-                .is_some_and(|q| q.event.time_ps() == target)
-            {
-                self.drain
-                    .push(self.overflow.pop().expect("peeked event exists"));
+            loop {
+                match self.overflow.peek() {
+                    Some(q) if q.event.time_ps() == target => {}
+                    _ => break,
+                }
+                if let Some(queued) = self.overflow.pop() {
+                    self.drain.push(queued);
+                }
             }
             if had_bucket_part {
                 self.drain.sort_unstable_by_key(|q| q.sequence);

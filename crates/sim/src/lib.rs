@@ -63,6 +63,7 @@
 
 pub mod engine;
 pub mod event;
+pub mod fault;
 pub mod monitor;
 pub mod parallel;
 pub mod program;
@@ -72,9 +73,14 @@ pub mod value;
 
 pub use engine::{RunOutcome, Simulator};
 pub use event::{Event, EventQueue, SimEvent};
+pub use fault::{FaultPlan, SettleError, SettlePhase, SeuPulse};
 pub use monitor::{LatencyReport, LatencyStats, TransitionLog};
-pub use parallel::{run_return_to_zero, OperandRun, ParallelEventSim, ShardingContract};
+pub use parallel::{
+    run_return_to_zero, try_run_return_to_zero, OperandRun, ParallelEventSim, ShardingContract,
+};
 pub use program::EngineProgram;
-pub use sliced::{lane_mask, run_word_return_to_zero, SlicedSimulator};
+pub use sliced::{
+    lane_mask, run_word_return_to_zero, try_run_word_return_to_zero, SlicedSimulator,
+};
 pub use testbench::{run_combinational_vectors, run_synchronous_vectors, SyncRunResult};
 pub use value::Logic;

@@ -86,10 +86,13 @@ use celllib::Library;
 use exec::Executor;
 use netlist::Netlist;
 
-use crate::engine::{RunOutcome, Simulator};
+use crate::engine::Simulator;
+use crate::fault::{FaultPlan, SettleError, SettlePhase};
 use crate::monitor::LatencyReport;
 use crate::program::EngineProgram;
-use crate::sliced::{run_word_return_to_zero_checked, SlicedSimulator};
+use crate::sliced::{
+    run_word_return_to_zero_checked, try_run_word_return_to_zero_checked, SlicedSimulator,
+};
 use crate::Logic;
 
 /// The settled result of one return-to-zero operand cycle.
@@ -146,6 +149,28 @@ pub fn run_return_to_zero(sim: &mut Simulator<'_>, operand: &[bool]) -> OperandR
     run_return_to_zero_checked(sim, operand, None)
 }
 
+/// Fallible form of [`run_return_to_zero`]: an operand whose spacer or
+/// injection phase fails to settle within the watchdog bounds (event
+/// limit and/or time horizon) returns [`SettleError::Watchdog`] instead
+/// of panicking — the entry point fault campaigns drive faulted
+/// operands through.
+///
+/// # Errors
+///
+/// Returns [`SettleError::Watchdog`] naming the phase that failed to
+/// settle.
+///
+/// # Panics
+///
+/// Panics if `operand` does not have one bit per primary input (a
+/// caller bug, not a fault effect).
+pub fn try_run_return_to_zero(
+    sim: &mut Simulator<'_>,
+    operand: &[bool],
+) -> Result<OperandRun, SettleError> {
+    try_run_return_to_zero_checked(sim, operand, None)
+}
+
 /// [`run_return_to_zero`] with the reset-phase contract check: after the
 /// spacer settles, the full net state is compared against `*snapshot`
 /// (captured from the first spacer if still `None`).
@@ -160,6 +185,17 @@ fn run_return_to_zero_checked(
     operand: &[bool],
     spacer_snapshot: Option<&mut Option<Vec<Logic>>>,
 ) -> OperandRun {
+    try_run_return_to_zero_checked(sim, operand, spacer_snapshot)
+        .unwrap_or_else(|error| panic!("{error}"))
+}
+
+/// Fallible core of the operand runner: non-settles and reset-phase
+/// contract violations come back as typed [`SettleError`]s.
+fn try_run_return_to_zero_checked(
+    sim: &mut Simulator<'_>,
+    operand: &[bool],
+    spacer_snapshot: Option<&mut Option<Vec<Logic>>>,
+) -> Result<OperandRun, SettleError> {
     // The input list is cached in the shared program, so the per-operand
     // hot path performs no allocation for it.
     let input_count = sim.program().primary_inputs().len();
@@ -179,21 +215,24 @@ fn run_return_to_zero_checked(
         let net = sim.program().primary_inputs()[i];
         sim.set_input(net, Logic::Zero);
     }
-    assert!(
-        sim.run_until_quiescent().is_quiescent(),
-        "spacer phase failed to settle"
-    );
+    if !sim.run_until_quiescent().is_quiescent() {
+        return Err(SettleError::Watchdog {
+            phase: SettlePhase::Spacer,
+        });
+    }
     if let Some(snapshot) = spacer_snapshot {
         match snapshot {
             None => *snapshot = Some(sim.net_values().to_vec()),
             Some(expected) => {
                 if let Some((net, expected, got)) = sim.first_state_mismatch(expected) {
-                    panic!(
-                        "reset-phase contract violated: net {net} settled to {got:?} \
-                         after the spacer but the quiescent snapshot holds {expected:?} \
-                         — the circuit's post-cycle state depends on operand history, \
-                         so sharding it would change results"
-                    );
+                    return Err(SettleError::ResetContract {
+                        description: format!(
+                            "net {net} settled to {got:?} \
+                             after the spacer but the quiescent snapshot holds {expected:?} \
+                             — the circuit's post-cycle state depends on operand history, \
+                             so sharding it would change results"
+                        ),
+                    });
                 }
             }
         }
@@ -206,15 +245,16 @@ fn run_return_to_zero_checked(
         let net = sim.program().primary_inputs()[i];
         sim.set_input_bool(net, bit);
     }
-    let outcome = sim.run_until_quiescent();
-    let RunOutcome::Quiescent { events } = outcome else {
-        panic!("injection phase failed to settle");
+    let crate::engine::RunOutcome::Quiescent { events } = sim.run_until_quiescent() else {
+        return Err(SettleError::Watchdog {
+            phase: SettlePhase::Injection,
+        });
     };
-    OperandRun {
+    Ok(OperandRun {
         outputs: sim.output_values(),
         latency_ps: sim.now_ps(),
         events,
-    }
+    })
 }
 
 /// Event-driven simulation sharded across operands: one shared
@@ -392,6 +432,39 @@ impl<'a> ParallelEventSim<'a> {
         (runs, report)
     }
 
+    /// Like [`ParallelEventSim::run_operands`], but every worker
+    /// installs `plan` (and the `horizon_ps` watchdog bound, when
+    /// given) on its private instance before replaying, and each
+    /// operand that fails to settle within the watchdog bounds — or
+    /// breaks the reset-phase contract — yields a typed
+    /// [`SettleError`] instead of panicking the worker.
+    ///
+    /// With an empty plan and no horizon this is bit-identical to
+    /// [`ParallelEventSim::run_operands`] (property-tested); results
+    /// stay in operand order and bit-identical at any thread count.
+    #[must_use]
+    pub fn run_operands_faulted(
+        &self,
+        operands: &[Vec<bool>],
+        plan: &FaultPlan,
+        horizon_ps: Option<f64>,
+    ) -> Vec<Result<OperandRun, SettleError>> {
+        let verify = self.contract == ShardingContract::ResetPhase;
+        self.run_with(
+            operands,
+            |mut sim| {
+                if let Some(horizon) = horizon_ps {
+                    sim.set_time_horizon_ps(horizon);
+                }
+                sim.set_fault_plan(plan);
+                (sim, None::<Vec<Logic>>)
+            },
+            move |(sim, snapshot), operand| {
+                try_run_return_to_zero_checked(sim, operand, verify.then_some(snapshot))
+            },
+        )
+    }
+
     /// Shards per-**word** work across this runner's workers: items are
     /// chunked into words of up to [`netlist::LANES`] entries, each
     /// worker builds its private state once from a fresh
@@ -442,6 +515,44 @@ impl<'a> ParallelEventSim<'a> {
             |sim| (sim, None::<Vec<Logic>>),
             move |(sim, snapshot), word| {
                 run_word_return_to_zero_checked(sim, word, verify.then_some(&mut *snapshot))
+            },
+        )
+    }
+
+    /// The 64-wide analogue of
+    /// [`ParallelEventSim::run_operands_faulted`]: every worker
+    /// installs `plan` (and the `horizon_ps` watchdog bound, when
+    /// given) on its private sliced instance, and a word whose settle
+    /// trips the watchdog or breaks the reset-phase contract yields
+    /// that [`SettleError`] for **every operand in the word** (lanes
+    /// settle together, so a non-settle is a word-level outcome).
+    ///
+    /// With an empty plan and no horizon this is bit-identical to
+    /// [`ParallelEventSim::run_operands_sliced`] (property-tested).
+    #[must_use]
+    pub fn run_operands_sliced_faulted(
+        &self,
+        operands: &[Vec<bool>],
+        plan: &FaultPlan,
+        horizon_ps: Option<f64>,
+    ) -> Vec<Result<OperandRun, SettleError>> {
+        let verify = self.contract == ShardingContract::ResetPhase;
+        self.run_words_with(
+            operands,
+            |mut sim| {
+                if let Some(horizon) = horizon_ps {
+                    sim.set_time_horizon_ps(horizon);
+                }
+                sim.set_fault_plan(plan);
+                (sim, None::<Vec<Logic>>)
+            },
+            move |(sim, snapshot), word| match try_run_word_return_to_zero_checked(
+                sim,
+                word,
+                verify.then_some(&mut *snapshot),
+            ) {
+                Ok(runs) => runs.into_iter().map(Ok).collect(),
+                Err(error) => word.iter().map(|_| Err(error.clone())).collect(),
             },
         )
     }

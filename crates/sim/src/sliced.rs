@@ -73,6 +73,7 @@ use netlist::{CellKind, NetId, Netlist, LANES};
 
 use crate::engine::RunOutcome;
 use crate::event::{EventQueue, SimEvent};
+use crate::fault::{FaultOverlay, FaultPlan, SettleError, SettlePhase, NO_STUCK};
 use crate::parallel::OperandRun;
 use crate::program::{EngineProgram, NO_LUT};
 use crate::Logic;
@@ -312,6 +313,12 @@ pub struct SlicedSimulator<'a> {
     watch_last: Vec<f64>,
     /// Per watched net × lane: changes since the last clear.
     watch_count: Vec<u64>,
+    /// Installed fault overlay, or `None` for a healthy instance.
+    /// Stuck-at clamps and SEU pulses apply to **every** lane (the
+    /// fault lives in the silicon, not in one operand).
+    faults: Option<Box<FaultOverlay>>,
+    /// Watchdog time horizon; `INFINITY` disables the bound.
+    horizon_ps: f64,
 }
 
 impl<'a> SlicedSimulator<'a> {
@@ -353,6 +360,8 @@ impl<'a> SlicedSimulator<'a> {
             watch_moved: Vec::new(),
             watch_last: Vec::new(),
             watch_count: Vec::new(),
+            faults: None,
+            horizon_ps: f64::INFINITY,
         };
         for i in 0..sim.program.constants.len() {
             let (net, value, delay_ps) = sim.program.constants[i];
@@ -460,6 +469,47 @@ impl<'a> SlicedSimulator<'a> {
     /// one budget, so oscillation aborts the whole word.
     pub fn set_event_limit(&mut self, limit: u64) {
         self.event_limit = limit;
+    }
+
+    /// Bounds the watchdog time horizon, the sliced analogue of
+    /// [`crate::Simulator::set_time_horizon_ps`]: a settle that reaches
+    /// an event beyond `horizon_ps` aborts with
+    /// [`RunOutcome::LimitReached`], leaving the tail pending.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `horizon_ps` is NaN or not positive.
+    pub fn set_time_horizon_ps(&mut self, horizon_ps: f64) {
+        assert!(
+            horizon_ps > 0.0,
+            "watchdog horizon must be positive, got {horizon_ps}"
+        );
+        self.horizon_ps = horizon_ps;
+    }
+
+    /// Installs `plan` as this instance's fault overlay, replacing any
+    /// previous plan (an empty plan clears the overlay) — the sliced
+    /// analogue of [`crate::Simulator::set_fault_plan`].  Faults apply
+    /// to **all 64 lanes**: the fault lives in the silicon, so every
+    /// operand sharing the word sees it.  Stuck nets are forced to
+    /// their stuck value on every lane at the current time; SEU pulses
+    /// fire inside subsequent settles and re-arm on every
+    /// [`SlicedSimulator::reset_time`].
+    ///
+    /// # Panics
+    ///
+    /// Panics if a fault references a net or cell outside the netlist.
+    pub fn set_fault_plan(&mut self, plan: &FaultPlan) {
+        if plan.is_empty() {
+            self.faults = None;
+            return;
+        }
+        let overlay = FaultOverlay::new(plan, &self.program);
+        for &(net, value) in plan.stuck_faults() {
+            let v = if value { FULL } else { 0 };
+            self.schedule(net.index(), v, 0, FULL, self.now_ps);
+        }
+        self.faults = Some(Box::new(overlay));
     }
 
     /// Current value of `net` on `lane`.
@@ -649,25 +699,80 @@ impl<'a> SlicedSimulator<'a> {
         self.lane_now_ps = [0.0; LANES];
         self.clock_time = 0.0;
         self.clock_touched = 0;
+        if let Some(faults) = &mut self.faults {
+            faults.rearm_pulses();
+        }
     }
 
     // ------------------------------------------------------------------
     // Execution
     // ------------------------------------------------------------------
 
-    /// Processes events until no activity remains or the event limit is
-    /// reached.  The returned event count is *merged* pops; per-lane
-    /// counts accumulate in [`SlicedSimulator::lane_events`].
+    /// Processes events until no activity remains or the watchdog trips
+    /// (the event limit, or the time horizon set by
+    /// [`SlicedSimulator::set_time_horizon_ps`]).  The returned event
+    /// count is *merged* pops; per-lane counts accumulate in
+    /// [`SlicedSimulator::lane_events`].  SEU pulses of an installed
+    /// [`FaultPlan`] fire here, interleaved with queued events in time
+    /// order.
     pub fn run_until_quiescent(&mut self) -> RunOutcome {
         let mut processed = 0u64;
-        while let Some(event) = self.pop_event() {
+        loop {
+            if self.faults.is_some() {
+                self.fire_due_pulses();
+            }
+            let Some(event) = self.pop_event() else {
+                return RunOutcome::Quiescent { events: processed };
+            };
+            if event.time_ps > self.horizon_ps {
+                // Watchdog horizon: push the event back so the aborted
+                // tail stays visible as pending work.
+                self.schedule(
+                    event.net as usize,
+                    event.v,
+                    event.x,
+                    event.mask,
+                    event.time_ps,
+                );
+                return RunOutcome::LimitReached;
+            }
             processed += 1;
             if processed > self.event_limit {
                 return RunOutcome::LimitReached;
             }
             self.apply_event(event);
         }
-        RunOutcome::Quiescent { events: processed }
+    }
+
+    /// Fires every armed SEU pulse due before the next queued event:
+    /// the net flips on all lanes (0↔1, X stays X) and the pre-pulse
+    /// planes are rescheduled one pulse width later.
+    fn fire_due_pulses(&mut self) {
+        loop {
+            let next_queue = self.queue.next_time_ps();
+            let Some(faults) = self.faults.as_deref_mut() else {
+                return;
+            };
+            let Some(i) = faults.due_pulse(next_queue) else {
+                return;
+            };
+            faults.fired[i] = true;
+            let pulse = faults.pulses[i];
+            let at = pulse.at_ps.max(self.now_ps);
+            let net = pulse.net.index();
+            let (old_v, old_x) = self.planes[net];
+            // Flip: known-zero lanes become One, known-one lanes become
+            // Zero, X lanes stay X.
+            let flipped_v = !(old_v | old_x);
+            self.schedule(net, old_v, old_x, FULL, at + pulse.duration_ps);
+            self.apply_event(SlicedEvent {
+                time_ps: at,
+                net: u32::try_from(net).expect("nets fit in u32"),
+                v: flipped_v,
+                x: old_x,
+                mask: FULL,
+            });
+        }
     }
 
     // ------------------------------------------------------------------
@@ -768,7 +873,15 @@ impl<'a> SlicedSimulator<'a> {
         Some(event)
     }
 
-    fn apply_event(&mut self, event: SlicedEvent) {
+    fn apply_event(&mut self, mut event: SlicedEvent) {
+        if let Some(faults) = &self.faults {
+            // A stuck net clamps every applied value on every lane.
+            let stuck = faults.stuck[event.net as usize];
+            if stuck != NO_STUCK {
+                event.v = if stuck == 1 { FULL } else { 0 };
+                event.x = 0;
+            }
+        }
         // Pops arrive in nondecreasing time order (asserted below), so
         // the merged clock is a plain assignment.
         self.now_ps = event.time_ps;
@@ -829,7 +942,10 @@ impl<'a> SlicedSimulator<'a> {
         // All per-cell data comes from the shared program's flattened
         // arrays, read into locals before any mutable step.
         let kind = self.program.cell_kind[index];
-        let delay = self.program.cell_delay_ps[index];
+        let delay = match &self.faults {
+            Some(faults) => faults.cell_delay_ps[index],
+            None => self.program.cell_delay_ps[index],
+        };
         let start = self.program.cell_input_offsets[index] as usize;
         let end = self.program.cell_input_offsets[index + 1] as usize;
         let out = self.program.cell_output[index] as usize;
@@ -897,6 +1013,28 @@ pub fn run_word_return_to_zero(
     run_word_return_to_zero_checked(sim, operands, None)
 }
 
+/// Fallible form of [`run_word_return_to_zero`]: a word whose spacer or
+/// injection phase fails to settle within the watchdog bounds (event
+/// limit and/or time horizon) returns [`SettleError::Watchdog`] instead
+/// of panicking — the entry point fault campaigns drive faulted words
+/// through.
+///
+/// # Errors
+///
+/// Returns [`SettleError::Watchdog`] naming the phase that failed to
+/// settle.
+///
+/// # Panics
+///
+/// Panics if the word holds more than 64 operands or if an operand does
+/// not have one bit per primary input (caller bugs, not fault effects).
+pub fn try_run_word_return_to_zero(
+    sim: &mut SlicedSimulator<'_>,
+    operands: &[Vec<bool>],
+) -> Result<Vec<OperandRun>, SettleError> {
+    try_run_word_return_to_zero_checked(sim, operands, None)
+}
+
 /// [`run_word_return_to_zero`] with the reset-phase contract check:
 /// after the spacer settles, every active lane's net state is compared
 /// against `*snapshot` (captured from lane 0 of the first spacer if
@@ -912,9 +1050,20 @@ pub(crate) fn run_word_return_to_zero_checked(
     operands: &[Vec<bool>],
     spacer_snapshot: Option<&mut Option<Vec<Logic>>>,
 ) -> Vec<OperandRun> {
+    try_run_word_return_to_zero_checked(sim, operands, spacer_snapshot)
+        .unwrap_or_else(|error| panic!("{error}"))
+}
+
+/// Fallible core of the word runner: non-settles and reset-phase
+/// contract violations come back as typed [`SettleError`]s.
+pub(crate) fn try_run_word_return_to_zero_checked(
+    sim: &mut SlicedSimulator<'_>,
+    operands: &[Vec<bool>],
+    spacer_snapshot: Option<&mut Option<Vec<Logic>>>,
+) -> Result<Vec<OperandRun>, SettleError> {
     let active = lane_mask(operands.len());
     if operands.is_empty() {
-        return Vec::new();
+        return Ok(Vec::new());
     }
     let input_count = sim.program.primary_inputs.len();
     for operand in operands {
@@ -934,10 +1083,11 @@ pub(crate) fn run_word_return_to_zero_checked(
         let net = sim.program.primary_inputs[i];
         sim.set_input_planes(net, 0, 0, FULL);
     }
-    assert!(
-        sim.run_until_quiescent().is_quiescent(),
-        "spacer phase failed to settle"
-    );
+    if !sim.run_until_quiescent().is_quiescent() {
+        return Err(SettleError::Watchdog {
+            phase: SettlePhase::Spacer,
+        });
+    }
     if let Some(snapshot) = spacer_snapshot {
         match snapshot {
             None => {
@@ -951,12 +1101,14 @@ pub(crate) fn run_word_return_to_zero_checked(
             Some(expected) => {
                 if let Some((lane, net, expected, got)) = sim.lane_state_mismatch(expected, active)
                 {
-                    panic!(
-                        "reset-phase contract violated: net {net} settled to {got:?} \
-                         after the spacer but the quiescent snapshot holds {expected:?} \
-                         (lane {lane}) — the circuit's post-cycle state depends on \
-                         operand history, so sharding it would change results"
-                    );
+                    return Err(SettleError::ResetContract {
+                        description: format!(
+                            "net {net} settled to {got:?} \
+                             after the spacer but the quiescent snapshot holds {expected:?} \
+                             (lane {lane}) — the circuit's post-cycle state depends on \
+                             operand history, so sharding it would change results"
+                        ),
+                    });
                 }
             }
         }
@@ -975,17 +1127,18 @@ pub(crate) fn run_word_return_to_zero_checked(
         let net = sim.program.primary_inputs[i];
         sim.set_input_planes(net, v, 0, FULL);
     }
-    assert!(
-        sim.run_until_quiescent().is_quiescent(),
-        "injection phase failed to settle"
-    );
-    (0..operands.len())
+    if !sim.run_until_quiescent().is_quiescent() {
+        return Err(SettleError::Watchdog {
+            phase: SettlePhase::Injection,
+        });
+    }
+    Ok((0..operands.len())
         .map(|lane| OperandRun {
             outputs: sim.output_values(lane),
             latency_ps: sim.lane_now_ps(lane),
             events: sim.lane_events(lane),
         })
-        .collect()
+        .collect())
 }
 
 #[cfg(test)]

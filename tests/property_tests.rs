@@ -737,6 +737,7 @@ proptest! {
             max_batch: 64,
             max_wait_ns: 2_000,
             service_model: ServiceModel::Fixed { batch_ns: 400, per_request_ns: 25 },
+            deadline_ns: None,
         };
 
         let backend = BatchBackend::new(&model, workload.masks().clone()).expect("backend");
@@ -985,6 +986,113 @@ proptest! {
                 None => reference = Some(run),
                 Some(expected) => prop_assert_eq!(&run, expected, "threads {}", threads),
             }
+        }
+    }
+}
+
+// ---------------------------------------------------------------------
+// Fault overlay: an *empty* FaultPlan is invisible — every engine's runs
+// are bit-identical to a healthy instance
+// ---------------------------------------------------------------------
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(16))]
+
+    /// Installing an empty [`FaultPlan`] changes nothing: the scalar
+    /// simulator, the 64-wide bit-sliced simulator and both sharded
+    /// fault entry points (per-operand and per-word, at thread counts
+    /// {1, 2, 7}) produce runs bit-identical — outputs, latencies and
+    /// event counts — to the same engine with no plan installed, on
+    /// random combinational netlists.  This is the contract that lets
+    /// the fault campaign share one code path for healthy and faulted
+    /// sweeps.
+    #[test]
+    fn empty_fault_plan_is_bit_identical_to_no_plan(
+        kinds in proptest::collection::vec(0usize..6, 8),
+        patterns in proptest::collection::vec(0u32..16, 10),
+    ) {
+        use tm_async::gatesim::{
+            run_return_to_zero, run_word_return_to_zero, FaultPlan, ParallelEventSim, Simulator,
+            SlicedSimulator,
+        };
+
+        let gate = |k: usize| match k {
+            0 => CellKind::And2,
+            1 => CellKind::Or2,
+            2 => CellKind::Nand2,
+            3 => CellKind::Nor2,
+            4 => CellKind::Xor2,
+            _ => CellKind::Aoi21,
+        };
+        let mut nl = Netlist::new("random_faultfree");
+        let mut pool: Vec<NetId> = (0..4).map(|i| nl.add_input(format!("i{i}"))).collect();
+        for (idx, &k) in kinds.iter().enumerate() {
+            let kind = gate(k);
+            let n = pool.len();
+            let ins: Vec<NetId> = (0..kind.input_count())
+                .map(|p| pool[(idx + p * 3) % n])
+                .collect();
+            let out = nl.add_cell(format!("g{idx}"), kind, &ins).expect("cell");
+            pool.push(out);
+        }
+        nl.add_output("y", *pool.last().expect("nonempty"));
+
+        let operands: Vec<Vec<bool>> = patterns
+            .iter()
+            .map(|&p| (0..4).map(|b| p & (1 << b) != 0).collect())
+            .collect();
+        let empty = FaultPlan::new();
+        prop_assert!(empty.is_empty());
+        let library = Library::umc_ll();
+
+        // Scalar engine: healthy stream vs empty-plan stream.
+        let mut healthy = Simulator::new(&nl, &library);
+        let expected: Vec<_> = operands
+            .iter()
+            .map(|operand| run_return_to_zero(&mut healthy, operand))
+            .collect();
+        let mut overlaid = Simulator::new(&nl, &library);
+        overlaid.set_fault_plan(&empty);
+        let got: Vec<_> = operands
+            .iter()
+            .map(|operand| run_return_to_zero(&mut overlaid, operand))
+            .collect();
+        prop_assert_eq!(&got, &expected, "scalar");
+
+        // Bit-sliced engine: one word carrying every operand.
+        let mut healthy_sliced = SlicedSimulator::new(&nl, &library);
+        let expected_sliced = run_word_return_to_zero(&mut healthy_sliced, &operands);
+        let mut overlaid_sliced = SlicedSimulator::new(&nl, &library);
+        overlaid_sliced.set_fault_plan(&empty);
+        let got_sliced = run_word_return_to_zero(&mut overlaid_sliced, &operands);
+        prop_assert_eq!(&got_sliced, &expected_sliced, "sliced");
+
+        // Sharded engines: the faulted entry points with an empty plan
+        // and no horizon must match the plain ones at every thread
+        // count, per-operand and per-word alike.
+        for threads in [1usize, 2, 7] {
+            let sim = ParallelEventSim::new(&nl, &library, threads);
+
+            let baseline = sim.run_operands(&operands);
+            let faulted: Vec<_> = sim
+                .run_operands_faulted(&operands, &empty, None)
+                .into_iter()
+                .collect::<Result<_, _>>()
+                .expect("an empty plan cannot trip the watchdog");
+            prop_assert_eq!(&faulted, &baseline, "parallel scalar, threads {}", threads);
+
+            let sliced_baseline = sim.run_operands_sliced(&operands);
+            let sliced_faulted: Vec<_> = sim
+                .run_operands_sliced_faulted(&operands, &empty, None)
+                .into_iter()
+                .collect::<Result<_, _>>()
+                .expect("an empty plan cannot trip the watchdog");
+            prop_assert_eq!(
+                &sliced_faulted,
+                &sliced_baseline,
+                "parallel sliced, threads {}",
+                threads
+            );
         }
     }
 }
