@@ -193,6 +193,36 @@ fn bench_throughput(c: &mut Criterion) {
         })
     });
 
+    group.bench_function("dualrail_pipelined_64", |b| {
+        // One 64-token train through the wavefront-pipelined four-phase
+        // driver: each token is injected as soon as the input stage
+        // acknowledges its predecessor's spacer.  Wall-clock cost is the
+        // two-pass profile-guided schedule; the simulated cycle-time win
+        // is recorded in the report this run returns.
+        let datapath = datapath::DualRailDatapath::generate(&config).expect("generation");
+        let library = Library::umc_ll();
+        let dualrail_workload = datapath::InferenceWorkload::new(
+            &config,
+            masks.clone(),
+            workload.feature_vectors()[..64].to_vec(),
+        )
+        .expect("sliced workload stays well-formed");
+        let pipeline_config = dualrail::PipelineConfig {
+            occupancy: dualrail::Occupancy::Max,
+            train_length: 64,
+            ..dualrail::PipelineConfig::default()
+        };
+        let parallel =
+            datapath::DualRailInference::new(&datapath, &library, 1).expect("driver construction");
+        b.iter(|| {
+            std::hint::black_box(
+                parallel
+                    .run_workload_pipelined(&dualrail_workload, pipeline_config)
+                    .expect("pipelined dual-rail run"),
+            )
+        })
+    });
+
     group.bench_function("event_driven_sim_16", |b| {
         let datapath = SingleRailDatapath::generate(&config).expect("generation");
         let library = Library::umc_ll();

@@ -23,9 +23,9 @@
 use celllib::Library;
 use datapath::{BatchGoldenModel, DualRailDatapath, InferenceWorkload};
 use tm_serve::{
-    AdmissionPolicy, Backend, BatchBackend, DualRailBackend, DualRailSlicedBackend,
-    EventDrivenBackend, EventSlicedBackend, ParallelBatchBackend, ServeConfig, ServeSummary,
-    Server, ServiceModel, Trace,
+    AdmissionPolicy, Backend, BatchBackend, DualRailBackend, DualRailPipelinedBackend,
+    DualRailSlicedBackend, EventDrivenBackend, EventSlicedBackend, ParallelBatchBackend,
+    ServeConfig, ServeSummary, Server, ServiceModel, Trace,
 };
 
 use crate::workloads::{standard_config, standard_workload};
@@ -248,10 +248,11 @@ fn sweep_backend<B: Backend + Send>(
 ///
 /// The fast lane backends (`batch`, `parallel_batch`) serve `requests`
 /// requests per point; the gate-level simulation backends
-/// (`event_driven`, `dual_rail`, and their bit-sliced variants
-/// `event_sliced`, `dualrail_sliced`) serve `requests / 8` (min 32) so
-/// the sweep stays tractable — each of their requests simulates the
-/// whole netlist.
+/// (`event_driven`, `dual_rail`, their bit-sliced variants
+/// `event_sliced`, `dualrail_sliced`, and the wavefront-pipelined
+/// `dualrail_pipelined`) serve `requests / 8` (min 32) so the sweep
+/// stays tractable — each of their requests simulates the whole
+/// netlist.
 ///
 /// # Panics
 ///
@@ -318,6 +319,23 @@ pub fn run(requests: usize, seed: u64) -> ServeSweepReport {
         seed,
         &mut rows,
     );
+    sweep_backend(
+        "dualrail_pipelined",
+        || {
+            DualRailPipelinedBackend::new(
+                &datapath,
+                &library,
+                masks.clone(),
+                1,
+                dualrail::PipelineConfig::default(),
+            )
+            .expect("backend")
+        },
+        workload,
+        sim_requests,
+        seed,
+        &mut rows,
+    );
 
     ServeSweepReport {
         rows,
@@ -337,9 +355,9 @@ mod tests {
     #[test]
     fn small_sweep_is_well_formed() {
         let report = run(64, 7);
-        // 6 backends x (1 closed + LOAD_FACTORS.len() poisson + bursty + ramp).
+        // 7 backends x (1 closed + LOAD_FACTORS.len() poisson + bursty + ramp).
         let per_backend = 1 + LOAD_FACTORS.len() + 2;
-        assert_eq!(report.rows.len(), 6 * per_backend);
+        assert_eq!(report.rows.len(), 7 * per_backend);
         for backend in [
             "batch",
             "parallel_batch",
@@ -347,6 +365,7 @@ mod tests {
             "dual_rail",
             "event_sliced",
             "dualrail_sliced",
+            "dualrail_pipelined",
         ] {
             let rows = report.backend_rows(backend);
             assert_eq!(rows.len(), per_backend, "{backend}");
@@ -363,6 +382,7 @@ mod tests {
         assert!(json.contains("\"serve_event_driven_qps\""));
         assert!(json.contains("\"serve_event_sliced_qps\""));
         assert!(json.contains("\"serve_dualrail_sliced_qps\""));
+        assert!(json.contains("\"serve_dualrail_pipelined_qps\""));
         assert!(json.contains("\"queue_p99_ns\""));
         assert!(json.trim_start().starts_with('{') && json.trim_end().ends_with('}'));
         assert!(report.render().contains("serve_dual_rail_qps"));

@@ -83,6 +83,7 @@ pub mod error;
 pub mod expand;
 pub mod gates;
 pub mod parallel;
+pub mod pipeline;
 pub mod protocol;
 pub mod sliced;
 pub mod timing;
@@ -95,6 +96,10 @@ pub use encoding::{DualRailValue, OneOfNValue, SpacerPolarity};
 pub use error::DualRailError;
 pub use expand::{expand_to_dual_rail, ExpansionStyle};
 pub use parallel::{ParallelProtocolDriver, ParallelProtocolRun};
+pub use pipeline::{
+    Occupancy, PipelineConfig, PipelinedProtocolDriver, SlicedPipelinedProtocolDriver,
+    WavefrontTiming,
+};
 pub use protocol::{OperandResult, ProtocolDriver};
 pub use sliced::{rebased_reference_driver, SlicedProtocolDriver};
 pub use timing::ThroughputReport;

@@ -56,10 +56,13 @@ use std::sync::Arc;
 
 use celllib::Library;
 use exec::Executor;
-use gatesim::{EngineProgram, LatencyReport, Logic, ParallelEventSim, Simulator};
+use gatesim::{EngineProgram, LatencyReport, Logic, ParallelEventSim, PipelineReport, Simulator};
 use sta::GracePeriod;
 
-use crate::{DualRailError, DualRailNetlist, OperandResult, ProtocolDriver, SlicedProtocolDriver};
+use crate::{
+    DualRailError, DualRailNetlist, OperandResult, PipelineConfig, PipelinedProtocolDriver,
+    ProtocolDriver, SlicedPipelinedProtocolDriver, SlicedProtocolDriver, WavefrontTiming,
+};
 
 /// Results of one sharded workload run: every operand's full
 /// [`OperandResult`] in operand order, plus the spacer→valid latency
@@ -109,6 +112,11 @@ pub struct ParallelProtocolDriver<'a> {
     /// driver and verified by every worker after every cycle.
     snapshot: Arc<[Logic]>,
     grace: Option<GracePeriod>,
+    /// Wavefront timing bounds for the pipelined entry points, computed
+    /// once at construction (workers carry no library reference); the
+    /// analysis error, if any, is deferred until a pipelined run asks
+    /// for the bounds.
+    timing: Result<WavefrontTiming, DualRailError>,
     check_monotonic: bool,
 }
 
@@ -153,6 +161,7 @@ impl<'a> ParallelProtocolDriver<'a> {
         let reference = ProtocolDriver::from_program(circuit, Arc::clone(&program))?;
         let snapshot = reference.quiescent_snapshot();
         drop(reference);
+        let timing = WavefrontTiming::compute(circuit, library, &snapshot);
         // The C-element latches and completion tree make the netlist
         // sequential; sharding is sound because — and only because — the
         // verified reset-phase contract restores one quiescent state per
@@ -163,6 +172,7 @@ impl<'a> ParallelProtocolDriver<'a> {
             sim,
             snapshot,
             grace,
+            timing,
             check_monotonic: true,
         })
     }
@@ -284,6 +294,146 @@ impl<'a> ParallelProtocolDriver<'a> {
         );
         let results = results.into_iter().collect::<Result<Vec<_>, _>>()?;
         Ok(ParallelProtocolRun::from_results(results))
+    }
+
+    /// The wavefront timing bounds the pipelined entry points schedule
+    /// against, if the analysis succeeded at construction.
+    #[must_use]
+    pub fn wavefront_timing(&self) -> Option<&WavefrontTiming> {
+        self.timing.as_ref().ok()
+    }
+
+    /// Like [`ParallelProtocolDriver::run_workload`], but each worker
+    /// drives its claimed operands through the wavefront-pipelined
+    /// schedule ([`PipelinedProtocolDriver::run_train`]): trains of
+    /// `config.train_length` tokens at fixed operand positions, with
+    /// operand *k+1* injected as soon as the input stage acknowledges
+    /// operand *k*'s spacer instead of after the global `done`
+    /// round-trip.
+    ///
+    /// A train is a pure function of its own operands (the clock
+    /// rebases per train), so position-based chunking keeps decoded
+    /// outputs and per-token measurements bit-identical at any thread
+    /// count.  At [`crate::Occupancy::One`] every token runs the
+    /// serial contract cycle and the run is bit-identical to
+    /// [`ParallelProtocolDriver::run_workload`].
+    ///
+    /// Returns the per-operand results plus a [`PipelineReport`]
+    /// separating token latency (spacer→valid, unchanged by
+    /// pipelining) from cycle time (injection-to-injection interval,
+    /// the pipelined figure of merit).
+    ///
+    /// # Errors
+    ///
+    /// Propagates the wavefront timing analysis error if the bounds
+    /// could not be computed at construction, and otherwise the first
+    /// per-token error in operand order — the typed hazard,
+    /// divergence and contract violations of
+    /// [`PipelinedProtocolDriver::run_train`].
+    pub fn run_workload_pipelined(
+        &self,
+        operands: &[Vec<bool>],
+        config: PipelineConfig,
+    ) -> Result<(ParallelProtocolRun, PipelineReport), DualRailError> {
+        let circuit = self.circuit;
+        let timing = self.timing.clone()?;
+        let check_monotonic = self.check_monotonic;
+        let train_len = config.train_length.max(1);
+        let results = self.sim.run_trains_with(
+            operands,
+            train_len,
+            |sim: Simulator<'a>| -> Result<PipelinedProtocolDriver<'a>, DualRailError> {
+                let mut driver = PipelinedProtocolDriver::from_simulator_with_timing(
+                    circuit,
+                    sim,
+                    timing.clone(),
+                    config,
+                )?;
+                driver.set_monotonicity_check(check_monotonic);
+                Ok(driver)
+            },
+            |driver, train: &[Vec<bool>]| match driver {
+                Ok(driver) => match driver.run_train(train) {
+                    Ok(results) => results.into_iter().map(Ok).collect(),
+                    Err(error) => train.iter().map(|_| Err(error.clone())).collect(),
+                },
+                Err(error) => train.iter().map(|_| Err(error.clone())).collect(),
+            },
+        );
+        let results = results.into_iter().collect::<Result<Vec<_>, _>>()?;
+        let report = pipeline_report(&results, &timing, config);
+        Ok((ParallelProtocolRun::from_results(results), report))
+    }
+
+    /// The 64-wide analogue of
+    /// [`ParallelProtocolDriver::run_workload_pipelined`]: each worker
+    /// cuts its claimed trains into words of up to 64 operand lanes and
+    /// drives whole words through the wavefront schedule
+    /// ([`SlicedPipelinedProtocolDriver::run_train`]), composing the
+    /// word-level and wavefront-level throughput multipliers.
+    /// `config.train_length` counts **words** per train here.
+    ///
+    /// # Errors
+    ///
+    /// As [`ParallelProtocolDriver::run_workload_pipelined`];
+    /// divergence is word- and train-global (lanes share one event
+    /// budget).
+    pub fn run_workload_pipelined_sliced(
+        &self,
+        operands: &[Vec<bool>],
+        config: PipelineConfig,
+    ) -> Result<(ParallelProtocolRun, PipelineReport), DualRailError> {
+        let circuit = self.circuit;
+        let snapshot = &self.snapshot;
+        let timing = self.timing.clone()?;
+        let check_monotonic = self.check_monotonic;
+        let words_per_train = config.train_length.max(1);
+        let results = self.sim.run_word_trains_with(
+            operands,
+            words_per_train,
+            |sim| {
+                SlicedPipelinedProtocolDriver::from_sliced_simulator(
+                    circuit,
+                    sim,
+                    Arc::clone(snapshot),
+                    timing.clone(),
+                    config,
+                    check_monotonic,
+                )
+            },
+            |driver, train: &[Vec<bool>]| match driver {
+                Ok(driver) => match driver.run_train(train) {
+                    Ok(results) => results.into_iter().map(Ok).collect(),
+                    Err(error) => train.iter().map(|_| Err(error.clone())).collect(),
+                },
+                Err(error) => train.iter().map(|_| Err(error.clone())).collect(),
+            },
+        );
+        let results = results.into_iter().collect::<Result<Vec<_>, _>>()?;
+        let report = pipeline_report(&results, &timing, config);
+        Ok((ParallelProtocolRun::from_results(results), report))
+    }
+}
+
+/// Aggregates per-token results into the pipelined throughput report:
+/// token latency from the spacer→valid measurements, cycle time from
+/// the per-token injection intervals (each train's last token closes on
+/// the train's drain, so the cycle entries sum to the makespan).
+fn pipeline_report(
+    results: &[OperandResult],
+    timing: &WavefrontTiming,
+    config: PipelineConfig,
+) -> PipelineReport {
+    let token_latency =
+        LatencyReport::from_latencies(results.iter().map(|r| r.s_to_v_latency_ps).collect());
+    let cycles: Vec<f64> = results.iter().map(|r| r.cycle_time_ps).collect();
+    let makespan_ps = cycles.iter().sum();
+    PipelineReport {
+        token_latency,
+        cycle: LatencyReport::from_latencies(cycles),
+        makespan_ps,
+        tokens: results.len(),
+        occupancy: timing.occupancy_cap(config.separation_margin, config.occupancy),
     }
 }
 

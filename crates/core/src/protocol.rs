@@ -48,7 +48,7 @@ use crate::{DualRailError, DualRailNetlist, DualRailValue, OneOfNValue};
 /// Decoded primary outputs of one protocol cycle: the dual-rail output
 /// bits in declaration order, plus each 1-of-n group's name and active
 /// index.
-type DecodedOutputs = (Vec<bool>, Vec<(String, usize)>);
+pub(crate) type DecodedOutputs = (Vec<bool>, Vec<(String, usize)>);
 
 /// Measurements and decoded results for one operand (one full
 /// valid/spacer cycle).
@@ -326,17 +326,40 @@ impl<'a> ProtocolDriver<'a> {
         self.sim.activity_profile(self.sim.now_ps())
     }
 
+    /// The circuit this driver exercises (for sibling drivers in this
+    /// crate that layer a different schedule over the same helpers).
+    pub(crate) fn circuit(&self) -> &'a DualRailNetlist {
+        self.circuit
+    }
+
+    /// Shared read access to the underlying simulator instance.
+    pub(crate) fn sim(&self) -> &Simulator<'a> {
+        &self.sim
+    }
+
+    /// Mutable access to the underlying simulator instance — the
+    /// wavefront-pipelined driver steps it slice by slice instead of
+    /// settling whole phases.
+    pub(crate) fn sim_mut(&mut self) -> &mut Simulator<'a> {
+        &mut self.sim
+    }
+
+    /// Whether the per-phase monotonicity check is enabled.
+    pub(crate) fn monotonicity_check(&self) -> bool {
+        self.check_monotonic
+    }
+
     /// The optional request input: circuits with C-element input latches
     /// expose a primary input named `req` which the environment asserts
     /// together with valid data and deasserts together with the spacer.
-    fn request_input(&self) -> Option<NetId> {
+    pub(crate) fn request_input(&self) -> Option<NetId> {
         self.circuit
             .netlist()
             .find_net("req")
             .filter(|&n| self.circuit.netlist().is_primary_input(n))
     }
 
-    fn drive_spacer(&mut self) {
+    pub(crate) fn drive_spacer(&mut self) {
         if let Some(req) = self.request_input() {
             self.sim.set_input(req, Logic::Zero);
         }
@@ -347,7 +370,7 @@ impl<'a> ProtocolDriver<'a> {
         }
     }
 
-    fn drive_valid(&mut self, bits: &[bool]) {
+    pub(crate) fn drive_valid(&mut self, bits: &[bool]) {
         if let Some(req) = self.request_input() {
             self.sim.set_input(req, Logic::One);
         }
@@ -358,7 +381,7 @@ impl<'a> ProtocolDriver<'a> {
         }
     }
 
-    fn decode_outputs(&self) -> Result<DecodedOutputs, DualRailError> {
+    pub(crate) fn decode_outputs(&self) -> Result<DecodedOutputs, DualRailError> {
         let mut outputs = Vec::new();
         for (name, signal) in self.circuit.dual_outputs() {
             let value = DualRailValue::decode(
@@ -409,7 +432,7 @@ impl<'a> ProtocolDriver<'a> {
         Ok((outputs, groups))
     }
 
-    fn check_outputs_at_spacer(&self) -> Result<(), DualRailError> {
+    pub(crate) fn check_outputs_at_spacer(&self) -> Result<(), DualRailError> {
         for (name, signal) in self.circuit.dual_outputs() {
             let value = DualRailValue::decode(
                 self.sim.value(signal.positive),
@@ -445,7 +468,7 @@ impl<'a> ProtocolDriver<'a> {
     /// switched in a *previous* cycle — never count: reporting a stale
     /// timestamp as this phase's latency was exactly the
     /// `done_latency_ps` staleness bug.
-    fn latest_change_since(&self, nets: &[NetId], since_ps: f64) -> Option<f64> {
+    pub(crate) fn latest_change_since(&self, nets: &[NetId], since_ps: f64) -> Option<f64> {
         nets.iter()
             .filter_map(|&n| self.sim.last_change_ps(n))
             .filter(|&t| t >= since_ps)
@@ -610,7 +633,7 @@ impl<'a> ProtocolDriver<'a> {
     /// Decodes every declared probe signal at the current (settled
     /// valid) state.  Probes carry no protocol obligations, so any
     /// codeword — including spacer and forbidden — is recorded as-is.
-    fn decode_probes(&self) -> Vec<(String, DualRailValue)> {
+    pub(crate) fn decode_probes(&self) -> Vec<(String, DualRailValue)> {
         self.circuit
             .probes()
             .iter()

@@ -166,7 +166,36 @@ impl<'a> SlicedProtocolDriver<'a> {
         Ok(())
     }
 
-    fn drive_spacer_planes(&mut self) {
+    /// The circuit this word driver exercises (for the wavefront
+    /// pipelined driver, which layers a different schedule over the
+    /// same per-lane helpers).
+    pub(crate) fn circuit(&self) -> &'a DualRailNetlist {
+        self.circuit
+    }
+
+    /// Shared read access to the underlying sliced simulator.
+    pub(crate) fn sim(&self) -> &SlicedSimulator<'a> {
+        &self.sim
+    }
+
+    /// Mutable access to the underlying sliced simulator — the
+    /// wavefront-pipelined driver steps it slice by slice instead of
+    /// settling whole phases.
+    pub(crate) fn sim_mut(&mut self) -> &mut SlicedSimulator<'a> {
+        &mut self.sim
+    }
+
+    /// The canonical quiescent snapshot every lane verifies against.
+    pub(crate) fn snapshot(&self) -> &Arc<[Logic]> {
+        &self.snapshot
+    }
+
+    /// Whether the per-phase monotonicity check is enabled.
+    pub(crate) fn monotonicity_check(&self) -> bool {
+        self.check_monotonic
+    }
+
+    pub(crate) fn drive_spacer_planes(&mut self) {
         if let Some(req) = self.req {
             self.sim.set_input_planes(req, 0, 0, FULL);
         }
@@ -182,7 +211,7 @@ impl<'a> SlicedProtocolDriver<'a> {
     /// Drives valid codewords on the lanes in `run` (lane `l` carrying
     /// `operands[l]`) while every other lane keeps its spacer encoding,
     /// so inactive and width-mismatched lanes stay quiescent.
-    fn drive_valid_planes(&mut self, operands: &[Vec<bool>], run: u64) {
+    pub(crate) fn drive_valid_planes(&mut self, operands: &[Vec<bool>], run: u64) {
         if let Some(req) = self.req {
             self.sim.set_input_planes(req, run, 0, FULL);
         }
@@ -213,7 +242,7 @@ impl<'a> SlicedProtocolDriver<'a> {
         }
     }
 
-    fn decode_outputs_lane(&self, lane: usize) -> Result<DecodedOutputs, DualRailError> {
+    pub(crate) fn decode_outputs_lane(&self, lane: usize) -> Result<DecodedOutputs, DualRailError> {
         let mut outputs = Vec::new();
         for (name, signal) in self.circuit.dual_outputs() {
             let value = DualRailValue::decode(
@@ -264,7 +293,7 @@ impl<'a> SlicedProtocolDriver<'a> {
         Ok((outputs, groups))
     }
 
-    fn check_outputs_at_spacer_lane(&self, lane: usize) -> Result<(), DualRailError> {
+    pub(crate) fn check_outputs_at_spacer_lane(&self, lane: usize) -> Result<(), DualRailError> {
         for (name, signal) in self.circuit.dual_outputs() {
             let value = DualRailValue::decode(
                 self.sim.value(signal.positive, lane),
@@ -294,7 +323,7 @@ impl<'a> SlicedProtocolDriver<'a> {
         Ok(())
     }
 
-    fn decode_probes_lane(&self, lane: usize) -> Vec<(String, DualRailValue)> {
+    pub(crate) fn decode_probes_lane(&self, lane: usize) -> Vec<(String, DualRailValue)> {
         self.circuit
             .probes()
             .iter()
@@ -312,7 +341,7 @@ impl<'a> SlicedProtocolDriver<'a> {
     /// Latest change any of `nets` made on `lane` during the current
     /// (rebased, activity-cleared) phase — the sliced counterpart of
     /// the scalar driver's `latest_change_since(nets, 0.0)`.
-    fn latest_watched_change(&self, nets: &[NetId], lane: usize) -> Option<f64> {
+    pub(crate) fn latest_watched_change(&self, nets: &[NetId], lane: usize) -> Option<f64> {
         let bit = 1u64 << lane;
         nets.iter()
             .filter(|&&n| self.sim.watch_moved_mask(n) & bit != 0)
@@ -322,7 +351,7 @@ impl<'a> SlicedProtocolDriver<'a> {
             })
     }
 
-    fn check_monotonic_lane(&self, lane: usize) -> Result<(), DualRailError> {
+    pub(crate) fn check_monotonic_lane(&self, lane: usize) -> Result<(), DualRailError> {
         if !self.check_monotonic {
             return Ok(());
         }

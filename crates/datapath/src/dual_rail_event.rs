@@ -46,7 +46,7 @@
 use celllib::Library;
 use dualrail::{OperandResult, ParallelProtocolDriver};
 use exec::Executor;
-use gatesim::LatencyReport;
+use gatesim::{LatencyReport, PipelineReport};
 
 use crate::builder::DualRailDatapath;
 use crate::reference::InferenceOutcome;
@@ -225,6 +225,101 @@ impl<'a> DualRailInference<'a> {
             done_latency,
             results: run.results,
         })
+    }
+
+    /// Like [`DualRailInference::run_workload`], but wavefront-pipelined
+    /// ([`dualrail::PipelinedProtocolDriver`]): within each train of
+    /// `config.train_length` operands, operand *k+1* is injected as soon
+    /// as the input stage acknowledges operand *k*'s spacer instead of
+    /// after the global `done` round-trip.  Decoded outcomes and token
+    /// latencies match the unpipelined run; the returned
+    /// [`PipelineReport`] adds the pipelined figure of merit — the
+    /// injection-to-injection cycle time, well below the two-settle
+    /// serial cycle at occupancy ≥ 2.
+    ///
+    /// # Errors
+    ///
+    /// See [`DualRailInference::run_workload`], plus the typed wavefront
+    /// hazard violations of [`dualrail::PipelinedProtocolDriver`] and
+    /// the timing-analysis error if the wavefront bounds could not be
+    /// computed.
+    pub fn run_workload_pipelined(
+        &self,
+        workload: &InferenceWorkload,
+        config: dualrail::PipelineConfig,
+    ) -> Result<(DualRailRun, PipelineReport), DatapathError> {
+        self.run_features_pipelined(workload.masks(), workload.feature_vectors(), config)
+    }
+
+    /// Explicit-batch form of
+    /// [`DualRailInference::run_workload_pipelined`].
+    ///
+    /// # Errors
+    ///
+    /// See [`DualRailInference::run_workload_pipelined`].
+    pub fn run_features_pipelined<V: AsRef<[bool]>>(
+        &self,
+        masks: &tsetlin::ExcludeMasks,
+        feature_vectors: &[V],
+        config: dualrail::PipelineConfig,
+    ) -> Result<(DualRailRun, PipelineReport), DatapathError> {
+        let operands = feature_vectors
+            .iter()
+            .map(|v| self.datapath.operand_bits(v.as_ref(), masks))
+            .collect::<Result<Vec<_>, _>>()?;
+        let (run, report) = self.driver.run_workload_pipelined(&operands, config)?;
+        let outcomes = run
+            .results
+            .iter()
+            .map(|result| self.datapath.decode_outcome(result))
+            .collect::<Result<Vec<_>, _>>()?;
+        let done_latency = run.done_latency();
+        let run = DualRailRun {
+            outcomes,
+            latency: run.latency,
+            done_latency,
+            results: run.results,
+        };
+        Ok((run, report))
+    }
+
+    /// Like [`DualRailInference::run_workload_pipelined`], but 64
+    /// operand lanes per word on the bit-sliced wavefront driver
+    /// ([`dualrail::SlicedPipelinedProtocolDriver`]), composing the
+    /// word-level and wavefront-level throughput multipliers;
+    /// `config.train_length` counts words per train.  At
+    /// [`dualrail::Occupancy::Max`] the global `done` pulses of a word
+    /// train may merge, so `done_latency` is `None` there.
+    ///
+    /// # Errors
+    ///
+    /// See [`DualRailInference::run_workload_pipelined`].
+    pub fn run_workload_pipelined_sliced(
+        &self,
+        workload: &InferenceWorkload,
+        config: dualrail::PipelineConfig,
+    ) -> Result<(DualRailRun, PipelineReport), DatapathError> {
+        let operands = workload
+            .feature_vectors()
+            .iter()
+            .map(|v| self.datapath.operand_bits(v.as_ref(), workload.masks()))
+            .collect::<Result<Vec<_>, _>>()?;
+        let (run, report) = self
+            .driver
+            .run_workload_pipelined_sliced(&operands, config)?;
+        let outcomes = run
+            .results
+            .iter()
+            .map(|result| self.datapath.decode_outcome(result))
+            .collect::<Result<Vec<_>, _>>()?;
+        let done_latency = run.done_latency();
+        let run = DualRailRun {
+            outcomes,
+            latency: run.latency,
+            done_latency,
+            results: run.results,
+        };
+        Ok((run, report))
     }
 }
 

@@ -22,10 +22,11 @@
 //!   loop instead.
 //! * [`MicroBatcher`] + [`AdmissionPolicy`] — the deterministic batcher
 //!   state machine (see `batcher` module docs).
-//! * [`Backend`] — one trait, six adapters ([`BatchBackend`],
+//! * [`Backend`] — one trait, seven adapters ([`BatchBackend`],
 //!   [`ParallelBatchBackend`], [`EventDrivenBackend`],
-//!   [`DualRailBackend`], and the bit-sliced [`EventSlicedBackend`]
-//!   and [`DualRailSlicedBackend`]).
+//!   [`DualRailBackend`], the bit-sliced [`EventSlicedBackend`] and
+//!   [`DualRailSlicedBackend`], and the wavefront-pipelined
+//!   [`DualRailPipelinedBackend`]).
 //! * [`Server`] — the virtual-clock event loop; see `server` module
 //!   docs for the determinism contract.  **Every served outcome is
 //!   verified against the workload's golden outcome** before a report
@@ -84,8 +85,9 @@ pub mod telemetry;
 pub mod trace;
 
 pub use backend::{
-    Backend, BatchBackend, CircuitBreaker, DualRailBackend, DualRailSlicedBackend,
-    EventDrivenBackend, EventSlicedBackend, FlakyBackend, ParallelBatchBackend,
+    Backend, BatchBackend, CircuitBreaker, DualRailBackend, DualRailPipelinedBackend,
+    DualRailSlicedBackend, EventDrivenBackend, EventSlicedBackend, FlakyBackend,
+    ParallelBatchBackend,
 };
 pub use batcher::{AdmissionPolicy, MicroBatcher, PendingRequest};
 pub use error::ServeError;

@@ -32,6 +32,24 @@ impl RunOutcome {
     }
 }
 
+/// Outcome of one bounded stepping increment
+/// ([`Simulator::step_time_slice`], `SlicedSimulator::step_time_slice`).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum StepOutcome {
+    /// One time slice was processed: every pending event sharing the
+    /// earliest pending timestamp has been applied.
+    Advanced {
+        /// Number of events applied in this slice.
+        events: u64,
+    },
+    /// The queue is empty — the circuit is quiescent.
+    Idle,
+    /// The watchdog tripped: either the caller-held event budget ran out
+    /// or the next event lies beyond the time horizon (the event is
+    /// pushed back so the aborted tail stays visible as pending work).
+    LimitReached,
+}
+
 /// Event-driven gate-level simulator over a netlist and a library.
 ///
 /// The simulator uses transport-delay semantics with per-cell delays
@@ -494,6 +512,82 @@ impl<'a> Simulator<'a> {
             }
             self.apply_event(event);
         }
+    }
+
+    /// Processes exactly one **time slice**: every pending event sharing
+    /// the earliest pending timestamp (SEU pulses of an installed
+    /// [`FaultPlan`] fire first, in time order, exactly as in
+    /// [`Simulator::run_until_quiescent`]).
+    ///
+    /// This is the observation primitive behind wavefront-pipelined
+    /// protocol drivers: between slices the net values form a consistent
+    /// snapshot of the circuit at one instant, so a caller can watch
+    /// intermediate handshake states (a spacer wavefront draining while
+    /// the next data wavefront rises) that
+    /// [`Simulator::run_until_quiescent`] would run straight through.
+    ///
+    /// `budget` is a caller-held event allowance spanning a whole wait
+    /// (typically initialised from [`Simulator::event_limit`]); it is
+    /// decremented per applied event so a sliced wait enforces the same
+    /// two-sided watchdog as a monolithic settle.  The time horizon is
+    /// honoured identically: an over-horizon event is pushed back and
+    /// the slice reports [`StepOutcome::LimitReached`].
+    pub fn step_time_slice(&mut self, budget: &mut u64) -> StepOutcome {
+        if self.faults.is_some() {
+            self.fire_due_pulses();
+        }
+        let Some(first) = self.pop_event() else {
+            return StepOutcome::Idle;
+        };
+        if first.time_ps > self.horizon_ps {
+            self.schedule(first.net, first.value, first.time_ps);
+            return StepOutcome::LimitReached;
+        }
+        let slice_ps = first.time_ps;
+        let mut event = first;
+        let mut processed = 0u64;
+        loop {
+            if processed >= *budget {
+                // Push the unapplied event back before aborting so the
+                // tail stays visible, mirroring the horizon path.
+                self.schedule(event.net, event.value, event.time_ps);
+                *budget = 0;
+                return StepOutcome::LimitReached;
+            }
+            processed += 1;
+            self.total_events += 1;
+            self.apply_event(event);
+            // A pulse due within the slice interleaves here, exactly as
+            // the monolithic loop fires it before every pop.
+            if self.faults.is_some() {
+                self.fire_due_pulses();
+            }
+            match self.queue.next_time_ps() {
+                Some(next) if next <= slice_ps => {
+                    event = self.pop_event().expect("peeked event vanished");
+                }
+                _ => break,
+            }
+        }
+        *budget -= processed;
+        StepOutcome::Advanced { events: processed }
+    }
+
+    /// The configured per-settle event allowance (see
+    /// [`Simulator::set_event_limit`]); callers stepping with
+    /// [`Simulator::step_time_slice`] seed their budget from this.
+    #[must_use]
+    pub fn event_limit(&self) -> u64 {
+        self.event_limit
+    }
+
+    /// Timestamp of the earliest queued event, if any. Wavefront
+    /// controllers peek this between [`Simulator::step_time_slice`]
+    /// calls to decide whether the next scheduled injection happens
+    /// before or after the circuit's next intrinsic transition.
+    #[must_use]
+    pub fn next_event_time_ps(&self) -> Option<f64> {
+        self.queue.next_time_ps()
     }
 
     /// Fires every armed SEU pulse that is due before the next queued

@@ -71,10 +71,10 @@ pub mod sliced;
 pub mod testbench;
 pub mod value;
 
-pub use engine::{RunOutcome, Simulator};
+pub use engine::{RunOutcome, Simulator, StepOutcome};
 pub use event::{Event, EventQueue, SimEvent};
 pub use fault::{FaultPlan, SettleError, SettlePhase, SeuPulse};
-pub use monitor::{LatencyReport, LatencyStats, TransitionLog};
+pub use monitor::{LatencyReport, LatencyStats, PipelineReport, TransitionLog};
 pub use parallel::{
     run_return_to_zero, try_run_return_to_zero, OperandRun, ParallelEventSim, ShardingContract,
 };

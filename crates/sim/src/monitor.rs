@@ -372,6 +372,75 @@ impl fmt::Display for LatencyReport {
     }
 }
 
+/// Per-token timing of a wavefront-pipelined protocol run, separating
+/// the paper's two figures of merit: **token latency** (spacer→valid per
+/// token — how fast one inference completes) and **cycle time** (how
+/// soon the next token could be injected behind it — the
+/// throughput-at-latency figure).
+///
+/// Under pipelining the two decouple: token latency stays inside the
+/// unpipelined envelope while the injection interval drops well below
+/// the two-settle cost of a full four-phase handshake, because operand
+/// *k+1* enters as soon as the input stage acknowledges operand *k*'s
+/// spacer instead of waiting for the global `done` round-trip.
+///
+/// Compares with `==` like [`LatencyReport`] (entry order included), so
+/// thread-invariance and determinism property tests can assert
+/// bit-identical reports.
+#[derive(Clone, Debug, Default, PartialEq)]
+pub struct PipelineReport {
+    /// Spacer→valid latency per token, in token order.
+    pub token_latency: LatencyReport,
+    /// Injection-to-injection interval per token, in token order (each
+    /// train's last token closes on the train's drain, so a train's
+    /// entries sum to its makespan; at occupancy 1 this is the full
+    /// four-phase cycle time per token).
+    pub cycle: LatencyReport,
+    /// Total simulated time across all trains, injection of each train's
+    /// first token to its final drain, in picoseconds.
+    pub makespan_ps: f64,
+    /// Tokens covered by the report.
+    pub tokens: usize,
+    /// The occupancy cap the run actually used (1 = serial delegation,
+    /// 2 = wavefront overlap — the structural depth of the single-stage
+    /// datapath).
+    pub occupancy: usize,
+}
+
+impl PipelineReport {
+    /// Simulated-hardware throughput: tokens per second of simulated
+    /// time over the whole run (0.0 if no time elapsed).
+    #[must_use]
+    pub fn tokens_per_sec(&self) -> f64 {
+        if self.makespan_ps <= 0.0 {
+            return 0.0;
+        }
+        self.tokens as f64 / (self.makespan_ps * 1e-12)
+    }
+
+    /// Mean injection-to-injection interval in picoseconds (0.0 if the
+    /// run had no overlapped pair).
+    #[must_use]
+    pub fn avg_cycle_ps(&self) -> f64 {
+        self.cycle.average_ps()
+    }
+}
+
+impl fmt::Display for PipelineReport {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "tokens={} occupancy={} token latency [{}] cycle [{}] makespan={:.1} ps ({:.0} tokens/s)",
+            self.tokens,
+            self.occupancy,
+            self.token_latency,
+            self.cycle,
+            self.makespan_ps,
+            self.tokens_per_sec()
+        )
+    }
+}
+
 /// A chronological log of `(time, net, value-as-bool)` transitions,
 /// filtered to a set of watched nets.  Used by protocol checkers in the
 /// `dualrail` crate to verify monotonic switching.

@@ -1096,3 +1096,432 @@ proptest! {
         }
     }
 }
+
+// ---------------------------------------------------------------------
+// Wavefront-pipelined four-phase driving: overlapped trains decode to
+// the serial driver's exact tokens, sharding is thread-invariant, and
+// every hazard path is a typed error, never a wrong vote
+// ---------------------------------------------------------------------
+
+proptest! {
+    // Each case profiles and replays full dual-rail trains at three
+    // occupancy levels, so run few cases.
+    #![proptest_config(ProptestConfig::with_cases(3))]
+
+    /// A wavefront-pipelined train decodes to the streamed contract
+    /// driver's exact tokens at every occupancy: decoded outputs,
+    /// one-of-n votes, probes and all three latency figures are
+    /// bit-identical (the decode comes from the serial profile pass, so
+    /// this is equality, not tolerance), occupancy 1 delegates to the
+    /// serial cycle outright (full `OperandResult` equality, cycle
+    /// times included), and overlapping at occupancy >= 2 strictly
+    /// shrinks the train makespan below the serial cycle total.
+    #[test]
+    fn pipelined_train_matches_serial_at_every_occupancy(
+        seed in 0u64..10_000,
+        operands in 2usize..12,
+    ) {
+        use tm_async::datapath::InferenceWorkload;
+        use tm_async::dualrail::{Occupancy, PipelineConfig, PipelinedProtocolDriver};
+
+        let config = DatapathConfig::new(3, 2).expect("valid");
+        let workload = InferenceWorkload::random(&config, operands, 0.7, seed).expect("workload");
+        let datapath = DualRailDatapath::generate(&config).expect("generation");
+        let library = Library::umc_ll();
+        let operand_bits = workload.dual_rail_operands(&datapath).expect("widths");
+
+        let mut streamed = ProtocolDriver::new(datapath.circuit(), &library).expect("driver");
+        let snapshot = streamed.quiescent_snapshot();
+        streamed.enable_reset_contract(snapshot);
+        let expected: Vec<_> = operand_bits
+            .iter()
+            .map(|operand| streamed.apply_operand(operand).expect("protocol cycle"))
+            .collect();
+        let serial_total: f64 = expected.iter().map(|r| r.cycle_time_ps).sum();
+
+        for occupancy in [Occupancy::One, Occupancy::Two, Occupancy::Max] {
+            let mut pipelined = PipelinedProtocolDriver::new(
+                datapath.circuit(),
+                &library,
+                PipelineConfig { occupancy, ..PipelineConfig::default() },
+            )
+            .expect("pipelined driver");
+            let got = pipelined.run_train(&operand_bits).expect("pipelined train");
+            if occupancy == Occupancy::One {
+                prop_assert_eq!(&got, &expected, "occupancy 1 must delegate to the serial cycle");
+                continue;
+            }
+            prop_assert_eq!(got.len(), expected.len());
+            for (k, (g, e)) in got.iter().zip(&expected).enumerate() {
+                // Everything but the cycle time is bit-identical; the
+                // pipelined cycle time is the injection-to-injection
+                // interval, not the serial round trip.
+                let mut patched = g.clone();
+                patched.cycle_time_ps = e.cycle_time_ps;
+                prop_assert_eq!(&patched, e, "{:?} token {}", occupancy, k);
+            }
+            let pipelined_total: f64 = got.iter().map(|r| r.cycle_time_ps).sum();
+            prop_assert!(
+                pipelined_total < serial_total,
+                "{:?} makespan {} ps must beat the serial total {} ps",
+                occupancy,
+                pipelined_total,
+                serial_total
+            );
+        }
+    }
+
+    /// Sharding pipelined trains changes nothing: at thread counts
+    /// {1, 2, 7}, the scalar and 64-wide bit-sliced pipelined workload
+    /// runners reproduce their occupancy-1 runs bit-identically against
+    /// the unpipelined sharded runners, and the overlapped runs are
+    /// bit-identical across thread counts and decode-equal to the
+    /// serial references (trains are position-chunked pure functions of
+    /// their own operands).
+    #[test]
+    fn sharded_pipelined_runs_are_thread_invariant_and_serial(
+        seed in 0u64..10_000,
+        operands in 2usize..12,
+    ) {
+        use tm_async::datapath::InferenceWorkload;
+        use tm_async::dualrail::{Occupancy, ParallelProtocolDriver, PipelineConfig};
+
+        let config = DatapathConfig::new(3, 2).expect("valid");
+        let workload = InferenceWorkload::random(&config, operands, 0.7, seed).expect("workload");
+        let datapath = DualRailDatapath::generate(&config).expect("generation");
+        let library = Library::umc_ll();
+        let operand_bits = workload.dual_rail_operands(&datapath).expect("widths");
+
+        // Unpipelined sharded references (thread-invariant by the
+        // sharding property above) and single-threaded pipelined
+        // references for the cross-thread comparison.
+        let reference =
+            ParallelProtocolDriver::new(datapath.circuit(), &library, 1).expect("driver");
+        let serial = reference.run_workload(&operand_bits).expect("serial run");
+        let serial_sliced = reference
+            .run_workload_sliced(&operand_bits)
+            .expect("serial sliced run");
+        // train_length 4 forces multiple trains per run for most cases.
+        let overlapped = [Occupancy::Two, Occupancy::Max].map(|occupancy| PipelineConfig {
+            occupancy,
+            train_length: 4,
+            ..PipelineConfig::default()
+        });
+        let scalar_refs = overlapped.map(|cfg| {
+            reference
+                .run_workload_pipelined(&operand_bits, cfg)
+                .expect("pipelined run")
+        });
+        let sliced_refs = overlapped.map(|cfg| {
+            reference
+                .run_workload_pipelined_sliced(&operand_bits, cfg)
+                .expect("sliced pipelined run")
+        });
+        for (cfg, (run, report)) in overlapped.iter().zip(&scalar_refs) {
+            for (k, (g, e)) in run.results.iter().zip(&serial.results).enumerate() {
+                let mut patched = g.clone();
+                patched.cycle_time_ps = e.cycle_time_ps;
+                prop_assert_eq!(&patched, e, "{:?} token {}", cfg.occupancy, k);
+            }
+            prop_assert!(report.occupancy >= 2, "{:?}", cfg.occupancy);
+            prop_assert_eq!(report.tokens, operand_bits.len());
+        }
+        // The sliced wavefront attributes measured event times against
+        // an absolute schedule, so its latencies carry ulp-level float
+        // drift relative to the per-word-rebased serial driver; bound
+        // it at the replay window epsilon.  Decoded values stay exact,
+        // and `done` is only resolved below full occupancy (at Max the
+        // completion wavefronts of neighbouring words may merge).
+        const EPS_PS: f64 = 1e-6;
+        for (cfg, (run, _)) in overlapped.iter().zip(&sliced_refs) {
+            for (k, (g, e)) in run.results.iter().zip(&serial_sliced.results).enumerate() {
+                prop_assert_eq!(&g.outputs, &e.outputs, "sliced {:?} token {}", cfg.occupancy, k);
+                prop_assert_eq!(&g.one_of_n, &e.one_of_n, "sliced {:?} token {}", cfg.occupancy, k);
+                prop_assert_eq!(&g.probes, &e.probes, "sliced {:?} token {}", cfg.occupancy, k);
+                prop_assert!(
+                    (g.s_to_v_latency_ps - e.s_to_v_latency_ps).abs() < EPS_PS,
+                    "sliced {:?} token {} s->v {} vs {}",
+                    cfg.occupancy,
+                    k,
+                    g.s_to_v_latency_ps,
+                    e.s_to_v_latency_ps
+                );
+                prop_assert!(
+                    (g.v_to_s_latency_ps - e.v_to_s_latency_ps).abs() < EPS_PS,
+                    "sliced {:?} token {} v->s {} vs {}",
+                    cfg.occupancy,
+                    k,
+                    g.v_to_s_latency_ps,
+                    e.v_to_s_latency_ps
+                );
+                match (g.done_latency_ps, e.done_latency_ps) {
+                    (Some(gd), Some(ed)) => prop_assert!(
+                        (gd - ed).abs() < EPS_PS,
+                        "sliced {:?} token {} done {} vs {}",
+                        cfg.occupancy,
+                        k,
+                        gd,
+                        ed
+                    ),
+                    (None, _) => prop_assert_eq!(
+                        cfg.occupancy,
+                        Occupancy::Max,
+                        "done may only merge at full occupancy"
+                    ),
+                    (Some(_), None) => prop_assert!(
+                        false,
+                        "sliced {:?} token {} resolved done the serial driver did not",
+                        cfg.occupancy,
+                        k
+                    ),
+                }
+            }
+        }
+
+        let one = PipelineConfig {
+            occupancy: Occupancy::One,
+            train_length: 4,
+            ..PipelineConfig::default()
+        };
+        for threads in [1usize, 2, 7] {
+            let driver = ParallelProtocolDriver::new(datapath.circuit(), &library, threads)
+                .expect("driver");
+            // Occupancy 1: fully bit-identical to the unpipelined
+            // sharded runs, cycle times included.
+            let (run1, report1) = driver
+                .run_workload_pipelined(&operand_bits, one)
+                .expect("occupancy-1 run");
+            prop_assert_eq!(&run1.results, &serial.results, "threads {}", threads);
+            prop_assert_eq!(report1.occupancy, 1);
+            let (sliced1, _) = driver
+                .run_workload_pipelined_sliced(&operand_bits, one)
+                .expect("occupancy-1 sliced run");
+            prop_assert_eq!(&sliced1.results, &serial_sliced.results, "threads {}", threads);
+            // Overlapped: bit-identical to the single-threaded
+            // pipelined runs at every thread count.
+            for (cfg, (reference_run, _)) in overlapped.iter().zip(&scalar_refs) {
+                let (run, _) = driver
+                    .run_workload_pipelined(&operand_bits, *cfg)
+                    .expect("pipelined run");
+                prop_assert_eq!(
+                    &run.results,
+                    &reference_run.results,
+                    "{:?} threads {}",
+                    cfg.occupancy,
+                    threads
+                );
+            }
+            for (cfg, (reference_run, _)) in overlapped.iter().zip(&sliced_refs) {
+                let (run, _) = driver
+                    .run_workload_pipelined_sliced(&operand_bits, *cfg)
+                    .expect("sliced pipelined run");
+                prop_assert_eq!(
+                    &run.results,
+                    &reference_run.results,
+                    "sliced {:?} threads {}",
+                    cfg.occupancy,
+                    threads
+                );
+            }
+        }
+    }
+
+    /// A stuck-at fault never silently corrupts a neighbouring in-flight
+    /// token: the faulted pipelined train either errors with a typed
+    /// violation (detected / timed out) or returns exactly the faulted
+    /// serial driver's tokens — it never decodes a vote the serial
+    /// faulted driver would not have produced.  The fault site ranges
+    /// over input rails of both polarities and both stuck values, which
+    /// covers spacer-starved handshakes, forged codewords and silently
+    /// flipped-but-valid inputs.
+    #[test]
+    fn faulted_pipelined_train_never_silently_corrupts_a_neighbour(
+        seed in 0u64..10_000,
+        operands in 2usize..8,
+        input_index in 0usize..6,
+        negative_rail: bool,
+        stuck_value: bool,
+    ) {
+        use tm_async::datapath::InferenceWorkload;
+        use tm_async::dualrail::{Occupancy, PipelineConfig, PipelinedProtocolDriver};
+        use tm_async::gatesim::FaultPlan;
+
+        let config = DatapathConfig::new(3, 2).expect("valid");
+        let workload = InferenceWorkload::random(&config, operands, 0.7, seed).expect("workload");
+        let datapath = DualRailDatapath::generate(&config).expect("generation");
+        let library = Library::umc_ll();
+        let operand_bits = workload.dual_rail_operands(&datapath).expect("widths");
+
+        let inputs = datapath.circuit().dual_inputs();
+        let signal = inputs[input_index % inputs.len()].1;
+        let net = if negative_rail { signal.negative } else { signal.positive };
+        let plan = FaultPlan::new().stuck_at(net, stuck_value);
+        const HORIZON_PS: f64 = 1.0e6;
+
+        // Faulted serial reference: one streamed contract driver with
+        // the same plan, one Result per operand.
+        let mut streamed = ProtocolDriver::new(datapath.circuit(), &library).expect("driver");
+        let snapshot = streamed.quiescent_snapshot();
+        streamed.enable_reset_contract(snapshot);
+        streamed.set_time_horizon_ps(HORIZON_PS);
+        if streamed.set_fault_plan(&plan).is_err() {
+            // The faulted circuit cannot even settle; the pipelined
+            // driver must refuse identically.
+            let mut pipelined = PipelinedProtocolDriver::new(
+                datapath.circuit(),
+                &library,
+                PipelineConfig::default(),
+            )
+            .expect("pipelined driver");
+            pipelined.set_time_horizon_ps(HORIZON_PS);
+            prop_assert!(pipelined.set_fault_plan(&plan).is_err());
+        } else {
+            let serial: Vec<_> = operand_bits
+                .iter()
+                .map(|operand| streamed.apply_operand(operand))
+                .collect();
+
+            for occupancy in [Occupancy::Two, Occupancy::Max] {
+                let mut pipelined = PipelinedProtocolDriver::new(
+                    datapath.circuit(),
+                    &library,
+                    PipelineConfig { occupancy, ..PipelineConfig::default() },
+                )
+                .expect("pipelined driver");
+                pipelined.set_time_horizon_ps(HORIZON_PS);
+                pipelined
+                    .set_fault_plan(&plan)
+                    .expect("the serial driver settled under this plan");
+                match pipelined.run_train(&operand_bits) {
+                    // Detected or timed out: a typed error is always an
+                    // acceptable fault response.
+                    Err(_) => {}
+                    // Completed: every token must match the faulted
+                    // serial driver bit-for-bit — in particular the
+                    // train cannot complete at all if the serial driver
+                    // rejected any token.
+                    Ok(got) => {
+                        for (k, (g, e)) in got.iter().zip(&serial).enumerate() {
+                            let e = e.as_ref().unwrap_or_else(|error| {
+                                panic!(
+                                    "{occupancy:?} token {k} decoded under a fault the \
+                                     serial driver rejects with {error:?}"
+                                )
+                            });
+                            let mut patched = g.clone();
+                            patched.cycle_time_ps = e.cycle_time_ps;
+                            prop_assert_eq!(&patched, e, "{:?} faulted token {}", occupancy, k);
+                        }
+                    }
+                }
+            }
+        }
+    }
+}
+
+/// Premature injection is a typed hazard, never a wrong vote: with the
+/// `gate_injection` test hook off, the replay pass injects each operand
+/// without waiting for the input stage to acknowledge the predecessor's
+/// spacer — and without ever driving the spacer — so the wavefront
+/// tramples in-flight state.  Both the scalar and the sliced drivers
+/// must reject the train with [`DualRailError::ProtocolViolation`]
+/// instead of decoding anything.
+#[test]
+fn premature_injection_is_a_typed_protocol_violation() {
+    use tm_async::datapath::InferenceWorkload;
+    use tm_async::dualrail::{
+        DualRailError, Occupancy, ParallelProtocolDriver, PipelineConfig, PipelinedProtocolDriver,
+    };
+
+    let config = DatapathConfig::new(3, 2).expect("valid");
+    let workload = InferenceWorkload::random(&config, 4, 0.7, 2021).expect("workload");
+    let datapath = DualRailDatapath::generate(&config).expect("generation");
+    let library = Library::umc_ll();
+    let operand_bits = workload.dual_rail_operands(&datapath).expect("widths");
+    let ungated = PipelineConfig {
+        occupancy: Occupancy::Two,
+        gate_injection: false,
+        ..PipelineConfig::default()
+    };
+
+    let mut pipelined =
+        PipelinedProtocolDriver::new(datapath.circuit(), &library, ungated).expect("driver");
+    match pipelined.run_train(&operand_bits) {
+        Err(DualRailError::ProtocolViolation { description }) => {
+            assert!(
+                description.contains("hazard"),
+                "the violation must name the wavefront hazard: {description}"
+            );
+        }
+        other => panic!("ungated injection must be a typed violation, got {other:?}"),
+    }
+
+    // The sharded entry points surface the same typed error.
+    let driver = ParallelProtocolDriver::new(datapath.circuit(), &library, 2).expect("driver");
+    assert!(matches!(
+        driver.run_workload_pipelined(&operand_bits, ungated),
+        Err(DualRailError::ProtocolViolation { .. })
+    ));
+    assert!(matches!(
+        driver.run_workload_pipelined_sliced(&operand_bits, ungated),
+        Err(DualRailError::ProtocolViolation { .. })
+    ));
+}
+
+/// The watchdog contract carries over to pipelined trains: a horizon
+/// generous enough for every healthy token turns a delay-faulted train
+/// into a typed [`DualRailError::SimulationDiverged`] instead of an
+/// unbounded settle — `run_train` always returns.
+#[test]
+fn watchdog_horizon_bounds_a_faulted_pipelined_settle() {
+    use tm_async::datapath::InferenceWorkload;
+    use tm_async::dualrail::{DualRailError, Occupancy, PipelineConfig, PipelinedProtocolDriver};
+    use tm_async::gatesim::FaultPlan;
+
+    let config = DatapathConfig::new(3, 2).expect("valid");
+    let workload = InferenceWorkload::random(&config, 3, 0.7, 7).expect("workload");
+    let datapath = DualRailDatapath::generate(&config).expect("generation");
+    let library = Library::umc_ll();
+    let operand_bits = workload.dual_rail_operands(&datapath).expect("widths");
+
+    // Healthy cycle time, to pick a horizon that passes fault-free.
+    let mut streamed = ProtocolDriver::new(datapath.circuit(), &library).expect("driver");
+    let snapshot = streamed.quiescent_snapshot();
+    streamed.enable_reset_contract(snapshot);
+    let healthy_cycle_ps = streamed
+        .apply_operand(&operand_bits[0])
+        .expect("healthy cycle")
+        .cycle_time_ps;
+    let horizon_ps = 4.0 * healthy_cycle_ps;
+
+    let pipeline_config = PipelineConfig {
+        occupancy: Occupancy::Two,
+        ..PipelineConfig::default()
+    };
+    let mut healthy = PipelinedProtocolDriver::new(datapath.circuit(), &library, pipeline_config)
+        .expect("driver");
+    healthy.set_time_horizon_ps(horizon_ps);
+    healthy
+        .run_train(&operand_bits)
+        .expect("the horizon must admit every healthy token");
+
+    // Slow every gate 100x: each token now needs far more than the
+    // horizon to settle, so the watchdog must trip with a typed error.
+    let plan = datapath
+        .circuit()
+        .netlist()
+        .cells()
+        .fold(FaultPlan::new(), |plan, (cell, _)| {
+            plan.scale_delay(cell, 100.0)
+        });
+    let mut faulted = PipelinedProtocolDriver::new(datapath.circuit(), &library, pipeline_config)
+        .expect("driver");
+    faulted.set_time_horizon_ps(horizon_ps);
+    faulted
+        .set_fault_plan(&plan)
+        .expect("a quiescent circuit settles under pure delay faults");
+    assert!(matches!(
+        faulted.run_train(&operand_bits),
+        Err(DualRailError::SimulationDiverged)
+    ));
+}
