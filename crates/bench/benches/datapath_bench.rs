@@ -29,6 +29,11 @@ fn bench_inference_cycle(c: &mut Criterion) {
     let operands = workload.dual_rail_operands(&dp).expect("widths match");
     let library = Library::umc_ll();
 
+    // Arm the static pre-flight verifier so the measured driver
+    // construction includes the production-path verification cost
+    // (first construction lints, the rest hit the fingerprint cache).
+    tm_lint::preflight::install();
+
     let mut group = c.benchmark_group("inference");
     group.sample_size(10);
     group.bench_function("dual_rail_four_phase_cycle", |b| {

@@ -41,12 +41,27 @@ fn main() {
     if let Some(path) = json_path {
         // Run metadata so a recorded comparison is reproducible: the
         // bit-sliced lane width, the host parallelism the sharded rows
-        // scaled across, and the simulator's per-phase event watchdog.
+        // scaled across, the simulator's per-phase event watchdog, and
+        // the static-verification verdict for the measured netlist (a
+        // recorded run over a netlist that fails the verifier is not
+        // comparable with one that passes).
+        let datapath =
+            datapath::DualRailDatapath::generate(&tm_async_bench::workloads::standard_config())
+                .expect("generate datapath");
+        let lint = tm_lint::lint_dual_rail(
+            datapath.circuit(),
+            &celllib::Library::umc_ll(),
+            &tm_lint::LintConfig::default(),
+        );
         let meta = format!(
-            "{{\"lanes\": {}, \"available_threads\": {}, \"event_limit\": {}}}",
+            "{{\"lanes\": {}, \"available_threads\": {}, \"event_limit\": {}, \
+             \"lint\": {{\"codes_checked\": {}, \"findings\": {}, \"errors\": {}}}}}",
             netlist::LANES,
             std::thread::available_parallelism().map_or(1, std::num::NonZero::get),
             gatesim::Simulator::DEFAULT_EVENT_LIMIT,
+            lint.codes_checked.len(),
+            lint.diagnostics.len(),
+            lint.error_count(),
         );
         let combined = format!(
             "{{\n\"meta\": {},\n\"throughput\": {},\n\"serve_sweep\": {}\n}}\n",

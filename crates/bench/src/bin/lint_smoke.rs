@@ -1,0 +1,88 @@
+//! CI gate for the static QDI verifier, two-sided:
+//!
+//! * **soundness in practice** — every shipped datapath netlist (both
+//!   completion schemes, several shapes, plus the single-rail golden
+//!   model) must report **zero** findings;
+//! * **sensitivity** — every mutation kind in the seeded mutation
+//!   harness must be flagged with exactly its advertised diagnostic
+//!   code, across seeds, and rejected by the pre-flight hook.
+//!
+//! Usage: `cargo run -p tm-async-bench --release --bin lint_smoke`
+//!
+//! Panics (non-zero exit) on any miss in either direction.
+
+use celllib::Library;
+use datapath::{
+    CompletionScheme, DatapathConfig, DatapathOptions, DualRailDatapath, SingleRailDatapath,
+};
+use tm_lint::mutate::{base_circuit, mutant, MutationKind};
+use tm_lint::{lint_dual_rail, lint_netlist, LintConfig};
+
+fn main() {
+    let library = Library::umc_ll();
+    let lint_config = LintConfig::default();
+
+    println!("Static verifier smoke\n");
+
+    // Side 1: shipped netlists are clean.
+    let mut shipped = 0usize;
+    for (features, clauses) in [(12, 8), (4, 4), (16, 8), (20, 6)] {
+        let config = DatapathConfig::new(features, clauses).expect("config");
+        for scheme in [CompletionScheme::Reduced, CompletionScheme::Full] {
+            let mut options = DatapathOptions::paper_defaults();
+            options.completion = scheme;
+            let datapath =
+                DualRailDatapath::generate_with(&config, options).expect("generate datapath");
+            let report = lint_dual_rail(datapath.circuit(), &library, &lint_config);
+            assert!(
+                report.is_clean(),
+                "{features}f x {clauses}c ({scheme:?}) must lint clean:\n{}",
+                report.render_text()
+            );
+            shipped += 1;
+        }
+        let single = SingleRailDatapath::generate(&config).expect("generate golden netlist");
+        let report = lint_netlist(single.netlist());
+        assert!(
+            report.is_clean(),
+            "{features}f x {clauses}c single-rail golden model must lint clean:\n{}",
+            report.render_text()
+        );
+        shipped += 1;
+    }
+    println!("  {shipped} shipped netlists: clean");
+
+    // Side 2: every mutation kind detected, with the right code.
+    let mut detected = 0usize;
+    for kind in MutationKind::ALL {
+        for seed in [0, 1, 17, 400] {
+            let report = lint_dual_rail(&mutant(kind, seed), &library, &lint_config);
+            assert!(
+                report.has_code(kind.expected_code()),
+                "mutant {} (seed {seed}) must raise {}:\n{}",
+                kind.as_str(),
+                kind.expected_code().as_str(),
+                report.render_text()
+            );
+            assert!(
+                tm_lint::verify_static(&mutant(kind, seed)).is_err(),
+                "pre-flight must reject mutant {} (seed {seed})",
+                kind.as_str()
+            );
+            detected += 1;
+        }
+        println!(
+            "  {:<24} -> {}",
+            kind.as_str(),
+            kind.expected_code().as_str()
+        );
+    }
+    for seed in [0, 1, 17, 400] {
+        tm_lint::verify_static(&base_circuit(seed)).expect("clean base must pass pre-flight");
+    }
+    println!(
+        "\n  {detected}/{detected} mutants detected across {} kinds; base circuits clean",
+        MutationKind::ALL.len()
+    );
+    println!("lint smoke OK");
+}

@@ -59,6 +59,15 @@ pub enum DualRailError {
         /// Human-readable description naming the first diverging net.
         description: String,
     },
+    /// The installed static pre-flight verifier
+    /// ([`crate::preflight::install_hook`]) rejected the netlist before
+    /// any simulation ran — a structural, dual-rail-protocol or timing
+    /// invariant that the runtime would only catch dynamically (if at
+    /// all) is provably violated.
+    StaticVerification {
+        /// Rendered findings from the verifier.
+        report: String,
+    },
 }
 
 impl fmt::Display for DualRailError {
@@ -99,6 +108,9 @@ impl fmt::Display for DualRailError {
             ),
             DualRailError::SpacerStateMismatch { description } => {
                 write!(f, "reset-phase contract violated: {description}")
+            }
+            DualRailError::StaticVerification { report } => {
+                write!(f, "static pre-flight verification failed: {report}")
             }
         }
     }

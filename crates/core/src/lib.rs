@@ -84,6 +84,7 @@ pub mod expand;
 pub mod gates;
 pub mod parallel;
 pub mod pipeline;
+pub mod preflight;
 pub mod protocol;
 pub mod sliced;
 pub mod timing;

@@ -1,0 +1,54 @@
+//! Pluggable static pre-flight verification for driver construction.
+//!
+//! Every [`ProtocolDriver`](crate::ProtocolDriver) (and therefore every
+//! pipelined, parallel and bit-sliced driver, all of which construct
+//! one) can run a *static* verification pass over the
+//! [`DualRailNetlist`] before the first event is simulated.  The
+//! verifier itself lives above this crate (the `tm-lint` crate depends
+//! on `dualrail`, not the other way around), so it is injected here as
+//! a process-wide hook: call [`install_hook`] once — typically via
+//! `tm_lint::preflight::install()` — and every subsequent driver
+//! construction in the process rejects netlists the verifier flags with
+//! [`DualRailError::StaticVerification`].
+//!
+//! With no hook installed, construction behaves exactly as before; the
+//! check costs one atomic load.  Hook implementations are expected to
+//! cache per netlist (drivers replicated from a shared
+//! `Arc<EngineProgram>` all present the same netlist reference), so a
+//! sharded or pipelined run pays for one verification, not one per
+//! worker.
+
+use std::sync::OnceLock;
+
+use crate::circuit::DualRailNetlist;
+use crate::error::DualRailError;
+
+/// A static verification pass: returns `Err` with rendered findings to
+/// veto driver construction for `circuit`.
+pub type PreflightHook = fn(&DualRailNetlist) -> Result<(), String>;
+
+static HOOK: OnceLock<PreflightHook> = OnceLock::new();
+
+/// Installs the process-wide pre-flight verifier.
+///
+/// The first installation wins and the hook cannot be removed (driver
+/// construction must stay deterministic within a process); returns
+/// `false` if a hook was already installed.  Installing the same hook
+/// twice is harmless.
+pub fn install_hook(hook: PreflightHook) -> bool {
+    HOOK.set(hook).is_ok()
+}
+
+/// Whether a pre-flight verifier is installed in this process.
+#[must_use]
+pub fn hook_installed() -> bool {
+    HOOK.get().is_some()
+}
+
+/// Runs the installed hook (if any) against `circuit`.
+pub(crate) fn run(circuit: &DualRailNetlist) -> Result<(), DualRailError> {
+    match HOOK.get() {
+        Some(hook) => hook(circuit).map_err(|report| DualRailError::StaticVerification { report }),
+        None => Ok(()),
+    }
+}

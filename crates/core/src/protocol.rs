@@ -142,7 +142,9 @@ impl<'a> ProtocolDriver<'a> {
     /// # Errors
     ///
     /// Returns [`DualRailError::SimulationDiverged`] if the circuit
-    /// fails to settle during initialisation.
+    /// fails to settle during initialisation, or
+    /// [`DualRailError::StaticVerification`] if an installed pre-flight
+    /// verifier ([`crate::preflight`]) rejects the netlist.
     ///
     /// # Panics
     ///
@@ -155,6 +157,7 @@ impl<'a> ProtocolDriver<'a> {
             std::ptr::eq(sim.netlist(), circuit.netlist()),
             "the simulator must run this circuit's netlist"
         );
+        crate::preflight::run(circuit)?;
         let mut driver = Self {
             circuit,
             sim,

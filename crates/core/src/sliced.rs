@@ -74,8 +74,10 @@ impl<'a> SlicedProtocolDriver<'a> {
     /// # Errors
     ///
     /// Returns [`DualRailError::SimulationDiverged`] if initialisation
-    /// fails to settle, or [`DualRailError::SpacerStateMismatch`] if
-    /// the settled state disagrees with the snapshot.
+    /// fails to settle, [`DualRailError::SpacerStateMismatch`] if
+    /// the settled state disagrees with the snapshot, or
+    /// [`DualRailError::StaticVerification`] if an installed pre-flight
+    /// verifier ([`crate::preflight`]) rejects the netlist.
     ///
     /// # Panics
     ///
@@ -90,6 +92,7 @@ impl<'a> SlicedProtocolDriver<'a> {
             std::ptr::eq(sim.program().netlist(), circuit.netlist()),
             "the simulator must run this circuit's netlist"
         );
+        crate::preflight::run(circuit)?;
         let observed = circuit.observed_output_nets();
         let req = circuit
             .netlist()

@@ -322,9 +322,19 @@ pub(crate) fn decode_lane_outcomes(
     outputs: &[u64],
     lanes: usize,
 ) -> Result<Vec<InferenceOutcome>, DatapathError> {
-    let &[less, equal, greater] = &outputs[0..3] else {
-        unreachable!("model declares three comparator outputs first");
+    let &[less, equal, greater, ..] = outputs else {
+        return Err(DatapathError::DecodeFailure(format!(
+            "batch pass produced {} output words; the golden model declares \
+             three comparator outputs followed by two 4-bit vote counts",
+            outputs.len()
+        )));
     };
+    if outputs.len() < 11 {
+        return Err(DatapathError::DecodeFailure(format!(
+            "batch pass produced {} output words, expected 11 (3 comparator + 2×4 votes)",
+            outputs.len()
+        )));
+    }
     (0..lanes)
         .map(|lane| {
             let decode_count = |words: &[u64]| -> usize {
@@ -347,8 +357,11 @@ pub(crate) fn decode_lane_outcomes(
                     "lane {lane}: expected exactly one active comparator output, got {active:?}"
                 )));
             };
-            let decision = ComparatorDecision::from_index(index)
-                .expect("index comes from a three-element enumeration");
+            let decision = ComparatorDecision::from_index(index).ok_or_else(|| {
+                DatapathError::DecodeFailure(format!(
+                    "lane {lane}: comparator index {index} has no decision"
+                ))
+            })?;
             Ok(InferenceOutcome {
                 positive_votes,
                 negative_votes,

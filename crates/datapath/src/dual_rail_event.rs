@@ -110,6 +110,13 @@ impl<'a> DualRailInference<'a> {
         library: &Library,
         executor: Executor,
     ) -> Result<Self, DatapathError> {
+        // Arm the static pre-flight verifier before the first driver is
+        // built: from here on, every `ProtocolDriver` constructed in
+        // this process rejects netlists with error-severity findings
+        // (`DualRailError::StaticVerification`) before simulating a
+        // single event.  Shipped datapaths verify clean; the hook
+        // guards hand-edited or retrained netlists.
+        tm_lint::preflight::install();
         let driver = ParallelProtocolDriver::with_executor(datapath.circuit(), library, executor)?;
         Ok(Self { driver, datapath })
     }

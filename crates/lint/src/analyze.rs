@@ -1,0 +1,100 @@
+//! Shared static-analysis machinery: backward reachability, topological
+//! evaluation under Kleene three-valued logic, and the derived spacer /
+//! constant classifications the dual-rail and timing families key on.
+
+use std::collections::HashSet;
+
+use dualrail::DualRailNetlist;
+use netlist::graph::topological_order;
+use netlist::{CellId, CellKind, NetDriver, NetId, Netlist};
+
+/// Backward reachability from `seeds`: every cell and net in the fanin
+/// cone of any seed net (seeds included).
+pub(crate) fn fanin(nl: &Netlist, seeds: &[NetId]) -> (HashSet<CellId>, HashSet<NetId>) {
+    let mut cells = HashSet::new();
+    let mut nets: HashSet<NetId> = seeds.iter().copied().collect();
+    let mut stack: Vec<NetId> = seeds.to_vec();
+    while let Some(net) = stack.pop() {
+        if let NetDriver::Cell(cell) = nl.net(net).driver() {
+            if cells.insert(cell) {
+                for &input in nl.cell(cell).inputs() {
+                    if nets.insert(input) {
+                        stack.push(input);
+                    }
+                }
+            }
+        }
+    }
+    (cells, nets)
+}
+
+/// Topological evaluation with Kleene semantics: unknown (`None`) inputs
+/// stay unknown unless a controlling value decides the output.
+/// Flip-flop outputs are history-dependent and evaluate to unknown;
+/// C-elements resolve only when their inputs agree.
+pub(crate) fn eval_kleene(
+    nl: &Netlist,
+    topo: &[CellId],
+    input_value: impl Fn(NetId) -> Option<bool>,
+) -> Vec<Option<bool>> {
+    let mut values: Vec<Option<bool>> = vec![None; nl.net_count()];
+    for (id, _) in nl.nets() {
+        if nl.is_primary_input(id) {
+            values[id.index()] = input_value(id);
+        }
+    }
+    let mut pins: Vec<Option<bool>> = Vec::with_capacity(CellKind::MAX_INPUTS);
+    for &cell_id in topo {
+        let cell = nl.cell(cell_id);
+        if cell.kind() == CellKind::Dff {
+            continue;
+        }
+        pins.clear();
+        pins.extend(cell.inputs().iter().map(|n| values[n.index()]));
+        values[cell.output().index()] = cell.kind().eval_tristate(&pins, None);
+    }
+    values
+}
+
+/// Everything the dual-rail and timing families need from one netlist,
+/// computed once.
+pub(crate) struct Context {
+    /// Topological cell order; `None` if the netlist has a cycle (the
+    /// structural family reports it and value-based passes are skipped).
+    pub topo: Option<Vec<CellId>>,
+    /// Settled value of every net with all dual-rail inputs at spacer
+    /// and `req` low; `None` entries cannot be proven to settle.
+    pub spacer: Vec<Option<bool>>,
+    /// Value of every net with all primary inputs unknown; `Some`
+    /// entries are structurally constant (tie cells and their cones).
+    pub constant: Vec<Option<bool>>,
+}
+
+impl Context {
+    pub(crate) fn compute(dr: &DualRailNetlist) -> Self {
+        let nl = dr.netlist();
+        let topo = topological_order(nl).ok();
+        let (spacer, constant) = match &topo {
+            Some(topo) => {
+                let mut rail_spacer: Vec<Option<bool>> = vec![None; nl.net_count()];
+                for (_, signal) in dr.dual_inputs() {
+                    let level = Some(signal.polarity.spacer_level());
+                    rail_spacer[signal.positive.index()] = level;
+                    rail_spacer[signal.negative.index()] = level;
+                }
+                if let Some(req) = nl.find_net("req").filter(|&n| nl.is_primary_input(n)) {
+                    rail_spacer[req.index()] = Some(false);
+                }
+                let spacer = eval_kleene(nl, topo, |net| rail_spacer[net.index()]);
+                let constant = eval_kleene(nl, topo, |_| None);
+                (spacer, constant)
+            }
+            None => (vec![None; nl.net_count()], vec![None; nl.net_count()]),
+        };
+        Self {
+            topo,
+            spacer,
+            constant,
+        }
+    }
+}

@@ -1,0 +1,97 @@
+//! The pre-flight wiring: a cached [`crate::verify_static`] registered
+//! as the process-wide hook every `ProtocolDriver` (and therefore every
+//! parallel, sliced and pipelined driver) runs at construction.
+//!
+//! Call [`install`] once near the top of a binary (the datapath
+//! inference runtimes do it for you) and every driver constructed
+//! afterwards rejects netlists with error-severity findings via
+//! `DualRailError::StaticVerification` — before a single event is
+//! simulated, and in particular before a retrained netlist could be
+//! hot-swapped under live traffic.
+//!
+//! Verification runs once per netlist: results are memoised under a
+//! fingerprint of the netlist's address, shape and name, so the N
+//! drivers of a sharded run (all replicated from one
+//! `Arc<EngineProgram>` borrowing one netlist) pay for one lint pass
+//! plus N hash lookups.
+
+use std::collections::hash_map::DefaultHasher;
+use std::collections::HashMap;
+use std::hash::{Hash, Hasher};
+use std::sync::{Mutex, OnceLock};
+
+use celllib::Library;
+use dualrail::DualRailNetlist;
+use netlist::Netlist;
+
+use crate::{lint_dual_rail, LintConfig};
+
+/// Identity of one verified netlist.  The address alone is unsafe (an
+/// allocator can reuse it after a drop), so the shape and name hash are
+/// folded in; a collision would need a new netlist of identical name,
+/// cell count and net count at the same address — in which case the
+/// cached verdict is the verdict of an identically shaped netlist.
+#[derive(Clone, PartialEq, Eq, Hash)]
+struct Fingerprint {
+    addr: usize,
+    cells: usize,
+    nets: usize,
+    name_hash: u64,
+}
+
+impl Fingerprint {
+    fn of(nl: &Netlist) -> Self {
+        let mut hasher = DefaultHasher::new();
+        nl.name().hash(&mut hasher);
+        Self {
+            addr: std::ptr::from_ref(nl) as usize,
+            cells: nl.cell_count(),
+            nets: nl.net_count(),
+            name_hash: hasher.finish(),
+        }
+    }
+}
+
+/// Bounded memo: one entry per distinct netlist seen by this process.
+const CACHE_CAP: usize = 256;
+
+fn cache() -> &'static Mutex<HashMap<Fingerprint, Result<(), String>>> {
+    static CACHE: OnceLock<Mutex<HashMap<Fingerprint, Result<(), String>>>> = OnceLock::new();
+    CACHE.get_or_init(|| Mutex::new(HashMap::new()))
+}
+
+/// The memoised verification behind [`crate::verify_static`].
+pub(crate) fn verify_cached(dr: &DualRailNetlist) -> Result<(), String> {
+    let fingerprint = Fingerprint::of(dr.netlist());
+    if let Ok(map) = cache().lock() {
+        if let Some(verdict) = map.get(&fingerprint) {
+            return verdict.clone();
+        }
+    }
+    let report = lint_dual_rail(dr, &Library::umc_ll(), &LintConfig::default());
+    let verdict = if report.error_count() == 0 {
+        Ok(())
+    } else {
+        Err(report.render_errors())
+    };
+    if let Ok(mut map) = cache().lock() {
+        if map.len() >= CACHE_CAP {
+            map.clear();
+        }
+        map.insert(fingerprint, verdict.clone());
+    }
+    verdict
+}
+
+/// Installs [`crate::verify_static`] as the process-wide driver
+/// pre-flight hook (see [`dualrail::preflight`]).  Idempotent; returns
+/// `false` if a hook (this one or another) was already installed.
+pub fn install() -> bool {
+    dualrail::preflight::install_hook(crate::verify_static)
+}
+
+/// Whether a pre-flight hook is installed in this process.
+#[must_use]
+pub fn installed() -> bool {
+    dualrail::preflight::hook_installed()
+}

@@ -1,0 +1,254 @@
+//! Dual-rail protocol family (`D101`–`D104`): rail pairing, completion
+//! coverage, probe isolation and return-to-zero reachability.
+
+use std::collections::HashMap;
+
+use dualrail::{DualRailNetlist, DualRailSignal};
+use netlist::{NetDriver, NetId};
+
+use crate::analyze::{fanin, Context};
+use crate::report::{DiagCode, LintReport, Severity};
+
+pub(crate) fn run(dr: &DualRailNetlist, ctx: &Context, report: &mut LintReport) {
+    report.codes_checked.extend([
+        DiagCode::RailPairing,
+        DiagCode::CompletionCoverage,
+        DiagCode::ProbeInCompletion,
+        DiagCode::SpacerUnreachable,
+    ]);
+    rail_pairing(dr, report);
+    completion_coverage(dr, report);
+    probe_isolation(dr, report);
+    spacer_reachability(dr, ctx, report);
+}
+
+fn rail_pairing(dr: &DualRailNetlist, report: &mut LintReport) {
+    let nl = dr.netlist();
+    let mut check = |group: &str, name: &str, signal: &DualRailSignal| {
+        if signal.positive == signal.negative {
+            report.push(
+                DiagCode::RailPairing,
+                Severity::Error,
+                format!(
+                    "{group} {name:?}: both rails alias net {:?}",
+                    nl.net(signal.positive).name(),
+                ),
+                vec![signal.positive],
+                vec![],
+            );
+            return;
+        }
+        if let (NetDriver::Cell(p), NetDriver::Cell(n)) = (
+            nl.net(signal.positive).driver(),
+            nl.net(signal.negative).driver(),
+        ) {
+            if p == n {
+                report.push(
+                    DiagCode::RailPairing,
+                    Severity::Error,
+                    format!(
+                        "{group} {name:?}: both rails are driven by the same cell {:?}",
+                        nl.cell(p).name(),
+                    ),
+                    vec![signal.positive, signal.negative],
+                    vec![p],
+                );
+            }
+        }
+    };
+    for (name, signal) in dr.dual_inputs() {
+        check("input", name, signal);
+    }
+    for (name, signal) in dr.dual_outputs() {
+        check("output", name, signal);
+    }
+    for (name, signal) in dr.probes() {
+        check("probe", name, signal);
+    }
+    for (name, wires) in dr.one_of_n_outputs() {
+        let mut seen: HashMap<NetId, usize> = HashMap::new();
+        for (i, &wire) in wires.iter().enumerate() {
+            if let Some(&first) = seen.get(&wire) {
+                report.push(
+                    DiagCode::RailPairing,
+                    Severity::Error,
+                    format!(
+                        "1-of-{} group {name:?}: wires {first} and {i} alias net {:?}",
+                        wires.len(),
+                        dr.netlist().net(wire).name(),
+                    ),
+                    vec![wire],
+                    vec![],
+                );
+            }
+            seen.insert(wire, i);
+        }
+    }
+}
+
+fn completion_coverage(dr: &DualRailNetlist, report: &mut LintReport) {
+    let Some(done) = dr.done() else {
+        report.push(
+            DiagCode::CompletionCoverage,
+            Severity::Error,
+            "no completion network: the circuit declares no `done` signal".to_string(),
+            vec![],
+            vec![],
+        );
+        return;
+    };
+    let (_, cone_nets) = fanin(dr.netlist(), &[done]);
+    for net in dr.observed_output_nets() {
+        if !cone_nets.contains(&net) {
+            report.push(
+                DiagCode::CompletionCoverage,
+                Severity::Error,
+                format!(
+                    "observed output net {:?} is not in the fanin cone of `done`: \
+                     completion can fire while this output is still settling",
+                    dr.netlist().net(net).name(),
+                ),
+                vec![net],
+                vec![],
+            );
+        }
+    }
+}
+
+fn probe_isolation(dr: &DualRailNetlist, report: &mut LintReport) {
+    let Some(done) = dr.done() else {
+        return; // D102 already reported the missing completion network.
+    };
+    if dr.probes().is_empty() {
+        return;
+    }
+    let nl = dr.netlist();
+    let probe_rails: HashMap<NetId, &str> = dr
+        .probes()
+        .iter()
+        .flat_map(|(name, s)| [(s.positive, name.as_str()), (s.negative, name.as_str())])
+        .collect();
+    // The completion network proper is whatever feeds `done` without
+    // also feeding a data output: validity detectors and the C-element
+    // tree.  Probe nets may well sit *upstream* of the data cone (a
+    // popcount probe feeds the comparator), but they must never be an
+    // input of a completion-network cell — a probe that races `done`
+    // re-times completion.
+    let (done_cells, _) = fanin(nl, &[done]);
+    let (data_cells, _) = fanin(nl, &dr.observed_output_nets());
+    for &cell_id in done_cells.difference(&data_cells) {
+        for &input in nl.cell(cell_id).inputs() {
+            if let Some(probe) = probe_rails.get(&input) {
+                report.push(
+                    DiagCode::ProbeInCompletion,
+                    Severity::Error,
+                    format!(
+                        "probe {probe:?} (net {:?}) feeds completion-network cell {:?}: \
+                         probes must not re-time `done`",
+                        nl.net(input).name(),
+                        nl.cell(cell_id).name(),
+                    ),
+                    vec![input],
+                    vec![cell_id],
+                );
+            }
+        }
+    }
+}
+
+fn spacer_reachability(dr: &DualRailNetlist, ctx: &Context, report: &mut LintReport) {
+    if ctx.topo.is_none() {
+        return; // S004 already reported the cycle; no settled state exists.
+    }
+    let nl = dr.netlist();
+    let mut check_net = |net: NetId, expected: bool, what: &str| {
+        // Structurally constant rails (tie cells and their cones — e.g.
+        // the padded upper bits of a popcount) are DC signals by
+        // design: they carry no token and never cycle.  Holding one as
+        // an *output* starves completion, but that is T203's finding;
+        // return-to-zero only applies to nets that transition.
+        if ctx.constant[net.index()].is_some() {
+            return;
+        }
+        match ctx.spacer[net.index()] {
+            Some(level) if level == expected => {}
+            Some(level) => {
+                report.push(
+                    DiagCode::SpacerUnreachable,
+                    Severity::Error,
+                    format!(
+                        "{what} {:?} settles to {} under all-spacer inputs but its \
+                         spacer level is {} — the circuit does not return to zero",
+                        nl.net(net).name(),
+                        u8::from(level),
+                        u8::from(expected),
+                    ),
+                    vec![net],
+                    vec![],
+                );
+            }
+            None => {
+                report.push(
+                    DiagCode::SpacerUnreachable,
+                    Severity::Error,
+                    format!(
+                        "{what} {:?} cannot be proven to return to spacer: its settled \
+                         value under all-spacer inputs is unknown (history-dependent)",
+                        nl.net(net).name(),
+                    ),
+                    vec![net],
+                    vec![],
+                );
+            }
+        }
+    };
+    for (_, signal) in dr.dual_outputs() {
+        let expected = signal.polarity.spacer_level();
+        check_net(signal.positive, expected, "output rail");
+        check_net(signal.negative, expected, "output rail");
+    }
+    for (_, wires) in dr.one_of_n_outputs() {
+        for &wire in wires {
+            // 1-of-n groups use the all-zero spacer convention.
+            check_net(wire, false, "1-of-n wire");
+        }
+    }
+    if let Some(done) = dr.done() {
+        check_net(done, false, "completion signal");
+    }
+    for (_, signal) in dr.probes() {
+        let expected = signal.polarity.spacer_level();
+        check_net(signal.positive, expected, "probe rail");
+        check_net(signal.negative, expected, "probe rail");
+    }
+    // Beyond the observed surface: any net that fails to settle to a
+    // unique value under all-spacer inputs makes the return-to-zero
+    // phase history-dependent somewhere inside the cone.
+    let mut unsettled: Vec<NetId> = Vec::new();
+    for (id, net) in nl.nets() {
+        let driven = !matches!(net.driver(), NetDriver::None);
+        let relevant = driven && (net.fanout() > 0 || nl.port_of_net(id).is_some());
+        if relevant && ctx.spacer[id.index()].is_none() {
+            unsettled.push(id);
+        }
+    }
+    if !unsettled.is_empty() {
+        let names: Vec<&str> = unsettled
+            .iter()
+            .take(8)
+            .map(|&n| nl.net(n).name())
+            .collect();
+        report.push(
+            DiagCode::SpacerUnreachable,
+            Severity::Error,
+            format!(
+                "{} internal net(s) have no provable spacer value (e.g. {}): the \
+                 return-to-zero phase is history-dependent",
+                unsettled.len(),
+                names.join(", "),
+            ),
+            unsettled,
+            vec![],
+        );
+    }
+}

@@ -1,0 +1,230 @@
+//! Structural family (`S001`–`S005`): netlist-graph invariants that
+//! hold for any netlist, single- or dual-rail.
+
+use std::collections::{HashMap, HashSet};
+
+use netlist::graph::topological_order;
+use netlist::{CellId, NetDriver, NetId, Netlist, PortDirection};
+
+use crate::report::{DiagCode, LintReport, Severity};
+
+/// Runs the structural checks.  `observed` lists every net that counts
+/// as externally observed beyond the output ports (probe rails and the
+/// completion signal for a dual-rail netlist; empty otherwise).
+pub(crate) fn run(nl: &Netlist, observed: &[NetId], report: &mut LintReport) {
+    report.codes_checked.extend([
+        DiagCode::UndrivenNet,
+        DiagCode::FloatingNet,
+        DiagCode::UnreachableCell,
+        DiagCode::CombinationalLoop,
+        DiagCode::MultiplyDrivenNet,
+    ]);
+
+    let output_ports: HashSet<NetId> = nl
+        .ports()
+        .filter(|(_, p)| p.direction() == PortDirection::Output)
+        .map(|(_, p)| p.net())
+        .collect();
+    let observed: HashSet<NetId> = observed
+        .iter()
+        .copied()
+        .chain(output_ports.iter().copied())
+        .collect();
+
+    undriven_and_floating(nl, &observed, report);
+    multiply_driven(nl, report);
+    unreachable_cells(nl, &observed, report);
+    combinational_loops(nl, report);
+    fanout_stats(nl, report);
+}
+
+fn undriven_and_floating(nl: &Netlist, observed: &HashSet<NetId>, report: &mut LintReport) {
+    for (id, net) in nl.nets() {
+        let loaded = net.fanout() > 0;
+        let is_observed = observed.contains(&id);
+        match net.driver() {
+            NetDriver::None if loaded || is_observed => {
+                report.push(
+                    DiagCode::UndrivenNet,
+                    Severity::Error,
+                    format!(
+                        "net {:?} has {} load(s){} but no driver",
+                        net.name(),
+                        net.fanout(),
+                        if is_observed {
+                            " and an output port"
+                        } else {
+                            ""
+                        },
+                    ),
+                    vec![id],
+                    vec![],
+                );
+            }
+            NetDriver::None if !loaded => {
+                report.push(
+                    DiagCode::FloatingNet,
+                    Severity::Error,
+                    format!("net {:?} is floating: no driver and no loads", net.name()),
+                    vec![id],
+                    vec![],
+                );
+            }
+            NetDriver::Cell(cell) if !loaded && !is_observed => {
+                report.push(
+                    DiagCode::FloatingNet,
+                    Severity::Error,
+                    format!(
+                        "net {:?} (driven by cell {:?}) drives nothing and is not \
+                         observed by any port, probe or completion signal",
+                        net.name(),
+                        nl.cell(cell).name(),
+                    ),
+                    vec![id],
+                    vec![cell],
+                );
+            }
+            // Unloaded primary inputs are a programming-model fact of
+            // the configured datapath (masked-off features), not a
+            // netlist defect.
+            _ => {}
+        }
+    }
+}
+
+fn multiply_driven(nl: &Netlist, report: &mut LintReport) {
+    let mut drivers: HashMap<NetId, Vec<CellId>> = HashMap::new();
+    for (id, cell) in nl.cells() {
+        drivers.entry(cell.output()).or_default().push(id);
+    }
+    for (net_id, net) in nl.nets() {
+        let cells = drivers.get(&net_id).map_or(&[][..], Vec::as_slice);
+        let contended =
+            cells.len() > 1 || (!cells.is_empty() && net.driver() == NetDriver::PrimaryInput);
+        if contended {
+            report.push(
+                DiagCode::MultiplyDrivenNet,
+                Severity::Error,
+                format!(
+                    "net {:?} has {} driving cell(s){}",
+                    net.name(),
+                    cells.len(),
+                    if net.driver() == NetDriver::PrimaryInput {
+                        " and is a primary input"
+                    } else {
+                        ""
+                    },
+                ),
+                vec![net_id],
+                cells.to_vec(),
+            );
+        }
+    }
+}
+
+fn unreachable_cells(nl: &Netlist, observed: &HashSet<NetId>, report: &mut LintReport) {
+    let seeds: Vec<NetId> = observed.iter().copied().collect();
+    let (reachable, _) = crate::analyze::fanin(nl, &seeds);
+    for (id, cell) in nl.cells() {
+        if !reachable.contains(&id) {
+            report.push(
+                DiagCode::UnreachableCell,
+                Severity::Error,
+                format!(
+                    "cell {:?} ({}) reaches no primary output, probe or completion signal",
+                    cell.name(),
+                    cell.kind(),
+                ),
+                vec![cell.output()],
+                vec![id],
+            );
+        }
+    }
+}
+
+fn combinational_loops(nl: &Netlist, report: &mut LintReport) {
+    // Kahn's algorithm over the cell graph with edges *into*
+    // state-holding cells cut: whatever cannot be peeled off sits on a
+    // combinational cycle.
+    let mut indegree: Vec<usize> = nl
+        .cells()
+        .map(|(_, cell)| {
+            if cell.kind().is_sequential() {
+                0
+            } else {
+                cell.inputs()
+                    .iter()
+                    .filter(|&&n| matches!(nl.net(n).driver(), NetDriver::Cell(_)))
+                    .count()
+            }
+        })
+        .collect();
+    let mut queue: Vec<CellId> = nl
+        .cells()
+        .filter(|(id, _)| indegree[id.index()] == 0)
+        .map(|(id, _)| id)
+        .collect();
+    let mut peeled = 0usize;
+    while let Some(cell_id) = queue.pop() {
+        peeled += 1;
+        let out = nl.cell(cell_id).output();
+        for &(load, _pin) in nl.net(out).loads() {
+            if nl.cell(load).kind().is_sequential() {
+                continue;
+            }
+            indegree[load.index()] -= 1;
+            if indegree[load.index()] == 0 {
+                queue.push(load);
+            }
+        }
+    }
+    if peeled < nl.cell_count() {
+        let stuck: Vec<CellId> = nl
+            .cells()
+            .filter(|(id, cell)| !cell.kind().is_sequential() && indegree[id.index()] > 0)
+            .map(|(id, _)| id)
+            .collect();
+        let names: Vec<&str> = stuck.iter().take(8).map(|&c| nl.cell(c).name()).collect();
+        report.push(
+            DiagCode::CombinationalLoop,
+            Severity::Error,
+            format!(
+                "{} cell(s) sit on a combinational feedback loop (e.g. {})",
+                stuck.len(),
+                names.join(", "),
+            ),
+            vec![],
+            stuck,
+        );
+    } else if topological_order(nl).is_err() {
+        // Acyclic once state-holding inputs are cut, yet the plain
+        // order fails: feedback runs through C-elements/DFFs.  That is
+        // electrically sanctioned but unsupported by the event engines,
+        // which compile a strict topological order.
+        report.push(
+            DiagCode::CombinationalLoop,
+            Severity::Warning,
+            "feedback through state-holding cells: electrically sanctioned, but the \
+             event engines require an acyclic netlist"
+                .to_string(),
+            vec![],
+            vec![],
+        );
+    }
+}
+
+fn fanout_stats(nl: &Netlist, report: &mut LintReport) {
+    let mut histogram: HashMap<usize, usize> = HashMap::new();
+    let mut max_fanout = 0usize;
+    for (_, net) in nl.nets() {
+        *histogram.entry(net.fanout()).or_default() += 1;
+        max_fanout = max_fanout.max(net.fanout());
+    }
+    let mut pairs: Vec<(usize, usize)> = histogram.into_iter().collect();
+    pairs.sort_unstable();
+    report.stats.cells = nl.cell_count();
+    report.stats.nets = nl.net_count();
+    report.stats.sequential_cells = nl.cells().filter(|(_, c)| c.kind().is_sequential()).count();
+    report.stats.fanout_histogram = pairs;
+    report.stats.max_fanout = max_fanout;
+}

@@ -1,0 +1,60 @@
+//! End-to-end pre-flight gating: once [`tm_lint::preflight::install`]
+//! arms the hook, every `ProtocolDriver` construction in this process
+//! rejects broken netlists with `DualRailError::StaticVerification`
+//! before a single event is simulated — and still accepts clean ones.
+//!
+//! This lives in its own test binary: the hook is process-global and
+//! first-install-wins, so it must not leak into tests that need to
+//! construct drivers for deliberately broken circuits (see
+//! `stale_probe.rs`).
+
+use celllib::Library;
+use dualrail::{DualRailError, ProtocolDriver};
+use tm_lint::mutate::{base_circuit, mutant, MutationKind};
+
+#[test]
+fn armed_hook_gates_driver_construction() {
+    assert!(
+        tm_lint::preflight::install() || tm_lint::preflight::installed(),
+        "hook must be installed"
+    );
+    let library = Library::umc_ll();
+
+    // A clean circuit still constructs.
+    let clean = base_circuit(7);
+    ProtocolDriver::new(&clean, &library).expect("clean circuit must pass pre-flight");
+
+    // Every mutant is rejected before simulation, with the rendered
+    // report naming its diagnostic code.
+    for kind in MutationKind::ALL {
+        let broken = mutant(kind, 7);
+        match ProtocolDriver::new(&broken, &library) {
+            Err(DualRailError::StaticVerification { report }) => {
+                assert!(
+                    report.contains(kind.expected_code().as_str()),
+                    "rejection for {} must name {}: {report}",
+                    kind.as_str(),
+                    kind.expected_code().as_str()
+                );
+            }
+            Err(other) => panic!(
+                "mutant {} must fail pre-flight, not {other:?}",
+                kind.as_str()
+            ),
+            Ok(_) => panic!("mutant {} must not construct a driver", kind.as_str()),
+        }
+    }
+}
+
+#[test]
+fn verification_is_cached_per_netlist() {
+    tm_lint::preflight::install();
+    let library = Library::umc_ll();
+    let clean = base_circuit(11);
+    // Repeated constructions over one netlist hit the fingerprint
+    // cache; this is the per-`Arc<EngineProgram>` guarantee the
+    // replicated parallel drivers rely on.
+    for _ in 0..4 {
+        ProtocolDriver::new(&clean, &library).expect("cached verdict must stay Ok");
+    }
+}

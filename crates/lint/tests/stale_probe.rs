@@ -1,0 +1,112 @@
+//! The stale-probe regression, both halves:
+//!
+//! 1. *statically*, a completion network that observes a probe instead
+//!    of the real output is a `D103` + `D102` lint error;
+//! 2. *dynamically*, that same circuit really does acknowledge early —
+//!    `done` fires while the output is still settling, violating the
+//!    `done_latency >= s_to_v_latency` invariant every healthy circuit
+//!    in the workspace upholds.
+//!
+//! This binary must NOT install the pre-flight hook: it constructs a
+//! driver for the broken circuit on purpose, which an armed hook would
+//! (correctly) refuse.
+
+use celllib::Library;
+use dualrail::{DualRailNetlist, ProtocolDriver};
+use netlist::CellKind;
+use tm_lint::{lint_dual_rail, DiagCode, LintConfig};
+
+/// One dual-rail input feeding a long buffer chain to the output `y`,
+/// with a probe tapped right at the head of the chain and a completion
+/// "network" that observes only the probe — the worst case: `done`
+/// answers after two gate delays while `y` needs the full chain.
+fn stale_probe_circuit() -> DualRailNetlist {
+    let mut dr = DualRailNetlist::new("stale_probe");
+    let a = dr.add_dual_input("a");
+    let head = dr.buffer("head", a).expect("buffer");
+    dr.declare_probe("early", head);
+    let mut slow = head;
+    for i in 0..12 {
+        slow = dr.buffer(&format!("slow{i}"), slow).expect("buffer");
+    }
+    dr.add_dual_output("y", slow);
+    let done = dr
+        .netlist_mut()
+        .add_cell(
+            "cd_probe_only",
+            CellKind::Or2,
+            &[head.positive, head.negative],
+        )
+        .expect("validity detector");
+    dr.set_done(done);
+    dr
+}
+
+#[test]
+fn probe_observing_completion_is_a_lint_error() {
+    let dr = stale_probe_circuit();
+    let report = lint_dual_rail(&dr, &Library::umc_ll(), &LintConfig::default());
+    assert!(
+        report.has_code(DiagCode::ProbeInCompletion),
+        "completion fed by a probe must raise D103:\n{}",
+        report.render_text()
+    );
+    assert!(
+        report.has_code(DiagCode::CompletionCoverage),
+        "the unobserved output must raise D102:\n{}",
+        report.render_text()
+    );
+    assert!(tm_lint::verify_static(&dr).is_err());
+}
+
+#[test]
+fn probe_observing_completion_acknowledges_early_at_runtime() {
+    assert!(
+        !tm_lint::preflight::installed(),
+        "this binary must run without the pre-flight hook"
+    );
+    let dr = stale_probe_circuit();
+    let library = Library::umc_ll();
+    let mut driver = ProtocolDriver::new(&dr, &library).expect("driver");
+    let result = driver.apply_operand(&[true]).expect("cycle");
+    let done = result.done_latency_ps.expect("circuit declares completion");
+    assert!(
+        done < result.s_to_v_latency_ps,
+        "the static hazard is real: done at {done} ps must beat the output \
+         settling at {} ps",
+        result.s_to_v_latency_ps
+    );
+}
+
+/// The control: observe the *output* instead and the invariant holds.
+#[test]
+fn output_observing_completion_acknowledges_late_at_runtime() {
+    let mut dr = DualRailNetlist::new("healthy_probe");
+    let a = dr.add_dual_input("a");
+    let head = dr.buffer("head", a).expect("buffer");
+    dr.declare_probe("early", head);
+    let mut slow = head;
+    for i in 0..12 {
+        slow = dr.buffer(&format!("slow{i}"), slow).expect("buffer");
+    }
+    dr.add_dual_output("y", slow);
+    dualrail::ReducedCompletion::insert(&mut dr).expect("completion");
+
+    let report = lint_dual_rail(&dr, &Library::umc_ll(), &LintConfig::default());
+    assert!(
+        report.is_clean(),
+        "the healthy variant must lint clean:\n{}",
+        report.render_text()
+    );
+
+    let library = Library::umc_ll();
+    let mut driver = ProtocolDriver::new(&dr, &library).expect("driver");
+    let result = driver.apply_operand(&[true]).expect("cycle");
+    let done = result.done_latency_ps.expect("completion declared");
+    assert!(
+        done >= result.s_to_v_latency_ps,
+        "with completion on the output, done at {done} ps must not beat \
+         settling at {} ps",
+        result.s_to_v_latency_ps
+    );
+}

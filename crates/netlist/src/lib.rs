@@ -49,6 +49,6 @@ pub use error::NetlistError;
 pub use eval::{EvalState, Evaluator};
 pub use graph::{levelize, topological_order, TopoError};
 pub use ids::{CellId, NetId, PortId};
-pub use netlist::{Net, Netlist, Port, PortDirection};
+pub use netlist::{Net, NetDriver, Netlist, Port, PortDirection};
 pub use parallel::ParallelBatchEvaluator;
 pub use stats::{CellHistogram, NetlistStats};

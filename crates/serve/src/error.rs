@@ -35,6 +35,14 @@ pub enum ServeError {
         /// The workload sample the request replayed.
         sample: usize,
     },
+    /// The virtual-time scheduler violated one of its own invariants
+    /// (e.g. an arrival source announced an arrival it could not
+    /// deliver).  Indicates a bug in the serving loop, never in the
+    /// caller's configuration or workload.
+    SchedulerInvariant {
+        /// The broken invariant.
+        what: &'static str,
+    },
 }
 
 impl fmt::Display for ServeError {
@@ -52,6 +60,9 @@ impl fmt::Display for ServeError {
                 f,
                 "request {request} (workload sample {sample}) diverged from its golden outcome"
             ),
+            ServeError::SchedulerInvariant { what } => {
+                write!(f, "serving-scheduler invariant violated: {what}")
+            }
         }
     }
 }

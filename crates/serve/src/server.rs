@@ -298,8 +298,10 @@ type ServiceResponse = (
 trait ArrivalSource {
     /// Virtual time of the next arrival, if any.
     fn peek(&mut self) -> Option<VirtualNs>;
-    /// Consumes the next arrival: `(time, client)`.
-    fn next_arrival(&mut self) -> (VirtualNs, u32);
+    /// Consumes the next arrival: `(time, client)`.  `None` when the
+    /// source is exhausted — callers decide whether that is expected
+    /// (drained trace) or an invariant violation (after a `Some` peek).
+    fn next_arrival(&mut self) -> Option<(VirtualNs, u32)>;
     /// A request of `client` completed at `completion_ns`.
     fn on_complete(&mut self, client: u32, completion_ns: VirtualNs);
     /// A request of `client` was shed at `at_ns`.
@@ -316,10 +318,10 @@ impl ArrivalSource for OpenSource<'_> {
         self.arrivals.get(self.next).copied()
     }
 
-    fn next_arrival(&mut self) -> (VirtualNs, u32) {
-        let t = self.arrivals[self.next];
+    fn next_arrival(&mut self) -> Option<(VirtualNs, u32)> {
+        let t = *self.arrivals.get(self.next)?;
         self.next += 1;
-        (t, 0)
+        Some((t, 0))
     }
 
     fn on_complete(&mut self, _client: u32, _completion_ns: VirtualNs) {}
@@ -344,10 +346,13 @@ impl ArrivalSource for ClosedSource {
         self.ready.peek().map(|Reverse((t, _))| *t)
     }
 
-    fn next_arrival(&mut self) -> (VirtualNs, u32) {
-        let Reverse((t, client)) = self.ready.pop().expect("peek() said an arrival is ready");
+    fn next_arrival(&mut self) -> Option<(VirtualNs, u32)> {
+        if self.to_issue == 0 {
+            return None;
+        }
+        let Reverse((t, client)) = self.ready.pop()?;
         self.to_issue -= 1;
-        (t, client)
+        Some((t, client))
     }
 
     fn on_complete(&mut self, client: u32, completion_ns: VirtualNs) {
@@ -395,17 +400,11 @@ impl<S: ArrivalSource> Session<'_, S> {
         loop {
             let next_arrival = self.source.peek();
             let next_flush = self.batcher.next_flush_ns(self.t_free);
-            let flush_first = match (next_flush, next_arrival) {
+            match (next_flush, next_arrival) {
                 (None, None) => break,
-                (Some(_), None) => true,
-                (Some(f), Some(a)) => f <= a,
-                (None, Some(_)) => false,
-            };
-            if flush_first {
-                let f = next_flush.expect("flush_first implies a pending flush");
-                self.flush(f, client)?;
-            } else {
-                self.handle_arrival(client)?;
+                (Some(f), None) => self.flush(f, client)?,
+                (Some(f), Some(a)) if f <= a => self.flush(f, client)?,
+                (_, Some(_)) => self.handle_arrival(client)?,
             }
         }
         Ok(())
@@ -415,7 +414,11 @@ impl<S: ArrivalSource> Session<'_, S> {
         &mut self,
         client: &mut ServiceClient<Vec<PendingRequest>, ServiceResponse>,
     ) -> Result<(), ServeError> {
-        let (arrival_ns, client_id) = self.source.next_arrival();
+        let Some((arrival_ns, client_id)) = self.source.next_arrival() else {
+            return Err(ServeError::SchedulerInvariant {
+                what: "arrival source announced an arrival via peek() but could not deliver it",
+            });
+        };
         let id = self.next_id;
         self.next_id += 1;
         let sample = id % self.workload.len();
