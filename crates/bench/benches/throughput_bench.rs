@@ -171,6 +171,33 @@ fn bench_throughput(c: &mut Criterion) {
         })
     });
 
+    group.bench_function("event_sliced_64_metrics_disabled", |b| {
+        // Observability guard: the same 64-lane word as
+        // `event_sliced_64`, on an engine whose instrumentation was
+        // attached and then cleared.  The disabled path is a `None`
+        // branch, so this row must track `event_sliced_64` within
+        // noise — a gap here means the zero-overhead-when-disabled
+        // contract regressed.
+        let library = Library::umc_ll();
+        let event_workload = datapath::InferenceWorkload::new(
+            &config,
+            masks.clone(),
+            workload.feature_vectors()[..64].to_vec(),
+        )
+        .expect("sliced workload stays well-formed");
+        let registry = std::sync::Arc::new(tm_obs::MetricsRegistry::new());
+        let mut parallel = datapath::EventDrivenInference::new(&model, &library, 1);
+        parallel.set_metrics(&registry, "guard");
+        parallel.clear_metrics();
+        b.iter(|| {
+            std::hint::black_box(
+                parallel
+                    .run_workload_sliced(&event_workload)
+                    .expect("sliced event-driven run"),
+            )
+        })
+    });
+
     group.bench_function("dualrail_sliced_64", |b| {
         // One full 64-lane word of four-phase handshake cycles on the
         // dual-rail datapath through the bit-sliced driver.

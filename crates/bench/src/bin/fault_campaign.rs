@@ -10,7 +10,7 @@
 //! `cargo run -p tm-async-bench --release --bin fault_campaign -- 16 6
 //! BENCH_PR7.json`.
 
-fn main() {
+fn main() -> Result<(), Box<dyn std::error::Error>> {
     let mut args = std::env::args().skip(1);
     let operands: usize = args
         .next()
@@ -32,10 +32,10 @@ fn main() {
     // faults than the unprotected single-rail golden model.
     let dual = report
         .engine_coverage("dualrail_scalar")
-        .expect("coverage row exists");
+        .ok_or("missing dualrail_scalar coverage row")?;
     let event = report
         .engine_coverage("event_scalar")
-        .expect("coverage row exists");
+        .ok_or("missing event_scalar coverage row")?;
     println!(
         "\ndual-rail detection coverage {:.1}% vs single-rail {:.1}%",
         dual.detection_coverage * 100.0,
@@ -43,7 +43,8 @@ fn main() {
     );
 
     if let Some(path) = json_path {
-        std::fs::write(&path, report.to_json()).expect("write JSON report");
+        std::fs::write(&path, report.to_json())?;
         println!("wrote {path}");
     }
+    Ok(())
 }

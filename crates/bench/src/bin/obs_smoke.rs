@@ -1,0 +1,148 @@
+//! Observability smoke for CI (PR 10), four checks over the unified
+//! instrumentation layer:
+//!
+//! 1. **Snapshot determinism** — the merged engine-metrics snapshot
+//!    (every engine family instrumented into one shared registry) is
+//!    bit-identical at thread counts {1, 2, 7} and across a replay,
+//!    with nonzero popped *and* suppressed event counters for every
+//!    engine prefix;
+//! 2. **VCD well-formedness** — the captured four-phase handshake
+//!    waveform passes the standard-VCD checker, is byte-deterministic,
+//!    and contains at least one 2-bit dual-rail codeword vector;
+//! 3. **Trace JSON parses** — the serving Chrome trace is valid JSON,
+//!    byte-deterministic, and non-trivial (contains span events);
+//! 4. **Disabled-overhead guard** — running the sliced event engine
+//!    with instrumentation attached-then-cleared must cost the same as
+//!    never attaching it (the disabled path is a `None` branch); the
+//!    runs must be bit-identical, and the wall-clock ratio is printed
+//!    and loosely bounded so a pathological regression trips CI
+//!    without flaking on a loaded runner.
+//!
+//! With an output-directory argument, the serve trace JSON and the
+//! handshake VCD are written there for CI artifact upload.
+//!
+//! Usage: `cargo run -p tm-async-bench --release --bin obs_smoke
+//! [artifact-dir]`
+
+use std::sync::Arc;
+use std::time::Instant;
+
+use celllib::Library;
+use datapath::{BatchGoldenModel, EventDrivenInference};
+use tm_async_bench::obs_capture;
+use tm_async_bench::workloads::{standard_config, standard_workload};
+use tm_obs::MetricsRegistry;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let artifact_dir = std::env::args().nth(1);
+
+    // 1. Snapshot determinism across thread counts and replays.
+    let reference = obs_capture::engine_metrics_snapshot(96, 2021, 1);
+    for threads in [2usize, 7] {
+        let snapshot = obs_capture::engine_metrics_snapshot(96, 2021, threads);
+        assert_eq!(
+            reference, snapshot,
+            "metrics snapshot diverged at {threads} threads"
+        );
+    }
+    assert_eq!(
+        reference,
+        obs_capture::engine_metrics_snapshot(96, 2021, 1),
+        "metrics snapshot replay diverged"
+    );
+    for prefix in obs_capture::ENGINE_PREFIXES {
+        let popped = reference.counter(&format!("{prefix}.events_popped"));
+        let suppressed = reference.counter(&format!("{prefix}.events_suppressed"));
+        assert!(popped > 0, "{prefix}: no events popped");
+        assert!(suppressed > 0, "{prefix}: no events suppressed");
+        println!("{prefix}: popped {popped}, suppressed {suppressed}");
+    }
+    println!(
+        "snapshot determinism OK: {} instruments, bit-identical at threads {{1, 2, 7}}",
+        { reference.iter().count() }
+    );
+
+    // 2. VCD well-formedness, determinism, and a dual-rail codeword.
+    let vcd = obs_capture::waveform_vcd(2021);
+    let stats = tm_obs::vcd_is_well_formed(&vcd).map_err(|e| format!("malformed VCD: {e}"))?;
+    assert_eq!(vcd, obs_capture::waveform_vcd(2021), "VCD replay diverged");
+    assert!(
+        vcd.contains("$var wire 2 "),
+        "waveform must carry a 2-bit dual-rail codeword vector"
+    );
+    println!(
+        "VCD OK: {} signals, {} timestamps, {} bytes",
+        stats.signals,
+        stats.timestamps,
+        vcd.len()
+    );
+
+    // 3. Serving Chrome trace parses and replays byte-identically.
+    let trace = obs_capture::serve_trace_json(256, 2021);
+    tm_obs::json_is_well_formed(&trace).map_err(|e| format!("malformed trace JSON: {e}"))?;
+    assert_eq!(
+        trace,
+        obs_capture::serve_trace_json(256, 2021),
+        "trace replay diverged"
+    );
+    assert!(
+        trace.contains("\"ph\""),
+        "trace must contain span/instant events"
+    );
+    println!("serve trace OK: {} bytes of Chrome-trace JSON", trace.len());
+
+    // 4. Disabled-overhead guard on the sliced event engine: identical
+    // results, and attach-then-clear costs the same as never attaching.
+    let config = standard_config();
+    let standard = standard_workload(256, 2021);
+    let model = BatchGoldenModel::generate(&config)?;
+    let library = Library::umc_ll();
+    let threads = exec::available_parallelism();
+
+    let absent = EventDrivenInference::new(&model, &library, threads);
+    let warmup = absent.run_workload_sliced(&standard.workload)?;
+    let start = Instant::now();
+    let absent_run = absent.run_workload_sliced(&standard.workload)?;
+    let absent_time = start.elapsed();
+    assert_eq!(warmup, absent_run, "uninstrumented replay diverged");
+
+    let registry = Arc::new(MetricsRegistry::new());
+    let mut disabled = EventDrivenInference::new(&model, &library, threads);
+    disabled.set_metrics(&registry, "guard");
+    disabled.clear_metrics();
+    let start = Instant::now();
+    let disabled_run = disabled.run_workload_sliced(&standard.workload)?;
+    let disabled_time = start.elapsed();
+    assert_eq!(
+        absent_run, disabled_run,
+        "attach-then-clear changed the sliced event run"
+    );
+    assert!(
+        registry.snapshot().is_empty(),
+        "a cleared registry must record nothing"
+    );
+    let ratio = disabled_time.as_secs_f64() / absent_time.as_secs_f64().max(1e-9);
+    println!(
+        "disabled-overhead guard: absent {:?}, disabled {:?} ({ratio:.2}x)",
+        absent_time, disabled_time
+    );
+    // Identical code path (metrics: None in both runs); the generous
+    // bound only exists to catch a pathological regression without
+    // flaking on noisy shared runners.
+    assert!(
+        ratio < 3.0,
+        "disabled instrumentation cost {ratio:.2}x the uninstrumented run"
+    );
+
+    if let Some(dir) = artifact_dir {
+        std::fs::create_dir_all(&dir)?;
+        let trace_path = format!("{dir}/serve_trace.json");
+        std::fs::write(&trace_path, &trace)?;
+        println!("wrote {trace_path}");
+        let vcd_path = format!("{dir}/dual_rail_handshake.vcd");
+        std::fs::write(&vcd_path, &vcd)?;
+        println!("wrote {vcd_path}");
+    }
+    println!("obs smoke OK");
+    Ok(())
+}

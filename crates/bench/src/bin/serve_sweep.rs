@@ -13,7 +13,7 @@
 //! (The deterministic zero-shed-below-saturation assertion lives in
 //! the `serve_smoke` CI gate, which uses a fixed service model.)
 
-fn main() {
+fn main() -> Result<(), Box<dyn std::error::Error>> {
     let mut args = std::env::args().skip(1);
     let requests: usize = args
         .next()
@@ -29,7 +29,8 @@ fn main() {
     print!("{}", report.render());
 
     if let Some(path) = json_path {
-        std::fs::write(&path, report.to_json()).expect("write JSON report");
+        std::fs::write(&path, report.to_json())?;
         println!("\nwrote {path}");
     }
+    Ok(())
 }

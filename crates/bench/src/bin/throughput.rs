@@ -9,7 +9,7 @@
 //! with the `bench_record` bin; this bin records the throughput
 //! report alone.
 
-fn main() {
+fn main() -> Result<(), Box<dyn std::error::Error>> {
     let mut args = std::env::args().skip(1);
     let operands: usize = args
         .next()
@@ -25,7 +25,8 @@ fn main() {
     print!("{}", report.render());
 
     if let Some(path) = json_path {
-        std::fs::write(&path, report.to_json()).expect("write JSON report");
+        std::fs::write(&path, report.to_json())?;
         println!("\nwrote {path}");
     }
+    Ok(())
 }

@@ -46,6 +46,7 @@ pub mod ablation;
 pub mod distributions;
 pub mod faults;
 pub mod fig3;
+pub mod obs_capture;
 pub mod serving;
 pub mod table1;
 pub mod throughput;

@@ -118,6 +118,11 @@ pub struct ParallelProtocolDriver<'a> {
     /// for the bounds.
     timing: Result<WavefrontTiming, DualRailError>,
     check_monotonic: bool,
+    /// Shared metrics registry + prefix; when set, every worker driver
+    /// attaches protocol- and engine-level instruments under identical
+    /// names, so commutative adds make snapshots thread-count
+    /// invariant.
+    metrics: Option<(Arc<tm_obs::MetricsRegistry>, String)>,
 }
 
 impl<'a> ParallelProtocolDriver<'a> {
@@ -174,6 +179,34 @@ impl<'a> ParallelProtocolDriver<'a> {
             grace,
             timing,
             check_monotonic: true,
+            metrics: None,
+        })
+    }
+
+    /// Routes every worker's instruments into `registry` under
+    /// `prefix`: engine counters as `"<prefix>.scalar.*"` /
+    /// `"<prefix>.sliced.*"` (see [`ParallelEventSim::set_metrics`])
+    /// and protocol counters as `"<prefix>.scalar.protocol.*"` /
+    /// `"<prefix>.sliced.protocol.*"`.  Workers attach to the **same**
+    /// instruments, and per-operand work is shard-invariant, so
+    /// `registry.snapshot()` is bit-identical at any thread count.
+    pub fn set_metrics(&mut self, registry: &Arc<tm_obs::MetricsRegistry>, prefix: &str) {
+        self.sim.set_metrics(registry, prefix);
+        self.metrics = Some((Arc::clone(registry), prefix.to_string()));
+    }
+
+    /// Stops routing metrics; future runs revert to the zero-overhead
+    /// disabled mode.
+    pub fn clear_metrics(&mut self) {
+        self.sim.clear_metrics();
+        self.metrics = None;
+    }
+
+    /// Protocol-level handles for one worker-driver kind, if a registry
+    /// is set.
+    fn protocol_metrics(&self, kind: &str) -> Option<tm_obs::ProtocolMetrics> {
+        self.metrics.as_ref().map(|(registry, prefix)| {
+            tm_obs::ProtocolMetrics::register(registry, &format!("{prefix}.{kind}.protocol"))
         })
     }
 
@@ -232,12 +265,16 @@ impl<'a> ParallelProtocolDriver<'a> {
         let circuit = self.circuit;
         let snapshot = &self.snapshot;
         let check_monotonic = self.check_monotonic;
+        let metrics = self.protocol_metrics("scalar");
         let results = self.sim.run_with(
             operands,
             |sim: Simulator<'a>| -> Result<ProtocolDriver<'a>, DualRailError> {
                 let mut driver = ProtocolDriver::from_simulator(circuit, sim)?;
                 driver.set_monotonicity_check(check_monotonic);
                 driver.enable_reset_contract(Arc::clone(snapshot));
+                if let Some(handles) = metrics.clone() {
+                    driver.attach_protocol_metrics(handles);
+                }
                 Ok(driver)
             },
             |driver, operand: &Vec<bool>| match driver {
@@ -277,15 +314,20 @@ impl<'a> ParallelProtocolDriver<'a> {
         let circuit = self.circuit;
         let snapshot = &self.snapshot;
         let check_monotonic = self.check_monotonic;
+        let metrics = self.protocol_metrics("sliced");
         let results = self.sim.run_words_with(
             operands,
-            |sim| {
-                SlicedProtocolDriver::from_sliced_simulator(
+            |sim| -> Result<SlicedProtocolDriver<'a>, DualRailError> {
+                let mut driver = SlicedProtocolDriver::from_sliced_simulator(
                     circuit,
                     sim,
                     Arc::clone(snapshot),
                     check_monotonic,
-                )
+                )?;
+                if let Some(handles) = metrics.clone() {
+                    driver.attach_protocol_metrics(handles);
+                }
+                Ok(driver)
             },
             |driver, word: &[Vec<bool>]| match driver {
                 Ok(driver) => driver.apply_word(word),
@@ -339,6 +381,7 @@ impl<'a> ParallelProtocolDriver<'a> {
         let timing = self.timing.clone()?;
         let check_monotonic = self.check_monotonic;
         let train_len = config.train_length.max(1);
+        let metrics = self.protocol_metrics("scalar");
         let results = self.sim.run_trains_with(
             operands,
             train_len,
@@ -350,6 +393,9 @@ impl<'a> ParallelProtocolDriver<'a> {
                     config,
                 )?;
                 driver.set_monotonicity_check(check_monotonic);
+                if let Some(handles) = metrics.clone() {
+                    driver.attach_protocol_metrics(handles);
+                }
                 Ok(driver)
             },
             |driver, train: &[Vec<bool>]| match driver {
@@ -388,18 +434,23 @@ impl<'a> ParallelProtocolDriver<'a> {
         let timing = self.timing.clone()?;
         let check_monotonic = self.check_monotonic;
         let words_per_train = config.train_length.max(1);
+        let metrics = self.protocol_metrics("sliced");
         let results = self.sim.run_word_trains_with(
             operands,
             words_per_train,
-            |sim| {
-                SlicedPipelinedProtocolDriver::from_sliced_simulator(
+            |sim| -> Result<SlicedPipelinedProtocolDriver<'a>, DualRailError> {
+                let mut driver = SlicedPipelinedProtocolDriver::from_sliced_simulator(
                     circuit,
                     sim,
                     Arc::clone(snapshot),
                     timing.clone(),
                     config,
                     check_monotonic,
-                )
+                )?;
+                if let Some(handles) = metrics.clone() {
+                    driver.attach_protocol_metrics(handles);
+                }
+                Ok(driver)
             },
             |driver, train: &[Vec<bool>]| match driver {
                 Ok(driver) => match driver.run_train(train) {

@@ -1059,6 +1059,42 @@ impl<'a> PipelinedProtocolDriver<'a> {
         self.inner.set_monotonicity_check(enabled);
     }
 
+    /// Attaches the dual-rail instrument set (see
+    /// [`ProtocolDriver::attach_metrics`]); the pipelined schedule
+    /// additionally counts injection-gate stall slices under
+    /// `"<prefix>.protocol.stall_slices"`.
+    pub fn attach_metrics(&mut self, registry: &tm_obs::MetricsRegistry, prefix: &str) {
+        self.inner.attach_metrics(registry, prefix);
+    }
+
+    /// Detaches all instruments after flushing pending engine deltas.
+    pub fn detach_metrics(&mut self) {
+        self.inner.detach_metrics();
+    }
+
+    /// Whether an instrument set is currently attached.
+    #[must_use]
+    pub fn metrics_attached(&self) -> bool {
+        self.inner.metrics_attached()
+    }
+
+    /// Attaches only the protocol-level handles (the sharded runner's
+    /// worker path; see [`ProtocolDriver::attach_protocol_metrics`]).
+    pub(crate) fn attach_protocol_metrics(&mut self, handles: tm_obs::ProtocolMetrics) {
+        self.inner.attach_protocol_metrics(handles);
+    }
+
+    /// Installs a [`tm_obs::WaveProbe`] on the underlying simulator
+    /// (see [`ProtocolDriver::attach_wave_probe`]).
+    pub fn attach_wave_probe(&mut self, probe: tm_obs::WaveProbe) {
+        self.inner.attach_wave_probe(probe);
+    }
+
+    /// Removes and returns the installed wave probe, if any.
+    pub fn take_wave_probe(&mut self) -> Option<tm_obs::WaveProbe> {
+        self.inner.take_wave_probe()
+    }
+
     /// Installs a gate-level fault plan on this driver's private
     /// simulator and re-settles (see
     /// [`ProtocolDriver::set_fault_plan`]).  SEU pulse times are
@@ -1179,7 +1215,12 @@ impl<'a> PipelinedProtocolDriver<'a> {
                     }
                     let sim = self.inner.sim_mut();
                     match sim.step_time_slice(&mut budget) {
-                        StepOutcome::Advanced { .. } => log.sample(self.inner.sim()),
+                        StepOutcome::Advanced { .. } => {
+                            if let Some(metrics) = self.inner.protocol_metrics() {
+                                metrics.stall_slices.inc();
+                            }
+                            log.sample(self.inner.sim());
+                        }
                         StepOutcome::Idle => {
                             return Err(DualRailError::ProtocolViolation {
                                 description: "input stage failed to acknowledge the spacer \
@@ -1289,6 +1330,14 @@ impl<'a> PipelinedProtocolDriver<'a> {
                 self.inner.sim().net_transitions(net)
             })?;
         }
+
+        // Slice stepping bypasses the per-settle metrics flush; ship
+        // the train's engine deltas (and count its completed cycles)
+        // before handing results back.
+        if let Some(metrics) = self.inner.protocol_metrics() {
+            metrics.cycles.add(tokens.len() as u64);
+        }
+        self.inner.sim_mut().flush_metrics();
 
         Ok(tokens
             .into_iter()
@@ -1645,6 +1694,31 @@ impl<'a> SlicedPipelinedProtocolDriver<'a> {
         self.inner.set_event_limit(limit);
     }
 
+    /// Attaches the word driver's instrument set (see
+    /// [`SlicedProtocolDriver::attach_metrics`]); the pipelined
+    /// schedule additionally counts injection-gate stall slices under
+    /// `"<prefix>.protocol.stall_slices"`.
+    pub fn attach_metrics(&mut self, registry: &tm_obs::MetricsRegistry, prefix: &str) {
+        self.inner.attach_metrics(registry, prefix);
+    }
+
+    /// Detaches all instruments after flushing pending engine deltas.
+    pub fn detach_metrics(&mut self) {
+        self.inner.detach_metrics();
+    }
+
+    /// Whether an instrument set is currently attached.
+    #[must_use]
+    pub fn metrics_attached(&self) -> bool {
+        self.inner.metrics_attached()
+    }
+
+    /// Attaches only the protocol-level handles (the sharded runner's
+    /// worker path; see [`SlicedProtocolDriver::attach_protocol_metrics`]).
+    pub(crate) fn attach_protocol_metrics(&mut self, handles: tm_obs::ProtocolMetrics) {
+        self.inner.attach_protocol_metrics(handles);
+    }
+
     /// Bounds each word token by simulated time; the schedule slides
     /// the absolute horizon to `A_k + horizon_ps` at every injection.
     pub fn set_time_horizon_ps(&mut self, horizon_ps: f64) {
@@ -1775,7 +1849,12 @@ impl<'a> SlicedPipelinedProtocolDriver<'a> {
                     }
                     let sim = self.inner.sim_mut();
                     match sim.step_time_slice(&mut budget) {
-                        StepOutcome::Advanced { .. } => log.sample(self.inner.sim()),
+                        StepOutcome::Advanced { .. } => {
+                            if let Some(metrics) = self.inner.protocol_metrics() {
+                                metrics.stall_slices.inc();
+                            }
+                            log.sample(self.inner.sim());
+                        }
                         StepOutcome::Idle => {
                             return Err(DualRailError::ProtocolViolation {
                                 description: "input stage failed to acknowledge the spacer \
@@ -1897,6 +1976,15 @@ impl<'a> SlicedPipelinedProtocolDriver<'a> {
                 });
             }
         }
+
+        // Slice stepping bypasses the per-settle metrics flush; ship
+        // the train's engine deltas (and count its completed cycles)
+        // before handing results back.
+        if let Some(metrics) = self.inner.protocol_metrics() {
+            metrics.cycles.add(results.len() as u64);
+        }
+        self.inner.sim_mut().flush_metrics();
+
         Ok(results)
     }
 }

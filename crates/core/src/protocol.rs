@@ -50,6 +50,13 @@ use crate::{DualRailError, DualRailNetlist, DualRailValue, OneOfNValue};
 /// index.
 pub(crate) type DecodedOutputs = (Vec<bool>, Vec<(String, usize)>);
 
+/// Rounds a picosecond duration to the whole-ps integer the histogram
+/// instruments record (phase durations are non-negative by protocol).
+#[allow(clippy::cast_possible_truncation, clippy::cast_sign_loss)]
+pub(crate) fn whole_ps(ps: f64) -> u64 {
+    ps.round().max(0.0) as u64
+}
+
 /// Measurements and decoded results for one operand (one full
 /// valid/spacer cycle).
 #[derive(Clone, Debug, PartialEq)]
@@ -93,6 +100,9 @@ pub struct ProtocolDriver<'a> {
     /// so phase-2 event timestamps are computed in a zero-based frame
     /// (see [`ProtocolDriver::enable_phase_rebase`]).
     phase_rebase: bool,
+    /// Protocol-level instrument set; `None` (the default) keeps the
+    /// cycle loop free of metrics work.
+    metrics: Option<Box<tm_obs::ProtocolMetrics>>,
 }
 
 impl<'a> ProtocolDriver<'a> {
@@ -165,6 +175,7 @@ impl<'a> ProtocolDriver<'a> {
             check_monotonic: true,
             reset_contract: None,
             phase_rebase: false,
+            metrics: None,
         };
         driver.drive_spacer();
         if !driver.sim.run_until_quiescent().is_quiescent() {
@@ -269,6 +280,93 @@ impl<'a> ProtocolDriver<'a> {
     /// [`gatesim::Simulator::set_time_horizon_ps`].
     pub fn set_time_horizon_ps(&mut self, horizon_ps: f64) {
         self.sim.set_time_horizon_ps(horizon_ps);
+    }
+
+    // ------------------------------------------------------------------
+    // Observability
+    // ------------------------------------------------------------------
+
+    /// Attaches the full dual-rail instrument set, registering
+    /// `"<prefix>.protocol.*"` (cycles, phase-duration histograms,
+    /// spacer verifications) and `"<prefix>.sim.*"` (the underlying
+    /// event engine's [`tm_obs::SimMetrics`]) in `registry`.
+    ///
+    /// Registration is idempotent: replicated shard drivers attach to
+    /// the **same** registry under the **same** prefix and their
+    /// commutative counter adds reduce to bit-identical snapshots at
+    /// any thread count.
+    pub fn attach_metrics(&mut self, registry: &tm_obs::MetricsRegistry, prefix: &str) {
+        self.metrics = Some(Box::new(tm_obs::ProtocolMetrics::register(
+            registry,
+            &format!("{prefix}.protocol"),
+        )));
+        self.sim.attach_metrics(tm_obs::SimMetrics::register(
+            registry,
+            &format!("{prefix}.sim"),
+        ));
+    }
+
+    /// Detaches all instruments after flushing pending engine deltas.
+    /// The driver reverts to the zero-overhead disabled mode.
+    pub fn detach_metrics(&mut self) {
+        self.metrics = None;
+        self.sim.detach_metrics();
+    }
+
+    /// Whether an instrument set is currently attached.
+    #[must_use]
+    pub fn metrics_attached(&self) -> bool {
+        self.metrics.is_some()
+    }
+
+    /// The attached protocol instrument set, if any (the pipelined
+    /// driver records stall slices through it).
+    pub(crate) fn protocol_metrics(&self) -> Option<&tm_obs::ProtocolMetrics> {
+        self.metrics.as_deref()
+    }
+
+    /// Attaches **only** the protocol-level handles — the sharded
+    /// runner's worker path, where the engine-level instruments are
+    /// already attached by the parallel harness at simulator
+    /// construction.
+    pub(crate) fn attach_protocol_metrics(&mut self, handles: tm_obs::ProtocolMetrics) {
+        self.metrics = Some(Box::new(handles));
+    }
+
+    /// Installs a [`tm_obs::WaveProbe`] on the underlying simulator;
+    /// every transition of a watched net is recorded in simulated
+    /// picoseconds.  Contract-mode time rebasing is handled for you —
+    /// the probe's timeline stays monotonic across operand cycles.
+    pub fn attach_wave_probe(&mut self, probe: tm_obs::WaveProbe) {
+        self.sim.attach_wave_probe(probe);
+    }
+
+    /// Removes and returns the installed wave probe, if any.
+    pub fn take_wave_probe(&mut self) -> Option<tm_obs::WaveProbe> {
+        self.sim.take_wave_probe()
+    }
+
+    /// Builds a [`tm_obs::WaveProbe`] pre-wired to this circuit's
+    /// protocol surface: every dual-rail primary output as a 2-bit
+    /// codeword vector (`b00` spacer, `b10` → 1, `b01` → 0), every
+    /// 1-of-n group rail as a scalar wire, and the completion `done`
+    /// net when present.  Pass the result to
+    /// [`ProtocolDriver::attach_wave_probe`].
+    #[must_use]
+    pub fn output_wave_probe(&self) -> tm_obs::WaveProbe {
+        let mut probe = tm_obs::WaveProbe::new();
+        for (name, signal) in self.circuit.dual_outputs() {
+            probe.watch_pair(name, signal.positive.index(), signal.negative.index());
+        }
+        for (name, wires) in self.circuit.one_of_n_outputs() {
+            for (i, wire) in wires.iter().enumerate() {
+                probe.watch_bit(&format!("{name}_{i}"), wire.index());
+            }
+        }
+        if let Some(done) = self.circuit.done() {
+            probe.watch_bit("done", done.index());
+        }
+        probe
     }
 
     /// Installs a gate-level [`FaultPlan`] (stuck-at, SEU, delay
@@ -622,6 +720,18 @@ impl<'a> ProtocolDriver<'a> {
         } else {
             self.sim.now_ps() - t0
         };
+        if let Some(metrics) = self.metrics.as_deref() {
+            metrics.cycles.inc();
+            metrics
+                .spacer_to_valid_ps
+                .record(whole_ps(s_to_v_latency_ps));
+            metrics
+                .valid_to_spacer_ps
+                .record(whole_ps(v_to_s_latency_ps));
+            if self.reset_contract.is_some() {
+                metrics.spacer_verify_passes.inc();
+            }
+        }
         Ok(OperandResult {
             outputs,
             one_of_n,

@@ -63,6 +63,9 @@ pub struct SlicedProtocolDriver<'a> {
     snapshot: Arc<[Logic]>,
     observed: Vec<NetId>,
     req: Option<NetId>,
+    /// Protocol-level instrument set; `None` (the default) keeps the
+    /// word loop free of metrics work.
+    metrics: Option<Box<tm_obs::ProtocolMetrics>>,
 }
 
 impl<'a> SlicedProtocolDriver<'a> {
@@ -105,6 +108,7 @@ impl<'a> SlicedProtocolDriver<'a> {
             snapshot,
             observed,
             req,
+            metrics: None,
         };
         let mut watched = driver.observed.clone();
         if let Some(done) = circuit.done() {
@@ -143,6 +147,67 @@ impl<'a> SlicedProtocolDriver<'a> {
     /// event loop until the (much larger) event limit.
     pub fn set_time_horizon_ps(&mut self, horizon_ps: f64) {
         self.sim.set_time_horizon_ps(horizon_ps);
+    }
+
+    // ------------------------------------------------------------------
+    // Observability
+    // ------------------------------------------------------------------
+
+    /// Attaches the full word-driver instrument set, registering
+    /// `"<prefix>.protocol.*"` and `"<prefix>.sim.*"` in `registry`.
+    /// Per-lane cycle figures are recorded once per successful lane, so
+    /// sharded word streams reduce to the same snapshot at any thread
+    /// count (see [`ProtocolDriver::attach_metrics`]).
+    pub fn attach_metrics(&mut self, registry: &tm_obs::MetricsRegistry, prefix: &str) {
+        self.metrics = Some(Box::new(tm_obs::ProtocolMetrics::register(
+            registry,
+            &format!("{prefix}.protocol"),
+        )));
+        self.sim.attach_metrics(tm_obs::SimMetrics::register(
+            registry,
+            &format!("{prefix}.sim"),
+        ));
+    }
+
+    /// Detaches all instruments after flushing pending engine deltas.
+    pub fn detach_metrics(&mut self) {
+        self.metrics = None;
+        self.sim.detach_metrics();
+    }
+
+    /// Whether an instrument set is currently attached.
+    #[must_use]
+    pub fn metrics_attached(&self) -> bool {
+        self.metrics.is_some()
+    }
+
+    /// The attached protocol instrument set, if any (the sliced
+    /// pipelined driver records stall slices through it).
+    pub(crate) fn protocol_metrics(&self) -> Option<&tm_obs::ProtocolMetrics> {
+        self.metrics.as_deref()
+    }
+
+    /// Attaches **only** the protocol-level handles — the sharded
+    /// runner's worker path, where the engine-level instruments are
+    /// already attached by the parallel harness at simulator
+    /// construction.
+    pub(crate) fn attach_protocol_metrics(&mut self, handles: tm_obs::ProtocolMetrics) {
+        self.metrics = Some(Box::new(handles));
+    }
+
+    /// Installs a [`tm_obs::WaveProbe`] following a single `lane` of
+    /// the word; see [`gatesim::SlicedSimulator::attach_wave_probe`].
+    ///
+    /// # Panics
+    ///
+    /// Panics if `lane >= gatesim::LANES`.
+    pub fn attach_wave_probe(&mut self, probe: tm_obs::WaveProbe, lane: usize) {
+        self.sim.attach_wave_probe(probe, lane);
+    }
+
+    /// Removes and returns the installed wave probe, if any.
+    pub fn take_wave_probe(&mut self) -> Option<tm_obs::WaveProbe> {
+        self.sim.take_wave_probe()
     }
 
     /// Installs a gate-level [`gatesim::FaultPlan`] on this word
@@ -553,6 +618,19 @@ impl<'a> SlicedProtocolDriver<'a> {
                 Some(error) => Err(error),
                 None => {
                     let (outputs, one_of_n) = decoded[lane].take().expect("decoded on success");
+                    if let Some(metrics) = self.metrics.as_deref() {
+                        metrics.cycles.inc();
+                        metrics
+                            .spacer_to_valid_ps
+                            .record(crate::protocol::whole_ps(s_to_v[lane]));
+                        metrics
+                            .valid_to_spacer_ps
+                            .record(crate::protocol::whole_ps(v_to_s[lane]));
+                        // The reset-phase contract is mandatory for
+                        // word drivers; reaching here means this lane
+                        // passed its spacer-state verification.
+                        metrics.spacer_verify_passes.inc();
+                    }
                     Ok(OperandResult {
                         outputs,
                         one_of_n,

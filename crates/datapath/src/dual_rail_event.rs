@@ -133,6 +133,23 @@ impl<'a> DualRailInference<'a> {
         self.datapath
     }
 
+    /// Routes every worker's instruments into `registry` under
+    /// `prefix` (see [`ParallelProtocolDriver::set_metrics`]):
+    /// snapshots are bit-identical at any thread count.
+    pub fn set_metrics(
+        &mut self,
+        registry: &std::sync::Arc<tm_obs::MetricsRegistry>,
+        prefix: &str,
+    ) {
+        self.driver.set_metrics(registry, prefix);
+    }
+
+    /// Stops routing metrics; future runs revert to the zero-overhead
+    /// disabled mode.
+    pub fn clear_metrics(&mut self) {
+        self.driver.clear_metrics();
+    }
+
     /// Runs every operand of `workload` through a full four-phase cycle
     /// and returns the decoded outcomes (comparable with
     /// [`InferenceWorkload::expected`]) plus the per-operand latency

@@ -104,6 +104,25 @@ impl<'a> EventDrivenInference<'a> {
         self.sim.threads()
     }
 
+    /// Routes every worker's engine instruments into `registry` under
+    /// `prefix` (see [`ParallelEventSim::set_metrics`]): scalar workers
+    /// flush `"<prefix>.scalar.*"`, sliced workers
+    /// `"<prefix>.sliced.*"`, and snapshots are bit-identical at any
+    /// thread count.
+    pub fn set_metrics(
+        &mut self,
+        registry: &std::sync::Arc<tm_obs::MetricsRegistry>,
+        prefix: &str,
+    ) {
+        self.sim.set_metrics(registry, prefix);
+    }
+
+    /// Stops routing metrics; future runs revert to the zero-overhead
+    /// disabled mode.
+    pub fn clear_metrics(&mut self) {
+        self.sim.clear_metrics();
+    }
+
     /// Runs every operand of `workload` through a return-to-zero
     /// event-driven cycle and returns the decoded outcomes (comparable
     /// with [`InferenceWorkload::expected`]) plus the per-operand

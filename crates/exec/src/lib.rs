@@ -301,6 +301,64 @@ impl Executor {
         });
         results.iter_mut().flat_map(std::mem::take).collect()
     }
+
+    /// Maps `map` over `items` in chunks (exactly as
+    /// [`Executor::map_chunks`]) and folds the per-chunk results into
+    /// `seed` **in chunk order** on the calling thread.
+    ///
+    /// This is the deterministic reduction primitive behind per-shard
+    /// telemetry: each worker produces a private partial aggregate
+    /// (e.g. a metrics snapshot) and the fold merges them in input
+    /// order, so the reduced value is bit-identical at any thread
+    /// count even when the combining operation is only associative,
+    /// not commutative.
+    ///
+    /// # Example
+    ///
+    /// ```
+    /// use exec::Executor;
+    ///
+    /// let items: Vec<u32> = (0..100).collect();
+    /// let render = |threads| {
+    ///     Executor::new(threads).map_reduce_chunks(
+    ///         &items,
+    ///         7,
+    ///         |index, chunk| format!("{index}:{}", chunk.len()),
+    ///         String::new(),
+    ///         |mut acc, part| {
+    ///             acc.push_str(&part);
+    ///             acc.push(' ');
+    ///             acc
+    ///         },
+    ///     )
+    /// };
+    /// // String concatenation is not commutative, yet the reduction is
+    /// // thread-count invariant because the fold runs in chunk order.
+    /// assert_eq!(render(1), render(7));
+    /// ```
+    ///
+    /// # Panics
+    ///
+    /// Panics if `chunk_size` is zero, or if `map` panics (same
+    /// propagation contract as [`Executor::map_chunks`]).
+    pub fn map_reduce_chunks<T, R, A, F, G>(
+        &self,
+        items: &[T],
+        chunk_size: usize,
+        map: F,
+        seed: A,
+        fold: G,
+    ) -> A
+    where
+        T: Sync,
+        R: Send,
+        F: Fn(usize, &[T]) -> R + Sync,
+        G: FnMut(A, R) -> A,
+    {
+        self.map_chunks(items, chunk_size, map)
+            .into_iter()
+            .fold(seed, fold)
+    }
 }
 
 /// [`std::thread::available_parallelism`] collapsed to a plain `usize`
@@ -489,6 +547,27 @@ mod tests {
             .downcast::<&str>()
             .expect("assert! with a literal message panics with &str");
         assert_eq!(message, "boom");
+    }
+
+    #[test]
+    fn map_reduce_chunks_folds_in_chunk_order_at_any_thread_count() {
+        let items: Vec<u32> = (0..257).collect();
+        // Subtraction is neither commutative nor associative: only a
+        // strictly in-order fold gives the same answer at every thread
+        // count.
+        let reduce = |threads: usize| {
+            Executor::new(threads).map_reduce_chunks(
+                &items,
+                16,
+                |index, chunk| i64::from(chunk.iter().sum::<u32>()) + index as i64,
+                1_000_000i64,
+                |acc, part| acc - part,
+            )
+        };
+        let expected = reduce(1);
+        for threads in [2, 7, 16] {
+            assert_eq!(reduce(threads), expected, "threads = {threads}");
+        }
     }
 
     #[test]

@@ -1,0 +1,327 @@
+//! Request-lifecycle tracing: a builder for the Chrome trace event
+//! format (the JSON flavour `chrome://tracing` and Perfetto open).
+//!
+//! The serving runtime emits **span** events (`ph: "X"`, a complete
+//! slice with a duration) for each request's queue and service
+//! intervals, **instant** events (`ph: "i"`) for point occurrences
+//! such as sheds or breaker trips, and **counter** events (`ph: "C"`)
+//! for sampled series such as queue depth.  Timestamps are virtual
+//! nanoseconds converted to the format's microsecond unit with three
+//! exact decimal digits, so the export is byte-deterministic for a
+//! deterministic virtual clock.
+//!
+//! # Example
+//!
+//! ```
+//! let mut trace = tm_obs::ChromeTrace::new("serve");
+//! trace.complete("request 0", "queue", 0, 1_500, 1, &[("batch", "0".into())]);
+//! trace.instant("shed", "admission", 2_000, 1);
+//! trace.counter("queue_depth", 2_000, &[("pending", 3)]);
+//! let json = trace.to_json();
+//! tm_obs::json_is_well_formed(&json).unwrap();
+//! assert!(json.contains("\"ph\": \"X\""));
+//! ```
+
+use std::fmt::Write as _;
+
+/// Escapes a string for inclusion inside a JSON string literal
+/// (quotes, backslashes and control characters).
+#[must_use]
+pub fn escape_json(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                let _ = write!(out, "\\u{:04x}", c as u32);
+            }
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+/// Virtual nanoseconds rendered in the trace format's microsecond
+/// unit with exactly three decimals (`1_500` → `"1.500"`).
+fn us(ts_ns: u64) -> String {
+    format!("{}.{:03}", ts_ns / 1_000, ts_ns % 1_000)
+}
+
+/// A Chrome-trace-format JSON builder.  See the [module
+/// documentation](self).
+#[derive(Clone, Debug)]
+pub struct ChromeTrace {
+    process: String,
+    events: Vec<String>,
+}
+
+impl ChromeTrace {
+    /// Creates an empty trace for a process named `process`.
+    #[must_use]
+    pub fn new(process: &str) -> Self {
+        let mut trace = Self {
+            process: escape_json(process),
+            events: Vec::new(),
+        };
+        let name = trace.process.clone();
+        trace.events.push(format!(
+            "{{\"ph\": \"M\", \"pid\": 1, \"name\": \"process_name\", \
+             \"args\": {{\"name\": \"{name}\"}}}}"
+        ));
+        trace
+    }
+
+    /// Number of events recorded (excluding metadata).
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.events.len() - 1
+    }
+
+    /// Whether no events have been recorded.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Records a complete span: `name` in category `cat`, starting at
+    /// `ts_ns` with duration `dur_ns`, on lane (thread id) `tid`, with
+    /// extra `args` key/value annotations.
+    pub fn complete(
+        &mut self,
+        name: &str,
+        cat: &str,
+        ts_ns: u64,
+        dur_ns: u64,
+        tid: u32,
+        args: &[(&str, String)],
+    ) {
+        let mut event = format!(
+            "{{\"ph\": \"X\", \"pid\": 1, \"tid\": {tid}, \"name\": \"{}\", \
+             \"cat\": \"{}\", \"ts\": {}, \"dur\": {}",
+            escape_json(name),
+            escape_json(cat),
+            us(ts_ns),
+            us(dur_ns),
+        );
+        if !args.is_empty() {
+            event.push_str(", \"args\": {");
+            for (i, (key, value)) in args.iter().enumerate() {
+                if i > 0 {
+                    event.push_str(", ");
+                }
+                let _ = write!(
+                    event,
+                    "\"{}\": \"{}\"",
+                    escape_json(key),
+                    escape_json(value)
+                );
+            }
+            event.push('}');
+        }
+        event.push('}');
+        self.events.push(event);
+    }
+
+    /// Records an instant event at `ts_ns`.
+    pub fn instant(&mut self, name: &str, cat: &str, ts_ns: u64, tid: u32) {
+        self.events.push(format!(
+            "{{\"ph\": \"i\", \"pid\": 1, \"tid\": {tid}, \"name\": \"{}\", \
+             \"cat\": \"{}\", \"ts\": {}, \"s\": \"t\"}}",
+            escape_json(name),
+            escape_json(cat),
+            us(ts_ns),
+        ));
+    }
+
+    /// Records a counter sample: one stacked series per `(name,
+    /// value)` pair under the counter track `name`.
+    pub fn counter(&mut self, name: &str, ts_ns: u64, series: &[(&str, u64)]) {
+        let mut event = format!(
+            "{{\"ph\": \"C\", \"pid\": 1, \"name\": \"{}\", \"ts\": {}, \"args\": {{",
+            escape_json(name),
+            us(ts_ns),
+        );
+        for (i, (key, value)) in series.iter().enumerate() {
+            if i > 0 {
+                event.push_str(", ");
+            }
+            let _ = write!(event, "\"{}\": {value}", escape_json(key));
+        }
+        event.push_str("}}");
+        self.events.push(event);
+    }
+
+    /// Serialises the trace as a Chrome trace JSON document.
+    #[must_use]
+    pub fn to_json(&self) -> String {
+        let mut out = String::from("{\n\"traceEvents\": [\n");
+        for (i, event) in self.events.iter().enumerate() {
+            out.push_str(event);
+            if i + 1 < self.events.len() {
+                out.push(',');
+            }
+            out.push('\n');
+        }
+        let _ = write!(
+            out,
+            "],\n\"displayTimeUnit\": \"ms\",\n\"otherData\": {{\"process\": \"{}\"}}\n}}\n",
+            self.process
+        );
+        out
+    }
+}
+
+/// Validates JSON syntax (objects, arrays, strings, numbers, literals)
+/// without building a document — enough to guarantee an exported trace
+/// or snapshot parses in any consumer.
+///
+/// # Errors
+///
+/// Returns the byte offset and a description of the first syntax
+/// error.
+pub fn json_is_well_formed(text: &str) -> Result<(), String> {
+    let bytes = text.as_bytes();
+    let mut pos = 0usize;
+    skip_ws(bytes, &mut pos);
+    parse_value(bytes, &mut pos)?;
+    skip_ws(bytes, &mut pos);
+    if pos != bytes.len() {
+        return Err(format!("trailing content at byte {pos}"));
+    }
+    Ok(())
+}
+
+fn skip_ws(bytes: &[u8], pos: &mut usize) {
+    while *pos < bytes.len() && matches!(bytes[*pos], b' ' | b'\t' | b'\n' | b'\r') {
+        *pos += 1;
+    }
+}
+
+fn parse_value(bytes: &[u8], pos: &mut usize) -> Result<(), String> {
+    match bytes.get(*pos) {
+        Some(b'{') => {
+            *pos += 1;
+            skip_ws(bytes, pos);
+            if bytes.get(*pos) == Some(&b'}') {
+                *pos += 1;
+                return Ok(());
+            }
+            loop {
+                skip_ws(bytes, pos);
+                parse_string(bytes, pos)?;
+                skip_ws(bytes, pos);
+                expect(bytes, pos, b':')?;
+                skip_ws(bytes, pos);
+                parse_value(bytes, pos)?;
+                skip_ws(bytes, pos);
+                match bytes.get(*pos) {
+                    Some(b',') => *pos += 1,
+                    Some(b'}') => {
+                        *pos += 1;
+                        return Ok(());
+                    }
+                    _ => return Err(format!("expected ',' or '}}' at byte {pos}")),
+                }
+            }
+        }
+        Some(b'[') => {
+            *pos += 1;
+            skip_ws(bytes, pos);
+            if bytes.get(*pos) == Some(&b']') {
+                *pos += 1;
+                return Ok(());
+            }
+            loop {
+                skip_ws(bytes, pos);
+                parse_value(bytes, pos)?;
+                skip_ws(bytes, pos);
+                match bytes.get(*pos) {
+                    Some(b',') => *pos += 1,
+                    Some(b']') => {
+                        *pos += 1;
+                        return Ok(());
+                    }
+                    _ => return Err(format!("expected ',' or ']' at byte {pos}")),
+                }
+            }
+        }
+        Some(b'"') => parse_string(bytes, pos),
+        Some(b't') => parse_literal(bytes, pos, "true"),
+        Some(b'f') => parse_literal(bytes, pos, "false"),
+        Some(b'n') => parse_literal(bytes, pos, "null"),
+        Some(c) if c.is_ascii_digit() || *c == b'-' => {
+            *pos += 1;
+            while bytes.get(*pos).is_some_and(|c| {
+                c.is_ascii_digit() || matches!(c, b'.' | b'e' | b'E' | b'+' | b'-')
+            }) {
+                *pos += 1;
+            }
+            Ok(())
+        }
+        _ => Err(format!("expected a value at byte {pos}")),
+    }
+}
+
+fn parse_string(bytes: &[u8], pos: &mut usize) -> Result<(), String> {
+    expect(bytes, pos, b'"')?;
+    while let Some(&c) = bytes.get(*pos) {
+        *pos += 1;
+        match c {
+            b'"' => return Ok(()),
+            b'\\' => {
+                *pos += 1; // the escaped byte (\uXXXX hex digits also pass as plain bytes)
+            }
+            _ => {}
+        }
+    }
+    Err("unterminated string".to_string())
+}
+
+fn parse_literal(bytes: &[u8], pos: &mut usize, literal: &str) -> Result<(), String> {
+    if bytes[*pos..].starts_with(literal.as_bytes()) {
+        *pos += literal.len();
+        Ok(())
+    } else {
+        Err(format!("malformed literal at byte {pos}"))
+    }
+}
+
+fn expect(bytes: &[u8], pos: &mut usize, want: u8) -> Result<(), String> {
+    if bytes.get(*pos) == Some(&want) {
+        *pos += 1;
+        Ok(())
+    } else {
+        Err(format!("expected '{}' at byte {pos}", char::from(want)))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn trace_round_trips_through_the_validator() {
+        let mut trace = ChromeTrace::new("serve \"sweep\"");
+        trace.complete("req 1", "service", 1_234, 567, 2, &[("batch", "3".into())]);
+        trace.instant("breaker open", "faults", 9_999, 1);
+        trace.counter("queue_depth", 10_000, &[("pending", 7), ("shed", 1)]);
+        let json = trace.to_json();
+        json_is_well_formed(&json).unwrap();
+        assert_eq!(trace.len(), 3);
+        assert!(json.contains("\"ts\": 1.234"));
+        assert!(json.contains("\"dur\": 0.567"));
+    }
+
+    #[test]
+    fn validator_rejects_defects() {
+        assert!(json_is_well_formed("{\"a\": 1,}").is_err());
+        assert!(json_is_well_formed("[1, 2").is_err());
+        assert!(json_is_well_formed("{\"a\" 1}").is_err());
+        assert!(json_is_well_formed("{} extra").is_err());
+        json_is_well_formed("{\"a\": [1, -2.5e3, \"x\\\"y\", true, null]}").unwrap();
+    }
+}

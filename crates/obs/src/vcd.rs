@@ -1,0 +1,450 @@
+//! Waveform capture: a [`WaveProbe`] watch-set recording net
+//! transitions in simulated time, exported as standard VCD.
+//!
+//! The probe is engine-agnostic: it watches **net indices** (plain
+//! `usize`), receives change notifications through
+//! [`WaveProbe::on_change`] from whatever simulator it is attached to,
+//! and replays the recorded transitions into a Value Change Dump that
+//! GTKWave (or any VCD reader) opens directly.
+//!
+//! Two signal shapes are supported:
+//!
+//! * [`WaveProbe::watch_bit`] — one net, emitted as a 1-bit wire;
+//! * [`WaveProbe::watch_pair`] — a dual-rail `(positive, negative)`
+//!   rail pair, emitted as one **2-bit codeword vector** whose MSB is
+//!   the positive rail: `b00` is the spacer, `b10` decodes to 1,
+//!   `b01` decodes to 0, and `b11` is the illegal codeword a fault
+//!   campaign looks for.
+//!
+//! Timestamps arrive in simulated picoseconds (`f64`, the engines'
+//! native unit) and are recorded in **femtoseconds** (`round(ps·1000)`)
+//! so the dump is exact-integer and byte-for-byte deterministic — the
+//! golden-VCD regression test relies on this.
+//!
+//! # Example
+//!
+//! ```
+//! let mut probe = tm_obs::WaveProbe::new();
+//! probe.watch_bit("clk_like", 0);
+//! probe.watch_pair("out", 1, 2);
+//! probe.set_initial(0, tm_obs::Wire::V0);
+//! probe.on_change(1, 12.5, tm_obs::Wire::V1); // positive rail rises
+//! let vcd = probe.to_vcd("example");
+//! assert!(vcd.contains("$timescale 1fs $end"));
+//! assert!(vcd.contains("#12500"));
+//! tm_obs::vcd_is_well_formed(&vcd).unwrap();
+//! ```
+
+use std::collections::BTreeMap;
+use std::fmt::Write as _;
+
+/// A logic level as seen by the probe: the three-valued simulation
+/// domain.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Wire {
+    /// Logic low.
+    V0,
+    /// Logic high.
+    V1,
+    /// Unknown.
+    X,
+}
+
+impl Wire {
+    fn ch(self) -> char {
+        match self {
+            Wire::V0 => '0',
+            Wire::V1 => '1',
+            Wire::X => 'x',
+        }
+    }
+}
+
+#[derive(Clone, Debug)]
+struct SignalDef {
+    name: String,
+    /// 1 for scalar, 2 for a dual-rail pair.
+    width: u8,
+    /// Rail values at time zero (`[value]` or `[pos, neg]`).
+    initial: [Wire; 2],
+}
+
+#[derive(Clone, Copy, Debug)]
+struct Record {
+    time_fs: u64,
+    signal: u32,
+    rail: u8,
+    value: Wire,
+}
+
+/// A watch-set over simulator nets that records transitions and
+/// exports VCD.  See the [module documentation](self).
+#[derive(Clone, Debug, Default)]
+pub struct WaveProbe {
+    signals: Vec<SignalDef>,
+    /// net index → (signal, rail) slots observing that net.
+    lookup: Vec<Vec<(u32, u8)>>,
+    records: Vec<Record>,
+    offset_fs: u64,
+}
+
+fn fs_of(time_ps: f64) -> u64 {
+    #[allow(clippy::cast_possible_truncation, clippy::cast_sign_loss)]
+    {
+        (time_ps * 1000.0).round().max(0.0) as u64
+    }
+}
+
+/// VCD identifier code for signal `i`: base-94 over the printable
+/// ASCII range `!`..`~`.
+fn id_code(mut i: usize) -> String {
+    let mut out = String::new();
+    loop {
+        out.push(char::from(b'!' + (i % 94) as u8));
+        i /= 94;
+        if i == 0 {
+            break;
+        }
+    }
+    out
+}
+
+impl WaveProbe {
+    /// Creates an empty probe.
+    #[must_use]
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    fn slot(&mut self, net: usize, signal: u32, rail: u8) {
+        if self.lookup.len() <= net {
+            self.lookup.resize(net + 1, Vec::new());
+        }
+        self.lookup[net].push((signal, rail));
+    }
+
+    /// Watches a single net as a 1-bit wire named `name`.
+    pub fn watch_bit(&mut self, name: &str, net: usize) {
+        let signal = u32::try_from(self.signals.len()).expect("too many wave signals");
+        self.signals.push(SignalDef {
+            name: sanitize(name),
+            width: 1,
+            initial: [Wire::X; 2],
+        });
+        self.slot(net, signal, 0);
+    }
+
+    /// Watches a dual-rail pair as one 2-bit codeword vector named
+    /// `name` (MSB = positive rail, LSB = negative rail).
+    pub fn watch_pair(&mut self, name: &str, positive_net: usize, negative_net: usize) {
+        let signal = u32::try_from(self.signals.len()).expect("too many wave signals");
+        self.signals.push(SignalDef {
+            name: sanitize(name),
+            width: 2,
+            initial: [Wire::X; 2],
+        });
+        self.slot(positive_net, signal, 0);
+        self.slot(negative_net, signal, 1);
+    }
+
+    /// Every net index the probe watches (with repeats removed), so an
+    /// engine can seed initial values and filter its change hook.
+    #[must_use]
+    pub fn watched_nets(&self) -> Vec<usize> {
+        let mut nets: Vec<usize> = self
+            .lookup
+            .iter()
+            .enumerate()
+            .filter_map(|(net, slots)| (!slots.is_empty()).then_some(net))
+            .collect();
+        nets.dedup();
+        nets
+    }
+
+    /// Whether any signal watches `net` (cheap: one bounds check plus
+    /// an emptiness test).
+    #[inline]
+    #[must_use]
+    pub fn watches(&self, net: usize) -> bool {
+        self.lookup.get(net).is_some_and(|slots| !slots.is_empty())
+    }
+
+    /// Seeds the time-zero value of `net` (shown in `$dumpvars`).
+    pub fn set_initial(&mut self, net: usize, value: Wire) {
+        if net >= self.lookup.len() {
+            return;
+        }
+        for &(signal, rail) in &self.lookup[net] {
+            self.signals[signal as usize].initial[rail as usize] = value;
+        }
+    }
+
+    /// Records a transition of `net` to `value` at simulated time
+    /// `time_ps`.  Nets nothing watches are ignored.
+    #[inline]
+    pub fn on_change(&mut self, net: usize, time_ps: f64, value: Wire) {
+        let Some(slots) = self.lookup.get(net) else {
+            return;
+        };
+        if slots.is_empty() {
+            return;
+        }
+        let time_fs = self.offset_fs + fs_of(time_ps);
+        for &(signal, rail) in slots {
+            self.records.push(Record {
+                time_fs,
+                signal,
+                rail,
+                value,
+            });
+        }
+    }
+
+    /// Rebases the probe's clock after the attached simulator rebased
+    /// its own (`reset_time`): subsequent `on_change` timestamps are
+    /// offset by the simulated time consumed so far, keeping the dump
+    /// monotonic across phase boundaries.
+    pub fn rebase(&mut self, consumed_ps: f64) {
+        self.offset_fs += fs_of(consumed_ps);
+    }
+
+    /// Number of transition records captured so far.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.records.len()
+    }
+
+    /// Whether no transitions have been captured.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.records.is_empty()
+    }
+
+    /// Exports the capture as a VCD document (timescale 1 fs,
+    /// one `module <scope>` scope).  Byte-for-byte deterministic for a
+    /// deterministic simulation.
+    #[must_use]
+    pub fn to_vcd(&self, scope: &str) -> String {
+        let mut out = String::new();
+        out.push_str("$comment tm-obs waveform capture $end\n");
+        out.push_str("$timescale 1fs $end\n");
+        let _ = writeln!(out, "$scope module {} $end", sanitize(scope));
+        for (i, signal) in self.signals.iter().enumerate() {
+            if signal.width == 1 {
+                let _ = writeln!(out, "$var wire 1 {} {} $end", id_code(i), signal.name);
+            } else {
+                let _ = writeln!(out, "$var wire 2 {} {} [1:0] $end", id_code(i), signal.name);
+            }
+        }
+        out.push_str("$upscope $end\n$enddefinitions $end\n");
+
+        // Replay: current rail state per signal, seeded from initials.
+        let mut state: Vec<[Wire; 2]> = self.signals.iter().map(|s| s.initial).collect();
+        out.push_str("$dumpvars\n");
+        for (i, signal) in self.signals.iter().enumerate() {
+            emit_value(&mut out, i, signal.width, state[i]);
+        }
+        out.push_str("$end\n");
+
+        // Group records by timestamp; within a timestamp the last
+        // write to a rail wins and each touched signal is emitted
+        // once.
+        let mut k = 0;
+        while k < self.records.len() {
+            let t = self.records[k].time_fs;
+            let mut touched: Vec<usize> = Vec::new();
+            while k < self.records.len() && self.records[k].time_fs == t {
+                let r = self.records[k];
+                let signal = r.signal as usize;
+                state[signal][r.rail as usize] = r.value;
+                if !touched.contains(&signal) {
+                    touched.push(signal);
+                }
+                k += 1;
+            }
+            let _ = writeln!(out, "#{t}");
+            for signal in touched {
+                emit_value(&mut out, signal, self.signals[signal].width, state[signal]);
+            }
+        }
+        out
+    }
+}
+
+fn emit_value(out: &mut String, signal: usize, width: u8, rails: [Wire; 2]) {
+    if width == 1 {
+        let _ = writeln!(out, "{}{}", rails[0].ch(), id_code(signal));
+    } else {
+        let _ = writeln!(
+            out,
+            "b{}{} {}",
+            rails[0].ch(),
+            rails[1].ch(),
+            id_code(signal)
+        );
+    }
+}
+
+fn sanitize(name: &str) -> String {
+    name.chars()
+        .map(|c| if c.is_whitespace() { '_' } else { c })
+        .collect()
+}
+
+/// Summary statistics [`vcd_is_well_formed`] extracts while checking a
+/// dump.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct VcdStats {
+    /// Declared `$var` signals.
+    pub signals: usize,
+    /// `#t` timestamp lines.
+    pub timestamps: usize,
+    /// Value-change lines (scalar or vector).
+    pub changes: usize,
+}
+
+/// Structurally validates a VCD document: required header sections,
+/// declared-before-use identifier codes, monotonically increasing
+/// timestamps, and legal value characters.  Returns summary counts on
+/// success and a description of the first defect otherwise.
+///
+/// # Errors
+///
+/// Returns a human-readable description of the first structural
+/// defect.
+pub fn vcd_is_well_formed(vcd: &str) -> Result<VcdStats, String> {
+    let mut stats = VcdStats::default();
+    let mut ids: BTreeMap<String, u8> = BTreeMap::new();
+    let mut in_header = true;
+    let mut saw_enddefinitions = false;
+    let mut saw_timescale = false;
+    let mut last_time: Option<u64> = None;
+    for (lineno, line) in vcd.lines().enumerate() {
+        let line = line.trim();
+        let err = |message: String| Err(format!("line {}: {message}", lineno + 1));
+        if line.is_empty() {
+            continue;
+        }
+        if in_header {
+            if line.starts_with("$timescale") {
+                saw_timescale = true;
+            } else if let Some(rest) = line.strip_prefix("$var ") {
+                let fields: Vec<&str> = rest.split_whitespace().collect();
+                // wire <width> <id> <name...> $end
+                if fields.len() < 4 || fields[0] != "wire" || fields.last() != Some(&"$end") {
+                    return err(format!("malformed $var: `{line}`"));
+                }
+                let width: u8 = fields[1]
+                    .parse()
+                    .map_err(|_| format!("line {}: bad $var width `{}`", lineno + 1, fields[1]))?;
+                if ids.insert(fields[2].to_string(), width).is_some() {
+                    return err(format!("duplicate identifier code `{}`", fields[2]));
+                }
+                stats.signals += 1;
+            } else if line == "$enddefinitions $end" {
+                saw_enddefinitions = true;
+                in_header = false;
+            }
+            continue;
+        }
+        if line == "$dumpvars" || line == "$end" {
+            continue;
+        }
+        if let Some(t) = line.strip_prefix('#') {
+            let t: u64 = t
+                .parse()
+                .map_err(|_| format!("line {}: bad timestamp `{line}`", lineno + 1))?;
+            if let Some(prev) = last_time {
+                if t <= prev {
+                    return err(format!("timestamp #{t} not after #{prev}"));
+                }
+            }
+            last_time = Some(t);
+            stats.timestamps += 1;
+            continue;
+        }
+        if let Some(rest) = line.strip_prefix('b') {
+            let Some((bits, id)) = rest.split_once(' ') else {
+                return err(format!("malformed vector change `{line}`"));
+            };
+            let Some(&width) = ids.get(id) else {
+                return err(format!("undeclared identifier `{id}`"));
+            };
+            if bits.len() != width as usize || !bits.chars().all(|c| "01xz".contains(c)) {
+                return err(format!("vector `{bits}` does not fit width {width}"));
+            }
+            stats.changes += 1;
+            continue;
+        }
+        let mut chars = line.chars();
+        let value = chars.next().unwrap_or(' ');
+        let id: String = chars.collect();
+        if !"01xz".contains(value) || !ids.contains_key(&id) {
+            return err(format!("unrecognised change line `{line}`"));
+        }
+        stats.changes += 1;
+    }
+    if !saw_timescale {
+        return Err("missing $timescale".to_string());
+    }
+    if !saw_enddefinitions {
+        return Err("missing $enddefinitions".to_string());
+    }
+    if stats.signals == 0 {
+        return Err("no $var declarations".to_string());
+    }
+    Ok(stats)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn pair_emits_two_bit_codewords() {
+        let mut probe = WaveProbe::new();
+        probe.watch_pair("out0", 4, 5);
+        probe.set_initial(4, Wire::V0);
+        probe.set_initial(5, Wire::V0);
+        probe.on_change(5, 10.0, Wire::V1); // negative rail: decode 0
+        probe.on_change(5, 20.0, Wire::V0); // back to spacer
+        let vcd = probe.to_vcd("dut");
+        assert!(vcd.contains("$var wire 2 ! out0 [1:0] $end"));
+        assert!(vcd.contains("b00 !\n"));
+        assert!(vcd.contains("#10000\nb01 !\n#20000\nb00 !\n"));
+        let stats = vcd_is_well_formed(&vcd).unwrap();
+        assert_eq!(stats.signals, 1);
+        assert_eq!(stats.timestamps, 2);
+    }
+
+    #[test]
+    fn rebase_keeps_timestamps_monotonic() {
+        let mut probe = WaveProbe::new();
+        probe.watch_bit("n", 0);
+        probe.on_change(0, 5.0, Wire::V1);
+        probe.rebase(5.0); // simulator rewound its clock to zero
+        probe.on_change(0, 2.0, Wire::V0); // absolute time 7 ps
+        let vcd = probe.to_vcd("dut");
+        assert!(vcd.contains("#5000"));
+        assert!(vcd.contains("#7000"));
+        vcd_is_well_formed(&vcd).unwrap();
+    }
+
+    #[test]
+    fn same_timestamp_collapses_to_last_value() {
+        let mut probe = WaveProbe::new();
+        probe.watch_bit("n", 0);
+        probe.on_change(0, 1.0, Wire::V1);
+        probe.on_change(0, 1.0, Wire::V0);
+        let vcd = probe.to_vcd("dut");
+        assert_eq!(vcd.matches("#1000").count(), 1);
+        assert!(vcd.ends_with("#1000\n0!\n"));
+    }
+
+    #[test]
+    fn checker_rejects_nonmonotonic_time() {
+        let vcd = "$timescale 1fs $end\n$var wire 1 ! n $end\n\
+                   $enddefinitions $end\n#5\n1!\n#5\n0!\n";
+        assert!(vcd_is_well_formed(vcd).unwrap_err().contains("not after"));
+    }
+}

@@ -80,6 +80,7 @@
 pub mod backend;
 pub mod batcher;
 pub mod error;
+pub mod obs;
 pub mod server;
 pub mod telemetry;
 pub mod trace;
@@ -91,6 +92,7 @@ pub use backend::{
 };
 pub use batcher::{AdmissionPolicy, MicroBatcher, PendingRequest};
 pub use error::ServeError;
+pub use obs::TraceRecorder;
 pub use server::{ServeConfig, Server, ServiceModel};
 pub use telemetry::{
     BackendFaultStats, BatchRecord, ServeReport, ServeSummary, ServedRecord, ShedRecord,

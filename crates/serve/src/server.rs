@@ -46,7 +46,8 @@ use exec::ServiceClient;
 use crate::backend::Backend;
 use crate::batcher::{AdmissionPolicy, MicroBatcher, PendingRequest};
 use crate::error::ServeError;
-use crate::telemetry::{BatchRecord, ServeReport, ServedRecord, ShedRecord};
+use crate::obs::TraceRecorder;
+use crate::telemetry::{BackendFaultStats, BatchRecord, ServeReport, ServedRecord, ShedRecord};
 use crate::trace::{Trace, VirtualNs};
 
 /// Where a batch's virtual service time comes from.
@@ -178,7 +179,32 @@ impl<'w, B: Backend> Server<'w, B> {
             arrivals: trace.arrivals(),
             next: 0,
         };
-        self.run_session(source, offered_qps)
+        self.run_session(source, offered_qps, None)
+    }
+
+    /// Like [`Server::run`], recording every request's lifecycle —
+    /// arrival, admission, flush, dispatch, completion — plus
+    /// queue-depth samples and breaker-state transitions into
+    /// `recorder` on the virtual clock (see [`crate::TraceRecorder`]).
+    /// The report is identical to an untraced run.
+    ///
+    /// # Errors
+    ///
+    /// As [`Server::run`].
+    pub fn run_traced(
+        &mut self,
+        trace: &Trace,
+        recorder: &mut TraceRecorder,
+    ) -> Result<ServeReport, ServeError>
+    where
+        B: Send,
+    {
+        let offered_qps = trace.offered_qps();
+        let source = OpenSource {
+            arrivals: trace.arrivals(),
+            next: 0,
+        };
+        self.run_session(source, offered_qps, Some(recorder))
     }
 
     /// Serves a closed loop: `clients` concurrent clients that each
@@ -215,7 +241,41 @@ impl<'w, B: Backend> Server<'w, B> {
             to_issue: requests,
             think_ns,
         };
-        self.run_session(source, 0.0)
+        self.run_session(source, 0.0, None)
+    }
+
+    /// Like [`Server::run_closed`] with lifecycle tracing (see
+    /// [`Server::run_traced`]).
+    ///
+    /// # Errors
+    ///
+    /// As [`Server::run_closed`].
+    pub fn run_closed_traced(
+        &mut self,
+        clients: usize,
+        requests: usize,
+        think_ns: u64,
+        recorder: &mut TraceRecorder,
+    ) -> Result<ServeReport, ServeError>
+    where
+        B: Send,
+    {
+        if clients == 0 {
+            return Err(ServeError::InvalidConfig {
+                name: "clients",
+                reason: "closed-loop load needs at least one client".into(),
+            });
+        }
+        let mut ready = BinaryHeap::new();
+        for client in 0..clients.min(requests) {
+            ready.push(Reverse((0u64, client as u32)));
+        }
+        let source = ClosedSource {
+            ready,
+            to_issue: requests,
+            think_ns,
+        };
+        self.run_session(source, 0.0, Some(recorder))
     }
 
     /// The shared event loop: spawns the long-lived service worker and
@@ -224,6 +284,7 @@ impl<'w, B: Backend> Server<'w, B> {
         &mut self,
         source: S,
         offered_qps: f64,
+        tracer: Option<&mut TraceRecorder>,
     ) -> Result<ServeReport, ServeError>
     where
         B: Send,
@@ -235,6 +296,10 @@ impl<'w, B: Backend> Server<'w, B> {
         let policy = self.config.policy;
         let model = self.config.service_model;
         let deadline_ns = self.config.deadline_ns;
+        // Per-batch fault counters travel back only when someone is
+        // listening — breaker transitions are trace events, and reading
+        // them per batch would otherwise be wasted work.
+        let report_faults = tracer.is_some();
 
         let mut report = exec::with_service(
             // The long-lived worker: owns the backend for the session,
@@ -247,7 +312,12 @@ impl<'w, B: Backend> Server<'w, B> {
                 let start = Instant::now();
                 let result = backend.serve(&features);
                 let measured_ns = u64::try_from(start.elapsed().as_nanos()).unwrap_or(u64::MAX);
-                (batch, result, measured_ns)
+                let faults = if report_faults {
+                    backend.fault_stats()
+                } else {
+                    None
+                };
+                (batch, result, measured_ns, faults)
             },
             move |client| {
                 let mut session = Session {
@@ -265,6 +335,7 @@ impl<'w, B: Backend> Server<'w, B> {
                     shed: Vec::new(),
                     deadline_expired: Vec::new(),
                     batches: Vec::new(),
+                    tracer,
                 };
                 session.drive(client)?;
                 Ok::<_, ServeError>(ServeReport {
@@ -285,12 +356,14 @@ impl<'w, B: Backend> Server<'w, B> {
     }
 }
 
-/// The worker's response: the batch it carried, the outcomes, and the
-/// measured wall-clock nanoseconds.
+/// The worker's response: the batch it carried, the outcomes, the
+/// measured wall-clock nanoseconds, and (on traced runs only) the
+/// backend's fault counters after this batch.
 type ServiceResponse = (
     Vec<PendingRequest>,
     Result<Vec<InferenceOutcome>, ServeError>,
     u64,
+    Option<BackendFaultStats>,
 );
 
 /// Where arrivals come from: a fixed open-loop trace or closed-loop
@@ -370,7 +443,7 @@ impl ArrivalSource for ClosedSource {
 }
 
 /// Mutable state of one serving session.
-struct Session<'w, S> {
+struct Session<'w, 't, S> {
     batcher: MicroBatcher,
     source: S,
     policy: AdmissionPolicy,
@@ -390,9 +463,12 @@ struct Session<'w, S> {
     shed: Vec<ShedRecord>,
     deadline_expired: Vec<ShedRecord>,
     batches: Vec<BatchRecord>,
+    /// Lifecycle recorder for traced runs; `None` keeps the loop free
+    /// of tracing work.
+    tracer: Option<&'t mut TraceRecorder>,
 }
 
-impl<S: ArrivalSource> Session<'_, S> {
+impl<S: ArrivalSource> Session<'_, '_, S> {
     fn drive(
         &mut self,
         client: &mut ServiceClient<Vec<PendingRequest>, ServiceResponse>,
@@ -422,6 +498,9 @@ impl<S: ArrivalSource> Session<'_, S> {
         let id = self.next_id;
         self.next_id += 1;
         let sample = id % self.workload.len();
+        if let Some(tracer) = self.tracer.as_deref_mut() {
+            tracer.arrival(id, sample, arrival_ns);
+        }
         // Admission happens no earlier than the latest executed flush:
         // blocked requests may have pulled the queue state into the
         // future, and FIFO order must survive that (see admit_frontier).
@@ -434,6 +513,9 @@ impl<S: ArrivalSource> Session<'_, S> {
                 arrival_ns,
                 admit_ns,
             });
+            if let Some(tracer) = self.tracer.as_deref_mut() {
+                tracer.queue_depth(admit_ns, self.batcher.len());
+            }
             return Ok(());
         }
         match self.policy {
@@ -443,6 +525,9 @@ impl<S: ArrivalSource> Session<'_, S> {
                     sample,
                     arrival_ns,
                 });
+                if let Some(tracer) = self.tracer.as_deref_mut() {
+                    tracer.shed(id, arrival_ns, "queue full");
+                }
                 self.source.on_shed(client_id, arrival_ns);
             }
             AdmissionPolicy::Block => {
@@ -468,6 +553,9 @@ impl<S: ArrivalSource> Session<'_, S> {
                     arrival_ns,
                     admit_ns,
                 });
+                if let Some(tracer) = self.tracer.as_deref_mut() {
+                    tracer.queue_depth(admit_ns, self.batcher.len());
+                }
             }
         }
         Ok(())
@@ -496,6 +584,9 @@ impl<S: ArrivalSource> Session<'_, S> {
                     sample: pending.sample,
                     arrival_ns: pending.arrival_ns,
                 });
+                if let Some(tracer) = self.tracer.as_deref_mut() {
+                    tracer.shed(pending.id, flush_ns, "deadline expired");
+                }
                 self.source.on_shed(pending.client, flush_ns);
             }
             if batch.is_empty() {
@@ -506,7 +597,7 @@ impl<S: ArrivalSource> Session<'_, S> {
             }
         }
         let size = batch.len();
-        let (batch, result, measured_ns) = client.call(batch);
+        let (batch, result, measured_ns, faults) = client.call(batch);
         let outcomes = result?;
         if outcomes.len() != size {
             return Err(ServeError::BatchShapeMismatch {
@@ -533,6 +624,13 @@ impl<S: ArrivalSource> Session<'_, S> {
             size,
             service_ns,
         });
+        if let Some(tracer) = self.tracer.as_deref_mut() {
+            tracer.batch(batch_index, flush_ns, size, service_ns);
+            tracer.queue_depth(flush_ns, self.batcher.len());
+            if let Some(stats) = faults {
+                tracer.breaker_state(completion_ns, stats.breaker_open);
+            }
+        }
         for (pending, outcome) in batch.into_iter().zip(outcomes) {
             // Golden verification before the timing is accepted.
             if *self.workload.sample(pending.sample).expected != outcome {
@@ -541,12 +639,23 @@ impl<S: ArrivalSource> Session<'_, S> {
                     sample: pending.sample,
                 });
             }
+            let queue_ns = flush_ns - pending.arrival_ns;
+            if let Some(tracer) = self.tracer.as_deref_mut() {
+                tracer.request_served(
+                    pending.id,
+                    pending.sample,
+                    pending.arrival_ns,
+                    queue_ns,
+                    service_ns,
+                    batch_index,
+                );
+            }
             self.served.push(ServedRecord {
                 id: pending.id,
                 sample: pending.sample,
                 client: pending.client,
                 arrival_ns: pending.arrival_ns,
-                queue_ns: flush_ns - pending.arrival_ns,
+                queue_ns,
                 service_ns,
                 batch: batch_index,
                 outcome,

@@ -99,6 +99,43 @@ pub struct Simulator<'a> {
     /// settle with [`RunOutcome::LimitReached`] instead of being
     /// applied.  `INFINITY` (the default) disables the bound.
     horizon_ps: f64,
+    /// Attached metric handles plus flush baselines, or `None` for an
+    /// uninstrumented instance (the settle epilogue pays one branch on
+    /// the discriminant, the event loop pays nothing).
+    metrics: Option<Box<MetricsState>>,
+    /// Attached waveform probe, or `None` (one branch per *effective*
+    /// value change when absent, no allocation).
+    wave: Option<Box<tm_obs::WaveProbe>>,
+}
+
+/// Metric handles with the baselines the flush diffs against (the
+/// engine's own counters are cumulative; the registry receives
+/// deltas so detach/re-attach never double-counts).
+///
+/// `armed` scopes what the registry sees: deltas accumulated while
+/// disarmed (instance construction, the history-dependent spacer
+/// phase of a return-to-zero cycle) are discarded at the next
+/// re-baseline instead of shipped, so the recorded counters are a
+/// pure function of the measured operands — the property that makes
+/// sharded snapshots thread-count invariant.
+#[derive(Debug)]
+struct MetricsState {
+    handles: tm_obs::SimMetrics,
+    armed: bool,
+    popped: u64,
+    suppressed: u64,
+    drain: u64,
+    bucket: u64,
+    overflow: u64,
+}
+
+/// The probe-facing view of a [`Logic`] level.
+fn wire_of(value: Logic) -> tm_obs::Wire {
+    match value {
+        Logic::Zero => tm_obs::Wire::V0,
+        Logic::One => tm_obs::Wire::V1,
+        Logic::Unknown => tm_obs::Wire::X,
+    }
 }
 
 impl<'a> Simulator<'a> {
@@ -164,6 +201,8 @@ impl<'a> Simulator<'a> {
             suppressed_events: 0,
             faults: None,
             horizon_ps: f64::INFINITY,
+            metrics: None,
+            wave: None,
         };
         sim.schedule_constants();
         sim
@@ -474,10 +513,22 @@ impl<'a> Simulator<'a> {
                 // NaN - x is NaN), so no branch is needed.
                 *t -= self.now_ps;
             }
+            if let Some(probe) = self.wave.as_deref_mut() {
+                // The engine clock rewinds to zero; the probe keeps
+                // absolute (monotonic) time by accumulating the offset.
+                probe.rebase(self.now_ps);
+            }
         }
         self.now_ps = 0.0;
         if let Some(faults) = &mut self.faults {
             faults.rearm_pulses();
+        }
+        // Measured work starts here: what follows the rebase is a pure
+        // function of the next operand, so the metric deltas re-anchor
+        // (discarding paused spacer/priming activity) and counting
+        // resumes.
+        if self.metrics.is_some() {
+            self.rearm_metrics();
         }
     }
 
@@ -497,17 +548,22 @@ impl<'a> Simulator<'a> {
                 self.fire_due_pulses();
             }
             let Some(event) = self.pop_event() else {
+                if self.metrics.is_some() {
+                    self.note_settle(processed);
+                }
                 return RunOutcome::Quiescent { events: processed };
             };
             if event.time_ps > self.horizon_ps {
                 // Watchdog horizon: push the event back so the aborted
                 // tail stays visible as pending work.
                 self.schedule(event.net, event.value, event.time_ps);
+                self.flush_metrics();
                 return RunOutcome::LimitReached;
             }
             processed += 1;
             self.total_events += 1;
             if processed > self.event_limit {
+                self.flush_metrics();
                 return RunOutcome::LimitReached;
             }
             self.apply_event(event);
@@ -660,6 +716,162 @@ impl<'a> Simulator<'a> {
         self.suppressed_events
     }
 
+    // ------------------------------------------------------------------
+    // Observability
+    // ------------------------------------------------------------------
+
+    /// Attaches a [`tm_obs::SimMetrics`] handle set: from now on every
+    /// completed settle flushes the engine's internal counters (events
+    /// popped/suppressed, queue tier traffic, watchdog headroom) into
+    /// the registry the handles came from.  Flushing happens **per
+    /// settle**, never per event, and ships deltas since the previous
+    /// flush, so attaching mid-life or re-attaching never
+    /// double-counts.  Attachment changes no simulation outcome
+    /// (property-tested bit-identity with instrumentation on and off).
+    ///
+    /// Counting starts immediately (armed).  [`Simulator::reset_time`]
+    /// re-baselines the deltas, and the return-to-zero runners pause
+    /// counting over the history-dependent spacer phase, so per-operand
+    /// recordings stay a pure function of the operand.
+    pub fn attach_metrics(&mut self, handles: tm_obs::SimMetrics) {
+        self.install_metrics(handles, true);
+    }
+
+    /// Like [`Simulator::attach_metrics`], but counting stays paused
+    /// until the first [`Simulator::reset_time`] call — the attachment
+    /// mode for replicated shard instances, whose construction and
+    /// priming activity scales with the thread count and must not
+    /// reach the shared registry.
+    pub fn attach_metrics_deferred(&mut self, handles: tm_obs::SimMetrics) {
+        self.install_metrics(handles, false);
+    }
+
+    fn install_metrics(&mut self, handles: tm_obs::SimMetrics, armed: bool) {
+        let (drain, bucket, overflow) = self.queue.tier_pushes();
+        self.metrics = Some(Box::new(MetricsState {
+            handles,
+            armed,
+            popped: self.total_events,
+            suppressed: self.suppressed_events,
+            drain,
+            bucket,
+            overflow,
+        }));
+    }
+
+    /// Pauses metric counting: deltas accumulated from here until the
+    /// next [`Simulator::reset_time`] are discarded, not shipped.  The
+    /// return-to-zero runners bracket the spacer phase with this —
+    /// spacer work depends on the previous operand (or on instance
+    /// construction), so counting it would make recorded totals
+    /// depend on sharding.
+    pub fn pause_metrics(&mut self) {
+        if let Some(state) = self.metrics.as_deref_mut() {
+            state.armed = false;
+        }
+    }
+
+    /// Detaches the metric handles (unflushed deltas are flushed
+    /// first).
+    pub fn detach_metrics(&mut self) {
+        self.flush_metrics();
+        self.metrics = None;
+    }
+
+    /// Whether metric handles are attached.
+    #[must_use]
+    pub fn metrics_attached(&self) -> bool {
+        self.metrics.is_some()
+    }
+
+    /// Flushes counter deltas accumulated since the last flush into
+    /// the attached registry (no-op when nothing is attached; while
+    /// paused the deltas are discarded — baselines advance without
+    /// shipping).  [`Simulator::run_until_quiescent`] calls this
+    /// automatically; protocols driving the engine through
+    /// [`Simulator::step_time_slice`] call it at their own cycle
+    /// boundaries.
+    pub fn flush_metrics(&mut self) {
+        let (total_events, suppressed_events) = (self.total_events, self.suppressed_events);
+        let Some(state) = self.metrics.as_deref_mut() else {
+            return;
+        };
+        let (drain, bucket, overflow) = self.queue.tier_pushes();
+        if state.armed {
+            state.handles.events_popped.add(total_events - state.popped);
+            state
+                .handles
+                .events_suppressed
+                .add(suppressed_events - state.suppressed);
+            state.handles.queue_drain.add(drain - state.drain);
+            state.handles.queue_bucket.add(bucket - state.bucket);
+            state.handles.queue_overflow.add(overflow - state.overflow);
+        }
+        state.popped = total_events;
+        state.suppressed = suppressed_events;
+        state.drain = drain;
+        state.bucket = bucket;
+        state.overflow = overflow;
+    }
+
+    /// Re-baselines the metric deltas and resumes counting.  Called by
+    /// [`Simulator::reset_time`] — the canonical "measured work starts
+    /// now" point of every operand protocol.
+    fn rearm_metrics(&mut self) {
+        let (total_events, suppressed_events) = (self.total_events, self.suppressed_events);
+        let Some(state) = self.metrics.as_deref_mut() else {
+            return;
+        };
+        let (drain, bucket, overflow) = self.queue.tier_pushes();
+        state.armed = true;
+        state.popped = total_events;
+        state.suppressed = suppressed_events;
+        state.drain = drain;
+        state.bucket = bucket;
+        state.overflow = overflow;
+    }
+
+    /// Settle epilogue: flush deltas and record the per-settle
+    /// watchdog headroom (budget left when quiescence was reached).
+    /// Paused settles (spacer phases, instance priming) record
+    /// nothing.
+    fn note_settle(&mut self, processed: u64) {
+        if !self.metrics.as_deref().is_some_and(|state| state.armed) {
+            return;
+        }
+        self.flush_metrics();
+        if let Some(state) = self.metrics.as_deref() {
+            state.handles.settles.inc();
+            state
+                .handles
+                .watchdog_headroom
+                .record(self.event_limit.saturating_sub(processed));
+        }
+    }
+
+    /// Attaches a waveform probe.  The probe's watched nets are seeded
+    /// with their current values (the VCD `$dumpvars` section), then
+    /// every effective value change of a watched net is recorded at
+    /// its event timestamp.  [`Simulator::reset_time`] rebases the
+    /// probe clock along with the engine clock, so captures spanning
+    /// replayed-operand protocols stay monotonic.
+    pub fn attach_wave_probe(&mut self, mut probe: tm_obs::WaveProbe) {
+        for net in probe.watched_nets() {
+            let value = self
+                .values
+                .get(net)
+                .copied()
+                .map_or(tm_obs::Wire::X, wire_of);
+            probe.set_initial(net, value);
+        }
+        self.wave = Some(Box::new(probe));
+    }
+
+    /// Detaches and returns the waveform probe, if one is attached.
+    pub fn take_wave_probe(&mut self) -> Option<tm_obs::WaveProbe> {
+        self.wave.take().map(|probe| *probe)
+    }
+
     fn apply_event(&mut self, mut event: Event) {
         if let Some(faults) = &self.faults {
             // A stuck net clamps every applied value: the driver keeps
@@ -677,6 +889,9 @@ impl<'a> Simulator<'a> {
         self.values[event.net.index()] = event.value;
         self.last_change_ps[event.net.index()] = event.time_ps;
         self.net_transitions[event.net.index()] += 1;
+        if let Some(probe) = self.wave.as_deref_mut() {
+            probe.on_change(event.net.index(), event.time_ps, wire_of(event.value));
+        }
         let driver = self.program.driver_of[event.net.index()];
         if driver != NO_DRIVER {
             self.cell_transitions[driver as usize] += 1;

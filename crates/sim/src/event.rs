@@ -162,6 +162,11 @@ pub struct EventQueue<E: SimEvent = Event> {
     demote_scratch: Vec<QueuedEvent<E>>,
     next_sequence: u64,
     len: usize,
+    /// Cumulative tier traffic (drain FIFO / bucket ring / overflow
+    /// heap filings), reported by [`EventQueue::tier_pushes`].
+    drain_pushes: u64,
+    bucket_pushes: u64,
+    overflow_pushes: u64,
 }
 
 impl<E: SimEvent> Default for EventQueue<E> {
@@ -221,7 +226,22 @@ impl<E: SimEvent> EventQueue<E> {
             demote_scratch: Vec::new(),
             next_sequence: 0,
             len: 0,
+            drain_pushes: 0,
+            bucket_pushes: 0,
+            overflow_pushes: 0,
         }
+    }
+
+    /// Cumulative `(drain, bucket, overflow)` filing counts over the
+    /// queue's lifetime: how often an event landed in the
+    /// same-timestamp drain FIFO, the near-future bucket ring, or the
+    /// far-future overflow heap.  Re-filings (window rebases, drain
+    /// refills) count at each tier they touch — the figures measure
+    /// tier *traffic*, which is what the bucket-horizon tuning cares
+    /// about.
+    #[must_use]
+    pub fn tier_pushes(&self) -> (u64, u64, u64) {
+        (self.drain_pushes, self.bucket_pushes, self.overflow_pushes)
     }
 
     /// Absolute bucket id of a timestamp.
@@ -243,6 +263,7 @@ impl<E: SimEvent> EventQueue<E> {
 
         if event.time_ps() == self.drain_time && self.drain_head < self.drain.len() {
             // Same-timestamp cascade: FIFO append, no heap traffic.
+            self.drain_pushes += 1;
             self.drain.push(queued);
         } else if self.drain_head >= self.drain.len() {
             // Whole queue was empty: re-anchor the window on this event.
@@ -251,6 +272,7 @@ impl<E: SimEvent> EventQueue<E> {
             self.drain_head = 0;
             self.drain_time = event.time_ps();
             self.cur_bucket = self.bucket_id(event.time_ps());
+            self.drain_pushes += 1;
             self.drain.push(queued);
         } else if event.time_ps() > self.drain_time {
             self.push_near(queued);
@@ -265,8 +287,10 @@ impl<E: SimEvent> EventQueue<E> {
     fn push_near(&mut self, queued: QueuedEvent<E>) {
         let id = self.bucket_id(queued.event.time_ps());
         if id - self.cur_bucket >= self.buckets.len() as i64 {
+            self.overflow_pushes += 1;
             self.overflow.push(queued);
         } else {
+            self.bucket_pushes += 1;
             self.buckets[id as usize & self.bucket_mask].push(queued);
             self.near_count += 1;
         }

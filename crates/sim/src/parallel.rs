@@ -210,7 +210,10 @@ fn try_run_return_to_zero_checked(
     // Spacer phase: return every input to zero and settle.  After this
     // the instance sits in the canonical quiescent state — by function
     // for combinational netlists, by the verified reset-phase contract
-    // for sequential ones.
+    // for sequential ones.  Spacer work depends on the *previous*
+    // operand (or on instance construction), so metric counting pauses
+    // until the post-spacer rebase re-arms it.
+    sim.pause_metrics();
     for i in 0..input_count {
         let net = sim.program().primary_inputs()[i];
         sim.set_input(net, Logic::Zero);
@@ -268,6 +271,12 @@ pub struct ParallelEventSim<'a> {
     program: Arc<EngineProgram<'a>>,
     executor: Executor,
     contract: ShardingContract,
+    /// Shared metrics registry plus name prefix; every worker's
+    /// private engine attaches handles registered here, so shard
+    /// flushes accumulate into one set of cells and the registry's
+    /// snapshot is bit-identical at any thread count (the merge is
+    /// commutative and the per-operand work is shard-invariant).
+    metrics: Option<(Arc<tm_obs::MetricsRegistry>, String)>,
 }
 
 impl<'a> ParallelEventSim<'a> {
@@ -310,6 +319,7 @@ impl<'a> ParallelEventSim<'a> {
             program,
             executor,
             contract: ShardingContract::Combinational,
+            metrics: None,
         }
     }
 
@@ -331,6 +341,7 @@ impl<'a> ParallelEventSim<'a> {
             program,
             executor,
             contract: ShardingContract::ResetPhase,
+            metrics: None,
         }
     }
 
@@ -350,6 +361,37 @@ impl<'a> ParallelEventSim<'a> {
     #[must_use]
     pub fn program(&self) -> &Arc<EngineProgram<'a>> {
         &self.program
+    }
+
+    /// Instruments every future run: each worker's private engine
+    /// attaches [`tm_obs::SimMetrics`] handles registered in
+    /// `registry` under `"<prefix>.scalar.*"` (scalar workers) or
+    /// `"<prefix>.sliced.*"` (64-wide workers).  Because the engines
+    /// flush per settle and the registry's merge is commutative, the
+    /// registry snapshot after a run is **bit-identical at any thread
+    /// count** — the sharded analogue of the latency bit-identity
+    /// contract.
+    pub fn set_metrics(&mut self, registry: &Arc<tm_obs::MetricsRegistry>, prefix: &str) {
+        self.metrics = Some((Arc::clone(registry), prefix.to_string()));
+    }
+
+    /// Stops instrumenting future runs.
+    pub fn clear_metrics(&mut self) {
+        self.metrics = None;
+    }
+
+    /// Handle set scalar workers attach, if instrumented.
+    fn scalar_metrics(&self) -> Option<tm_obs::SimMetrics> {
+        self.metrics.as_ref().map(|(registry, prefix)| {
+            tm_obs::SimMetrics::register(registry, &format!("{prefix}.scalar"))
+        })
+    }
+
+    /// Handle set 64-wide sliced workers attach, if instrumented.
+    fn sliced_metrics(&self) -> Option<tm_obs::SimMetrics> {
+        self.metrics.as_ref().map(|(registry, prefix)| {
+            tm_obs::SimMetrics::register(registry, &format!("{prefix}.sliced"))
+        })
     }
 
     /// Shards arbitrary per-item work across this runner's workers: each
@@ -377,10 +419,17 @@ impl<'a> ParallelEventSim<'a> {
         R: Send,
     {
         let program = &self.program;
+        let metrics = self.scalar_metrics();
         let per_chunk = self.executor.map_chunks_with(
             items,
             OPERANDS_PER_CHUNK,
-            || init(Simulator::from_program(Arc::clone(program))),
+            || {
+                let mut sim = Simulator::from_program(Arc::clone(program));
+                if let Some(handles) = metrics.clone() {
+                    sim.attach_metrics_deferred(handles);
+                }
+                init(sim)
+            },
             |worker, _, chunk| {
                 chunk
                     .iter()
@@ -485,10 +534,17 @@ impl<'a> ParallelEventSim<'a> {
         R: Send,
     {
         let program = &self.program;
+        let metrics = self.sliced_metrics();
         let per_word = self.executor.map_chunks_with(
             items,
             netlist::LANES,
-            || init(SlicedSimulator::from_program(Arc::clone(program))),
+            || {
+                let mut sim = SlicedSimulator::from_program(Arc::clone(program));
+                if let Some(handles) = metrics.clone() {
+                    sim.attach_metrics_deferred(handles);
+                }
+                init(sim)
+            },
             |worker, _, word| step(worker, word),
         );
         per_word.into_iter().flatten().collect()
@@ -519,10 +575,17 @@ impl<'a> ParallelEventSim<'a> {
     {
         assert!(train_len > 0, "train length must be at least 1");
         let program = &self.program;
+        let metrics = self.scalar_metrics();
         let per_train = self.executor.map_chunks_with(
             items,
             train_len,
-            || init(Simulator::from_program(Arc::clone(program))),
+            || {
+                let mut sim = Simulator::from_program(Arc::clone(program));
+                if let Some(handles) = metrics.clone() {
+                    sim.attach_metrics_deferred(handles);
+                }
+                init(sim)
+            },
             |worker, _, train| step(worker, train),
         );
         per_train.into_iter().flatten().collect()
@@ -550,10 +613,17 @@ impl<'a> ParallelEventSim<'a> {
     {
         assert!(words_per_train > 0, "train length must be at least 1 word");
         let program = &self.program;
+        let metrics = self.sliced_metrics();
         let per_train = self.executor.map_chunks_with(
             items,
             words_per_train * netlist::LANES,
-            || init(SlicedSimulator::from_program(Arc::clone(program))),
+            || {
+                let mut sim = SlicedSimulator::from_program(Arc::clone(program));
+                if let Some(handles) = metrics.clone() {
+                    sim.attach_metrics_deferred(handles);
+                }
+                init(sim)
+            },
             |worker, _, train| step(worker, train),
         );
         per_train.into_iter().flatten().collect()

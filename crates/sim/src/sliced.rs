@@ -319,6 +319,39 @@ pub struct SlicedSimulator<'a> {
     faults: Option<Box<FaultOverlay>>,
     /// Watchdog time horizon; `INFINITY` disables the bound.
     horizon_ps: f64,
+    /// Cumulative merged pops applied over the instance's lifetime
+    /// (pulse applies included), for the coalescing figures.
+    merged_applies: u64,
+    /// Cumulative per-lane events those merged applies carried
+    /// (`popcount` of every applied mask); `applied_lane_events -
+    /// merged_applies` is the lane-event count equal-time coalescing
+    /// absorbed.
+    applied_lane_events: u64,
+    /// Cumulative per-lane schedules dropped by the no-op suppression
+    /// rule, the sliced analogue of
+    /// [`crate::Simulator::suppressed_events`].
+    suppressed_lane_events: u64,
+    /// Attached metric handles plus flush baselines, or `None`.
+    metrics: Option<Box<SlicedMetricsState>>,
+    /// Attached waveform probe observing one lane: `(probe, lane bit)`.
+    wave: Option<Box<(tm_obs::WaveProbe, u64)>>,
+}
+
+/// Metric handles with flush baselines (deltas, never totals, reach
+/// the registry — see the scalar engine's equivalent).  `armed`
+/// scopes recording to measured work exactly as in the scalar
+/// [`crate::Simulator`]: paused deltas (construction, spacer phases)
+/// are discarded at the next rebase instead of shipped.
+#[derive(Debug)]
+struct SlicedMetricsState {
+    handles: tm_obs::SimMetrics,
+    armed: bool,
+    applies: u64,
+    lane_events: u64,
+    suppressed: u64,
+    drain: u64,
+    bucket: u64,
+    overflow: u64,
 }
 
 impl<'a> SlicedSimulator<'a> {
@@ -362,6 +395,11 @@ impl<'a> SlicedSimulator<'a> {
             watch_count: Vec::new(),
             faults: None,
             horizon_ps: f64::INFINITY,
+            merged_applies: 0,
+            applied_lane_events: 0,
+            suppressed_lane_events: 0,
+            metrics: None,
+            wave: None,
         };
         for i in 0..sim.program.constants.len() {
             let (net, value, delay_ps) = sim.program.constants[i];
@@ -701,6 +739,11 @@ impl<'a> SlicedSimulator<'a> {
             for t in &mut self.watch_last {
                 *t -= self.now_ps;
             }
+            if let Some(wave) = self.wave.as_deref_mut() {
+                // Keep the probe's absolute clock monotonic across the
+                // engine's rebased frames.
+                wave.0.rebase(self.now_ps);
+            }
         }
         self.now_ps = 0.0;
         self.lane_now_ps = [0.0; LANES];
@@ -708,6 +751,13 @@ impl<'a> SlicedSimulator<'a> {
         self.clock_touched = 0;
         if let Some(faults) = &mut self.faults {
             faults.rearm_pulses();
+        }
+        // Measured work starts here: what follows the rebase is a pure
+        // function of the next operand word, so the metric deltas
+        // re-anchor (discarding paused spacer/priming activity) and
+        // counting resumes.
+        if self.metrics.is_some() {
+            self.rearm_metrics();
         }
     }
 
@@ -746,6 +796,9 @@ impl<'a> SlicedSimulator<'a> {
                 self.fire_due_pulses();
             }
             let Some(event) = self.pop_event() else {
+                if self.metrics.is_some() {
+                    self.note_settle(processed);
+                }
                 return RunOutcome::Quiescent { events: processed };
             };
             if event.time_ps > self.horizon_ps {
@@ -758,10 +811,12 @@ impl<'a> SlicedSimulator<'a> {
                     event.mask,
                     event.time_ps,
                 );
+                self.flush_metrics();
                 return RunOutcome::LimitReached;
             }
             processed += 1;
             if processed > self.event_limit {
+                self.flush_metrics();
                 return RunOutcome::LimitReached;
             }
             self.apply_event(event);
@@ -838,6 +893,180 @@ impl<'a> SlicedSimulator<'a> {
     #[must_use]
     pub fn event_limit(&self) -> u64 {
         self.event_limit
+    }
+
+    // ------------------------------------------------------------------
+    // Observability
+    // ------------------------------------------------------------------
+
+    /// Cumulative per-lane schedules dropped by the no-op suppression
+    /// rule — the sliced analogue of
+    /// [`crate::Simulator::suppressed_events`].
+    #[must_use]
+    pub fn suppressed_lane_events(&self) -> u64 {
+        self.suppressed_lane_events
+    }
+
+    /// Attaches a [`tm_obs::SimMetrics`] handle set; every completed
+    /// settle flushes the engine's internal counters into the registry
+    /// the handles came from.  The sliced engine additionally reports
+    /// `events_coalesced`: the per-lane events absorbed because one
+    /// merged pop applied to many lanes at the same timestamp.  Deltas
+    /// only, per settle, never per event — attachment changes no
+    /// simulation outcome.
+    pub fn attach_metrics(&mut self, handles: tm_obs::SimMetrics) {
+        self.install_metrics(handles, true);
+    }
+
+    /// Like [`SlicedSimulator::attach_metrics`], but counting stays
+    /// paused until the first [`SlicedSimulator::reset_time`] call —
+    /// the attachment mode for replicated shard instances (see
+    /// [`crate::Simulator::attach_metrics_deferred`]).
+    pub fn attach_metrics_deferred(&mut self, handles: tm_obs::SimMetrics) {
+        self.install_metrics(handles, false);
+    }
+
+    fn install_metrics(&mut self, handles: tm_obs::SimMetrics, armed: bool) {
+        let (drain, bucket, overflow) = self.queue.tier_pushes();
+        self.metrics = Some(Box::new(SlicedMetricsState {
+            handles,
+            armed,
+            applies: self.merged_applies,
+            lane_events: self.applied_lane_events,
+            suppressed: self.suppressed_lane_events,
+            drain,
+            bucket,
+            overflow,
+        }));
+    }
+
+    /// Pauses metric counting until the next
+    /// [`SlicedSimulator::reset_time`] re-arms it (see
+    /// [`crate::Simulator::pause_metrics`]).
+    pub fn pause_metrics(&mut self) {
+        if let Some(state) = self.metrics.as_deref_mut() {
+            state.armed = false;
+        }
+    }
+
+    /// Detaches the metric handles (unflushed deltas are flushed
+    /// first).
+    pub fn detach_metrics(&mut self) {
+        self.flush_metrics();
+        self.metrics = None;
+    }
+
+    /// Whether metric handles are attached.
+    #[must_use]
+    pub fn metrics_attached(&self) -> bool {
+        self.metrics.is_some()
+    }
+
+    /// Flushes counter deltas accumulated since the last flush (no-op
+    /// when nothing is attached).  Sliced protocol drivers stepping
+    /// with [`SlicedSimulator::step_time_slice`] call this at their
+    /// own cycle boundaries.
+    pub fn flush_metrics(&mut self) {
+        let (merged, lanes, suppressed) = (
+            self.merged_applies,
+            self.applied_lane_events,
+            self.suppressed_lane_events,
+        );
+        let Some(state) = self.metrics.as_deref_mut() else {
+            return;
+        };
+        let (drain, bucket, overflow) = self.queue.tier_pushes();
+        if state.armed {
+            let applies = merged - state.applies;
+            let lane_events = lanes - state.lane_events;
+            state.handles.events_popped.add(applies);
+            state.handles.events_coalesced.add(lane_events - applies);
+            state
+                .handles
+                .events_suppressed
+                .add(suppressed - state.suppressed);
+            state.handles.queue_drain.add(drain - state.drain);
+            state.handles.queue_bucket.add(bucket - state.bucket);
+            state.handles.queue_overflow.add(overflow - state.overflow);
+        }
+        state.applies = merged;
+        state.lane_events = lanes;
+        state.suppressed = suppressed;
+        state.drain = drain;
+        state.bucket = bucket;
+        state.overflow = overflow;
+    }
+
+    /// Re-baselines the metric deltas and resumes counting (the
+    /// [`SlicedSimulator::reset_time`] hook).
+    fn rearm_metrics(&mut self) {
+        let (merged, lanes, suppressed) = (
+            self.merged_applies,
+            self.applied_lane_events,
+            self.suppressed_lane_events,
+        );
+        let Some(state) = self.metrics.as_deref_mut() else {
+            return;
+        };
+        let (drain, bucket, overflow) = self.queue.tier_pushes();
+        state.armed = true;
+        state.applies = merged;
+        state.lane_events = lanes;
+        state.suppressed = suppressed;
+        state.drain = drain;
+        state.bucket = bucket;
+        state.overflow = overflow;
+    }
+
+    /// Settle epilogue: flush deltas and record the per-settle
+    /// watchdog headroom.  Paused settles record nothing.
+    fn note_settle(&mut self, processed: u64) {
+        if !self.metrics.as_deref().is_some_and(|state| state.armed) {
+            return;
+        }
+        self.flush_metrics();
+        if let Some(state) = self.metrics.as_deref() {
+            state.handles.settles.inc();
+            state
+                .handles
+                .watchdog_headroom
+                .record(self.event_limit.saturating_sub(processed));
+        }
+    }
+
+    /// Attaches a waveform probe observing **one lane** of the sliced
+    /// run: every effective change of a watched net on `lane` is
+    /// recorded at its event timestamp, exactly as the scalar
+    /// [`crate::Simulator::attach_wave_probe`] records its single
+    /// operand.  Watched nets are seeded with the lane's current
+    /// values.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `lane` is not below [`LANES`].
+    pub fn attach_wave_probe(&mut self, mut probe: tm_obs::WaveProbe, lane: usize) {
+        assert!(lane < LANES, "lane {lane} out of range");
+        for net in probe.watched_nets() {
+            let value = if net < self.planes.len() {
+                let (v, x) = self.planes[net];
+                if x >> lane & 1 != 0 {
+                    tm_obs::Wire::X
+                } else if v >> lane & 1 != 0 {
+                    tm_obs::Wire::V1
+                } else {
+                    tm_obs::Wire::V0
+                }
+            } else {
+                tm_obs::Wire::X
+            };
+            probe.set_initial(net, value);
+        }
+        self.wave = Some(Box::new((probe, 1u64 << lane)));
+    }
+
+    /// Detaches and returns the waveform probe, if one is attached.
+    pub fn take_wave_probe(&mut self) -> Option<tm_obs::WaveProbe> {
+        self.wave.take().map(|wave| wave.0)
     }
 
     /// Timestamp of the earliest queued event, if any. Wavefront
@@ -967,6 +1196,7 @@ impl<'a> SlicedSimulator<'a> {
         let (cv, cx) = self.planes[net];
         let differs = (cv ^ v) | (cx ^ x);
         let sched = mask & (self.pending_nonzero(net) | differs);
+        self.suppressed_lane_events += u64::from((mask & !sched).count_ones());
         if sched != 0 {
             self.schedule(net, v, x, sched, time_ps);
         }
@@ -1005,6 +1235,8 @@ impl<'a> SlicedSimulator<'a> {
         }
         self.clock_touched |= event.mask;
         self.lane_events_add(event.mask);
+        self.merged_applies += 1;
+        self.applied_lane_events += u64::from(event.mask.count_ones());
 
         let net = event.net as usize;
         let (cv, cx) = self.planes[net];
@@ -1028,6 +1260,20 @@ impl<'a> SlicedSimulator<'a> {
                 lanes &= lanes - 1;
                 self.watch_last[base + lane] = event.time_ps;
                 self.watch_count[base + lane] += 1;
+            }
+        }
+
+        if let Some(wave) = self.wave.as_deref_mut() {
+            let (probe, lane_bit) = wave;
+            if diff & *lane_bit != 0 {
+                let value = if event.x & *lane_bit != 0 {
+                    tm_obs::Wire::X
+                } else if event.v & *lane_bit != 0 {
+                    tm_obs::Wire::V1
+                } else {
+                    tm_obs::Wire::V0
+                };
+                probe.on_change(net, event.time_ps, value);
             }
         }
 
@@ -1183,7 +1429,10 @@ pub(crate) fn try_run_word_return_to_zero_checked(
 
     // Spacer phase: every input to zero on every lane (inactive tail
     // lanes included — they settle to, and then stay parked at, the
-    // canonical quiescent state).
+    // canonical quiescent state).  Spacer work depends on the previous
+    // word (or construction state), so it is excluded from the metric
+    // stream; `reset_time` below re-arms it.
+    sim.pause_metrics();
     for i in 0..input_count {
         let net = sim.program.primary_inputs[i];
         sim.set_input_planes(net, 0, 0, FULL);

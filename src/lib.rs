@@ -26,6 +26,11 @@
 //!   the bulk-inference runtimes ([`datapath::BatchInference`],
 //!   [`datapath::ParallelBatchInference`] and the per-operand-latency
 //!   [`datapath::EventDrivenInference`]);
+//! * [`obs`] — the unified observability layer: a deterministic
+//!   metrics registry (atomic counters/gauges/histograms with
+//!   bit-identical snapshots at any thread count), VCD waveform
+//!   capture for the simulators, and Chrome-trace export for the
+//!   serving runtime — zero-overhead when disabled;
 //! * [`serve`] — the micro-batching inference **serving runtime**:
 //!   requests on a deterministic virtual clock, dynamic batching (lanes
 //!   full or deadline), bounded-queue admission control (block/shed) and
@@ -59,5 +64,6 @@ pub use exec;
 pub use gatesim;
 pub use netlist;
 pub use sta;
+pub use tm_obs as obs;
 pub use tm_serve as serve;
 pub use tsetlin;
